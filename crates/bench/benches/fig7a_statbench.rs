@@ -1,0 +1,36 @@
+//! Figure 7(a): statbench throughput, fstat versus fstatx.
+//!
+//! Regenerates the three curves of Figure 7(a) — `fstatx` without
+//! `st_nlink`, `fstat` with a single shared link count, and `fstat` with a
+//! Refcache link count — as operations per second per core over the paper's
+//! core-count axis (1, 10, 20, …, 80). Absolute numbers come from the
+//! simulator's cost model; the claim being reproduced is the *shape*: the
+//! commutative `fstatx` stays flat while both `fstat` variants collapse.
+//!
+//! Run with `cargo bench -p scr-bench --bench fig7a_statbench`. Set
+//! `SCR_BENCH_QUICK=1` for a reduced sweep.
+
+use scr_bench::{check_shape, core_counts, quick_core_counts, render_table, statbench};
+
+fn main() {
+    let quick = std::env::var("SCR_BENCH_QUICK").is_ok();
+    let cores = if quick { quick_core_counts() } else { core_counts() };
+    let rounds = if quick { 30 } else { 60 };
+    let series = statbench::sweep(&cores, rounds);
+    println!(
+        "{}",
+        render_table(
+            "Figure 7(a) — statbench throughput (fstats/sec/core)",
+            &series
+        )
+    );
+    let fstatx = &series[0];
+    let refcache = &series[2];
+    match check_shape(fstatx, refcache, 0.6) {
+        Ok(()) => println!(
+            "shape OK: {} stays flat while {} collapses",
+            fstatx.name, refcache.name
+        ),
+        Err(e) => println!("shape MISMATCH: {e}"),
+    }
+}

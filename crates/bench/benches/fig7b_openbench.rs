@@ -1,0 +1,28 @@
+//! Figure 7(b): openbench throughput, lowest FD versus `O_ANYFD`.
+//!
+//! Regenerates the two curves of Figure 7(b): descriptor allocation under
+//! POSIX's lowest-FD rule collapses as cores are added, while the `O_ANYFD`
+//! relaxation (per-core descriptor partitions) scales linearly.
+//!
+//! Run with `cargo bench -p scr-bench --bench fig7b_openbench`. Set
+//! `SCR_BENCH_QUICK=1` for a reduced sweep.
+
+use scr_bench::{check_shape, core_counts, openbench, quick_core_counts, render_table};
+
+fn main() {
+    let quick = std::env::var("SCR_BENCH_QUICK").is_ok();
+    let cores = if quick { quick_core_counts() } else { core_counts() };
+    let rounds = if quick { 30 } else { 60 };
+    let series = openbench::sweep(&cores, rounds);
+    println!(
+        "{}",
+        render_table("Figure 7(b) — openbench throughput (opens/sec/core)", &series)
+    );
+    match check_shape(&series[0], &series[1], 0.6) {
+        Ok(()) => println!(
+            "shape OK: {} stays flat while {} collapses",
+            series[0].name, series[1].name
+        ),
+        Err(e) => println!("shape MISMATCH: {e}"),
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 7(c): mail server throughput, regular versus commutative APIs.
+//!
+//! Regenerates the two curves of Figure 7(c): the qmail-style mail server
+//! using the regular POSIX APIs (lowest FD, ordered notification socket,
+//! `fork`) collapses at a small number of cores, while the configuration
+//! built on the commutative APIs of §4 (`O_ANYFD`, unordered datagram
+//! socket, `posix_spawn`) keeps scaling.
+//!
+//! Run with `cargo bench -p scr-bench --bench fig7c_mailserver`. Set
+//! `SCR_BENCH_QUICK=1` for a reduced sweep.
+
+use scr_bench::{core_counts, mailbench, quick_core_counts, render_table};
+
+fn main() {
+    let quick = std::env::var("SCR_BENCH_QUICK").is_ok();
+    let cores = if quick { quick_core_counts() } else { core_counts() };
+    let rounds = if quick { 8 } else { 20 };
+    let series = mailbench::sweep(&cores, rounds);
+    println!(
+        "{}",
+        render_table(
+            "Figure 7(c) — mail server throughput (emails/sec/core)",
+            &series
+        )
+    );
+    let commutative = &series[0];
+    let regular = &series[1];
+    let c_last = commutative
+        .points
+        .last()
+        .map(|p| p.ops_per_sec_per_core)
+        .unwrap_or(0.0);
+    let r_last = regular
+        .points
+        .last()
+        .map(|p| p.ops_per_sec_per_core)
+        .unwrap_or(0.0);
+    if c_last > r_last {
+        println!(
+            "shape OK: commutative APIs sustain {:.0} emails/s/core vs {:.0} for regular APIs at {} cores",
+            c_last,
+            r_last,
+            commutative.points.last().map(|p| p.cores).unwrap_or(0)
+        );
+    } else {
+        println!("shape MISMATCH: regular APIs did not collapse relative to commutative APIs");
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the scalable primitives on the host
+//! machine.
+//!
+//! These benchmarks complement the simulator-based figures with real-thread
+//! measurements of the §7.2 single-core observations: a shared atomic
+//! counter versus a per-core (cache-line padded) counter, and the cost of a
+//! Refcache-style exact read (which must sum every per-core delta) versus a
+//! plain read — the reason `fstat` with `st_nlink` is several times more
+//! expensive than `fstatx` without it.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scr_scalable::real::{PerCoreCounter, PerCoreRefcount, SharedCounter};
+use std::sync::Arc;
+use std::thread;
+
+fn counter_increment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_increment_4_threads");
+    let threads = 4;
+    group.bench_function("shared_atomic", |b| {
+        b.iter_batched(
+            || Arc::new(SharedCounter::new()),
+            |counter| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let counter = Arc::clone(&counter);
+                        thread::spawn(move || {
+                            for _ in 0..5_000 {
+                                counter.add(1);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("per_core_padded", |b| {
+        b.iter_batched(
+            || Arc::new(PerCoreCounter::new(threads)),
+            |counter| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let counter = Arc::clone(&counter);
+                        thread::spawn(move || {
+                            for _ in 0..5_000 {
+                                counter.add(t, 1);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn refcount_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refcount_read");
+    let rc = PerCoreRefcount::new(80, 1);
+    for core in 0..80 {
+        rc.inc(core);
+    }
+    group.bench_function("exact_read_sums_80_deltas", |b| {
+        b.iter(|| std::hint::black_box(rc.read_exact()))
+    });
+    group.bench_function("reconciled_read_single_line", |b| {
+        b.iter(|| std::hint::black_box(rc.read_reconciled()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, counter_increment, refcount_reads);
+criterion_main!(benches);

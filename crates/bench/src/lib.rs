@@ -1,0 +1,170 @@
+//! # scr-bench — workload generators for the evaluation harness
+//!
+//! The benchmark binaries under `benches/` regenerate the paper's tables and
+//! figures; the reusable workload drivers live here so that integration
+//! tests and examples can exercise the same code paths with smaller
+//! parameters.
+//!
+//! * [`statbench`] — Figure 7(a): n/2 cores `fstat` one file while n/2 cores
+//!   `link`/`unlink` it, in three modes (plain `fstat` with a Refcache link
+//!   count, plain `fstat` with a single shared link count, and `fstatx`
+//!   without `st_nlink`).
+//! * [`openbench`] — Figure 7(b): every core opens and closes a per-core
+//!   file, with lowest-FD versus `O_ANYFD` allocation.
+//! * [`mailbench`] — Figure 7(c): the qmail-style mail server in its
+//!   regular-API and commutative-API configurations.
+//!
+//! Each driver runs the workload on the simulated machine for a given core
+//! count, then feeds the recorded access trace to
+//! [`scr_mtrace::ThroughputModel`] to obtain operations per second per core.
+
+pub mod mailbench;
+pub mod openbench;
+pub mod statbench;
+
+use scr_mtrace::ScalingPoint;
+
+/// The core counts swept by the Figure 7 benchmarks (the paper's x-axis:
+/// 1 core, then whole sockets of 10 up to 80).
+pub fn core_counts() -> Vec<usize> {
+    vec![1, 10, 20, 30, 40, 50, 60, 70, 80]
+}
+
+/// A reduced sweep for tests and quick runs.
+pub fn quick_core_counts() -> Vec<usize> {
+    vec![1, 4, 8, 16]
+}
+
+/// One benchmark series: a labelled curve of scaling points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Label (e.g. "fstatx", "Lowest FD").
+    pub name: String,
+    /// One point per core count.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// Formats a set of series as the text table printed by the benchmark
+/// binaries.
+pub fn render_table(title: &str, series: &[Series]) -> String {
+    let pairs: Vec<(String, Vec<ScalingPoint>)> = series
+        .iter()
+        .map(|s| (s.name.clone(), s.points.clone()))
+        .collect();
+    scr_mtrace::scaling::format_series(title, &pairs)
+}
+
+/// Asserts the qualitative "shape" claims the paper makes about a pair of
+/// series:
+///
+/// * the scalable variant keeps at least `flat_ratio` of its single-core
+///   per-core throughput at the largest core count (the flat curve of
+///   Figure 7), and
+/// * the non-scalable variant loses at least half of **its own** single-core
+///   per-core throughput at the largest core count (the collapsing curve),
+///   and ends up below the scalable variant.
+///
+/// Returns an error string describing the first violated condition (used by
+/// integration tests and the benchmark binaries).
+pub fn check_shape(scalable: &Series, collapsing: &Series, flat_ratio: f64) -> Result<(), String> {
+    let first = scalable
+        .points
+        .first()
+        .ok_or_else(|| "empty series".to_string())?;
+    let last = scalable
+        .points
+        .last()
+        .ok_or_else(|| "empty series".to_string())?;
+    let ratio = last.ops_per_sec_per_core / first.ops_per_sec_per_core;
+    if ratio < flat_ratio {
+        return Err(format!(
+            "{} lost too much per-core throughput: {:.2} of single-core",
+            scalable.name, ratio
+        ));
+    }
+    let collapsing_first = collapsing
+        .points
+        .first()
+        .ok_or_else(|| "empty series".to_string())?;
+    let collapsing_last = collapsing
+        .points
+        .last()
+        .ok_or_else(|| "empty series".to_string())?;
+    let collapsing_ratio =
+        collapsing_last.ops_per_sec_per_core / collapsing_first.ops_per_sec_per_core;
+    if collapsing_ratio > 0.5 {
+        return Err(format!(
+            "{} did not collapse: it kept {:.2} of its single-core per-core throughput",
+            collapsing.name, collapsing_ratio
+        ));
+    }
+    if collapsing_last.ops_per_sec_per_core >= last.ops_per_sec_per_core {
+        return Err(format!(
+            "{} did not end up below {} ({:.0} vs {:.0} ops/s/core)",
+            collapsing.name,
+            scalable.name,
+            collapsing_last.ops_per_sec_per_core,
+            last.ops_per_sec_per_core
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_point(cores: usize, ops: f64) -> ScalingPoint {
+        ScalingPoint {
+            cores,
+            total_ops: 100,
+            ops_per_sec_per_core: ops,
+            remote_transfers: 0,
+            elapsed_seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn shape_check_accepts_flat_vs_collapse() {
+        let flat = Series {
+            name: "scalable".into(),
+            points: vec![fake_point(1, 1000.0), fake_point(80, 950.0)],
+        };
+        let collapse = Series {
+            name: "contended".into(),
+            points: vec![fake_point(1, 1000.0), fake_point(80, 50.0)],
+        };
+        assert!(check_shape(&flat, &collapse, 0.7).is_ok());
+    }
+
+    #[test]
+    fn shape_check_rejects_flat_that_collapses() {
+        let not_flat = Series {
+            name: "supposedly-scalable".into(),
+            points: vec![fake_point(1, 1000.0), fake_point(80, 100.0)],
+        };
+        let collapse = Series {
+            name: "contended".into(),
+            points: vec![fake_point(1, 1000.0), fake_point(80, 50.0)],
+        };
+        assert!(check_shape(&not_flat, &collapse, 0.7).is_err());
+    }
+
+    #[test]
+    fn render_table_includes_labels() {
+        let series = vec![Series {
+            name: "anyfd".into(),
+            points: vec![fake_point(1, 10.0)],
+        }];
+        let table = render_table("openbench", &series);
+        assert!(table.contains("openbench"));
+        assert!(table.contains("anyfd"));
+    }
+
+    #[test]
+    fn core_counts_match_the_paper_axis() {
+        assert_eq!(core_counts().first(), Some(&1));
+        assert_eq!(core_counts().last(), Some(&80));
+        assert!(quick_core_counts().len() < core_counts().len());
+    }
+}

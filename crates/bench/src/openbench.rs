@@ -1,0 +1,101 @@
+//! openbench — Figure 7(b).
+//!
+//! `n` threads of one process concurrently open and close per-thread files.
+//! Under POSIX's "lowest available FD" rule the opens do not commute (the
+//! returned descriptor depends on execution order) and the descriptor
+//! allocator is a process-wide shared structure; with `O_ANYFD` the opens
+//! commute and sv6 allocates from per-core partitions, so the benchmark
+//! scales linearly.
+
+use crate::Series;
+use scr_kernel::api::{KernelApi, OpenFlags};
+use scr_kernel::Sv6Kernel;
+use scr_mtrace::{ScalingParams, ThroughputModel};
+
+/// Descriptor-allocation policy under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpenMode {
+    /// POSIX lowest-FD allocation.
+    LowestFd,
+    /// The `O_ANYFD` relaxation (§4).
+    AnyFd,
+}
+
+impl OpenMode {
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpenMode::LowestFd => "Lowest FD",
+            OpenMode::AnyFd => "Any FD (O_ANYFD)",
+        }
+    }
+}
+
+/// Runs openbench for one mode and core count.
+pub fn run_mode(mode: OpenMode, cores: usize, rounds: usize) -> scr_mtrace::ScalingPoint {
+    let kernel = Sv6Kernel::new(cores.max(2));
+    let machine = kernel.machine().clone();
+    let pid = kernel.new_process();
+    // Pre-create the per-core files so the measured loop exercises only
+    // descriptor allocation.
+    for core in 0..cores {
+        let fd = kernel
+            .open(core, pid, &format!("openbench-{core}"), OpenFlags::create())
+            .expect("create per-core file");
+        kernel.close(core, pid, fd).expect("close");
+    }
+
+    machine.clear_trace();
+    machine.start_tracing();
+    for _ in 0..rounds {
+        for core in 0..cores {
+            machine.on_core(core, || {
+                let flags = match mode {
+                    OpenMode::LowestFd => OpenFlags::plain(),
+                    OpenMode::AnyFd => OpenFlags::plain().with_anyfd(),
+                };
+                let fd = kernel
+                    .open(core, pid, &format!("openbench-{core}"), flags)
+                    .expect("open");
+                kernel.close(core, pid, fd).expect("close");
+            });
+        }
+    }
+    machine.stop_tracing();
+    let model = ThroughputModel::new(ScalingParams::default());
+    model.evaluate(&machine.accesses(), cores, rounds as u64)
+}
+
+/// Runs the full openbench sweep.
+pub fn sweep(core_counts: &[usize], rounds: usize) -> Vec<Series> {
+    [OpenMode::AnyFd, OpenMode::LowestFd]
+        .into_iter()
+        .map(|mode| Series {
+            name: mode.label().to_string(),
+            points: core_counts
+                .iter()
+                .map(|&cores| run_mode(mode, cores, rounds))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_shape;
+
+    #[test]
+    fn anyfd_scales_and_lowest_fd_collapses() {
+        let cores = [1usize, 8, 16];
+        let series = sweep(&cores, 40);
+        let anyfd = &series[0];
+        let lowest = &series[1];
+        assert!(check_shape(anyfd, lowest, 0.6).is_ok(), "{series:?}");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(OpenMode::LowestFd.label(), OpenMode::AnyFd.label());
+    }
+}

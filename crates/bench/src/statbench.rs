@@ -1,0 +1,138 @@
+//! statbench — Figure 7(a).
+//!
+//! One file is created; `n/2` cores repeatedly `fstat` it while the other
+//! `n/2` cores repeatedly `link` it to a fresh name and `unlink` that name.
+//! `fstat` does not commute with `link`/`unlink` because it returns
+//! `st_nlink`, so its implementation must observe the link count; the
+//! benchmark isolates the cost of that non-commutativity by comparing:
+//!
+//! * **fstat / Refcache** — the scalable link counter makes `link`/`unlink`
+//!   conflict-free but `fstat` must reconcile every per-core delta;
+//! * **fstat / shared count** — one shared cache line, the minimum possible
+//!   sharing for the non-commutative interface;
+//! * **fstatx (no st_nlink)** — the commutative interface of §4, which never
+//!   touches the link count and scales flat.
+
+use crate::Series;
+use scr_kernel::api::{KernelApi, OpenFlags, StatMask};
+use scr_kernel::{Sv6Kernel, Sv6Options};
+use scr_mtrace::{ScalingParams, ThroughputModel};
+
+/// Which statbench variant to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatMode {
+    /// `fstat` with Refcache link counts ("With Refcache st_nlink").
+    FstatRefcache,
+    /// `fstat` with a single shared link count ("With shared st_nlink").
+    FstatSharedCount,
+    /// `fstatx` requesting everything except the link count
+    /// ("Without st_nlink").
+    FstatxNoNlink,
+}
+
+impl StatMode {
+    /// The label used in the Figure 7(a) legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StatMode::FstatRefcache => "fstat (Refcache st_nlink)",
+            StatMode::FstatSharedCount => "fstat (shared st_nlink)",
+            StatMode::FstatxNoNlink => "fstatx (without st_nlink)",
+        }
+    }
+}
+
+/// Runs one statbench configuration for one core count and returns the
+/// recorded access trace length and scaling point.
+pub fn run_mode(mode: StatMode, cores: usize, rounds: usize) -> scr_mtrace::ScalingPoint {
+    let options = Sv6Options {
+        shared_link_counts: matches!(mode, StatMode::FstatSharedCount),
+    };
+    let kernel = Sv6Kernel::with_options(cores.max(2), options);
+    let machine = kernel.machine().clone();
+    let pid = kernel.new_process();
+    let fd = kernel
+        .open(0, pid, "statfile", OpenFlags::create())
+        .expect("create statfile");
+
+    machine.clear_trace();
+    machine.start_tracing();
+    let stat_cores = (cores / 2).max(1);
+    for round in 0..rounds {
+        for core in 0..cores {
+            machine.on_core(core, || {
+                if core < stat_cores {
+                    match mode {
+                        StatMode::FstatxNoNlink => {
+                            kernel
+                                .fstatx(core, pid, fd, StatMask::all_but_nlink())
+                                .expect("fstatx");
+                        }
+                        _ => {
+                            kernel.fstat(core, pid, fd).expect("fstat");
+                        }
+                    }
+                } else {
+                    let scratch = format!("statlink-{core}-{round}");
+                    kernel.link(core, pid, "statfile", &scratch).expect("link");
+                    kernel.unlink(core, pid, &scratch).expect("unlink");
+                }
+            });
+        }
+    }
+    machine.stop_tracing();
+    let model = ThroughputModel::new(ScalingParams::default());
+    model.evaluate(&machine.accesses(), cores, rounds as u64)
+}
+
+/// Runs the full statbench sweep: one series per mode over `core_counts`.
+pub fn sweep(core_counts: &[usize], rounds: usize) -> Vec<Series> {
+    [
+        StatMode::FstatxNoNlink,
+        StatMode::FstatSharedCount,
+        StatMode::FstatRefcache,
+    ]
+    .into_iter()
+    .map(|mode| Series {
+        name: mode.label().to_string(),
+        points: core_counts
+            .iter()
+            .map(|&cores| run_mode(mode, cores, rounds))
+            .collect(),
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_shape;
+
+    #[test]
+    fn fstatx_scales_and_fstat_collapses() {
+        let cores = [1usize, 8, 16];
+        let rounds = 40;
+        let series = sweep(&cores, rounds);
+        let fstatx = &series[0];
+        let shared = &series[1];
+        let refcache = &series[2];
+        assert!(check_shape(fstatx, refcache, 0.6).is_ok(), "{series:?}");
+        // Even a single shared cache line prevents scaling (§7.2).
+        assert!(
+            shared.points.last().unwrap().ops_per_sec_per_core
+                < 0.8 * fstatx.points.last().unwrap().ops_per_sec_per_core
+        );
+    }
+
+    #[test]
+    fn mode_labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> = [
+            StatMode::FstatRefcache,
+            StatMode::FstatSharedCount,
+            StatMode::FstatxNoNlink,
+        ]
+        .iter()
+        .map(|m| m.label())
+        .collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! MTRACE driver: running generated tests against an implementation
+//! (§5.3).
+//!
+//! The paper's MTRACE boots the kernel under a modified qemu, runs each test
+//! case's operations on different virtual cores while logging every memory
+//! access, and reports cache lines accessed by more than one core with at
+//! least one write. Here the kernels are libraries running over the
+//! simulated machine of `scr-mtrace`, so the driver simply:
+//!
+//! 1. builds a fresh kernel and two processes,
+//! 2. replays the test's setup operations with tracing disabled,
+//! 3. enables tracing and runs the two commutative operations on cores 0
+//!    and 1, and
+//! 4. reports the shared cache lines (with their allocation labels, which
+//!    play the role of MTRACE's DWARF-derived type names).
+
+use crate::testgen::ConcreteTest;
+use scr_kernel::api::{perform, KernelApi, SysResult};
+use scr_kernel::{LinuxLikeKernel, Sv6Kernel};
+
+/// Builds fresh kernel instances for test runs.
+pub trait KernelFactory {
+    /// A short name for reports ("Linux", "sv6", …).
+    fn name(&self) -> &'static str;
+    /// Builds a fresh kernel on a fresh simulated machine.
+    fn build(&self) -> Box<dyn KernelApi>;
+}
+
+/// Factory for the sv6/ScaleFS kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sv6Factory {
+    /// Number of simulated cores to configure.
+    pub cores: usize,
+}
+
+impl KernelFactory for Sv6Factory {
+    fn name(&self) -> &'static str {
+        "sv6"
+    }
+
+    fn build(&self) -> Box<dyn KernelApi> {
+        Box::new(Sv6Kernel::new(self.cores.max(2)))
+    }
+}
+
+/// Factory for the Linux-like baseline kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinuxLikeFactory {
+    /// Number of simulated cores to configure.
+    pub cores: usize,
+}
+
+impl KernelFactory for LinuxLikeFactory {
+    fn name(&self) -> &'static str {
+        "Linux"
+    }
+
+    fn build(&self) -> Box<dyn KernelApi> {
+        Box::new(LinuxLikeKernel::new(self.cores.max(2)))
+    }
+}
+
+/// The outcome of running one test against one kernel.
+#[derive(Clone, Debug)]
+pub struct TestOutcome {
+    /// The test's identifier.
+    pub test_id: String,
+    /// Whether the two operations were conflict-free.
+    pub conflict_free: bool,
+    /// Labels of the cache lines shared between the two cores.
+    pub shared_labels: Vec<String>,
+    /// Whether every setup operation succeeded (failed setup usually means
+    /// the test exercises an error path, which is fine, but it is recorded
+    /// for diagnostics).
+    pub setup_ok: bool,
+    /// The results the two operations returned.
+    pub results: (SysResult, SysResult),
+}
+
+/// Runs one generated test against a kernel built by `factory`.
+pub fn run_test(factory: &dyn KernelFactory, test: &ConcreteTest) -> TestOutcome {
+    let kernel = factory.build();
+    let machine = kernel.machine().clone();
+    // Both kernels number processes densely from zero.
+    for _ in 0..test.procs.max(2) {
+        kernel.new_process();
+    }
+    // Setup runs untraced on core 0.
+    machine.stop_tracing();
+    let mut setup_ok = true;
+    for op in &test.setup {
+        let result = machine.on_core(0, || perform(kernel.as_ref(), 0, op));
+        setup_ok &= result.is_ok();
+    }
+    // The commutative pair runs traced, on different cores.
+    machine.clear_trace();
+    machine.start_tracing();
+    let res_a = machine.on_core(0, || perform(kernel.as_ref(), 0, &test.op_a));
+    let res_b = machine.on_core(1, || perform(kernel.as_ref(), 1, &test.op_b));
+    machine.stop_tracing();
+    let report = machine.conflict_report();
+    TestOutcome {
+        test_id: test.id.clone(),
+        conflict_free: report.is_conflict_free(),
+        shared_labels: report.conflicting_labels(),
+        setup_ok,
+        results: (res_a, res_b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scr_kernel::api::{OpenFlags, SysOp};
+    use scr_model::CallKind;
+
+    fn manual_test(
+        id: &str,
+        calls: (CallKind, CallKind),
+        setup: Vec<SysOp>,
+        op_a: SysOp,
+        op_b: SysOp,
+    ) -> ConcreteTest {
+        ConcreteTest {
+            id: id.into(),
+            calls,
+            setup,
+            op_a,
+            op_b,
+            procs: 2,
+        }
+    }
+
+    #[test]
+    fn creating_different_files_scales_on_sv6_but_not_linux() {
+        let test = manual_test(
+            "create_different",
+            (CallKind::Open, CallKind::Open),
+            vec![],
+            SysOp::Open {
+                pid: 0,
+                name: "alpha".into(),
+                flags: OpenFlags::create(),
+            },
+            SysOp::Open {
+                pid: 1,
+                name: "bravo".into(),
+                flags: OpenFlags::create(),
+            },
+        );
+        let sv6 = run_test(&Sv6Factory { cores: 4 }, &test);
+        assert!(sv6.conflict_free, "sv6 shared {:?}", sv6.shared_labels);
+        let linux = run_test(&LinuxLikeFactory { cores: 4 }, &test);
+        assert!(!linux.conflict_free);
+    }
+
+    #[test]
+    fn statting_the_same_existing_file_differs_between_kernels() {
+        let setup = vec![
+            SysOp::Open {
+                pid: 0,
+                name: "shared".into(),
+                flags: OpenFlags::create(),
+            },
+            SysOp::Close { pid: 0, fd: 0 },
+        ];
+        let test = manual_test(
+            "stat_same",
+            (CallKind::Stat, CallKind::Stat),
+            setup,
+            SysOp::StatPath {
+                pid: 0,
+                name: "shared".into(),
+            },
+            SysOp::StatPath {
+                pid: 1,
+                name: "shared".into(),
+            },
+        );
+        let sv6 = run_test(&Sv6Factory { cores: 4 }, &test);
+        assert!(sv6.conflict_free, "sv6 shared {:?}", sv6.shared_labels);
+        let linux = run_test(&LinuxLikeFactory { cores: 4 }, &test);
+        assert!(
+            !linux.conflict_free,
+            "the dcache refcount must make Linux-like stats conflict"
+        );
+        assert!(linux.shared_labels.iter().any(|l| l.contains("d_count")));
+    }
+
+    #[test]
+    fn setup_failures_are_reported() {
+        let test = manual_test(
+            "bad_setup",
+            (CallKind::Stat, CallKind::Stat),
+            vec![SysOp::Unlink {
+                pid: 0,
+                name: "does-not-exist".into(),
+            }],
+            SysOp::StatPath {
+                pid: 0,
+                name: "x".into(),
+            },
+            SysOp::StatPath {
+                pid: 1,
+                name: "y".into(),
+            },
+        );
+        let outcome = run_test(&Sv6Factory { cores: 2 }, &test);
+        assert!(!outcome.setup_ok);
+        assert!(outcome.conflict_free);
+    }
+
+    #[test]
+    fn factories_report_names() {
+        assert_eq!(Sv6Factory::default().name(), "sv6");
+        assert_eq!(LinuxLikeFactory::default().name(), "Linux");
+    }
+}

@@ -1,0 +1,34 @@
+//! # scr-core — COMMUTER
+//!
+//! The paper's tool chain (§5, Figure 3) has three stages:
+//!
+//! * **ANALYZER** ([`analyzer`]) takes the symbolic interface model
+//!   (`scr-model`) and computes *commutativity conditions*: for each pair of
+//!   operations, the precise conditions on arguments and state under which
+//!   the pair SIM-commutes.
+//! * **TESTGEN** ([`testgen`]) turns each satisfiable commutativity
+//!   condition into concrete test cases — setup operations plus the two
+//!   commutative operations — aiming for *conflict coverage*: one test per
+//!   isomorphism class of satisfying assignments.
+//! * **MTRACE** ([`driver`]) runs each test case against a real
+//!   implementation (`scr-kernel` over the simulated machine of
+//!   `scr-mtrace`) and reports the cache lines shared between the two
+//!   operations, i.e. the violations of the commutativity rule.
+//!
+//! [`report`] aggregates the per-pair outcomes into the Figure 6 heatmap
+//! and summary statistics, and [`pipeline`] wires the four stages together
+//! behind one call used by the benchmarks and examples.
+
+pub mod analyzer;
+pub mod driver;
+pub mod pipeline;
+pub mod report;
+pub mod shapes;
+pub mod testgen;
+
+pub use analyzer::{analyze_pair, CommutativeCase, PairAnalysis};
+pub use driver::{run_test, KernelFactory, LinuxLikeFactory, Sv6Factory, TestOutcome};
+pub use pipeline::{run_commuter, CommuterConfig, CommuterResults};
+pub use report::{Figure6Report, PairCell};
+pub use shapes::{enumerate_shapes, PairShape};
+pub use testgen::{generate_tests, ConcreteTest};

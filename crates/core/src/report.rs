@@ -1,0 +1,205 @@
+//! Figure-6-style aggregation and rendering.
+//!
+//! Figure 6 of the paper is an 18×18 lower-triangular heatmap: for every
+//! pair of system calls, the fraction (and count) of generated test cases
+//! that were **not** conflict-free on the implementation under test, with
+//! one half of the figure for Linux and one for sv6. This module aggregates
+//! per-test outcomes into that table and renders it as text.
+
+use scr_model::{CallKind, ALL_CALLS};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregated outcomes for one call pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairCell {
+    /// Number of generated (and run) tests for the pair.
+    pub total: usize,
+    /// How many of them were conflict-free.
+    pub conflict_free: usize,
+}
+
+impl PairCell {
+    /// Tests that shared a cache line.
+    pub fn conflicting(&self) -> usize {
+        self.total - self.conflict_free
+    }
+
+    /// Fraction of tests that were conflict-free (1.0 when no tests ran).
+    pub fn fraction_conflict_free(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.conflict_free as f64 / self.total as f64
+        }
+    }
+}
+
+/// The aggregated table for one kernel.
+#[derive(Clone, Debug, Default)]
+pub struct Figure6Report {
+    /// Kernel name ("Linux", "sv6").
+    pub kernel: String,
+    cells: BTreeMap<(CallKind, CallKind), PairCell>,
+}
+
+impl Figure6Report {
+    /// An empty report for the named kernel.
+    pub fn new(kernel: &str) -> Self {
+        Figure6Report {
+            kernel: kernel.to_string(),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Canonical (unordered) key for a pair.
+    fn key(a: CallKind, b: CallKind) -> (CallKind, CallKind) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Records one test outcome.
+    pub fn record(&mut self, a: CallKind, b: CallKind, conflict_free: bool) {
+        let cell = self.cells.entry(Self::key(a, b)).or_default();
+        cell.total += 1;
+        if conflict_free {
+            cell.conflict_free += 1;
+        }
+    }
+
+    /// The cell for a pair.
+    pub fn cell(&self, a: CallKind, b: CallKind) -> PairCell {
+        self.cells
+            .get(&Self::key(a, b))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total number of tests recorded.
+    pub fn total_tests(&self) -> usize {
+        self.cells.values().map(|c| c.total).sum()
+    }
+
+    /// Total number of conflict-free tests.
+    pub fn total_conflict_free(&self) -> usize {
+        self.cells.values().map(|c| c.conflict_free).sum()
+    }
+
+    /// Overall fraction of conflict-free tests.
+    pub fn overall_fraction(&self) -> f64 {
+        if self.total_tests() == 0 {
+            1.0
+        } else {
+            self.total_conflict_free() as f64 / self.total_tests() as f64
+        }
+    }
+
+    /// The headline the paper reports: "N of M cases scale".
+    pub fn headline(&self) -> String {
+        format!(
+            "{} ({} of {} cases scale)",
+            self.kernel,
+            self.total_conflict_free(),
+            self.total_tests()
+        )
+    }
+
+    /// Renders the lower-triangular table of *conflicting* test counts, like
+    /// Figure 6 (blank cell = every generated test was conflict-free; `-` =
+    /// no tests were generated for the pair).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headline());
+        out.push('\n');
+        out.push_str(&format!("{:>10}", ""));
+        for col in ALL_CALLS.iter() {
+            out.push_str(&format!("{:>9}", col.name()));
+        }
+        out.push('\n');
+        for (i, row) in ALL_CALLS.iter().enumerate() {
+            out.push_str(&format!("{:>10}", row.name()));
+            for (j, col) in ALL_CALLS.iter().enumerate() {
+                if j > i {
+                    out.push_str(&format!("{:>9}", ""));
+                    continue;
+                }
+                let cell = self.cell(*row, *col);
+                let text = if cell.total == 0 {
+                    "-".to_string()
+                } else if cell.conflicting() == 0 {
+                    ".".to_string()
+                } else {
+                    format!("{}", cell.conflicting())
+                };
+                out.push_str(&format!("{text:>9}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure6Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_cell_roundtrip() {
+        let mut report = Figure6Report::new("sv6");
+        report.record(CallKind::Open, CallKind::Rename, true);
+        report.record(CallKind::Rename, CallKind::Open, false);
+        let cell = report.cell(CallKind::Open, CallKind::Rename);
+        assert_eq!(cell.total, 2);
+        assert_eq!(cell.conflict_free, 1);
+        assert_eq!(cell.conflicting(), 1);
+        assert!((cell.fraction_conflict_free() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_key_is_order_insensitive() {
+        let mut report = Figure6Report::new("x");
+        report.record(CallKind::Stat, CallKind::Unlink, true);
+        assert_eq!(report.cell(CallKind::Unlink, CallKind::Stat).total, 1);
+    }
+
+    #[test]
+    fn totals_and_headline() {
+        let mut report = Figure6Report::new("Linux");
+        for i in 0..10 {
+            report.record(CallKind::Open, CallKind::Open, i % 3 != 0);
+        }
+        assert_eq!(report.total_tests(), 10);
+        assert_eq!(report.total_conflict_free(), 6);
+        assert!(report.headline().contains("6 of 10"));
+        assert!((report.overall_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_all_call_names() {
+        let mut report = Figure6Report::new("sv6");
+        report.record(CallKind::Memwrite, CallKind::Mmap, false);
+        let text = report.render();
+        for call in ALL_CALLS {
+            assert!(text.contains(call.name()));
+        }
+        assert!(text.contains('1'));
+    }
+
+    #[test]
+    fn empty_pair_renders_dash_and_perfect_pair_renders_dot() {
+        let mut report = Figure6Report::new("sv6");
+        report.record(CallKind::Open, CallKind::Open, true);
+        let text = report.render();
+        assert!(text.contains('.'));
+        assert!(text.contains('-'));
+    }
+}

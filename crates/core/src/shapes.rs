@@ -1,0 +1,232 @@
+//! Shape enumeration for operation pairs.
+//!
+//! The paper's ANALYZER leaves the relationships between operation
+//! arguments (same file name or different? same descriptor or different?
+//! same process or different?) to the SMT solver's theory of arrays and
+//! uninterpreted functions. This reproduction makes those relationships
+//! explicit instead: a **shape** fixes, for a pair of operations, which
+//! name / descriptor / page slots and which process each argument refers
+//! to. Everything else (existence, contents, offsets, flags) stays
+//! symbolic. Enumerating shapes up to isomorphism plays the same role as
+//! TESTGEN's isomorphism groups (§5.2) and keeps the solver's job finite.
+
+use scr_model::calls::ArgSlots;
+use scr_model::{CallKind, ModelConfig};
+
+/// A fully-resolved shape for a pair of operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairShape {
+    /// The two calls.
+    pub calls: (CallKind, CallKind),
+    /// Slot assignment of the first call.
+    pub slots_a: ArgSlots,
+    /// Slot assignment of the second call.
+    pub slots_b: ArgSlots,
+    /// Human-readable tag (used in test identifiers).
+    pub tag: String,
+}
+
+/// Enumerates canonical slot assignments for `count` arguments of the second
+/// operation, given that the first operation used slots `0..base`. Each
+/// argument may alias any of the first operation's slots or use a fresh
+/// slot; fresh slots are numbered consecutively after `base`, and
+/// assignments are deduplicated up to renaming of the fresh slots.
+fn second_op_assignments(base: usize, count: usize, max_slots: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+    for _ in 0..count {
+        let mut next = Vec::new();
+        for partial in &out {
+            // The next fresh slot is determined by what the partial
+            // assignment already uses (canonical numbering).
+            let next_fresh = partial
+                .iter()
+                .copied()
+                .filter(|s| *s >= base)
+                .max()
+                .map(|m| m + 1)
+                .unwrap_or(base);
+            let mut choices: Vec<usize> = (0..base).collect();
+            if next_fresh < max_slots {
+                choices.push(next_fresh);
+            }
+            // Aliasing a previously-chosen fresh slot of the same call is
+            // also allowed (e.g. rename(c, c)).
+            for s in partial.iter().copied().filter(|s| *s >= base) {
+                if !choices.contains(&s) {
+                    choices.push(s);
+                }
+            }
+            for choice in choices {
+                let mut extended = partial.clone();
+                extended.push(choice);
+                next.push(extended);
+            }
+        }
+        out = next;
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// First-operation slot assignments: the first call's arguments may also
+/// alias each other (e.g. `rename(a, a)`), canonically numbered from 0.
+fn first_op_assignments(count: usize, max_slots: usize) -> Vec<Vec<usize>> {
+    second_op_assignments(0, count, max_slots)
+}
+
+/// Enumerates the shapes of a pair of calls under the given model bounds.
+pub fn enumerate_shapes(a: CallKind, b: CallKind, cfg: &ModelConfig) -> Vec<PairShape> {
+    let mut shapes = Vec::new();
+
+    let name_a = first_op_assignments(a.name_args(), cfg.names);
+    let fd_a = first_op_assignments(a.fd_args(), cfg.fds_per_proc);
+    let vm_a = first_op_assignments(a.vm_args(), cfg.vm_pages);
+
+    // Process placement: same process always; different processes only when
+    // at least one call touches per-process state (descriptors, memory, or
+    // descriptor allocation via open/pipe).
+    let per_process = |k: CallKind| {
+        k.fd_args() > 0 || k.vm_args() > 0 || matches!(k, CallKind::Open | CallKind::Pipe)
+    };
+    let mut proc_choices = vec![(0usize, 0usize)];
+    if cfg.procs > 1 && per_process(a) && per_process(b) {
+        proc_choices.push((0, 1));
+    }
+
+    for (proc_a, proc_b) in proc_choices {
+        for na in &name_a {
+            let base_names = na.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+            for nb in second_op_assignments(base_names, b.name_args(), cfg.names) {
+                for fa in &fd_a {
+                    let base_fds = fa.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+                    // Descriptors are per-process: when the calls run in
+                    // different processes their descriptor slots are
+                    // independent, so only the canonical assignment is
+                    // needed.
+                    let fd_b_choices = if proc_a == proc_b {
+                        second_op_assignments(base_fds, b.fd_args(), cfg.fds_per_proc)
+                    } else {
+                        first_op_assignments(b.fd_args(), cfg.fds_per_proc)
+                    };
+                    for fb in fd_b_choices {
+                        for va in &vm_a {
+                            let base_vm = va.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+                            let vm_b_choices = if proc_a == proc_b {
+                                second_op_assignments(base_vm, b.vm_args(), cfg.vm_pages)
+                            } else {
+                                first_op_assignments(b.vm_args(), cfg.vm_pages)
+                            };
+                            for vb in vm_b_choices {
+                                let tag = format!(
+                                    "p{proc_a}{proc_b}-n{:?}{:?}-f{:?}{:?}-v{:?}{:?}",
+                                    na, nb, fa, fb, va, vb
+                                )
+                                .replace([' ', '[', ']', ','], "");
+                                shapes.push(PairShape {
+                                    calls: (a, b),
+                                    slots_a: ArgSlots {
+                                        proc: proc_a,
+                                        names: na.clone(),
+                                        fds: pad(fa, a),
+                                        vm_pages: va.clone(),
+                                    },
+                                    slots_b: ArgSlots {
+                                        proc: proc_b,
+                                        names: nb.clone(),
+                                        fds: pad(&fb, b),
+                                        vm_pages: vb.clone(),
+                                    },
+                                    tag,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    shapes
+}
+
+/// `mmap` consumes a descriptor slot argument even when the mapping ends up
+/// anonymous; make sure a slot is always present.
+fn pad(fds: &[usize], kind: CallKind) -> Vec<usize> {
+    let mut fds = fds.to_vec();
+    if kind == CallKind::Mmap && fds.is_empty() {
+        fds.push(0);
+    }
+    fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::default()
+    }
+
+    #[test]
+    fn rename_rename_shapes_cover_the_paper_cases() {
+        let shapes = enumerate_shapes(CallKind::Rename, CallKind::Rename, &cfg());
+        // rename takes two names; the §5.1 analysis needs at least: all four
+        // distinct, shared source, shared destination, self-renames, and
+        // cross patterns. The enumeration must produce a reasonable number
+        // of distinct shapes (2 first-op patterns × second-op patterns).
+        assert!(shapes.len() >= 10, "got {}", shapes.len());
+        // All-distinct shape exists.
+        assert!(shapes.iter().any(|s| {
+            s.slots_a.names == vec![0, 1] && s.slots_b.names == vec![2, 3]
+        }));
+        // Fully-aliased shape exists (both renames of the same pair).
+        assert!(shapes
+            .iter()
+            .any(|s| s.slots_a.names == vec![0, 1] && s.slots_b.names == vec![0, 1]));
+        // Self-rename shape exists.
+        assert!(shapes.iter().any(|s| s.slots_a.names == vec![0, 0]));
+    }
+
+    #[test]
+    fn fd_ops_get_same_and_different_descriptor_shapes() {
+        let shapes = enumerate_shapes(CallKind::Fstat, CallKind::Lseek, &cfg());
+        let same_proc: Vec<_> = shapes
+            .iter()
+            .filter(|s| s.slots_a.proc == s.slots_b.proc)
+            .collect();
+        assert!(same_proc.iter().any(|s| s.slots_a.fds == s.slots_b.fds));
+        assert!(same_proc.iter().any(|s| s.slots_a.fds != s.slots_b.fds));
+        // Cross-process shapes exist for descriptor operations.
+        assert!(shapes.iter().any(|s| s.slots_a.proc != s.slots_b.proc));
+    }
+
+    #[test]
+    fn name_only_ops_do_not_multiply_process_shapes() {
+        let shapes = enumerate_shapes(CallKind::Stat, CallKind::Unlink, &cfg());
+        assert!(shapes.iter().all(|s| s.slots_a.proc == s.slots_b.proc));
+        // stat(name) × unlink(name): same name or different name — exactly
+        // two name shapes.
+        assert_eq!(shapes.len(), 2);
+    }
+
+    #[test]
+    fn mmap_always_has_a_descriptor_slot() {
+        let shapes = enumerate_shapes(CallKind::Mmap, CallKind::Munmap, &cfg());
+        assert!(shapes.iter().all(|s| !s.slots_a.fds.is_empty()));
+        assert!(!shapes.is_empty());
+    }
+
+    #[test]
+    fn second_op_assignment_counts_are_canonical() {
+        // One argument, one existing slot: alias it or use a fresh one.
+        assert_eq!(second_op_assignments(1, 1, 4).len(), 2);
+        // Two arguments, two existing slots: 2 existing + fresh for the
+        // first choice, and for each, alias options for the second.
+        let two = second_op_assignments(2, 2, 6);
+        assert!(two.contains(&vec![0, 1]));
+        assert!(two.contains(&vec![2, 3]));
+        assert!(two.contains(&vec![2, 2]));
+        // No gaps in fresh numbering (canonical form).
+        assert!(!two.contains(&vec![3, 2]));
+    }
+}

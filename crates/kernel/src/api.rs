@@ -1,0 +1,709 @@
+//! The kernel interface: types, error codes, the [`KernelApi`] trait, and a
+//! reified system-call representation ([`SysOp`]) used by generated test
+//! cases.
+//!
+//! The interface covers the 18 calls modelled in §6.1 — `open`, `link`,
+//! `unlink`, `rename`, `stat`, `fstat`, `lseek`, `close`, `pipe`, `read`,
+//! `write`, `pread`, `pwrite`, `mmap`, `munmap`, `mprotect`, `memread`,
+//! `memwrite` — plus the §4 commutativity-friendly extensions: `fstatx`
+//! (field-selective stat), `O_ANYFD` open, `posix_spawn`, and datagram
+//! sockets with optional ordering.
+//!
+//! Every call names the *core* it runs on (so the simulated machine can
+//! attribute memory accesses) and the *process* it runs in.
+
+use scr_mtrace::{CoreId, SimMachine};
+use std::fmt;
+
+/// File-descriptor number.
+pub type Fd = u32;
+/// Inode number.
+pub type Ino = u64;
+/// Process identifier.
+pub type Pid = usize;
+/// Socket identifier (Unix-domain datagram socket).
+pub type SockId = usize;
+
+/// Page size used throughout the model and kernels. Offsets and lengths are
+/// page-granular, as in the paper's model (§6.1).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// POSIX-style error numbers used by the kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Errno {
+    /// No such file or directory.
+    ENOENT,
+    /// File exists.
+    EEXIST,
+    /// Bad file descriptor.
+    EBADF,
+    /// Invalid argument.
+    EINVAL,
+    /// Too many open files.
+    EMFILE,
+    /// No space / table full.
+    ENOSPC,
+    /// Not enough memory / address space exhausted.
+    ENOMEM,
+    /// Broken pipe.
+    EPIPE,
+    /// Illegal seek.
+    ESPIPE,
+    /// Bad address (unmapped memory access).
+    EFAULT,
+    /// Resource temporarily unavailable (empty pipe / socket).
+    EAGAIN,
+    /// Operation not permitted (e.g. linking a pipe).
+    EPERM,
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Result type used by every kernel call.
+pub type KResult<T> = Result<T, Errno>;
+
+/// Flags accepted by `open`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpenFlags {
+    /// Create the file if it does not exist (`O_CREAT`).
+    pub create: bool,
+    /// With `create`: fail if the file already exists (`O_EXCL`).
+    pub excl: bool,
+    /// Truncate the file to zero length (`O_TRUNC`).
+    pub truncate: bool,
+    /// Allow the kernel to return *any* unused descriptor instead of the
+    /// lowest (`O_ANYFD`, the §4/§7.2 extension).
+    pub anyfd: bool,
+}
+
+impl OpenFlags {
+    /// Plain `open` of an existing file.
+    pub fn plain() -> Self {
+        OpenFlags::default()
+    }
+
+    /// `O_CREAT`.
+    pub fn create() -> Self {
+        OpenFlags {
+            create: true,
+            ..Default::default()
+        }
+    }
+
+    /// `O_CREAT | O_EXCL`.
+    pub fn create_excl() -> Self {
+        OpenFlags {
+            create: true,
+            excl: true,
+            ..Default::default()
+        }
+    }
+
+    /// Adds `O_ANYFD` to the flags.
+    pub fn with_anyfd(mut self) -> Self {
+        self.anyfd = true;
+        self
+    }
+}
+
+/// The metadata returned by `stat`/`fstat`/`fstatx`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stat {
+    /// Inode number (0 when masked out by `fstatx`).
+    pub ino: Ino,
+    /// File size in bytes (page-granular).
+    pub size: u64,
+    /// Link count (0 when masked out by `fstatx`).
+    pub nlink: i64,
+    /// True when the object is a pipe endpoint.
+    pub is_pipe: bool,
+}
+
+/// Field-selection mask for `fstatx` (§4 "decompose compound operations",
+/// §7.2 statbench). A cleared field is not computed and returned as zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatMask {
+    /// Return the inode number.
+    pub want_ino: bool,
+    /// Return the size.
+    pub want_size: bool,
+    /// Return the link count (the expensive field: it forces reconciliation
+    /// of the scalable link counter).
+    pub want_nlink: bool,
+}
+
+impl StatMask {
+    /// Request every field (equivalent to plain `fstat`).
+    pub fn all() -> Self {
+        StatMask {
+            want_ino: true,
+            want_size: true,
+            want_nlink: true,
+        }
+    }
+
+    /// Request every field except the link count (the commutative variant
+    /// used by statbench).
+    pub fn all_but_nlink() -> Self {
+        StatMask {
+            want_ino: true,
+            want_size: true,
+            want_nlink: false,
+        }
+    }
+}
+
+/// `lseek` origins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Whence {
+    /// Absolute offset.
+    Set,
+    /// Relative to the current offset.
+    Cur,
+    /// Relative to the end of the file.
+    End,
+}
+
+/// Page protection bits for the VM calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prot {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+}
+
+impl Prot {
+    /// Read/write protection.
+    pub fn rw() -> Self {
+        Prot {
+            read: true,
+            write: true,
+        }
+    }
+
+    /// Read-only protection.
+    pub fn ro() -> Self {
+        Prot {
+            read: true,
+            write: false,
+        }
+    }
+}
+
+/// What backs an `mmap` region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MmapBacking {
+    /// Anonymous memory.
+    Anon,
+    /// A file mapping starting at page 0 of the file referenced by the
+    /// descriptor.
+    File(Fd),
+}
+
+/// Whether a socket preserves FIFO ordering of datagrams (§4 "permit weak
+/// ordering").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketOrder {
+    /// All messages pass through one ordered queue.
+    Ordered,
+    /// Messages may be delivered in any order; the implementation may use
+    /// per-core queues.
+    Unordered,
+}
+
+/// The kernel interface shared by the sv6-style implementation and the
+/// Linux-like baseline.
+///
+/// Every method takes the simulated core the call runs on and the calling
+/// process. Methods correspond 1:1 to the calls analysed by COMMUTER plus
+/// the §4 extensions.
+pub trait KernelApi {
+    /// The simulated machine this kernel's state lives on.
+    fn machine(&self) -> &SimMachine;
+
+    /// Creates a new process with an empty descriptor table and address
+    /// space, returning its pid.
+    fn new_process(&self) -> Pid;
+
+    // --- file-name operations -------------------------------------------
+
+    /// Opens (and possibly creates) `name`, returning a descriptor.
+    fn open(&self, core: CoreId, pid: Pid, name: &str, flags: OpenFlags) -> KResult<Fd>;
+    /// Creates a new hard link `new` to the file `old`.
+    fn link(&self, core: CoreId, pid: Pid, old: &str, new: &str) -> KResult<()>;
+    /// Removes the name `name` (the inode is reclaimed when the last link
+    /// and descriptor are gone).
+    fn unlink(&self, core: CoreId, pid: Pid, name: &str) -> KResult<()>;
+    /// Renames `src` to `dst`.
+    fn rename(&self, core: CoreId, pid: Pid, src: &str, dst: &str) -> KResult<()>;
+    /// Returns the metadata of `name`.
+    fn stat(&self, core: CoreId, pid: Pid, name: &str) -> KResult<Stat>;
+
+    // --- descriptor operations ------------------------------------------
+
+    /// Returns the metadata of the open file `fd`.
+    fn fstat(&self, core: CoreId, pid: Pid, fd: Fd) -> KResult<Stat>;
+    /// Field-selective `fstat` (§4). The default forwards to `fstat` and
+    /// masks afterwards, which is correct but no more scalable; sv6
+    /// overrides it to avoid touching the link count when not requested.
+    fn fstatx(&self, core: CoreId, pid: Pid, fd: Fd, mask: StatMask) -> KResult<Stat> {
+        let full = self.fstat(core, pid, fd)?;
+        Ok(Stat {
+            ino: if mask.want_ino { full.ino } else { 0 },
+            size: if mask.want_size { full.size } else { 0 },
+            nlink: if mask.want_nlink { full.nlink } else { 0 },
+            is_pipe: full.is_pipe,
+        })
+    }
+    /// Repositions the offset of `fd`.
+    fn lseek(&self, core: CoreId, pid: Pid, fd: Fd, offset: i64, whence: Whence) -> KResult<u64>;
+    /// Closes `fd`.
+    fn close(&self, core: CoreId, pid: Pid, fd: Fd) -> KResult<()>;
+    /// Creates a pipe, returning `(read_fd, write_fd)`.
+    fn pipe(&self, core: CoreId, pid: Pid) -> KResult<(Fd, Fd)>;
+    /// Reads up to `len` bytes at the current offset.
+    fn read(&self, core: CoreId, pid: Pid, fd: Fd, len: u64) -> KResult<Vec<u8>>;
+    /// Writes `data` at the current offset, returning the number of bytes
+    /// written.
+    fn write(&self, core: CoreId, pid: Pid, fd: Fd, data: &[u8]) -> KResult<u64>;
+    /// Reads up to `len` bytes at absolute offset `offset` (no offset
+    /// update).
+    fn pread(&self, core: CoreId, pid: Pid, fd: Fd, len: u64, offset: u64) -> KResult<Vec<u8>>;
+    /// Writes `data` at absolute offset `offset` (no offset update).
+    fn pwrite(&self, core: CoreId, pid: Pid, fd: Fd, data: &[u8], offset: u64) -> KResult<u64>;
+
+    // --- virtual memory ---------------------------------------------------
+
+    /// Maps `pages` pages (optionally at the hinted page-aligned address),
+    /// returning the mapped address.
+    fn mmap(
+        &self,
+        core: CoreId,
+        pid: Pid,
+        addr_hint: Option<u64>,
+        pages: u64,
+        prot: Prot,
+        backing: MmapBacking,
+    ) -> KResult<u64>;
+    /// Unmaps `pages` pages starting at `addr`.
+    fn munmap(&self, core: CoreId, pid: Pid, addr: u64, pages: u64) -> KResult<()>;
+    /// Changes the protection of `pages` pages starting at `addr`.
+    fn mprotect(&self, core: CoreId, pid: Pid, addr: u64, pages: u64, prot: Prot) -> KResult<()>;
+    /// Reads one byte from mapped memory at `addr`.
+    fn memread(&self, core: CoreId, pid: Pid, addr: u64) -> KResult<u8>;
+    /// Writes one byte to mapped memory at `addr`.
+    fn memwrite(&self, core: CoreId, pid: Pid, addr: u64, value: u8) -> KResult<()>;
+
+    // --- processes and sockets (§4 / §7.3) --------------------------------
+
+    /// Creates a child process by duplicating the parent's descriptor table
+    /// (the `fork` half of fork/exec; the snapshot is what limits its
+    /// commutativity).
+    fn fork(&self, core: CoreId, pid: Pid) -> KResult<Pid>;
+    /// Creates a child process with a fresh descriptor table, duplicating
+    /// only the listed descriptors (`posix_spawn`, §4 "decompose compound
+    /// operations").
+    fn posix_spawn(&self, core: CoreId, pid: Pid, dup_fds: &[Fd]) -> KResult<Pid>;
+    /// Creates a Unix-domain datagram socket with the given ordering
+    /// guarantee.
+    fn socket(&self, core: CoreId, order: SocketOrder) -> KResult<SockId>;
+    /// Sends a datagram on a socket.
+    fn send(&self, core: CoreId, sock: SockId, msg: &[u8]) -> KResult<()>;
+    /// Receives a datagram from a socket (EAGAIN when empty).
+    fn recv(&self, core: CoreId, sock: SockId) -> KResult<Vec<u8>>;
+}
+
+/// A reified system-call invocation, as emitted by TESTGEN.
+///
+/// Each variant mirrors one `KernelApi` method; string and numeric arguments
+/// are concrete values chosen by the test generator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SysOp {
+    /// `open(name, flags)`.
+    Open {
+        /// Process performing the call.
+        pid: Pid,
+        /// File name.
+        name: String,
+        /// Open flags.
+        flags: OpenFlags,
+    },
+    /// `link(old, new)`.
+    Link {
+        /// Process performing the call.
+        pid: Pid,
+        /// Existing name.
+        old: String,
+        /// New name.
+        new: String,
+    },
+    /// `unlink(name)`.
+    Unlink {
+        /// Process performing the call.
+        pid: Pid,
+        /// Name to remove.
+        name: String,
+    },
+    /// `rename(src, dst)`.
+    Rename {
+        /// Process performing the call.
+        pid: Pid,
+        /// Source name.
+        src: String,
+        /// Destination name.
+        dst: String,
+    },
+    /// `stat(name)`.
+    StatPath {
+        /// Process performing the call.
+        pid: Pid,
+        /// Name to stat.
+        name: String,
+    },
+    /// `fstat(fd)`.
+    Fstat {
+        /// Process performing the call.
+        pid: Pid,
+        /// Descriptor to stat.
+        fd: Fd,
+    },
+    /// `lseek(fd, offset, whence)`.
+    Lseek {
+        /// Process performing the call.
+        pid: Pid,
+        /// Descriptor.
+        fd: Fd,
+        /// Target offset.
+        offset: i64,
+        /// Origin.
+        whence: Whence,
+    },
+    /// `close(fd)`.
+    Close {
+        /// Process performing the call.
+        pid: Pid,
+        /// Descriptor to close.
+        fd: Fd,
+    },
+    /// `pipe()`.
+    Pipe {
+        /// Process performing the call.
+        pid: Pid,
+    },
+    /// `read(fd, len)`.
+    Read {
+        /// Process performing the call.
+        pid: Pid,
+        /// Descriptor.
+        fd: Fd,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// `write(fd, data)`.
+    Write {
+        /// Process performing the call.
+        pid: Pid,
+        /// Descriptor.
+        fd: Fd,
+        /// Data to write.
+        data: Vec<u8>,
+    },
+    /// `pread(fd, len, offset)`.
+    Pread {
+        /// Process performing the call.
+        pid: Pid,
+        /// Descriptor.
+        fd: Fd,
+        /// Bytes to read.
+        len: u64,
+        /// Absolute offset.
+        offset: u64,
+    },
+    /// `pwrite(fd, data, offset)`.
+    Pwrite {
+        /// Process performing the call.
+        pid: Pid,
+        /// Descriptor.
+        fd: Fd,
+        /// Data to write.
+        data: Vec<u8>,
+        /// Absolute offset.
+        offset: u64,
+    },
+    /// `mmap(addr_hint, pages, prot, backing)`.
+    Mmap {
+        /// Process performing the call.
+        pid: Pid,
+        /// Optional fixed address (page aligned).
+        addr_hint: Option<u64>,
+        /// Number of pages.
+        pages: u64,
+        /// Protection.
+        prot: Prot,
+        /// Backing object.
+        backing: MmapBacking,
+    },
+    /// `munmap(addr, pages)`.
+    Munmap {
+        /// Process performing the call.
+        pid: Pid,
+        /// Start address.
+        addr: u64,
+        /// Number of pages.
+        pages: u64,
+    },
+    /// `mprotect(addr, pages, prot)`.
+    Mprotect {
+        /// Process performing the call.
+        pid: Pid,
+        /// Start address.
+        addr: u64,
+        /// Number of pages.
+        pages: u64,
+        /// New protection.
+        prot: Prot,
+    },
+    /// `memread(addr)`.
+    Memread {
+        /// Process performing the call.
+        pid: Pid,
+        /// Address to read.
+        addr: u64,
+    },
+    /// `memwrite(addr, value)`.
+    Memwrite {
+        /// Process performing the call.
+        pid: Pid,
+        /// Address to write.
+        addr: u64,
+        /// Byte value to store.
+        value: u8,
+    },
+}
+
+impl SysOp {
+    /// The system-call family name (used for the Figure 6 row/column
+    /// labels).
+    pub fn call_name(&self) -> &'static str {
+        match self {
+            SysOp::Open { .. } => "open",
+            SysOp::Link { .. } => "link",
+            SysOp::Unlink { .. } => "unlink",
+            SysOp::Rename { .. } => "rename",
+            SysOp::StatPath { .. } => "stat",
+            SysOp::Fstat { .. } => "fstat",
+            SysOp::Lseek { .. } => "lseek",
+            SysOp::Close { .. } => "close",
+            SysOp::Pipe { .. } => "pipe",
+            SysOp::Read { .. } => "read",
+            SysOp::Write { .. } => "write",
+            SysOp::Pread { .. } => "pread",
+            SysOp::Pwrite { .. } => "pwrite",
+            SysOp::Mmap { .. } => "mmap",
+            SysOp::Munmap { .. } => "munmap",
+            SysOp::Mprotect { .. } => "mprotect",
+            SysOp::Memread { .. } => "memread",
+            SysOp::Memwrite { .. } => "memwrite",
+        }
+    }
+
+    /// The process the operation runs in.
+    pub fn pid(&self) -> Pid {
+        match self {
+            SysOp::Open { pid, .. }
+            | SysOp::Link { pid, .. }
+            | SysOp::Unlink { pid, .. }
+            | SysOp::Rename { pid, .. }
+            | SysOp::StatPath { pid, .. }
+            | SysOp::Fstat { pid, .. }
+            | SysOp::Lseek { pid, .. }
+            | SysOp::Close { pid, .. }
+            | SysOp::Pipe { pid, .. }
+            | SysOp::Read { pid, .. }
+            | SysOp::Write { pid, .. }
+            | SysOp::Pread { pid, .. }
+            | SysOp::Pwrite { pid, .. }
+            | SysOp::Mmap { pid, .. }
+            | SysOp::Munmap { pid, .. }
+            | SysOp::Mprotect { pid, .. }
+            | SysOp::Memread { pid, .. }
+            | SysOp::Memwrite { pid, .. } => *pid,
+        }
+    }
+}
+
+/// The observable outcome of performing a [`SysOp`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SysResult {
+    /// The call succeeded with a numeric result (fd, offset, address,
+    /// byte count…).
+    Value(i64),
+    /// The call succeeded and returned data.
+    Data(Vec<u8>),
+    /// The call succeeded and returned file metadata.
+    Meta(Stat),
+    /// The call succeeded with no interesting return value.
+    Unit,
+    /// The call failed.
+    Err(Errno),
+}
+
+impl SysResult {
+    /// `true` when the call did not fail.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, SysResult::Err(_))
+    }
+}
+
+/// Performs a reified operation against a kernel on the given core.
+pub fn perform(kernel: &dyn KernelApi, core: CoreId, op: &SysOp) -> SysResult {
+    match op {
+        SysOp::Open { pid, name, flags } => match kernel.open(core, *pid, name, *flags) {
+            Ok(fd) => SysResult::Value(fd as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Link { pid, old, new } => match kernel.link(core, *pid, old, new) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Unlink { pid, name } => match kernel.unlink(core, *pid, name) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Rename { pid, src, dst } => match kernel.rename(core, *pid, src, dst) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::StatPath { pid, name } => match kernel.stat(core, *pid, name) {
+            Ok(s) => SysResult::Meta(s),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Fstat { pid, fd } => match kernel.fstat(core, *pid, *fd) {
+            Ok(s) => SysResult::Meta(s),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Lseek {
+            pid,
+            fd,
+            offset,
+            whence,
+        } => match kernel.lseek(core, *pid, *fd, *offset, *whence) {
+            Ok(off) => SysResult::Value(off as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Close { pid, fd } => match kernel.close(core, *pid, *fd) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Pipe { pid } => match kernel.pipe(core, *pid) {
+            Ok((r, w)) => SysResult::Value(((w as i64) << 32) | r as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Read { pid, fd, len } => match kernel.read(core, *pid, *fd, *len) {
+            Ok(data) => SysResult::Data(data),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Write { pid, fd, data } => match kernel.write(core, *pid, *fd, data) {
+            Ok(n) => SysResult::Value(n as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Pread {
+            pid,
+            fd,
+            len,
+            offset,
+        } => match kernel.pread(core, *pid, *fd, *len, *offset) {
+            Ok(data) => SysResult::Data(data),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Pwrite {
+            pid,
+            fd,
+            data,
+            offset,
+        } => match kernel.pwrite(core, *pid, *fd, data, *offset) {
+            Ok(n) => SysResult::Value(n as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Mmap {
+            pid,
+            addr_hint,
+            pages,
+            prot,
+            backing,
+        } => match kernel.mmap(core, *pid, *addr_hint, *pages, *prot, *backing) {
+            Ok(addr) => SysResult::Value(addr as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Munmap { pid, addr, pages } => match kernel.munmap(core, *pid, *addr, *pages) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Mprotect {
+            pid,
+            addr,
+            pages,
+            prot,
+        } => match kernel.mprotect(core, *pid, *addr, *pages, *prot) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Memread { pid, addr } => match kernel.memread(core, *pid, *addr) {
+            Ok(b) => SysResult::Value(b as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Memwrite { pid, addr, value } => match kernel.memwrite(core, *pid, *addr, *value) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_flags_constructors() {
+        assert!(OpenFlags::create().create);
+        assert!(!OpenFlags::create().excl);
+        assert!(OpenFlags::create_excl().excl);
+        assert!(OpenFlags::plain().with_anyfd().anyfd);
+    }
+
+    #[test]
+    fn stat_mask_selects_fields() {
+        assert!(StatMask::all().want_nlink);
+        assert!(!StatMask::all_but_nlink().want_nlink);
+        assert!(StatMask::all_but_nlink().want_size);
+    }
+
+    #[test]
+    fn sysop_exposes_call_name_and_pid() {
+        let op = SysOp::Rename {
+            pid: 3,
+            src: "a".into(),
+            dst: "b".into(),
+        };
+        assert_eq!(op.call_name(), "rename");
+        assert_eq!(op.pid(), 3);
+        let op = SysOp::Memwrite {
+            pid: 1,
+            addr: PAGE_SIZE,
+            value: 7,
+        };
+        assert_eq!(op.call_name(), "memwrite");
+    }
+
+    #[test]
+    fn sysresult_classifies_errors() {
+        assert!(SysResult::Value(3).is_ok());
+        assert!(SysResult::Unit.is_ok());
+        assert!(!SysResult::Err(Errno::ENOENT).is_ok());
+    }
+}

@@ -1,0 +1,276 @@
+//! The qmail-style mail server of §7.3.
+//!
+//! The benchmark application is a pipeline of separate, communicating
+//! processes:
+//!
+//! * **mail-enqueue** writes the message and its envelope to two files in a
+//!   queue directory and notifies the queue manager over a Unix-domain
+//!   datagram socket.
+//! * **mail-qman** receives a notification, reads the envelope, opens the
+//!   queued message, spawns a delivery process, waits for it, and deletes
+//!   the queued files.
+//! * **mail-deliver** writes the message into the recipient's mailbox.
+//!
+//! Each stage runs in one of two configurations, mirroring the paper's
+//! "regular APIs" versus "commutative APIs" comparison:
+//!
+//! | | regular | commutative |
+//! |---|---|---|
+//! | descriptor allocation | lowest FD | `O_ANYFD` |
+//! | queue notification socket | ordered | unordered |
+//! | helper process creation | `fork` (snapshot) | `posix_spawn` |
+//!
+//! The server is written purely against [`KernelApi`], so it runs unchanged
+//! over the sv6 kernel or the Linux-like baseline.
+
+use crate::api::{Errno, KResult, KernelApi, OpenFlags, Pid, SockId, SocketOrder};
+use scr_mtrace::CoreId;
+use std::cell::Cell;
+
+/// Which API family the mail server uses (§7.3's two configurations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MailConfig {
+    /// Lowest-FD `open`, ordered notification socket, `fork`-based helpers.
+    RegularApis,
+    /// `O_ANYFD` opens, unordered notification socket, `posix_spawn`.
+    CommutativeApis,
+}
+
+impl MailConfig {
+    fn open_flags(self) -> OpenFlags {
+        match self {
+            MailConfig::RegularApis => OpenFlags::create(),
+            MailConfig::CommutativeApis => OpenFlags::create().with_anyfd(),
+        }
+    }
+
+    fn socket_order(self) -> SocketOrder {
+        match self {
+            MailConfig::RegularApis => SocketOrder::Ordered,
+            MailConfig::CommutativeApis => SocketOrder::Unordered,
+        }
+    }
+}
+
+/// A running mail server instance bound to a kernel.
+pub struct MailServer<'k> {
+    kernel: &'k dyn KernelApi,
+    config: MailConfig,
+    notify: SockId,
+    /// Per-core message sequence numbers, used to build unique queue file
+    /// names without shared state.
+    next_seq: Vec<Cell<u64>>,
+}
+
+impl<'k> MailServer<'k> {
+    /// Creates a mail server over `kernel` using the given API configuration
+    /// and supporting up to `cores` enqueueing cores.
+    pub fn new(kernel: &'k dyn KernelApi, config: MailConfig, cores: usize) -> KResult<Self> {
+        let notify = kernel.socket(0, config.socket_order())?;
+        Ok(MailServer {
+            kernel,
+            config,
+            notify,
+            next_seq: (0..cores.max(1)).map(|_| Cell::new(0)).collect(),
+        })
+    }
+
+    /// The API configuration in use.
+    pub fn config(&self) -> MailConfig {
+        self.config
+    }
+
+    fn fresh_seq(&self, core: CoreId) -> u64 {
+        let cell = &self.next_seq[core % self.next_seq.len()];
+        let v = cell.get();
+        cell.set(v + 1);
+        v
+    }
+
+    /// `mail-enqueue`: writes the message and envelope to the queue and
+    /// notifies the queue manager. Returns the envelope file name.
+    pub fn enqueue(
+        &self,
+        core: CoreId,
+        pid: Pid,
+        mailbox: &str,
+        body: &[u8],
+    ) -> KResult<String> {
+        let seq = self.fresh_seq(core);
+        let msg_name = format!("queue/msg-{core}-{seq}");
+        let env_name = format!("queue/env-{core}-{seq}");
+        let flags = self.config.open_flags();
+
+        let msg_fd = self.kernel.open(core, pid, &msg_name, flags)?;
+        self.kernel.write(core, pid, msg_fd, body)?;
+        self.kernel.close(core, pid, msg_fd)?;
+
+        let env_fd = self.kernel.open(core, pid, &env_name, flags)?;
+        let envelope = format!("{mailbox}\n{msg_name}");
+        self.kernel.write(core, pid, env_fd, envelope.as_bytes())?;
+        self.kernel.close(core, pid, env_fd)?;
+
+        self.kernel.send(core, self.notify, env_name.as_bytes())?;
+        Ok(env_name)
+    }
+
+    /// One step of `mail-qman`: receive a notification, read the envelope,
+    /// spawn a delivery helper, deliver the message, and clean up the queue.
+    /// Returns the mailbox file the message was delivered to, or
+    /// `Err(EAGAIN)` when no notification is pending.
+    pub fn qman_step(&self, core: CoreId, pid: Pid) -> KResult<String> {
+        let notification = self.kernel.recv(core, self.notify)?;
+        let env_name = String::from_utf8_lossy(&notification).to_string();
+        let flags = self.config.open_flags();
+
+        // Read the envelope.
+        let env_fd = self.kernel.open(core, pid, &env_name, flags)?;
+        let envelope = self.kernel.pread(core, pid, env_fd, 4096, 0)?;
+        self.kernel.close(core, pid, env_fd)?;
+        let envelope = String::from_utf8_lossy(&envelope).to_string();
+        let mut lines = envelope.lines();
+        let mailbox = lines.next().ok_or(Errno::EINVAL)?.to_string();
+        let msg_name = lines.next().ok_or(Errno::EINVAL)?.to_string();
+
+        // Read the queued message.
+        let msg_fd = self.kernel.open(core, pid, &msg_name, flags)?;
+        let body = self.kernel.pread(core, pid, msg_fd, 65536, 0)?;
+
+        // Spawn the delivery helper. In the regular configuration this is a
+        // fork (snapshotting the whole descriptor table); in the commutative
+        // configuration posix_spawn builds the child image directly.
+        let helper = match self.config {
+            MailConfig::RegularApis => self.kernel.fork(core, pid)?,
+            MailConfig::CommutativeApis => self.kernel.posix_spawn(core, pid, &[msg_fd])?,
+        };
+
+        // mail-deliver (running as the helper process): write the message
+        // into the recipient's mailbox.
+        let delivered = self.deliver(core, helper, &mailbox, &body)?;
+
+        // Clean up: close and unlink the queued files.
+        self.kernel.close(core, pid, msg_fd)?;
+        self.kernel.unlink(core, pid, &msg_name)?;
+        self.kernel.unlink(core, pid, &env_name)?;
+        Ok(delivered)
+    }
+
+    /// `mail-deliver`: writes `body` into a fresh file in `mailbox`'s
+    /// Maildir. Returns the delivered file name.
+    pub fn deliver(
+        &self,
+        core: CoreId,
+        pid: Pid,
+        mailbox: &str,
+        body: &[u8],
+    ) -> KResult<String> {
+        let seq = self.fresh_seq(core);
+        let name = format!("mail/{mailbox}/new-{core}-{seq}");
+        let fd = self
+            .kernel
+            .open(core, pid, &name, self.config.open_flags())?;
+        self.kernel.write(core, pid, fd, body)?;
+        self.kernel.close(core, pid, fd)?;
+        Ok(name)
+    }
+
+    /// End-to-end convenience used by the benchmarks: enqueue a message and
+    /// immediately run one queue-manager step on the same core.
+    pub fn deliver_one(
+        &self,
+        core: CoreId,
+        client_pid: Pid,
+        qman_pid: Pid,
+        mailbox: &str,
+        body: &[u8],
+    ) -> KResult<String> {
+        self.enqueue(core, client_pid, mailbox, body)?;
+        self.qman_step(core, qman_pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sv6::Sv6Kernel;
+    use crate::linuxlike::LinuxLikeKernel;
+
+    fn run_end_to_end(kernel: &dyn KernelApi, config: MailConfig) {
+        let client = kernel.new_process();
+        let qman = kernel.new_process();
+        let server = MailServer::new(kernel, config, 4).unwrap();
+        let env = server.enqueue(0, client, "alice", b"hello alice").unwrap();
+        assert!(env.starts_with("queue/env-"));
+        let delivered = server.qman_step(1, qman).unwrap();
+        assert!(delivered.starts_with("mail/alice/"));
+        // The queue files are gone; the mailbox file holds the message.
+        assert_eq!(
+            kernel.stat(0, qman, &env).unwrap_err(),
+            Errno::ENOENT,
+            "envelope must be unlinked after delivery"
+        );
+        let fd = kernel
+            .open(0, qman, &delivered, OpenFlags::plain())
+            .unwrap();
+        assert_eq!(kernel.pread(0, qman, fd, 64, 0).unwrap(), b"hello alice");
+    }
+
+    #[test]
+    fn mail_pipeline_works_on_sv6_with_commutative_apis() {
+        let k = Sv6Kernel::new(4);
+        run_end_to_end(&k, MailConfig::CommutativeApis);
+    }
+
+    #[test]
+    fn mail_pipeline_works_on_sv6_with_regular_apis() {
+        let k = Sv6Kernel::new(4);
+        run_end_to_end(&k, MailConfig::RegularApis);
+    }
+
+    #[test]
+    fn mail_pipeline_works_on_the_linux_like_baseline() {
+        let k = LinuxLikeKernel::new(4);
+        run_end_to_end(&k, MailConfig::RegularApis);
+    }
+
+    #[test]
+    fn qman_reports_eagain_when_queue_is_empty() {
+        let k = Sv6Kernel::new(2);
+        let qman = k.new_process();
+        let server = MailServer::new(&k, MailConfig::CommutativeApis, 2).unwrap();
+        assert_eq!(server.qman_step(0, qman), Err(Errno::EAGAIN));
+    }
+
+    #[test]
+    fn commutative_config_selects_anyfd_and_unordered() {
+        assert!(MailConfig::CommutativeApis.open_flags().anyfd);
+        assert_eq!(
+            MailConfig::CommutativeApis.socket_order(),
+            SocketOrder::Unordered
+        );
+        assert!(!MailConfig::RegularApis.open_flags().anyfd);
+        assert_eq!(MailConfig::RegularApis.socket_order(), SocketOrder::Ordered);
+    }
+
+    #[test]
+    fn many_messages_from_multiple_cores_all_deliver() {
+        let k = Sv6Kernel::new(4);
+        let client = k.new_process();
+        let qman = k.new_process();
+        let server = MailServer::new(&k, MailConfig::CommutativeApis, 4).unwrap();
+        for round in 0..3 {
+            for core in 0..4 {
+                server
+                    .enqueue(core, client, "bob", format!("m{round}-{core}").as_bytes())
+                    .unwrap();
+            }
+        }
+        let mut delivered = 0;
+        for core in 0..4 {
+            while server.qman_step(core, qman).is_ok() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 12);
+    }
+}

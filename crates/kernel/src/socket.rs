@@ -1,0 +1,216 @@
+//! Unix-domain datagram sockets in ordered and unordered flavours (§4
+//! "permit weak ordering", §7.3).
+//!
+//! POSIX orders all messages on a local datagram socket, so `send` and
+//! `recv` on the same socket never commute and an implementation needs a
+//! single shared queue. If the application does not need ordering, `send`
+//! and `recv` commute whenever there is both free space and pending
+//! messages, and an implementation can use per-core message queues.
+//! [`SocketTable`] provides both, selected per socket at creation time.
+
+use crate::api::{Errno, KResult, SockId, SocketOrder};
+use scr_mtrace::{CoreId, SimMachine, TracedCell};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// One datagram socket.
+#[derive(Clone, Debug)]
+enum Socket {
+    /// A single FIFO queue shared by all cores.
+    Ordered {
+        queue: TracedCell<VecDeque<Vec<u8>>>,
+    },
+    /// Per-core queues; receivers drain their own queue first and then
+    /// steal from others.
+    Unordered {
+        queues: Vec<TracedCell<VecDeque<Vec<u8>>>>,
+    },
+}
+
+/// The socket namespace of a kernel instance.
+#[derive(Clone, Debug)]
+pub struct SocketTable {
+    machine: SimMachine,
+    cores: usize,
+    sockets: Rc<RefCell<Vec<Socket>>>,
+}
+
+impl SocketTable {
+    /// Creates an empty socket table for a machine with `cores` cores.
+    pub fn new(machine: &SimMachine, cores: usize) -> Self {
+        SocketTable {
+            machine: machine.clone(),
+            cores,
+            sockets: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Creates a socket with the requested ordering guarantee.
+    pub fn create(&self, order: SocketOrder) -> SockId {
+        let id = self.sockets.borrow().len();
+        let socket = match order {
+            SocketOrder::Ordered => Socket::Ordered {
+                queue: self
+                    .machine
+                    .cell(format!("socket[{id}].queue"), VecDeque::new()),
+            },
+            SocketOrder::Unordered => Socket::Unordered {
+                queues: (0..self.cores)
+                    .map(|c| {
+                        self.machine
+                            .cell(format!("socket[{id}].queue[{c}]"), VecDeque::new())
+                    })
+                    .collect(),
+            },
+        };
+        self.sockets.borrow_mut().push(socket);
+        id
+    }
+
+    /// Sends a datagram on `sock` from `core`.
+    pub fn send(&self, core: CoreId, sock: SockId, msg: &[u8]) -> KResult<()> {
+        let sockets = self.sockets.borrow();
+        let socket = sockets.get(sock).ok_or(Errno::EBADF)?;
+        match socket {
+            Socket::Ordered { queue } => {
+                queue.update(|q| q.push_back(msg.to_vec()));
+            }
+            Socket::Unordered { queues } => {
+                queues[core % queues.len()].update(|q| q.push_back(msg.to_vec()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Receives a datagram from `sock` on `core`. Returns `EAGAIN` when no
+    /// message is available.
+    pub fn recv(&self, core: CoreId, sock: SockId) -> KResult<Vec<u8>> {
+        let sockets = self.sockets.borrow();
+        let socket = sockets.get(sock).ok_or(Errno::EBADF)?;
+        match socket {
+            Socket::Ordered { queue } => queue
+                .update(|q| q.pop_front())
+                .ok_or(Errno::EAGAIN),
+            Socket::Unordered { queues } => {
+                // Drain the local queue first (conflict-free in the common
+                // case), then fall back to stealing from other cores.
+                let local = core % queues.len();
+                if let Some(msg) = queues[local].update(|q| q.pop_front()) {
+                    return Ok(msg);
+                }
+                for (i, queue) in queues.iter().enumerate() {
+                    if i == local {
+                        continue;
+                    }
+                    // Optimistic emptiness check before writing the remote
+                    // queue's line.
+                    if queue.with(|q| q.is_empty()) {
+                        continue;
+                    }
+                    if let Some(msg) = queue.update(|q| q.pop_front()) {
+                        return Ok(msg);
+                    }
+                }
+                Err(Errno::EAGAIN)
+            }
+        }
+    }
+
+    /// Total queued messages on a socket (untraced; for tests).
+    pub fn pending_untraced(&self, sock: SockId) -> usize {
+        let sockets = self.sockets.borrow();
+        match &sockets[sock] {
+            Socket::Ordered { queue } => queue.peek(|q| q.len()),
+            Socket::Unordered { queues } => queues.iter().map(|q| q.peek(|v| v.len())).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_socket_preserves_fifo() {
+        let m = SimMachine::new();
+        let table = SocketTable::new(&m, 4);
+        let s = table.create(SocketOrder::Ordered);
+        table.send(0, s, b"a").unwrap();
+        table.send(1, s, b"b").unwrap();
+        assert_eq!(table.recv(2, s).unwrap(), b"a");
+        assert_eq!(table.recv(2, s).unwrap(), b"b");
+        assert_eq!(table.recv(2, s), Err(Errno::EAGAIN));
+    }
+
+    #[test]
+    fn unordered_socket_delivers_everything() {
+        let m = SimMachine::new();
+        let table = SocketTable::new(&m, 4);
+        let s = table.create(SocketOrder::Unordered);
+        for core in 0..4 {
+            table.send(core, s, &[core as u8]).unwrap();
+        }
+        let mut got = Vec::new();
+        for core in 0..4 {
+            got.push(table.recv(core, s).unwrap()[0]);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(table.pending_untraced(s), 0);
+    }
+
+    #[test]
+    fn ordered_send_recv_from_different_cores_conflict() {
+        let m = SimMachine::new();
+        let table = SocketTable::new(&m, 2);
+        let s = table.create(SocketOrder::Ordered);
+        table.send(0, s, b"x").unwrap();
+        table.send(0, s, b"y").unwrap();
+        m.start_tracing();
+        m.on_core(0, || {
+            table.send(0, s, b"z").unwrap();
+        });
+        m.on_core(1, || {
+            table.recv(1, s).unwrap();
+        });
+        assert!(!m.conflict_report().is_conflict_free());
+    }
+
+    #[test]
+    fn unordered_local_send_recv_are_conflict_free() {
+        let m = SimMachine::new();
+        let table = SocketTable::new(&m, 2);
+        let s = table.create(SocketOrder::Unordered);
+        // Pre-load each core's queue so local recv succeeds without stealing.
+        table.send(0, s, b"m0").unwrap();
+        table.send(1, s, b"m1").unwrap();
+        m.start_tracing();
+        m.on_core(0, || {
+            table.send(0, s, b"x").unwrap();
+            table.recv(0, s).unwrap();
+        });
+        m.on_core(1, || {
+            table.send(1, s, b"y").unwrap();
+            table.recv(1, s).unwrap();
+        });
+        assert!(m.conflict_report().is_conflict_free());
+    }
+
+    #[test]
+    fn bad_socket_id_is_ebadf() {
+        let m = SimMachine::new();
+        let table = SocketTable::new(&m, 1);
+        assert_eq!(table.send(0, 7, b"x"), Err(Errno::EBADF));
+        assert_eq!(table.recv(0, 7), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn unordered_recv_steals_when_local_queue_empty() {
+        let m = SimMachine::new();
+        let table = SocketTable::new(&m, 2);
+        let s = table.create(SocketOrder::Unordered);
+        table.send(0, s, b"only").unwrap();
+        assert_eq!(table.recv(1, s).unwrap(), b"only");
+    }
+}

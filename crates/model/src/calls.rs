@@ -1,0 +1,1017 @@
+//! Symbolic models of the 18 system calls (§6.1).
+//!
+//! Each call is modelled as a function from a [`SymState`] to a return
+//! value, branching on symbolic conditions through a
+//! [`scr_symbolic::PathCtx`] exactly where the specification's behaviour
+//! depends on the state or the arguments. Specification non-determinism —
+//! `creat` may assign any unused inode — is expressed with fresh "oracle"
+//! boolean variables: the solver may choose them freely, so two execution
+//! orders can agree on the nondeterministic choices when the specification
+//! allows it (§5.1's "can be equivalent for some choice of nondeterministic
+//! values").
+//!
+//! Arguments that *identify* state (names, descriptors, pages, the calling
+//! process) are concrete slot indices supplied by the analyzer as part of
+//! the pair's shape; scalar arguments (offsets, flags, data bytes) are
+//! symbolic.
+
+use crate::state::SymState;
+use scr_symbolic::{PathCtx, SymBool, SymContext, SymInt};
+
+/// Error codes returned by the model (negated POSIX errno values).
+pub mod errno {
+    /// No such file or directory.
+    pub const ENOENT: i64 = -2;
+    /// Bad file descriptor.
+    pub const EBADF: i64 = -9;
+    /// Resource temporarily unavailable.
+    pub const EAGAIN: i64 = -11;
+    /// Out of memory / unmapped region.
+    pub const ENOMEM: i64 = -12;
+    /// Bad address.
+    pub const EFAULT: i64 = -14;
+    /// File exists.
+    pub const EEXIST: i64 = -17;
+    /// Invalid argument.
+    pub const EINVAL: i64 = -22;
+    /// Too many open files.
+    pub const EMFILE: i64 = -24;
+    /// No space left (no free inode).
+    pub const ENOSPC: i64 = -28;
+    /// Illegal seek.
+    pub const ESPIPE: i64 = -29;
+    /// Broken pipe.
+    pub const EPIPE: i64 = -32;
+}
+
+/// The 18 modelled system calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CallKind {
+    /// `open(name, flags)`.
+    Open,
+    /// `link(old, new)`.
+    Link,
+    /// `unlink(name)`.
+    Unlink,
+    /// `rename(src, dst)`.
+    Rename,
+    /// `stat(name)`.
+    Stat,
+    /// `fstat(fd)`.
+    Fstat,
+    /// `lseek(fd, offset, whence)`.
+    Lseek,
+    /// `close(fd)`.
+    Close,
+    /// `pipe()`.
+    Pipe,
+    /// `read(fd, 1 page)`.
+    Read,
+    /// `write(fd, 1 page)`.
+    Write,
+    /// `pread(fd, 1 page, offset)`.
+    Pread,
+    /// `pwrite(fd, 1 page, offset)`.
+    Pwrite,
+    /// `mmap(page, prot, backing)`.
+    Mmap,
+    /// `munmap(page)`.
+    Munmap,
+    /// `mprotect(page, prot)`.
+    Mprotect,
+    /// `memread(page)`.
+    Memread,
+    /// `memwrite(page, byte)`.
+    Memwrite,
+}
+
+/// All 18 calls, in the order used for the Figure 6 axes.
+pub const ALL_CALLS: [CallKind; 18] = [
+    CallKind::Open,
+    CallKind::Link,
+    CallKind::Unlink,
+    CallKind::Rename,
+    CallKind::Stat,
+    CallKind::Fstat,
+    CallKind::Lseek,
+    CallKind::Close,
+    CallKind::Pipe,
+    CallKind::Read,
+    CallKind::Write,
+    CallKind::Pread,
+    CallKind::Pwrite,
+    CallKind::Mmap,
+    CallKind::Munmap,
+    CallKind::Mprotect,
+    CallKind::Memread,
+    CallKind::Memwrite,
+];
+
+impl CallKind {
+    /// The call's name (Figure 6 row/column label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CallKind::Open => "open",
+            CallKind::Link => "link",
+            CallKind::Unlink => "unlink",
+            CallKind::Rename => "rename",
+            CallKind::Stat => "stat",
+            CallKind::Fstat => "fstat",
+            CallKind::Lseek => "lseek",
+            CallKind::Close => "close",
+            CallKind::Pipe => "pipe",
+            CallKind::Read => "read",
+            CallKind::Write => "write",
+            CallKind::Pread => "pread",
+            CallKind::Pwrite => "pwrite",
+            CallKind::Mmap => "mmap",
+            CallKind::Munmap => "munmap",
+            CallKind::Mprotect => "mprotect",
+            CallKind::Memread => "memread",
+            CallKind::Memwrite => "memwrite",
+        }
+    }
+
+    /// How many file-name slot arguments the call takes.
+    pub fn name_args(&self) -> usize {
+        match self {
+            CallKind::Rename | CallKind::Link => 2,
+            CallKind::Open | CallKind::Unlink | CallKind::Stat => 1,
+            _ => 0,
+        }
+    }
+
+    /// How many descriptor slot arguments the call takes.
+    pub fn fd_args(&self) -> usize {
+        match self {
+            CallKind::Fstat
+            | CallKind::Lseek
+            | CallKind::Close
+            | CallKind::Read
+            | CallKind::Write
+            | CallKind::Pread
+            | CallKind::Pwrite => 1,
+            CallKind::Mmap => 1, // backing file descriptor (used when not anonymous)
+            _ => 0,
+        }
+    }
+
+    /// How many virtual-memory page slot arguments the call takes.
+    pub fn vm_args(&self) -> usize {
+        match self {
+            CallKind::Mmap
+            | CallKind::Munmap
+            | CallKind::Mprotect
+            | CallKind::Memread
+            | CallKind::Memwrite => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// The concrete "shape" part of a call's arguments: which process it runs
+/// in and which name / descriptor / page slots it refers to.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArgSlots {
+    /// The calling process (index into `SymState::procs`).
+    pub proc: usize,
+    /// Name slot arguments.
+    pub names: Vec<usize>,
+    /// Descriptor slot arguments.
+    pub fds: Vec<usize>,
+    /// Virtual-memory page slot arguments.
+    pub vm_pages: Vec<usize>,
+}
+
+/// A call with bound arguments: concrete slots plus symbolic scalars.
+#[derive(Clone, Debug)]
+pub struct SymCall {
+    /// Which call this is.
+    pub kind: CallKind,
+    /// The calling process and slot arguments.
+    pub slots: ArgSlots,
+    /// Symbolic boolean arguments (open flags, protection bits, whence…).
+    pub bools: Vec<SymBool>,
+    /// Symbolic integer arguments (offsets, data bytes…).
+    pub ints: Vec<SymInt>,
+}
+
+impl SymCall {
+    /// Builds a call of `kind` over `slots`, creating fresh symbolic
+    /// variables (named with `tag`) for its scalar arguments.
+    pub fn build(kind: CallKind, slots: ArgSlots, ctx: &SymContext, tag: &str) -> SymCall {
+        let (bools, ints): (Vec<SymBool>, Vec<SymInt>) = match kind {
+            CallKind::Open => (
+                vec![
+                    ctx.bool_var(&format!("{tag}.o_creat")),
+                    ctx.bool_var(&format!("{tag}.o_excl")),
+                    ctx.bool_var(&format!("{tag}.o_trunc")),
+                ],
+                vec![],
+            ),
+            CallKind::Lseek => (
+                vec![ctx.bool_var(&format!("{tag}.whence_end"))],
+                vec![ctx.int_var(&format!("{tag}.offset"))],
+            ),
+            CallKind::Write => (vec![], vec![ctx.int_var(&format!("{tag}.byte"))]),
+            CallKind::Pread => (vec![], vec![ctx.int_var(&format!("{tag}.page"))]),
+            CallKind::Pwrite => (
+                vec![],
+                vec![
+                    ctx.int_var(&format!("{tag}.page")),
+                    ctx.int_var(&format!("{tag}.byte")),
+                ],
+            ),
+            CallKind::Mmap => (
+                vec![
+                    ctx.bool_var(&format!("{tag}.anon")),
+                    ctx.bool_var(&format!("{tag}.writable")),
+                ],
+                vec![],
+            ),
+            CallKind::Mprotect => (vec![ctx.bool_var(&format!("{tag}.writable"))], vec![]),
+            CallKind::Memwrite => (vec![], vec![ctx.int_var(&format!("{tag}.byte"))]),
+            _ => (vec![], vec![]),
+        };
+        SymCall {
+            kind,
+            slots,
+            bools,
+            ints,
+        }
+    }
+
+    /// Range assumptions for the call's integer arguments (page-granular
+    /// offsets stay inside the modelled file size).
+    pub fn argument_assumptions(&self, file_pages: usize) -> Vec<SymBool> {
+        let in_range = |v: &SymInt, lo: i64, hi: i64| {
+            v.ge(&SymInt::from_i64(lo)).and(&v.le(&SymInt::from_i64(hi)))
+        };
+        match self.kind {
+            CallKind::Lseek => vec![in_range(&self.ints[0], 0, file_pages as i64)],
+            CallKind::Write | CallKind::Memwrite => vec![in_range(&self.ints[0], 0, 3)],
+            CallKind::Pread => vec![in_range(&self.ints[0], 0, file_pages as i64 - 1)],
+            CallKind::Pwrite => vec![
+                in_range(&self.ints[0], 0, file_pages as i64 - 1),
+                in_range(&self.ints[1], 0, 3),
+            ],
+            _ => vec![],
+        }
+    }
+}
+
+/// The observable result of a modelled call: a return code (0 or positive on
+/// success, a negative errno on failure) plus any returned values (stat
+/// fields, read data, allocated descriptor…).
+#[derive(Clone, Debug)]
+pub struct SymRet {
+    /// Return code.
+    pub code: SymInt,
+    /// Auxiliary returned values.
+    pub values: Vec<SymInt>,
+}
+
+impl SymRet {
+    fn ok(code: i64) -> SymRet {
+        SymRet {
+            code: SymInt::from_i64(code),
+            values: vec![],
+        }
+    }
+
+    fn err(e: i64) -> SymRet {
+        Self::ok(e)
+    }
+
+    fn with_values(code: SymInt, values: Vec<SymInt>) -> SymRet {
+        SymRet { code, values }
+    }
+
+    /// Equality of two results as a symbolic condition. Results with
+    /// different arity are never equal.
+    pub fn equal(&self, other: &SymRet) -> SymBool {
+        if self.values.len() != other.values.len() {
+            return SymBool::from_bool(false);
+        }
+        let mut acc = self.code.eq(&other.code);
+        for (a, b) in self.values.iter().zip(&other.values) {
+            acc = acc.and(&a.eq(b));
+        }
+        acc
+    }
+}
+
+/// Executes a modelled call against `state`, branching through `path`.
+/// `tag` disambiguates the fresh oracle variables this execution creates
+/// (each execution order of a pair uses a distinct tag).
+pub fn execute(
+    call: &SymCall,
+    state: &mut SymState,
+    path: &mut PathCtx,
+    ctx: &SymContext,
+    tag: &str,
+) -> SymRet {
+    match call.kind {
+        CallKind::Open => open(call, state, path, ctx, tag),
+        CallKind::Link => link(call, state, path),
+        CallKind::Unlink => unlink(call, state, path),
+        CallKind::Rename => rename(call, state, path),
+        CallKind::Stat => stat(call, state, path),
+        CallKind::Fstat => fstat(call, state, path),
+        CallKind::Lseek => lseek(call, state, path),
+        CallKind::Close => close(call, state, path),
+        CallKind::Pipe => pipe(call, state, path),
+        CallKind::Read => read(call, state, path),
+        CallKind::Write => write(call, state, path),
+        CallKind::Pread => pread(call, state, path),
+        CallKind::Pwrite => pwrite(call, state, path),
+        CallKind::Mmap => mmap(call, state, path),
+        CallKind::Munmap => munmap(call, state, path),
+        CallKind::Mprotect => mprotect(call, state, path),
+        CallKind::Memread => memread(call, state, path),
+        CallKind::Memwrite => memwrite(call, state, path),
+    }
+}
+
+// --- helpers ---------------------------------------------------------------
+
+/// Allocates the lowest closed descriptor slot of `proc`, pointing it at
+/// `ino` with offset 0. Returns the chosen slot or `EMFILE`.
+fn alloc_lowest_fd(
+    state: &mut SymState,
+    path: &mut PathCtx,
+    proc: usize,
+    ino: &SymInt,
+) -> SymRet {
+    for k in 0..state.cfg.fds_per_proc {
+        let open = state.procs[proc].fds[k].open.clone();
+        if !path.branch(&open) {
+            let fd = &mut state.procs[proc].fds[k];
+            fd.open = SymBool::from_bool(true);
+            fd.is_pipe = SymBool::from_bool(false);
+            fd.ino = ino.clone();
+            fd.off = SymInt::from_i64(0);
+            return SymRet::with_values(SymInt::from_i64(k as i64), vec![]);
+        }
+    }
+    SymRet::err(errno::EMFILE)
+}
+
+// --- file-name operations ---------------------------------------------------
+
+fn open(
+    call: &SymCall,
+    state: &mut SymState,
+    path: &mut PathCtx,
+    ctx: &SymContext,
+    tag: &str,
+) -> SymRet {
+    let name = call.slots.names[0];
+    let proc = call.slots.proc;
+    let creat = call.bools[0].clone();
+    let excl = call.bools[1].clone();
+    let trunc = call.bools[2].clone();
+
+    let exists = state.dir[name].exists.clone();
+    if path.branch(&exists) {
+        if path.branch(&creat.and(&excl)) {
+            return SymRet::err(errno::EEXIST);
+        }
+        let ino = state.dir[name].ino.clone();
+        if path.branch(&trunc) {
+            let zero = SymInt::from_i64(0);
+            state.inode_update(&ino, |inode, guard| {
+                inode.len_pages = SymInt::ite(guard, &zero, &inode.len_pages);
+                for p in 0..inode.pages.len() {
+                    inode.pages[p] = SymInt::ite(guard, &zero, &inode.pages[p]);
+                }
+            });
+        }
+        alloc_lowest_fd(state, path, proc, &ino)
+    } else {
+        if !path.branch(&creat) {
+            return SymRet::err(errno::ENOENT);
+        }
+        // Choose any free inode (specification non-determinism): oracle
+        // booleans let the solver pick, and the trailing `assume` discards
+        // paths that spuriously skipped a free slot.
+        let mut chosen: Option<usize> = None;
+        for j in 0..state.cfg.inodes {
+            if chosen.is_some() {
+                break;
+            }
+            let free = state.inodes[j].nlink.eq(&SymInt::from_i64(0));
+            let oracle = ctx.bool_var(&format!("{tag}.ino_oracle{j}"));
+            if path.branch(&free.and(&oracle)) {
+                chosen = Some(j);
+            }
+        }
+        match chosen {
+            Some(j) => {
+                state.dir[name].exists = SymBool::from_bool(true);
+                state.dir[name].ino = SymInt::from_i64(j as i64);
+                state.inodes[j].nlink = SymInt::from_i64(1);
+                state.inodes[j].len_pages = SymInt::from_i64(0);
+                for p in 0..state.inodes[j].pages.len() {
+                    state.inodes[j].pages[p] = SymInt::from_i64(0);
+                }
+                alloc_lowest_fd(state, path, proc, &SymInt::from_i64(j as i64))
+            }
+            None => {
+                // Only genuine exhaustion survives: assert no inode is free.
+                for j in 0..state.cfg.inodes {
+                    let used = state.inodes[j].nlink.gt(&SymInt::from_i64(0));
+                    path.assume(&used);
+                }
+                SymRet::err(errno::ENOSPC)
+            }
+        }
+    }
+}
+
+fn link(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let old = call.slots.names[0];
+    let new = call.slots.names[1];
+    if !path.branch(&state.dir[old].exists.clone()) {
+        return SymRet::err(errno::ENOENT);
+    }
+    if old != new && path.branch(&state.dir[new].exists.clone()) {
+        return SymRet::err(errno::EEXIST);
+    }
+    if old == new {
+        return SymRet::err(errno::EEXIST);
+    }
+    let ino = state.dir[old].ino.clone();
+    state.dir[new].exists = SymBool::from_bool(true);
+    state.dir[new].ino = ino.clone();
+    let one = SymInt::from_i64(1);
+    state.inode_update(&ino, |inode, guard| {
+        inode.nlink = SymInt::ite(guard, &inode.nlink.add(&one), &inode.nlink);
+    });
+    SymRet::ok(0)
+}
+
+fn unlink(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let name = call.slots.names[0];
+    if !path.branch(&state.dir[name].exists.clone()) {
+        return SymRet::err(errno::ENOENT);
+    }
+    let ino = state.dir[name].ino.clone();
+    state.dir[name].exists = SymBool::from_bool(false);
+    let one = SymInt::from_i64(1);
+    state.inode_update(&ino, |inode, guard| {
+        inode.nlink = SymInt::ite(guard, &inode.nlink.sub(&one), &inode.nlink);
+    });
+    SymRet::ok(0)
+}
+
+fn rename(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let src = call.slots.names[0];
+    let dst = call.slots.names[1];
+    if !path.branch(&state.dir[src].exists.clone()) {
+        return SymRet::err(errno::ENOENT);
+    }
+    if src == dst {
+        return SymRet::ok(0);
+    }
+    let src_ino = state.dir[src].ino.clone();
+    let one = SymInt::from_i64(1);
+    if path.branch(&state.dir[dst].exists.clone()) {
+        // The displaced destination loses a link.
+        let dst_ino = state.dir[dst].ino.clone();
+        state.inode_update(&dst_ino, |inode, guard| {
+            inode.nlink = SymInt::ite(guard, &inode.nlink.sub(&one), &inode.nlink);
+        });
+    }
+    state.dir[dst].exists = SymBool::from_bool(true);
+    state.dir[dst].ino = src_ino;
+    state.dir[src].exists = SymBool::from_bool(false);
+    SymRet::ok(0)
+}
+
+fn stat(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let name = call.slots.names[0];
+    if !path.branch(&state.dir[name].exists.clone()) {
+        return SymRet::err(errno::ENOENT);
+    }
+    let ino = state.dir[name].ino.clone();
+    let nlink = state.inode_read(&ino, |inode| inode.nlink.clone());
+    let len = state.inode_read(&ino, |inode| inode.len_pages.clone());
+    SymRet::with_values(SymInt::from_i64(0), vec![ino, nlink, len])
+}
+
+// --- descriptor operations ---------------------------------------------------
+
+fn fstat(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let fd = call.slots.fds[0];
+    let slot = state.procs[proc].fds[fd].clone();
+    if !path.branch(&slot.open) {
+        return SymRet::err(errno::EBADF);
+    }
+    if path.branch(&slot.is_pipe) {
+        return SymRet::with_values(SymInt::from_i64(0), vec![SymInt::from_i64(-1)]);
+    }
+    let nlink = state.inode_read(&slot.ino, |inode| inode.nlink.clone());
+    let len = state.inode_read(&slot.ino, |inode| inode.len_pages.clone());
+    SymRet::with_values(SymInt::from_i64(0), vec![slot.ino.clone(), nlink, len])
+}
+
+fn lseek(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let fd = call.slots.fds[0];
+    let whence_end = call.bools[0].clone();
+    let offset = call.ints[0].clone();
+    let slot = state.procs[proc].fds[fd].clone();
+    if !path.branch(&slot.open) {
+        return SymRet::err(errno::EBADF);
+    }
+    if path.branch(&slot.is_pipe) {
+        return SymRet::err(errno::ESPIPE);
+    }
+    let len = state.inode_read(&slot.ino, |inode| inode.len_pages.clone());
+    let target = SymInt::ite(&whence_end, &len.add(&offset), &offset);
+    if path.branch(&target.lt(&SymInt::from_i64(0))) {
+        return SymRet::err(errno::EINVAL);
+    }
+    state.procs[proc].fds[fd].off = target.clone();
+    SymRet::with_values(target, vec![])
+}
+
+fn close(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let fd = call.slots.fds[0];
+    let slot = state.procs[proc].fds[fd].clone();
+    if !path.branch(&slot.open) {
+        return SymRet::err(errno::EBADF);
+    }
+    state.procs[proc].fds[fd].open = SymBool::from_bool(false);
+    let one = SymInt::from_i64(1);
+    if path.branch(&slot.is_pipe) {
+        if path.branch(&slot.pipe_write_end) {
+            state.pipe.writers = state.pipe.writers.sub(&one);
+        } else {
+            state.pipe.readers = state.pipe.readers.sub(&one);
+        }
+    }
+    SymRet::ok(0)
+}
+
+fn pipe(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    // Allocate the read end then the write end, both lowest-FD.
+    let mut ends = Vec::new();
+    for write_end in [false, true] {
+        let mut chosen = None;
+        for k in 0..state.cfg.fds_per_proc {
+            if ends.contains(&k) {
+                continue;
+            }
+            let open = state.procs[proc].fds[k].open.clone();
+            if !path.branch(&open) {
+                chosen = Some(k);
+                break;
+            }
+        }
+        match chosen {
+            Some(k) => {
+                let fd = &mut state.procs[proc].fds[k];
+                fd.open = SymBool::from_bool(true);
+                fd.is_pipe = SymBool::from_bool(true);
+                fd.pipe_write_end = SymBool::from_bool(write_end);
+                fd.off = SymInt::from_i64(0);
+                ends.push(k);
+            }
+            None => return SymRet::err(errno::EMFILE),
+        }
+    }
+    let one = SymInt::from_i64(1);
+    state.pipe.readers = state.pipe.readers.add(&one);
+    state.pipe.writers = state.pipe.writers.add(&one);
+    SymRet::with_values(
+        SymInt::from_i64(0),
+        vec![
+            SymInt::from_i64(ends[0] as i64),
+            SymInt::from_i64(ends[1] as i64),
+        ],
+    )
+}
+
+fn read(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let fd = call.slots.fds[0];
+    let slot = state.procs[proc].fds[fd].clone();
+    if !path.branch(&slot.open) {
+        return SymRet::err(errno::EBADF);
+    }
+    let one = SymInt::from_i64(1);
+    if path.branch(&slot.is_pipe) {
+        if path.branch(&slot.pipe_write_end) {
+            return SymRet::err(errno::EBADF);
+        }
+        if path.branch(&state.pipe.nbytes.eq(&SymInt::from_i64(0))) {
+            if path.branch(&state.pipe.writers.gt(&SymInt::from_i64(0))) {
+                return SymRet::err(errno::EAGAIN);
+            }
+            return SymRet::with_values(SymInt::from_i64(0), vec![]);
+        }
+        let data = state.pipe.cursor.clone();
+        state.pipe.cursor = state.pipe.cursor.add(&one);
+        state.pipe.nbytes = state.pipe.nbytes.sub(&one);
+        return SymRet::with_values(SymInt::from_i64(1), vec![data]);
+    }
+    // Regular file: read one page at the current offset.
+    let len = state.inode_read(&slot.ino, |inode| inode.len_pages.clone());
+    if path.branch(&slot.off.ge(&len)) {
+        return SymRet::with_values(SymInt::from_i64(0), vec![]);
+    }
+    let data = state.page_read(&slot.ino, &slot.off);
+    state.procs[proc].fds[fd].off = slot.off.add(&one);
+    SymRet::with_values(SymInt::from_i64(1), vec![data])
+}
+
+fn write(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let fd = call.slots.fds[0];
+    let byte = call.ints[0].clone();
+    let slot = state.procs[proc].fds[fd].clone();
+    if !path.branch(&slot.open) {
+        return SymRet::err(errno::EBADF);
+    }
+    let one = SymInt::from_i64(1);
+    if path.branch(&slot.is_pipe) {
+        if !path.branch(&slot.pipe_write_end) {
+            return SymRet::err(errno::EBADF);
+        }
+        if path.branch(&state.pipe.readers.eq(&SymInt::from_i64(0))) {
+            return SymRet::err(errno::EPIPE);
+        }
+        state.pipe.nbytes = state.pipe.nbytes.add(&one);
+        return SymRet::with_values(SymInt::from_i64(1), vec![]);
+    }
+    // Regular file: write one page at the current offset, extending the
+    // length if needed.
+    let off = slot.off.clone();
+    state.page_write(&slot.ino, &off, &byte);
+    let new_end = off.add(&one);
+    state.inode_update(&slot.ino, |inode, guard| {
+        let extend = guard.and(&inode.len_pages.lt(&new_end));
+        inode.len_pages = SymInt::ite(&extend, &new_end, &inode.len_pages);
+    });
+    state.procs[proc].fds[fd].off = new_end;
+    SymRet::with_values(SymInt::from_i64(1), vec![])
+}
+
+fn pread(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let fd = call.slots.fds[0];
+    let page = call.ints[0].clone();
+    let slot = state.procs[proc].fds[fd].clone();
+    if !path.branch(&slot.open) {
+        return SymRet::err(errno::EBADF);
+    }
+    if path.branch(&slot.is_pipe) {
+        return SymRet::err(errno::ESPIPE);
+    }
+    let len = state.inode_read(&slot.ino, |inode| inode.len_pages.clone());
+    if path.branch(&page.ge(&len)) {
+        return SymRet::with_values(SymInt::from_i64(0), vec![]);
+    }
+    let data = state.page_read(&slot.ino, &page);
+    SymRet::with_values(SymInt::from_i64(1), vec![data])
+}
+
+fn pwrite(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let fd = call.slots.fds[0];
+    let page = call.ints[0].clone();
+    let byte = call.ints[1].clone();
+    let slot = state.procs[proc].fds[fd].clone();
+    if !path.branch(&slot.open) {
+        return SymRet::err(errno::EBADF);
+    }
+    if path.branch(&slot.is_pipe) {
+        return SymRet::err(errno::ESPIPE);
+    }
+    state.page_write(&slot.ino, &page, &byte);
+    let new_end = page.add(&SymInt::from_i64(1));
+    state.inode_update(&slot.ino, |inode, guard| {
+        let extend = guard.and(&inode.len_pages.lt(&new_end));
+        inode.len_pages = SymInt::ite(&extend, &new_end, &inode.len_pages);
+    });
+    SymRet::with_values(SymInt::from_i64(1), vec![])
+}
+
+// --- virtual memory ------------------------------------------------------------
+
+fn mmap(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let page = call.slots.vm_pages[0];
+    let fd = call.slots.fds[0];
+    let anon = call.bools[0].clone();
+    let writable = call.bools[1].clone();
+    let (ino, file_backed) = if path.branch(&anon) {
+        (SymInt::from_i64(0), false)
+    } else {
+        let slot = state.procs[proc].fds[fd].clone();
+        if !path.branch(&slot.open) {
+            return SymRet::err(errno::EBADF);
+        }
+        if path.branch(&slot.is_pipe) {
+            return SymRet::err(errno::EBADF);
+        }
+        (slot.ino, true)
+    };
+    let vm = &mut state.procs[proc].vm[page];
+    vm.mapped = SymBool::from_bool(true);
+    vm.writable = writable;
+    vm.anon = SymBool::from_bool(!file_backed);
+    vm.ino = ino;
+    vm.file_page = SymInt::from_i64(0);
+    vm.value = SymInt::from_i64(0);
+    SymRet::with_values(SymInt::from_i64(page as i64), vec![])
+}
+
+fn munmap(call: &SymCall, state: &mut SymState, _path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let page = call.slots.vm_pages[0];
+    state.procs[proc].vm[page].mapped = SymBool::from_bool(false);
+    SymRet::ok(0)
+}
+
+fn mprotect(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let page = call.slots.vm_pages[0];
+    let writable = call.bools[0].clone();
+    if !path.branch(&state.procs[proc].vm[page].mapped.clone()) {
+        return SymRet::err(errno::ENOMEM);
+    }
+    state.procs[proc].vm[page].writable = writable;
+    SymRet::ok(0)
+}
+
+fn memread(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let page = call.slots.vm_pages[0];
+    let vm = state.procs[proc].vm[page].clone();
+    if !path.branch(&vm.mapped) {
+        return SymRet::err(errno::EFAULT);
+    }
+    let value = if path.branch(&vm.anon) {
+        vm.value.clone()
+    } else {
+        state.page_read(&vm.ino, &vm.file_page)
+    };
+    SymRet::with_values(SymInt::from_i64(0), vec![value])
+}
+
+fn memwrite(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let proc = call.slots.proc;
+    let page = call.slots.vm_pages[0];
+    let byte = call.ints[0].clone();
+    let vm = state.procs[proc].vm[page].clone();
+    if !path.branch(&vm.mapped) {
+        return SymRet::err(errno::EFAULT);
+    }
+    if !path.branch(&vm.writable) {
+        return SymRet::err(errno::EFAULT);
+    }
+    if path.branch(&vm.anon) {
+        state.procs[proc].vm[page].value = byte;
+    } else {
+        state.page_write(&vm.ino, &vm.file_page, &byte);
+    }
+    SymRet::ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ModelConfig;
+    use scr_symbolic::{explore, solve, Domains, Expr};
+
+    fn small_cfg() -> ModelConfig {
+        ModelConfig {
+            names: 2,
+            inodes: 2,
+            procs: 1,
+            fds_per_proc: 2,
+            file_pages: 2,
+            vm_pages: 2,
+        }
+    }
+
+    /// Explores one call from an unconstrained state and returns the number
+    /// of feasible paths (path condition ∧ assumptions satisfiable).
+    fn feasible_paths(kind: CallKind, slots: ArgSlots) -> usize {
+        let cfg = small_cfg();
+        let domains = Domains::new(vec![0, 1, 2, 3, 4]);
+        let results = explore(|path| {
+            let ctx = SymContext::new();
+            let (mut state, assumptions) = SymState::unconstrained(&ctx, cfg);
+            for a in &assumptions {
+                path.assume(a);
+            }
+            let call = SymCall::build(kind, slots.clone(), &ctx, "t");
+            for a in call.argument_assumptions(cfg.file_pages) {
+                path.assume(&a);
+            }
+            execute(&call, &mut state, path, &ctx, "t")
+        });
+        results
+            .iter()
+            .filter(|r| solve(&[Expr::and(&r.condition)], &domains).is_some())
+            .count()
+    }
+
+    #[test]
+    fn stat_has_exists_and_enoent_paths() {
+        let paths = feasible_paths(
+            CallKind::Stat,
+            ArgSlots {
+                proc: 0,
+                names: vec![0],
+                ..Default::default()
+            },
+        );
+        assert_eq!(paths, 2);
+    }
+
+    #[test]
+    fn open_explores_create_and_error_paths() {
+        let paths = feasible_paths(
+            CallKind::Open,
+            ArgSlots {
+                proc: 0,
+                names: vec![0],
+                ..Default::default()
+            },
+        );
+        // At minimum: EEXIST, plain open (two fd slots), ENOENT, create
+        // paths; all must be feasible.
+        assert!(paths >= 5, "open produced only {paths} feasible paths");
+    }
+
+    #[test]
+    fn rename_same_slot_is_identity() {
+        let cfg = small_cfg();
+        let results = explore(|path| {
+            let ctx = SymContext::new();
+            let (mut state, assumptions) = SymState::unconstrained(&ctx, cfg);
+            for a in &assumptions {
+                path.assume(a);
+            }
+            let call = SymCall::build(
+                CallKind::Rename,
+                ArgSlots {
+                    proc: 0,
+                    names: vec![1, 1],
+                    ..Default::default()
+                },
+                &ctx,
+                "t",
+            );
+            let before = state.clone();
+            let ret = execute(&call, &mut state, path, &ctx, "t");
+            (ret, before.equivalent(&state))
+        });
+        // On the success path (the name exists) the state must be unchanged.
+        for r in &results {
+            let (ret, equiv) = &r.value;
+            if ret.code.as_const() == Some(0) {
+                assert_eq!(equiv.as_const(), Some(true));
+            }
+        }
+    }
+
+    #[test]
+    fn unlink_then_stat_reports_enoent_on_the_same_path() {
+        let cfg = small_cfg();
+        let domains = Domains::new(vec![0, 1, 2, 3, 4]);
+        let results = explore(|path| {
+            let ctx = SymContext::new();
+            let (mut state, assumptions) = SymState::unconstrained(&ctx, cfg);
+            for a in &assumptions {
+                path.assume(a);
+            }
+            let unlink_call = SymCall::build(
+                CallKind::Unlink,
+                ArgSlots {
+                    proc: 0,
+                    names: vec![0],
+                    ..Default::default()
+                },
+                &ctx,
+                "u",
+            );
+            let stat_call = SymCall::build(
+                CallKind::Stat,
+                ArgSlots {
+                    proc: 0,
+                    names: vec![0],
+                    ..Default::default()
+                },
+                &ctx,
+                "s",
+            );
+            let r1 = execute(&unlink_call, &mut state, path, &ctx, "u");
+            let r2 = execute(&stat_call, &mut state, path, &ctx, "s");
+            (r1, r2)
+        });
+        // On every feasible path where unlink succeeded, the subsequent stat
+        // must have returned ENOENT.
+        let mut checked = 0;
+        for r in &results {
+            let (unlink_ret, stat_ret) = &r.value;
+            if unlink_ret.code.as_const() == Some(0)
+                && solve(&[Expr::and(&r.condition)], &domains).is_some()
+            {
+                assert_eq!(stat_ret.code.as_const(), Some(errno::ENOENT));
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "at least one successful unlink path expected");
+    }
+
+    #[test]
+    fn write_extends_file_length() {
+        let cfg = small_cfg();
+        let domains = Domains::new(vec![0, 1, 2, 3, 4]);
+        let results = explore(|path| {
+            let ctx = SymContext::new();
+            let (mut state, assumptions) = SymState::unconstrained(&ctx, cfg);
+            for a in &assumptions {
+                path.assume(a);
+            }
+            let call = SymCall::build(
+                CallKind::Write,
+                ArgSlots {
+                    proc: 0,
+                    fds: vec![0],
+                    ..Default::default()
+                },
+                &ctx,
+                "w",
+            );
+            for a in call.argument_assumptions(cfg.file_pages) {
+                path.assume(&a);
+            }
+            let was_pipe = state.procs[0].fds[0].is_pipe.clone();
+            let ret = execute(&call, &mut state, path, &ctx, "w");
+            // After a successful file write, the offset must be at or below
+            // the (possibly extended) length.
+            let fd = state.procs[0].fds[0].clone();
+            let len = state.inode_read(&fd.ino, |inode| inode.len_pages.clone());
+            let invariant = fd.off.le(&len);
+            (ret, invariant, was_pipe)
+        });
+        let mut file_writes = 0;
+        for r in &results {
+            let (ret, invariant, was_pipe) = &r.value;
+            if ret.code.as_const() != Some(1) {
+                continue;
+            }
+            // Restrict to paths where the descriptor is a regular file, and
+            // sample satisfying assignments of the path: the invariant must
+            // evaluate to true under every sampled state.
+            let file_path = vec![Expr::and(&r.condition), was_pipe.not().expr().clone()];
+            let samples = scr_symbolic::all_solutions(&file_path, &domains, 32);
+            if samples.is_empty() {
+                continue;
+            }
+            for sample in &samples {
+                assert!(
+                    scr_symbolic::eval_bool(invariant.expr(), sample),
+                    "offset must stay within the file length"
+                );
+            }
+            file_writes += 1;
+        }
+        assert!(file_writes > 0);
+    }
+
+    #[test]
+    fn every_call_kind_executes_without_panicking() {
+        for kind in ALL_CALLS {
+            let slots = ArgSlots {
+                proc: 0,
+                names: vec![0; kind.name_args()],
+                fds: vec![0; kind.fd_args().max(1)],
+                vm_pages: vec![0; kind.vm_args().max(1)],
+            };
+            let paths = feasible_paths(kind, slots);
+            assert!(paths >= 1, "{} produced no feasible paths", kind.name());
+        }
+    }
+
+    #[test]
+    fn call_metadata_is_consistent() {
+        assert_eq!(ALL_CALLS.len(), 18);
+        assert_eq!(CallKind::Rename.name_args(), 2);
+        assert_eq!(CallKind::Pwrite.fd_args(), 1);
+        assert_eq!(CallKind::Memwrite.vm_args(), 1);
+        let names: std::collections::BTreeSet<&str> =
+            ALL_CALLS.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 18, "call names must be unique");
+    }
+}

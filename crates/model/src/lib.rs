@@ -1,0 +1,33 @@
+//! # scr-model — the symbolic POSIX model (§6.1)
+//!
+//! COMMUTER takes as input a *model* of the interface under analysis: a
+//! simplified, executable specification written against symbolic values.
+//! The paper's model is ~600 lines of symbolic Python covering 18 system
+//! calls; this crate is the equivalent model written against
+//! `scr-symbolic`.
+//!
+//! Modelled state ([`state::SymState`]): a single directory (nested
+//! directories are disabled, as in the paper), a small pool of inodes with
+//! link counts, page-granular lengths and per-page contents, two processes
+//! with descriptor tables and page-granular address spaces, and one pipe.
+//! Sizes are configurable through [`state::ModelConfig`]; the defaults match
+//! what a *pair* of system calls can possibly distinguish, which is all the
+//! pairwise analysis needs.
+//!
+//! Modelled calls ([`calls::SymCall`]): `open`, `link`, `unlink`, `rename`,
+//! `stat`, `fstat`, `lseek`, `close`, `pipe`, `read`, `write`, `pread`,
+//! `pwrite`, `mmap`, `munmap`, `mprotect`, `memread`, `memwrite` — the same
+//! 18 calls as §6.1, with offsets and sizes restricted to page granularity.
+//!
+//! Names, descriptors and pages are referred to by *slot index*; which slots
+//! two operations share is part of the "shape" the analyzer enumerates
+//! (replacing Z3's reasoning over symbolic map keys — see DESIGN.md).
+//! Everything else (existence flags, link counts, offsets, file contents,
+//! open flags, protection bits, nondeterministic inode/descriptor choices)
+//! is symbolic.
+
+pub mod calls;
+pub mod state;
+
+pub use calls::{execute, CallKind, SymCall, SymRet, ALL_CALLS};
+pub use state::{ModelConfig, SymState};

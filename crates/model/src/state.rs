@@ -1,0 +1,513 @@
+//! The symbolic system state: directory, inodes, processes, pipe.
+
+use scr_symbolic::{SymBool, SymContext, SymInt};
+
+/// Sizes of the bounded symbolic state.
+///
+/// The defaults are sized for *pairwise* analysis: two operations can
+/// mention at most four distinct names, two descriptors per process, two
+/// pages, and so on. Larger sets of operations would need larger bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Number of file-name slots.
+    pub names: usize,
+    /// Number of inode slots.
+    pub inodes: usize,
+    /// Number of processes.
+    pub procs: usize,
+    /// Descriptor slots per process.
+    pub fds_per_proc: usize,
+    /// Pages per file (page-granular offsets range over `0..=file_pages`).
+    pub file_pages: usize,
+    /// Virtual-memory page slots per process.
+    pub vm_pages: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            names: 4,
+            inodes: 3,
+            procs: 2,
+            fds_per_proc: 2,
+            file_pages: 2,
+            vm_pages: 2,
+        }
+    }
+}
+
+/// One directory entry slot: does the name exist, and which inode does it
+/// map to.
+#[derive(Clone, Debug)]
+pub struct SymDirEnt {
+    /// Whether the name currently exists.
+    pub exists: SymBool,
+    /// Index of the inode the name maps to (meaningful only when `exists`).
+    pub ino: SymInt,
+}
+
+/// One inode slot.
+#[derive(Clone, Debug)]
+pub struct SymInode {
+    /// Hard-link count.
+    pub nlink: SymInt,
+    /// File length in pages.
+    pub len_pages: SymInt,
+    /// Per-page content fingerprints.
+    pub pages: Vec<SymInt>,
+}
+
+/// One open-descriptor slot.
+#[derive(Clone, Debug)]
+pub struct SymFd {
+    /// Whether the slot holds an open descriptor.
+    pub open: SymBool,
+    /// Whether the descriptor refers to the pipe (rather than a file).
+    pub is_pipe: SymBool,
+    /// For pipe descriptors: is this the write end?
+    pub pipe_write_end: SymBool,
+    /// For file descriptors: the inode index.
+    pub ino: SymInt,
+    /// Current offset in pages.
+    pub off: SymInt,
+}
+
+/// One virtual-memory page slot.
+#[derive(Clone, Debug)]
+pub struct SymVmPage {
+    /// Whether the page is mapped.
+    pub mapped: SymBool,
+    /// Whether the mapping is writable.
+    pub writable: SymBool,
+    /// Whether the mapping is anonymous (vs file-backed).
+    pub anon: SymBool,
+    /// For file mappings: the backing inode index.
+    pub ino: SymInt,
+    /// For file mappings: the backing file page.
+    pub file_page: SymInt,
+    /// For anonymous mappings: the page's content fingerprint.
+    pub value: SymInt,
+}
+
+/// One process: descriptor table and address space.
+#[derive(Clone, Debug)]
+pub struct SymProc {
+    /// Descriptor slots.
+    pub fds: Vec<SymFd>,
+    /// Virtual-memory page slots.
+    pub vm: Vec<SymVmPage>,
+}
+
+/// The (single) pipe.
+#[derive(Clone, Debug)]
+pub struct SymPipe {
+    /// Bytes currently buffered.
+    pub nbytes: SymInt,
+    /// Open read descriptors.
+    pub readers: SymInt,
+    /// Open write descriptors.
+    pub writers: SymInt,
+    /// Abstract read cursor (distinguishes which data a read returns).
+    pub cursor: SymInt,
+}
+
+/// The whole symbolic system state.
+#[derive(Clone, Debug)]
+pub struct SymState {
+    /// Bounds this state was built with.
+    pub cfg: ModelConfig,
+    /// Directory entries by name slot.
+    pub dir: Vec<SymDirEnt>,
+    /// Inode slots.
+    pub inodes: Vec<SymInode>,
+    /// Processes.
+    pub procs: Vec<SymProc>,
+    /// The pipe.
+    pub pipe: SymPipe,
+}
+
+impl SymState {
+    /// Builds a fully unconstrained symbolic state plus the well-formedness
+    /// assumptions that make it meaningful (index ranges, non-negative
+    /// counts, existing names referring to linked inodes).
+    pub fn unconstrained(ctx: &SymContext, cfg: ModelConfig) -> (Self, Vec<SymBool>) {
+        let mut assumptions = Vec::new();
+        let int_in = |v: &SymInt, lo: i64, hi: i64, assumptions: &mut Vec<SymBool>| {
+            assumptions.push(v.ge(&SymInt::from_i64(lo)));
+            assumptions.push(v.le(&SymInt::from_i64(hi)));
+        };
+
+        let dir: Vec<SymDirEnt> = (0..cfg.names)
+            .map(|n| {
+                let exists = ctx.bool_var(&format!("name{n}.exists"));
+                let ino = ctx.int_var(&format!("name{n}.ino"));
+                int_in(&ino, 0, cfg.inodes as i64 - 1, &mut assumptions);
+                SymDirEnt { exists, ino }
+            })
+            .collect();
+
+        let inodes: Vec<SymInode> = (0..cfg.inodes)
+            .map(|j| {
+                let nlink = ctx.int_var(&format!("inode{j}.nlink"));
+                int_in(&nlink, 0, 4, &mut assumptions);
+                let len_pages = ctx.int_var(&format!("inode{j}.len"));
+                int_in(&len_pages, 0, cfg.file_pages as i64, &mut assumptions);
+                let pages = (0..cfg.file_pages)
+                    .map(|p| {
+                        let v = ctx.int_var(&format!("inode{j}.page{p}"));
+                        int_in(&v, 0, 3, &mut assumptions);
+                        v
+                    })
+                    .collect();
+                SymInode {
+                    nlink,
+                    len_pages,
+                    pages,
+                }
+            })
+            .collect();
+
+        // An existing name must refer to an inode with at least one link.
+        for ent in &dir {
+            for (j, inode) in inodes.iter().enumerate() {
+                let refers = ent.exists.and(&ent.ino.eq(&SymInt::from_i64(j as i64)));
+                assumptions.push(refers.implies(&inode.nlink.ge(&SymInt::from_i64(1))));
+            }
+        }
+
+        let procs: Vec<SymProc> = (0..cfg.procs)
+            .map(|p| {
+                let fds = (0..cfg.fds_per_proc)
+                    .map(|k| {
+                        let open = ctx.bool_var(&format!("p{p}.fd{k}.open"));
+                        let is_pipe = ctx.bool_var(&format!("p{p}.fd{k}.is_pipe"));
+                        let pipe_write_end = ctx.bool_var(&format!("p{p}.fd{k}.is_write_end"));
+                        let ino = ctx.int_var(&format!("p{p}.fd{k}.ino"));
+                        int_in(&ino, 0, cfg.inodes as i64 - 1, &mut assumptions);
+                        let off = ctx.int_var(&format!("p{p}.fd{k}.off"));
+                        int_in(&off, 0, cfg.file_pages as i64, &mut assumptions);
+                        SymFd {
+                            open,
+                            is_pipe,
+                            pipe_write_end,
+                            ino,
+                            off,
+                        }
+                    })
+                    .collect();
+                let vm = (0..cfg.vm_pages)
+                    .map(|v| {
+                        let mapped = ctx.bool_var(&format!("p{p}.vm{v}.mapped"));
+                        let writable = ctx.bool_var(&format!("p{p}.vm{v}.writable"));
+                        let anon = ctx.bool_var(&format!("p{p}.vm{v}.anon"));
+                        let ino = ctx.int_var(&format!("p{p}.vm{v}.ino"));
+                        int_in(&ino, 0, cfg.inodes as i64 - 1, &mut assumptions);
+                        let file_page = ctx.int_var(&format!("p{p}.vm{v}.fpage"));
+                        int_in(&file_page, 0, cfg.file_pages as i64 - 1, &mut assumptions);
+                        let value = ctx.int_var(&format!("p{p}.vm{v}.value"));
+                        int_in(&value, 0, 3, &mut assumptions);
+                        SymVmPage {
+                            mapped,
+                            writable,
+                            anon,
+                            ino,
+                            file_page,
+                            value,
+                        }
+                    })
+                    .collect();
+                SymProc { fds, vm }
+            })
+            .collect();
+
+        // An open file descriptor (non-pipe) must refer to a linked inode,
+        // so descriptor operations see consistent metadata.
+        for proc_ in &procs {
+            for fd in &proc_.fds {
+                for (j, inode) in inodes.iter().enumerate() {
+                    let refers = fd
+                        .open
+                        .and(&fd.is_pipe.not())
+                        .and(&fd.ino.eq(&SymInt::from_i64(j as i64)));
+                    assumptions.push(refers.implies(&inode.nlink.ge(&SymInt::from_i64(1))));
+                }
+            }
+        }
+
+        let pipe = {
+            let nbytes = ctx.int_var("pipe.nbytes");
+            int_in(&nbytes, 0, 2, &mut assumptions);
+            let readers = ctx.int_var("pipe.readers");
+            int_in(&readers, 0, 2, &mut assumptions);
+            let writers = ctx.int_var("pipe.writers");
+            int_in(&writers, 0, 2, &mut assumptions);
+            let cursor = ctx.int_var("pipe.cursor");
+            int_in(&cursor, 0, 3, &mut assumptions);
+            SymPipe {
+                nbytes,
+                readers,
+                writers,
+                cursor,
+            }
+        };
+
+        (
+            SymState {
+                cfg,
+                dir,
+                inodes,
+                procs,
+                pipe,
+            },
+            assumptions,
+        )
+    }
+
+    // --- symbolic-indexed access helpers ---------------------------------
+
+    /// Reads a field of the inode selected by the symbolic index `ino`.
+    pub fn inode_read(&self, ino: &SymInt, field: impl Fn(&SymInode) -> SymInt) -> SymInt {
+        let last = self.inodes.len() - 1;
+        let mut acc = field(&self.inodes[last]);
+        for j in (0..last).rev() {
+            acc = SymInt::ite(
+                &ino.eq(&SymInt::from_i64(j as i64)),
+                &field(&self.inodes[j]),
+                &acc,
+            );
+        }
+        acc
+    }
+
+    /// Updates every inode slot under the guard "this slot is the one `ino`
+    /// selects". `update` receives the slot and the guard and must combine
+    /// them (typically via `SymInt::ite`).
+    pub fn inode_update(&mut self, ino: &SymInt, update: impl Fn(&mut SymInode, &SymBool)) {
+        for j in 0..self.inodes.len() {
+            let guard = ino.eq(&SymInt::from_i64(j as i64));
+            update(&mut self.inodes[j], &guard);
+        }
+    }
+
+    /// Reads the page `page` of the inode selected by `ino`.
+    pub fn page_read(&self, ino: &SymInt, page: &SymInt) -> SymInt {
+        self.inode_read(ino, |inode| {
+            let last = inode.pages.len() - 1;
+            let mut acc = inode.pages[last].clone();
+            for p in (0..last).rev() {
+                acc = SymInt::ite(
+                    &page.eq(&SymInt::from_i64(p as i64)),
+                    &inode.pages[p],
+                    &acc,
+                );
+            }
+            acc
+        })
+    }
+
+    /// Writes the page `page` of the inode selected by `ino` with `value`.
+    pub fn page_write(&mut self, ino: &SymInt, page: &SymInt, value: &SymInt) {
+        let ino = ino.clone();
+        let page = page.clone();
+        let value = value.clone();
+        self.inode_update(&ino, |inode, guard| {
+            for p in 0..inode.pages.len() {
+                let page_guard = guard.and(&page.eq(&SymInt::from_i64(p as i64)));
+                inode.pages[p] = SymInt::ite(&page_guard, &value, &inode.pages[p]);
+            }
+        });
+    }
+
+    // --- external equivalence ---------------------------------------------
+
+    /// Is inode slot `j` reachable through the interface in this state?
+    fn inode_referenced(&self, j: usize) -> SymBool {
+        let j_int = SymInt::from_i64(j as i64);
+        let mut refs = SymBool::from_bool(false);
+        for ent in &self.dir {
+            refs = refs.or(&ent.exists.and(&ent.ino.eq(&j_int)));
+        }
+        for proc_ in &self.procs {
+            for fd in &proc_.fds {
+                refs = refs.or(&fd.open.and(&fd.is_pipe.not()).and(&fd.ino.eq(&j_int)));
+            }
+            for vm in &proc_.vm {
+                refs = refs.or(&vm.mapped.and(&vm.anon.not()).and(&vm.ino.eq(&j_int)));
+            }
+        }
+        refs
+    }
+
+    /// External indistinguishability of two states (the state-equivalence
+    /// function of §5.1): every observable component must agree; components
+    /// that are unreachable (e.g. fields of an inode no name or descriptor
+    /// refers to, the target inode of a non-existent name) are ignored.
+    pub fn equivalent(&self, other: &SymState) -> SymBool {
+        assert_eq!(self.cfg, other.cfg, "states must share a configuration");
+        let mut parts: Vec<SymBool> = Vec::new();
+
+        for (a, b) in self.dir.iter().zip(&other.dir) {
+            parts.push(a.exists.iff(&b.exists));
+            parts.push(a.exists.implies(&a.ino.eq(&b.ino)));
+        }
+
+        for j in 0..self.inodes.len() {
+            let relevant = self.inode_referenced(j).or(&other.inode_referenced(j));
+            let a = &self.inodes[j];
+            let b = &other.inodes[j];
+            let mut same = a.nlink.eq(&b.nlink).and(&a.len_pages.eq(&b.len_pages));
+            for (pa, pb) in a.pages.iter().zip(&b.pages) {
+                same = same.and(&pa.eq(pb));
+            }
+            parts.push(relevant.implies(&same));
+        }
+
+        for (pa, pb) in self.procs.iter().zip(&other.procs) {
+            for (a, b) in pa.fds.iter().zip(&pb.fds) {
+                parts.push(a.open.iff(&b.open));
+                let same_target = a
+                    .is_pipe
+                    .iff(&b.is_pipe)
+                    .and(&a.is_pipe.ite(
+                        &a.pipe_write_end.iff(&b.pipe_write_end),
+                        &a.ino.eq(&b.ino).and(&a.off.eq(&b.off)),
+                    ));
+                parts.push(a.open.implies(&same_target));
+            }
+            for (a, b) in pa.vm.iter().zip(&pb.vm) {
+                parts.push(a.mapped.iff(&b.mapped));
+                let same_mapping = a
+                    .writable
+                    .iff(&b.writable)
+                    .and(&a.anon.iff(&b.anon))
+                    .and(&a.anon.ite(
+                        &a.value.eq(&b.value),
+                        &a.ino.eq(&b.ino).and(&a.file_page.eq(&b.file_page)),
+                    ));
+                parts.push(a.mapped.implies(&same_mapping));
+            }
+        }
+
+        let p = &self.pipe;
+        let q = &other.pipe;
+        parts.push(p.nbytes.eq(&q.nbytes));
+        parts.push(p.readers.eq(&q.readers));
+        parts.push(p.writers.eq(&q.writers));
+        parts.push(p.cursor.eq(&q.cursor));
+
+        let mut acc = SymBool::from_bool(true);
+        for part in parts {
+            acc = acc.and(&part);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scr_symbolic::{all_solutions, solve, Domains};
+
+    #[test]
+    fn unconstrained_state_has_satisfiable_assumptions() {
+        let ctx = SymContext::new();
+        let (_state, assumptions) = SymState::unconstrained(&ctx, ModelConfig::default());
+        let constraints: Vec<_> = assumptions.iter().map(|a| a.expr().clone()).collect();
+        assert!(
+            solve(&constraints, &Domains::new(vec![0, 1, 2, 3, 4])).is_some(),
+            "the initial-state assumptions must be satisfiable"
+        );
+    }
+
+    #[test]
+    fn state_is_equivalent_to_itself() {
+        let ctx = SymContext::new();
+        let (state, _) = SymState::unconstrained(&ctx, ModelConfig::default());
+        let eq = state.equivalent(&state.clone());
+        assert_eq!(eq.as_const(), Some(true));
+    }
+
+    #[test]
+    fn clone_then_modify_is_distinguishable() {
+        let ctx = SymContext::new();
+        let (state, assumptions) = SymState::unconstrained(&ctx, ModelConfig::default());
+        let mut modified = state.clone();
+        // Flip the existence of name 0.
+        modified.dir[0].exists = state.dir[0].exists.not();
+        let eq = state.equivalent(&modified);
+        // eq && assumptions must be unsatisfiable: a name cannot both exist
+        // and not exist.
+        let mut constraints: Vec<_> = assumptions.iter().map(|a| a.expr().clone()).collect();
+        constraints.push(eq.expr().clone());
+        assert!(solve(&constraints, &Domains::new(vec![0, 1, 2, 3, 4])).is_none());
+    }
+
+    #[test]
+    fn unreferenced_inode_contents_do_not_matter() {
+        let ctx = SymContext::new();
+        let cfg = ModelConfig::default();
+        let (state, assumptions) = SymState::unconstrained(&ctx, cfg);
+        let mut modified = state.clone();
+        // Change the contents of inode 2's first page.
+        modified.inodes[2].pages[0] = ctx.int_var("scribble");
+        let eq = state.equivalent(&modified);
+        // There must exist a state in which inode 2 is unreachable and the
+        // two states are still considered equivalent.
+        let mut constraints: Vec<_> = assumptions.iter().map(|a| a.expr().clone()).collect();
+        constraints.push(eq.expr().clone());
+        assert!(
+            solve(&constraints, &Domains::new(vec![0, 1, 2, 3, 4])).is_some(),
+            "equivalence must tolerate differences in unreachable inodes"
+        );
+    }
+
+    #[test]
+    fn symbolic_indexed_read_selects_the_right_slot() {
+        let ctx = SymContext::new();
+        let cfg = ModelConfig::default();
+        let (state, _) = SymState::unconstrained(&ctx, cfg);
+        let idx = ctx.int_var("which");
+        let read = state.inode_read(&idx, |inode| inode.nlink.clone());
+        // Solve for: which == 1 && read == inode1.nlink is a tautology, so
+        // check the contrapositive: which == 1 && read != inode1.nlink is
+        // unsatisfiable.
+        let neq = read.ne(&state.inodes[1].nlink);
+        let constraints = vec![idx.eq(&SymInt::from_i64(1)).expr().clone(), neq.expr().clone()];
+        assert!(solve(&constraints, &Domains::new(vec![0, 1, 2, 3])).is_none());
+    }
+
+    #[test]
+    fn symbolic_indexed_write_updates_only_the_selected_slot() {
+        let ctx = SymContext::new();
+        let cfg = ModelConfig::default();
+        let (mut state, _) = SymState::unconstrained(&ctx, cfg);
+        let before = state.inodes[0].pages[0].clone();
+        let idx = SymInt::from_i64(1);
+        let page = SymInt::from_i64(0);
+        let value = SymInt::from_i64(3);
+        state.page_write(&idx, &page, &value);
+        // Slot 0 is untouched (syntactically identical expression).
+        assert_eq!(state.inodes[0].pages[0], before);
+        // Slot 1, page 0 now reads 3 under any assignment.
+        let read = state.page_read(&idx, &page);
+        let constraints = vec![read.ne(&value).expr().clone()];
+        assert!(solve(&constraints, &Domains::new(vec![0, 1, 2, 3])).is_none());
+    }
+
+    #[test]
+    fn assumption_count_is_bounded() {
+        let ctx = SymContext::new();
+        let (_state, assumptions) = SymState::unconstrained(&ctx, ModelConfig::default());
+        // A sanity bound so the solver stays fast: the default configuration
+        // should stay well under a thousand assumptions.
+        assert!(assumptions.len() < 400, "got {}", assumptions.len());
+        // And enumeration over a tiny domain terminates.
+        let constraints: Vec<_> = assumptions
+            .iter()
+            .take(10)
+            .map(|a| a.expr().clone())
+            .collect();
+        let sols = all_solutions(&constraints, &Domains::new(vec![0, 1]), 5);
+        assert!(!sols.is_empty());
+    }
+}

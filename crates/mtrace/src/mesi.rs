@@ -1,0 +1,298 @@
+//! A MESI cache-coherence accounting model.
+//!
+//! §1 of the paper grounds the conflict-freedom-as-scalability argument in
+//! the behaviour of MESI-like coherence protocols: a core can scalably read
+//! and write lines it holds exclusively and scalably read lines held shared,
+//! but writing a line last touched by another core requires an ownership
+//! transfer that the protocol serialises.
+//!
+//! [`MesiSimulator`] replays an access log (as recorded by
+//! [`SimMachine`](crate::machine::SimMachine)) through per-line, per-core
+//! MESI state and counts, for every access, whether it hit in the local
+//! cache or required cross-core coherence traffic. The resulting
+//! [`CoherenceStats`] feed the throughput model in [`crate::scaling`].
+
+use crate::machine::{CoreId, LineId};
+use crate::trace::{Access, AccessKind};
+use std::collections::BTreeMap;
+
+/// MESI state of one line in one core's cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LineState {
+    Modified,
+    Exclusive,
+    Shared,
+    Invalid,
+}
+
+/// Counters describing the coherence traffic caused by replaying an access
+/// log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Accesses that hit in the local cache with sufficient permission.
+    pub local_hits: u64,
+    /// Reads that missed locally and were served from memory (no other core
+    /// held the line).
+    pub cold_misses: u64,
+    /// Reads that had to fetch the line from another core's cache (the line
+    /// was Modified remotely).
+    pub remote_read_transfers: u64,
+    /// Writes that had to invalidate or fetch the line from other cores.
+    pub remote_write_transfers: u64,
+    /// Total accesses replayed.
+    pub total_accesses: u64,
+}
+
+impl CoherenceStats {
+    /// Total cross-core transfers (read + write).
+    pub fn remote_transfers(&self) -> u64 {
+        self.remote_read_transfers + self.remote_write_transfers
+    }
+
+    /// Fraction of accesses that caused cross-core traffic.
+    pub fn remote_fraction(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.remote_transfers() as f64 / self.total_accesses as f64
+        }
+    }
+}
+
+/// Per-access classification produced by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Served from the local cache.
+    LocalHit,
+    /// Served from memory without disturbing other cores.
+    ColdMiss,
+    /// Required a transfer from / invalidation of another core's copy.
+    RemoteTransfer,
+}
+
+/// A MESI coherence simulator over the simulated machine's cache lines.
+#[derive(Clone, Debug, Default)]
+pub struct MesiSimulator {
+    // (line, core) -> state; lines absent are Invalid everywhere.
+    states: BTreeMap<(LineId, CoreId), LineState>,
+    stats: CoherenceStats,
+}
+
+impl MesiSimulator {
+    /// A simulator with all caches empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &CoherenceStats {
+        &self.stats
+    }
+
+    fn state_of(&self, line: LineId, core: CoreId) -> LineState {
+        *self
+            .states
+            .get(&(line, core))
+            .unwrap_or(&LineState::Invalid)
+    }
+
+    fn set_state(&mut self, line: LineId, core: CoreId, state: LineState) {
+        if state == LineState::Invalid {
+            self.states.remove(&(line, core));
+        } else {
+            self.states.insert((line, core), state);
+        }
+    }
+
+    /// Cores other than `core` that currently hold `line` in any valid state.
+    fn other_holders(&self, line: LineId, core: CoreId) -> Vec<(CoreId, LineState)> {
+        self.states
+            .iter()
+            .filter(|((l, c), _)| *l == line && *c != core)
+            .map(|((_, c), s)| (*c, *s))
+            .collect()
+    }
+
+    /// Replays one access and classifies it.
+    pub fn step(&mut self, access: &Access) -> AccessClass {
+        self.stats.total_accesses += 1;
+        let line = access.line;
+        let core = access.core;
+        let local = self.state_of(line, core);
+        match access.kind {
+            AccessKind::Read => match local {
+                LineState::Modified | LineState::Exclusive | LineState::Shared => {
+                    self.stats.local_hits += 1;
+                    AccessClass::LocalHit
+                }
+                LineState::Invalid => {
+                    let others = self.other_holders(line, core);
+                    if others.is_empty() {
+                        // Cold fill: exclusive.
+                        self.set_state(line, core, LineState::Exclusive);
+                        self.stats.cold_misses += 1;
+                        AccessClass::ColdMiss
+                    } else {
+                        // Someone else holds it. If Modified, it must be
+                        // written back / forwarded — a remote transfer. If
+                        // only Shared/Exclusive, the fill can come from
+                        // memory or a silent downgrade; we count it as a
+                        // remote transfer only when a Modified copy exists,
+                        // otherwise as a cold miss (shared reads scale).
+                        let had_modified = others
+                            .iter()
+                            .any(|(_, s)| *s == LineState::Modified);
+                        for (other, s) in others {
+                            if s != LineState::Shared {
+                                self.set_state(line, other, LineState::Shared);
+                            }
+                        }
+                        self.set_state(line, core, LineState::Shared);
+                        if had_modified {
+                            self.stats.remote_read_transfers += 1;
+                            AccessClass::RemoteTransfer
+                        } else {
+                            self.stats.cold_misses += 1;
+                            AccessClass::ColdMiss
+                        }
+                    }
+                }
+            },
+            AccessKind::Write => match local {
+                LineState::Modified => {
+                    self.stats.local_hits += 1;
+                    AccessClass::LocalHit
+                }
+                LineState::Exclusive => {
+                    // Silent upgrade.
+                    self.set_state(line, core, LineState::Modified);
+                    self.stats.local_hits += 1;
+                    AccessClass::LocalHit
+                }
+                LineState::Shared | LineState::Invalid => {
+                    let others = self.other_holders(line, core);
+                    let disturbed = !others.is_empty();
+                    for (other, _) in others {
+                        self.set_state(line, other, LineState::Invalid);
+                    }
+                    self.set_state(line, core, LineState::Modified);
+                    if disturbed {
+                        self.stats.remote_write_transfers += 1;
+                        AccessClass::RemoteTransfer
+                    } else {
+                        self.stats.cold_misses += 1;
+                        AccessClass::ColdMiss
+                    }
+                }
+            },
+        }
+    }
+
+    /// Replays a whole log, returning the accumulated statistics.
+    pub fn replay(&mut self, accesses: &[Access]) -> CoherenceStats {
+        for access in accesses {
+            self.step(access);
+        }
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(core: usize, line: u64, kind: AccessKind) -> Access {
+        Access {
+            seq: 0,
+            core,
+            line: LineId(line),
+            kind,
+        }
+    }
+
+    #[test]
+    fn repeated_local_writes_hit_after_first() {
+        let mut sim = MesiSimulator::new();
+        let log = vec![
+            acc(0, 1, AccessKind::Write),
+            acc(0, 1, AccessKind::Write),
+            acc(0, 1, AccessKind::Read),
+        ];
+        let stats = sim.replay(&log);
+        assert_eq!(stats.cold_misses, 1);
+        assert_eq!(stats.local_hits, 2);
+        assert_eq!(stats.remote_transfers(), 0);
+    }
+
+    #[test]
+    fn shared_reads_scale_without_transfers() {
+        let mut sim = MesiSimulator::new();
+        let log: Vec<Access> = (0..8).map(|core| acc(core, 1, AccessKind::Read)).collect();
+        let stats = sim.replay(&log);
+        assert_eq!(stats.remote_transfers(), 0);
+        assert_eq!(stats.cold_misses, 8);
+    }
+
+    #[test]
+    fn ping_pong_writes_transfer_every_time() {
+        let mut sim = MesiSimulator::new();
+        let mut log = vec![acc(0, 1, AccessKind::Write)];
+        for i in 1..10 {
+            log.push(acc(i % 2, 1, AccessKind::Write));
+        }
+        let stats = sim.replay(&log);
+        // The first write is a cold miss; every subsequent write finds the
+        // line modified on the other core.
+        assert_eq!(stats.cold_misses, 1);
+        assert_eq!(stats.remote_write_transfers, 9);
+    }
+
+    #[test]
+    fn read_of_remotely_modified_line_is_a_transfer() {
+        let mut sim = MesiSimulator::new();
+        let log = vec![acc(0, 1, AccessKind::Write), acc(1, 1, AccessKind::Read)];
+        let stats = sim.replay(&log);
+        assert_eq!(stats.remote_read_transfers, 1);
+    }
+
+    #[test]
+    fn write_after_shared_readers_invalidates() {
+        let mut sim = MesiSimulator::new();
+        let log = vec![
+            acc(0, 1, AccessKind::Read),
+            acc(1, 1, AccessKind::Read),
+            acc(2, 1, AccessKind::Write),
+            // Core 0 must re-fetch after the invalidation.
+            acc(0, 1, AccessKind::Read),
+        ];
+        let stats = sim.replay(&log);
+        assert_eq!(stats.remote_write_transfers, 1);
+        assert_eq!(stats.remote_read_transfers, 1);
+    }
+
+    #[test]
+    fn disjoint_lines_never_transfer() {
+        let mut sim = MesiSimulator::new();
+        let log: Vec<Access> = (0..16)
+            .flat_map(|core| {
+                vec![
+                    acc(core, core as u64, AccessKind::Write),
+                    acc(core, core as u64, AccessKind::Read),
+                ]
+            })
+            .collect();
+        let stats = sim.replay(&log);
+        assert_eq!(stats.remote_transfers(), 0);
+        assert!(stats.remote_fraction() < 1e-9);
+    }
+
+    #[test]
+    fn exclusive_upgrade_is_silent() {
+        let mut sim = MesiSimulator::new();
+        let log = vec![acc(0, 1, AccessKind::Read), acc(0, 1, AccessKind::Write)];
+        let stats = sim.replay(&log);
+        assert_eq!(stats.cold_misses, 1);
+        assert_eq!(stats.local_hits, 1);
+        assert_eq!(stats.remote_transfers(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # scr-scalable — building blocks for conflict-free implementations
+//!
+//! §6.3 of the paper lists the techniques ScaleFS and RadixVM use to make
+//! commutative operations conflict-free: per-core resource allocation,
+//! Refcache scalable reference counts, radix arrays, hash tables with
+//! per-bucket locks, seqlocks, deferred (batched) resource reclamation, and
+//! optimistic check-then-update protocols.
+//!
+//! This crate implements those building blocks twice:
+//!
+//! * **Traced variants** (the default, in the top-level modules) are built
+//!   on [`scr_mtrace::TracedCell`], so every read and write they perform is
+//!   visible to the conflict detector and the MESI model. These are the
+//!   versions the sv6-style kernel (`scr-kernel`) is assembled from.
+//! * **Host variants** (in [`real`]) use actual atomics
+//!   (`crossbeam_utils::CachePadded`, `parking_lot`) and are exercised by the
+//!   Criterion micro-benchmarks on the host machine, providing a sanity
+//!   check that the simulated behaviour matches real hardware trends.
+
+pub mod defer;
+pub mod hash_dir;
+pub mod percore_alloc;
+pub mod radix_array;
+pub mod real;
+pub mod refcache;
+pub mod seqlock;
+pub mod sharded_counter;
+pub mod spinlock;
+
+pub use defer::DeferQueue;
+pub use hash_dir::HashDir;
+pub use percore_alloc::{FdAllocator, FdMode, InodeAllocator};
+pub use radix_array::RadixArray;
+pub use refcache::Refcache;
+pub use seqlock::SeqLock;
+pub use sharded_counter::ShardedCounter;
+pub use spinlock::TracedLock;

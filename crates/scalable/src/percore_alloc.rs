@@ -1,0 +1,255 @@
+//! Per-core resource allocators (§6.3 "defer work" and §4/§7.2 `O_ANYFD`).
+//!
+//! Two allocators live here:
+//!
+//! * [`InodeAllocator`] hands out inode numbers from a per-core
+//!   monotonically increasing counter concatenated with the core number, so
+//!   inode numbers are never reused and allocation never touches another
+//!   core's cache line.
+//! * [`FdAllocator`] manages a process's file-descriptor table in one of two
+//!   modes. [`FdMode::Lowest`] implements POSIX's "lowest available FD" rule
+//!   with a single shared bitmap (every allocation conflicts).
+//!   [`FdMode::Any`] implements the `O_ANYFD` relaxation with per-core
+//!   partitions of the descriptor space, so concurrent allocations from
+//!   different cores are conflict-free.
+
+use scr_mtrace::{CoreId, SimMachine, TracedCell};
+
+/// Allocates never-reused inode numbers from per-core counters.
+#[derive(Clone, Debug)]
+pub struct InodeAllocator {
+    counters: Vec<TracedCell<u64>>,
+}
+
+impl InodeAllocator {
+    /// Allocator with one counter per core.
+    pub fn new(machine: &SimMachine, label: &str, cores: usize) -> Self {
+        InodeAllocator {
+            counters: (0..cores)
+                .map(|c| machine.cell(format!("{label}.next_ino[{c}]"), 0u64))
+                .collect(),
+        }
+    }
+
+    /// Allocates a fresh inode number on `core`: `(counter << 8) | core`.
+    pub fn alloc(&self, core: CoreId) -> u64 {
+        let cores = self.counters.len() as u64;
+        let core = core as u64 % cores;
+        let count = self.counters[core as usize].fetch_update(|c| c + 1);
+        (count << 8) | core
+    }
+}
+
+/// Descriptor-allocation policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FdMode {
+    /// POSIX: return the lowest unused descriptor (single shared bitmap).
+    Lowest,
+    /// `O_ANYFD`: return any unused descriptor (per-core partitions).
+    Any,
+}
+
+/// A file-descriptor table supporting both allocation policies.
+#[derive(Clone, Debug)]
+pub struct FdAllocator {
+    mode: FdMode,
+    /// `Lowest` mode: one shared bitmap of used descriptors.
+    shared: TracedCell<Vec<bool>>,
+    /// `Any` mode: per-core bitmaps; descriptor = core * partition + slot.
+    per_core: Vec<TracedCell<Vec<bool>>>,
+    partition: usize,
+}
+
+impl FdAllocator {
+    /// Builds a table with `cores * partition` descriptors.
+    pub fn new(
+        machine: &SimMachine,
+        label: &str,
+        cores: usize,
+        partition: usize,
+        mode: FdMode,
+    ) -> Self {
+        FdAllocator {
+            mode,
+            shared: machine.cell(format!("{label}.fd_bitmap"), vec![false; cores * partition]),
+            per_core: (0..cores)
+                .map(|c| machine.cell(format!("{label}.fd_partition[{c}]"), vec![false; partition]))
+                .collect(),
+            partition,
+        }
+    }
+
+    /// The allocation policy in force.
+    pub fn mode(&self) -> FdMode {
+        self.mode
+    }
+
+    /// Total descriptor capacity.
+    pub fn capacity(&self) -> usize {
+        self.per_core.len() * self.partition
+    }
+
+    /// Allocates a descriptor on behalf of `core`. Returns `None` when the
+    /// table (or, in `Any` mode, the core's partition) is exhausted.
+    pub fn alloc(&self, core: CoreId) -> Option<u32> {
+        match self.mode {
+            FdMode::Lowest => self.shared.update(|bitmap| {
+                let slot = bitmap.iter().position(|used| !used)?;
+                bitmap[slot] = true;
+                Some(slot as u32)
+            }),
+            FdMode::Any => {
+                let core = core % self.per_core.len();
+                self.per_core[core].update(|bitmap| {
+                    let slot = bitmap.iter().position(|used| !used)?;
+                    bitmap[slot] = true;
+                    Some((core * self.partition + slot) as u32)
+                })
+            }
+        }
+    }
+
+    /// Releases a descriptor. Returns `false` if it was not allocated.
+    pub fn free(&self, fd: u32) -> bool {
+        let fd = fd as usize;
+        if fd >= self.capacity() {
+            return false;
+        }
+        match self.mode {
+            FdMode::Lowest => self.shared.update(|bitmap| {
+                let was = bitmap[fd];
+                bitmap[fd] = false;
+                was
+            }),
+            FdMode::Any => {
+                let core = fd / self.partition;
+                let slot = fd % self.partition;
+                self.per_core[core].update(|bitmap| {
+                    let was = bitmap[slot];
+                    bitmap[slot] = false;
+                    was
+                })
+            }
+        }
+    }
+
+    /// Is the descriptor currently allocated? (Traced read.)
+    pub fn is_allocated(&self, fd: u32) -> bool {
+        let fd = fd as usize;
+        if fd >= self.capacity() {
+            return false;
+        }
+        match self.mode {
+            FdMode::Lowest => self.shared.with(|bitmap| bitmap[fd]),
+            FdMode::Any => {
+                let core = fd / self.partition;
+                let slot = fd % self.partition;
+                self.per_core[core].with(|bitmap| bitmap[slot])
+            }
+        }
+    }
+
+    /// Number of allocated descriptors (untraced; for assertions).
+    pub fn allocated_untraced(&self) -> usize {
+        match self.mode {
+            FdMode::Lowest => self.shared.peek(|b| b.iter().filter(|u| **u).count()),
+            FdMode::Any => self
+                .per_core
+                .iter()
+                .map(|c| c.peek(|b| b.iter().filter(|u| **u).count()))
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inode_numbers_are_unique_across_cores() {
+        let m = SimMachine::new();
+        let alloc = InodeAllocator::new(&m, "scalefs", 4);
+        let mut seen = std::collections::BTreeSet::new();
+        for core in 0..4 {
+            for _ in 0..10 {
+                assert!(seen.insert(alloc.alloc(core)));
+            }
+        }
+        assert_eq!(seen.len(), 40);
+    }
+
+    #[test]
+    fn inode_allocation_is_conflict_free_across_cores() {
+        let m = SimMachine::new();
+        let alloc = InodeAllocator::new(&m, "scalefs", 8);
+        m.start_tracing();
+        for core in 0..8 {
+            m.on_core(core, || {
+                alloc.alloc(core);
+            });
+        }
+        assert!(m.conflict_report().is_conflict_free());
+    }
+
+    #[test]
+    fn lowest_mode_returns_lowest_and_conflicts() {
+        let m = SimMachine::new();
+        let fds = FdAllocator::new(&m, "proc0", 2, 8, FdMode::Lowest);
+        assert_eq!(fds.alloc(0), Some(0));
+        assert_eq!(fds.alloc(1), Some(1));
+        assert!(fds.free(0));
+        assert_eq!(fds.alloc(1), Some(0), "lowest free fd must be reused");
+        m.start_tracing();
+        m.on_core(0, || {
+            fds.alloc(0);
+        });
+        m.on_core(1, || {
+            fds.alloc(1);
+        });
+        assert!(!m.conflict_report().is_conflict_free());
+    }
+
+    #[test]
+    fn any_mode_is_conflict_free_across_cores() {
+        let m = SimMachine::new();
+        let fds = FdAllocator::new(&m, "proc0", 4, 8, FdMode::Any);
+        m.start_tracing();
+        for core in 0..4 {
+            m.on_core(core, || {
+                let fd = fds.alloc(core).expect("fd");
+                assert!(fds.free(fd));
+            });
+        }
+        assert!(m.conflict_report().is_conflict_free());
+        assert_eq!(fds.allocated_untraced(), 0);
+    }
+
+    #[test]
+    fn any_mode_descriptors_map_back_to_their_partition() {
+        let m = SimMachine::new();
+        let fds = FdAllocator::new(&m, "p", 4, 8, FdMode::Any);
+        let fd = fds.alloc(2).unwrap();
+        assert_eq!(fd as usize / 8, 2);
+        assert!(fds.is_allocated(fd));
+        assert!(fds.free(fd));
+        assert!(!fds.is_allocated(fd));
+    }
+
+    #[test]
+    fn exhausted_partition_returns_none() {
+        let m = SimMachine::new();
+        let fds = FdAllocator::new(&m, "p", 1, 2, FdMode::Any);
+        assert!(fds.alloc(0).is_some());
+        assert!(fds.alloc(0).is_some());
+        assert_eq!(fds.alloc(0), None);
+    }
+
+    #[test]
+    fn freeing_out_of_range_fd_is_rejected() {
+        let m = SimMachine::new();
+        let fds = FdAllocator::new(&m, "p", 1, 2, FdMode::Lowest);
+        assert!(!fds.free(99));
+        assert!(!fds.is_allocated(99));
+    }
+}

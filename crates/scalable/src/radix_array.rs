@@ -1,0 +1,219 @@
+//! Radix arrays (§6.3 "layer scalability", and the core structure of
+//! RadixVM).
+//!
+//! A radix array maps small integer indices (page numbers, virtual page
+//! numbers) to values. Unlike a balanced tree, the location of an entry
+//! depends only on its index, so operations on *different* indices touch
+//! disjoint cache lines and are conflict-free — even when other operations
+//! are concurrently extending or truncating the array. Interior node slots
+//! are individually allocated cells, so populating two different subtrees
+//! does not conflict either.
+
+use scr_mtrace::{SimMachine, TracedCell};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Fan-out of each radix level.
+const FANOUT: usize = 64;
+
+/// A two-level radix array: capacity `FANOUT * FANOUT` (4096) entries.
+///
+/// Each leaf slot and each interior slot is its own traced cell, so accesses
+/// to different indices are conflict-free.
+#[derive(Clone)]
+pub struct RadixArray<T: Clone + 'static> {
+    machine: SimMachine,
+    label: String,
+    /// Interior slots: each holds `Some(leaf-table index)` once populated.
+    interior: Vec<TracedCell<Option<usize>>>,
+    /// Leaf tables, allocated on demand; each leaf table is a vector of
+    /// per-slot cells.
+    #[allow(clippy::type_complexity)]
+    leaves: Rc<RefCell<Vec<Vec<TracedCell<Option<T>>>>>>,
+}
+
+impl<T: Clone + 'static> RadixArray<T> {
+    /// Maximum index representable by the array.
+    pub const CAPACITY: usize = FANOUT * FANOUT;
+
+    /// Allocates an empty radix array.
+    pub fn new(machine: &SimMachine, label: &str) -> Self {
+        let interior = (0..FANOUT)
+            .map(|i| machine.cell(format!("{label}.interior[{i}]"), None))
+            .collect();
+        RadixArray {
+            machine: machine.clone(),
+            label: label.to_string(),
+            interior,
+            leaves: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    fn split(index: usize) -> (usize, usize) {
+        assert!(index < Self::CAPACITY, "radix index out of range");
+        (index / FANOUT, index % FANOUT)
+    }
+
+    /// Ensures the leaf table for `hi` exists and returns its index.
+    fn ensure_leaf(&self, hi: usize) -> usize {
+        if let Some(leaf_idx) = self.interior[hi].get() {
+            return leaf_idx;
+        }
+        // Populate: allocate a leaf table and publish it in the interior
+        // slot. Only this interior slot's line is written.
+        let mut leaves = self.leaves.borrow_mut();
+        let leaf_idx = leaves.len();
+        let table = (0..FANOUT)
+            .map(|lo| {
+                self.machine
+                    .cell(format!("{}.leaf[{hi}][{lo}]", self.label), None)
+            })
+            .collect();
+        leaves.push(table);
+        drop(leaves);
+        self.interior[hi].set(Some(leaf_idx));
+        leaf_idx
+    }
+
+    /// Stores `value` at `index`.
+    pub fn set(&self, index: usize, value: T) {
+        let (hi, lo) = Self::split(index);
+        let leaf_idx = self.ensure_leaf(hi);
+        self.leaves.borrow()[leaf_idx][lo].set(Some(value));
+    }
+
+    /// Removes and returns the value at `index`.
+    pub fn take(&self, index: usize) -> Option<T> {
+        let (hi, lo) = Self::split(index);
+        let leaf_idx = self.interior[hi].get()?;
+        let leaves = self.leaves.borrow();
+        let cell = &leaves[leaf_idx][lo];
+        let old = cell.get();
+        if old.is_some() {
+            cell.set(None);
+        }
+        old
+    }
+
+    /// Reads the value at `index`.
+    pub fn get(&self, index: usize) -> Option<T> {
+        let (hi, lo) = Self::split(index);
+        let leaf_idx = self.interior[hi].get()?;
+        self.leaves.borrow()[leaf_idx][lo].get()
+    }
+
+    /// True when `index` is populated (reads only the slot, not the value —
+    /// used by ScaleFS to test file bounds without conflicting with writes
+    /// to other pages).
+    pub fn contains(&self, index: usize) -> bool {
+        self.get(index).is_some()
+    }
+
+    /// Number of populated entries (untraced; for assertions and tests).
+    pub fn len_untraced(&self) -> usize {
+        let leaves = self.leaves.borrow();
+        let mut count = 0;
+        for table in leaves.iter() {
+            for cell in table {
+                if cell.peek(|v| v.is_some()) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Indices of populated entries, in ascending order (untraced).
+    pub fn indices_untraced(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for hi in 0..FANOUT {
+            if let Some(leaf_idx) = self.interior[hi].peek(|v| *v) {
+                let leaves = self.leaves.borrow();
+                for (lo, cell) in leaves[leaf_idx].iter().enumerate() {
+                    if cell.peek(|v| v.is_some()) {
+                        out.push(hi * FANOUT + lo);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_take_roundtrip() {
+        let m = SimMachine::new();
+        let arr: RadixArray<u64> = RadixArray::new(&m, "pages");
+        assert_eq!(arr.get(5), None);
+        arr.set(5, 500);
+        arr.set(70, 700);
+        assert_eq!(arr.get(5), Some(500));
+        assert_eq!(arr.get(70), Some(700));
+        assert_eq!(arr.take(5), Some(500));
+        assert_eq!(arr.get(5), None);
+        assert_eq!(arr.len_untraced(), 1);
+        assert_eq!(arr.indices_untraced(), vec![70]);
+    }
+
+    #[test]
+    fn writes_to_distinct_indices_are_conflict_free() {
+        let m = SimMachine::new();
+        let arr: RadixArray<u64> = RadixArray::new(&m, "pages");
+        // Pre-populate the leaf tables so the test measures steady state.
+        arr.set(3, 0);
+        arr.set(200, 0);
+        m.start_tracing();
+        m.on_core(0, || arr.set(3, 33));
+        m.on_core(1, || arr.set(200, 44));
+        assert!(m.conflict_report().is_conflict_free());
+    }
+
+    #[test]
+    fn writes_to_distinct_indices_in_same_leaf_are_conflict_free() {
+        let m = SimMachine::new();
+        let arr: RadixArray<u64> = RadixArray::new(&m, "pages");
+        arr.set(10, 0);
+        arr.set(11, 0);
+        m.start_tracing();
+        m.on_core(0, || arr.set(10, 1));
+        m.on_core(1, || arr.set(11, 2));
+        assert!(m.conflict_report().is_conflict_free());
+    }
+
+    #[test]
+    fn writes_to_same_index_conflict() {
+        let m = SimMachine::new();
+        let arr: RadixArray<u64> = RadixArray::new(&m, "pages");
+        arr.set(10, 0);
+        m.start_tracing();
+        m.on_core(0, || arr.set(10, 1));
+        m.on_core(1, || arr.set(10, 2));
+        assert!(!m.conflict_report().is_conflict_free());
+    }
+
+    #[test]
+    fn reads_do_not_conflict_with_writes_to_other_indices() {
+        let m = SimMachine::new();
+        let arr: RadixArray<u64> = RadixArray::new(&m, "file.pages");
+        arr.set(1, 10);
+        arr.set(2, 20);
+        m.start_tracing();
+        m.on_core(0, || {
+            let _ = arr.get(1);
+        });
+        m.on_core(1, || arr.set(2, 21));
+        assert!(m.conflict_report().is_conflict_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let m = SimMachine::new();
+        let arr: RadixArray<u64> = RadixArray::new(&m, "pages");
+        arr.set(RadixArray::<u64>::CAPACITY, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Host-hardware twins of the scalable primitives.
+//!
+//! The traced primitives in the rest of this crate run on the *simulated*
+//! machine so that conflicts are observable. The types here are small real
+//! implementations using atomics and cache-line padding; the Criterion
+//! benchmark `primitives` drives them from actual threads to confirm, on the
+//! host machine, the qualitative behaviour the simulator predicts: per-core
+//! counters scale where a single shared counter does not (the §7.2
+//! observation that even one contended cache line wrecks scalability).
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A single shared atomic counter — the non-scalable baseline.
+#[derive(Debug, Default)]
+pub struct SharedCounter {
+    value: CachePadded<AtomicI64>,
+}
+
+impl SharedCounter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` (contended RMW on one cache line).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn read(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A per-core sharded atomic counter — the scalable variant.
+#[derive(Debug)]
+pub struct PerCoreCounter {
+    shards: Vec<CachePadded<AtomicI64>>,
+}
+
+impl PerCoreCounter {
+    /// A counter with `shards` cache-line-padded shards.
+    pub fn new(shards: usize) -> Self {
+        PerCoreCounter {
+            shards: (0..shards.max(1)).map(|_| CachePadded::new(AtomicI64::new(0))).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Adds `delta` on behalf of `core` (uncontended RMW on that core's
+    /// line).
+    pub fn add(&self, core: usize, delta: i64) {
+        self.shards[core % self.shards.len()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sums every shard (the expensive exact read).
+    pub fn read(&self) -> i64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A Refcache-style reference counter over real atomics: per-core deltas
+/// plus a reconciled global value.
+#[derive(Debug)]
+pub struct PerCoreRefcount {
+    global: CachePadded<AtomicI64>,
+    deltas: Vec<CachePadded<AtomicI64>>,
+}
+
+impl PerCoreRefcount {
+    /// A counter with the given initial value and one delta per core.
+    pub fn new(cores: usize, initial: i64) -> Self {
+        PerCoreRefcount {
+            global: CachePadded::new(AtomicI64::new(initial)),
+            deltas: (0..cores.max(1)).map(|_| CachePadded::new(AtomicI64::new(0))).collect(),
+        }
+    }
+
+    /// Increments on behalf of `core`.
+    pub fn inc(&self, core: usize) {
+        self.deltas[core % self.deltas.len()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements on behalf of `core`.
+    pub fn dec(&self, core: usize) {
+        self.deltas[core % self.deltas.len()].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Folds every delta into the global count and returns it.
+    pub fn flush(&self) -> i64 {
+        let mut sum = 0;
+        for delta in &self.deltas {
+            sum += delta.swap(0, Ordering::Relaxed);
+        }
+        self.global.fetch_add(sum, Ordering::Relaxed) + sum
+    }
+
+    /// Exact value (global plus pending deltas).
+    pub fn read_exact(&self) -> i64 {
+        self.global.load(Ordering::Relaxed)
+            + self
+                .deltas
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .sum::<i64>()
+    }
+
+    /// Reconciled value only (cheap, possibly stale).
+    pub fn read_reconciled(&self) -> i64 {
+        self.global.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_counter_counts() {
+        let c = SharedCounter::new();
+        c.add(3);
+        c.add(-1);
+        assert_eq!(c.read(), 2);
+    }
+
+    #[test]
+    fn per_core_counter_sums_across_shards() {
+        let c = PerCoreCounter::new(4);
+        for core in 0..4 {
+            c.add(core, (core as i64) + 1);
+        }
+        assert_eq!(c.read(), 10);
+        assert_eq!(c.shards(), 4);
+    }
+
+    #[test]
+    fn per_core_refcount_reconciles() {
+        let rc = PerCoreRefcount::new(4, 1);
+        rc.inc(0);
+        rc.inc(1);
+        rc.dec(3);
+        assert_eq!(rc.read_exact(), 2);
+        assert_eq!(rc.flush(), 2);
+        assert_eq!(rc.read_reconciled(), 2);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let shared = Arc::new(SharedCounter::new());
+        let percore = Arc::new(PerCoreCounter::new(4));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let shared = Arc::clone(&shared);
+            let percore = Arc::clone(&percore);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    shared.add(1);
+                    percore.add(t, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.read(), 4000);
+        assert_eq!(percore.read(), 4000);
+    }
+}

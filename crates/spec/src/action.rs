@@ -1,0 +1,162 @@
+//! Actions: invocations and responses (§3.1).
+//!
+//! A system execution is modelled as a sequence of *actions*. An action is
+//! either an **invocation** (a call with arguments, e.g. `open("file",
+//! O_RDWR)`) or a **response** (the corresponding result). Each action
+//! carries:
+//!
+//! 1. an operation payload (the invocation arguments or the return value),
+//! 2. the thread that performed it, and
+//! 3. a tag used to pair an invocation with its response.
+//!
+//! The payload types are generic so the same formalism serves the toy models
+//! used in this crate's tests and the POSIX-scale models elsewhere in the
+//! workspace.
+
+use std::fmt;
+
+/// Identifier of a thread in a history.
+///
+/// Threads are dense small integers; the formalism never needs more than a
+/// handful of threads at once, but nothing here imposes a bound.
+pub type ThreadId = usize;
+
+/// Tag pairing an invocation with its response.
+///
+/// Within a well-formed history every tag appears at most twice: once on an
+/// invocation and once on the matching response of the same thread.
+pub type Tag = u64;
+
+/// The payload of an action: either the arguments of an invocation or the
+/// return value of a response.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ActionKind<I, R> {
+    /// An operation is being invoked with the given arguments.
+    Invocation(I),
+    /// An operation is returning the given value.
+    Response(R),
+}
+
+impl<I, R> ActionKind<I, R> {
+    /// Returns `true` if this is an invocation.
+    pub fn is_invocation(&self) -> bool {
+        matches!(self, ActionKind::Invocation(_))
+    }
+
+    /// Returns `true` if this is a response.
+    pub fn is_response(&self) -> bool {
+        matches!(self, ActionKind::Response(_))
+    }
+}
+
+/// A single action in a history (§3.1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Action<I, R> {
+    /// The thread performing this action.
+    pub thread: ThreadId,
+    /// Tag pairing this action with its partner (invocation ↔ response).
+    pub tag: Tag,
+    /// Invocation arguments or response value.
+    pub kind: ActionKind<I, R>,
+}
+
+impl<I, R> Action<I, R> {
+    /// Builds an invocation action.
+    pub fn invoke(thread: ThreadId, tag: Tag, args: I) -> Self {
+        Action {
+            thread,
+            tag,
+            kind: ActionKind::Invocation(args),
+        }
+    }
+
+    /// Builds a response action.
+    pub fn respond(thread: ThreadId, tag: Tag, value: R) -> Self {
+        Action {
+            thread,
+            tag,
+            kind: ActionKind::Response(value),
+        }
+    }
+
+    /// Returns `true` if this action is an invocation.
+    pub fn is_invocation(&self) -> bool {
+        self.kind.is_invocation()
+    }
+
+    /// Returns `true` if this action is a response.
+    pub fn is_response(&self) -> bool {
+        self.kind.is_response()
+    }
+
+    /// Returns the invocation payload, if this is an invocation.
+    pub fn invocation(&self) -> Option<&I> {
+        match &self.kind {
+            ActionKind::Invocation(i) => Some(i),
+            ActionKind::Response(_) => None,
+        }
+    }
+
+    /// Returns the response payload, if this is a response.
+    pub fn response(&self) -> Option<&R> {
+        match &self.kind {
+            ActionKind::Response(r) => Some(r),
+            ActionKind::Invocation(_) => None,
+        }
+    }
+}
+
+impl<I: fmt::Display, R: fmt::Display> fmt::Display for Action<I, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ActionKind::Invocation(i) => write!(f, "t{}:inv[{}]({})", self.thread, self.tag, i),
+            ActionKind::Response(r) => write!(f, "t{}:res[{}]({})", self.thread, self.tag, r),
+        }
+    }
+}
+
+/// Convenience constructor for a complete (invocation, response) pair on one
+/// thread. Returns the two actions in order.
+pub fn op_pair<I, R>(thread: ThreadId, tag: Tag, args: I, value: R) -> [Action<I, R>; 2] {
+    [
+        Action::invoke(thread, tag, args),
+        Action::respond(thread, tag, value),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invocation_and_response_discriminate() {
+        let inv: Action<&str, i32> = Action::invoke(0, 1, "getpid");
+        let res: Action<&str, i32> = Action::respond(0, 1, 42);
+        assert!(inv.is_invocation());
+        assert!(!inv.is_response());
+        assert!(res.is_response());
+        assert!(!res.is_invocation());
+        assert_eq!(inv.invocation(), Some(&"getpid"));
+        assert_eq!(inv.response(), None);
+        assert_eq!(res.response(), Some(&42));
+        assert_eq!(res.invocation(), None);
+    }
+
+    #[test]
+    fn op_pair_produces_matching_tags() {
+        let [inv, res] = op_pair(3, 7, "open", 5);
+        assert_eq!(inv.thread, 3);
+        assert_eq!(res.thread, 3);
+        assert_eq!(inv.tag, res.tag);
+        assert!(inv.is_invocation());
+        assert!(res.is_response());
+    }
+
+    #[test]
+    fn display_formats_thread_and_tag() {
+        let inv: Action<&str, i32> = Action::invoke(1, 9, "stat");
+        let shown = format!("{inv}");
+        assert!(shown.contains("t1"));
+        assert!(shown.contains("stat"));
+    }
+}

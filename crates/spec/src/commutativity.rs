@@ -1,0 +1,534 @@
+//! SI and SIM commutativity (§3.2).
+//!
+//! A region `Y` **SI-commutes** in `H = X || Y` when for any reordering `Y'`
+//! of `Y` and any future action sequence `Z`,
+//! `X || Y || Z ∈ S  ⇔  X || Y' || Z ∈ S`.
+//!
+//! SI commutativity is not monotonic: a region may SI-commute while one of
+//! its prefixes does not (the `set(1); set(2); set(2)` example of §3.2). The
+//! monotonic strengthening used by the rule is **SIM commutativity**: `Y`
+//! SIM-commutes in `H = X || Y` when for any prefix `P` of any reordering of
+//! `Y`, `P` SI-commutes in `X || P`.
+//!
+//! Quantifying over *all* futures `Z` is impossible in a checker, so this
+//! module offers two procedures:
+//!
+//! * [`si_commutes_bounded`] / [`sim_commutes_bounded`] quantify over a
+//!   caller-supplied set of candidate futures (plus the empty future). This
+//!   follows the definition directly and is what the formalism tests use.
+//! * [`si_commutes`] / [`sim_commutes`] substitute state equivalence for the
+//!   future quantification, exactly as COMMUTER's ANALYZER does (§5.1): all
+//!   reorderings must be allowed by the specification and must be able to
+//!   reach externally indistinguishable states.
+
+use crate::history::History;
+use crate::model::SeqSpecModel;
+use crate::spec::{replay_sequential, Specification};
+
+/// At which granularity reorderings of a region are enumerated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Granularity {
+    /// Every interleaving of individual actions that preserves per-thread
+    /// order (the literal definition of a reordering in §3.2).
+    Action,
+    /// Only permutations of whole (invocation, response) operations. This is
+    /// the granularity at which ANALYZER permutes operations and the natural
+    /// one for sequential regions.
+    Operation,
+}
+
+/// Why a region failed to commute, for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommutativityFailure {
+    /// A reordering of the region (or of one of its prefixes) is not allowed
+    /// by the specification. Holds the index of the offending reordering and
+    /// the prefix length examined.
+    ReorderingRejected {
+        /// Index into the list of reorderings of the examined prefix.
+        reordering: usize,
+        /// Length of the prefix of the reordering under examination.
+        prefix_len: usize,
+    },
+    /// Two orders are distinguishable: either by a future (bounded check) or
+    /// because no pair of equivalent final states exists (state check).
+    Distinguishable {
+        /// Index of the reordering that is distinguishable from the original.
+        reordering: usize,
+        /// Length of the prefix of the reordering under examination.
+        prefix_len: usize,
+    },
+}
+
+/// Result of a commutativity check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommutativityReport {
+    /// Whether the region commutes.
+    pub commutes: bool,
+    /// First failure found, if any.
+    pub failure: Option<CommutativityFailure>,
+    /// Number of (reordering, prefix) combinations examined.
+    pub cases_examined: usize,
+}
+
+impl CommutativityReport {
+    fn success(cases: usize) -> Self {
+        CommutativityReport {
+            commutes: true,
+            failure: None,
+            cases_examined: cases,
+        }
+    }
+
+    fn failure(failure: CommutativityFailure, cases: usize) -> Self {
+        CommutativityReport {
+            commutes: false,
+            failure: Some(failure),
+            cases_examined: cases,
+        }
+    }
+}
+
+/// SI commutativity with an explicit, bounded set of futures.
+///
+/// Checks that for every reordering `Y'` of `y` (at the chosen granularity)
+/// and every `z` in `futures` (the empty future is always included),
+/// `x || y || z ∈ spec` iff `x || y' || z ∈ spec`.
+pub fn si_commutes_bounded<I, R, S>(
+    spec: &S,
+    x: &History<I, R>,
+    y: &History<I, R>,
+    futures: &[History<I, R>],
+    granularity: Granularity,
+) -> CommutativityReport
+where
+    I: Clone + PartialEq,
+    R: Clone + PartialEq,
+    S: Specification<I, R>,
+{
+    let mut cases = 0;
+    let empty = History::new();
+    let mut all_futures: Vec<&History<I, R>> = vec![&empty];
+    all_futures.extend(futures.iter());
+    let reorderings = match granularity {
+        Granularity::Action => y.reorderings(),
+        Granularity::Operation => op_level_reorderings(y),
+    };
+    for (ri, y_prime) in reorderings.iter().enumerate() {
+        for z in &all_futures {
+            cases += 1;
+            let original = x.concat(y).concat(z);
+            let reordered = x.concat(y_prime).concat(z);
+            if spec.contains(&original) != spec.contains(&reordered) {
+                return CommutativityReport::failure(
+                    CommutativityFailure::Distinguishable {
+                        reordering: ri,
+                        prefix_len: y.len(),
+                    },
+                    cases,
+                );
+            }
+        }
+    }
+    CommutativityReport::success(cases)
+}
+
+/// SIM commutativity with an explicit, bounded set of futures: every prefix
+/// of every reordering of `y` must SI-commute (with the same futures) after
+/// `x`.
+pub fn sim_commutes_bounded<I, R, S>(
+    spec: &S,
+    x: &History<I, R>,
+    y: &History<I, R>,
+    futures: &[History<I, R>],
+    granularity: Granularity,
+) -> CommutativityReport
+where
+    I: Clone + PartialEq,
+    R: Clone + PartialEq,
+    S: Specification<I, R>,
+{
+    let mut cases = 0;
+    let reorderings = match granularity {
+        Granularity::Action => y.reorderings(),
+        Granularity::Operation => op_level_reorderings(y),
+    };
+    let step = match granularity {
+        Granularity::Action => 1,
+        Granularity::Operation => 2,
+    };
+    for (ri, y_prime) in reorderings.iter().enumerate() {
+        for prefix_len in (0..=y_prime.len()).step_by(step) {
+            let p = y_prime.prefix(prefix_len);
+            let report = si_commutes_bounded(spec, x, &p, futures, granularity);
+            cases += report.cases_examined;
+            if !report.commutes {
+                return CommutativityReport::failure(
+                    CommutativityFailure::Distinguishable {
+                        reordering: ri,
+                        prefix_len,
+                    },
+                    cases,
+                );
+            }
+        }
+    }
+    CommutativityReport::success(cases)
+}
+
+/// State-equivalence based SI commutativity (the ANALYZER check of §5.1).
+///
+/// `x` and `y` must be *sequential* histories (each invocation immediately
+/// followed by its response). The region SI-commutes when:
+///
+/// 1. every well-formed reordering of `y` is allowed by the specification
+///    derived from `model` after `x`, and
+/// 2. there is a final state reachable by the original order such that every
+///    reordering can reach an equivalent state (for some choice of the
+///    model's non-deterministic outcomes).
+pub fn si_commutes<M>(model: &M, x: &History<M::Inv, M::Resp>, y: &History<M::Inv, M::Resp>) -> CommutativityReport
+where
+    M: SeqSpecModel,
+    M::Inv: PartialEq,
+    M::State: PartialEq,
+{
+    let mut cases = 0;
+    // The original order: if the recorded history itself is not allowed by
+    // the specification, then (by prefix closure) no future can make it
+    // allowed, and the same must hold for every reordering for the region to
+    // commute. An invalid history is indistinguishable from any other
+    // invalid history, so the check is about *matching* validity, not about
+    // validity itself.
+    let original_states = replay_sequential(&CloneModel(model), &x.concat(y));
+    let original_valid = original_states.is_some();
+    // Reorder at operation granularity: `y` is a sequential history, so the
+    // relevant permutations keep each invocation paired with its response
+    // (this is also the granularity at which ANALYZER permutes operations).
+    let reorderings = op_level_reorderings(y);
+    // Gather reachable state sets for every reordering.
+    let mut reachable: Vec<Vec<M::State>> = Vec::with_capacity(reorderings.len());
+    for (ri, y_prime) in reorderings.iter().enumerate() {
+        cases += 1;
+        let h = x.concat(y_prime);
+        match replay_sequential(&CloneModel(model), &h) {
+            Some(states) => {
+                if !original_valid {
+                    // This order is allowed but the original is not: a future
+                    // (or the responses themselves) distinguishes them.
+                    return CommutativityReport::failure(
+                        CommutativityFailure::ReorderingRejected {
+                            reordering: ri,
+                            prefix_len: y.len(),
+                        },
+                        cases,
+                    );
+                }
+                reachable.push(states);
+            }
+            None => {
+                if original_valid {
+                    return CommutativityReport::failure(
+                        CommutativityFailure::ReorderingRejected {
+                            reordering: ri,
+                            prefix_len: y.len(),
+                        },
+                        cases,
+                    );
+                }
+                // Both invalid: indistinguishable, keep going.
+            }
+        }
+    }
+    if !original_valid {
+        // Every order is equally disallowed: vacuously SI-commutative.
+        return CommutativityReport::success(cases);
+    }
+    let original_states = original_states.expect("checked original_valid");
+    // Some original-order state must be matchable (up to equivalence) by
+    // every reordering.
+    let matchable = original_states.iter().any(|s0| {
+        reachable
+            .iter()
+            .all(|states| states.iter().any(|s| model.state_equivalent(s0, s)))
+    });
+    if matchable {
+        CommutativityReport::success(cases)
+    } else {
+        CommutativityReport::failure(
+            CommutativityFailure::Distinguishable {
+                reordering: 0,
+                prefix_len: y.len(),
+            },
+            cases,
+        )
+    }
+}
+
+/// State-equivalence based SIM commutativity: every prefix of every
+/// reordering of `y` must SI-commute after `x`.
+///
+/// `x` and `y` must be sequential histories. Prefixes are taken at operation
+/// granularity (an invocation and its response move together), which is the
+/// granularity at which the POSIX analysis of §5–6 operates.
+pub fn sim_commutes<M>(model: &M, x: &History<M::Inv, M::Resp>, y: &History<M::Inv, M::Resp>) -> CommutativityReport
+where
+    M: SeqSpecModel,
+    M::Inv: PartialEq,
+    M::State: PartialEq,
+{
+    let mut cases = 0;
+    for (ri, y_prime) in op_level_reorderings(y).iter().enumerate() {
+        let ops = y_prime.len() / 2;
+        for op_prefix in 0..=ops {
+            let p = y_prime.prefix(op_prefix * 2);
+            let report = si_commutes(model, x, &p);
+            cases += report.cases_examined;
+            if !report.commutes {
+                return CommutativityReport::failure(
+                    CommutativityFailure::Distinguishable {
+                        reordering: ri,
+                        prefix_len: op_prefix * 2,
+                    },
+                    cases,
+                );
+            }
+        }
+    }
+    CommutativityReport::success(cases)
+}
+
+/// Reorderings of a *sequential* history at operation granularity: every
+/// permutation of the (invocation, response) pairs that preserves each
+/// thread's order. This is the set of reorderings relevant for sequential
+/// regions; interleavings that split an invocation from its response are
+/// covered by the action-level [`History::reorderings`].
+pub fn op_level_reorderings<I: Clone + PartialEq, R: Clone + PartialEq>(
+    y: &History<I, R>,
+) -> Vec<History<I, R>> {
+    y.well_formed_reorderings()
+        .into_iter()
+        .filter(|h| {
+            h.actions()
+                .chunks(2)
+                .all(|c| c.len() == 2 && c[0].is_invocation() && c[1].is_response() && c[0].thread == c[1].thread)
+        })
+        .collect()
+}
+
+/// Adapter so the commutativity checks can build a `RefSpec` from a borrowed
+/// model without requiring `M: Clone`.
+struct CloneModel<'a, M>(&'a M);
+
+impl<M: SeqSpecModel> SeqSpecModel for CloneModel<'_, M> {
+    type Inv = M::Inv;
+    type Resp = M::Resp;
+    type State = M::State;
+
+    fn initial(&self) -> Self::State {
+        self.0.initial()
+    }
+
+    fn outcomes(
+        &self,
+        state: &Self::State,
+        thread: crate::action::ThreadId,
+        inv: &Self::Inv,
+    ) -> Vec<(Self::Resp, Self::State)> {
+        self.0.outcomes(state, thread, inv)
+    }
+
+    fn state_equivalent(&self, a: &Self::State, b: &Self::State) -> bool
+    where
+        Self::State: PartialEq,
+    {
+        self.0.state_equivalent(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::op_pair;
+    use crate::model::{
+        Det, FdAllocModel, FdOp, FdPolicy, FdResp, PutMaxModel, PutMaxOp, PutMaxResp,
+        RegisterModel, RegisterOp, RegisterResp,
+    };
+    use crate::spec::{run_first_outcome, RefSpec};
+
+    fn seq_history<I: Clone, R: Clone>(ops: &[(usize, I, R)]) -> History<I, R> {
+        let mut h = History::new();
+        for (tag, (t, i, r)) in ops.iter().enumerate() {
+            for a in op_pair(*t, tag as u64, i.clone(), r.clone()) {
+                h.push(a);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn getpid_style_constant_reads_commute() {
+        // Two gets on different threads commute in any state.
+        let model = Det(RegisterModel);
+        let x = seq_history(&[(0, RegisterOp::Set(7), RegisterResp::Ok)]);
+        let y = seq_history(&[
+            (0, RegisterOp::Get, RegisterResp::Value(7)),
+            (1, RegisterOp::Get, RegisterResp::Value(7)),
+        ]);
+        assert!(si_commutes(&model, &x, &y).commutes);
+        assert!(sim_commutes(&model, &x, &y).commutes);
+    }
+
+    #[test]
+    fn set_and_get_do_not_commute() {
+        let model = Det(RegisterModel);
+        let x = History::new();
+        let y = seq_history(&[
+            (0, RegisterOp::Set(3), RegisterResp::Ok),
+            (1, RegisterOp::Get, RegisterResp::Value(3)),
+        ]);
+        assert!(!si_commutes(&model, &x, &y).commutes);
+    }
+
+    #[test]
+    fn paper_set_example_si_commutes_but_not_sim() {
+        // §3.2: Y = [set(1)@t0, set(2)@t1, set(2)@t0]. Reorderings preserve
+        // t0's order, so every order leaves the value at 2 and Y SI-commutes;
+        // but the prefix [set(1)@t0, set(2)@t1] can end at either 1 or 2, so
+        // Y does not SIM-commute.
+        let model = Det(RegisterModel);
+        let x = History::new();
+        let y = seq_history(&[
+            (0, RegisterOp::Set(1), RegisterResp::Ok),
+            (1, RegisterOp::Set(2), RegisterResp::Ok),
+            (0, RegisterOp::Set(2), RegisterResp::Ok),
+        ]);
+        assert!(si_commutes(&model, &x, &y).commutes, "Y must SI-commute");
+        let sim = sim_commutes(&model, &x, &y);
+        assert!(!sim.commutes, "Y must not SIM-commute");
+    }
+
+    #[test]
+    fn bounded_check_agrees_on_register_example() {
+        let model = Det(RegisterModel);
+        let spec = RefSpec::new(Det(RegisterModel));
+        let x = History::new();
+        let y = seq_history(&[
+            (0, RegisterOp::Set(1), RegisterResp::Ok),
+            (1, RegisterOp::Set(2), RegisterResp::Ok),
+            (0, RegisterOp::Set(2), RegisterResp::Ok),
+        ]);
+        // Futures that can observe the register value.
+        let futures: Vec<History<RegisterOp, RegisterResp>> = (0..3)
+            .map(|v| seq_history(&[(3, RegisterOp::Get, RegisterResp::Value(v))]))
+            .collect();
+        let g = Granularity::Operation;
+        assert!(si_commutes_bounded(&spec, &x, &y, &futures, g).commutes);
+        assert!(!sim_commutes_bounded(&spec, &x, &y, &futures, g).commutes);
+        // The state-based and bounded checks agree.
+        assert_eq!(
+            si_commutes(&model, &x, &y).commutes,
+            si_commutes_bounded(&spec, &x, &y, &futures, g).commutes
+        );
+    }
+
+    #[test]
+    fn putmax_subregions_commute_but_whole_history_does_not() {
+        // H = put(1)@t0 put(1)@t1 max()@t2=1 — the §3.6 example. The prefix
+        // of two puts SIM-commutes (after the empty X), and the suffix
+        // [put(1)@t1, max()@t2] SIM-commutes after X = [put(1)@t0]; but the
+        // whole history does not SIM-commute (max() before any put would
+        // return 0), which is consistent with the paper's observation that no
+        // single implementation is conflict-free across all of H.
+        let model = Det(PutMaxModel);
+        let puts = seq_history(&[
+            (0, PutMaxOp::Put(1), PutMaxResp::Ok),
+            (1, PutMaxOp::Put(1), PutMaxResp::Ok),
+        ]);
+        assert!(sim_commutes(&model, &History::new(), &puts).commutes);
+
+        let x = seq_history(&[(0, PutMaxOp::Put(1), PutMaxResp::Ok)]);
+        let suffix = seq_history(&[
+            (1, PutMaxOp::Put(1), PutMaxResp::Ok),
+            (2, PutMaxOp::Max, PutMaxResp::Max(1)),
+        ]);
+        assert!(sim_commutes(&model, &x, &suffix).commutes);
+
+        let whole = seq_history(&[
+            (0, PutMaxOp::Put(1), PutMaxResp::Ok),
+            (1, PutMaxOp::Put(1), PutMaxResp::Ok),
+            (2, PutMaxOp::Max, PutMaxResp::Max(1)),
+        ]);
+        assert!(!sim_commutes(&model, &History::new(), &whole).commutes);
+    }
+
+    #[test]
+    fn puts_of_different_values_do_not_commute_with_max() {
+        let model = Det(PutMaxModel);
+        let x = History::new();
+        let y = seq_history(&[
+            (0, PutMaxOp::Put(5), PutMaxResp::Ok),
+            (1, PutMaxOp::Max, PutMaxResp::Max(5)),
+        ]);
+        assert!(!si_commutes(&model, &x, &y).commutes);
+    }
+
+    #[test]
+    fn lowest_fd_allocs_do_not_commute_but_any_fd_allocs_do() {
+        // §4 "embrace specification non-determinism": two Allocs on different
+        // threads commute under the Any policy but not under Lowest.
+        let lowest = FdAllocModel {
+            policy: FdPolicy::Lowest,
+            capacity: 4,
+        };
+        let any = FdAllocModel {
+            policy: FdPolicy::Any,
+            capacity: 4,
+        };
+        let x = History::new();
+        let y_lowest = seq_history(&[
+            (0, FdOp::Alloc, FdResp::Fd(0)),
+            (1, FdOp::Alloc, FdResp::Fd(1)),
+        ]);
+        assert!(!si_commutes(&lowest, &x, &y_lowest).commutes);
+        let y_any = seq_history(&[
+            (0, FdOp::Alloc, FdResp::Fd(2)),
+            (1, FdOp::Alloc, FdResp::Fd(3)),
+        ]);
+        assert!(si_commutes(&any, &x, &y_any).commutes);
+        assert!(sim_commutes(&any, &x, &y_any).commutes);
+    }
+
+    #[test]
+    fn state_dependence_open_excl_style() {
+        // Mimics the open(O_CREAT|O_EXCL) discussion: two identical Set ops
+        // commute because the state they produce is identical and their
+        // responses match, while a Set and a Get of that value do not.
+        let model = Det(RegisterModel);
+        let x = seq_history(&[(0, RegisterOp::Set(9), RegisterResp::Ok)]);
+        let y = seq_history(&[
+            (0, RegisterOp::Set(9), RegisterResp::Ok),
+            (1, RegisterOp::Set(9), RegisterResp::Ok),
+        ]);
+        assert!(sim_commutes(&model, &x, &y).commutes);
+    }
+
+    #[test]
+    fn report_counts_cases() {
+        let model = Det(RegisterModel);
+        let x = History::new();
+        let y = seq_history(&[
+            (0, RegisterOp::Get, RegisterResp::Value(0)),
+            (1, RegisterOp::Get, RegisterResp::Value(0)),
+        ]);
+        let report = sim_commutes(&model, &x, &y);
+        assert!(report.commutes);
+        assert!(report.cases_examined > 0);
+        assert!(report.failure.is_none());
+    }
+
+    #[test]
+    fn run_first_outcome_feeds_si_check() {
+        let model = Det(PutMaxModel);
+        let y = run_first_outcome(&model, &[(0, PutMaxOp::Put(1)), (1, PutMaxOp::Put(1))]);
+        assert!(si_commutes(&model, &History::new(), &y).commutes);
+    }
+}

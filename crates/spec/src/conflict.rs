@@ -1,0 +1,248 @@
+//! Access conflicts and conflict freedom (§3.3).
+//!
+//! Two implementation steps have an **access conflict** when they are on
+//! different threads and one writes a state component that the other reads
+//! or writes. A set of steps is **conflict-free** when no pair of steps in
+//! the set conflicts. Conflict freedom is the paper's proxy for scalability:
+//! on MESI-like cache-coherent hardware, conflict-free access patterns scale
+//! linearly.
+
+use crate::implementation::StepRecord;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The components read and written by one implementation step.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessSet {
+    /// Indices of components read.
+    pub reads: BTreeSet<usize>,
+    /// Indices of components written.
+    pub writes: BTreeSet<usize>,
+}
+
+impl AccessSet {
+    /// An empty access set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Does this access set conflict with `other`, assuming the two accesses
+    /// are performed by different threads? (The thread check is the caller's
+    /// responsibility.)
+    pub fn conflicts_with(&self, other: &AccessSet) -> bool {
+        // One writes what the other reads or writes.
+        let self_writes_other_touches = self
+            .writes
+            .iter()
+            .any(|c| other.reads.contains(c) || other.writes.contains(c));
+        let other_writes_self_touches = other
+            .writes
+            .iter()
+            .any(|c| self.reads.contains(c) || self.writes.contains(c));
+        self_writes_other_touches || other_writes_self_touches
+    }
+
+    /// The components involved in a conflict between `self` and `other`
+    /// (empty when there is no conflict).
+    pub fn conflicting_components(&self, other: &AccessSet) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for c in &self.writes {
+            if other.reads.contains(c) || other.writes.contains(c) {
+                out.insert(*c);
+            }
+        }
+        for c in &other.writes {
+            if self.reads.contains(c) || self.writes.contains(c) {
+                out.insert(*c);
+            }
+        }
+        out
+    }
+
+    /// All components touched (read or written).
+    pub fn touched(&self) -> BTreeSet<usize> {
+        self.reads.union(&self.writes).copied().collect()
+    }
+}
+
+/// One conflicting pair of steps found in a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictPair {
+    /// Index (in the step log) of the first step.
+    pub step_a: usize,
+    /// Thread of the first step.
+    pub thread_a: usize,
+    /// Index of the second step.
+    pub step_b: usize,
+    /// Thread of the second step.
+    pub thread_b: usize,
+    /// The state components on which the two steps conflict.
+    pub components: BTreeSet<usize>,
+    /// Human-readable labels of those components.
+    pub labels: Vec<String>,
+}
+
+impl fmt::Display for ConflictPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "steps {}(t{}) and {}(t{}) conflict on {:?}",
+            self.step_a, self.thread_a, self.step_b, self.thread_b, self.labels
+        )
+    }
+}
+
+/// Report of all conflicts among a set of steps.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConflictReport {
+    /// Every conflicting pair found.
+    pub conflicts: Vec<ConflictPair>,
+    /// Number of steps examined.
+    pub steps_examined: usize,
+}
+
+impl ConflictReport {
+    /// `true` when no conflicts were found.
+    pub fn is_conflict_free(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+}
+
+impl fmt::Display for ConflictReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_conflict_free() {
+            write!(f, "conflict-free ({} steps)", self.steps_examined)
+        } else {
+            writeln!(
+                f,
+                "{} conflict(s) among {} steps:",
+                self.conflicts.len(),
+                self.steps_examined
+            )?;
+            for c in &self.conflicts {
+                writeln!(f, "  {c}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Finds every access conflict among `steps` (§3.3): pairs on different
+/// threads where one writes a component the other reads or writes.
+///
+/// `label` maps a component index to a human-readable name for the report.
+pub fn find_conflicts<I, R>(
+    steps: &[&StepRecord<I, R>],
+    label: impl Fn(usize) -> String,
+) -> ConflictReport {
+    let mut conflicts = Vec::new();
+    for (i, a) in steps.iter().enumerate() {
+        for b in steps.iter().skip(i + 1) {
+            if a.thread == b.thread {
+                continue;
+            }
+            let components = a.accesses.conflicting_components(&b.accesses);
+            if !components.is_empty() {
+                let labels = components.iter().map(|&c| label(c)).collect();
+                conflicts.push(ConflictPair {
+                    step_a: a.index,
+                    thread_a: a.thread,
+                    step_b: b.index,
+                    thread_b: b.thread,
+                    components,
+                    labels,
+                });
+            }
+        }
+    }
+    ConflictReport {
+        conflicts,
+        steps_examined: steps.len(),
+    }
+}
+
+/// Convenience: is this whole set of steps conflict-free?
+pub fn is_conflict_free<I, R>(steps: &[&StepRecord<I, R>]) -> bool {
+    find_conflicts(steps, |c| format!("component[{c}]")).is_conflict_free()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implementation::{Invocation, Response};
+
+    fn record(index: usize, thread: usize, reads: &[usize], writes: &[usize]) -> StepRecord<(), ()> {
+        StepRecord {
+            thread,
+            invocation: Invocation::Op(()),
+            response: Response::Op(()),
+            accesses: AccessSet {
+                reads: reads.iter().copied().collect(),
+                writes: writes.iter().copied().collect(),
+            },
+            index,
+        }
+    }
+
+    #[test]
+    fn write_write_on_same_component_conflicts() {
+        let a = record(0, 0, &[], &[3]);
+        let b = record(1, 1, &[], &[3]);
+        let report = find_conflicts(&[&a, &b], |c| format!("c{c}"));
+        assert!(!report.is_conflict_free());
+        assert_eq!(report.conflicts.len(), 1);
+        assert_eq!(report.conflicts[0].components, BTreeSet::from([3]));
+    }
+
+    #[test]
+    fn read_write_on_same_component_conflicts() {
+        let a = record(0, 0, &[2], &[]);
+        let b = record(1, 1, &[], &[2]);
+        assert!(!is_conflict_free(&[&a, &b]));
+    }
+
+    #[test]
+    fn read_read_is_conflict_free() {
+        let a = record(0, 0, &[5], &[]);
+        let b = record(1, 1, &[5], &[]);
+        assert!(is_conflict_free(&[&a, &b]));
+    }
+
+    #[test]
+    fn same_thread_never_conflicts() {
+        let a = record(0, 0, &[], &[1]);
+        let b = record(1, 0, &[], &[1]);
+        assert!(is_conflict_free(&[&a, &b]));
+    }
+
+    #[test]
+    fn disjoint_components_are_conflict_free() {
+        let a = record(0, 0, &[0], &[1]);
+        let b = record(1, 1, &[2], &[3]);
+        assert!(is_conflict_free(&[&a, &b]));
+    }
+
+    #[test]
+    fn report_lists_labels() {
+        let a = record(0, 0, &[], &[7]);
+        let b = record(1, 1, &[7], &[]);
+        let report = find_conflicts(&[&a, &b], |c| format!("refcount[{c}]"));
+        assert_eq!(report.conflicts[0].labels, vec!["refcount[7]".to_string()]);
+        let shown = format!("{report}");
+        assert!(shown.contains("refcount[7]"));
+    }
+
+    #[test]
+    fn conflicting_components_symmetry() {
+        let a = AccessSet {
+            reads: BTreeSet::from([1]),
+            writes: BTreeSet::from([2]),
+        };
+        let b = AccessSet {
+            reads: BTreeSet::from([2]),
+            writes: BTreeSet::from([1]),
+        };
+        assert_eq!(a.conflicting_components(&b), b.conflicting_components(&a));
+        assert!(a.conflicts_with(&b));
+    }
+}

@@ -1,0 +1,680 @@
+//! The constructive proof of the scalable commutativity rule (§3.5).
+//!
+//! Given a reference implementation `M` and a history `H = X || Y` where `Y`
+//! SIM-commutes in `H`, the paper constructs an implementation `m` that is
+//! correct for the whole specification and whose steps in the `Y` region are
+//! conflict-free.
+//!
+//! Two machines are built here:
+//!
+//! * [`NonScalable`] is the warm-up machine `mns` of Figure 1: it replays
+//!   `H` verbatim from a single shared history component and falls back to
+//!   emulating the reference when the input diverges. Every pair of replay
+//!   steps conflicts on the shared history component — it is correct but not
+//!   scalable.
+//! * [`Scalable`] is the machine `m` of Figure 2: it keeps a *per-thread*
+//!   remaining history `h[t]` (initialised to `X || COMMUTE || (Y|t)`) and a
+//!   per-thread `commute[t]` flag. Inside the commutative region each step
+//!   touches only the invoking thread's components, so any two steps in the
+//!   region are conflict-free. On divergence it reinitialises the reference
+//!   implementation from an invocation sequence consistent with what each
+//!   thread has consumed — which may reorder the commutative region, and is
+//!   exactly where SIM commutativity is required.
+//!
+//! The tests at the bottom of this module check, for concrete models, the
+//! three properties the proof claims: correct replay, correct divergence
+//! handling, and conflict-freedom of the commutative region (for the
+//! scalable machine only).
+
+use crate::action::{Action, ThreadId};
+use crate::history::History;
+use crate::implementation::{Invocation, Response, Runner, StateCtx, StepImplementation, StepRecord};
+use crate::model::DetModel;
+use std::collections::VecDeque;
+
+/// An entry in a (per-thread) remaining history: either a recorded action or
+/// the special `COMMUTE` marker that precedes the commutative region.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HistEntry<I, R> {
+    /// The commutative region starts after this marker.
+    Commute,
+    /// A recorded action to replay.
+    Act(Action<I, R>),
+}
+
+/// The replay slot of a constructed machine: either a queue of entries still
+/// to be replayed, or the `EMULATE` sentinel after divergence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HistSlot<I, R> {
+    /// Still replaying the recorded history.
+    Replay(VecDeque<HistEntry<I, R>>),
+    /// The recorded history is exhausted or the input diverged; all further
+    /// invocations are forwarded to the reference implementation.
+    Emulate,
+}
+
+/// One state component of a constructed machine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Comp<I, R, S> {
+    /// A remaining-history slot (shared for `mns`, per-thread for `m`).
+    Hist(HistSlot<I, R>),
+    /// A per-thread "inside the commutative region" flag (`m` only).
+    Flag(bool),
+    /// The reference implementation's state.
+    Ref(S),
+}
+
+impl<I, R, S> Comp<I, R, S> {
+    fn as_hist(&self) -> &HistSlot<I, R> {
+        match self {
+            Comp::Hist(h) => h,
+            _ => panic!("component is not a history slot"),
+        }
+    }
+
+    fn as_flag(&self) -> bool {
+        match self {
+            Comp::Flag(f) => *f,
+            _ => panic!("component is not a flag"),
+        }
+    }
+
+    fn as_ref_state(&self) -> &S {
+        match self {
+            Comp::Ref(s) => s,
+            _ => panic!("component is not the reference state"),
+        }
+    }
+}
+
+fn matches_invocation<I: PartialEq, R>(entry: &HistEntry<I, R>, thread: ThreadId, inv: &I) -> bool {
+    match entry {
+        HistEntry::Act(a) => a.thread == thread && a.invocation() == Some(inv),
+        HistEntry::Commute => false,
+    }
+}
+
+fn response_for<I, R: Clone>(entry: &HistEntry<I, R>, thread: ThreadId) -> Option<R> {
+    match entry {
+        HistEntry::Act(a) if a.thread == thread => a.response().cloned(),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mns — Figure 1
+// ---------------------------------------------------------------------------
+
+/// The non-scalable constructed machine `mns` of Figure 1.
+///
+/// State components: `[0]` the shared remaining history, `[1]` the reference
+/// implementation's state. Every replay step reads and writes component 0,
+/// so any two steps on different threads conflict — this machine is correct
+/// but deliberately not scalable.
+pub struct NonScalable<M: DetModel> {
+    model: M,
+    target: History<M::Inv, M::Resp>,
+}
+
+impl<M: DetModel> NonScalable<M> {
+    /// Builds `mns` for reference model `model` and target history `target`.
+    pub fn new(model: M, target: History<M::Inv, M::Resp>) -> Self {
+        NonScalable { model, target }
+    }
+
+    fn replay_prefix_into_ref(&self, remaining_len: usize) -> M::State {
+        let consumed = self.target.len() - remaining_len;
+        let mut state = self.model.initial();
+        for action in self.target.prefix(consumed).invocations() {
+            let inv = action.invocation().expect("invocations() yields invocations");
+            self.model.apply(&mut state, action.thread, inv);
+        }
+        state
+    }
+}
+
+impl<M: DetModel> StepImplementation for NonScalable<M>
+where
+    M::Inv: PartialEq,
+    M::State: PartialEq,
+{
+    type I = M::Inv;
+    type R = M::Resp;
+    type Comp = Comp<M::Inv, M::Resp, M::State>;
+
+    fn initial(&self) -> Vec<Self::Comp> {
+        let entries: VecDeque<HistEntry<M::Inv, M::Resp>> = self
+            .target
+            .actions()
+            .iter()
+            .cloned()
+            .map(HistEntry::Act)
+            .collect();
+        vec![
+            Comp::Hist(HistSlot::Replay(entries)),
+            Comp::Ref(self.model.initial()),
+        ]
+    }
+
+    fn component_label(&self, i: usize) -> String {
+        ["s.h (shared remaining history)", "s.refstate"][i].to_string()
+    }
+
+    fn step(
+        &self,
+        ctx: &mut StateCtx<'_, Self::Comp>,
+        thread: ThreadId,
+        inv: &Invocation<Self::I>,
+    ) -> Response<Self::R> {
+        let hist = ctx.read(0);
+        let slot = hist.as_hist().clone();
+        match slot {
+            HistSlot::Replay(mut entries) => {
+                let head = entries.front().cloned();
+                match (&head, inv) {
+                    (Some(entry), Invocation::Op(op)) if matches_invocation(entry, thread, op) => {
+                        entries.pop_front();
+                        ctx.write(0, Comp::Hist(HistSlot::Replay(entries)));
+                        Response::Continue
+                    }
+                    (Some(entry), Invocation::Continue)
+                        if response_for::<M::Inv, M::Resp>(entry, thread).is_some() =>
+                    {
+                        let r = response_for(entry, thread).expect("checked above");
+                        entries.pop_front();
+                        ctx.write(0, Comp::Hist(HistSlot::Replay(entries)));
+                        Response::Op(r)
+                    }
+                    _ => {
+                        // H complete or input diverged: initialise the
+                        // reference from the consumed prefix and emulate.
+                        let mut refstate = self.replay_prefix_into_ref(entries.len());
+                        ctx.write(0, Comp::Hist(HistSlot::Emulate));
+                        let resp = match inv {
+                            Invocation::Op(op) => {
+                                Response::Op(self.model.apply(&mut refstate, thread, op))
+                            }
+                            Invocation::Continue => Response::Continue,
+                        };
+                        ctx.write(1, Comp::Ref(refstate));
+                        resp
+                    }
+                }
+            }
+            HistSlot::Emulate => {
+                let mut refstate = ctx.read(1).as_ref_state().clone();
+                let resp = match inv {
+                    Invocation::Op(op) => Response::Op(self.model.apply(&mut refstate, thread, op)),
+                    Invocation::Continue => Response::Continue,
+                };
+                ctx.write(1, Comp::Ref(refstate));
+                resp
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// m — Figure 2
+// ---------------------------------------------------------------------------
+
+/// The scalable constructed machine `m` of Figure 2, specialised for
+/// `H = X || Y`.
+///
+/// State components for `T` threads: `[0..T)` the per-thread remaining
+/// histories `h[t]`, `[T..2T)` the per-thread `commute[t]` flags, `[2T]` the
+/// reference implementation's state. Inside the commutative region every
+/// step touches only the invoking thread's two components.
+pub struct Scalable<M: DetModel> {
+    model: M,
+    x: History<M::Inv, M::Resp>,
+    y: History<M::Inv, M::Resp>,
+    threads: usize,
+}
+
+impl<M: DetModel> Scalable<M> {
+    /// Builds `m` for the history `x || y` (with `y` the SIM-commutative
+    /// region) over `threads` threads.
+    pub fn new(
+        model: M,
+        x: History<M::Inv, M::Resp>,
+        y: History<M::Inv, M::Resp>,
+        threads: usize,
+    ) -> Self {
+        Scalable {
+            model,
+            x,
+            y,
+            threads,
+        }
+    }
+
+    /// Index of the history component of `thread`.
+    pub fn hist_component(&self, thread: ThreadId) -> usize {
+        thread
+    }
+
+    /// Index of the commute-flag component of `thread`.
+    pub fn flag_component(&self, thread: ThreadId) -> usize {
+        self.threads + thread
+    }
+
+    /// Index of the reference-state component.
+    pub fn ref_component(&self) -> usize {
+        2 * self.threads
+    }
+
+    /// Reconstructs an invocation sequence consistent with what each thread
+    /// has consumed, and replays it into a fresh reference state. The
+    /// consumed prefix of `X` is common to all threads; the consumed parts of
+    /// `Y` are appended per thread in thread order — a reordering of the
+    /// actual input order, which SIM commutativity makes harmless.
+    fn rebuild_ref_state(&self, remaining: &[HistSlot<M::Inv, M::Resp>]) -> M::State {
+        let mut x_consumed = 0usize;
+        let mut y_consumed: Vec<Vec<Action<M::Inv, M::Resp>>> = vec![Vec::new(); self.threads];
+        for (t, slot) in remaining.iter().enumerate() {
+            let y_t = self.y.restrict(t);
+            let remaining_len = match slot {
+                HistSlot::Replay(entries) => entries.len(),
+                HistSlot::Emulate => 0,
+            };
+            let full_len = self.x.len() + 1 + y_t.len();
+            let consumed = full_len.saturating_sub(remaining_len);
+            if consumed <= self.x.len() {
+                x_consumed = x_consumed.max(consumed);
+            } else {
+                x_consumed = self.x.len();
+                let consumed_y = consumed - self.x.len() - 1;
+                y_consumed[t] = y_t.actions()[..consumed_y.min(y_t.len())].to_vec();
+            }
+        }
+        let mut state = self.model.initial();
+        for action in self.x.prefix(x_consumed).invocations() {
+            let inv = action.invocation().expect("invocation");
+            self.model.apply(&mut state, action.thread, inv);
+        }
+        for per_thread in &y_consumed {
+            for action in per_thread {
+                if let Some(inv) = action.invocation() {
+                    self.model.apply(&mut state, action.thread, inv);
+                }
+            }
+        }
+        state
+    }
+}
+
+impl<M: DetModel> StepImplementation for Scalable<M>
+where
+    M::Inv: PartialEq,
+    M::State: PartialEq,
+{
+    type I = M::Inv;
+    type R = M::Resp;
+    type Comp = Comp<M::Inv, M::Resp, M::State>;
+
+    fn initial(&self) -> Vec<Self::Comp> {
+        let mut comps = Vec::with_capacity(2 * self.threads + 1);
+        for t in 0..self.threads {
+            let mut entries: VecDeque<HistEntry<M::Inv, M::Resp>> = self
+                .x
+                .actions()
+                .iter()
+                .cloned()
+                .map(HistEntry::Act)
+                .collect();
+            entries.push_back(HistEntry::Commute);
+            for a in self.y.restrict(t).actions() {
+                entries.push_back(HistEntry::Act(a.clone()));
+            }
+            comps.push(Comp::Hist(HistSlot::Replay(entries)));
+        }
+        for _ in 0..self.threads {
+            comps.push(Comp::Flag(false));
+        }
+        comps.push(Comp::Ref(self.model.initial()));
+        comps
+    }
+
+    fn component_label(&self, i: usize) -> String {
+        if i < self.threads {
+            format!("s.h[{i}]")
+        } else if i < 2 * self.threads {
+            format!("s.commute[{}]", i - self.threads)
+        } else {
+            "s.refstate".to_string()
+        }
+    }
+
+    fn step(
+        &self,
+        ctx: &mut StateCtx<'_, Self::Comp>,
+        thread: ThreadId,
+        inv: &Invocation<Self::I>,
+    ) -> Response<Self::R> {
+        let t = thread;
+        assert!(t < self.threads, "thread {t} out of range for constructed machine");
+        let hist_idx = self.hist_component(t);
+        let flag_idx = self.flag_component(t);
+        let ref_idx = self.ref_component();
+
+        let mut slot = ctx.read(hist_idx).as_hist().clone();
+        // Enter conflict-free mode when the COMMUTE marker is at the head.
+        if let HistSlot::Replay(entries) = &mut slot {
+            if entries.front() == Some(&HistEntry::Commute) {
+                entries.pop_front();
+                ctx.write(flag_idx, Comp::Flag(true));
+                ctx.write(hist_idx, Comp::Hist(HistSlot::Replay(entries.clone())));
+            }
+        }
+
+        match slot {
+            HistSlot::Replay(entries) => {
+                let head = entries.front().cloned();
+                let replay_response: Option<Response<M::Resp>> = match (&head, inv) {
+                    (Some(entry), Invocation::Op(op)) if matches_invocation(entry, t, op) => {
+                        Some(Response::Continue)
+                    }
+                    (Some(entry), Invocation::Continue) => {
+                        response_for::<M::Inv, M::Resp>(entry, t).map(Response::Op)
+                    }
+                    _ => None,
+                };
+                match replay_response {
+                    Some(resp) => {
+                        // Advance: only our own history in conflict-free
+                        // mode, every thread's history in replay mode.
+                        let in_commute = ctx.read(flag_idx).as_flag();
+                        if in_commute {
+                            let mut own = entries;
+                            own.pop_front();
+                            ctx.write(hist_idx, Comp::Hist(HistSlot::Replay(own)));
+                        } else {
+                            for u in 0..self.threads {
+                                let u_idx = self.hist_component(u);
+                                if let Comp::Hist(HistSlot::Replay(mut u_entries)) = ctx.read(u_idx)
+                                {
+                                    u_entries.pop_front();
+                                    ctx.write(u_idx, Comp::Hist(HistSlot::Replay(u_entries)));
+                                }
+                            }
+                        }
+                        resp
+                    }
+                    None => {
+                        // H complete or input diverged: rebuild the reference
+                        // state from every thread's consumed prefix and
+                        // switch all threads to emulation.
+                        let remaining: Vec<HistSlot<M::Inv, M::Resp>> = (0..self.threads)
+                            .map(|u| ctx.read(self.hist_component(u)).as_hist().clone())
+                            .collect();
+                        let mut refstate = self.rebuild_ref_state(&remaining);
+                        for u in 0..self.threads {
+                            ctx.write(self.hist_component(u), Comp::Hist(HistSlot::Emulate));
+                        }
+                        let resp = match inv {
+                            Invocation::Op(op) => {
+                                Response::Op(self.model.apply(&mut refstate, t, op))
+                            }
+                            Invocation::Continue => Response::Continue,
+                        };
+                        ctx.write(ref_idx, Comp::Ref(refstate));
+                        resp
+                    }
+                }
+            }
+            HistSlot::Emulate => {
+                let mut refstate = ctx.read(ref_idx).as_ref_state().clone();
+                let resp = match inv {
+                    Invocation::Op(op) => Response::Op(self.model.apply(&mut refstate, t, op)),
+                    Invocation::Continue => Response::Continue,
+                };
+                ctx.write(ref_idx, Comp::Ref(refstate));
+                resp
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Outcome of replaying a recorded history through a constructed machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// Every response matched the recorded history.
+    Matched,
+    /// A response differed from the recorded one at the given action index.
+    Mismatch(usize),
+}
+
+/// Drives a constructed machine through a recorded history: each invocation
+/// action is passed as an operation, each response action as a `CONTINUE`
+/// for the responding thread. Returns whether the machine reproduced every
+/// recorded response, along with the runner (whose log can be inspected for
+/// conflicts).
+pub fn replay_history<'m, Mach>(
+    machine: &'m Mach,
+    history: &History<Mach::I, Mach::R>,
+) -> (ReplayOutcome, Runner<'m, Mach>)
+where
+    Mach: StepImplementation,
+    Mach::I: Clone,
+    Mach::R: Clone + PartialEq,
+{
+    let mut runner = Runner::new(machine);
+    for (idx, action) in history.actions().iter().enumerate() {
+        match &action.kind {
+            crate::action::ActionKind::Invocation(op) => {
+                let resp = runner.step(action.thread, Invocation::Op(op.clone()));
+                // During replay the machine answers CONTINUE to invocations;
+                // an immediate real response is also acceptable as long as it
+                // matches the recorded response that follows.
+                if let Response::Op(_) = resp {
+                    // Peek: the next action by this thread should be the
+                    // matching response.
+                    let recorded = history.actions()[idx + 1..]
+                        .iter()
+                        .find(|a| a.thread == action.thread)
+                        .and_then(|a| a.response().cloned());
+                    if recorded.as_ref() != resp.value() {
+                        return (ReplayOutcome::Mismatch(idx), runner);
+                    }
+                }
+            }
+            crate::action::ActionKind::Response(expected) => {
+                let resp = runner.step(action.thread, Invocation::Continue);
+                match resp.value() {
+                    Some(got) if got == expected => {}
+                    _ => return (ReplayOutcome::Mismatch(idx), runner),
+                }
+            }
+        }
+    }
+    (ReplayOutcome::Matched, runner)
+}
+
+/// The steps a runner took for the actions `range` of a replayed history
+/// (one step per action).
+pub fn steps_for_range<'l, I, R>(
+    log: &'l [StepRecord<I, R>],
+    range: std::ops::Range<usize>,
+) -> Vec<&'l StepRecord<I, R>> {
+    log[range].iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::op_pair;
+    use crate::commutativity::sim_commutes;
+    use crate::conflict::find_conflicts;
+    use crate::history::History;
+    use crate::model::{Det, PutMaxModel, PutMaxOp, PutMaxResp, RegisterModel, RegisterOp, RegisterResp};
+    use crate::spec::{RefSpec, Specification};
+
+    fn seq_history<I: Clone, R: Clone>(ops: &[(usize, I, R)]) -> History<I, R> {
+        let mut h = History::new();
+        for (tag, (t, i, r)) in ops.iter().enumerate() {
+            for a in op_pair(*t, 100 + tag as u64, i.clone(), r.clone()) {
+                h.push(a);
+            }
+        }
+        h
+    }
+
+    /// X = put(3); Y = two gets... — use the put/max model where Y is a pair
+    /// of puts of the same value, which SIM-commutes.
+    fn putmax_xy() -> (History<PutMaxOp, PutMaxResp>, History<PutMaxOp, PutMaxResp>) {
+        let x = seq_history(&[(0, PutMaxOp::Put(3), PutMaxResp::Ok)]);
+        let y = seq_history(&[
+            (0, PutMaxOp::Put(1), PutMaxResp::Ok),
+            (1, PutMaxOp::Put(1), PutMaxResp::Ok),
+        ]);
+        (x, y)
+    }
+
+    #[test]
+    fn chosen_region_sim_commutes() {
+        let (x, y) = putmax_xy();
+        assert!(sim_commutes(&Det(PutMaxModel), &x, &y).commutes);
+    }
+
+    #[test]
+    fn mns_replays_the_recorded_history() {
+        let (x, y) = putmax_xy();
+        let h = x.concat(&y);
+        let mns = NonScalable::new(PutMaxModel, h.clone());
+        let (outcome, _runner) = replay_history(&mns, &h);
+        assert_eq!(outcome, ReplayOutcome::Matched);
+    }
+
+    #[test]
+    fn mns_commutative_region_conflicts_on_shared_history() {
+        let (x, y) = putmax_xy();
+        let h = x.concat(&y);
+        let mns = NonScalable::new(PutMaxModel, h.clone());
+        let (outcome, runner) = replay_history(&mns, &h);
+        assert_eq!(outcome, ReplayOutcome::Matched);
+        let y_steps = steps_for_range(runner.log(), x.len()..x.len() + y.len());
+        let report = find_conflicts(&y_steps, |c| mns.component_label(c));
+        assert!(
+            !report.is_conflict_free(),
+            "mns must conflict on the shared history component"
+        );
+    }
+
+    #[test]
+    fn scalable_replays_the_recorded_history() {
+        let (x, y) = putmax_xy();
+        let m = Scalable::new(PutMaxModel, x.clone(), y.clone(), 2);
+        let (outcome, _runner) = replay_history(&m, &x.concat(&y));
+        assert_eq!(outcome, ReplayOutcome::Matched);
+    }
+
+    #[test]
+    fn scalable_commutative_region_is_conflict_free() {
+        let (x, y) = putmax_xy();
+        let m = Scalable::new(PutMaxModel, x.clone(), y.clone(), 2);
+        let (outcome, runner) = replay_history(&m, &x.concat(&y));
+        assert_eq!(outcome, ReplayOutcome::Matched);
+        let y_steps = steps_for_range(runner.log(), x.len()..x.len() + y.len());
+        let report = find_conflicts(&y_steps, |c| m.component_label(c));
+        assert!(
+            report.is_conflict_free(),
+            "commutative region must be conflict-free, got: {report}"
+        );
+    }
+
+    #[test]
+    fn scalable_replays_reorderings_of_the_commutative_region() {
+        let (x, y) = putmax_xy();
+        let m = Scalable::new(PutMaxModel, x.clone(), y.clone(), 2);
+        for y_prime in crate::commutativity::op_level_reorderings(&y) {
+            let (outcome, runner) = replay_history(&m, &x.concat(&y_prime));
+            assert_eq!(outcome, ReplayOutcome::Matched, "reordering must replay");
+            let y_steps = steps_for_range(runner.log(), x.len()..x.len() + y_prime.len());
+            let report = find_conflicts(&y_steps, |c| m.component_label(c));
+            assert!(report.is_conflict_free(), "reordering region must be conflict-free");
+        }
+    }
+
+    #[test]
+    fn scalable_handles_divergence_after_the_region() {
+        // Replay X || Y, then issue an operation that is not in H; the
+        // response must be what the reference model would produce.
+        let (x, y) = putmax_xy();
+        let m = Scalable::new(PutMaxModel, x.clone(), y.clone(), 2);
+        let h = x.concat(&y);
+        let (outcome, mut runner) = replay_history(&m, &h);
+        assert_eq!(outcome, ReplayOutcome::Matched);
+        let resp = runner.call(0, PutMaxOp::Max, 4);
+        assert_eq!(resp, Some(PutMaxResp::Max(3)));
+    }
+
+    #[test]
+    fn scalable_handles_divergence_inside_the_region() {
+        // Replay X and the first operation of Y (on thread 0), then diverge
+        // with a Max on thread 1. The constructed machine reinitialises the
+        // reference from a reordering of the consumed prefix; the result must
+        // still be allowed by the specification.
+        let (x, y) = putmax_xy();
+        let m = Scalable::new(PutMaxModel, x.clone(), y.clone(), 2);
+        let mut runner = Runner::new(&m);
+        // Replay X.
+        for action in x.actions() {
+            match &action.kind {
+                crate::action::ActionKind::Invocation(op) => {
+                    runner.step(action.thread, Invocation::Op(*op));
+                }
+                crate::action::ActionKind::Response(_) => {
+                    runner.step(action.thread, Invocation::Continue);
+                }
+            }
+        }
+        // First operation of Y on thread 0.
+        assert_eq!(runner.call(0, PutMaxOp::Put(1), 4), Some(PutMaxResp::Ok));
+        // Divergence: Max on thread 1 (not the recorded next action).
+        let resp = runner.call(1, PutMaxOp::Max, 4);
+        assert_eq!(resp, Some(PutMaxResp::Max(3)));
+        // The overall produced history must be allowed by the specification.
+        let spec = RefSpec::new(Det(PutMaxModel));
+        let produced = seq_history(&[
+            (0, PutMaxOp::Put(3), PutMaxResp::Ok),
+            (0, PutMaxOp::Put(1), PutMaxResp::Ok),
+            (1, PutMaxOp::Max, PutMaxResp::Max(3)),
+        ]);
+        assert!(spec.contains(&produced));
+    }
+
+    #[test]
+    fn mns_handles_divergence_from_the_start() {
+        let model = RegisterModel;
+        let h = seq_history(&[
+            (0, RegisterOp::Set(1), RegisterResp::Ok),
+            (1, RegisterOp::Get, RegisterResp::Value(1)),
+        ]);
+        let mns = NonScalable::new(model, h);
+        let mut runner = Runner::new(&mns);
+        // Diverge immediately with a different operation.
+        assert_eq!(
+            runner.call(1, RegisterOp::Set(9), 4),
+            Some(RegisterResp::Ok)
+        );
+        assert_eq!(
+            runner.call(0, RegisterOp::Get, 4),
+            Some(RegisterResp::Value(9))
+        );
+    }
+
+    #[test]
+    fn component_labels_are_descriptive() {
+        let (x, y) = putmax_xy();
+        let m = Scalable::new(PutMaxModel, x, y, 2);
+        assert_eq!(m.component_label(0), "s.h[0]");
+        assert_eq!(m.component_label(2), "s.commute[0]");
+        assert_eq!(m.component_label(4), "s.refstate");
+        assert_eq!(m.ref_component(), 4);
+    }
+}

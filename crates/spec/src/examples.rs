@@ -1,0 +1,215 @@
+//! Worked examples from the paper (§3.6).
+//!
+//! The put/max interface: `put(x)` records a sample, `max()` returns the
+//! maximum recorded so far (or 0). For the history
+//!
+//! ```text
+//! H = [ put(1)@t0, ok, put(1)@t1, ok, max()@t2, 1 ]
+//! ```
+//!
+//! the whole history SIM-commutes, yet no single implementation is
+//! conflict-free across all of it. Two natural implementations each scale
+//! for a *different* sub-region:
+//!
+//! * [`PerThreadMax`] keeps per-thread maxima reconciled by `max()`; the two
+//!   `put`s are conflict-free, but `max()` reads every per-thread slot and
+//!   therefore conflicts with the `put`s.
+//! * [`GlobalMax`] keeps one global maximum that `put` checks before
+//!   writing; `put(1)` after an earlier `put(1)` is a pure read and `max()`
+//!   is a pure read, so the `[put(1)@t1, max()@t2]` suffix is conflict-free,
+//!   but the first `put` writes the global and conflicts with everything
+//!   after it.
+//!
+//! This is the paper's illustration that a system designer must choose
+//! *which* commutative situations an implementation should scale for.
+
+use crate::action::ThreadId;
+use crate::implementation::{Invocation, Response, StateCtx, StepImplementation};
+use crate::model::{PutMaxOp, PutMaxResp};
+
+/// Put/max implementation with per-thread maxima (scales for concurrent
+/// `put`s).
+///
+/// Component `t` holds thread `t`'s local maximum.
+pub struct PerThreadMax {
+    /// Number of threads (one component per thread).
+    pub threads: usize,
+}
+
+impl StepImplementation for PerThreadMax {
+    type I = PutMaxOp;
+    type R = PutMaxResp;
+    type Comp = i64;
+
+    fn initial(&self) -> Vec<i64> {
+        vec![0; self.threads]
+    }
+
+    fn component_label(&self, i: usize) -> String {
+        format!("local_max[{i}]")
+    }
+
+    fn step(
+        &self,
+        ctx: &mut StateCtx<'_, i64>,
+        thread: ThreadId,
+        inv: &Invocation<PutMaxOp>,
+    ) -> Response<PutMaxResp> {
+        match inv {
+            Invocation::Op(PutMaxOp::Put(v)) => {
+                let cur = ctx.read(thread);
+                if *v > cur {
+                    ctx.write(thread, *v);
+                }
+                Response::Op(PutMaxResp::Ok)
+            }
+            Invocation::Op(PutMaxOp::Max) => {
+                let mut best = 0;
+                for t in 0..self.threads {
+                    best = best.max(ctx.read(t));
+                }
+                Response::Op(PutMaxResp::Max(best))
+            }
+            Invocation::Continue => Response::Continue,
+        }
+    }
+}
+
+/// Put/max implementation with a single global maximum that `put` checks
+/// before writing (scales for repeated `put`s of a non-increasing value and
+/// for `max`).
+pub struct GlobalMax;
+
+impl StepImplementation for GlobalMax {
+    type I = PutMaxOp;
+    type R = PutMaxResp;
+    type Comp = i64;
+
+    fn initial(&self) -> Vec<i64> {
+        vec![0]
+    }
+
+    fn component_label(&self, _i: usize) -> String {
+        "global_max".to_string()
+    }
+
+    fn step(
+        &self,
+        ctx: &mut StateCtx<'_, i64>,
+        _thread: ThreadId,
+        inv: &Invocation<PutMaxOp>,
+    ) -> Response<PutMaxResp> {
+        match inv {
+            Invocation::Op(PutMaxOp::Put(v)) => {
+                // Optimistic check before writing ("precede pessimism with
+                // optimism", §6.3): only write when the value increases.
+                let cur = ctx.read(0);
+                if *v > cur {
+                    ctx.write(0, *v);
+                }
+                Response::Op(PutMaxResp::Ok)
+            }
+            Invocation::Op(PutMaxOp::Max) => Response::Op(PutMaxResp::Max(ctx.read(0))),
+            Invocation::Continue => Response::Continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::op_pair;
+    use crate::commutativity::sim_commutes;
+    use crate::conflict::find_conflicts;
+    use crate::history::History;
+    use crate::implementation::Runner;
+    use crate::model::{Det, PutMaxModel};
+
+    /// The history H of §3.6.
+    fn paper_history() -> History<PutMaxOp, PutMaxResp> {
+        let mut h = History::new();
+        for a in op_pair(0, 1, PutMaxOp::Put(1), PutMaxResp::Ok) {
+            h.push(a);
+        }
+        for a in op_pair(1, 2, PutMaxOp::Put(1), PutMaxResp::Ok) {
+            h.push(a);
+        }
+        for a in op_pair(2, 3, PutMaxOp::Max, PutMaxResp::Max(1)) {
+            h.push(a);
+        }
+        h
+    }
+
+    fn run_and_slice<'m, M: StepImplementation<I = PutMaxOp, R = PutMaxResp>>(
+        machine: &'m M,
+        h: &History<PutMaxOp, PutMaxResp>,
+    ) -> Runner<'m, M> {
+        let mut runner = Runner::new(machine);
+        for chunk in h.actions().chunks(2) {
+            let op = chunk[0].invocation().copied().expect("invocation");
+            let expected = chunk[1].response().copied().expect("response");
+            let got = runner.call(chunk[0].thread, op, 4).expect("response");
+            assert_eq!(got, expected, "implementation must satisfy the history");
+        }
+        runner
+    }
+
+    #[test]
+    fn subregions_of_h_sim_commute() {
+        // The two puts commute with each other, and the second put commutes
+        // with max() once a put(1) has already happened — the two regions for
+        // which the two implementations below are respectively conflict-free.
+        let h = paper_history();
+        let (puts, _) = h.split_at(4);
+        assert!(sim_commutes(&Det(PutMaxModel), &History::new(), &puts).commutes);
+        let (x, suffix) = h.split_at(2);
+        assert!(sim_commutes(&Det(PutMaxModel), &x, &suffix).commutes);
+        // The whole history does not SIM-commute, so the rule does not promise
+        // a conflict-free implementation for all of it.
+        assert!(!sim_commutes(&Det(PutMaxModel), &History::new(), &h).commutes);
+    }
+
+    #[test]
+    fn per_thread_max_is_conflict_free_for_the_two_puts() {
+        let h = paper_history();
+        let machine = PerThreadMax { threads: 3 };
+        let runner = run_and_slice(&machine, &h);
+        // Steps 0 and 1 (the calls issue one step each since responses are
+        // immediate) correspond to the two puts.
+        let log = runner.log();
+        let put_steps: Vec<_> = log.iter().take(2).collect();
+        assert!(find_conflicts(&put_steps, |c| machine.component_label(c)).is_conflict_free());
+        // But max() conflicts with the puts.
+        let all: Vec<_> = log.iter().collect();
+        assert!(!find_conflicts(&all, |c| machine.component_label(c)).is_conflict_free());
+    }
+
+    #[test]
+    fn global_max_is_conflict_free_for_second_put_and_max() {
+        let h = paper_history();
+        let machine = GlobalMax;
+        let runner = run_and_slice(&machine, &h);
+        let log = runner.log();
+        // Steps 1 and 2: the second put (pure read, value does not increase)
+        // and the max (pure read).
+        let suffix: Vec<_> = log.iter().skip(1).collect();
+        assert!(find_conflicts(&suffix, |c| machine.component_label(c)).is_conflict_free());
+        // But the first put writes the global maximum, so the whole history
+        // is not conflict-free.
+        let all: Vec<_> = log.iter().collect();
+        assert!(!find_conflicts(&all, |c| machine.component_label(c)).is_conflict_free());
+    }
+
+    #[test]
+    fn neither_implementation_is_conflict_free_for_all_of_h() {
+        let h = paper_history();
+        let per_thread = PerThreadMax { threads: 3 };
+        let global = GlobalMax;
+        let r1 = run_and_slice(&per_thread, &h);
+        let r2 = run_and_slice(&global, &h);
+        let all1: Vec<_> = r1.log().iter().collect();
+        let all2: Vec<_> = r2.log().iter().collect();
+        assert!(!find_conflicts(&all1, |c| per_thread.component_label(c)).is_conflict_free());
+        assert!(!find_conflicts(&all2, |c| global.component_label(c)).is_conflict_free());
+    }
+}

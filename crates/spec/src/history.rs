@@ -1,0 +1,383 @@
+//! Histories, well-formedness, subhistories and reorderings (§3.1–3.2).
+//!
+//! A **history** is a sequence of actions. A history is *well-formed* when
+//! each thread's actions alternate invocation / response starting with an
+//! invocation, so each thread has at most one outstanding invocation at any
+//! point. A **reordering** of an action sequence is any interleaving that
+//! preserves every thread's own subsequence (`H|t = H'|t` for all threads
+//! `t`).
+
+use crate::action::{Action, ThreadId};
+use std::collections::BTreeMap;
+
+/// A history: an ordered sequence of actions (§3.1).
+///
+/// `History` is a thin wrapper over `Vec<Action<I, R>>` providing the
+/// operations the formalism needs: well-formedness checks, thread-restricted
+/// subhistories, concatenation, prefixes and reordering enumeration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct History<I, R> {
+    actions: Vec<Action<I, R>>,
+}
+
+impl<I, R> Default for History<I, R> {
+    fn default() -> Self {
+        History {
+            actions: Vec::new(),
+        }
+    }
+}
+
+impl<I: Clone, R: Clone> History<I, R> {
+    /// The empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a history from a sequence of actions.
+    pub fn from_actions(actions: Vec<Action<I, R>>) -> Self {
+        History { actions }
+    }
+
+    /// The actions of this history, in order.
+    pub fn actions(&self) -> &[Action<I, R>] {
+        &self.actions
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` when the history contains no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: Action<I, R>) {
+        self.actions.push(action);
+    }
+
+    /// Concatenation `self || other` (the `||` operator of §3.2).
+    pub fn concat(&self, other: &Self) -> Self {
+        let mut actions = self.actions.clone();
+        actions.extend(other.actions.iter().cloned());
+        History { actions }
+    }
+
+    /// The thread-restricted subhistory `H|t`: the subsequence of actions
+    /// performed by thread `t`.
+    pub fn restrict(&self, thread: ThreadId) -> Self {
+        History {
+            actions: self
+                .actions
+                .iter()
+                .filter(|a| a.thread == thread)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// All thread ids that appear in the history, in ascending order.
+    pub fn threads(&self) -> Vec<ThreadId> {
+        let mut ids: Vec<ThreadId> = self.actions.iter().map(|a| a.thread).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Is the history well-formed? Each thread's subhistory must alternate
+    /// invocation / response starting with an invocation, and each response's
+    /// tag must match the preceding invocation on the same thread.
+    pub fn is_well_formed(&self) -> bool {
+        let mut pending: BTreeMap<ThreadId, Option<u64>> = BTreeMap::new();
+        for action in &self.actions {
+            let slot = pending.entry(action.thread).or_insert(None);
+            match (&*slot, action.is_invocation()) {
+                // No outstanding invocation: next action must be an invocation.
+                (None, true) => *slot = Some(action.tag),
+                (None, false) => return false,
+                // Outstanding invocation: next action must be the matching response.
+                (Some(tag), false) if *tag == action.tag => *slot = None,
+                (Some(_), _) => return false,
+            }
+        }
+        true
+    }
+
+    /// Is the history *complete*, i.e. well-formed with no outstanding
+    /// invocations?
+    pub fn is_complete(&self) -> bool {
+        if !self.is_well_formed() {
+            return false;
+        }
+        for t in self.threads() {
+            if self.restrict(t).len() % 2 != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All prefixes of the history, from the empty prefix to the history
+    /// itself (inclusive).
+    pub fn prefixes(&self) -> Vec<Self> {
+        (0..=self.actions.len())
+            .map(|n| History {
+                actions: self.actions[..n].to_vec(),
+            })
+            .collect()
+    }
+
+    /// The prefix of length `n` (saturating at the history length).
+    pub fn prefix(&self, n: usize) -> Self {
+        History {
+            actions: self.actions[..n.min(self.actions.len())].to_vec(),
+        }
+    }
+
+    /// Is `other` a reordering of `self`? Both must contain the same actions
+    /// and `self|t == other|t` for every thread `t` (§3.2).
+    pub fn is_reordering_of(&self, other: &Self) -> bool
+    where
+        I: PartialEq,
+        R: PartialEq,
+    {
+        if self.actions.len() != other.actions.len() {
+            return false;
+        }
+        let mut threads = self.threads();
+        threads.extend(other.threads());
+        threads.sort_unstable();
+        threads.dedup();
+        threads
+            .into_iter()
+            .all(|t| self.restrict(t).actions == other.restrict(t).actions)
+    }
+
+    /// Enumerates every reordering of this history: all interleavings of the
+    /// per-thread subsequences. The original order is included.
+    ///
+    /// The number of reorderings is a multinomial coefficient of the
+    /// per-thread lengths; callers should keep regions small (the formalism
+    /// only ever reorders the commutative region under test).
+    pub fn reorderings(&self) -> Vec<Self> {
+        let threads = self.threads();
+        let per_thread: Vec<Vec<Action<I, R>>> = threads
+            .iter()
+            .map(|&t| self.restrict(t).actions)
+            .collect();
+        let total: usize = per_thread.iter().map(|v| v.len()).sum();
+        let mut out = Vec::new();
+        let mut cursor = vec![0usize; per_thread.len()];
+        let mut current: Vec<Action<I, R>> = Vec::with_capacity(total);
+        Self::reorderings_rec(&per_thread, &mut cursor, &mut current, total, &mut out);
+        out
+    }
+
+    fn reorderings_rec(
+        per_thread: &[Vec<Action<I, R>>],
+        cursor: &mut Vec<usize>,
+        current: &mut Vec<Action<I, R>>,
+        total: usize,
+        out: &mut Vec<Self>,
+    ) {
+        if current.len() == total {
+            out.push(History {
+                actions: current.clone(),
+            });
+            return;
+        }
+        for t in 0..per_thread.len() {
+            if cursor[t] < per_thread[t].len() {
+                current.push(per_thread[t][cursor[t]].clone());
+                cursor[t] += 1;
+                Self::reorderings_rec(per_thread, cursor, current, total, out);
+                cursor[t] -= 1;
+                current.pop();
+            }
+        }
+    }
+
+    /// Enumerates reorderings that are themselves well-formed histories.
+    pub fn well_formed_reorderings(&self) -> Vec<Self> {
+        self.reorderings()
+            .into_iter()
+            .filter(|h| h.is_well_formed())
+            .collect()
+    }
+
+    /// Splits the history into `(prefix, suffix)` at index `at`.
+    pub fn split_at(&self, at: usize) -> (Self, Self) {
+        let at = at.min(self.actions.len());
+        (
+            History {
+                actions: self.actions[..at].to_vec(),
+            },
+            History {
+                actions: self.actions[at..].to_vec(),
+            },
+        )
+    }
+
+    /// Only the invocations of this history, in order.
+    pub fn invocations(&self) -> Vec<Action<I, R>> {
+        self.actions
+            .iter()
+            .filter(|a| a.is_invocation())
+            .cloned()
+            .collect()
+    }
+
+    /// Only the responses of this history, in order.
+    pub fn responses(&self) -> Vec<Action<I, R>> {
+        self.actions
+            .iter()
+            .filter(|a| a.is_response())
+            .cloned()
+            .collect()
+    }
+}
+
+impl<I: Clone, R: Clone> From<Vec<Action<I, R>>> for History<I, R> {
+    fn from(actions: Vec<Action<I, R>>) -> Self {
+        History { actions }
+    }
+}
+
+impl<I: Clone, R: Clone> FromIterator<Action<I, R>> for History<I, R> {
+    fn from_iter<T: IntoIterator<Item = Action<I, R>>>(iter: T) -> Self {
+        History {
+            actions: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::op_pair;
+
+    fn h_paper() -> History<&'static str, i32> {
+        // A sequential two-thread history: t0 does A then C; t1 does B.
+        let mut h = History::new();
+        for a in op_pair(0, 1, "A", 10) {
+            h.push(a);
+        }
+        for a in op_pair(1, 2, "B", 20) {
+            h.push(a);
+        }
+        for a in op_pair(0, 3, "C", 30) {
+            h.push(a);
+        }
+        h
+    }
+
+    #[test]
+    fn well_formedness_accepts_alternating_histories() {
+        assert!(h_paper().is_well_formed());
+        assert!(h_paper().is_complete());
+    }
+
+    #[test]
+    fn well_formedness_rejects_response_without_invocation() {
+        let h: History<&str, i32> =
+            History::from_actions(vec![Action::respond(0, 1, 5), Action::invoke(0, 1, "A")]);
+        assert!(!h.is_well_formed());
+    }
+
+    #[test]
+    fn well_formedness_rejects_two_outstanding_invocations_on_one_thread() {
+        let h: History<&str, i32> =
+            History::from_actions(vec![Action::invoke(0, 1, "A"), Action::invoke(0, 2, "B")]);
+        assert!(!h.is_well_formed());
+    }
+
+    #[test]
+    fn overlapping_invocations_on_distinct_threads_are_well_formed() {
+        let h: History<&str, i32> = History::from_actions(vec![
+            Action::invoke(0, 1, "A"),
+            Action::invoke(1, 2, "B"),
+            Action::respond(1, 2, 2),
+            Action::respond(0, 1, 1),
+        ]);
+        assert!(h.is_well_formed());
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn restrict_extracts_per_thread_subhistory() {
+        let h = h_paper();
+        let t0 = h.restrict(0);
+        assert_eq!(t0.len(), 4);
+        assert!(t0.actions().iter().all(|a| a.thread == 0));
+        let t1 = h.restrict(1);
+        assert_eq!(t1.len(), 2);
+    }
+
+    #[test]
+    fn reorderings_preserve_per_thread_order() {
+        let h = h_paper();
+        let all = h.reorderings();
+        // t0 has 4 actions, t1 has 2: C(6,2) = 15 interleavings.
+        assert_eq!(all.len(), 15);
+        for r in &all {
+            assert!(h.is_reordering_of(r));
+        }
+        // The identity reordering is included.
+        assert!(all.iter().any(|r| r == &h));
+    }
+
+    #[test]
+    fn non_reordering_is_detected() {
+        let h = h_paper();
+        // Swap the order of t0's two operations: not a reordering.
+        let mut swapped = History::new();
+        for a in op_pair(0, 3, "C", 30) {
+            swapped.push(a);
+        }
+        for a in op_pair(1, 2, "B", 20) {
+            swapped.push(a);
+        }
+        for a in op_pair(0, 1, "A", 10) {
+            swapped.push(a);
+        }
+        assert!(!h.is_reordering_of(&swapped));
+    }
+
+    #[test]
+    fn well_formed_reorderings_are_a_subset() {
+        let h = h_paper();
+        let wf = h.well_formed_reorderings();
+        assert!(!wf.is_empty());
+        assert!(wf.len() <= h.reorderings().len());
+        for r in wf {
+            assert!(r.is_well_formed());
+        }
+    }
+
+    #[test]
+    fn prefixes_include_empty_and_full() {
+        let h = h_paper();
+        let ps = h.prefixes();
+        assert_eq!(ps.len(), h.len() + 1);
+        assert!(ps[0].is_empty());
+        assert_eq!(ps[ps.len() - 1], h);
+    }
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let h = h_paper();
+        let (x, y) = h.split_at(2);
+        assert_eq!(x.concat(&y), h);
+    }
+
+    #[test]
+    fn invocations_and_responses_partition_actions() {
+        let h = h_paper();
+        assert_eq!(h.invocations().len() + h.responses().len(), h.len());
+        assert!(h.invocations().iter().all(|a| a.is_invocation()));
+        assert!(h.responses().iter().all(|a| a.is_response()));
+    }
+}

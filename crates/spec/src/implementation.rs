@@ -1,0 +1,423 @@
+//! Implementations as step functions (§3.3).
+//!
+//! An implementation is a function `S × I → S × R`: given a state and an
+//! invocation it produces a new state and a response. Special `CONTINUE`
+//! actions let an implementation defer a response (enabling overlapping
+//! operations and blocking).
+//!
+//! To reason about conflict freedom, states are tuples of *components*.
+//! Implementations access their components through a [`StateCtx`], which
+//! records the read set and write set of each step; [`crate::conflict`]
+//! turns those access sets into the access-conflict and conflict-freedom
+//! judgements of the paper. The definitional (perturbation-based) read/write
+//! test from §3.3 is also provided ([`definitional_accesses`]) and is used in
+//! tests to cross-check the instrumentation.
+
+use crate::action::ThreadId;
+use crate::conflict::AccessSet;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An invocation handed to an implementation: either a real operation or
+/// `CONTINUE` (give the implementation a chance to complete an outstanding
+/// request for the invoking thread).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Invocation<I> {
+    /// A real operation invocation.
+    Op(I),
+    /// The `CONTINUE` pseudo-invocation.
+    Continue,
+}
+
+/// A response produced by an implementation: either a real response or
+/// `CONTINUE` (the real response is not ready yet).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response<R> {
+    /// A real response value.
+    Op(R),
+    /// The `CONTINUE` pseudo-response.
+    Continue,
+}
+
+impl<R> Response<R> {
+    /// Returns the real response value, if any.
+    pub fn value(&self) -> Option<&R> {
+        match self {
+            Response::Op(r) => Some(r),
+            Response::Continue => None,
+        }
+    }
+}
+
+/// Mutable view of an implementation state that records which components a
+/// step reads and writes.
+pub struct StateCtx<'a, C> {
+    components: &'a mut Vec<C>,
+    reads: BTreeSet<usize>,
+    writes: BTreeSet<usize>,
+}
+
+impl<'a, C: Clone> StateCtx<'a, C> {
+    /// Wraps a component vector.
+    pub fn new(components: &'a mut Vec<C>) -> Self {
+        StateCtx {
+            components,
+            reads: BTreeSet::new(),
+            writes: BTreeSet::new(),
+        }
+    }
+
+    /// Number of components in the state.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` if the state has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Reads component `i`, recording the access.
+    pub fn read(&mut self, i: usize) -> C {
+        self.reads.insert(i);
+        self.components[i].clone()
+    }
+
+    /// Writes component `i`, recording the access.
+    pub fn write(&mut self, i: usize, value: C) {
+        self.writes.insert(i);
+        self.components[i] = value;
+    }
+
+    /// Reads then writes component `i` through a closure.
+    pub fn update<F: FnOnce(&mut C)>(&mut self, i: usize, f: F) {
+        self.reads.insert(i);
+        self.writes.insert(i);
+        f(&mut self.components[i]);
+    }
+
+    /// The access set recorded so far.
+    pub fn access_set(&self) -> AccessSet {
+        AccessSet {
+            reads: self.reads.clone(),
+            writes: self.writes.clone(),
+        }
+    }
+}
+
+/// An implementation as a step function over component states (§3.3).
+pub trait StepImplementation {
+    /// Invocation payload.
+    type I: Clone;
+    /// Response payload.
+    type R: Clone + PartialEq;
+    /// Component value type (every state component holds one of these).
+    type Comp: Clone + PartialEq;
+
+    /// The initial component vector.
+    fn initial(&self) -> Vec<Self::Comp>;
+
+    /// Human-readable label for component `i` (used in conflict reports).
+    fn component_label(&self, i: usize) -> String {
+        format!("component[{i}]")
+    }
+
+    /// One step: given the state (accessed through `ctx`), the invoking
+    /// thread and the invocation, produce a response.
+    fn step(
+        &self,
+        ctx: &mut StateCtx<'_, Self::Comp>,
+        thread: ThreadId,
+        inv: &Invocation<Self::I>,
+    ) -> Response<Self::R>;
+}
+
+/// The record of one implementation step: what was invoked, what was
+/// returned, and which components were read and written.
+#[derive(Clone, Debug)]
+pub struct StepRecord<I, R> {
+    /// Invoking thread.
+    pub thread: ThreadId,
+    /// The invocation passed to the step.
+    pub invocation: Invocation<I>,
+    /// The response the step produced.
+    pub response: Response<R>,
+    /// Components read and written by the step.
+    pub accesses: AccessSet,
+    /// Index of the step in the run (0-based).
+    pub index: usize,
+}
+
+impl<I: fmt::Debug, R: fmt::Debug> fmt::Display for StepRecord<I, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {} t{}: {:?} -> {:?} (r={:?} w={:?})",
+            self.index, self.thread, self.invocation, self.response, self.accesses.reads, self.accesses.writes
+        )
+    }
+}
+
+/// A running instance of a step implementation: the machine plus its state,
+/// with a log of all steps taken.
+pub struct Runner<'m, M: StepImplementation> {
+    machine: &'m M,
+    state: Vec<M::Comp>,
+    log: Vec<StepRecord<M::I, M::R>>,
+}
+
+impl<'m, M: StepImplementation> Runner<'m, M> {
+    /// Creates a runner starting from the machine's initial state.
+    pub fn new(machine: &'m M) -> Self {
+        Runner {
+            machine,
+            state: machine.initial(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The current state components.
+    pub fn state(&self) -> &[M::Comp] {
+        &self.state
+    }
+
+    /// The step log so far.
+    pub fn log(&self) -> &[StepRecord<M::I, M::R>] {
+        &self.log
+    }
+
+    /// Takes one step and returns the response.
+    pub fn step(&mut self, thread: ThreadId, inv: Invocation<M::I>) -> Response<M::R> {
+        let mut ctx = StateCtx::new(&mut self.state);
+        let response = self.machine.step(&mut ctx, thread, &inv);
+        let accesses = ctx.access_set();
+        let index = self.log.len();
+        self.log.push(StepRecord {
+            thread,
+            invocation: inv,
+            response: response.clone(),
+            accesses,
+            index,
+        });
+        response
+    }
+
+    /// Invokes a real operation and, if the implementation answers
+    /// `CONTINUE`, keeps issuing `CONTINUE` invocations for the same thread
+    /// until a real response arrives (up to `max_continues`). Returns the
+    /// real response, or `None` if the implementation never produced one.
+    pub fn call(&mut self, thread: ThreadId, op: M::I, max_continues: usize) -> Option<M::R> {
+        let mut response = self.step(thread, Invocation::Op(op));
+        let mut budget = max_continues;
+        while matches!(response, Response::Continue) {
+            if budget == 0 {
+                return None;
+            }
+            budget -= 1;
+            response = self.step(thread, Invocation::Continue);
+        }
+        response.value().cloned()
+    }
+
+    /// Index range of the steps taken so far; useful for slicing the log into
+    /// regions (e.g. "the steps of the commutative region").
+    pub fn step_count(&self) -> usize {
+        self.log.len()
+    }
+}
+
+/// The definitional read/write sets of a single step (§3.3): component `i`
+/// is *written* when its value changes, and *read* when substituting some
+/// candidate value for it would change the step's behaviour (its response or
+/// the resulting state of the other components).
+///
+/// The quantification over "some value y" is approximated by the caller's
+/// `candidates` list. This function exists to validate the instrumented
+/// access sets produced by [`StateCtx`]; production conflict checking uses
+/// the instrumentation.
+pub fn definitional_accesses<M: StepImplementation>(
+    machine: &M,
+    state: &[M::Comp],
+    thread: ThreadId,
+    inv: &Invocation<M::I>,
+    candidates: &[M::Comp],
+) -> AccessSet {
+    // Baseline run.
+    let mut base_state = state.to_vec();
+    let base_resp = {
+        let mut ctx = StateCtx::new(&mut base_state);
+        machine.step(&mut ctx, thread, inv)
+    };
+
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    for i in 0..state.len() {
+        if base_state[i] != state[i] {
+            writes.insert(i);
+        }
+        for candidate in candidates {
+            if *candidate == state[i] {
+                continue;
+            }
+            // Perturb component i and re-run.
+            let mut perturbed = state.to_vec();
+            perturbed[i] = candidate.clone();
+            let mut perturbed_state = perturbed.clone();
+            let resp = {
+                let mut ctx = StateCtx::new(&mut perturbed_state);
+                machine.step(&mut ctx, thread, inv)
+            };
+            // Expected if i were not read: same response, and the final state
+            // equals the baseline final state with component i replaced by
+            // the perturbed value wherever the baseline left it untouched.
+            let mut expected = base_state.clone();
+            if base_state[i] == state[i] {
+                expected[i] = candidate.clone();
+            }
+            let same_resp = match (&resp, &base_resp) {
+                (Response::Op(a), Response::Op(b)) => a == b,
+                (Response::Continue, Response::Continue) => true,
+                _ => false,
+            };
+            if !same_resp || perturbed_state != expected {
+                reads.insert(i);
+                break;
+            }
+        }
+    }
+    AccessSet { reads, writes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny two-component machine used to exercise the instrumentation: a
+    /// counter (component 0) and a high-water mark (component 1).
+    struct CounterMax;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Op {
+        Add(i64),
+        ReadMax,
+    }
+
+    impl StepImplementation for CounterMax {
+        type I = Op;
+        type R = i64;
+        type Comp = i64;
+
+        fn initial(&self) -> Vec<i64> {
+            vec![0, 0]
+        }
+
+        fn component_label(&self, i: usize) -> String {
+            ["counter", "max"][i].to_string()
+        }
+
+        fn step(
+            &self,
+            ctx: &mut StateCtx<'_, i64>,
+            _thread: ThreadId,
+            inv: &Invocation<Op>,
+        ) -> Response<i64> {
+            match inv {
+                Invocation::Op(Op::Add(v)) => {
+                    let c = ctx.read(0) + v;
+                    ctx.write(0, c);
+                    let m = ctx.read(1);
+                    if c > m {
+                        ctx.write(1, c);
+                    }
+                    Response::Op(c)
+                }
+                Invocation::Op(Op::ReadMax) => Response::Op(ctx.read(1)),
+                Invocation::Continue => Response::Continue,
+            }
+        }
+    }
+
+    #[test]
+    fn runner_logs_accesses() {
+        let m = CounterMax;
+        let mut runner = Runner::new(&m);
+        assert_eq!(runner.call(0, Op::Add(5), 4), Some(5));
+        assert_eq!(runner.call(1, Op::ReadMax, 4), Some(5));
+        let log = runner.log();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].accesses.writes.contains(&0));
+        assert!(log[0].accesses.writes.contains(&1));
+        assert_eq!(log[1].accesses.reads, BTreeSet::from([1]));
+        assert!(log[1].accesses.writes.is_empty());
+    }
+
+    #[test]
+    fn definitional_accesses_match_instrumentation_for_add() {
+        let m = CounterMax;
+        let state = vec![3, 7];
+        let acc = definitional_accesses(
+            &m,
+            &state,
+            0,
+            &Invocation::Op(Op::Add(2)),
+            &[-1, 0, 1, 5, 100],
+        );
+        // Add reads and writes the counter; it reads the max (to compare) but
+        // only writes it when exceeded (not here: 5 < 7).
+        assert!(acc.reads.contains(&0));
+        assert!(acc.writes.contains(&0));
+        assert!(acc.reads.contains(&1));
+        assert!(!acc.writes.contains(&1));
+    }
+
+    #[test]
+    fn definitional_accesses_detect_pure_read() {
+        let m = CounterMax;
+        let state = vec![3, 7];
+        let acc = definitional_accesses(
+            &m,
+            &state,
+            0,
+            &Invocation::Op(Op::ReadMax),
+            &[-1, 0, 1, 5, 100],
+        );
+        assert_eq!(acc.reads, BTreeSet::from([1]));
+        assert!(acc.writes.is_empty());
+    }
+
+    #[test]
+    fn call_gives_up_after_budget() {
+        /// A machine that always answers CONTINUE.
+        struct Stuck;
+        impl StepImplementation for Stuck {
+            type I = ();
+            type R = ();
+            type Comp = ();
+            fn initial(&self) -> Vec<()> {
+                vec![]
+            }
+            fn step(
+                &self,
+                _ctx: &mut StateCtx<'_, ()>,
+                _thread: ThreadId,
+                _inv: &Invocation<()>,
+            ) -> Response<()> {
+                Response::Continue
+            }
+        }
+        let mut runner = Runner::new(&Stuck);
+        assert_eq!(runner.call(0, (), 3), None);
+        assert_eq!(runner.step_count(), 4);
+    }
+
+    #[test]
+    fn update_records_read_and_write() {
+        let mut comps = vec![1, 2];
+        let mut ctx = StateCtx::new(&mut comps);
+        ctx.update(1, |v| *v += 10);
+        let acc = ctx.access_set();
+        assert!(acc.reads.contains(&1));
+        assert!(acc.writes.contains(&1));
+        assert_eq!(comps[1], 12);
+    }
+}

@@ -1,0 +1,45 @@
+//! # scr-spec — the formalism behind the scalable commutativity rule
+//!
+//! This crate is a mechanisation of §3 of *The Scalable Commutativity Rule*
+//! (Clements et al., SOSP 2013). It provides:
+//!
+//! * **Actions and histories** (§3.1): invocations and responses tagged with
+//!   threads, well-formedness, thread-restricted subhistories and
+//!   reorderings.
+//! * **Specifications** (§3.1): prefix-closed sets of well-formed histories,
+//!   including [`spec::RefSpec`], which derives a specification from a
+//!   (possibly non-deterministic) sequential reference model.
+//! * **SI and SIM commutativity** (§3.2): decision procedures over bounded
+//!   reorderings, prefixes and futures.
+//! * **Implementations as step functions** (§3.3): explicit state
+//!   components, instrumented read/write sets, and the access-conflict /
+//!   conflict-freedom definitions.
+//! * **The constructive proof** (§3.4–3.5): the non-scalable replay machine
+//!   `mns` (Figure 1) and the scalable machine `m` (Figure 2), together with
+//!   checkers that the commutative region of the constructed machine is
+//!   conflict-free.
+//! * **Worked examples** (§3.6): the put/max interface whose commutative
+//!   history admits two different conflict-free strategies but no single one
+//!   covering the whole history.
+//!
+//! Everything here is implementation-independent: the rest of the workspace
+//! (the COMMUTER pipeline and the sv6-style kernel) builds on the same
+//! definitions but at the scale of a POSIX interface model.
+
+pub mod action;
+pub mod commutativity;
+pub mod conflict;
+pub mod construction;
+pub mod examples;
+pub mod history;
+pub mod implementation;
+pub mod model;
+pub mod spec;
+
+pub use action::{Action, ActionKind, ThreadId};
+pub use commutativity::{si_commutes, sim_commutes, CommutativityReport};
+pub use conflict::{AccessSet, ConflictReport};
+pub use history::History;
+pub use implementation::{Invocation, Response, StepImplementation, StepRecord};
+pub use model::{DetModel, SeqSpecModel};
+pub use spec::{RefSpec, Specification};

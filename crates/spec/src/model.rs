@@ -1,0 +1,375 @@
+//! Sequential reference models.
+//!
+//! The paper's proof assumes a correct reference implementation `M` of the
+//! specification. In this crate a reference model is a *sequential*
+//! description of the interface: given a state and an invocation it yields
+//! the set of allowed `(response, next state)` outcomes. Non-determinism in
+//! the specification (e.g. "`creat` may assign any unused inode number") is
+//! expressed by returning more than one outcome.
+//!
+//! [`RefSpec`](crate::spec::RefSpec) turns such a model into a specification
+//! (a predicate on histories) by searching for a linearisation whose
+//! sequential replay reproduces the recorded responses.
+
+use crate::action::ThreadId;
+
+/// A (possibly non-deterministic) sequential model of an interface.
+///
+/// This plays the role of the reference implementation `M` in §3.4–3.5 and
+/// of the interface model that COMMUTER takes as input in §5.
+pub trait SeqSpecModel {
+    /// Invocation payload (operation plus arguments).
+    type Inv: Clone;
+    /// Response payload (return value).
+    type Resp: Clone + PartialEq;
+    /// Abstract state of the modelled system.
+    type State: Clone;
+
+    /// The initial state of the system.
+    fn initial(&self) -> Self::State;
+
+    /// All allowed `(response, next state)` outcomes of invoking `inv` on
+    /// thread `thread` in `state`. An empty vector means the invocation is
+    /// not allowed at all in this state (no valid response exists).
+    fn outcomes(
+        &self,
+        state: &Self::State,
+        thread: ThreadId,
+        inv: &Self::Inv,
+    ) -> Vec<(Self::Resp, Self::State)>;
+
+    /// External indistinguishability of two states.
+    ///
+    /// The default is structural equality when `State: PartialEq`; models
+    /// whose states contain internal bookkeeping that is not observable
+    /// through the interface should override this (this mirrors the
+    /// "state equivalence" function of §5.1).
+    fn state_equivalent(&self, a: &Self::State, b: &Self::State) -> bool
+    where
+        Self::State: PartialEq,
+    {
+        a == b
+    }
+}
+
+/// A deterministic sequential model: exactly one outcome per invocation.
+///
+/// Blanket-adapted into [`SeqSpecModel`] via [`Det`].
+pub trait DetModel {
+    /// Invocation payload.
+    type Inv: Clone;
+    /// Response payload.
+    type Resp: Clone + PartialEq;
+    /// Abstract state.
+    type State: Clone;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Applies `inv` to `state`, returning the response and mutating the
+    /// state in place.
+    fn apply(&self, state: &mut Self::State, thread: ThreadId, inv: &Self::Inv) -> Self::Resp;
+}
+
+/// Adapter turning a [`DetModel`] into a [`SeqSpecModel`] with a single
+/// outcome per invocation.
+#[derive(Clone, Debug, Default)]
+pub struct Det<M>(pub M);
+
+impl<M: DetModel> SeqSpecModel for Det<M> {
+    type Inv = M::Inv;
+    type Resp = M::Resp;
+    type State = M::State;
+
+    fn initial(&self) -> Self::State {
+        self.0.initial()
+    }
+
+    fn outcomes(
+        &self,
+        state: &Self::State,
+        thread: ThreadId,
+        inv: &Self::Inv,
+    ) -> Vec<(Self::Resp, Self::State)> {
+        let mut next = state.clone();
+        let resp = self.0.apply(&mut next, thread, inv);
+        vec![(resp, next)]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Example models used throughout the crate's tests and documentation.
+// ---------------------------------------------------------------------------
+
+/// Invocations of the get/set register interface from §3.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegisterOp {
+    /// Overwrite the register with a value.
+    Set(i64),
+    /// Read the register.
+    Get,
+}
+
+/// Responses of the register interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegisterResp {
+    /// Acknowledgement of a `Set`.
+    Ok,
+    /// The value returned by a `Get`.
+    Value(i64),
+}
+
+/// The get/set register model used in the SI-vs-SIM commutativity example of
+/// §3.2 (`set(1); set(2); set(2)` commutes as a whole but its prefix does
+/// not).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegisterModel;
+
+impl DetModel for RegisterModel {
+    type Inv = RegisterOp;
+    type Resp = RegisterResp;
+    type State = i64;
+
+    fn initial(&self) -> i64 {
+        0
+    }
+
+    fn apply(&self, state: &mut i64, _thread: ThreadId, inv: &RegisterOp) -> RegisterResp {
+        match inv {
+            RegisterOp::Set(v) => {
+                *state = *v;
+                RegisterResp::Ok
+            }
+            RegisterOp::Get => RegisterResp::Value(*state),
+        }
+    }
+}
+
+/// Invocations of the put/max interface from §3.6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PutMaxOp {
+    /// Record a sample with the given value.
+    Put(i64),
+    /// Return the maximum sample recorded so far (or 0).
+    Max,
+}
+
+/// Responses of the put/max interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PutMaxResp {
+    /// Acknowledgement of a `Put`.
+    Ok,
+    /// The maximum returned by `Max`.
+    Max(i64),
+}
+
+/// The put/max model of §3.6: `put(x)` records a sample, `max()` returns the
+/// maximum recorded so far (or 0).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PutMaxModel;
+
+impl DetModel for PutMaxModel {
+    type Inv = PutMaxOp;
+    type Resp = PutMaxResp;
+    type State = i64;
+
+    fn initial(&self) -> i64 {
+        0
+    }
+
+    fn apply(&self, state: &mut i64, _thread: ThreadId, inv: &PutMaxOp) -> PutMaxResp {
+        match inv {
+            PutMaxOp::Put(v) => {
+                if *v > *state {
+                    *state = *v;
+                }
+                PutMaxResp::Ok
+            }
+            PutMaxOp::Max => PutMaxResp::Max(*state),
+        }
+    }
+}
+
+/// Invocations of a toy file-descriptor allocation interface, used to
+/// contrast POSIX's "lowest available FD" rule with an `O_ANYFD`-style
+/// relaxation (§4, "embrace specification non-determinism").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FdOp {
+    /// Allocate a descriptor (POSIX: the lowest unused one).
+    Alloc,
+    /// Release a descriptor.
+    Free(u32),
+}
+
+/// Responses of the FD allocation interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FdResp {
+    /// The allocated descriptor.
+    Fd(u32),
+    /// Acknowledgement of a `Free`, or an error for freeing an unused fd.
+    Ok,
+    /// `Free` of a descriptor that was not allocated.
+    BadFd,
+}
+
+/// Allocation policy for [`FdAllocModel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FdPolicy {
+    /// POSIX semantics: `Alloc` must return the lowest unused descriptor.
+    Lowest,
+    /// Relaxed semantics: `Alloc` may return any unused descriptor below the
+    /// table capacity (the `O_ANYFD` design of §4 / §7.2).
+    Any,
+}
+
+/// Model of file-descriptor allocation under either the strict "lowest
+/// available FD" rule or the relaxed "any FD" rule.
+#[derive(Clone, Copy, Debug)]
+pub struct FdAllocModel {
+    /// Allocation policy.
+    pub policy: FdPolicy,
+    /// Size of the descriptor table (bounds the `Any` non-determinism).
+    pub capacity: u32,
+}
+
+impl Default for FdAllocModel {
+    fn default() -> Self {
+        FdAllocModel {
+            policy: FdPolicy::Lowest,
+            capacity: 4,
+        }
+    }
+}
+
+impl SeqSpecModel for FdAllocModel {
+    type Inv = FdOp;
+    type Resp = FdResp;
+    // Set of allocated descriptors, kept sorted.
+    type State = Vec<u32>;
+
+    fn initial(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn outcomes(
+        &self,
+        state: &Vec<u32>,
+        _thread: ThreadId,
+        inv: &FdOp,
+    ) -> Vec<(FdResp, Vec<u32>)> {
+        match inv {
+            FdOp::Alloc => {
+                let free: Vec<u32> = (0..self.capacity).filter(|fd| !state.contains(fd)).collect();
+                match self.policy {
+                    FdPolicy::Lowest => free
+                        .first()
+                        .map(|&fd| {
+                            let mut next = state.clone();
+                            next.push(fd);
+                            next.sort_unstable();
+                            vec![(FdResp::Fd(fd), next)]
+                        })
+                        .unwrap_or_default(),
+                    FdPolicy::Any => free
+                        .into_iter()
+                        .map(|fd| {
+                            let mut next = state.clone();
+                            next.push(fd);
+                            next.sort_unstable();
+                            (FdResp::Fd(fd), next)
+                        })
+                        .collect(),
+                }
+            }
+            FdOp::Free(fd) => {
+                if state.contains(fd) {
+                    let next = state.iter().copied().filter(|f| f != fd).collect();
+                    vec![(FdResp::Ok, next)]
+                } else {
+                    vec![(FdResp::BadFd, state.clone())]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_model_tracks_last_write() {
+        let m = RegisterModel;
+        let mut s = m.initial();
+        assert_eq!(m.apply(&mut s, 0, &RegisterOp::Set(7)), RegisterResp::Ok);
+        assert_eq!(
+            m.apply(&mut s, 1, &RegisterOp::Get),
+            RegisterResp::Value(7)
+        );
+    }
+
+    #[test]
+    fn putmax_model_returns_running_maximum() {
+        let m = PutMaxModel;
+        let mut s = m.initial();
+        assert_eq!(m.apply(&mut s, 0, &PutMaxOp::Max), PutMaxResp::Max(0));
+        m.apply(&mut s, 0, &PutMaxOp::Put(5));
+        m.apply(&mut s, 1, &PutMaxOp::Put(3));
+        assert_eq!(m.apply(&mut s, 0, &PutMaxOp::Max), PutMaxResp::Max(5));
+    }
+
+    #[test]
+    fn det_adapter_yields_single_outcome() {
+        let m = Det(RegisterModel);
+        let s = m.initial();
+        let outs = m.outcomes(&s, 0, &RegisterOp::Set(3));
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, RegisterResp::Ok);
+        assert_eq!(outs[0].1, 3);
+    }
+
+    #[test]
+    fn lowest_fd_policy_is_deterministic() {
+        let m = FdAllocModel {
+            policy: FdPolicy::Lowest,
+            capacity: 4,
+        };
+        let s = m.initial();
+        let outs = m.outcomes(&s, 0, &FdOp::Alloc);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, FdResp::Fd(0));
+    }
+
+    #[test]
+    fn any_fd_policy_is_nondeterministic() {
+        let m = FdAllocModel {
+            policy: FdPolicy::Any,
+            capacity: 4,
+        };
+        let s = m.initial();
+        let outs = m.outcomes(&s, 0, &FdOp::Alloc);
+        assert_eq!(outs.len(), 4);
+        let fds: Vec<FdResp> = outs.iter().map(|(r, _)| *r).collect();
+        assert!(fds.contains(&FdResp::Fd(0)));
+        assert!(fds.contains(&FdResp::Fd(3)));
+    }
+
+    #[test]
+    fn freeing_unallocated_fd_reports_badfd() {
+        let m = FdAllocModel::default();
+        let s = m.initial();
+        let outs = m.outcomes(&s, 0, &FdOp::Free(2));
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, FdResp::BadFd);
+    }
+
+    #[test]
+    fn alloc_fails_when_table_full() {
+        let m = FdAllocModel {
+            policy: FdPolicy::Lowest,
+            capacity: 1,
+        };
+        let s = vec![0];
+        assert!(m.outcomes(&s, 0, &FdOp::Alloc).is_empty());
+    }
+}

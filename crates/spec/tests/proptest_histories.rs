@@ -1,0 +1,97 @@
+//! Property-based tests of the formalism's basic objects: histories,
+//! reorderings, specifications and conflict detection.
+
+use proptest::prelude::*;
+use scr_spec::action::Action;
+use scr_spec::conflict::AccessSet;
+use scr_spec::history::History;
+use scr_spec::model::{Det, RegisterModel, RegisterOp, RegisterResp};
+use scr_spec::spec::{run_first_outcome, RefSpec};
+use scr_spec::Specification;
+use std::collections::BTreeSet;
+
+fn register_ops() -> impl Strategy<Value = Vec<(usize, RegisterOp)>> {
+    proptest::collection::vec(
+        (0usize..3, prop_oneof![
+            (0i64..4).prop_map(RegisterOp::Set),
+            Just(RegisterOp::Get),
+        ]),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histories_generated_from_the_model_are_well_formed_and_accepted(ops in register_ops()) {
+        let model = Det(RegisterModel);
+        let history = run_first_outcome(&model, &ops);
+        prop_assert!(history.is_well_formed());
+        prop_assert!(history.is_complete());
+        let spec = RefSpec::new(Det(RegisterModel));
+        prop_assert!(spec.contains(&history));
+        // Prefix closure.
+        for prefix in history.prefixes() {
+            prop_assert!(spec.contains(&prefix));
+        }
+    }
+
+    #[test]
+    fn reorderings_preserve_per_thread_subhistories(ops in register_ops()) {
+        let model = Det(RegisterModel);
+        let history = run_first_outcome(&model, &ops);
+        // Keep the enumeration small.
+        if history.len() <= 8 {
+            for reordering in history.reorderings() {
+                prop_assert!(history.is_reordering_of(&reordering));
+                for t in history.threads() {
+                    prop_assert_eq!(
+                        history.restrict(t).actions().to_vec(),
+                        reordering.restrict(t).actions().to_vec()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupting_a_get_response_leaves_the_specification(ops in register_ops()) {
+        let model = Det(RegisterModel);
+        let history = run_first_outcome(&model, &ops);
+        let spec = RefSpec::new(Det(RegisterModel));
+        // Flip the value of the first Get response, if any; the resulting
+        // history must be rejected.
+        let mut actions: Vec<Action<RegisterOp, RegisterResp>> = history.actions().to_vec();
+        let target = actions.iter().position(|a| matches!(a.response(), Some(RegisterResp::Value(_))));
+        if let Some(idx) = target {
+            if let Some(RegisterResp::Value(v)) = actions[idx].response().copied() {
+                actions[idx] = Action::respond(actions[idx].thread, actions[idx].tag, RegisterResp::Value(v + 100));
+                let corrupted = History::from_actions(actions);
+                prop_assert!(!spec.contains(&corrupted));
+            }
+        }
+    }
+
+    #[test]
+    fn access_conflicts_are_symmetric_and_reflexive_free(
+        reads_a in proptest::collection::btree_set(0usize..6, 0..4),
+        writes_a in proptest::collection::btree_set(0usize..6, 0..4),
+        reads_b in proptest::collection::btree_set(0usize..6, 0..4),
+        writes_b in proptest::collection::btree_set(0usize..6, 0..4),
+    ) {
+        let a = AccessSet { reads: reads_a, writes: writes_a };
+        let b = AccessSet { reads: reads_b, writes: writes_b };
+        // Symmetry.
+        prop_assert_eq!(a.conflicts_with(&b), b.conflicts_with(&a));
+        // Definition: a conflict requires a write on one side touching the
+        // other side's footprint.
+        let expected = a.writes.iter().any(|c| b.reads.contains(c) || b.writes.contains(c))
+            || b.writes.iter().any(|c| a.reads.contains(c) || a.writes.contains(c));
+        prop_assert_eq!(a.conflicts_with(&b), expected);
+        // Read-only sets never conflict.
+        let ro_a = AccessSet { reads: a.reads.clone(), writes: BTreeSet::new() };
+        let ro_b = AccessSet { reads: b.reads.clone(), writes: BTreeSet::new() };
+        prop_assert!(!ro_a.conflicts_with(&ro_b));
+    }
+}

@@ -1,0 +1,238 @@
+//! Replay-based symbolic path exploration.
+//!
+//! Model code is an ordinary Rust closure that consults a [`PathCtx`]
+//! whenever control flow depends on a symbolic boolean. The explorer runs
+//! the closure repeatedly, once per decision vector, enumerating every code
+//! path (depth-first) and recording the accumulated path condition for each
+//! leaf — the same strategy concolic engines use to cover a model's paths
+//! (§5.1, §2.4).
+//!
+//! Branches whose condition folds to a constant do not fork. Paths whose
+//! condition is already unsatisfiable are not pruned here (the solver
+//! discards them later); the path and decision limits below bound the
+//! exploration instead.
+
+use crate::expr::ExprRef;
+use crate::types::SymBool;
+
+/// Hard limit on decisions along one path (guards against runaway models).
+const MAX_DECISIONS_PER_PATH: usize = 64;
+/// Hard limit on explored paths.
+const MAX_PATHS: usize = 100_000;
+
+/// Per-path execution context handed to the model closure.
+pub struct PathCtx {
+    decisions: Vec<bool>,
+    cursor: usize,
+    new_decisions: usize,
+    path: Vec<ExprRef>,
+    branches: Vec<ExprRef>,
+}
+
+impl PathCtx {
+    fn new(decisions: Vec<bool>) -> Self {
+        PathCtx {
+            decisions,
+            cursor: 0,
+            new_decisions: 0,
+            path: Vec::new(),
+            branches: Vec::new(),
+        }
+    }
+
+    /// Branches on a symbolic condition: returns the decision taken on this
+    /// path and records the corresponding constraint. Constant conditions do
+    /// not fork.
+    pub fn branch(&mut self, cond: &SymBool) -> bool {
+        if let Some(b) = cond.as_const() {
+            return b;
+        }
+        let decision = if self.cursor < self.decisions.len() {
+            self.decisions[self.cursor]
+        } else {
+            assert!(
+                self.decisions.len() < MAX_DECISIONS_PER_PATH,
+                "too many symbolic branches on one path"
+            );
+            self.decisions.push(true);
+            self.new_decisions += 1;
+            true
+        };
+        self.cursor += 1;
+        let constraint = if decision {
+            cond.expr().clone()
+        } else {
+            cond.not().expr().clone()
+        };
+        self.path.push(constraint.clone());
+        self.branches.push(constraint);
+        decision
+    }
+
+    /// Adds a constraint to the path without forking (an assumption the
+    /// model makes, e.g. "the initial state is well-formed").
+    pub fn assume(&mut self, cond: &SymBool) {
+        if cond.as_const() != Some(true) {
+            self.path.push(cond.expr().clone());
+        }
+    }
+
+    /// The constraints accumulated so far on this path.
+    pub fn path_condition(&self) -> &[ExprRef] {
+        &self.path
+    }
+
+    /// Only the constraints that came from branch decisions (excluding
+    /// assumptions).
+    pub fn branch_condition(&self) -> &[ExprRef] {
+        &self.branches
+    }
+}
+
+/// One fully-explored path: its condition and the closure's return value.
+#[derive(Clone, Debug)]
+pub struct PathResult<T> {
+    /// Conjunction of branch constraints and assumptions along the path.
+    pub condition: Vec<ExprRef>,
+    /// Only the branch-decision constraints (the "interesting" part of the
+    /// condition; assumptions such as domain bounds are excluded).
+    pub branches: Vec<ExprRef>,
+    /// The value the model closure returned on this path.
+    pub value: T,
+    /// The decision vector that produced this path (useful for debugging).
+    pub decisions: Vec<bool>,
+}
+
+/// Explores every path of `f`, returning one [`PathResult`] per leaf.
+///
+/// `f` is re-run once per decision vector; it must be deterministic apart
+/// from its use of [`PathCtx::branch`].
+pub fn explore<T>(mut f: impl FnMut(&mut PathCtx) -> T) -> Vec<PathResult<T>> {
+    let mut results = Vec::new();
+    let mut worklist: Vec<Vec<bool>> = vec![Vec::new()];
+    while let Some(prefix) = worklist.pop() {
+        assert!(
+            results.len() < MAX_PATHS,
+            "path explosion: more than {MAX_PATHS} paths"
+        );
+        let prefix_len = prefix.len();
+        let mut ctx = PathCtx::new(prefix);
+        let value = f(&mut ctx);
+        // Schedule the `false` alternative of every decision point first
+        // discovered on this run.
+        for flip in prefix_len..ctx.decisions.len() {
+            let mut alternative = ctx.decisions[..flip].to_vec();
+            alternative.push(false);
+            worklist.push(alternative);
+        }
+        results.push(PathResult {
+            condition: ctx.path,
+            branches: ctx.branches,
+            value,
+            decisions: ctx.decisions,
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::solver::{all_solutions, Domains};
+    use crate::types::{SymContext, SymInt};
+
+    #[test]
+    fn straight_line_code_has_one_path() {
+        let results = explore(|_ctx| 42);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].value, 42);
+        assert!(results[0].condition.is_empty());
+    }
+
+    #[test]
+    fn one_symbolic_branch_gives_two_paths() {
+        let ctx = SymContext::new();
+        let flag = ctx.bool_var("flag");
+        let results = explore(|path| if path.branch(&flag) { 1 } else { 2 });
+        assert_eq!(results.len(), 2);
+        let values: Vec<i32> = results.iter().map(|r| r.value).collect();
+        assert!(values.contains(&1) && values.contains(&2));
+        for r in &results {
+            assert_eq!(r.condition.len(), 1);
+        }
+    }
+
+    #[test]
+    fn constant_branches_do_not_fork() {
+        let results = explore(|path| {
+            if path.branch(&SymBool::from_bool(true)) {
+                if path.branch(&SymBool::from_bool(false)) {
+                    0
+                } else {
+                    1
+                }
+            } else {
+                2
+            }
+        });
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].value, 1);
+    }
+
+    #[test]
+    fn nested_branches_enumerate_all_paths() {
+        let ctx = SymContext::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let results = explore(|path| {
+            let mut v = 0;
+            if path.branch(&a) {
+                v += 1;
+            }
+            if path.branch(&b) {
+                v += 2;
+            }
+            v
+        });
+        assert_eq!(results.len(), 4);
+        let mut values: Vec<i32> = results.iter().map(|r| r.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn branch_conditions_depend_on_data() {
+        // Model: return |x| (absolute value) over a symbolic int; exploring
+        // yields two paths whose conditions partition the domain.
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        let results = explore(|path| {
+            if path.branch(&x.lt(&SymInt::from_i64(0))) {
+                SymInt::from_i64(0).sub(&x)
+            } else {
+                x.clone()
+            }
+        });
+        assert_eq!(results.len(), 2);
+        // Each path's condition must be satisfiable over a small domain.
+        let domains = Domains::new(vec![-2, -1, 0, 1, 2]);
+        for r in &results {
+            let cond = Expr::and(&r.condition);
+            let solutions = all_solutions(&[cond], &domains, 100);
+            assert!(!solutions.is_empty(), "each path must be feasible");
+        }
+    }
+
+    #[test]
+    fn assume_adds_constraints_without_forking() {
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        let results = explore(|path| {
+            path.assume(&x.gt(&SymInt::from_i64(0)));
+            7
+        });
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].condition.len(), 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! The expression AST.
+//!
+//! Expressions are immutable reference-counted trees over boolean and
+//! integer sorts. Constructors perform light constant folding so that
+//! concrete model executions produce concrete expressions (which keeps the
+//! path explorer from forking on branches whose condition is already
+//! known).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A reference-counted expression.
+pub type ExprRef = Rc<Expr>;
+
+/// Identifier of a symbolic variable.
+pub type VarId = u32;
+
+/// The sort (type) of a variable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Boolean.
+    Bool,
+    /// Bounded integer.
+    Int,
+}
+
+/// A symbolic variable: identifier, human-readable name and sort.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Var {
+    /// Unique id within a [`crate::types::SymContext`].
+    pub id: VarId,
+    /// Name used in printed conditions (e.g. `"a_exists"`).
+    pub name: Rc<str>,
+    /// The variable's sort.
+    pub sort: Sort,
+}
+
+/// Expression nodes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Boolean constant.
+    ConstBool(bool),
+    /// Integer constant.
+    ConstInt(i64),
+    /// A variable reference.
+    Var(Var),
+    /// Logical negation.
+    Not(ExprRef),
+    /// N-ary conjunction.
+    And(Vec<ExprRef>),
+    /// N-ary disjunction.
+    Or(Vec<ExprRef>),
+    /// Equality (both operands of the same sort).
+    Eq(ExprRef, ExprRef),
+    /// Integer less-than.
+    Lt(ExprRef, ExprRef),
+    /// Integer addition.
+    Add(ExprRef, ExprRef),
+    /// Integer subtraction.
+    Sub(ExprRef, ExprRef),
+    /// If-then-else (condition boolean, branches of equal sort).
+    Ite(ExprRef, ExprRef, ExprRef),
+}
+
+impl Expr {
+    /// Boolean constant.
+    pub fn bool(b: bool) -> ExprRef {
+        Rc::new(Expr::ConstBool(b))
+    }
+
+    /// Integer constant.
+    pub fn int(v: i64) -> ExprRef {
+        Rc::new(Expr::ConstInt(v))
+    }
+
+    /// Variable reference.
+    pub fn var(var: Var) -> ExprRef {
+        Rc::new(Expr::Var(var))
+    }
+
+    /// Logical negation with folding.
+    pub fn not(e: &ExprRef) -> ExprRef {
+        match &**e {
+            Expr::ConstBool(b) => Expr::bool(!b),
+            Expr::Not(inner) => Rc::clone(inner),
+            _ => Rc::new(Expr::Not(Rc::clone(e))),
+        }
+    }
+
+    /// Conjunction with folding (drops `true`, collapses on `false`).
+    pub fn and(parts: &[ExprRef]) -> ExprRef {
+        let mut out = Vec::new();
+        for p in parts {
+            match &**p {
+                Expr::ConstBool(true) => {}
+                Expr::ConstBool(false) => return Expr::bool(false),
+                Expr::And(inner) => out.extend(inner.iter().cloned()),
+                _ => out.push(Rc::clone(p)),
+            }
+        }
+        match out.len() {
+            0 => Expr::bool(true),
+            1 => out.pop().expect("len checked"),
+            _ => Rc::new(Expr::And(out)),
+        }
+    }
+
+    /// Disjunction with folding (drops `false`, collapses on `true`).
+    pub fn or(parts: &[ExprRef]) -> ExprRef {
+        let mut out = Vec::new();
+        for p in parts {
+            match &**p {
+                Expr::ConstBool(false) => {}
+                Expr::ConstBool(true) => return Expr::bool(true),
+                Expr::Or(inner) => out.extend(inner.iter().cloned()),
+                _ => out.push(Rc::clone(p)),
+            }
+        }
+        match out.len() {
+            0 => Expr::bool(false),
+            1 => out.pop().expect("len checked"),
+            _ => Rc::new(Expr::Or(out)),
+        }
+    }
+
+    /// Equality with folding on identical or constant operands.
+    pub fn eq(a: &ExprRef, b: &ExprRef) -> ExprRef {
+        if a == b {
+            return Expr::bool(true);
+        }
+        match (&**a, &**b) {
+            (Expr::ConstInt(x), Expr::ConstInt(y)) => Expr::bool(x == y),
+            (Expr::ConstBool(x), Expr::ConstBool(y)) => Expr::bool(x == y),
+            _ => Rc::new(Expr::Eq(Rc::clone(a), Rc::clone(b))),
+        }
+    }
+
+    /// Less-than with constant folding.
+    pub fn lt(a: &ExprRef, b: &ExprRef) -> ExprRef {
+        match (&**a, &**b) {
+            (Expr::ConstInt(x), Expr::ConstInt(y)) => Expr::bool(x < y),
+            _ => Rc::new(Expr::Lt(Rc::clone(a), Rc::clone(b))),
+        }
+    }
+
+    /// Addition with constant folding.
+    pub fn add(a: &ExprRef, b: &ExprRef) -> ExprRef {
+        match (&**a, &**b) {
+            (Expr::ConstInt(x), Expr::ConstInt(y)) => Expr::int(x + y),
+            (_, Expr::ConstInt(0)) => Rc::clone(a),
+            (Expr::ConstInt(0), _) => Rc::clone(b),
+            _ => Rc::new(Expr::Add(Rc::clone(a), Rc::clone(b))),
+        }
+    }
+
+    /// Subtraction with constant folding.
+    pub fn sub(a: &ExprRef, b: &ExprRef) -> ExprRef {
+        match (&**a, &**b) {
+            (Expr::ConstInt(x), Expr::ConstInt(y)) => Expr::int(x - y),
+            (_, Expr::ConstInt(0)) => Rc::clone(a),
+            _ => Rc::new(Expr::Sub(Rc::clone(a), Rc::clone(b))),
+        }
+    }
+
+    /// If-then-else with folding on constant or equal branches.
+    pub fn ite(cond: &ExprRef, then: &ExprRef, els: &ExprRef) -> ExprRef {
+        match &**cond {
+            Expr::ConstBool(true) => Rc::clone(then),
+            Expr::ConstBool(false) => Rc::clone(els),
+            _ if then == els => Rc::clone(then),
+            _ => Rc::new(Expr::Ite(Rc::clone(cond), Rc::clone(then), Rc::clone(els))),
+        }
+    }
+
+    /// Is this a boolean constant?
+    pub fn as_const_bool(&self) -> Option<bool> {
+        match self {
+            Expr::ConstBool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Is this an integer constant?
+    pub fn as_const_int(&self) -> Option<i64> {
+        match self {
+            Expr::ConstInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Collects the free variables of the expression (keyed by id).
+    pub fn free_vars(expr: &ExprRef) -> BTreeMap<VarId, Var> {
+        let mut out = BTreeMap::new();
+        Self::collect_vars(expr, &mut out);
+        out
+    }
+
+    fn collect_vars(expr: &ExprRef, out: &mut BTreeMap<VarId, Var>) {
+        match &**expr {
+            Expr::ConstBool(_) | Expr::ConstInt(_) => {}
+            Expr::Var(v) => {
+                out.insert(v.id, v.clone());
+            }
+            Expr::Not(a) => Self::collect_vars(a, out),
+            Expr::And(parts) | Expr::Or(parts) => {
+                for p in parts {
+                    Self::collect_vars(p, out);
+                }
+            }
+            Expr::Eq(a, b) | Expr::Lt(a, b) | Expr::Add(a, b) | Expr::Sub(a, b) => {
+                Self::collect_vars(a, out);
+                Self::collect_vars(b, out);
+            }
+            Expr::Ite(c, t, e) => {
+                Self::collect_vars(c, out);
+                Self::collect_vars(t, out);
+                Self::collect_vars(e, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::ConstBool(b) => write!(f, "{b}"),
+            Expr::ConstInt(v) => write!(f, "{v}"),
+            Expr::Var(v) => write!(f, "{}", v.name),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Eq(a, b) => write!(f, "({a} == {b})"),
+            Expr::Lt(a, b) => write!(f, "({a} < {b})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Ite(c, t, e) => write!(f, "({c} ? {t} : {e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(id: VarId, name: &str, sort: Sort) -> ExprRef {
+        Expr::var(Var {
+            id,
+            name: name.into(),
+            sort,
+        })
+    }
+
+    #[test]
+    fn constant_folding_in_and_or() {
+        let t = Expr::bool(true);
+        let f = Expr::bool(false);
+        let x = var(0, "x", Sort::Bool);
+        assert_eq!(Expr::and(&[t.clone(), x.clone()]), x);
+        assert_eq!(*Expr::and(&[f.clone(), x.clone()]), Expr::ConstBool(false));
+        assert_eq!(Expr::or(&[f.clone(), x.clone()]), x);
+        assert_eq!(*Expr::or(&[t, x]), Expr::ConstBool(true));
+    }
+
+    #[test]
+    fn equality_folds_on_identical_and_constants() {
+        let x = var(0, "x", Sort::Int);
+        assert_eq!(*Expr::eq(&x, &x), Expr::ConstBool(true));
+        assert_eq!(*Expr::eq(&Expr::int(3), &Expr::int(3)), Expr::ConstBool(true));
+        assert_eq!(*Expr::eq(&Expr::int(3), &Expr::int(4)), Expr::ConstBool(false));
+    }
+
+    #[test]
+    fn arithmetic_folds_constants_and_zero() {
+        let x = var(0, "x", Sort::Int);
+        assert_eq!(*Expr::add(&Expr::int(2), &Expr::int(3)), Expr::ConstInt(5));
+        assert_eq!(Expr::add(&x, &Expr::int(0)), x);
+        assert_eq!(*Expr::sub(&Expr::int(5), &Expr::int(2)), Expr::ConstInt(3));
+        assert_eq!(*Expr::lt(&Expr::int(1), &Expr::int(2)), Expr::ConstBool(true));
+    }
+
+    #[test]
+    fn ite_folds_on_constant_condition_and_equal_branches() {
+        let x = var(0, "x", Sort::Int);
+        let y = var(1, "y", Sort::Int);
+        assert_eq!(Expr::ite(&Expr::bool(true), &x, &y), x);
+        assert_eq!(Expr::ite(&Expr::bool(false), &x, &y), y);
+        let c = var(2, "c", Sort::Bool);
+        assert_eq!(Expr::ite(&c, &x, &x), x);
+    }
+
+    #[test]
+    fn double_negation_is_removed() {
+        let x = var(0, "x", Sort::Bool);
+        let nn = Expr::not(&Expr::not(&x));
+        assert_eq!(nn, x);
+    }
+
+    #[test]
+    fn free_vars_are_collected() {
+        let x = var(0, "x", Sort::Int);
+        let y = var(1, "y", Sort::Int);
+        let e = Expr::and(&[Expr::eq(&x, &y), Expr::lt(&x, &Expr::int(5))]);
+        let vars = Expr::free_vars(&e);
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains_key(&0) && vars.contains_key(&1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let x = var(0, "a_exists", Sort::Bool);
+        let e = Expr::and(&[x.clone(), Expr::not(&x)]);
+        let shown = format!("{e}");
+        assert!(shown.contains("a_exists"));
+    }
+}

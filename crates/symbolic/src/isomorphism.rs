@@ -1,0 +1,121 @@
+//! Isomorphism signatures of assignments (conflict coverage, §5.2).
+//!
+//! A path condition usually has many satisfying assignments that exercise an
+//! implementation identically: what matters is the *pattern* of equal and
+//! distinct values among related variables (two `read`s of the same fd
+//! versus different fds, two offsets on the same page versus different
+//! pages), not the specific numbers. TESTGEN partitions variables into
+//! groups and considers two assignments equivalent when every group shows
+//! the same equality pattern and every boolean has the same value — the
+//! paper's "isomorphism groups".
+
+use crate::expr::VarId;
+use crate::solver::{Assignment, Value};
+
+/// A canonical signature of an assignment with respect to variable groups.
+///
+/// Two assignments with equal signatures are isomorphic: one can be mapped
+/// onto the other by renaming values within each group.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature {
+    /// For each group, for each variable (in the order given), the index of
+    /// the first variable in that group holding the same value.
+    group_patterns: Vec<Vec<usize>>,
+    /// Values of variables listed as exact (booleans and anything whose
+    /// concrete value matters).
+    exact: Vec<(VarId, Value)>,
+}
+
+/// Computes the isomorphism signature of `assignment`.
+///
+/// * `groups` — lists of integer variables whose values only matter up to
+///   equality (e.g. all file-name class representatives, all inode numbers).
+/// * `exact_vars` — variables whose concrete value matters (booleans,
+///   flags, page indices where "same page" vs "different page" is already a
+///   group concern but magnitude may matter).
+pub fn signature(
+    assignment: &Assignment,
+    groups: &[Vec<VarId>],
+    exact_vars: &[VarId],
+) -> Signature {
+    let mut group_patterns = Vec::with_capacity(groups.len());
+    for group in groups {
+        let values: Vec<Option<Value>> = group.iter().map(|v| assignment.get(*v)).collect();
+        let mut pattern = Vec::with_capacity(group.len());
+        for (i, value) in values.iter().enumerate() {
+            let first = values[..i]
+                .iter()
+                .position(|other| other == value)
+                .unwrap_or(i);
+            pattern.push(first);
+        }
+        group_patterns.push(pattern);
+    }
+    let exact = exact_vars
+        .iter()
+        .filter_map(|v| assignment.get(*v).map(|value| (*v, value)))
+        .collect();
+    Signature {
+        group_patterns,
+        exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asg(pairs: &[(VarId, i64)]) -> Assignment {
+        let mut a = Assignment::new();
+        for (v, x) in pairs {
+            a.set(*v, Value::Int(*x));
+        }
+        a
+    }
+
+    #[test]
+    fn equal_patterns_are_isomorphic() {
+        // (a=1, b=1, c=2) and (a=7, b=7, c=9) have the same pattern.
+        let g = vec![vec![0, 1, 2]];
+        let s1 = signature(&asg(&[(0, 1), (1, 1), (2, 2)]), &g, &[]);
+        let s2 = signature(&asg(&[(0, 7), (1, 7), (2, 9)]), &g, &[]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_patterns_are_distinguished() {
+        let g = vec![vec![0, 1, 2]];
+        let all_same = signature(&asg(&[(0, 1), (1, 1), (2, 1)]), &g, &[]);
+        let all_diff = signature(&asg(&[(0, 1), (1, 2), (2, 3)]), &g, &[]);
+        assert_ne!(all_same, all_diff);
+    }
+
+    #[test]
+    fn exact_variables_break_isomorphism() {
+        let mut a1 = asg(&[(0, 1)]);
+        a1.set(5, Value::Bool(true));
+        let mut a2 = asg(&[(0, 2)]);
+        a2.set(5, Value::Bool(false));
+        let s1 = signature(&a1, &[vec![0]], &[5]);
+        let s2 = signature(&a2, &[vec![0]], &[5]);
+        assert_ne!(s1, s2, "boolean flag value must matter");
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        // Equality across different groups does not affect the signature.
+        let g = vec![vec![0, 1], vec![2, 3]];
+        let s1 = signature(&asg(&[(0, 1), (1, 2), (2, 1), (3, 1)]), &g, &[]);
+        let s2 = signature(&asg(&[(0, 5), (1, 6), (2, 9), (3, 9)]), &g, &[]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn signatures_are_usable_as_set_keys() {
+        let g = vec![vec![0, 1]];
+        let mut seen = std::collections::BTreeSet::new();
+        assert!(seen.insert(signature(&asg(&[(0, 1), (1, 1)]), &g, &[])));
+        assert!(!seen.insert(signature(&asg(&[(0, 3), (1, 3)]), &g, &[])));
+        assert!(seen.insert(signature(&asg(&[(0, 1), (1, 2)]), &g, &[])));
+    }
+}

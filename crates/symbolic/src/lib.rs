@@ -1,0 +1,42 @@
+//! # scr-symbolic — a small-scope symbolic execution engine
+//!
+//! COMMUTER's ANALYZER (§5.1) symbolically executes an interface model to
+//! compute the exact conditions under which operations commute, and TESTGEN
+//! (§5.2) asks an SMT solver for satisfying assignments of those conditions.
+//! The paper uses Z3; this crate provides the (much smaller) engine the rest
+//! of the workspace uses instead, sized for the constraints the POSIX model
+//! actually produces:
+//!
+//! * equalities and disequalities between *uninterpreted* values (file
+//!   names), which the driver reduces to explicit equality-partition
+//!   ("shape") enumeration before execution;
+//! * bounded integers (inode numbers, page-granular offsets, descriptor
+//!   indices) with small explicit candidate domains;
+//! * booleans (existence flags, permission bits) and the boolean structure
+//!   of path conditions.
+//!
+//! The pieces:
+//!
+//! * [`expr`] — a hash-consed-ish expression AST with constant folding, free
+//!   variable collection and evaluation under an assignment.
+//! * [`types`] — ergonomic wrappers ([`SymBool`], [`SymInt`]) and the
+//!   [`SymContext`] variable factory.
+//! * [`executor`] — replay-based path exploration: model code calls
+//!   [`executor::PathCtx::branch`] and the engine re-runs the closure once
+//!   per feasible decision vector, collecting a path condition per leaf.
+//! * [`solver`] — a backtracking finite-domain model finder with early
+//!   constraint checking, plus exhaustive enumeration of solutions.
+//! * [`isomorphism`] — canonical signatures of assignments, used by TESTGEN
+//!   to avoid emitting isomorphic duplicates (conflict coverage, §5.2).
+
+pub mod executor;
+pub mod expr;
+pub mod isomorphism;
+pub mod solver;
+pub mod types;
+
+pub use executor::{explore, PathCtx, PathResult};
+pub use expr::{Expr, ExprRef, Sort, Var, VarId};
+pub use isomorphism::signature;
+pub use solver::{all_solutions, eval_bool, solve, Assignment, Domains, Value};
+pub use types::{SymBool, SymContext, SymInt};

@@ -1,0 +1,534 @@
+//! A backtracking finite-domain model finder.
+//!
+//! The constraints COMMUTER's POSIX model produces are boolean combinations
+//! of equalities, orderings and small arithmetic over variables with small
+//! domains (existence flags, page-granular offsets drawn from a handful of
+//! candidates, equality-partition representatives). A complete backtracking
+//! search with early constraint checking is entirely adequate for that
+//! space and keeps the engine dependency-free; this is the documented
+//! substitution for Z3 (see DESIGN.md).
+
+use crate::expr::{Expr, ExprRef, Sort, Var, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A concrete value assigned to a variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+}
+
+impl Value {
+    /// The boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Bool(_) => None,
+        }
+    }
+}
+
+/// A (partial or total) assignment of values to variables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    values: BTreeMap<VarId, Value>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Assignment::default()
+    }
+
+    /// Sets a variable's value.
+    pub fn set(&mut self, var: VarId, value: Value) {
+        self.values.insert(var, value);
+    }
+
+    /// Removes a variable's value (used by the solver when backtracking).
+    pub fn unset(&mut self, var: VarId) {
+        self.values.remove(&var);
+    }
+
+    /// Reads a variable's value.
+    pub fn get(&self, var: VarId) -> Option<Value> {
+        self.values.get(&var).copied()
+    }
+
+    /// The integer value of a variable (panics if unassigned or a bool).
+    pub fn int(&self, var: VarId) -> i64 {
+        self.get(var)
+            .and_then(|v| v.as_int())
+            .expect("variable must have an integer value")
+    }
+
+    /// The boolean value of a variable (panics if unassigned or an int).
+    pub fn bool(&self, var: VarId) -> bool {
+        self.get(var)
+            .and_then(|v| v.as_bool())
+            .expect("variable must have a boolean value")
+    }
+
+    /// Iterates over `(variable, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VarId, &Value)> {
+        self.values.iter()
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Candidate domains for the search.
+#[derive(Clone, Debug)]
+pub struct Domains {
+    /// Default candidate values for integer variables.
+    default_ints: Vec<i64>,
+    /// Per-variable overrides.
+    per_var: BTreeMap<VarId, Vec<Value>>,
+}
+
+impl Domains {
+    /// Domains with the given default integer candidates.
+    pub fn new(default_ints: Vec<i64>) -> Self {
+        Domains {
+            default_ints,
+            per_var: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the candidates for one variable.
+    pub fn set_var(&mut self, var: VarId, candidates: Vec<Value>) {
+        self.per_var.insert(var, candidates);
+    }
+
+    fn candidates(&self, var: &Var) -> Vec<Value> {
+        if let Some(c) = self.per_var.get(&var.id) {
+            return c.clone();
+        }
+        match var.sort {
+            Sort::Bool => vec![Value::Bool(false), Value::Bool(true)],
+            Sort::Int => self.default_ints.iter().map(|v| Value::Int(*v)).collect(),
+        }
+    }
+}
+
+impl Default for Domains {
+    fn default() -> Self {
+        Domains::new(vec![0, 1, 2, 3])
+    }
+}
+
+/// Evaluates an expression under a (total, for its free variables)
+/// assignment. Returns `None` if a needed variable is unassigned or a sort
+/// is misused.
+pub fn eval(expr: &ExprRef, assignment: &Assignment) -> Option<Value> {
+    match &**expr {
+        Expr::ConstBool(b) => Some(Value::Bool(*b)),
+        Expr::ConstInt(v) => Some(Value::Int(*v)),
+        Expr::Var(v) => assignment.get(v.id),
+        Expr::Not(a) => Some(Value::Bool(!eval(a, assignment)?.as_bool()?)),
+        Expr::And(parts) => {
+            let mut acc = true;
+            for p in parts {
+                acc &= eval(p, assignment)?.as_bool()?;
+                if !acc {
+                    return Some(Value::Bool(false));
+                }
+            }
+            Some(Value::Bool(acc))
+        }
+        Expr::Or(parts) => {
+            let mut acc = false;
+            for p in parts {
+                acc |= eval(p, assignment)?.as_bool()?;
+                if acc {
+                    return Some(Value::Bool(true));
+                }
+            }
+            Some(Value::Bool(acc))
+        }
+        Expr::Eq(a, b) => {
+            let va = eval(a, assignment)?;
+            let vb = eval(b, assignment)?;
+            Some(Value::Bool(va == vb))
+        }
+        Expr::Lt(a, b) => Some(Value::Bool(
+            eval(a, assignment)?.as_int()? < eval(b, assignment)?.as_int()?,
+        )),
+        Expr::Add(a, b) => Some(Value::Int(
+            eval(a, assignment)?.as_int()? + eval(b, assignment)?.as_int()?,
+        )),
+        Expr::Sub(a, b) => Some(Value::Int(
+            eval(a, assignment)?.as_int()? - eval(b, assignment)?.as_int()?,
+        )),
+        Expr::Ite(c, t, e) => {
+            if eval(c, assignment)?.as_bool()? {
+                eval(t, assignment)
+            } else {
+                eval(e, assignment)
+            }
+        }
+    }
+}
+
+/// Evaluates a boolean expression, returning `false` on sort errors or
+/// missing variables (convenient for filters).
+pub fn eval_bool(expr: &ExprRef, assignment: &Assignment) -> bool {
+    eval(expr, assignment)
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false)
+}
+
+/// Three-valued evaluation under a *partial* assignment: `None` means the
+/// value is not yet determined. Conjunctions and disjunctions short-circuit
+/// (a single `false` conjunct decides the conjunction even if other parts
+/// are unknown), which is what lets the solver prune subtrees long before
+/// every variable is assigned.
+pub fn eval_partial(expr: &ExprRef, assignment: &Assignment) -> Option<Value> {
+    match &**expr {
+        Expr::ConstBool(b) => Some(Value::Bool(*b)),
+        Expr::ConstInt(v) => Some(Value::Int(*v)),
+        Expr::Var(v) => assignment.get(v.id),
+        Expr::Not(a) => Some(Value::Bool(!eval_partial(a, assignment)?.as_bool()?)),
+        Expr::And(parts) => {
+            let mut unknown = false;
+            for p in parts {
+                match eval_partial(p, assignment).and_then(|v| v.as_bool()) {
+                    Some(false) => return Some(Value::Bool(false)),
+                    Some(true) => {}
+                    None => unknown = true,
+                }
+            }
+            if unknown {
+                None
+            } else {
+                Some(Value::Bool(true))
+            }
+        }
+        Expr::Or(parts) => {
+            let mut unknown = false;
+            for p in parts {
+                match eval_partial(p, assignment).and_then(|v| v.as_bool()) {
+                    Some(true) => return Some(Value::Bool(true)),
+                    Some(false) => {}
+                    None => unknown = true,
+                }
+            }
+            if unknown {
+                None
+            } else {
+                Some(Value::Bool(false))
+            }
+        }
+        Expr::Eq(a, b) => {
+            let va = eval_partial(a, assignment)?;
+            let vb = eval_partial(b, assignment)?;
+            Some(Value::Bool(va == vb))
+        }
+        Expr::Lt(a, b) => Some(Value::Bool(
+            eval_partial(a, assignment)?.as_int()? < eval_partial(b, assignment)?.as_int()?,
+        )),
+        Expr::Add(a, b) => Some(Value::Int(
+            eval_partial(a, assignment)?.as_int()? + eval_partial(b, assignment)?.as_int()?,
+        )),
+        Expr::Sub(a, b) => Some(Value::Int(
+            eval_partial(a, assignment)?.as_int()? - eval_partial(b, assignment)?.as_int()?,
+        )),
+        Expr::Ite(c, t, e) => match eval_partial(c, assignment)?.as_bool()? {
+            true => eval_partial(t, assignment),
+            false => eval_partial(e, assignment),
+        },
+    }
+}
+
+struct Search<'a> {
+    constraints: Vec<ExprRef>,
+    // For each constraint, the set of variable ids it mentions.
+    constraint_vars: Vec<Vec<VarId>>,
+    order: Vec<Var>,
+    // Variable id → position in `order` (its search level).
+    level_of: BTreeMap<VarId, usize>,
+    domains: &'a Domains,
+}
+
+impl<'a> Search<'a> {
+    fn new(constraints: &'a [ExprRef], domains: &'a Domains) -> Self {
+        // Flatten top-level conjunctions so each piece mentions as few
+        // variables as possible; that is what makes the early consistency
+        // check prune effectively (a single monolithic conjunction could
+        // only be checked once every variable is assigned).
+        let mut flat: Vec<ExprRef> = Vec::new();
+        fn flatten(e: &ExprRef, out: &mut Vec<ExprRef>) {
+            match &**e {
+                Expr::And(parts) => {
+                    for p in parts {
+                        flatten(p, out);
+                    }
+                }
+                Expr::ConstBool(true) => {}
+                _ => out.push(e.clone()),
+            }
+        }
+        for c in constraints {
+            flatten(c, &mut flat);
+        }
+        let mut all_vars: BTreeMap<VarId, Var> = BTreeMap::new();
+        let mut constraint_vars = Vec::with_capacity(flat.len());
+        for c in &flat {
+            let vars = Expr::free_vars(c);
+            constraint_vars.push(vars.keys().copied().collect());
+            all_vars.extend(vars);
+        }
+        let order: Vec<Var> = all_vars.into_values().collect();
+        let level_of = order.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
+        Search {
+            constraints: flat,
+            constraint_vars,
+            order,
+            level_of,
+            domains,
+        }
+    }
+
+    /// Finds a constraint that is *definitely* violated under the current
+    /// partial assignment, returning the set of search levels its variables
+    /// occupy (the conflict's culprits). Three-valued evaluation lets a
+    /// single decided conjunct falsify a large conjunction early. Only
+    /// constraints that mention the variable assigned last (or, at the root,
+    /// all constraints) need to be re-examined.
+    fn violated(
+        &self,
+        assignment: &Assignment,
+        last_assigned: Option<VarId>,
+    ) -> Option<BTreeSet<usize>> {
+        for (c, vars) in self.constraints.iter().zip(&self.constraint_vars) {
+            if let Some(last) = last_assigned {
+                if !vars.contains(&last) {
+                    continue;
+                }
+            }
+            if eval_partial(c, assignment) == Some(Value::Bool(false)) {
+                return Some(
+                    vars.iter()
+                        .filter_map(|v| self.level_of.get(v).copied())
+                        .collect(),
+                );
+            }
+        }
+        None
+    }
+
+    /// Conflict-directed backjumping search. Returns `Err(())` when the
+    /// solution limit was reached; otherwise returns the conflict set of the
+    /// exhausted subtree (the levels whose assignments mattered). A caller
+    /// whose own level is not in that set can skip its remaining candidates:
+    /// re-assigning it cannot make the subtree satisfiable.
+    fn search(
+        &self,
+        idx: usize,
+        assignment: &mut Assignment,
+        out: &mut Vec<Assignment>,
+        limit: usize,
+    ) -> Result<BTreeSet<usize>, ()> {
+        if out.len() >= limit {
+            return Err(());
+        }
+        if idx == self.order.len() {
+            // Verify every constraint (this also covers variable-free
+            // constraints that never triggered an incremental check).
+            if self.constraints.iter().all(|c| eval_bool(c, assignment)) {
+                out.push(assignment.clone());
+                if out.len() >= limit {
+                    return Err(());
+                }
+                return Ok(BTreeSet::new());
+            }
+            // Report the culprits of the first violated constraint.
+            for (c, vars) in self.constraints.iter().zip(&self.constraint_vars) {
+                if !eval_bool(c, assignment) {
+                    return Ok(vars
+                        .iter()
+                        .filter_map(|v| self.level_of.get(v).copied())
+                        .collect());
+                }
+            }
+            return Ok(BTreeSet::new());
+        }
+        let var = &self.order[idx];
+        let mut conflicts: BTreeSet<usize> = BTreeSet::new();
+        let mut solution_below = false;
+        for candidate in self.domains.candidates(var) {
+            assignment.set(var.id, candidate);
+            match self.violated(assignment, Some(var.id)) {
+                Some(culprits) => {
+                    conflicts.extend(culprits.into_iter().filter(|l| *l < idx));
+                }
+                None => {
+                    let found_before = out.len();
+                    let below = self.search(idx + 1, assignment, out, limit);
+                    match below {
+                        Err(()) => {
+                            assignment.unset(var.id);
+                            return Err(());
+                        }
+                        Ok(cs) => {
+                            let found_here = out.len() > found_before;
+                            solution_below |= found_here;
+                            if !solution_below && !cs.contains(&idx) {
+                                // This level is irrelevant to the subtree's
+                                // failure: re-assigning it cannot help, so
+                                // jump straight over it.
+                                assignment.unset(var.id);
+                                return Ok(cs);
+                            }
+                            conflicts.extend(cs.into_iter().filter(|l| *l < idx));
+                        }
+                    }
+                }
+            }
+        }
+        // Backtrack cleanly so partial evaluation at shallower depths never
+        // sees a stale value from an abandoned subtree.
+        assignment.unset(var.id);
+        if solution_below {
+            // Solutions were found below: report every earlier level as
+            // relevant so ancestors keep enumerating exhaustively.
+            return Ok((0..idx).collect());
+        }
+        Ok(conflicts)
+    }
+}
+
+/// Finds one satisfying assignment of `constraints` over `domains`, or
+/// `None` when unsatisfiable within the domains.
+pub fn solve(constraints: &[ExprRef], domains: &Domains) -> Option<Assignment> {
+    all_solutions(constraints, domains, 1).into_iter().next()
+}
+
+/// Enumerates up to `limit` satisfying assignments.
+pub fn all_solutions(constraints: &[ExprRef], domains: &Domains, limit: usize) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    let search = Search::new(constraints, domains);
+    let mut assignment = Assignment::new();
+    // Constraints already decided with nothing assigned (constant `false`,
+    // or short-circuited conjunctions) reject the whole search up front.
+    if search.violated(&assignment, None).is_some() {
+        return out;
+    }
+    let _ = search.search(0, &mut assignment, &mut out, limit);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{SymContext, SymInt};
+
+    #[test]
+    fn solves_simple_equalities() {
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let constraints = vec![
+            x.eq(&SymInt::from_i64(2)).0,
+            y.eq(&x.add(&SymInt::from_i64(1))).0,
+        ];
+        let solution = solve(&constraints, &Domains::default()).expect("sat");
+        assert_eq!(solution.int(0), 2);
+        assert_eq!(solution.int(1), 3);
+    }
+
+    #[test]
+    fn detects_unsatisfiable_constraints() {
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        let constraints = vec![x.eq(&SymInt::from_i64(1)).0, x.eq(&SymInt::from_i64(2)).0];
+        assert!(solve(&constraints, &Domains::default()).is_none());
+    }
+
+    #[test]
+    fn respects_custom_domains() {
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        let constraints = vec![x.gt(&SymInt::from_i64(100)).0];
+        assert!(solve(&constraints, &Domains::default()).is_none());
+        let domains = Domains::new(vec![0, 50, 200]);
+        let solution = solve(&constraints, &domains).expect("sat with wider domain");
+        assert_eq!(solution.int(0), 200);
+    }
+
+    #[test]
+    fn per_variable_domain_overrides_apply() {
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let mut domains = Domains::new(vec![0, 1]);
+        domains.set_var(1, vec![Value::Int(7)]);
+        let constraints = vec![x.lt(&y).0];
+        let solution = solve(&constraints, &domains).expect("sat");
+        assert_eq!(solution.int(1), 7);
+        assert!(solution.int(0) < 7);
+    }
+
+    #[test]
+    fn all_solutions_enumerates_and_respects_limit() {
+        let ctx = SymContext::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let constraints = vec![a.or(&b).0];
+        let all = all_solutions(&constraints, &Domains::default(), 100);
+        assert_eq!(all.len(), 3, "three of four boolean pairs satisfy a || b");
+        let limited = all_solutions(&constraints, &Domains::default(), 2);
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn boolean_and_integer_mix() {
+        let ctx = SymContext::new();
+        let exists = ctx.bool_var("exists");
+        let ino = ctx.int_var("ino");
+        // exists => ino > 0
+        let constraints = vec![exists.implies(&ino.gt(&SymInt::from_i64(0))).0, exists.0.clone()];
+        let solution = solve(&constraints, &Domains::default()).expect("sat");
+        assert!(solution.bool(0));
+        assert!(solution.int(1) > 0);
+    }
+
+    #[test]
+    fn eval_handles_ite_and_arithmetic() {
+        let ctx = SymContext::new();
+        let c = ctx.bool_var("c");
+        let x = ctx.int_var("x");
+        let expr = SymInt::ite(&c, &x.add(&SymInt::from_i64(10)), &SymInt::from_i64(0));
+        let mut asg = Assignment::new();
+        asg.set(0, Value::Bool(true));
+        asg.set(1, Value::Int(5));
+        assert_eq!(eval(&expr.0, &asg), Some(Value::Int(15)));
+        asg.set(0, Value::Bool(false));
+        assert_eq!(eval(&expr.0, &asg), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn eval_bool_is_false_on_missing_vars() {
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        assert!(!eval_bool(&x.eq(&SymInt::from_i64(0)).0, &Assignment::new()));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the symbolic engine: solutions really satisfy
+//! their constraints, partial evaluation agrees with total evaluation, and
+//! the path explorer's conditions partition behaviour.
+
+use proptest::prelude::*;
+use scr_symbolic::{
+    all_solutions, eval_bool, explore, solve, Assignment, Domains, Expr, ExprRef, SymBool,
+    SymContext, SymInt, Value,
+};
+
+/// Builds a random boolean expression over `n_bools` boolean variables and
+/// `n_ints` integer variables (returned alongside for assignment building).
+fn random_condition(
+    ctx: &SymContext,
+    bool_vars: &[SymBool],
+    int_vars: &[SymInt],
+    seed: &[u8],
+) -> SymBool {
+    let mut acc = SymBool::from_bool(true);
+    for (i, byte) in seed.iter().enumerate() {
+        let b = &bool_vars[(*byte as usize) % bool_vars.len()];
+        let x = &int_vars[(i + *byte as usize) % int_vars.len()];
+        let y = &int_vars[(*byte as usize / 3) % int_vars.len()];
+        let clause = match byte % 5 {
+            0 => b.clone(),
+            1 => b.not(),
+            2 => x.eq(y),
+            3 => x.lt(&y.add(&SymInt::from_i64((*byte % 4) as i64))),
+            _ => x.ne(&SymInt::from_i64((*byte % 3) as i64)),
+        };
+        acc = if byte % 2 == 0 {
+            acc.and(&clause)
+        } else {
+            acc.or(&clause)
+        };
+    }
+    let _ = ctx;
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_reported_solution_satisfies_the_constraints(seed in proptest::collection::vec(any::<u8>(), 1..12)) {
+        let ctx = SymContext::new();
+        let bool_vars: Vec<SymBool> = (0..3).map(|i| ctx.bool_var(&format!("b{i}"))).collect();
+        let int_vars: Vec<SymInt> = (0..3).map(|i| ctx.int_var(&format!("x{i}"))).collect();
+        let condition = random_condition(&ctx, &bool_vars, &int_vars, &seed);
+        let constraints: Vec<ExprRef> = vec![condition.expr().clone()];
+        let domains = Domains::new(vec![0, 1, 2]);
+        for solution in all_solutions(&constraints, &domains, 64) {
+            prop_assert!(eval_bool(condition.expr(), &solution));
+        }
+    }
+
+    #[test]
+    fn solve_and_negation_cover_every_total_assignment(seed in proptest::collection::vec(any::<u8>(), 1..10)) {
+        // If a condition is unsatisfiable over the domain, its negation must
+        // hold for every total assignment over that domain (and vice versa) —
+        // a consistency check between the solver and the evaluator.
+        let ctx = SymContext::new();
+        let bool_vars: Vec<SymBool> = (0..2).map(|i| ctx.bool_var(&format!("b{i}"))).collect();
+        let int_vars: Vec<SymInt> = (0..2).map(|i| ctx.int_var(&format!("x{i}"))).collect();
+        let condition = random_condition(&ctx, &bool_vars, &int_vars, &seed);
+        let domains = Domains::new(vec![0, 1]);
+        let sat = solve(&[condition.expr().clone()], &domains).is_some();
+        if !sat {
+            // Enumerate all assignments by solving the trivially-true
+            // constraint over the same variables.
+            let all_vars_mentioned = Expr::and(&[
+                condition.expr().clone(),
+                Expr::bool(true),
+            ]);
+            let everything = all_solutions(
+                &[Expr::or(&[all_vars_mentioned.clone(), Expr::not(&all_vars_mentioned)])],
+                &domains,
+                256,
+            );
+            for assignment in everything {
+                prop_assert!(!eval_bool(condition.expr(), &assignment));
+            }
+        }
+    }
+
+    #[test]
+    fn explorer_paths_have_mutually_exclusive_decisions(flags in proptest::collection::vec(any::<bool>(), 1..5)) {
+        // A model that branches on `flags.len()` independent variables must
+        // produce 2^n paths with distinct decision vectors.
+        let ctx = SymContext::new();
+        let vars: Vec<SymBool> = (0..flags.len()).map(|i| ctx.bool_var(&format!("c{i}"))).collect();
+        let results = explore(|path| {
+            let mut value = 0usize;
+            for (i, v) in vars.iter().enumerate() {
+                if path.branch(v) {
+                    value |= 1 << i;
+                }
+            }
+            value
+        });
+        prop_assert_eq!(results.len(), 1 << flags.len());
+        let values: std::collections::BTreeSet<usize> = results.iter().map(|r| r.value).collect();
+        prop_assert_eq!(values.len(), results.len());
+    }
+
+    #[test]
+    fn assignments_roundtrip_via_eval(values in proptest::collection::vec(0i64..4, 3)) {
+        let ctx = SymContext::new();
+        let vars: Vec<SymInt> = (0..3).map(|i| ctx.int_var(&format!("v{i}"))).collect();
+        let mut assignment = Assignment::new();
+        for (i, v) in values.iter().enumerate() {
+            assignment.set(i as u32, Value::Int(*v));
+        }
+        let sum = vars[0].add(&vars[1]).add(&vars[2]);
+        let expected = values.iter().sum::<i64>();
+        prop_assert!(eval_bool(sum.eq(&SymInt::from_i64(expected)).expr(), &assignment));
+    }
+}

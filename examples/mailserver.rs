@@ -1,0 +1,66 @@
+//! The §7.3 mail server as a runnable example.
+//!
+//! Delivers a batch of messages through the qmail-style pipeline
+//! (mail-enqueue → notification socket → mail-qman → mail-deliver) in both
+//! API configurations and reports per-core throughput and the end-to-end
+//! behaviour (messages land in the right mailbox, queue files are cleaned
+//! up).
+//!
+//! Run with `cargo run --release --example mailserver`.
+
+use scalable_commutativity::kernel::api::{KernelApi, OpenFlags};
+use scalable_commutativity::kernel::mail::{MailConfig, MailServer};
+use scalable_commutativity::kernel::Sv6Kernel;
+use scalable_commutativity::mtrace::{ScalingParams, ThroughputModel};
+
+fn run(cores: usize, rounds: usize, config: MailConfig) -> f64 {
+    let kernel = Sv6Kernel::new(cores);
+    let machine = kernel.machine().clone();
+    let client = kernel.new_process();
+    let qman = kernel.new_process();
+    let server = MailServer::new(&kernel, config, cores).unwrap();
+    machine.start_tracing();
+    for round in 0..rounds {
+        for core in 0..cores {
+            machine.on_core(core, || {
+                server
+                    .deliver_one(
+                        core,
+                        client,
+                        qman,
+                        &format!("user{core}"),
+                        format!("round {round}").as_bytes(),
+                    )
+                    .unwrap();
+            });
+        }
+    }
+    machine.stop_tracing();
+    ThroughputModel::new(ScalingParams::default())
+        .evaluate(&machine.accesses(), cores, rounds as u64)
+        .ops_per_sec_per_core
+}
+
+fn main() {
+    // End-to-end check first: one message through the pipeline.
+    let kernel = Sv6Kernel::new(4);
+    let client = kernel.new_process();
+    let qman = kernel.new_process();
+    let server = MailServer::new(&kernel, MailConfig::CommutativeApis, 4).unwrap();
+    server.enqueue(0, client, "alice", b"hello from the example").unwrap();
+    let delivered = server.qman_step(1, qman).unwrap();
+    let fd = kernel.open(0, qman, &delivered, OpenFlags::plain()).unwrap();
+    let body = kernel.pread(0, qman, fd, 64, 0).unwrap();
+    println!("delivered {:?} -> {:?}\n", delivered, String::from_utf8_lossy(&body));
+
+    println!("mail server throughput on sv6 (emails/sec/core):\n");
+    println!("{:>6} {:>18} {:>20}", "cores", "regular APIs", "commutative APIs");
+    for cores in [1usize, 4, 8, 16] {
+        let regular = run(cores, 10, MailConfig::RegularApis);
+        let commutative = run(cores, 10, MailConfig::CommutativeApis);
+        println!("{cores:>6} {regular:>18.0} {commutative:>20.0}");
+    }
+    println!();
+    println!("Regular APIs (lowest FD, ordered socket, fork) collapse as cores are added;");
+    println!("the commutative variants (O_ANYFD, unordered socket, posix_spawn) keep scaling (§7.3).");
+}

@@ -1,0 +1,56 @@
+//! openbench scenario (Figure 7b) as a runnable example.
+//!
+//! Every core opens and closes its own file in one shared process. With
+//! POSIX's lowest-FD rule the allocations do not commute and serialise on
+//! the descriptor table; with `O_ANYFD` they commute and sv6 allocates from
+//! per-core partitions.
+//!
+//! Run with `cargo run --release --example openbench`.
+
+use scalable_commutativity::kernel::api::{KernelApi, OpenFlags};
+use scalable_commutativity::kernel::Sv6Kernel;
+use scalable_commutativity::mtrace::{ScalingParams, ThroughputModel};
+
+fn run(cores: usize, rounds: usize, anyfd: bool) -> f64 {
+    let kernel = Sv6Kernel::new(cores);
+    let machine = kernel.machine().clone();
+    let pid = kernel.new_process();
+    for core in 0..cores {
+        let fd = kernel
+            .open(core, pid, &format!("file-{core}"), OpenFlags::create())
+            .unwrap();
+        kernel.close(core, pid, fd).unwrap();
+    }
+    machine.start_tracing();
+    for _ in 0..rounds {
+        for core in 0..cores {
+            machine.on_core(core, || {
+                let flags = if anyfd {
+                    OpenFlags::plain().with_anyfd()
+                } else {
+                    OpenFlags::plain()
+                };
+                let fd = kernel.open(core, pid, &format!("file-{core}"), flags).unwrap();
+                kernel.close(core, pid, fd).unwrap();
+            });
+        }
+    }
+    machine.stop_tracing();
+    ThroughputModel::new(ScalingParams::default())
+        .evaluate(&machine.accesses(), cores, rounds as u64)
+        .ops_per_sec_per_core
+}
+
+fn main() {
+    println!("openbench on sv6 (opens/sec/core):\n");
+    println!("{:>6} {:>18} {:>18}", "cores", "lowest FD", "O_ANYFD");
+    for cores in [1usize, 4, 8, 16, 32] {
+        let lowest = run(cores, 50, false);
+        let anyfd = run(cores, 50, true);
+        println!("{cores:>6} {lowest:>18.0} {anyfd:>18.0}");
+    }
+    println!();
+    println!("The lowest-FD rule makes concurrent opens non-commutative (the returned");
+    println!("descriptor depends on the order), so they cannot scale; O_ANYFD removes the");
+    println!("unneeded determinism and the same workload scales linearly (§4, §7.2).");
+}

@@ -1,0 +1,62 @@
+//! Reproduces the §5.1 rename/rename analysis.
+//!
+//! ANALYZER is run on the pair `rename(a, b)` × `rename(c, d)` for every
+//! argument shape, and the commutativity conditions are printed. The paper
+//! lists six classes of conditions under which two renames commute (both
+//! sources exist and all names differ; one source missing and not the other
+//! call's destination; neither source exists; self-renames; …); the output
+//! of this example shows the same classes, expressed over the model's
+//! existence flags and inode variables.
+//!
+//! Run with `cargo run --example rename_commutativity`.
+
+use scalable_commutativity::commuter::analyzer::{analyze_pair, describe_condition};
+use scalable_commutativity::commuter::enumerate_shapes;
+use scalable_commutativity::model::{CallKind, ModelConfig};
+
+fn main() {
+    let cfg = ModelConfig {
+        inodes: 2,
+        procs: 1,
+        ..ModelConfig::default()
+    };
+    let shapes = enumerate_shapes(CallKind::Rename, CallKind::Rename, &cfg);
+    println!(
+        "rename(a,b) x rename(c,d): {} argument shapes to analyze\n",
+        shapes.len()
+    );
+    let mut commutative_shapes = 0;
+    for shape in &shapes {
+        let analysis = analyze_pair(shape, &cfg);
+        let a = &shape.slots_a.names;
+        let b = &shape.slots_b.names;
+        println!(
+            "shape rename(n{}, n{}) x rename(n{}, n{}): {} commutative case(s), {} non-commutative path(s)",
+            a[0], a[1], b[0], b[1],
+            analysis.cases.len(),
+            analysis.non_commutative_paths
+        );
+        if !analysis.cases.is_empty() {
+            commutative_shapes += 1;
+        }
+        for (i, case) in analysis.cases.iter().enumerate().take(3) {
+            let lines = describe_condition(case);
+            if lines.is_empty() {
+                println!("    case {i}: commutes unconditionally on this path");
+            } else {
+                println!("    case {i}: commutes when {}", lines.join(" && "));
+            }
+        }
+        if analysis.cases.len() > 3 {
+            println!("    … and {} more case(s)", analysis.cases.len() - 3);
+        }
+        println!();
+    }
+    println!(
+        "{} of {} shapes have at least one commutative case — each corresponds to one of the\n\
+         paper's condition classes (all-distinct names, missing sources, self-renames,\n\
+         hard links renamed onto the same destination, …).",
+        commutative_shapes,
+        shapes.len()
+    );
+}

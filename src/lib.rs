@@ -1,0 +1,24 @@
+//! Umbrella crate for the scalable commutativity rule reproduction.
+//!
+//! This crate re-exports the workspace's public crates under one name so the
+//! examples and integration tests can use a single dependency. See the
+//! individual crates for the substance:
+//!
+//! * [`spec`] — the §3 formalism (actions, histories, SIM commutativity, the
+//!   constructive proof machines).
+//! * [`symbolic`] — the symbolic execution engine and model finder.
+//! * [`model`] — the symbolic POSIX model (18 system calls).
+//! * [`mtrace`] — the simulated cache-coherent machine and scalability model.
+//! * [`scalable`] — Refcache, per-core allocators, radix arrays and other
+//!   scalable building blocks.
+//! * [`kernel`] — the sv6-style kernel, the Linux-like baseline and the mail
+//!   server application.
+//! * [`commuter`] — ANALYZER, TESTGEN and the MTRACE driver.
+
+pub use scr_core as commuter;
+pub use scr_kernel as kernel;
+pub use scr_model as model;
+pub use scr_mtrace as mtrace;
+pub use scr_scalable as scalable;
+pub use scr_spec as spec;
+pub use scr_symbolic as symbolic;

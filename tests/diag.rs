@@ -1,0 +1,61 @@
+//! Diagnostic helper (run explicitly with `--ignored --nocapture`): prints
+//! which generated tests are not conflict-free on sv6 and which cache lines
+//! they share, grouped by call pair. Useful when tuning the kernel or the
+//! test generator.
+
+use scalable_commutativity::commuter::{run_test, CommuterConfig, Sv6Factory};
+use scalable_commutativity::commuter::{analyze_pair, enumerate_shapes, generate_tests};
+use scalable_commutativity::model::CallKind;
+use std::collections::BTreeMap;
+
+#[test]
+#[ignore = "diagnostic output only; run with --ignored --nocapture"]
+fn print_sv6_conflicts_for_name_calls() {
+    let config = CommuterConfig::quick(&[
+        CallKind::Open,
+        CallKind::Link,
+        CallKind::Unlink,
+        CallKind::Stat,
+    ]);
+    let sv6 = Sv6Factory { cores: 4 };
+    let mut by_pair: BTreeMap<String, (usize, usize, BTreeMap<String, usize>)> = BTreeMap::new();
+    for (i, &a) in config.calls.iter().enumerate() {
+        for &b in config.calls.iter().skip(i) {
+            for shape in enumerate_shapes(a, b, &config.model) {
+                let analysis = analyze_pair(&shape, &config.model);
+                let generated = generate_tests(
+                    &shape,
+                    &analysis.cases,
+                    &config.model,
+                    &config.names,
+                    config.max_assignments_per_case,
+                );
+                for test in &generated.tests {
+                    let outcome = run_test(&sv6, test);
+                    let entry = by_pair
+                        .entry(format!("{}-{}", a.name(), b.name()))
+                        .or_default();
+                    entry.0 += 1;
+                    if !outcome.conflict_free {
+                        entry.1 += 1;
+                        for label in outcome.shared_labels {
+                            *entry.2.entry(label).or_default() += 1;
+                        }
+                        if entry.1 <= 2 {
+                            println!("  example failing test: {} setup={:?}", test.id, test.setup.len());
+                            println!("    op_a={:?}", test.op_a);
+                            println!("    op_b={:?}", test.op_b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (pair, (total, failing, labels)) in by_pair {
+        if failing > 0 {
+            println!("{pair}: {failing}/{total} not conflict-free; shared lines: {labels:?}");
+        } else {
+            println!("{pair}: {total} tests, all conflict-free");
+        }
+    }
+}

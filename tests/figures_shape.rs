@@ -1,0 +1,52 @@
+//! Shape checks for the Figure 7 reproductions, run with reduced parameters
+//! so they finish quickly under `cargo test`. The full sweeps are produced
+//! by the benches in `crates/bench/benches/`.
+
+use scr_bench::{check_shape, mailbench, openbench, statbench};
+
+#[test]
+fn figure7a_statbench_shape_holds() {
+    let cores = [1usize, 8, 16];
+    let series = statbench::sweep(&cores, 30);
+    // Series order: fstatx, fstat (shared), fstat (Refcache).
+    let fstatx = &series[0];
+    let shared = &series[1];
+    let refcache = &series[2];
+    check_shape(fstatx, refcache, 0.6).expect("fstatx must stay flat while fstat collapses");
+    // The shared-count variant is better for the writers but still cannot
+    // scale the fstat side: it must stay clearly below fstatx at 16 cores.
+    assert!(
+        shared.points.last().unwrap().ops_per_sec_per_core
+            < 0.8 * fstatx.points.last().unwrap().ops_per_sec_per_core
+    );
+}
+
+#[test]
+fn figure7b_openbench_shape_holds() {
+    let cores = [1usize, 8, 16];
+    let series = openbench::sweep(&cores, 30);
+    check_shape(&series[0], &series[1], 0.6)
+        .expect("O_ANYFD must stay flat while lowest-FD collapses");
+}
+
+#[test]
+fn figure7c_mailserver_shape_holds() {
+    let cores = [1usize, 8, 16];
+    let series = mailbench::sweep(&cores, 8);
+    let commutative = &series[0];
+    let regular = &series[1];
+    let c_last = commutative.points.last().unwrap().ops_per_sec_per_core;
+    let r_last = regular.points.last().unwrap().ops_per_sec_per_core;
+    assert!(
+        c_last > r_last,
+        "commutative APIs must outperform regular APIs at 16 cores"
+    );
+    // And the commutative configuration scales: total throughput at 16 cores
+    // must be several times the single-core throughput.
+    let c_first = &commutative.points[0];
+    let speedup = (c_last * 16.0) / (c_first.ops_per_sec_per_core * 1.0);
+    assert!(
+        speedup > 4.0,
+        "commutative mail server must show real speedup, got {speedup:.1}x"
+    );
+}

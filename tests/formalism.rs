@@ -1,0 +1,164 @@
+//! Integration tests for the §3 formalism: the statement of the scalable
+//! commutativity rule is exercised end to end — a SIM-commutative region is
+//! identified against a reference model, the constructive implementation is
+//! built for it, and its steps in that region are checked conflict-free,
+//! while the non-scalable construction is checked to conflict.
+
+use scalable_commutativity::spec::commutativity::{op_level_reorderings, Granularity};
+use scalable_commutativity::spec::conflict::find_conflicts;
+use scalable_commutativity::spec::construction::{
+    replay_history, steps_for_range, NonScalable, ReplayOutcome, Scalable,
+};
+use scalable_commutativity::spec::implementation::StepImplementation;
+use scalable_commutativity::spec::model::{
+    Det, FdAllocModel, FdOp, FdPolicy, FdResp, PutMaxModel, PutMaxOp, PutMaxResp, RegisterModel,
+    RegisterOp, RegisterResp,
+};
+use scalable_commutativity::spec::{
+    si_commutes, sim_commutes, Action, History, RefSpec, Specification,
+};
+
+fn seq<I: Clone, R: Clone>(ops: &[(usize, I, R)]) -> History<I, R> {
+    let mut h = History::new();
+    for (tag, (t, i, r)) in ops.iter().enumerate() {
+        h.push(Action::invoke(*t, tag as u64, i.clone()));
+        h.push(Action::respond(*t, tag as u64, r.clone()));
+    }
+    h
+}
+
+#[test]
+fn the_rule_holds_for_a_commutative_putmax_region() {
+    // X = put(5); Y = two puts of 2 on different threads.
+    let x = seq(&[(0, PutMaxOp::Put(5), PutMaxResp::Ok)]);
+    let y = seq(&[
+        (0, PutMaxOp::Put(2), PutMaxResp::Ok),
+        (1, PutMaxOp::Put(2), PutMaxResp::Ok),
+    ]);
+    // 1. The region SIM-commutes.
+    assert!(sim_commutes(&Det(PutMaxModel), &x, &y).commutes);
+    // 2. Therefore a conflict-free implementation exists — the constructive
+    //    proof's machine demonstrates it.
+    let machine = Scalable::new(PutMaxModel, x.clone(), y.clone(), 2);
+    for y_prime in op_level_reorderings(&y) {
+        let (outcome, runner) = replay_history(&machine, &x.concat(&y_prime));
+        assert_eq!(outcome, ReplayOutcome::Matched);
+        let steps = steps_for_range(runner.log(), x.len()..x.len() + y_prime.len());
+        assert!(find_conflicts(&steps, |c| machine.component_label(c)).is_conflict_free());
+    }
+    // 3. The warm-up construction (single shared replay log) is correct but
+    //    not conflict-free, as the paper notes.
+    let mns = NonScalable::new(PutMaxModel, x.concat(&y));
+    let (outcome, runner) = replay_history(&mns, &x.concat(&y));
+    assert_eq!(outcome, ReplayOutcome::Matched);
+    let steps = steps_for_range(runner.log(), x.len()..x.len() + y.len());
+    assert!(!find_conflicts(&steps, |c| mns.component_label(c)).is_conflict_free());
+}
+
+#[test]
+fn non_commutative_regions_are_detected() {
+    // put(3) and max() from the initial state do not commute: max() observes
+    // the order.
+    let y = seq(&[
+        (0, PutMaxOp::Put(3), PutMaxResp::Ok),
+        (1, PutMaxOp::Max, PutMaxResp::Max(3)),
+    ]);
+    assert!(!si_commutes(&Det(PutMaxModel), &History::new(), &y).commutes);
+}
+
+#[test]
+fn state_dependence_mirrors_the_open_excl_discussion() {
+    // Two put(1)s commute only once the recorded maximum is at least 1 —
+    // the put/max analogue of two open(O_CREAT|O_EXCL) calls commuting when
+    // the file already exists.
+    let y = seq(&[
+        (0, PutMaxOp::Put(1), PutMaxResp::Ok),
+        (1, PutMaxOp::Max, PutMaxResp::Max(1)),
+    ]);
+    let x_low = History::new();
+    assert!(!si_commutes(&Det(PutMaxModel), &x_low, &y).commutes);
+    let x_high = seq(&[(0, PutMaxOp::Put(4), PutMaxResp::Ok)]);
+    let y_high = seq(&[
+        (0, PutMaxOp::Put(1), PutMaxResp::Ok),
+        (1, PutMaxOp::Max, PutMaxResp::Max(4)),
+    ]);
+    assert!(si_commutes(&Det(PutMaxModel), &x_high, &y_high).commutes);
+}
+
+#[test]
+fn specification_nondeterminism_enables_commutativity() {
+    // The FD-allocation example of §4: two allocations commute under the
+    // "any fd" specification but not under "lowest fd".
+    let lowest = FdAllocModel {
+        policy: FdPolicy::Lowest,
+        capacity: 4,
+    };
+    let any = FdAllocModel {
+        policy: FdPolicy::Any,
+        capacity: 4,
+    };
+    let y_lowest = seq(&[
+        (0, FdOp::Alloc, FdResp::Fd(0)),
+        (1, FdOp::Alloc, FdResp::Fd(1)),
+    ]);
+    assert!(!sim_commutes(&lowest, &History::new(), &y_lowest).commutes);
+    let y_any = seq(&[
+        (0, FdOp::Alloc, FdResp::Fd(3)),
+        (1, FdOp::Alloc, FdResp::Fd(1)),
+    ]);
+    assert!(sim_commutes(&any, &History::new(), &y_any).commutes);
+}
+
+#[test]
+fn bounded_and_state_based_checks_agree_on_the_register_interface() {
+    let spec = RefSpec::new(Det(RegisterModel));
+    let model = Det(RegisterModel);
+    let x = seq(&[(0, RegisterOp::Set(2), RegisterResp::Ok)]);
+    let futures: Vec<History<RegisterOp, RegisterResp>> = (0..4)
+        .map(|v| seq(&[(2, RegisterOp::Get, RegisterResp::Value(v))]))
+        .collect();
+    let cases = vec![
+        // Two reads commute.
+        seq(&[
+            (0, RegisterOp::Get, RegisterResp::Value(2)),
+            (1, RegisterOp::Get, RegisterResp::Value(2)),
+        ]),
+        // A read and a write do not.
+        seq(&[
+            (0, RegisterOp::Get, RegisterResp::Value(2)),
+            (1, RegisterOp::Set(7), RegisterResp::Ok),
+        ]),
+        // Two identical writes commute.
+        seq(&[
+            (0, RegisterOp::Set(9), RegisterResp::Ok),
+            (1, RegisterOp::Set(9), RegisterResp::Ok),
+        ]),
+    ];
+    for y in cases {
+        let state_based = si_commutes(&model, &x, &y).commutes;
+        let bounded = scalable_commutativity::spec::commutativity::si_commutes_bounded(
+            &spec,
+            &x,
+            &y,
+            &futures,
+            Granularity::Operation,
+        )
+        .commutes;
+        assert_eq!(state_based, bounded, "checks disagree on {y:?}");
+    }
+}
+
+#[test]
+fn specification_membership_is_prefix_closed() {
+    let spec = RefSpec::new(Det(RegisterModel));
+    let h = seq(&[
+        (0, RegisterOp::Set(1), RegisterResp::Ok),
+        (1, RegisterOp::Get, RegisterResp::Value(1)),
+        (0, RegisterOp::Set(2), RegisterResp::Ok),
+        (1, RegisterOp::Get, RegisterResp::Value(2)),
+    ]);
+    assert!(spec.contains(&h));
+    for prefix in h.prefixes() {
+        assert!(spec.contains(&prefix));
+    }
+}

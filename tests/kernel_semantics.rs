@@ -1,0 +1,177 @@
+//! Differential tests: the sv6 kernel and the Linux-like baseline must
+//! agree on the *observable semantics* of the POSIX-like interface (they
+//! differ only in sharing, and therefore scalability), and both must agree
+//! with the symbolic model's view of the interface where the mapping is
+//! direct.
+
+use scalable_commutativity::kernel::api::{
+    Errno, KernelApi, MmapBacking, OpenFlags, Prot, Whence, PAGE_SIZE,
+};
+use scalable_commutativity::kernel::{LinuxLikeKernel, Sv6Kernel};
+
+fn kernels() -> Vec<(&'static str, Box<dyn KernelApi>)> {
+    vec![
+        ("sv6", Box::new(Sv6Kernel::new(4)) as Box<dyn KernelApi>),
+        ("linux", Box::new(LinuxLikeKernel::new(4)) as Box<dyn KernelApi>),
+    ]
+}
+
+#[test]
+fn file_lifecycle_matches_across_kernels() {
+    for (name, k) in kernels() {
+        let pid = k.new_process();
+        let fd = k.open(0, pid, "story", OpenFlags::create()).unwrap();
+        assert_eq!(k.write(0, pid, fd, b"chapter one").unwrap(), 11, "{name}");
+        assert_eq!(k.lseek(0, pid, fd, 0, Whence::Set).unwrap(), 0, "{name}");
+        assert_eq!(k.read(0, pid, fd, 11).unwrap(), b"chapter one", "{name}");
+        k.link(0, pid, "story", "backup").unwrap();
+        assert_eq!(k.stat(0, pid, "backup").unwrap().nlink, 2, "{name}");
+        k.unlink(0, pid, "story").unwrap();
+        assert_eq!(k.stat(0, pid, "story").unwrap_err(), Errno::ENOENT, "{name}");
+        assert_eq!(k.stat(0, pid, "backup").unwrap().nlink, 1, "{name}");
+        k.rename(0, pid, "backup", "final").unwrap();
+        assert!(k.stat(0, pid, "final").is_ok(), "{name}");
+        k.close(0, pid, fd).unwrap();
+        assert_eq!(k.fstat(0, pid, fd).unwrap_err(), Errno::EBADF, "{name}");
+    }
+}
+
+#[test]
+fn open_error_cases_match_across_kernels() {
+    for (name, k) in kernels() {
+        let pid = k.new_process();
+        assert_eq!(
+            k.open(0, pid, "missing", OpenFlags::plain()).unwrap_err(),
+            Errno::ENOENT,
+            "{name}"
+        );
+        k.open(0, pid, "exists", OpenFlags::create()).unwrap();
+        assert_eq!(
+            k.open(0, pid, "exists", OpenFlags::create_excl()).unwrap_err(),
+            Errno::EEXIST,
+            "{name}"
+        );
+        assert_eq!(
+            k.rename(0, pid, "missing", "anything").unwrap_err(),
+            Errno::ENOENT,
+            "{name}"
+        );
+        assert_eq!(
+            k.unlink(0, pid, "missing").unwrap_err(),
+            Errno::ENOENT,
+            "{name}"
+        );
+        assert_eq!(
+            k.link(0, pid, "exists", "exists").unwrap_err(),
+            Errno::EEXIST,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn pread_pwrite_and_truncate_match_across_kernels() {
+    for (name, k) in kernels() {
+        let pid = k.new_process();
+        let fd = k.open(0, pid, "data", OpenFlags::create()).unwrap();
+        k.pwrite(0, pid, fd, b"abc", PAGE_SIZE).unwrap();
+        assert_eq!(k.pread(0, pid, fd, 3, PAGE_SIZE).unwrap(), b"abc", "{name}");
+        assert!(k.fstat(0, pid, fd).unwrap().size >= PAGE_SIZE + 3, "{name}");
+        // O_TRUNC resets the size.
+        let fd2 = k
+            .open(
+                0,
+                pid,
+                "data",
+                OpenFlags {
+                    truncate: true,
+                    ..OpenFlags::plain()
+                },
+            )
+            .unwrap();
+        assert_eq!(k.fstat(0, pid, fd2).unwrap().size, 0, "{name}");
+        assert_eq!(k.pread(0, pid, fd2, 3, PAGE_SIZE).unwrap(), Vec::<u8>::new(), "{name}");
+    }
+}
+
+#[test]
+fn pipes_match_across_kernels() {
+    for (name, k) in kernels() {
+        let pid = k.new_process();
+        let (r, w) = k.pipe(0, pid).unwrap();
+        assert_eq!(k.write(0, pid, w, b"ping").unwrap(), 4, "{name}");
+        assert_eq!(k.read(0, pid, r, 16).unwrap(), b"ping", "{name}");
+        assert_eq!(k.read(0, pid, r, 1).unwrap_err(), Errno::EAGAIN, "{name}");
+        k.close(0, pid, r).unwrap();
+        assert_eq!(k.write(0, pid, w, b"x").unwrap_err(), Errno::EPIPE, "{name}");
+        assert_eq!(k.lseek(0, pid, w, 0, Whence::Set).unwrap_err(), Errno::ESPIPE, "{name}");
+    }
+}
+
+#[test]
+fn virtual_memory_matches_across_kernels() {
+    for (name, k) in kernels() {
+        let pid = k.new_process();
+        let addr = k
+            .mmap(0, pid, Some(128 * PAGE_SIZE), 2, Prot::rw(), MmapBacking::Anon)
+            .unwrap();
+        assert_eq!(addr, 128 * PAGE_SIZE, "{name}");
+        k.memwrite(0, pid, addr + PAGE_SIZE, 42).unwrap();
+        assert_eq!(k.memread(0, pid, addr + PAGE_SIZE).unwrap(), 42, "{name}");
+        k.mprotect(0, pid, addr, 2, Prot::ro()).unwrap();
+        assert_eq!(k.memwrite(0, pid, addr, 1).unwrap_err(), Errno::EFAULT, "{name}");
+        k.munmap(0, pid, addr, 2).unwrap();
+        assert_eq!(k.memread(0, pid, addr).unwrap_err(), Errno::EFAULT, "{name}");
+        // File-backed mappings read through to the file.
+        let fd = k.open(0, pid, "mapped", OpenFlags::create()).unwrap();
+        k.pwrite(0, pid, fd, b"Z", 0).unwrap();
+        let m = k
+            .mmap(0, pid, Some(200 * PAGE_SIZE), 1, Prot::rw(), MmapBacking::File(fd))
+            .unwrap();
+        assert_eq!(k.memread(0, pid, m).unwrap(), b'Z', "{name}");
+    }
+}
+
+#[test]
+fn spawn_and_fork_match_across_kernels() {
+    for (name, k) in kernels() {
+        let pid = k.new_process();
+        let fd = k.open(0, pid, "inherit", OpenFlags::create()).unwrap();
+        let forked = k.fork(0, pid).unwrap();
+        assert!(k.fstat(0, forked, fd).is_ok(), "{name}");
+        let spawned = k.posix_spawn(0, pid, &[]).unwrap();
+        assert_eq!(k.fstat(0, spawned, fd).unwrap_err(), Errno::EBADF, "{name}");
+        let spawned_with = k.posix_spawn(0, pid, &[fd]).unwrap();
+        assert!(k.fstat(0, spawned_with, fd).is_ok(), "{name}");
+    }
+}
+
+#[test]
+fn scalability_differs_even_when_semantics_agree() {
+    // The point of the whole exercise: identical observable behaviour,
+    // different sharing. Creating two different files is conflict-free on
+    // sv6 and conflicts on the baseline.
+    let sv6 = Sv6Kernel::new(4);
+    let linux = LinuxLikeKernel::new(4);
+    let outcomes: Vec<bool> = [
+        &sv6 as &dyn KernelApi,
+        &linux as &dyn KernelApi,
+    ]
+    .iter()
+    .map(|k| {
+        let pid = k.new_process();
+        let m = k.machine().clone();
+        m.start_tracing();
+        m.on_core(0, || {
+            k.open(0, pid, "left", OpenFlags::create()).unwrap();
+        });
+        m.on_core(1, || {
+            k.open(1, pid, "right", OpenFlags::create()).unwrap();
+        });
+        m.stop_tracing();
+        m.conflict_report().is_conflict_free()
+    })
+    .collect();
+    assert!(outcomes[0], "sv6 must be conflict-free");
+    assert!(!outcomes[1], "the baseline must conflict");
+}
