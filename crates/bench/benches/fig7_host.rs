@@ -1,0 +1,40 @@
+//! Figure 7 on real hardware: the statbench / openbench / mailbench
+//! workloads executed by OS threads against the `scr-host` kernel, printed
+//! as the same tables as the simulated sweeps.
+//!
+//! Run with `cargo bench -p scr-bench --bench fig7_host`. Set
+//! `SCR_BENCH_QUICK=1` for a fast low-iteration pass.
+
+use scr_bench::hostbench::{host_thread_counts, mailbench_host, openbench_host, statbench_host};
+use scr_bench::render_table;
+
+fn main() {
+    let quick = std::env::var("SCR_BENCH_QUICK").is_ok();
+    let (fs_ops, mail_ops) = if quick { (2_000, 500) } else { (20_000, 4_000) };
+    let threads = host_thread_counts();
+    println!(
+        "host parallelism: {} hardware threads; sweeping {threads:?}\n",
+        scr_host::available_threads()
+    );
+    println!(
+        "{}",
+        render_table(
+            "statbench (host threads, ops/sec/core)",
+            &statbench_host(&threads, fs_ops),
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            "openbench (host threads, ops/sec/core)",
+            &openbench_host(&threads, fs_ops),
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            "mailbench (host threads, messages/sec/core)",
+            &mailbench_host(&threads, mail_ops),
+        )
+    );
+}

@@ -14,7 +14,11 @@ use scr_bench::{check_shape, core_counts, quick_core_counts, render_table, statb
 
 fn main() {
     let quick = std::env::var("SCR_BENCH_QUICK").is_ok();
-    let cores = if quick { quick_core_counts() } else { core_counts() };
+    let cores = if quick {
+        quick_core_counts()
+    } else {
+        core_counts()
+    };
     let rounds = if quick { 30 } else { 60 };
     let series = statbench::sweep(&cores, rounds);
     println!(

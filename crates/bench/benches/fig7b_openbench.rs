@@ -11,12 +11,19 @@ use scr_bench::{check_shape, core_counts, openbench, quick_core_counts, render_t
 
 fn main() {
     let quick = std::env::var("SCR_BENCH_QUICK").is_ok();
-    let cores = if quick { quick_core_counts() } else { core_counts() };
+    let cores = if quick {
+        quick_core_counts()
+    } else {
+        core_counts()
+    };
     let rounds = if quick { 30 } else { 60 };
     let series = openbench::sweep(&cores, rounds);
     println!(
         "{}",
-        render_table("Figure 7(b) — openbench throughput (opens/sec/core)", &series)
+        render_table(
+            "Figure 7(b) — openbench throughput (opens/sec/core)",
+            &series
+        )
     );
     match check_shape(&series[0], &series[1], 0.6) {
         Ok(()) => println!(

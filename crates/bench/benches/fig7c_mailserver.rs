@@ -13,7 +13,11 @@ use scr_bench::{core_counts, mailbench, quick_core_counts, render_table};
 
 fn main() {
     let quick = std::env::var("SCR_BENCH_QUICK").is_ok();
-    let cores = if quick { quick_core_counts() } else { core_counts() };
+    let cores = if quick {
+        quick_core_counts()
+    } else {
+        core_counts()
+    };
     let rounds = if quick { 8 } else { 20 };
     let series = mailbench::sweep(&cores, rounds);
     println!(

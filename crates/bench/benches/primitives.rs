@@ -9,7 +9,8 @@
 //! expensive than `fstatx` without it.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use scr_scalable::real::{PerCoreCounter, PerCoreRefcount, SharedCounter};
+use scr_scalable::percore_alloc::FdMode;
+use scr_scalable::real::{HostFdAllocator, PerCoreCounter, PerCoreRefcount, SharedCounter};
 use std::sync::Arc;
 use std::thread;
 
@@ -76,5 +77,41 @@ fn refcount_reads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, counter_increment, refcount_reads);
+fn fd_allocation(c: &mut Criterion) {
+    // The openbench observation at primitive level: POSIX lowest-FD
+    // allocation funnels every thread through one bitmap lock, while the
+    // O_ANYFD per-core partitions keep allocations core-local.
+    let mut group = c.benchmark_group("fd_alloc_free_4_threads");
+    let threads = 4;
+    for (name, mode) in [
+        ("lowest_shared_bitmap", FdMode::Lowest),
+        ("anyfd_per_core", FdMode::Any),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Arc::new(HostFdAllocator::new(threads, 64, mode)),
+                |fds| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let fds = Arc::clone(&fds);
+                            thread::spawn(move || {
+                                for _ in 0..2_000 {
+                                    let fd = fds.alloc(t).expect("fd");
+                                    fds.free(fd);
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, counter_increment, refcount_reads, fd_allocation);
 criterion_main!(benches);

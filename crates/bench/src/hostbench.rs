@@ -1,0 +1,112 @@
+//! Host-backed variants of the Figure-7 benchmarks: the same workload
+//! shapes as [`crate::statbench`], [`crate::openbench`] and
+//! [`crate::mailbench`], but executed by real OS threads against
+//! `scr_host::HostKernel` instead of replayed through the simulator's
+//! throughput model.
+//!
+//! Thread counts are clamped to the host's available parallelism — a
+//! measured point beyond the physical core count would show scheduler
+//! artefacts, not cache-coherence behaviour.
+
+use crate::Series;
+use scr_host::workloads::{self, HostStatMode};
+use scr_host::{available_threads, HostMode};
+
+/// Thread counts for a host sweep: 1, 2, 4, … up to the hardware limit
+/// (always at least two points so shape comparisons are possible).
+pub fn host_thread_counts() -> Vec<usize> {
+    let max = available_threads();
+    let mut counts = vec![1];
+    let mut n = 2;
+    while n <= max {
+        counts.push(n);
+        n *= 2;
+    }
+    if counts.len() < 2 {
+        counts.push(2);
+    }
+    counts
+}
+
+/// statbench on real threads: the sv6-like kernel in all three stat modes.
+pub fn statbench_host(threads: &[usize], ops_per_thread: u64) -> Vec<Series> {
+    [
+        HostStatMode::FstatxNoNlink,
+        HostStatMode::FstatSharedCount,
+        HostStatMode::FstatRefcache,
+    ]
+    .into_iter()
+    .map(|stat_mode| Series {
+        name: stat_mode.label().to_string(),
+        points: threads
+            .iter()
+            .map(|&n| workloads::statbench(HostMode::Sv6, stat_mode, n, ops_per_thread))
+            .collect(),
+    })
+    .collect()
+}
+
+/// openbench on real threads: sv6-like `O_ANYFD` against the linuxlike
+/// globally-locked kernel with lowest-FD allocation.
+pub fn openbench_host(threads: &[usize], ops_per_thread: u64) -> Vec<Series> {
+    [
+        (HostMode::Sv6, true, "sv6-like, O_ANYFD"),
+        (HostMode::Linuxlike, false, "linuxlike, lowest FD"),
+    ]
+    .into_iter()
+    .map(|(mode, anyfd, name)| Series {
+        name: name.to_string(),
+        points: threads
+            .iter()
+            .map(|&n| workloads::openbench(mode, anyfd, n, ops_per_thread))
+            .collect(),
+    })
+    .collect()
+}
+
+/// The mail-delivery loop on real threads: commutative APIs on the
+/// sv6-like kernel against regular APIs on the linuxlike kernel.
+pub fn mailbench_host(threads: &[usize], ops_per_thread: u64) -> Vec<Series> {
+    [
+        (HostMode::Sv6, true, "sv6-like, commutative APIs"),
+        (HostMode::Linuxlike, false, "linuxlike, regular APIs"),
+    ]
+    .into_iter()
+    .map(|(mode, anyfd, name)| Series {
+        name: name.to_string(),
+        points: threads
+            .iter()
+            .map(|&n| workloads::mailbench(mode, anyfd, n, ops_per_thread))
+            .collect(),
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_thread_counts_start_at_one_and_grow() {
+        let counts = host_thread_counts();
+        assert_eq!(counts[0], 1);
+        assert!(counts.len() >= 2);
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn host_sweeps_produce_points_for_every_thread_count() {
+        let threads = [1usize, 2];
+        for series in [
+            statbench_host(&threads, 40),
+            openbench_host(&threads, 40),
+            mailbench_host(&threads, 10),
+        ] {
+            assert!(!series.is_empty());
+            for s in &series {
+                assert_eq!(s.points.len(), threads.len());
+                assert!(s.points.iter().all(|p| p.ops_per_sec_per_core > 0.0));
+            }
+        }
+    }
+}

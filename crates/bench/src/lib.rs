@@ -17,7 +17,10 @@
 //! Each driver runs the workload on the simulated machine for a given core
 //! count, then feeds the recorded access trace to
 //! [`scr_mtrace::ThroughputModel`] to obtain operations per second per core.
+//! [`hostbench`] mirrors the same three workloads on real OS threads
+//! against `scr_host::HostKernel`, measuring wall-clock ops/sec/core.
 
+pub mod hostbench;
 pub mod mailbench;
 pub mod openbench;
 pub mod statbench;

@@ -85,6 +85,9 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        assert_ne!(label(MailConfig::RegularApis), label(MailConfig::CommutativeApis));
+        assert_ne!(
+            label(MailConfig::RegularApis),
+            label(MailConfig::CommutativeApis)
+        );
     }
 }

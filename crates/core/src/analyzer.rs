@@ -136,7 +136,10 @@ fn is_range_bound(expr: &ExprRef) -> bool {
     use scr_symbolic::Expr as E;
     match &**expr {
         E::Lt(a, b) | E::Eq(a, b) => {
-            matches!((&**a, &**b), (E::Var(_), E::ConstInt(_)) | (E::ConstInt(_), E::Var(_)))
+            matches!(
+                (&**a, &**b),
+                (E::Var(_), E::ConstInt(_)) | (E::ConstInt(_), E::Var(_))
+            )
         }
         E::Not(inner) => is_range_bound(inner),
         _ => false,
@@ -161,12 +164,7 @@ mod tests {
         }
     }
 
-    fn shape(
-        a: CallKind,
-        b: CallKind,
-        names_a: Vec<usize>,
-        names_b: Vec<usize>,
-    ) -> PairShape {
+    fn shape(a: CallKind, b: CallKind, names_a: Vec<usize>, names_b: Vec<usize>) -> PairShape {
         PairShape {
             calls: (a, b),
             slots_a: ArgSlots {
@@ -241,17 +239,15 @@ mod tests {
 
     #[test]
     fn rename_rename_distinct_names_commute() {
-        let s = shape(
-            CallKind::Rename,
-            CallKind::Rename,
-            vec![0, 1],
-            vec![2, 3],
-        );
+        let s = shape(CallKind::Rename, CallKind::Rename, vec![0, 1], vec![2, 3]);
         let analysis = analyze_pair(&s, &small_cfg());
         assert!(!analysis.cases.is_empty());
         // Both-sources-exist-and-all-distinct is one of the §5.1 conditions;
         // it must appear among the commutative cases.
-        assert_eq!(analysis.non_commutative_paths, 0, "all-distinct renames always commute");
+        assert_eq!(
+            analysis.non_commutative_paths, 0,
+            "all-distinct renames always commute"
+        );
     }
 
     #[test]
@@ -260,12 +256,7 @@ mod tests {
         // second rename succeeds only after the first one, so its return
         // value depends on the order — no choice of values can make the two
         // orders agree on that path.
-        let s = shape(
-            CallKind::Rename,
-            CallKind::Rename,
-            vec![0, 1],
-            vec![1, 2],
-        );
+        let s = shape(CallKind::Rename, CallKind::Rename, vec![0, 1], vec![1, 2]);
         let analysis = analyze_pair(&s, &small_cfg());
         assert!(analysis.non_commutative_paths > 0);
     }
@@ -277,12 +268,7 @@ mod tests {
         // agree when a and c are hard links to the same inode (one of the
         // §5.1 condition classes). The analyzer must find commutative cases
         // (the hard-link and error sub-cases) for this shape.
-        let s = shape(
-            CallKind::Rename,
-            CallKind::Rename,
-            vec![0, 1],
-            vec![2, 1],
-        );
+        let s = shape(CallKind::Rename, CallKind::Rename, vec![0, 1], vec![2, 1]);
         let analysis = analyze_pair(&s, &small_cfg());
         assert!(!analysis.cases.is_empty());
     }

@@ -60,6 +60,64 @@ impl KernelFactory for LinuxLikeFactory {
     }
 }
 
+/// Replays generated tests on an execution substrate *other than* the
+/// simulated machine — e.g. `scr-host`'s real-threads kernel. The returned
+/// results use the same [`SysResult`] vocabulary as [`run_test`], so a
+/// replayer can be cross-checked against any [`KernelFactory`].
+///
+/// This is the entry point the host backend plugs into: the symbolic
+/// pipeline produces [`ConcreteTest`]s, the simulator defines the expected
+/// observable results, and a replayer demonstrates that a real
+/// implementation agrees.
+pub trait ConcreteReplayer {
+    /// A short name for reports ("host-sv6", …).
+    fn name(&self) -> &'static str;
+    /// Builds a fresh instance, replays the test's setup, runs the two
+    /// operations, and returns their observable results.
+    fn replay(&self, test: &ConcreteTest) -> (SysResult, SysResult);
+}
+
+/// The outcome of cross-checking one test between a simulated kernel and a
+/// replayer.
+#[derive(Clone, Debug)]
+pub struct DifferentialOutcome {
+    /// The test's identifier.
+    pub test_id: String,
+    /// Results from the simulated kernel (op_a, op_b).
+    pub simulated: (SysResult, SysResult),
+    /// Results from the replayer (op_a, op_b).
+    pub replayed: (SysResult, SysResult),
+}
+
+impl DifferentialOutcome {
+    /// Did both substrates observe the same results?
+    pub fn agree(&self) -> bool {
+        self.simulated == self.replayed
+    }
+}
+
+/// Runs every test on both substrates and reports the comparisons. The
+/// caller decides what to do with disagreements (the integration tests
+/// assert there are none).
+pub fn differential_check(
+    factory: &dyn KernelFactory,
+    replayer: &dyn ConcreteReplayer,
+    tests: &[ConcreteTest],
+) -> Vec<DifferentialOutcome> {
+    tests
+        .iter()
+        .map(|test| {
+            let simulated = run_test(factory, test).results;
+            let replayed = replayer.replay(test);
+            DifferentialOutcome {
+                test_id: test.id.clone(),
+                simulated,
+                replayed,
+            }
+        })
+        .collect()
+}
+
 /// The outcome of running one test against one kernel.
 #[derive(Clone, Debug)]
 pub struct TestOutcome {

@@ -27,7 +27,10 @@ pub mod shapes;
 pub mod testgen;
 
 pub use analyzer::{analyze_pair, CommutativeCase, PairAnalysis};
-pub use driver::{run_test, KernelFactory, LinuxLikeFactory, Sv6Factory, TestOutcome};
+pub use driver::{
+    differential_check, run_test, ConcreteReplayer, DifferentialOutcome, KernelFactory,
+    LinuxLikeFactory, Sv6Factory, TestOutcome,
+};
 pub use pipeline::{run_commuter, CommuterConfig, CommuterResults};
 pub use report::{Figure6Report, PairCell};
 pub use shapes::{enumerate_shapes, PairShape};

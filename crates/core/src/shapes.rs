@@ -176,9 +176,9 @@ mod tests {
         // of distinct shapes (2 first-op patterns × second-op patterns).
         assert!(shapes.len() >= 10, "got {}", shapes.len());
         // All-distinct shape exists.
-        assert!(shapes.iter().any(|s| {
-            s.slots_a.names == vec![0, 1] && s.slots_b.names == vec![2, 3]
-        }));
+        assert!(shapes
+            .iter()
+            .any(|s| { s.slots_a.names == vec![0, 1] && s.slots_b.names == vec![2, 3] }));
         // Fully-aliased shape exists (both renames of the same pair).
         assert!(shapes
             .iter()

@@ -75,10 +75,7 @@ impl<'a> Solved<'a> {
     }
 
     fn int(&self, name: &str) -> i64 {
-        self.by_name
-            .get(name)
-            .and_then(|v| v.as_int())
-            .unwrap_or(0)
+        self.by_name.get(name).and_then(|v| v.as_int()).unwrap_or(0)
     }
 }
 
@@ -126,7 +123,7 @@ pub fn generate_tests(
                 rep_idx
             );
             rep_idx += 1;
-            match materialize(shape, case, &assignment, cfg, names, &id) {
+            match materialize(shape, case, &assignment, cfg, names, &relevant, &id) {
                 Some(test) => out.tests.push(test),
                 None => out.skipped += 1,
             }
@@ -192,6 +189,7 @@ fn materialize(
     assignment: &Assignment,
     cfg: &ModelConfig,
     names: &[String],
+    relevant: &[Var],
     id: &str,
 ) -> Option<ConcreteTest> {
     let solved = Solved::new(&case.variables, assignment);
@@ -217,9 +215,13 @@ fn materialize(
         });
         // The open above lands in the lowest descriptor; populate contents
         // through it, then close it.
-        let len = solved.int(&format!("inode{ino}.len")).clamp(0, cfg.file_pages as i64);
+        let len = solved
+            .int(&format!("inode{ino}.len"))
+            .clamp(0, cfg.file_pages as i64);
         for page in 0..len {
-            let byte = solved.int(&format!("inode{ino}.page{page}")).rem_euclid(256) as u8;
+            let byte = solved
+                .int(&format!("inode{ino}.page{page}"))
+                .rem_euclid(256) as u8;
             setup.push(SysOp::Pwrite {
                 pid: 0,
                 fd: 0,
@@ -279,11 +281,14 @@ fn materialize(
             return None;
         }
     }
-    for (kind, slots) in [(shape.calls.0, &shape.slots_a), (shape.calls.1, &shape.slots_b)] {
+    for (kind, slots) in [
+        (shape.calls.0, &shape.slots_a),
+        (shape.calls.1, &shape.slots_b),
+    ] {
         if matches!(kind, CallKind::Open | CallKind::Pipe) {
             let p = slots.proc;
-            let table_full = (0..cfg.fds_per_proc)
-                .all(|k| solved.bool(&format!("p{p}.fd{k}.open")));
+            let table_full =
+                (0..cfg.fds_per_proc).all(|k| solved.bool(&format!("p{p}.fd{k}.open")));
             if table_full {
                 return None;
             }
@@ -295,8 +300,15 @@ fn materialize(
     // descriptor k of the process. Placeholder descriptors fill the gaps and
     // are closed at the end of setup.
     let mut placeholders: Vec<(usize, u32)> = Vec::new();
+    let mut pipe_write_ends: BTreeSet<(usize, usize)> = BTreeSet::new();
     for p in 0..used_procs {
         for k in 0..cfg.fds_per_proc {
+            // The write end was laid out together with its read end when
+            // the pipe was created; visiting it again would fail the
+            // canonical-layout check below and wrongly reject the state.
+            if pipe_write_ends.contains(&(p, k)) {
+                continue;
+            }
             let open = solved.bool(&format!("p{p}.fd{k}.open"));
             let is_pipe = solved.bool(&format!("p{p}.fd{k}.is_pipe"));
             if open && is_pipe {
@@ -313,6 +325,20 @@ fn materialize(
                 if !canonical {
                     return None;
                 }
+                // `pipe()` creates exactly one reader and one writer. The
+                // model's endpoint counts are free variables: when the case
+                // actually constrains one to another value (e.g. the
+                // EAGAIN-preserved-after-close cases, which need two
+                // writers), the state would require dup2 and is skipped;
+                // an unconstrained count is simply instantiated by the
+                // canonical layout.
+                let constrained_to_non_one = |var: &str| {
+                    relevant.iter().any(|v| v.name.as_ref() == var) && solved.int(var) != 1
+                };
+                if constrained_to_non_one("pipe.readers") || constrained_to_non_one("pipe.writers")
+                {
+                    return None;
+                }
                 setup.push(SysOp::Pipe { pid: p });
                 // Pre-load the pipe with the modelled number of bytes.
                 let nbytes = solved.int("pipe.nbytes").clamp(0, 8);
@@ -323,32 +349,48 @@ fn materialize(
                         data: vec![b'x'; nbytes as usize],
                     });
                 }
-                // The slot after the read end is the write end; skip it in
-                // the loop by letting the next iteration see it as done.
+                // The slot after the read end is the write end; mark it
+                // handled so the next iteration skips it.
+                pipe_write_ends.insert((p, k + 1));
                 continue;
             }
             if open && !is_pipe {
-                // Skip the write end we already created together with its
-                // read end.
-                if k > 0
-                    && solved.bool(&format!("p{p}.fd{}.is_pipe", k - 1))
-                    && solved.bool(&format!("p{p}.fd{k}.is_pipe"))
-                {
-                    continue;
-                }
                 let ino = solved.int(&format!("p{p}.fd{k}.ino"));
                 let name = match ino_to_names.get(&ino) {
                     Some(slots) => names[slots[0]].clone(),
                     None => {
                         // Descriptor to an unlinked file: create a scratch
-                        // name, open it, and unlink the name afterwards.
+                        // name, open it, populate the modelled contents
+                        // (the slots below k are already occupied, so the
+                        // create lands exactly at descriptor k), and unlink
+                        // the name afterwards. Skipping the contents would
+                        // build a *different* state than the one analysed —
+                        // a divergence the real-threads differential runner
+                        // observes as non-commuting results.
                         let scratch = format!("scratch-p{p}-fd{k}");
                         setup.push(SysOp::Open {
                             pid: p,
                             name: scratch.clone(),
                             flags: OpenFlags::create(),
                         });
-                        setup.push(SysOp::Close { pid: p, fd: k as u32 });
+                        let len = solved
+                            .int(&format!("inode{ino}.len"))
+                            .clamp(0, cfg.file_pages as i64);
+                        for page in 0..len {
+                            let byte = solved
+                                .int(&format!("inode{ino}.page{page}"))
+                                .rem_euclid(256) as u8;
+                            setup.push(SysOp::Pwrite {
+                                pid: p,
+                                fd: k as u32,
+                                data: vec![byte; PAGE_SIZE as usize],
+                                offset: page as u64 * PAGE_SIZE,
+                            });
+                        }
+                        setup.push(SysOp::Close {
+                            pid: p,
+                            fd: k as u32,
+                        });
                         // Re-open below through the normal path.
                         scratch
                     }
@@ -358,7 +400,9 @@ fn materialize(
                     name: name.clone(),
                     flags: OpenFlags::plain(),
                 });
-                let off = solved.int(&format!("p{p}.fd{k}.off")).clamp(0, cfg.file_pages as i64);
+                let off = solved
+                    .int(&format!("p{p}.fd{k}.off"))
+                    .clamp(0, cfg.file_pages as i64);
                 if off != 0 {
                     setup.push(SysOp::Lseek {
                         pid: p,
@@ -426,9 +470,7 @@ fn materialize(
                 // File-backed mapping: the backing inode must have a name so
                 // a descriptor can be opened for it.
                 let ino = solved.int(&format!("p{p}.vm{v}.ino"));
-                let Some(slots) = ino_to_names.get(&ino) else {
-                    return None;
-                };
+                let slots = ino_to_names.get(&ino)?;
                 let name = names[slots[0]].clone();
                 // Open a temporary descriptor at the next free slot, map,
                 // then close it.
@@ -483,6 +525,10 @@ fn build_op(
     let name = |i: usize| names[slots.names[i]].clone();
     let fd = |i: usize| slots.fds[i] as u32;
     let vm_addr = |i: usize| (VM_BASE_PAGE + slots.vm_pages[i] as u64) * PAGE_SIZE;
+    // The model moves pipe data one byte at a time; a page-sized concrete
+    // transfer would drain/extend the pipe differently than the state the
+    // analyzer reasoned about.
+    let fd_is_pipe = |i: usize| solved.bool(&format!("p{}.fd{}.is_pipe", slots.proc, slots.fds[i]));
     Some(match kind {
         CallKind::Open => SysOp::Open {
             pid,
@@ -522,14 +568,14 @@ fn build_op(
         CallKind::Read => SysOp::Read {
             pid,
             fd: fd(0),
-            len: PAGE_SIZE,
+            len: if fd_is_pipe(0) { 1 } else { PAGE_SIZE },
         },
         CallKind::Write => SysOp::Write {
             pid,
             fd: fd(0),
             data: vec![
                 solved.int(&format!("{tag}.byte")).rem_euclid(256) as u8;
-                PAGE_SIZE as usize
+                if fd_is_pipe(0) { 1 } else { PAGE_SIZE as usize }
             ],
         },
         CallKind::Pread => SysOp::Pread {
@@ -636,10 +682,12 @@ mod tests {
         assert!(!generated.tests.is_empty());
         // At least one test must stat two *existing* different files, which
         // requires setup to create them.
-        assert!(generated
-            .tests
+        assert!(generated.tests.iter().any(|t| t
+            .setup
             .iter()
-            .any(|t| t.setup.iter().filter(|op| matches!(op, SysOp::Open { .. })).count() >= 2));
+            .filter(|op| matches!(op, SysOp::Open { .. }))
+            .count()
+            >= 2));
         // Operations target different names.
         for test in &generated.tests {
             if let (SysOp::StatPath { name: a, .. }, SysOp::StatPath { name: b, .. }) =
@@ -690,6 +738,49 @@ mod tests {
         assert!(!generated.tests.is_empty());
         for test in &generated.tests {
             assert!(matches!(test.op_a, SysOp::Rename { .. }));
+        }
+    }
+
+    #[test]
+    fn pipe_states_materialize() {
+        // Read(fd0) ∥ Write(fd1): the analyzer's commutative cases include
+        // pipe-backed states with both ends open, and the canonical pipe
+        // layout (read end at slot 0, write end at slot 1) must be
+        // constructible — the write-end slot is laid out together with the
+        // pipe, not revisited (which would wrongly reject the state).
+        let cfg = small_cfg();
+        let shape = PairShape {
+            calls: (CallKind::Read, CallKind::Write),
+            slots_a: ArgSlots {
+                proc: 0,
+                fds: vec![0],
+                ..Default::default()
+            },
+            slots_b: ArgSlots {
+                proc: 0,
+                fds: vec![1],
+                ..Default::default()
+            },
+            tag: "pipe".into(),
+        };
+        let analysis = analyze_pair(&shape, &cfg);
+        let generated = generate_tests(&shape, &analysis.cases, &cfg, &default_names(), 128);
+        let pipe_backed: Vec<_> = generated
+            .tests
+            .iter()
+            .filter(|t| t.setup.iter().any(|op| matches!(op, SysOp::Pipe { .. })))
+            .collect();
+        assert!(
+            !pipe_backed.is_empty(),
+            "no pipe-backed state was materialised (skipped {})",
+            generated.skipped
+        );
+        // Pipe transfers are one byte, as in the model — a page-sized read
+        // would drain a different amount than the analyzed state.
+        for test in &pipe_backed {
+            if let SysOp::Read { len, .. } = &test.op_a {
+                assert_eq!(*len, 1, "{}", test.id);
+            }
         }
     }
 

@@ -1,0 +1,1204 @@
+//! A thread-safe kernel over real atomics: the execution backend the
+//! Figure-7 workloads and the differential runner drive from actual OS
+//! threads.
+//!
+//! [`HostKernel`] mirrors the *semantics* of `scr_kernel::sv6::Sv6Kernel`
+//! call for call — same error codes, same inode numbering, same descriptor
+//! allocation order, same `mmap` address arithmetic — so the differential
+//! runner can compare return values bit-for-bit. What changes between the
+//! two configurations is only the *sharing*:
+//!
+//! * [`HostMode::Sv6`] assembles the kernel from the host twins of the
+//!   scalable primitives ([`scr_scalable::real`]): a lock-striped
+//!   directory, per-core inode counters, Refcache-style per-core link
+//!   counts, and per-slot descriptor locks.
+//! * [`HostMode::Linuxlike`] wraps every system call in one global kernel
+//!   lock — the sharing structure that makes the baseline collapse as real
+//!   threads are added, no matter how fast each individual call is.
+
+use parking_lot::{Mutex, RwLock};
+use scr_kernel::api::{
+    Errno, Fd, Ino, KResult, MmapBacking, OpenFlags, Pid, Prot, Stat, StatMask, SysOp, SysResult,
+    Whence, PAGE_SIZE,
+};
+use scr_scalable::real::{HostInodeAllocator, PerCoreRefcount, StripedHashDir};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Descriptors per core partition (`O_ANYFD`), mirroring the sv6 kernel.
+pub const FDS_PER_CORE: usize = 16;
+/// Virtual pages reserved per core for hint-less `mmap`, mirroring sv6.
+const VPN_REGION_PER_CORE: u64 = 256;
+/// Directory stripe count, mirroring the sv6 kernel's bucket count.
+const DIR_STRIPES: usize = 512;
+
+/// Which sharing structure the kernel is assembled with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HostMode {
+    /// Per-core / striped structures; no global serialisation.
+    #[default]
+    Sv6,
+    /// One global kernel lock around every call (the collapsing baseline).
+    Linuxlike,
+}
+
+impl HostMode {
+    /// Label used in benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HostMode::Sv6 => "sv6-like (striped)",
+            HostMode::Linuxlike => "linuxlike (global lock)",
+        }
+    }
+}
+
+/// Tunable options, mirroring `Sv6Options` for the statbench ablation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostOptions {
+    /// Keep link counts in one shared atomic instead of per-core deltas.
+    pub shared_link_counts: bool,
+}
+
+/// A link counter in one of the two statbench representations. The
+/// per-core variant is boxed: it holds one padded cache line per core and
+/// would otherwise bloat every inode in shared-count mode too.
+enum LinkCounter {
+    /// Per-core deltas (Refcache-style).
+    Scalable(Box<PerCoreRefcount>),
+    /// One shared atomic.
+    Shared(AtomicI64),
+}
+
+impl LinkCounter {
+    fn new(cores: usize, options: HostOptions) -> Self {
+        if options.shared_link_counts {
+            LinkCounter::Shared(AtomicI64::new(0))
+        } else {
+            LinkCounter::Scalable(Box::new(PerCoreRefcount::new(cores, 0)))
+        }
+    }
+
+    fn inc(&self, core: usize) {
+        match self {
+            LinkCounter::Scalable(rc) => rc.inc(core),
+            LinkCounter::Shared(cell) => {
+                cell.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn dec(&self, core: usize) {
+        match self {
+            LinkCounter::Scalable(rc) => rc.dec(core),
+            LinkCounter::Shared(cell) => {
+                cell.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn read_exact(&self) -> i64 {
+        match self {
+            LinkCounter::Scalable(rc) => rc.read_exact(),
+            LinkCounter::Shared(cell) => cell.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One regular file's in-memory inode.
+struct Inode {
+    ino: Ino,
+    nlink: LinkCounter,
+    /// File size in pages. Grown with `fetch_max`, the optimistic
+    /// "grow only when extending" protocol of the simulated kernel.
+    size_pages: AtomicU64,
+    /// Page cache: page number → contents.
+    pages: RwLock<BTreeMap<u64, Vec<u8>>>,
+}
+
+/// One pipe; endpoint counts are plain shared atomics (the §6.4 residual
+/// non-scalable case, kept deliberately).
+struct Pipe {
+    buffer: Mutex<VecDeque<u8>>,
+    readers: AtomicI64,
+    writers: AtomicI64,
+}
+
+/// What an open descriptor refers to.
+#[derive(Clone)]
+enum FileObj {
+    File(Arc<Inode>),
+    PipeRead(Arc<Pipe>),
+    PipeWrite(Arc<Pipe>),
+}
+
+/// An open file description.
+struct OpenFile {
+    obj: FileObj,
+    offset: AtomicU64,
+}
+
+/// One page of a mapped region.
+#[derive(Clone)]
+enum PageBacking {
+    Anon(Arc<AtomicU8>),
+    File { ino: Ino, file_page: u64 },
+}
+
+/// A mapping entry in the address space.
+#[derive(Clone)]
+struct MappedPage {
+    prot: Prot,
+    backing: PageBacking,
+}
+
+/// A process: descriptor table (one lock per slot, so lowest-FD scans and
+/// `O_ANYFD` partition claims contend only on the slots they touch) and
+/// address space.
+struct Process {
+    fd_slots: Vec<crossbeam::utils::CachePadded<Mutex<Option<Arc<OpenFile>>>>>,
+    vm_pages: RwLock<BTreeMap<u64, MappedPage>>,
+    next_vpn: Vec<crossbeam::utils::CachePadded<AtomicU64>>,
+}
+
+/// The real-threads kernel. All methods take `&self` and the type is
+/// `Send + Sync`; callers drive it from as many OS threads as they like,
+/// passing the thread's "core" number exactly as the simulated kernels do.
+pub struct HostKernel {
+    mode: HostMode,
+    cores: usize,
+    options: HostOptions,
+    /// The global kernel lock; taken around every call in `Linuxlike` mode.
+    giant: Mutex<()>,
+    root: StripedHashDir<Ino>,
+    /// Inode table, sharded by inode number so sv6-mode lookups of
+    /// different inodes do not serialise.
+    inode_shards: Vec<InodeShard>,
+    inode_alloc: HostInodeAllocator,
+    procs: RwLock<Vec<Arc<Process>>>,
+    /// Per-core lists of inodes whose last link may be gone, drained by the
+    /// epoch passes ("defer work", as in the simulated kernel's DeferQueue).
+    defer: Vec<crossbeam::utils::CachePadded<Mutex<Vec<Ino>>>>,
+}
+
+/// One cache-padded shard of the inode table.
+type InodeShard = crossbeam::utils::CachePadded<RwLock<BTreeMap<Ino, Arc<Inode>>>>;
+
+const INODE_SHARDS: usize = 64;
+
+impl HostKernel {
+    /// Builds a kernel for `cores` participating threads.
+    pub fn new(cores: usize, mode: HostMode) -> Self {
+        Self::with_options(cores, mode, HostOptions::default())
+    }
+
+    /// Builds a kernel with non-default options (statbench ablation).
+    pub fn with_options(cores: usize, mode: HostMode, options: HostOptions) -> Self {
+        let cores = cores.max(2);
+        HostKernel {
+            mode,
+            cores,
+            options,
+            giant: Mutex::new(()),
+            root: StripedHashDir::new(match mode {
+                HostMode::Sv6 => DIR_STRIPES,
+                // A single stripe: every name operation shares one lock,
+                // like a directory-wide dentry lock.
+                HostMode::Linuxlike => 1,
+            }),
+            inode_shards: (0..INODE_SHARDS)
+                .map(|_| crossbeam::utils::CachePadded::new(RwLock::new(BTreeMap::new())))
+                .collect(),
+            inode_alloc: HostInodeAllocator::new(cores),
+            procs: RwLock::new(Vec::new()),
+            defer: (0..cores)
+                .map(|_| crossbeam::utils::CachePadded::new(Mutex::new(Vec::new())))
+                .collect(),
+        }
+    }
+
+    /// Queues an inode for deferred reclamation on `core`'s list.
+    fn defer_reclaim(&self, core: usize, ino: Ino) {
+        self.defer[core % self.cores].lock().push(ino);
+    }
+
+    /// Drains `core`'s deferred list, reclaiming inodes whose link count
+    /// reconciles to zero (the per-core half of the epoch pass; a real
+    /// kernel runs this from a per-core timer tick). Returns the number of
+    /// inodes reclaimed.
+    pub fn reclaim_core(&self, core: usize) -> usize {
+        let pending = std::mem::take(&mut *self.defer[core % self.cores].lock());
+        let mut reclaimed = 0;
+        for ino in pending {
+            // The zero check must happen inside the shard's write section:
+            // link() publishes its increment before validating the inode is
+            // still present (under the same lock), so whichever of the two
+            // wins the lock sees a consistent picture — either the count is
+            // back above zero and the inode survives, or it is removed and
+            // link() observes that and undoes its insertion.
+            let mut shard = self.inode_shard(ino).write();
+            let reclaim = shard
+                .get(&ino)
+                .map(|inode| inode.nlink.read_exact() <= 0)
+                .unwrap_or(false);
+            if reclaim {
+                shard.remove(&ino);
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Runs the epoch pass over every core's deferred list. Returns the
+    /// number of inodes reclaimed.
+    pub fn reclaim_epoch(&self) -> usize {
+        (0..self.cores).map(|core| self.reclaim_core(core)).sum()
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> HostMode {
+        self.mode
+    }
+
+    /// Number of cores (thread slots) the kernel was configured for.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Takes the global lock in `Linuxlike` mode; free in `Sv6` mode.
+    fn serialise(&self) -> Option<parking_lot::MutexGuard<'_, ()>> {
+        match self.mode {
+            HostMode::Linuxlike => Some(self.giant.lock()),
+            HostMode::Sv6 => None,
+        }
+    }
+
+    /// Creates a new process, returning its pid (dense from zero).
+    pub fn new_process(&self) -> Pid {
+        let proc_ = Arc::new(Process {
+            fd_slots: (0..self.cores * FDS_PER_CORE)
+                .map(|_| crossbeam::utils::CachePadded::new(Mutex::new(None)))
+                .collect(),
+            vm_pages: RwLock::new(BTreeMap::new()),
+            next_vpn: (0..self.cores)
+                .map(|c| {
+                    crossbeam::utils::CachePadded::new(AtomicU64::new(
+                        1 + c as u64 * VPN_REGION_PER_CORE,
+                    ))
+                })
+                .collect(),
+        });
+        let mut procs = self.procs.write();
+        procs.push(proc_);
+        procs.len() - 1
+    }
+
+    fn proc(&self, pid: Pid) -> KResult<Arc<Process>> {
+        self.procs.read().get(pid).cloned().ok_or(Errno::EINVAL)
+    }
+
+    fn inode_shard(&self, ino: Ino) -> &RwLock<BTreeMap<Ino, Arc<Inode>>> {
+        &self.inode_shards[(ino % INODE_SHARDS as u64) as usize]
+    }
+
+    fn inode(&self, ino: Ino) -> Option<Arc<Inode>> {
+        self.inode_shard(ino).read().get(&ino).cloned()
+    }
+
+    fn new_inode(&self, core: usize) -> Arc<Inode> {
+        let ino = self.inode_alloc.alloc(core);
+        let inode = Arc::new(Inode {
+            ino,
+            nlink: LinkCounter::new(self.cores, self.options),
+            size_pages: AtomicU64::new(0),
+            pages: RwLock::new(BTreeMap::new()),
+        });
+        self.inode_shard(ino)
+            .write()
+            .insert(ino, Arc::clone(&inode));
+        inode
+    }
+
+    fn open_file(&self, proc_: &Process, fd: Fd) -> KResult<Arc<OpenFile>> {
+        proc_
+            .fd_slots
+            .get(fd as usize)
+            .ok_or(Errno::EBADF)?
+            .lock()
+            .clone()
+            .ok_or(Errno::EBADF)
+    }
+
+    /// Allocates a descriptor slot: lowest free slot, or the invoking core's
+    /// partition with `anyfd`, exactly as in the simulated sv6 kernel. The
+    /// per-slot lock makes the claim atomic under concurrency.
+    fn alloc_fd(
+        &self,
+        core: usize,
+        proc_: &Process,
+        file: Arc<OpenFile>,
+        anyfd: bool,
+    ) -> KResult<Fd> {
+        let (start, end) = if anyfd {
+            let core = core % self.cores;
+            (core * FDS_PER_CORE, (core + 1) * FDS_PER_CORE)
+        } else {
+            (0, proc_.fd_slots.len())
+        };
+        for fd in start..end {
+            let mut slot = proc_.fd_slots[fd].lock();
+            if slot.is_none() {
+                *slot = Some(file);
+                return Ok(fd as Fd);
+            }
+        }
+        Err(Errno::EMFILE)
+    }
+
+    fn file_stat(&self, inode: &Inode, mask: StatMask) -> Stat {
+        Stat {
+            ino: if mask.want_ino { inode.ino } else { 0 },
+            size: if mask.want_size {
+                inode.size_pages.load(Ordering::Acquire) * PAGE_SIZE
+            } else {
+                0
+            },
+            nlink: if mask.want_nlink {
+                inode.nlink.read_exact()
+            } else {
+                0
+            },
+            is_pipe: false,
+        }
+    }
+
+    fn file_read_at(&self, inode: &Inode, offset: u64, len: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let pages = inode.pages.read();
+        let first_page = offset / PAGE_SIZE;
+        let last_page = (offset + len - 1) / PAGE_SIZE;
+        for page in first_page..=last_page {
+            match pages.get(&page) {
+                Some(data) => {
+                    let page_start = page * PAGE_SIZE;
+                    let begin = offset.max(page_start) - page_start;
+                    let end = ((offset + len).min(page_start + PAGE_SIZE)) - page_start;
+                    let begin = begin as usize;
+                    let end = (end as usize).min(data.len());
+                    if begin < end {
+                        out.extend_from_slice(&data[begin..end]);
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn file_write_at(&self, inode: &Inode, offset: u64, data: &[u8]) -> u64 {
+        if data.is_empty() {
+            return 0;
+        }
+        let mut written = 0u64;
+        let mut cursor = offset;
+        let mut pages = inode.pages.write();
+        while written < data.len() as u64 {
+            let page = cursor / PAGE_SIZE;
+            let in_page = (cursor % PAGE_SIZE) as usize;
+            let chunk = ((PAGE_SIZE as usize) - in_page).min(data.len() - written as usize);
+            let page_data = pages.entry(page).or_default();
+            if page_data.len() < in_page + chunk {
+                page_data.resize(in_page + chunk, 0);
+            }
+            page_data[in_page..in_page + chunk]
+                .copy_from_slice(&data[written as usize..written as usize + chunk]);
+            written += chunk as u64;
+            cursor += chunk as u64;
+        }
+        drop(pages);
+        let end_pages = (offset + written).div_ceil(PAGE_SIZE);
+        inode.size_pages.fetch_max(end_pages, Ordering::AcqRel);
+        written
+    }
+
+    fn vpn_of(addr: u64) -> KResult<u64> {
+        if !addr.is_multiple_of(PAGE_SIZE) {
+            return Err(Errno::EINVAL);
+        }
+        Ok(addr / PAGE_SIZE)
+    }
+
+    // --- file-name operations -------------------------------------------
+
+    /// Opens (and possibly creates) `name`, returning a descriptor.
+    pub fn open(&self, core: usize, pid: Pid, name: &str, flags: OpenFlags) -> KResult<Fd> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let ino = match self.root.get(name) {
+            Some(ino) => {
+                if flags.create && flags.excl {
+                    return Err(Errno::EEXIST);
+                }
+                ino
+            }
+            None => {
+                if !flags.create {
+                    return Err(Errno::ENOENT);
+                }
+                let inode = self.new_inode(core);
+                inode.nlink.inc(core);
+                if self.root.insert_if_absent(name, inode.ino) {
+                    inode.ino
+                } else {
+                    // Lost a create race with another thread: the
+                    // pre-allocated inode was never published under a name,
+                    // so drop it from the table here — no epoch pass would
+                    // ever reclaim it otherwise.
+                    inode.nlink.dec(core);
+                    self.inode_shard(inode.ino).write().remove(&inode.ino);
+                    if flags.excl {
+                        return Err(Errno::EEXIST);
+                    }
+                    self.root.get(name).ok_or(Errno::ENOENT)?
+                }
+            }
+        };
+        let inode = self.inode(ino).ok_or(Errno::ENOENT)?;
+        if flags.truncate {
+            let size = inode.size_pages.load(Ordering::Acquire);
+            if size != 0 {
+                inode.size_pages.store(0, Ordering::Release);
+                inode.pages.write().clear();
+            }
+        }
+        let file = Arc::new(OpenFile {
+            obj: FileObj::File(inode),
+            offset: AtomicU64::new(0),
+        });
+        self.alloc_fd(core, &proc_, file, flags.anyfd)
+    }
+
+    /// Creates a new hard link `new` to the file `old`.
+    pub fn link(&self, core: usize, pid: Pid, old: &str, new: &str) -> KResult<()> {
+        let _g = self.serialise();
+        let _ = self.proc(pid)?;
+        let ino = self.root.get(old).ok_or(Errno::ENOENT)?;
+        let inode = self.inode(ino).ok_or(Errno::ENOENT)?;
+        // Publish the increment *before* inserting the name, then validate
+        // the inode is still in the table. A concurrent unlink+epoch pass
+        // could have reclaimed it between our lookup and our increment; the
+        // epoch pass re-checks the count under the shard lock, so after a
+        // successful validation the inode can no longer disappear while the
+        // new name references it.
+        inode.nlink.inc(core);
+        if !self.root.insert_if_absent(new, ino) {
+            inode.nlink.dec(core);
+            return Err(Errno::EEXIST);
+        }
+        if self.inode(ino).is_none() {
+            // Lost to reclamation: linearise as link-after-unlink.
+            self.root.remove(new);
+            return Err(Errno::ENOENT);
+        }
+        Ok(())
+    }
+
+    /// Removes the name `name`. Reclamation of the inode is deferred to an
+    /// epoch pass, as in the simulated kernel.
+    pub fn unlink(&self, core: usize, pid: Pid, name: &str) -> KResult<()> {
+        let _g = self.serialise();
+        let _ = self.proc(pid)?;
+        let ino = self.root.remove(name).ok_or(Errno::ENOENT)?;
+        if let Some(inode) = self.inode(ino) {
+            inode.nlink.dec(core);
+            self.defer_reclaim(core, ino);
+        }
+        Ok(())
+    }
+
+    /// Renames `src` to `dst`, with the same observable semantics as the
+    /// simulated kernel (including the same-inode fast path). Unlike the
+    /// single-threaded simulator, the whole check-then-update must be
+    /// atomic here: both names' stripes are locked together (in canonical
+    /// order), otherwise two concurrent renames sharing a destination can
+    /// interleave their existence checks and produce a state no sequential
+    /// order could (e.g. a leaked link count).
+    pub fn rename(&self, core: usize, pid: Pid, src: &str, dst: &str) -> KResult<()> {
+        let _g = self.serialise();
+        let _ = self.proc(pid)?;
+        let s_stripe = self.root.stripe_of(src);
+        let d_stripe = self.root.stripe_of(dst);
+        self.root.with_pair_locked(src, dst, |dir| {
+            let src_ino = dir.get(src, s_stripe).ok_or(Errno::ENOENT)?;
+            if src == dst {
+                return Ok(());
+            }
+            match dir.get(dst, d_stripe) {
+                Some(dst_ino) if dst_ino == src_ino => {
+                    dir.remove(src, s_stripe);
+                    if let Some(inode) = self.inode(src_ino) {
+                        inode.nlink.dec(core);
+                    }
+                    return Ok(());
+                }
+                Some(dst_ino) => {
+                    dir.upsert(dst, d_stripe, src_ino);
+                    if let Some(old) = self.inode(dst_ino) {
+                        old.nlink.dec(core);
+                        self.defer_reclaim(core, dst_ino);
+                    }
+                }
+                None => {
+                    dir.upsert(dst, d_stripe, src_ino);
+                }
+            }
+            dir.remove(src, s_stripe);
+            Ok(())
+        })
+    }
+
+    /// Returns the metadata of `name`.
+    pub fn stat(&self, _core: usize, pid: Pid, name: &str) -> KResult<Stat> {
+        let _g = self.serialise();
+        let _ = self.proc(pid)?;
+        let ino = self.root.get(name).ok_or(Errno::ENOENT)?;
+        let inode = self.inode(ino).ok_or(Errno::ENOENT)?;
+        Ok(self.file_stat(&inode, StatMask::all()))
+    }
+
+    // --- descriptor operations ------------------------------------------
+
+    /// Returns the metadata of the open file `fd`.
+    pub fn fstat(&self, core: usize, pid: Pid, fd: Fd) -> KResult<Stat> {
+        self.fstatx(core, pid, fd, StatMask::all())
+    }
+
+    /// Field-selective `fstat`: the §4 commutative variant. Skipping
+    /// `want_nlink` avoids touching the link counter entirely.
+    pub fn fstatx(&self, _core: usize, pid: Pid, fd: Fd, mask: StatMask) -> KResult<Stat> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let file = self.open_file(&proc_, fd)?;
+        match &file.obj {
+            FileObj::File(inode) => Ok(self.file_stat(inode, mask)),
+            FileObj::PipeRead(_) | FileObj::PipeWrite(_) => Ok(Stat {
+                ino: 0,
+                size: 0,
+                nlink: 0,
+                is_pipe: true,
+            }),
+        }
+    }
+
+    /// Repositions the offset of `fd`.
+    pub fn lseek(
+        &self,
+        _core: usize,
+        pid: Pid,
+        fd: Fd,
+        offset: i64,
+        whence: Whence,
+    ) -> KResult<u64> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let file = self.open_file(&proc_, fd)?;
+        let inode = match &file.obj {
+            FileObj::File(inode) => inode,
+            _ => return Err(Errno::ESPIPE),
+        };
+        let current = file.offset.load(Ordering::Acquire);
+        let base = match whence {
+            Whence::Set => 0i64,
+            Whence::Cur => current as i64,
+            Whence::End => (inode.size_pages.load(Ordering::Acquire) * PAGE_SIZE) as i64,
+        };
+        let target = base + offset;
+        if target < 0 {
+            return Err(Errno::EINVAL);
+        }
+        let target = target as u64;
+        if target == current {
+            return Ok(target);
+        }
+        file.offset.store(target, Ordering::Release);
+        Ok(target)
+    }
+
+    /// Closes `fd`.
+    pub fn close(&self, _core: usize, pid: Pid, fd: Fd) -> KResult<()> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let slot = proc_.fd_slots.get(fd as usize).ok_or(Errno::EBADF)?;
+        let file = slot.lock().take().ok_or(Errno::EBADF)?;
+        match &file.obj {
+            FileObj::File(_) => {}
+            FileObj::PipeRead(pipe) => {
+                pipe.readers.fetch_sub(1, Ordering::AcqRel);
+            }
+            FileObj::PipeWrite(pipe) => {
+                pipe.writers.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a pipe, returning `(read_fd, write_fd)`.
+    pub fn pipe(&self, core: usize, pid: Pid) -> KResult<(Fd, Fd)> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let pipe = Arc::new(Pipe {
+            buffer: Mutex::new(VecDeque::new()),
+            readers: AtomicI64::new(1),
+            writers: AtomicI64::new(1),
+        });
+        let read_end = Arc::new(OpenFile {
+            obj: FileObj::PipeRead(Arc::clone(&pipe)),
+            offset: AtomicU64::new(0),
+        });
+        let write_end = Arc::new(OpenFile {
+            obj: FileObj::PipeWrite(pipe),
+            offset: AtomicU64::new(0),
+        });
+        let rfd = self.alloc_fd(core, &proc_, read_end, false)?;
+        let wfd = self.alloc_fd(core, &proc_, write_end, false)?;
+        Ok((rfd, wfd))
+    }
+
+    /// Reads up to `len` bytes at the current offset.
+    pub fn read(&self, _core: usize, pid: Pid, fd: Fd, len: u64) -> KResult<Vec<u8>> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let file = self.open_file(&proc_, fd)?;
+        match &file.obj {
+            FileObj::File(inode) => {
+                let offset = file.offset.load(Ordering::Acquire);
+                let data = self.file_read_at(inode, offset, len);
+                if !data.is_empty() {
+                    file.offset
+                        .store(offset + data.len() as u64, Ordering::Release);
+                }
+                Ok(data)
+            }
+            FileObj::PipeRead(pipe) => {
+                let data: Vec<u8> = {
+                    let mut buf = pipe.buffer.lock();
+                    let take = (len as usize).min(buf.len());
+                    buf.drain(..take).collect()
+                };
+                if data.is_empty() {
+                    if pipe.writers.load(Ordering::Acquire) > 0 {
+                        return Err(Errno::EAGAIN);
+                    }
+                    return Ok(Vec::new());
+                }
+                Ok(data)
+            }
+            FileObj::PipeWrite(_) => Err(Errno::EBADF),
+        }
+    }
+
+    /// Writes `data` at the current offset.
+    pub fn write(&self, _core: usize, pid: Pid, fd: Fd, data: &[u8]) -> KResult<u64> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let file = self.open_file(&proc_, fd)?;
+        match &file.obj {
+            FileObj::File(inode) => {
+                let offset = file.offset.load(Ordering::Acquire);
+                let written = self.file_write_at(inode, offset, data);
+                file.offset.store(offset + written, Ordering::Release);
+                Ok(written)
+            }
+            FileObj::PipeWrite(pipe) => {
+                if pipe.readers.load(Ordering::Acquire) == 0 {
+                    return Err(Errno::EPIPE);
+                }
+                pipe.buffer.lock().extend(data.iter().copied());
+                Ok(data.len() as u64)
+            }
+            FileObj::PipeRead(_) => Err(Errno::EBADF),
+        }
+    }
+
+    /// Reads at an absolute offset (no offset update).
+    pub fn pread(&self, _core: usize, pid: Pid, fd: Fd, len: u64, offset: u64) -> KResult<Vec<u8>> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let file = self.open_file(&proc_, fd)?;
+        match &file.obj {
+            FileObj::File(inode) => Ok(self.file_read_at(inode, offset, len)),
+            _ => Err(Errno::ESPIPE),
+        }
+    }
+
+    /// Writes at an absolute offset (no offset update).
+    pub fn pwrite(&self, _core: usize, pid: Pid, fd: Fd, data: &[u8], offset: u64) -> KResult<u64> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let file = self.open_file(&proc_, fd)?;
+        match &file.obj {
+            FileObj::File(inode) => Ok(self.file_write_at(inode, offset, data)),
+            _ => Err(Errno::ESPIPE),
+        }
+    }
+
+    // --- virtual memory ---------------------------------------------------
+
+    /// Maps `pages` pages, returning the mapped address. Hint-less mappings
+    /// come from the per-core region, with the same address arithmetic as
+    /// the simulated kernel.
+    pub fn mmap(
+        &self,
+        core: usize,
+        pid: Pid,
+        addr_hint: Option<u64>,
+        pages: u64,
+        prot: Prot,
+        backing: MmapBacking,
+    ) -> KResult<u64> {
+        let _g = self.serialise();
+        if pages == 0 {
+            return Err(Errno::EINVAL);
+        }
+        let proc_ = self.proc(pid)?;
+        let base_vpn = match addr_hint {
+            Some(addr) => Self::vpn_of(addr)?,
+            None => proc_.next_vpn[core % self.cores].fetch_add(pages, Ordering::Relaxed),
+        };
+        let file_ino = match backing {
+            MmapBacking::Anon => None,
+            MmapBacking::File(fd) => {
+                let file = self.open_file(&proc_, fd)?;
+                match &file.obj {
+                    FileObj::File(inode) => Some(inode.ino),
+                    _ => return Err(Errno::EBADF),
+                }
+            }
+        };
+        let mut vm = proc_.vm_pages.write();
+        for i in 0..pages {
+            let vpn = base_vpn + i;
+            let backing = match file_ino {
+                None => PageBacking::Anon(Arc::new(AtomicU8::new(0))),
+                Some(ino) => PageBacking::File { ino, file_page: i },
+            };
+            vm.insert(vpn, MappedPage { prot, backing });
+        }
+        Ok(base_vpn * PAGE_SIZE)
+    }
+
+    /// Unmaps `pages` pages starting at `addr`.
+    pub fn munmap(&self, _core: usize, pid: Pid, addr: u64, pages: u64) -> KResult<()> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let base_vpn = Self::vpn_of(addr)?;
+        let mut vm = proc_.vm_pages.write();
+        for i in 0..pages {
+            vm.remove(&(base_vpn + i));
+        }
+        Ok(())
+    }
+
+    /// Changes the protection of `pages` pages starting at `addr`.
+    pub fn mprotect(
+        &self,
+        _core: usize,
+        pid: Pid,
+        addr: u64,
+        pages: u64,
+        prot: Prot,
+    ) -> KResult<()> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let base_vpn = Self::vpn_of(addr)?;
+        let mut vm = proc_.vm_pages.write();
+        for i in 0..pages {
+            match vm.get_mut(&(base_vpn + i)) {
+                Some(page) => page.prot = prot,
+                None => return Err(Errno::ENOMEM),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one byte from mapped memory.
+    pub fn memread(&self, _core: usize, pid: Pid, addr: u64) -> KResult<u8> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let vpn = addr / PAGE_SIZE;
+        let in_page = addr % PAGE_SIZE;
+        let page = proc_
+            .vm_pages
+            .read()
+            .get(&vpn)
+            .cloned()
+            .ok_or(Errno::EFAULT)?;
+        if !page.prot.read {
+            return Err(Errno::EFAULT);
+        }
+        match &page.backing {
+            PageBacking::Anon(cell) => Ok(cell.load(Ordering::Acquire)),
+            PageBacking::File { ino, file_page } => {
+                let inode = self.inode(*ino).ok_or(Errno::EFAULT)?;
+                let data = self.file_read_at(&inode, file_page * PAGE_SIZE + in_page, 1);
+                Ok(data.first().copied().unwrap_or(0))
+            }
+        }
+    }
+
+    /// Writes one byte to mapped memory.
+    pub fn memwrite(&self, _core: usize, pid: Pid, addr: u64, value: u8) -> KResult<()> {
+        let _g = self.serialise();
+        let proc_ = self.proc(pid)?;
+        let vpn = addr / PAGE_SIZE;
+        let in_page = addr % PAGE_SIZE;
+        let page = proc_
+            .vm_pages
+            .read()
+            .get(&vpn)
+            .cloned()
+            .ok_or(Errno::EFAULT)?;
+        if !page.prot.write {
+            return Err(Errno::EFAULT);
+        }
+        match &page.backing {
+            PageBacking::Anon(cell) => {
+                cell.store(value, Ordering::Release);
+                Ok(())
+            }
+            PageBacking::File { ino, file_page } => {
+                let inode = self.inode(*ino).ok_or(Errno::EFAULT)?;
+                self.file_write_at(&inode, file_page * PAGE_SIZE + in_page, &[value]);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Performs a reified operation against a host kernel on the given core,
+/// mirroring `scr_kernel::api::perform` (including the `pipe` fd packing)
+/// so results are directly comparable with the simulated kernels'.
+pub fn perform_host(kernel: &HostKernel, core: usize, op: &SysOp) -> SysResult {
+    match op {
+        SysOp::Open { pid, name, flags } => match kernel.open(core, *pid, name, *flags) {
+            Ok(fd) => SysResult::Value(fd as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Link { pid, old, new } => match kernel.link(core, *pid, old, new) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Unlink { pid, name } => match kernel.unlink(core, *pid, name) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Rename { pid, src, dst } => match kernel.rename(core, *pid, src, dst) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::StatPath { pid, name } => match kernel.stat(core, *pid, name) {
+            Ok(s) => SysResult::Meta(s),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Fstat { pid, fd } => match kernel.fstat(core, *pid, *fd) {
+            Ok(s) => SysResult::Meta(s),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Lseek {
+            pid,
+            fd,
+            offset,
+            whence,
+        } => match kernel.lseek(core, *pid, *fd, *offset, *whence) {
+            Ok(off) => SysResult::Value(off as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Close { pid, fd } => match kernel.close(core, *pid, *fd) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Pipe { pid } => match kernel.pipe(core, *pid) {
+            Ok((r, w)) => SysResult::Value(((w as i64) << 32) | r as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Read { pid, fd, len } => match kernel.read(core, *pid, *fd, *len) {
+            Ok(data) => SysResult::Data(data),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Write { pid, fd, data } => match kernel.write(core, *pid, *fd, data) {
+            Ok(n) => SysResult::Value(n as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Pread {
+            pid,
+            fd,
+            len,
+            offset,
+        } => match kernel.pread(core, *pid, *fd, *len, *offset) {
+            Ok(data) => SysResult::Data(data),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Pwrite {
+            pid,
+            fd,
+            data,
+            offset,
+        } => match kernel.pwrite(core, *pid, *fd, data, *offset) {
+            Ok(n) => SysResult::Value(n as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Mmap {
+            pid,
+            addr_hint,
+            pages,
+            prot,
+            backing,
+        } => match kernel.mmap(core, *pid, *addr_hint, *pages, *prot, *backing) {
+            Ok(addr) => SysResult::Value(addr as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Munmap { pid, addr, pages } => match kernel.munmap(core, *pid, *addr, *pages) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Mprotect {
+            pid,
+            addr,
+            pages,
+            prot,
+        } => match kernel.mprotect(core, *pid, *addr, *pages, *prot) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Memread { pid, addr } => match kernel.memread(core, *pid, *addr) {
+            Ok(b) => SysResult::Value(b as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Memwrite { pid, addr, value } => match kernel.memwrite(core, *pid, *addr, *value) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_with_proc(mode: HostMode) -> (HostKernel, Pid) {
+        let k = HostKernel::new(4, mode);
+        let pid = k.new_process();
+        (k, pid)
+    }
+
+    #[test]
+    fn host_kernel_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HostKernel>();
+    }
+
+    #[test]
+    fn create_write_read_roundtrip_in_both_modes() {
+        for mode in [HostMode::Sv6, HostMode::Linuxlike] {
+            let (k, pid) = kernel_with_proc(mode);
+            let fd = k.open(0, pid, "hello", OpenFlags::create()).unwrap();
+            assert_eq!(k.write(0, pid, fd, b"hi there").unwrap(), 8);
+            assert_eq!(k.lseek(0, pid, fd, 0, Whence::Set).unwrap(), 0);
+            assert_eq!(k.read(0, pid, fd, 8).unwrap(), b"hi there");
+            let st = k.fstat(0, pid, fd).unwrap();
+            assert_eq!(st.nlink, 1);
+            assert_eq!(st.size, PAGE_SIZE);
+            k.close(0, pid, fd).unwrap();
+            assert_eq!(k.read(0, pid, fd, 1), Err(Errno::EBADF));
+        }
+    }
+
+    #[test]
+    fn link_unlink_rename_match_sv6_semantics() {
+        let (k, pid) = kernel_with_proc(HostMode::Sv6);
+        k.open(0, pid, "a", OpenFlags::create()).unwrap();
+        k.link(1, pid, "a", "b").unwrap();
+        assert_eq!(k.stat(0, pid, "a").unwrap().nlink, 2);
+        k.unlink(2, pid, "a").unwrap();
+        assert_eq!(k.stat(0, pid, "b").unwrap().nlink, 1);
+        assert_eq!(k.stat(0, pid, "a"), Err(Errno::ENOENT));
+        // Rename onto a hard link of the same inode only removes the source.
+        k.link(0, pid, "b", "c").unwrap();
+        k.rename(0, pid, "b", "c").unwrap();
+        assert_eq!(k.stat(0, pid, "b"), Err(Errno::ENOENT));
+        assert_eq!(k.stat(0, pid, "c").unwrap().nlink, 1);
+    }
+
+    #[test]
+    fn anyfd_uses_the_cores_partition() {
+        let (k, pid) = kernel_with_proc(HostMode::Sv6);
+        k.open(0, pid, "f", OpenFlags::create()).unwrap();
+        let fd = k
+            .open(2, pid, "f", OpenFlags::plain().with_anyfd())
+            .unwrap();
+        assert!(
+            (fd as usize) >= 2 * FDS_PER_CORE && (fd as usize) < 3 * FDS_PER_CORE,
+            "O_ANYFD descriptor must come from core 2's partition, got {fd}"
+        );
+    }
+
+    #[test]
+    fn pipes_match_sv6_semantics() {
+        let (k, pid) = kernel_with_proc(HostMode::Sv6);
+        let (r, w) = k.pipe(0, pid).unwrap();
+        assert_eq!(k.write(0, pid, w, b"ping").unwrap(), 4);
+        assert_eq!(k.read(0, pid, r, 16).unwrap(), b"ping");
+        assert_eq!(k.read(0, pid, r, 1), Err(Errno::EAGAIN));
+        k.close(0, pid, r).unwrap();
+        assert_eq!(k.write(0, pid, w, b"x"), Err(Errno::EPIPE));
+        let (r2, w2) = k.pipe(0, pid).unwrap();
+        k.close(0, pid, w2).unwrap();
+        assert_eq!(k.read(0, pid, r2, 4).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn vm_roundtrip_matches_sv6_semantics() {
+        let (k, pid) = kernel_with_proc(HostMode::Sv6);
+        let addr = k
+            .mmap(0, pid, None, 2, Prot::rw(), MmapBacking::Anon)
+            .unwrap();
+        // Same per-core region arithmetic as the simulated kernel.
+        assert_eq!(addr, PAGE_SIZE);
+        k.memwrite(0, pid, addr, 7).unwrap();
+        assert_eq!(k.memread(0, pid, addr).unwrap(), 7);
+        assert_eq!(k.memread(0, pid, addr + PAGE_SIZE).unwrap(), 0);
+        k.mprotect(0, pid, addr, 2, Prot::ro()).unwrap();
+        assert_eq!(k.memwrite(0, pid, addr, 1), Err(Errno::EFAULT));
+        k.munmap(0, pid, addr, 2).unwrap();
+        assert_eq!(k.memread(0, pid, addr), Err(Errno::EFAULT));
+        // File-backed mappings read through to the file.
+        let fd = k.open(0, pid, "data", OpenFlags::create()).unwrap();
+        k.pwrite(0, pid, fd, b"Z", 0).unwrap();
+        let m = k
+            .mmap(0, pid, None, 1, Prot::rw(), MmapBacking::File(fd))
+            .unwrap();
+        assert_eq!(k.memread(0, pid, m).unwrap(), b'Z');
+        k.memwrite(0, pid, m, b'Q').unwrap();
+        assert_eq!(k.pread(0, pid, fd, 1, 0).unwrap(), b"Q");
+    }
+
+    #[test]
+    fn inode_numbers_match_the_simulated_allocator() {
+        // Same (counter << 8) | core scheme as scr_scalable::InodeAllocator.
+        let (k, pid) = kernel_with_proc(HostMode::Sv6);
+        k.open(0, pid, "x", OpenFlags::create()).unwrap();
+        k.open(1, pid, "y", OpenFlags::create()).unwrap();
+        k.open(0, pid, "z", OpenFlags::create()).unwrap();
+        assert_eq!(k.stat(0, pid, "x").unwrap().ino, 1 << 8);
+        assert_eq!(k.stat(0, pid, "y").unwrap().ino, (1 << 8) | 1);
+        assert_eq!(k.stat(0, pid, "z").unwrap().ino, 2 << 8);
+    }
+
+    #[test]
+    fn concurrent_renames_sharing_a_destination_match_a_sequential_order() {
+        // rename(a, b) || rename(c, b) where a and c are hard links to the
+        // same inode: every sequential order ends with exactly one name (b)
+        // and nlink == 1. A non-atomic check-then-act can miss the
+        // same-inode fast path on both sides and leak a link count.
+        for round in 0..200 {
+            let k = std::sync::Arc::new(HostKernel::new(4, HostMode::Sv6));
+            let pid = k.new_process();
+            let a = format!("a-{round}");
+            let b = format!("b-{round}");
+            let c = format!("c-{round}");
+            k.open(0, pid, &a, OpenFlags::create()).unwrap();
+            k.link(0, pid, &a, &c).unwrap();
+            let barrier = std::sync::Barrier::new(2);
+            let (kr, br) = (&k, &barrier);
+            std::thread::scope(|s| {
+                let (a1, b1) = (a.clone(), b.clone());
+                let t1 = s.spawn(move || {
+                    br.wait();
+                    kr.rename(0, pid, &a1, &b1)
+                });
+                let (c2, b2) = (c.clone(), b.clone());
+                let t2 = s.spawn(move || {
+                    br.wait();
+                    kr.rename(1, pid, &c2, &b2)
+                });
+                t1.join().unwrap().unwrap();
+                t2.join().unwrap().unwrap();
+            });
+            assert_eq!(k.stat(0, pid, &a), Err(Errno::ENOENT), "round {round}");
+            assert_eq!(k.stat(0, pid, &c), Err(Errno::ENOENT), "round {round}");
+            let st = k.stat(0, pid, &b).unwrap();
+            assert_eq!(st.nlink, 1, "round {round}: leaked link count");
+        }
+    }
+
+    #[test]
+    fn unlinked_inodes_are_reclaimed_by_the_epoch_pass() {
+        let (k, pid) = kernel_with_proc(HostMode::Sv6);
+        k.open(0, pid, "victim", OpenFlags::create()).unwrap();
+        let ino = k.stat(0, pid, "victim").unwrap().ino;
+        k.unlink(1, pid, "victim").unwrap();
+        assert!(k.inode(ino).is_some(), "reclamation must be deferred");
+        assert_eq!(k.reclaim_epoch(), 1);
+        assert!(k.inode(ino).is_none(), "epoch pass must reclaim the inode");
+        // A still-linked inode survives its defer entry (link/unlink pair).
+        k.open(0, pid, "kept", OpenFlags::create()).unwrap();
+        k.link(0, pid, "kept", "extra").unwrap();
+        k.unlink(0, pid, "extra").unwrap();
+        assert_eq!(k.reclaim_epoch(), 0);
+        assert!(k.stat(0, pid, "kept").is_ok());
+    }
+
+    #[test]
+    fn concurrent_creates_from_many_threads_are_safe() {
+        let k = std::sync::Arc::new(HostKernel::new(4, HostMode::Sv6));
+        let pid = k.new_process();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let k = std::sync::Arc::clone(&k);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let name = format!("t{t}-f{i}");
+                        let fd = k
+                            .open(t, pid, &name, OpenFlags::create().with_anyfd())
+                            .unwrap();
+                        k.close(t, pid, fd).unwrap();
+                    }
+                });
+            }
+        });
+        for t in 0..4 {
+            for i in 0..50 {
+                assert!(k.stat(0, pid, &format!("t{t}-f{i}")).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn perform_host_drives_the_kernel_via_sysops() {
+        let (k, pid) = kernel_with_proc(HostMode::Sv6);
+        let res = perform_host(
+            &k,
+            0,
+            &SysOp::Open {
+                pid,
+                name: "via-sysop".into(),
+                flags: OpenFlags::create(),
+            },
+        );
+        assert!(res.is_ok());
+        match perform_host(
+            &k,
+            0,
+            &SysOp::StatPath {
+                pid,
+                name: "via-sysop".into(),
+            },
+        ) {
+            SysResult::Meta(st) => assert_eq!(st.nlink, 1),
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+}

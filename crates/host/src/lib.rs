@@ -1,0 +1,31 @@
+//! # scr-host — the real-threads execution backend
+//!
+//! Everything else in this workspace runs on the *simulated* machine of
+//! `scr-mtrace`, where "cores" are labels and conflicts are counted, not
+//! paid for. This crate reproduces the paper's hardware-validation leg
+//! (§7, Figure 7): the same kernel design patterns, assembled from the
+//! host-atomics twins in `scr_scalable::real`, executed by actual OS
+//! threads, timed with a wall clock.
+//!
+//! * [`kernel::HostKernel`] is a thread-safe implementation of the hot
+//!   subset of `scr_kernel::api` (the 18 `SysOp` calls). It comes in two
+//!   configurations: [`kernel::HostMode::Sv6`] uses the lock-striped
+//!   directory, per-core inode allocation and Refcache-style link counts;
+//!   [`kernel::HostMode::Linuxlike`] runs the same code under one global
+//!   kernel lock, the collapsing baseline.
+//! * [`harness::LoadHarness`] spawns N OS threads, partitions work per
+//!   thread ("core"), and measures real operations per second per core.
+//! * [`workloads`] ports the Figure-7 workloads — statbench, openbench and
+//!   the mail-delivery loop — to run against [`kernel::HostKernel`].
+//! * [`differential`] replays TESTGEN's `ConcreteTest`s on real threads and
+//!   cross-checks every return value against the simulated `Sv6Kernel`,
+//!   closing the loop between the symbolic pipeline and real execution.
+
+pub mod differential;
+pub mod harness;
+pub mod kernel;
+pub mod workloads;
+
+pub use differential::{differential_sample, DifferentialReport, HostReplayer};
+pub use harness::{available_threads, LoadHarness};
+pub use kernel::{perform_host, HostKernel, HostMode, HostOptions};

@@ -1,0 +1,235 @@
+//! The Figure-7 workloads ported to real threads against [`HostKernel`].
+//!
+//! Each workload reproduces the shape of its simulated counterpart in
+//! `scr_bench` but is driven by the [`LoadHarness`]: real threads, real
+//! atomics, wall-clock ops/sec/core. The interesting comparison is always
+//! the same one the paper makes — a configuration whose commutative
+//! operations are conflict-free (per-core / striped structures) against
+//! one that serialises them (a shared lock or a shared cache line).
+
+use crate::harness::LoadHarness;
+use crate::kernel::{HostKernel, HostMode, HostOptions};
+use scr_kernel::api::{OpenFlags, StatMask};
+use scr_mtrace::ScalingPoint;
+use std::sync::Arc;
+
+/// Which statbench variant to run (mirrors `scr_bench::statbench::StatMode`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostStatMode {
+    /// `fstat` with per-core (Refcache-style) link counts.
+    FstatRefcache,
+    /// `fstat` with a single shared link count.
+    FstatSharedCount,
+    /// `fstatx` without `st_nlink` (the §4 commutative variant).
+    FstatxNoNlink,
+}
+
+impl HostStatMode {
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HostStatMode::FstatRefcache => "fstat (Refcache st_nlink)",
+            HostStatMode::FstatSharedCount => "fstat (shared st_nlink)",
+            HostStatMode::FstatxNoNlink => "fstatx (without st_nlink)",
+        }
+    }
+}
+
+/// statbench on real threads: half the threads `fstat`/`fstatx` one shared
+/// file while the other half `link`/`unlink` it under fresh names.
+pub fn statbench(
+    mode: HostMode,
+    stat_mode: HostStatMode,
+    threads: usize,
+    ops_per_thread: u64,
+) -> ScalingPoint {
+    let options = HostOptions {
+        shared_link_counts: matches!(stat_mode, HostStatMode::FstatSharedCount),
+    };
+    let kernel = Arc::new(HostKernel::with_options(threads, mode, options));
+    let pid = kernel.new_process();
+    let fd = kernel
+        .open(0, pid, "statfile", OpenFlags::create())
+        .expect("create statfile");
+    let stat_threads = (threads / 2).max(1);
+    let kernel_ref = &kernel;
+    LoadHarness::new(ops_per_thread).run(threads, move |core, op| {
+        if core < stat_threads {
+            match stat_mode {
+                HostStatMode::FstatxNoNlink => {
+                    kernel_ref
+                        .fstatx(core, pid, fd, StatMask::all_but_nlink())
+                        .expect("fstatx");
+                }
+                _ => {
+                    kernel_ref.fstat(core, pid, fd).expect("fstat");
+                }
+            }
+        } else {
+            let scratch = format!("statlink-{core}-{op}");
+            kernel_ref
+                .link(core, pid, "statfile", &scratch)
+                .expect("link");
+            kernel_ref.unlink(core, pid, &scratch).expect("unlink");
+            // Periodic epoch pass, as a per-core timer tick would run it.
+            if op % 256 == 255 {
+                kernel_ref.reclaim_core(core);
+            }
+        }
+    })
+}
+
+/// openbench on real threads: every thread opens and closes its own
+/// pre-created file, with lowest-FD or `O_ANYFD` allocation.
+pub fn openbench(mode: HostMode, anyfd: bool, threads: usize, ops_per_thread: u64) -> ScalingPoint {
+    let kernel = Arc::new(HostKernel::new(threads, mode));
+    let pid = kernel.new_process();
+    for core in 0..threads {
+        let fd = kernel
+            .open(core, pid, &format!("openbench-{core}"), OpenFlags::create())
+            .expect("create per-core file");
+        kernel.close(core, pid, fd).expect("close");
+    }
+    let kernel_ref = &kernel;
+    LoadHarness::new(ops_per_thread).run(threads, move |core, _op| {
+        let flags = if anyfd {
+            OpenFlags::plain().with_anyfd()
+        } else {
+            OpenFlags::plain()
+        };
+        let fd = kernel_ref
+            .open(core, pid, &format!("openbench-{core}"), flags)
+            .expect("open");
+        kernel_ref.close(core, pid, fd).expect("close");
+    })
+}
+
+/// The mail-delivery hot loop on real threads: every thread enqueues a
+/// message (spool file + envelope), delivers it into a per-mailbox file,
+/// and cleans up the spool — the file-system half of the §7.3 pipeline.
+/// The commutative configuration uses `O_ANYFD`; the regular one uses
+/// lowest-FD allocation from the shared client/qman descriptor tables.
+pub fn mailbench(mode: HostMode, anyfd: bool, threads: usize, ops_per_thread: u64) -> ScalingPoint {
+    let kernel = Arc::new(HostKernel::new(threads, mode));
+    let client = kernel.new_process();
+    let qman = kernel.new_process();
+    let kernel_ref = &kernel;
+    LoadHarness::new(ops_per_thread).run(threads, move |core, op| {
+        let flags = if anyfd {
+            OpenFlags::create().with_anyfd()
+        } else {
+            OpenFlags::create()
+        };
+        let msg_name = format!("queue/msg-{core}-{op}");
+        let env_name = format!("queue/env-{core}-{op}");
+        let mailbox = format!("user{core}");
+        let body = b"message body";
+
+        // mail-enqueue: spool the message and its envelope.
+        let msg_fd = kernel_ref
+            .open(core, client, &msg_name, flags)
+            .expect("msg open");
+        kernel_ref
+            .write(core, client, msg_fd, body)
+            .expect("msg write");
+        kernel_ref.close(core, client, msg_fd).expect("msg close");
+        let env_fd = kernel_ref
+            .open(core, client, &env_name, flags)
+            .expect("env open");
+        kernel_ref
+            .write(
+                core,
+                client,
+                env_fd,
+                format!("{mailbox}\n{msg_name}").as_bytes(),
+            )
+            .expect("env write");
+        kernel_ref.close(core, client, env_fd).expect("env close");
+
+        // mail-qman + mail-deliver: read the spool, write the mailbox file,
+        // clean up the queue.
+        let msg_fd = kernel_ref
+            .open(
+                core,
+                qman,
+                &msg_name,
+                if anyfd {
+                    OpenFlags::plain().with_anyfd()
+                } else {
+                    OpenFlags::plain()
+                },
+            )
+            .expect("qman open");
+        let data = kernel_ref
+            .pread(core, qman, msg_fd, 4096, 0)
+            .expect("qman read");
+        let delivered = format!("mail/{mailbox}/new-{core}-{op}");
+        let out_fd = kernel_ref
+            .open(core, qman, &delivered, flags)
+            .expect("deliver open");
+        kernel_ref
+            .write(core, qman, out_fd, &data)
+            .expect("deliver write");
+        kernel_ref.close(core, qman, out_fd).expect("deliver close");
+        kernel_ref.close(core, qman, msg_fd).expect("qman close");
+        kernel_ref
+            .unlink(core, qman, &msg_name)
+            .expect("unlink msg");
+        kernel_ref
+            .unlink(core, qman, &env_name)
+            .expect("unlink env");
+        // Periodic epoch pass so the spool's unlinked inodes (and their
+        // page caches) are actually freed during long sweeps.
+        if op % 64 == 63 {
+            kernel_ref.reclaim_core(core);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statbench_runs_all_modes_on_two_threads() {
+        for stat_mode in [
+            HostStatMode::FstatRefcache,
+            HostStatMode::FstatSharedCount,
+            HostStatMode::FstatxNoNlink,
+        ] {
+            let point = statbench(HostMode::Sv6, stat_mode, 2, 50);
+            assert_eq!(point.total_ops, 100);
+            assert!(point.ops_per_sec_per_core > 0.0);
+        }
+    }
+
+    #[test]
+    fn openbench_runs_in_both_modes() {
+        for mode in [HostMode::Sv6, HostMode::Linuxlike] {
+            for anyfd in [false, true] {
+                let point = openbench(mode, anyfd, 2, 50);
+                assert_eq!(point.cores, 2);
+                assert!(point.ops_per_sec_per_core > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mailbench_delivers_every_message() {
+        let point = mailbench(HostMode::Sv6, true, 2, 20);
+        assert_eq!(point.total_ops, 40);
+    }
+
+    #[test]
+    fn stat_mode_labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> = [
+            HostStatMode::FstatRefcache,
+            HostStatMode::FstatSharedCount,
+            HostStatMode::FstatxNoNlink,
+        ]
+        .iter()
+        .map(|m| m.label())
+        .collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -32,6 +32,9 @@ pub mod mail;
 pub mod socket;
 pub mod sv6;
 
-pub use api::{Errno, Fd, Ino, KernelApi, KResult, OpenFlags, Pid, Prot, Stat, StatMask, SysOp, SysResult, Whence, PAGE_SIZE};
+pub use api::{
+    Errno, Fd, Ino, KResult, KernelApi, OpenFlags, Pid, Prot, Stat, StatMask, SysOp, SysResult,
+    Whence, PAGE_SIZE,
+};
 pub use linuxlike::LinuxLikeKernel;
 pub use sv6::{Sv6Kernel, Sv6Options};

@@ -137,11 +137,7 @@ impl LinuxLikeKernel {
     }
 
     fn proc(&self, pid: Pid) -> KResult<Rc<Process>> {
-        self.procs
-            .borrow()
-            .get(pid)
-            .cloned()
-            .ok_or(Errno::EINVAL)
+        self.procs.borrow().get(pid).cloned().ok_or(Errno::EINVAL)
     }
 
     fn inode(&self, ino: Ino) -> Option<Rc<Inode>> {
@@ -215,7 +211,10 @@ impl LinuxLikeKernel {
         // Lowest available descriptor under the process-wide table lock.
         proc_.files_lock.with(|| {
             proc_.fd_table.update(|table| {
-                let slot = table.iter().position(|f| f.is_none()).ok_or(Errno::EMFILE)?;
+                let slot = table
+                    .iter()
+                    .position(|f| f.is_none())
+                    .ok_or(Errno::EMFILE)?;
                 table[slot] = Some(file.clone());
                 Ok(slot as Fd)
             })
@@ -249,7 +248,7 @@ impl LinuxLikeKernel {
             if begin < data.len() {
                 out.extend_from_slice(&data[begin..end.min(data.len())]);
             } else {
-                out.extend(std::iter::repeat(0).take(end - begin));
+                out.extend(std::iter::repeat_n(0, end - begin));
             }
         }
         out
@@ -294,9 +293,10 @@ impl KernelApi for LinuxLikeKernel {
     fn new_process(&self) -> Pid {
         let pid = self.procs.borrow().len();
         let proc_ = Rc::new(Process {
-            fd_table: self
-                .machine
-                .cell(format!("proc[{pid}].files.fd_array"), vec![None; FD_TABLE_SIZE]),
+            fd_table: self.machine.cell(
+                format!("proc[{pid}].files.fd_array"),
+                vec![None; FD_TABLE_SIZE],
+            ),
             files_lock: TracedLock::new(&self.machine, format!("proc[{pid}].files.file_lock")),
             vma_table: self
                 .machine
@@ -374,8 +374,7 @@ impl KernelApi for LinuxLikeKernel {
             if self.root_entries.with(|m| m.contains_key(new)) {
                 return Err(Errno::EEXIST);
             }
-            self.root_entries
-                .update(|m| m.insert(new.to_string(), ino));
+            self.root_entries.update(|m| m.insert(new.to_string(), ino));
             self.dentry(new).ino.set(Some(ino));
             inode.nlink.update(|n| *n += 1);
             Ok(())
@@ -675,7 +674,7 @@ impl KernelApi for LinuxLikeKernel {
     }
 
     fn munmap(&self, _core: CoreId, pid: Pid, addr: u64, pages: u64) -> KResult<()> {
-        if addr % PAGE_SIZE != 0 {
+        if !addr.is_multiple_of(PAGE_SIZE) {
             return Err(Errno::EINVAL);
         }
         let proc_ = self.proc(pid)?;
@@ -690,7 +689,7 @@ impl KernelApi for LinuxLikeKernel {
     }
 
     fn mprotect(&self, _core: CoreId, pid: Pid, addr: u64, pages: u64, prot: Prot) -> KResult<()> {
-        if addr % PAGE_SIZE != 0 {
+        if !addr.is_multiple_of(PAGE_SIZE) {
             return Err(Errno::EINVAL);
         }
         let proc_ = self.proc(pid)?;
@@ -973,7 +972,8 @@ mod tests {
         let m = k.machine().clone();
         m.start_tracing();
         m.on_core(0, || {
-            k.mmap(0, pid, None, 1, Prot::rw(), MmapBacking::Anon).unwrap();
+            k.mmap(0, pid, None, 1, Prot::rw(), MmapBacking::Anon)
+                .unwrap();
         });
         m.on_core(1, || {
             k.memread(1, pid, addr).unwrap();
@@ -992,10 +992,12 @@ mod tests {
         let m = k.machine().clone();
         m.start_tracing();
         m.on_core(0, || {
-            k.mmap(0, p1, None, 1, Prot::rw(), MmapBacking::Anon).unwrap();
+            k.mmap(0, p1, None, 1, Prot::rw(), MmapBacking::Anon)
+                .unwrap();
         });
         m.on_core(1, || {
-            k.mmap(1, p2, None, 1, Prot::rw(), MmapBacking::Anon).unwrap();
+            k.mmap(1, p2, None, 1, Prot::rw(), MmapBacking::Anon)
+                .unwrap();
         });
         assert!(m.conflict_report().is_conflict_free());
     }

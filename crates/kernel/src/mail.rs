@@ -89,13 +89,7 @@ impl<'k> MailServer<'k> {
 
     /// `mail-enqueue`: writes the message and envelope to the queue and
     /// notifies the queue manager. Returns the envelope file name.
-    pub fn enqueue(
-        &self,
-        core: CoreId,
-        pid: Pid,
-        mailbox: &str,
-        body: &[u8],
-    ) -> KResult<String> {
+    pub fn enqueue(&self, core: CoreId, pid: Pid, mailbox: &str, body: &[u8]) -> KResult<String> {
         let seq = self.fresh_seq(core);
         let msg_name = format!("queue/msg-{core}-{seq}");
         let env_name = format!("queue/env-{core}-{seq}");
@@ -157,13 +151,7 @@ impl<'k> MailServer<'k> {
 
     /// `mail-deliver`: writes `body` into a fresh file in `mailbox`'s
     /// Maildir. Returns the delivered file name.
-    pub fn deliver(
-        &self,
-        core: CoreId,
-        pid: Pid,
-        mailbox: &str,
-        body: &[u8],
-    ) -> KResult<String> {
+    pub fn deliver(&self, core: CoreId, pid: Pid, mailbox: &str, body: &[u8]) -> KResult<String> {
         let seq = self.fresh_seq(core);
         let name = format!("mail/{mailbox}/new-{core}-{seq}");
         let fd = self
@@ -192,8 +180,8 @@ impl<'k> MailServer<'k> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sv6::Sv6Kernel;
     use crate::linuxlike::LinuxLikeKernel;
+    use crate::sv6::Sv6Kernel;
 
     fn run_end_to_end(kernel: &dyn KernelApi, config: MailConfig) {
         let client = kernel.new_process();

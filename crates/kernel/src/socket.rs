@@ -89,9 +89,7 @@ impl SocketTable {
         let sockets = self.sockets.borrow();
         let socket = sockets.get(sock).ok_or(Errno::EBADF)?;
         match socket {
-            Socket::Ordered { queue } => queue
-                .update(|q| q.pop_front())
-                .ok_or(Errno::EAGAIN),
+            Socket::Ordered { queue } => queue.update(|q| q.pop_front()).ok_or(Errno::EAGAIN),
             Socket::Unordered { queues } => {
                 // Drain the local queue first (conflict-free in the common
                 // case), then fall back to stealing from other cores.

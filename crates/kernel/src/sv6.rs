@@ -255,11 +255,7 @@ impl Sv6Kernel {
     }
 
     fn proc(&self, pid: Pid) -> KResult<Rc<Process>> {
-        self.procs
-            .borrow()
-            .get(pid)
-            .cloned()
-            .ok_or(Errno::EINVAL)
+        self.procs.borrow().get(pid).cloned().ok_or(Errno::EINVAL)
     }
 
     fn inode(&self, ino: Ino) -> Option<Rc<Inode>> {
@@ -295,7 +291,13 @@ impl Sv6Kernel {
     /// Allocates a descriptor slot. With `anyfd` the search is restricted to
     /// the invoking core's partition (conflict-free across cores); otherwise
     /// the lowest free slot is claimed, which requires scanning from 0.
-    fn alloc_fd(&self, core: CoreId, proc_: &Process, file: Rc<OpenFile>, anyfd: bool) -> KResult<Fd> {
+    fn alloc_fd(
+        &self,
+        core: CoreId,
+        proc_: &Process,
+        file: Rc<OpenFile>,
+        anyfd: bool,
+    ) -> KResult<Fd> {
         let (start, end) = if anyfd {
             let core = core % self.cores;
             (core * FDS_PER_CORE, (core + 1) * FDS_PER_CORE)
@@ -391,7 +393,7 @@ impl Sv6Kernel {
     }
 
     fn vpn_of(addr: u64) -> KResult<u64> {
-        if addr % PAGE_SIZE != 0 {
+        if !addr.is_multiple_of(PAGE_SIZE) {
             return Err(Errno::EINVAL);
         }
         Ok(addr / PAGE_SIZE)
@@ -658,9 +660,8 @@ impl KernelApi for Sv6Kernel {
             }
             FileObj::PipeWrite(_) => Err(Errno::EBADF),
         }
-        .map(|data| {
+        .inspect(|_data| {
             let _ = core;
-            data
         })
     }
 
@@ -740,10 +741,9 @@ impl KernelApi for Sv6Kernel {
         for i in 0..pages {
             let vpn = base_vpn + i;
             let backing = match file_ino {
-                None => PageBacking::Anon(
-                    self.machine
-                        .cell(format!("proc[{pid}].page[{vpn}]"), 0u8),
-                ),
+                None => {
+                    PageBacking::Anon(self.machine.cell(format!("proc[{pid}].page[{vpn}]"), 0u8))
+                }
                 Some(ino) => PageBacking::File { ino, file_page: i },
             };
             proc_
@@ -1023,7 +1023,14 @@ mod tests {
     fn mprotect_blocks_writes() {
         let (k, pid) = kernel_with_proc();
         let addr = k
-            .mmap(0, pid, Some(16 * PAGE_SIZE), 1, Prot::rw(), MmapBacking::Anon)
+            .mmap(
+                0,
+                pid,
+                Some(16 * PAGE_SIZE),
+                1,
+                Prot::rw(),
+                MmapBacking::Anon,
+            )
             .unwrap();
         assert_eq!(addr, 16 * PAGE_SIZE);
         k.mprotect(0, pid, addr, 1, Prot::ro()).unwrap();
@@ -1149,10 +1156,12 @@ mod tests {
         let m = k.machine().clone();
         m.start_tracing();
         m.on_core(0, || {
-            k.mmap(0, p1, None, 4, Prot::rw(), MmapBacking::Anon).unwrap();
+            k.mmap(0, p1, None, 4, Prot::rw(), MmapBacking::Anon)
+                .unwrap();
         });
         m.on_core(1, || {
-            k.mmap(1, p2, None, 4, Prot::rw(), MmapBacking::Anon).unwrap();
+            k.mmap(1, p2, None, 4, Prot::rw(), MmapBacking::Anon)
+                .unwrap();
         });
         assert!(m.conflict_report().is_conflict_free());
     }
@@ -1163,10 +1172,12 @@ mod tests {
         let m = k.machine().clone();
         m.start_tracing();
         m.on_core(0, || {
-            k.mmap(0, pid, None, 2, Prot::rw(), MmapBacking::Anon).unwrap();
+            k.mmap(0, pid, None, 2, Prot::rw(), MmapBacking::Anon)
+                .unwrap();
         });
         m.on_core(1, || {
-            k.mmap(1, pid, None, 2, Prot::rw(), MmapBacking::Anon).unwrap();
+            k.mmap(1, pid, None, 2, Prot::rw(), MmapBacking::Anon)
+                .unwrap();
         });
         assert!(m.conflict_report().is_conflict_free());
     }
@@ -1179,12 +1190,26 @@ mod tests {
         let m = k.machine().clone();
         m.start_tracing();
         m.on_core(0, || {
-            k.mmap(0, pid, Some(32 * PAGE_SIZE), 1, Prot::rw(), MmapBacking::Anon)
-                .unwrap();
+            k.mmap(
+                0,
+                pid,
+                Some(32 * PAGE_SIZE),
+                1,
+                Prot::rw(),
+                MmapBacking::Anon,
+            )
+            .unwrap();
         });
         m.on_core(1, || {
-            k.mmap(1, pid, Some(32 * PAGE_SIZE), 1, Prot::rw(), MmapBacking::Anon)
-                .unwrap();
+            k.mmap(
+                1,
+                pid,
+                Some(32 * PAGE_SIZE),
+                1,
+                Prot::rw(),
+                MmapBacking::Anon,
+            )
+            .unwrap();
         });
         assert!(!m.conflict_report().is_conflict_free());
     }

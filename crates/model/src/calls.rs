@@ -245,7 +245,8 @@ impl SymCall {
     /// offsets stay inside the modelled file size).
     pub fn argument_assumptions(&self, file_pages: usize) -> Vec<SymBool> {
         let in_range = |v: &SymInt, lo: i64, hi: i64| {
-            v.ge(&SymInt::from_i64(lo)).and(&v.le(&SymInt::from_i64(hi)))
+            v.ge(&SymInt::from_i64(lo))
+                .and(&v.le(&SymInt::from_i64(hi)))
         };
         match self.kind {
             CallKind::Lseek => vec![in_range(&self.ints[0], 0, file_pages as i64)],
@@ -337,12 +338,7 @@ pub fn execute(
 
 /// Allocates the lowest closed descriptor slot of `proc`, pointing it at
 /// `ino` with offset 0. Returns the chosen slot or `EMFILE`.
-fn alloc_lowest_fd(
-    state: &mut SymState,
-    path: &mut PathCtx,
-    proc: usize,
-    ino: &SymInt,
-) -> SymRet {
+fn alloc_lowest_fd(state: &mut SymState, path: &mut PathCtx, proc: usize, ino: &SymInt) -> SymRet {
     for k in 0..state.cfg.fds_per_proc {
         let open = state.procs[proc].fds[k].open.clone();
         if !path.branch(&open) {
@@ -1010,8 +1006,7 @@ mod tests {
         assert_eq!(CallKind::Rename.name_args(), 2);
         assert_eq!(CallKind::Pwrite.fd_args(), 1);
         assert_eq!(CallKind::Memwrite.vm_args(), 1);
-        let names: std::collections::BTreeSet<&str> =
-            ALL_CALLS.iter().map(|c| c.name()).collect();
+        let names: std::collections::BTreeSet<&str> = ALL_CALLS.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), 18, "call names must be unique");
     }
 }

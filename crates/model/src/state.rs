@@ -295,11 +295,7 @@ impl SymState {
             let last = inode.pages.len() - 1;
             let mut acc = inode.pages[last].clone();
             for p in (0..last).rev() {
-                acc = SymInt::ite(
-                    &page.eq(&SymInt::from_i64(p as i64)),
-                    &inode.pages[p],
-                    &acc,
-                );
+                acc = SymInt::ite(&page.eq(&SymInt::from_i64(p as i64)), &inode.pages[p], &acc);
             }
             acc
         })
@@ -365,25 +361,22 @@ impl SymState {
         for (pa, pb) in self.procs.iter().zip(&other.procs) {
             for (a, b) in pa.fds.iter().zip(&pb.fds) {
                 parts.push(a.open.iff(&b.open));
-                let same_target = a
-                    .is_pipe
-                    .iff(&b.is_pipe)
-                    .and(&a.is_pipe.ite(
-                        &a.pipe_write_end.iff(&b.pipe_write_end),
-                        &a.ino.eq(&b.ino).and(&a.off.eq(&b.off)),
-                    ));
+                let same_target = a.is_pipe.iff(&b.is_pipe).and(&a.is_pipe.ite(
+                    &a.pipe_write_end.iff(&b.pipe_write_end),
+                    &a.ino.eq(&b.ino).and(&a.off.eq(&b.off)),
+                ));
                 parts.push(a.open.implies(&same_target));
             }
             for (a, b) in pa.vm.iter().zip(&pb.vm) {
                 parts.push(a.mapped.iff(&b.mapped));
-                let same_mapping = a
-                    .writable
-                    .iff(&b.writable)
-                    .and(&a.anon.iff(&b.anon))
-                    .and(&a.anon.ite(
-                        &a.value.eq(&b.value),
-                        &a.ino.eq(&b.ino).and(&a.file_page.eq(&b.file_page)),
-                    ));
+                let same_mapping =
+                    a.writable
+                        .iff(&b.writable)
+                        .and(&a.anon.iff(&b.anon))
+                        .and(&a.anon.ite(
+                            &a.value.eq(&b.value),
+                            &a.ino.eq(&b.ino).and(&a.file_page.eq(&b.file_page)),
+                        ));
                 parts.push(a.mapped.implies(&same_mapping));
             }
         }
@@ -472,7 +465,10 @@ mod tests {
         // check the contrapositive: which == 1 && read != inode1.nlink is
         // unsatisfiable.
         let neq = read.ne(&state.inodes[1].nlink);
-        let constraints = vec![idx.eq(&SymInt::from_i64(1)).expr().clone(), neq.expr().clone()];
+        let constraints = vec![
+            idx.eq(&SymInt::from_i64(1)).expr().clone(),
+            neq.expr().clone(),
+        ];
         assert!(solve(&constraints, &Domains::new(vec![0, 1, 2, 3])).is_none());
     }
 

@@ -319,7 +319,10 @@ mod tests {
         });
         let report = m.conflict_report();
         assert!(!report.is_conflict_free());
-        assert_eq!(report.conflicting_labels(), vec!["file.refcount".to_string()]);
+        assert_eq!(
+            report.conflicting_labels(),
+            vec!["file.refcount".to_string()]
+        );
     }
 
     #[test]
@@ -340,7 +343,9 @@ mod tests {
     #[test]
     fn per_core_cells_are_conflict_free() {
         let m = SimMachine::new();
-        let cells: Vec<_> = (0..4).map(|c| m.cell(format!("percore[{c}]"), 0u64)).collect();
+        let cells: Vec<_> = (0..4)
+            .map(|c| m.cell(format!("percore[{c}]"), 0u64))
+            .collect();
         m.start_tracing();
         for (core, cell) in cells.iter().enumerate() {
             m.on_core(core, || {

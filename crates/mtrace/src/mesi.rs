@@ -139,9 +139,7 @@ impl MesiSimulator {
                         // memory or a silent downgrade; we count it as a
                         // remote transfer only when a Modified copy exists,
                         // otherwise as a cold miss (shared reads scale).
-                        let had_modified = others
-                            .iter()
-                            .any(|(_, s)| *s == LineState::Modified);
+                        let had_modified = others.iter().any(|(_, s)| *s == LineState::Modified);
                         for (other, s) in others {
                             if s != LineState::Shared {
                                 self.set_state(line, other, LineState::Shared);

@@ -99,12 +99,7 @@ impl ThroughputModel {
 
     /// Replays `accesses` (recorded by running `ops_per_core` operations on
     /// each of `cores` cores) and returns the resulting scaling point.
-    pub fn evaluate(
-        &self,
-        accesses: &[Access],
-        cores: usize,
-        ops_per_core: u64,
-    ) -> ScalingPoint {
+    pub fn evaluate(&self, accesses: &[Access], cores: usize, ops_per_core: u64) -> ScalingPoint {
         let p = &self.params;
         let mut mesi = MesiSimulator::new();
         let mut core_time: BTreeMap<CoreId, f64> = BTreeMap::new();

@@ -92,11 +92,7 @@ impl ConflictReport {
 
     /// Labels of the conflicting lines (deduplicated, sorted).
     pub fn conflicting_labels(&self) -> Vec<String> {
-        let mut labels: Vec<String> = self
-            .shared_lines
-            .iter()
-            .map(|l| l.label.clone())
-            .collect();
+        let mut labels: Vec<String> = self.shared_lines.iter().map(|l| l.label.clone()).collect();
         labels.sort();
         labels.dedup();
         labels

@@ -31,6 +31,7 @@ pub use defer::DeferQueue;
 pub use hash_dir::HashDir;
 pub use percore_alloc::{FdAllocator, FdMode, InodeAllocator};
 pub use radix_array::RadixArray;
+pub use real::{HostFdAllocator, HostInodeAllocator, StripedHashDir};
 pub use refcache::Refcache;
 pub use seqlock::SeqLock;
 pub use sharded_counter::ShardedCounter;

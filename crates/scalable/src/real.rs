@@ -8,8 +8,10 @@
 //! counters scale where a single shared counter does not (the §7.2
 //! observation that even one contended cache line wrecks scalability).
 
+use crate::percore_alloc::FdMode;
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicI64, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A single shared atomic counter — the non-scalable baseline.
 #[derive(Debug, Default)]
@@ -44,7 +46,9 @@ impl PerCoreCounter {
     /// A counter with `shards` cache-line-padded shards.
     pub fn new(shards: usize) -> Self {
         PerCoreCounter {
-            shards: (0..shards.max(1)).map(|_| CachePadded::new(AtomicI64::new(0))).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| CachePadded::new(AtomicI64::new(0)))
+                .collect(),
         }
     }
 
@@ -78,7 +82,9 @@ impl PerCoreRefcount {
     pub fn new(cores: usize, initial: i64) -> Self {
         PerCoreRefcount {
             global: CachePadded::new(AtomicI64::new(initial)),
-            deltas: (0..cores.max(1)).map(|_| CachePadded::new(AtomicI64::new(0))).collect(),
+            deltas: (0..cores.max(1))
+                .map(|_| CachePadded::new(AtomicI64::new(0)))
+                .collect(),
         }
     }
 
@@ -117,6 +123,310 @@ impl PerCoreRefcount {
     }
 }
 
+/// Host twin of [`crate::InodeAllocator`]: never-reused inode numbers from
+/// per-core atomic counters, with the **same numbering scheme**
+/// (`(counter << 8) | core`) so a host kernel and the simulated kernel hand
+/// out identical inode numbers for identical per-core allocation sequences —
+/// which is what lets the differential runner compare `stat` results
+/// bit-for-bit.
+#[derive(Debug)]
+pub struct HostInodeAllocator {
+    counters: Vec<CachePadded<AtomicU64>>,
+}
+
+impl HostInodeAllocator {
+    /// Allocator with one counter per core.
+    pub fn new(cores: usize) -> Self {
+        HostInodeAllocator {
+            counters: (0..cores.max(1))
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Allocates a fresh inode number on `core`: `(counter << 8) | core`.
+    /// The counter is pre-incremented, matching the traced allocator (whose
+    /// `fetch_update` returns the updated value), so the first number on
+    /// core 0 is `1 << 8`.
+    pub fn alloc(&self, core: usize) -> u64 {
+        let cores = self.counters.len() as u64;
+        let core = core as u64 % cores;
+        let count = self.counters[core as usize].fetch_add(1, Ordering::Relaxed) + 1;
+        (count << 8) | core
+    }
+}
+
+/// Host twin of [`crate::FdAllocator`]: a descriptor bitmap in either the
+/// POSIX lowest-FD mode (one shared bitmap behind one lock — every
+/// allocation serialises) or the `O_ANYFD` mode (per-core cache-padded
+/// partitions — allocations from different cores never touch the same
+/// line).
+#[derive(Debug)]
+pub struct HostFdAllocator {
+    mode: FdMode,
+    shared: Mutex<Vec<bool>>,
+    per_core: Vec<CachePadded<Mutex<Vec<bool>>>>,
+    partition: usize,
+}
+
+impl HostFdAllocator {
+    /// Builds a table with `cores * partition` descriptors.
+    pub fn new(cores: usize, partition: usize, mode: FdMode) -> Self {
+        let cores = cores.max(1);
+        HostFdAllocator {
+            mode,
+            shared: Mutex::new(vec![false; cores * partition]),
+            per_core: (0..cores)
+                .map(|_| CachePadded::new(Mutex::new(vec![false; partition])))
+                .collect(),
+            partition,
+        }
+    }
+
+    /// The allocation policy in force.
+    pub fn mode(&self) -> FdMode {
+        self.mode
+    }
+
+    /// Total descriptor capacity.
+    pub fn capacity(&self) -> usize {
+        self.per_core.len() * self.partition
+    }
+
+    /// Allocates a descriptor on behalf of `core`. Returns `None` when the
+    /// table (or, in `Any` mode, the core's partition) is exhausted.
+    pub fn alloc(&self, core: usize) -> Option<u32> {
+        match self.mode {
+            FdMode::Lowest => {
+                let mut bitmap = self.shared.lock();
+                let slot = bitmap.iter().position(|used| !used)?;
+                bitmap[slot] = true;
+                Some(slot as u32)
+            }
+            FdMode::Any => {
+                let core = core % self.per_core.len();
+                let mut bitmap = self.per_core[core].lock();
+                let slot = bitmap.iter().position(|used| !used)?;
+                bitmap[slot] = true;
+                Some((core * self.partition + slot) as u32)
+            }
+        }
+    }
+
+    /// Releases a descriptor. Returns `false` if it was not allocated.
+    pub fn free(&self, fd: u32) -> bool {
+        let fd = fd as usize;
+        if fd >= self.capacity() {
+            return false;
+        }
+        match self.mode {
+            FdMode::Lowest => {
+                let mut bitmap = self.shared.lock();
+                let was = bitmap[fd];
+                bitmap[fd] = false;
+                was
+            }
+            FdMode::Any => {
+                let mut bitmap = self.per_core[fd / self.partition].lock();
+                let slot = fd % self.partition;
+                let was = bitmap[slot];
+                bitmap[slot] = false;
+                was
+            }
+        }
+    }
+
+    /// Number of allocated descriptors.
+    pub fn allocated(&self) -> usize {
+        match self.mode {
+            FdMode::Lowest => self.shared.lock().iter().filter(|u| **u).count(),
+            FdMode::Any => self
+                .per_core
+                .iter()
+                .map(|c| c.lock().iter().filter(|u| **u).count())
+                .sum(),
+        }
+    }
+}
+
+/// Host twin of [`crate::HashDir`]: a string-keyed hash map with one
+/// reader-writer lock per cache-padded stripe, using the **same FNV-1a
+/// hash** as the traced directory so bucket placement (and therefore the
+/// "barring hash collisions" caveat) is identical between the simulated and
+/// host kernels.
+#[derive(Debug)]
+pub struct StripedHashDir<V> {
+    stripes: Vec<Stripe<V>>,
+}
+
+/// One cache-padded, independently locked stripe of entries.
+type Stripe<V> = CachePadded<RwLock<Vec<(String, V)>>>;
+
+impl<V: Clone> StripedHashDir<V> {
+    /// Allocates a directory with `stripes` lock stripes.
+    pub fn new(stripes: usize) -> Self {
+        assert!(stripes > 0, "need at least one stripe");
+        StripedHashDir {
+            stripes: (0..stripes)
+                .map(|_| CachePadded::new(RwLock::new(Vec::new())))
+                .collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe index a key maps to — the same FNV-1a hash as the traced
+    /// [`crate::HashDir`], so bucket placement (and the "barring hash
+    /// collisions" caveat) is identical between the simulated and host
+    /// kernels.
+    pub fn stripe_of(&self, key: &str) -> usize {
+        (crate::hash_dir::fnv1a(key) % self.stripes.len() as u64) as usize
+    }
+
+    /// Looks up a key (shared lock on the key's stripe only).
+    pub fn get(&self, key: &str) -> Option<V> {
+        let entries = self.stripes[self.stripe_of(key)].read();
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Does the key exist?
+    pub fn contains(&self, key: &str) -> bool {
+        let entries = self.stripes[self.stripe_of(key)].read();
+        entries.iter().any(|(k, _)| k == key)
+    }
+
+    /// Inserts a key if absent. Returns `true` if inserted, `false` if the
+    /// key already existed.
+    pub fn insert_if_absent(&self, key: &str, value: V) -> bool {
+        let stripe = &self.stripes[self.stripe_of(key)];
+        // Optimistic read-only probe before the exclusive lock ("precede
+        // pessimism with optimism"), as in the traced variant.
+        if stripe.read().iter().any(|(k, _)| k == key) {
+            return false;
+        }
+        let mut entries = stripe.write();
+        if entries.iter().any(|(k, _)| k == key) {
+            false
+        } else {
+            entries.push((key.to_string(), value));
+            true
+        }
+    }
+
+    /// Unconditionally inserts or replaces a key's value.
+    pub fn upsert(&self, key: &str, value: V) {
+        let mut entries = self.stripes[self.stripe_of(key)].write();
+        if let Some(entry) = entries.iter_mut().find(|(k, _)| k == key) {
+            entry.1 = value;
+        } else {
+            entries.push((key.to_string(), value));
+        }
+    }
+
+    /// Removes a key, returning its value if it was present.
+    pub fn remove(&self, key: &str) -> Option<V> {
+        let stripe = &self.stripes[self.stripe_of(key)];
+        if !stripe.read().iter().any(|(k, _)| k == key) {
+            return None;
+        }
+        let mut entries = stripe.write();
+        let pos = entries.iter().position(|(k, _)| k == key)?;
+        Some(entries.remove(pos).1)
+    }
+
+    /// Number of entries across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when the directory holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `f` with the stripes of `key_a` and `key_b` exclusively locked
+    /// (in canonical index order, so concurrent callers cannot deadlock;
+    /// one lock when both keys share a stripe). The view routes operations
+    /// on either key — and only those keys — to the right stripe, giving
+    /// atomic multi-key updates such as rename.
+    pub fn with_pair_locked<R>(
+        &self,
+        key_a: &str,
+        key_b: &str,
+        f: impl FnOnce(&mut LockedPair<'_, V>) -> R,
+    ) -> R {
+        let ia = self.stripe_of(key_a);
+        let ib = self.stripe_of(key_b);
+        let (lo, hi) = (ia.min(ib), ia.max(ib));
+        let first = self.stripes[lo].write();
+        let second = if hi != lo {
+            Some(self.stripes[hi].write())
+        } else {
+            None
+        };
+        let mut pair = LockedPair {
+            lo,
+            hi,
+            first,
+            second,
+        };
+        f(&mut pair)
+    }
+}
+
+/// Exclusive access to one or two stripes of a [`StripedHashDir`], handed
+/// to [`StripedHashDir::with_pair_locked`] callbacks.
+pub struct LockedPair<'a, V> {
+    lo: usize,
+    hi: usize,
+    first: parking_lot::RwLockWriteGuard<'a, Vec<(String, V)>>,
+    second: Option<parking_lot::RwLockWriteGuard<'a, Vec<(String, V)>>>,
+}
+
+impl<V: Clone> LockedPair<'_, V> {
+    fn entries_for(&mut self, stripe: usize) -> &mut Vec<(String, V)> {
+        if stripe == self.lo {
+            &mut self.first
+        } else {
+            assert_eq!(stripe, self.hi, "key outside the locked stripes");
+            self.second
+                .as_mut()
+                .expect("two distinct stripes were locked")
+        }
+    }
+
+    /// Looks up a key in the locked stripes.
+    pub fn get(&mut self, key: &str, stripe: usize) -> Option<V> {
+        self.entries_for(stripe)
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Inserts or replaces a key in the locked stripes.
+    pub fn upsert(&mut self, key: &str, stripe: usize, value: V) {
+        let entries = self.entries_for(stripe);
+        if let Some(entry) = entries.iter_mut().find(|(k, _)| k == key) {
+            entry.1 = value;
+        } else {
+            entries.push((key.to_string(), value));
+        }
+    }
+
+    /// Removes a key from the locked stripes.
+    pub fn remove(&mut self, key: &str, stripe: usize) -> Option<V> {
+        let entries = self.entries_for(stripe);
+        let pos = entries.iter().position(|(k, _)| k == key)?;
+        Some(entries.remove(pos).1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +459,73 @@ mod tests {
         assert_eq!(rc.read_exact(), 2);
         assert_eq!(rc.flush(), 2);
         assert_eq!(rc.read_reconciled(), 2);
+    }
+
+    #[test]
+    fn host_inode_allocator_matches_the_traced_numbering() {
+        use crate::percore_alloc::InodeAllocator;
+        use scr_mtrace::SimMachine;
+        let m = SimMachine::new();
+        let traced = InodeAllocator::new(&m, "t", 4);
+        let host = HostInodeAllocator::new(4);
+        for core in [0usize, 1, 0, 2, 3, 1, 0] {
+            assert_eq!(traced.alloc(core), host.alloc(core));
+        }
+    }
+
+    #[test]
+    fn host_fd_allocator_lowest_and_any_modes() {
+        let lowest = HostFdAllocator::new(2, 8, FdMode::Lowest);
+        assert_eq!(lowest.alloc(0), Some(0));
+        assert_eq!(lowest.alloc(1), Some(1));
+        assert!(lowest.free(0));
+        assert_eq!(lowest.alloc(1), Some(0), "lowest free fd must be reused");
+        let any = HostFdAllocator::new(4, 8, FdMode::Any);
+        let fd = any.alloc(2).unwrap();
+        assert_eq!(fd as usize / 8, 2, "fd must come from core 2's partition");
+        assert_eq!(any.allocated(), 1);
+        assert!(any.free(fd));
+        assert!(!any.free(99));
+    }
+
+    #[test]
+    fn striped_dir_matches_traced_hash_and_semantics() {
+        use crate::hash_dir::HashDir;
+        use scr_mtrace::SimMachine;
+        let m = SimMachine::new();
+        let traced: HashDir<u64> = HashDir::new(&m, "d", 64);
+        let host: StripedHashDir<u64> = StripedHashDir::new(64);
+        for i in 0..32 {
+            let key = format!("file-{i}");
+            assert_eq!(traced.bucket_of(&key), host.stripe_of(&key));
+        }
+        assert!(host.insert_if_absent("a", 1));
+        assert!(!host.insert_if_absent("a", 2));
+        assert_eq!(host.get("a"), Some(1));
+        assert!(host.contains("a"));
+        host.upsert("a", 3);
+        assert_eq!(host.get("a"), Some(3));
+        assert_eq!(host.remove("a"), Some(3));
+        assert_eq!(host.remove("a"), None);
+        assert!(host.is_empty());
+    }
+
+    #[test]
+    fn striped_dir_is_thread_safe() {
+        let dir: Arc<StripedHashDir<u64>> = Arc::new(StripedHashDir::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let dir = Arc::clone(&dir);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let key = format!("t{t}-k{i}");
+                        assert!(dir.insert_if_absent(&key, t * 1000 + i));
+                        assert_eq!(dir.get(&key), Some(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(dir.len(), 400);
     }
 
     #[test]

@@ -185,7 +185,11 @@ where
 /// 2. there is a final state reachable by the original order such that every
 ///    reordering can reach an equivalent state (for some choice of the
 ///    model's non-deterministic outcomes).
-pub fn si_commutes<M>(model: &M, x: &History<M::Inv, M::Resp>, y: &History<M::Inv, M::Resp>) -> CommutativityReport
+pub fn si_commutes<M>(
+    model: &M,
+    x: &History<M::Inv, M::Resp>,
+    y: &History<M::Inv, M::Resp>,
+) -> CommutativityReport
 where
     M: SeqSpecModel,
     M::Inv: PartialEq,
@@ -269,7 +273,11 @@ where
 /// `x` and `y` must be sequential histories. Prefixes are taken at operation
 /// granularity (an invocation and its response move together), which is the
 /// granularity at which the POSIX analysis of §5–6 operates.
-pub fn sim_commutes<M>(model: &M, x: &History<M::Inv, M::Resp>, y: &History<M::Inv, M::Resp>) -> CommutativityReport
+pub fn sim_commutes<M>(
+    model: &M,
+    x: &History<M::Inv, M::Resp>,
+    y: &History<M::Inv, M::Resp>,
+) -> CommutativityReport
 where
     M: SeqSpecModel,
     M::Inv: PartialEq,
@@ -307,9 +315,12 @@ pub fn op_level_reorderings<I: Clone + PartialEq, R: Clone + PartialEq>(
     y.well_formed_reorderings()
         .into_iter()
         .filter(|h| {
-            h.actions()
-                .chunks(2)
-                .all(|c| c.len() == 2 && c[0].is_invocation() && c[1].is_response() && c[0].thread == c[1].thread)
+            h.actions().chunks(2).all(|c| {
+                c.len() == 2
+                    && c[0].is_invocation()
+                    && c[1].is_response()
+                    && c[0].thread == c[1].thread
+            })
         })
         .collect()
 }

@@ -171,7 +171,12 @@ mod tests {
     use super::*;
     use crate::implementation::{Invocation, Response};
 
-    fn record(index: usize, thread: usize, reads: &[usize], writes: &[usize]) -> StepRecord<(), ()> {
+    fn record(
+        index: usize,
+        thread: usize,
+        reads: &[usize],
+        writes: &[usize],
+    ) -> StepRecord<(), ()> {
         StepRecord {
             thread,
             invocation: Invocation::Op(()),

@@ -28,7 +28,9 @@
 
 use crate::action::{Action, ThreadId};
 use crate::history::History;
-use crate::implementation::{Invocation, Response, Runner, StateCtx, StepImplementation, StepRecord};
+use crate::implementation::{
+    Invocation, Response, Runner, StateCtx, StepImplementation, StepRecord,
+};
 use crate::model::DetModel;
 use std::collections::VecDeque;
 
@@ -126,7 +128,9 @@ impl<M: DetModel> NonScalable<M> {
         let consumed = self.target.len() - remaining_len;
         let mut state = self.model.initial();
         for action in self.target.prefix(consumed).invocations() {
-            let inv = action.invocation().expect("invocations() yields invocations");
+            let inv = action
+                .invocation()
+                .expect("invocations() yields invocations");
             self.model.apply(&mut state, action.thread, inv);
         }
         state
@@ -353,7 +357,10 @@ where
         inv: &Invocation<Self::I>,
     ) -> Response<Self::R> {
         let t = thread;
-        assert!(t < self.threads, "thread {t} out of range for constructed machine");
+        assert!(
+            t < self.threads,
+            "thread {t} out of range for constructed machine"
+        );
         let hist_idx = self.hist_component(t);
         let flag_idx = self.flag_component(t);
         let ref_idx = self.ref_component();
@@ -497,10 +504,10 @@ where
 
 /// The steps a runner took for the actions `range` of a replayed history
 /// (one step per action).
-pub fn steps_for_range<'l, I, R>(
-    log: &'l [StepRecord<I, R>],
+pub fn steps_for_range<I, R>(
+    log: &[StepRecord<I, R>],
     range: std::ops::Range<usize>,
-) -> Vec<&'l StepRecord<I, R>> {
+) -> Vec<&StepRecord<I, R>> {
     log[range].iter().collect()
 }
 
@@ -511,7 +518,9 @@ mod tests {
     use crate::commutativity::sim_commutes;
     use crate::conflict::find_conflicts;
     use crate::history::History;
-    use crate::model::{Det, PutMaxModel, PutMaxOp, PutMaxResp, RegisterModel, RegisterOp, RegisterResp};
+    use crate::model::{
+        Det, PutMaxModel, PutMaxOp, PutMaxResp, RegisterModel, RegisterOp, RegisterResp,
+    };
     use crate::spec::{RefSpec, Specification};
 
     fn seq_history<I: Clone, R: Clone>(ops: &[(usize, I, R)]) -> History<I, R> {
@@ -596,7 +605,10 @@ mod tests {
             assert_eq!(outcome, ReplayOutcome::Matched, "reordering must replay");
             let y_steps = steps_for_range(runner.log(), x.len()..x.len() + y_prime.len());
             let report = find_conflicts(&y_steps, |c| m.component_label(c));
-            assert!(report.is_conflict_free(), "reordering region must be conflict-free");
+            assert!(
+                report.is_conflict_free(),
+                "reordering region must be conflict-free"
+            );
         }
     }
 

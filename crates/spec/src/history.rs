@@ -113,7 +113,7 @@ impl<I: Clone, R: Clone> History<I, R> {
             return false;
         }
         for t in self.threads() {
-            if self.restrict(t).len() % 2 != 0 {
+            if !self.restrict(t).len().is_multiple_of(2) {
                 return false;
             }
         }
@@ -164,10 +164,8 @@ impl<I: Clone, R: Clone> History<I, R> {
     /// only ever reorders the commutative region under test).
     pub fn reorderings(&self) -> Vec<Self> {
         let threads = self.threads();
-        let per_thread: Vec<Vec<Action<I, R>>> = threads
-            .iter()
-            .map(|&t| self.restrict(t).actions)
-            .collect();
+        let per_thread: Vec<Vec<Action<I, R>>> =
+            threads.iter().map(|&t| self.restrict(t).actions).collect();
         let total: usize = per_thread.iter().map(|v| v.len()).sum();
         let mut out = Vec::new();
         let mut cursor = vec![0usize; per_thread.len()];

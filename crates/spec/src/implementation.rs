@@ -153,7 +153,12 @@ impl<I: fmt::Debug, R: fmt::Debug> fmt::Display for StepRecord<I, R> {
         write!(
             f,
             "step {} t{}: {:?} -> {:?} (r={:?} w={:?})",
-            self.index, self.thread, self.invocation, self.response, self.accesses.reads, self.accesses.writes
+            self.index,
+            self.thread,
+            self.invocation,
+            self.response,
+            self.accesses.reads,
+            self.accesses.writes
         )
     }
 }

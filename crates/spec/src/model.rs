@@ -251,15 +251,12 @@ impl SeqSpecModel for FdAllocModel {
         Vec::new()
     }
 
-    fn outcomes(
-        &self,
-        state: &Vec<u32>,
-        _thread: ThreadId,
-        inv: &FdOp,
-    ) -> Vec<(FdResp, Vec<u32>)> {
+    fn outcomes(&self, state: &Vec<u32>, _thread: ThreadId, inv: &FdOp) -> Vec<(FdResp, Vec<u32>)> {
         match inv {
             FdOp::Alloc => {
-                let free: Vec<u32> = (0..self.capacity).filter(|fd| !state.contains(fd)).collect();
+                let free: Vec<u32> = (0..self.capacity)
+                    .filter(|fd| !state.contains(fd))
+                    .collect();
                 match self.policy {
                     FdPolicy::Lowest => free
                         .first()
@@ -302,10 +299,7 @@ mod tests {
         let m = RegisterModel;
         let mut s = m.initial();
         assert_eq!(m.apply(&mut s, 0, &RegisterOp::Set(7)), RegisterResp::Ok);
-        assert_eq!(
-            m.apply(&mut s, 1, &RegisterOp::Get),
-            RegisterResp::Value(7)
-        );
+        assert_eq!(m.apply(&mut s, 1, &RegisterOp::Get), RegisterResp::Value(7));
     }
 
     #[test]

@@ -110,12 +110,7 @@ impl<M: SeqSpecModel> RefSpec<M> {
             // Real-time order: `op` may be linearised next only if no other
             // unlinearised operation completed before `op` was invoked.
             let blocked = ops.iter().enumerate().any(|(j, other)| {
-                !done[j]
-                    && j != i
-                    && other
-                        .resp_index
-                        .map(|r| r < op.inv_index)
-                        .unwrap_or(false)
+                !done[j] && j != i && other.resp_index.map(|r| r < op.inv_index).unwrap_or(false)
             });
             if blocked {
                 continue;
@@ -345,10 +340,7 @@ mod tests {
     #[test]
     fn replay_sequential_tracks_reachable_states() {
         let model = Det(RegisterModel);
-        let h = run_first_outcome(
-            &model,
-            &[(0, RegisterOp::Set(4)), (1, RegisterOp::Get)],
-        );
+        let h = run_first_outcome(&model, &[(0, RegisterOp::Set(4)), (1, RegisterOp::Get)]);
         let states = replay_sequential(&model, &h).expect("history must replay");
         assert_eq!(states, vec![4]);
     }
@@ -366,15 +358,9 @@ mod tests {
     #[test]
     fn run_first_outcome_builds_sequential_history() {
         let model = Det(RegisterModel);
-        let h = run_first_outcome(
-            &model,
-            &[(0, RegisterOp::Set(2)), (1, RegisterOp::Get)],
-        );
+        let h = run_first_outcome(&model, &[(0, RegisterOp::Set(2)), (1, RegisterOp::Get)]);
         assert_eq!(h.len(), 4);
         assert!(h.is_complete());
-        assert_eq!(
-            h.actions()[3].response(),
-            Some(&RegisterResp::Value(2))
-        );
+        assert_eq!(h.actions()[3].response(), Some(&RegisterResp::Value(2)));
     }
 }

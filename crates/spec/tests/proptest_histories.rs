@@ -12,10 +12,10 @@ use std::collections::BTreeSet;
 
 fn register_ops() -> impl Strategy<Value = Vec<(usize, RegisterOp)>> {
     proptest::collection::vec(
-        (0usize..3, prop_oneof![
-            (0i64..4).prop_map(RegisterOp::Set),
-            Just(RegisterOp::Get),
-        ]),
+        (
+            0usize..3,
+            prop_oneof![(0i64..4).prop_map(RegisterOp::Set), Just(RegisterOp::Get),],
+        ),
         1..8,
     )
 }

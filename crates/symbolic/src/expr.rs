@@ -284,8 +284,14 @@ mod tests {
     fn equality_folds_on_identical_and_constants() {
         let x = var(0, "x", Sort::Int);
         assert_eq!(*Expr::eq(&x, &x), Expr::ConstBool(true));
-        assert_eq!(*Expr::eq(&Expr::int(3), &Expr::int(3)), Expr::ConstBool(true));
-        assert_eq!(*Expr::eq(&Expr::int(3), &Expr::int(4)), Expr::ConstBool(false));
+        assert_eq!(
+            *Expr::eq(&Expr::int(3), &Expr::int(3)),
+            Expr::ConstBool(true)
+        );
+        assert_eq!(
+            *Expr::eq(&Expr::int(3), &Expr::int(4)),
+            Expr::ConstBool(false)
+        );
     }
 
     #[test]
@@ -294,7 +300,10 @@ mod tests {
         assert_eq!(*Expr::add(&Expr::int(2), &Expr::int(3)), Expr::ConstInt(5));
         assert_eq!(Expr::add(&x, &Expr::int(0)), x);
         assert_eq!(*Expr::sub(&Expr::int(5), &Expr::int(2)), Expr::ConstInt(3));
-        assert_eq!(*Expr::lt(&Expr::int(1), &Expr::int(2)), Expr::ConstBool(true));
+        assert_eq!(
+            *Expr::lt(&Expr::int(1), &Expr::int(2)),
+            Expr::ConstBool(true)
+        );
     }
 
     #[test]

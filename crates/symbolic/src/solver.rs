@@ -505,7 +505,10 @@ mod tests {
         let exists = ctx.bool_var("exists");
         let ino = ctx.int_var("ino");
         // exists => ino > 0
-        let constraints = vec![exists.implies(&ino.gt(&SymInt::from_i64(0))).0, exists.0.clone()];
+        let constraints = vec![
+            exists.implies(&ino.gt(&SymInt::from_i64(0))).0,
+            exists.0.clone(),
+        ];
         let solution = solve(&constraints, &Domains::default()).expect("sat");
         assert!(solution.bool(0));
         assert!(solution.int(1) > 0);
@@ -529,6 +532,9 @@ mod tests {
     fn eval_bool_is_false_on_missing_vars() {
         let ctx = SymContext::new();
         let x = ctx.int_var("x");
-        assert!(!eval_bool(&x.eq(&SymInt::from_i64(0)).0, &Assignment::new()));
+        assert!(!eval_bool(
+            &x.eq(&SymInt::from_i64(0)).0,
+            &Assignment::new()
+        ));
     }
 }

@@ -215,7 +215,10 @@ mod tests {
         let b = ctx.int_var("b");
         assert_ne!(a, b);
         assert_eq!(ctx.var_count(), 2);
-        assert!(a.eq(&b).as_const().is_none(), "distinct vars must stay symbolic");
+        assert!(
+            a.eq(&b).as_const().is_none(),
+            "distinct vars must stay symbolic"
+        );
         let vars = ctx.variables();
         assert_eq!(vars[0].name.as_ref(), "a");
         assert_eq!(vars[1].sort, Sort::Int);

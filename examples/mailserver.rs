@@ -47,14 +47,25 @@ fn main() {
     let client = kernel.new_process();
     let qman = kernel.new_process();
     let server = MailServer::new(&kernel, MailConfig::CommutativeApis, 4).unwrap();
-    server.enqueue(0, client, "alice", b"hello from the example").unwrap();
+    server
+        .enqueue(0, client, "alice", b"hello from the example")
+        .unwrap();
     let delivered = server.qman_step(1, qman).unwrap();
-    let fd = kernel.open(0, qman, &delivered, OpenFlags::plain()).unwrap();
+    let fd = kernel
+        .open(0, qman, &delivered, OpenFlags::plain())
+        .unwrap();
     let body = kernel.pread(0, qman, fd, 64, 0).unwrap();
-    println!("delivered {:?} -> {:?}\n", delivered, String::from_utf8_lossy(&body));
+    println!(
+        "delivered {:?} -> {:?}\n",
+        delivered,
+        String::from_utf8_lossy(&body)
+    );
 
     println!("mail server throughput on sv6 (emails/sec/core):\n");
-    println!("{:>6} {:>18} {:>20}", "cores", "regular APIs", "commutative APIs");
+    println!(
+        "{:>6} {:>18} {:>20}",
+        "cores", "regular APIs", "commutative APIs"
+    );
     for cores in [1usize, 4, 8, 16] {
         let regular = run(cores, 10, MailConfig::RegularApis);
         let commutative = run(cores, 10, MailConfig::CommutativeApis);
@@ -62,5 +73,7 @@ fn main() {
     }
     println!();
     println!("Regular APIs (lowest FD, ordered socket, fork) collapse as cores are added;");
-    println!("the commutative variants (O_ANYFD, unordered socket, posix_spawn) keep scaling (§7.3).");
+    println!(
+        "the commutative variants (O_ANYFD, unordered socket, posix_spawn) keep scaling (§7.3)."
+    );
 }

@@ -30,7 +30,9 @@ fn run(cores: usize, rounds: usize, anyfd: bool) -> f64 {
                 } else {
                     OpenFlags::plain()
                 };
-                let fd = kernel.open(core, pid, &format!("file-{core}"), flags).unwrap();
+                let fd = kernel
+                    .open(core, pid, &format!("file-{core}"), flags)
+                    .unwrap();
                 kernel.close(core, pid, fd).unwrap();
             });
         }

@@ -16,8 +16,10 @@
 use scalable_commutativity::kernel::api::{KernelApi, OpenFlags};
 use scalable_commutativity::kernel::Sv6Kernel;
 use scalable_commutativity::spec::commutativity::op_level_reorderings;
-use scalable_commutativity::spec::construction::{replay_history, steps_for_range, ReplayOutcome, Scalable};
 use scalable_commutativity::spec::conflict::find_conflicts;
+use scalable_commutativity::spec::construction::{
+    replay_history, steps_for_range, ReplayOutcome, Scalable,
+};
 use scalable_commutativity::spec::implementation::StepImplementation;
 use scalable_commutativity::spec::model::{Det, PutMaxModel, PutMaxOp, PutMaxResp};
 use scalable_commutativity::spec::{sim_commutes, Action, History};
@@ -41,7 +43,10 @@ fn main() {
     ]);
     let report = sim_commutes(&model, &x, &y);
     println!("Y = [put(1)@t0, put(1)@t1] after X = [put(3)]");
-    println!("  SIM-commutes: {} ({} cases examined)", report.commutes, report.cases_examined);
+    println!(
+        "  SIM-commutes: {} ({} cases examined)",
+        report.commutes, report.cases_examined
+    );
 
     // --- 2. The rule: a conflict-free implementation exists --------------
     let machine = Scalable::new(PutMaxModel, x.clone(), y.clone(), 2);
@@ -77,5 +82,7 @@ fn main() {
     let report = m.conflict_report();
     println!("\ncreating two different files on two cores (sv6/ScaleFS):");
     println!("  conflict-free = {}", report.is_conflict_free());
-    println!("\nWhenever interface operations commute, they can be implemented in a way that scales.");
+    println!(
+        "\nWhenever interface operations commute, they can be implemented in a way that scales."
+    );
 }

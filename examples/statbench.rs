@@ -16,14 +16,18 @@ fn run(cores: usize, rounds: usize, use_fstatx: bool) -> f64 {
     let kernel = Sv6Kernel::new(cores);
     let machine = kernel.machine().clone();
     let pid = kernel.new_process();
-    let fd = kernel.open(0, pid, "statfile", OpenFlags::create()).unwrap();
+    let fd = kernel
+        .open(0, pid, "statfile", OpenFlags::create())
+        .unwrap();
     machine.start_tracing();
     for round in 0..rounds {
         for core in 0..cores {
             machine.on_core(core, || {
                 if core < cores / 2 || cores == 1 {
                     if use_fstatx {
-                        kernel.fstatx(core, pid, fd, StatMask::all_but_nlink()).unwrap();
+                        kernel
+                            .fstatx(core, pid, fd, StatMask::all_but_nlink())
+                            .unwrap();
                     } else {
                         kernel.fstat(core, pid, fd).unwrap();
                     }
@@ -43,7 +47,10 @@ fn run(cores: usize, rounds: usize, use_fstatx: bool) -> f64 {
 
 fn main() {
     println!("statbench on sv6 (ops/sec/core):\n");
-    println!("{:>6} {:>22} {:>22}", "cores", "fstat (st_nlink)", "fstatx (no st_nlink)");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "cores", "fstat (st_nlink)", "fstatx (no st_nlink)"
+    );
     for cores in [1usize, 4, 8, 16, 32] {
         let fstat = run(cores, 50, false);
         let fstatx = run(cores, 50, true);
@@ -54,7 +61,9 @@ fn main() {
     let kernel = Sv6Kernel::new(2);
     let machine = kernel.machine().clone();
     let pid = kernel.new_process();
-    let fd = kernel.open(0, pid, "statfile", OpenFlags::create()).unwrap();
+    let fd = kernel
+        .open(0, pid, "statfile", OpenFlags::create())
+        .unwrap();
     machine.start_tracing();
     machine.on_core(0, || {
         kernel.fstat(0, pid, fd).unwrap();

@@ -14,8 +14,14 @@
 //! * [`kernel`] — the sv6-style kernel, the Linux-like baseline and the mail
 //!   server application.
 //! * [`commuter`] — ANALYZER, TESTGEN and the MTRACE driver.
+//! * [`host`] — the real-threads execution backend: a thread-safe
+//!   `HostKernel`, the wall-clock load harness, and the differential runner
+//!   that cross-checks generated tests between simulation and real threads.
+//! * [`bench`] — the Figure 6/7 workload drivers (simulated and host).
 
+pub use scr_bench as bench;
 pub use scr_core as commuter;
+pub use scr_host as host;
 pub use scr_kernel as kernel;
 pub use scr_model as model;
 pub use scr_mtrace as mtrace;

@@ -3,8 +3,8 @@
 //! they share, grouped by call pair. Useful when tuning the kernel or the
 //! test generator.
 
-use scalable_commutativity::commuter::{run_test, CommuterConfig, Sv6Factory};
 use scalable_commutativity::commuter::{analyze_pair, enumerate_shapes, generate_tests};
+use scalable_commutativity::commuter::{run_test, CommuterConfig, Sv6Factory};
 use scalable_commutativity::model::CallKind;
 use std::collections::BTreeMap;
 
@@ -42,7 +42,11 @@ fn print_sv6_conflicts_for_name_calls() {
                             *entry.2.entry(label).or_default() += 1;
                         }
                         if entry.1 <= 2 {
-                            println!("  example failing test: {} setup={:?}", test.id, test.setup.len());
+                            println!(
+                                "  example failing test: {} setup={:?}",
+                                test.id,
+                                test.setup.len()
+                            );
                             println!("    op_a={:?}", test.op_a);
                             println!("    op_b={:?}", test.op_b);
                         }

@@ -11,32 +11,77 @@ use scalable_commutativity::kernel::{LinuxLikeKernel, Sv6Kernel};
 /// small pools so sequences regularly hit both success and error paths.
 #[derive(Clone, Debug)]
 enum Op {
-    Open { name: u8, create: bool, excl: bool, trunc: bool },
-    Close { fd: u8 },
-    Link { old: u8, new: u8 },
-    Unlink { name: u8 },
-    Rename { src: u8, dst: u8 },
-    Stat { name: u8 },
-    Fstat { fd: u8 },
-    Lseek { fd: u8, page: u8, from_end: bool },
-    Read { fd: u8 },
-    Write { fd: u8, byte: u8 },
-    Pread { fd: u8, page: u8 },
-    Pwrite { fd: u8, page: u8, byte: u8 },
+    Open {
+        name: u8,
+        create: bool,
+        excl: bool,
+        trunc: bool,
+    },
+    Close {
+        fd: u8,
+    },
+    Link {
+        old: u8,
+        new: u8,
+    },
+    Unlink {
+        name: u8,
+    },
+    Rename {
+        src: u8,
+        dst: u8,
+    },
+    Stat {
+        name: u8,
+    },
+    Fstat {
+        fd: u8,
+    },
+    Lseek {
+        fd: u8,
+        page: u8,
+        from_end: bool,
+    },
+    Read {
+        fd: u8,
+    },
+    Write {
+        fd: u8,
+        byte: u8,
+    },
+    Pread {
+        fd: u8,
+        page: u8,
+    },
+    Pwrite {
+        fd: u8,
+        page: u8,
+        byte: u8,
+    },
     Pipe,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..4, any::<bool>(), any::<bool>(), any::<bool>())
-            .prop_map(|(name, create, excl, trunc)| Op::Open { name, create, excl, trunc }),
+        (0u8..4, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+            |(name, create, excl, trunc)| Op::Open {
+                name,
+                create,
+                excl,
+                trunc
+            }
+        ),
         (0u8..6).prop_map(|fd| Op::Close { fd }),
         (0u8..4, 0u8..4).prop_map(|(old, new)| Op::Link { old, new }),
         (0u8..4).prop_map(|name| Op::Unlink { name }),
         (0u8..4, 0u8..4).prop_map(|(src, dst)| Op::Rename { src, dst }),
         (0u8..4).prop_map(|name| Op::Stat { name }),
         (0u8..6).prop_map(|fd| Op::Fstat { fd }),
-        (0u8..6, 0u8..3, any::<bool>()).prop_map(|(fd, page, from_end)| Op::Lseek { fd, page, from_end }),
+        (0u8..6, 0u8..3, any::<bool>()).prop_map(|(fd, page, from_end)| Op::Lseek {
+            fd,
+            page,
+            from_end
+        }),
         (0u8..6).prop_map(|fd| Op::Read { fd }),
         (0u8..6, any::<u8>()).prop_map(|(fd, byte)| Op::Write { fd, byte }),
         (0u8..6, 0u8..3).prop_map(|(fd, page)| Op::Pread { fd, page }),
@@ -49,9 +94,17 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 /// artefacts (sv6 never reuses them and encodes the allocating core; the
 /// baseline hands them out sequentially), so they are excluded — POSIX only
 /// promises uniqueness, which other assertions cover.
-fn show_stat(result: Result<scalable_commutativity::kernel::api::Stat, scalable_commutativity::kernel::api::Errno>) -> String {
+fn show_stat(
+    result: Result<
+        scalable_commutativity::kernel::api::Stat,
+        scalable_commutativity::kernel::api::Errno,
+    >,
+) -> String {
     match result {
-        Ok(stat) => format!("size={} nlink={} pipe={}", stat.size, stat.nlink, stat.is_pipe),
+        Ok(stat) => format!(
+            "size={} nlink={} pipe={}",
+            stat.size, stat.nlink, stat.is_pipe
+        ),
         Err(e) => format!("{e:?}"),
     }
 }
@@ -60,13 +113,23 @@ fn show_stat(result: Result<scalable_commutativity::kernel::api::Stat, scalable_
 fn apply(k: &dyn KernelApi, pid: usize, op: &Op) -> String {
     let name = |n: u8| format!("file-{n}");
     match op {
-        Op::Open { name: n, create, excl, trunc } => format!(
+        Op::Open {
+            name: n,
+            create,
+            excl,
+            trunc,
+        } => format!(
             "{:?}",
             k.open(
                 0,
                 pid,
                 &name(*n),
-                OpenFlags { create: *create, excl: *excl, truncate: *trunc, anyfd: false }
+                OpenFlags {
+                    create: *create,
+                    excl: *excl,
+                    truncate: *trunc,
+                    anyfd: false
+                }
             )
         ),
         Op::Close { fd } => format!("{:?}", k.close(0, pid, *fd as u32)),
@@ -94,7 +157,10 @@ fn apply(k: &dyn KernelApi, pid: usize, op: &Op) -> String {
             k.write(0, pid, *fd as u32, &vec![*byte; PAGE_SIZE as usize])
         ),
         Op::Pread { fd, page } => {
-            format!("{:?}", k.pread(0, pid, *fd as u32, 8, *page as u64 * PAGE_SIZE))
+            format!(
+                "{:?}",
+                k.pread(0, pid, *fd as u32, 8, *page as u64 * PAGE_SIZE)
+            )
         }
         Op::Pwrite { fd, page, byte } => format!(
             "{:?}",

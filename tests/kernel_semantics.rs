@@ -12,7 +12,10 @@ use scalable_commutativity::kernel::{LinuxLikeKernel, Sv6Kernel};
 fn kernels() -> Vec<(&'static str, Box<dyn KernelApi>)> {
     vec![
         ("sv6", Box::new(Sv6Kernel::new(4)) as Box<dyn KernelApi>),
-        ("linux", Box::new(LinuxLikeKernel::new(4)) as Box<dyn KernelApi>),
+        (
+            "linux",
+            Box::new(LinuxLikeKernel::new(4)) as Box<dyn KernelApi>,
+        ),
     ]
 }
 
@@ -27,7 +30,11 @@ fn file_lifecycle_matches_across_kernels() {
         k.link(0, pid, "story", "backup").unwrap();
         assert_eq!(k.stat(0, pid, "backup").unwrap().nlink, 2, "{name}");
         k.unlink(0, pid, "story").unwrap();
-        assert_eq!(k.stat(0, pid, "story").unwrap_err(), Errno::ENOENT, "{name}");
+        assert_eq!(
+            k.stat(0, pid, "story").unwrap_err(),
+            Errno::ENOENT,
+            "{name}"
+        );
         assert_eq!(k.stat(0, pid, "backup").unwrap().nlink, 1, "{name}");
         k.rename(0, pid, "backup", "final").unwrap();
         assert!(k.stat(0, pid, "final").is_ok(), "{name}");
@@ -47,7 +54,8 @@ fn open_error_cases_match_across_kernels() {
         );
         k.open(0, pid, "exists", OpenFlags::create()).unwrap();
         assert_eq!(
-            k.open(0, pid, "exists", OpenFlags::create_excl()).unwrap_err(),
+            k.open(0, pid, "exists", OpenFlags::create_excl())
+                .unwrap_err(),
             Errno::EEXIST,
             "{name}"
         );
@@ -90,7 +98,11 @@ fn pread_pwrite_and_truncate_match_across_kernels() {
             )
             .unwrap();
         assert_eq!(k.fstat(0, pid, fd2).unwrap().size, 0, "{name}");
-        assert_eq!(k.pread(0, pid, fd2, 3, PAGE_SIZE).unwrap(), Vec::<u8>::new(), "{name}");
+        assert_eq!(
+            k.pread(0, pid, fd2, 3, PAGE_SIZE).unwrap(),
+            Vec::<u8>::new(),
+            "{name}"
+        );
     }
 }
 
@@ -103,8 +115,16 @@ fn pipes_match_across_kernels() {
         assert_eq!(k.read(0, pid, r, 16).unwrap(), b"ping", "{name}");
         assert_eq!(k.read(0, pid, r, 1).unwrap_err(), Errno::EAGAIN, "{name}");
         k.close(0, pid, r).unwrap();
-        assert_eq!(k.write(0, pid, w, b"x").unwrap_err(), Errno::EPIPE, "{name}");
-        assert_eq!(k.lseek(0, pid, w, 0, Whence::Set).unwrap_err(), Errno::ESPIPE, "{name}");
+        assert_eq!(
+            k.write(0, pid, w, b"x").unwrap_err(),
+            Errno::EPIPE,
+            "{name}"
+        );
+        assert_eq!(
+            k.lseek(0, pid, w, 0, Whence::Set).unwrap_err(),
+            Errno::ESPIPE,
+            "{name}"
+        );
     }
 }
 
@@ -113,20 +133,42 @@ fn virtual_memory_matches_across_kernels() {
     for (name, k) in kernels() {
         let pid = k.new_process();
         let addr = k
-            .mmap(0, pid, Some(128 * PAGE_SIZE), 2, Prot::rw(), MmapBacking::Anon)
+            .mmap(
+                0,
+                pid,
+                Some(128 * PAGE_SIZE),
+                2,
+                Prot::rw(),
+                MmapBacking::Anon,
+            )
             .unwrap();
         assert_eq!(addr, 128 * PAGE_SIZE, "{name}");
         k.memwrite(0, pid, addr + PAGE_SIZE, 42).unwrap();
         assert_eq!(k.memread(0, pid, addr + PAGE_SIZE).unwrap(), 42, "{name}");
         k.mprotect(0, pid, addr, 2, Prot::ro()).unwrap();
-        assert_eq!(k.memwrite(0, pid, addr, 1).unwrap_err(), Errno::EFAULT, "{name}");
+        assert_eq!(
+            k.memwrite(0, pid, addr, 1).unwrap_err(),
+            Errno::EFAULT,
+            "{name}"
+        );
         k.munmap(0, pid, addr, 2).unwrap();
-        assert_eq!(k.memread(0, pid, addr).unwrap_err(), Errno::EFAULT, "{name}");
+        assert_eq!(
+            k.memread(0, pid, addr).unwrap_err(),
+            Errno::EFAULT,
+            "{name}"
+        );
         // File-backed mappings read through to the file.
         let fd = k.open(0, pid, "mapped", OpenFlags::create()).unwrap();
         k.pwrite(0, pid, fd, b"Z", 0).unwrap();
         let m = k
-            .mmap(0, pid, Some(200 * PAGE_SIZE), 1, Prot::rw(), MmapBacking::File(fd))
+            .mmap(
+                0,
+                pid,
+                Some(200 * PAGE_SIZE),
+                1,
+                Prot::rw(),
+                MmapBacking::File(fd),
+            )
             .unwrap();
         assert_eq!(k.memread(0, pid, m).unwrap(), b'Z', "{name}");
     }
@@ -149,29 +191,29 @@ fn spawn_and_fork_match_across_kernels() {
 #[test]
 fn scalability_differs_even_when_semantics_agree() {
     // The point of the whole exercise: identical observable behaviour,
-    // different sharing. Creating two different files is conflict-free on
-    // sv6 and conflicts on the baseline.
+    // different sharing. Two processes creating different files (the §1
+    // motivating example) is conflict-free on sv6 and conflicts on the
+    // baseline. (One process would not even commute: POSIX lowest-FD
+    // allocation makes the returned descriptors order-dependent.)
     let sv6 = Sv6Kernel::new(4);
     let linux = LinuxLikeKernel::new(4);
-    let outcomes: Vec<bool> = [
-        &sv6 as &dyn KernelApi,
-        &linux as &dyn KernelApi,
-    ]
-    .iter()
-    .map(|k| {
-        let pid = k.new_process();
-        let m = k.machine().clone();
-        m.start_tracing();
-        m.on_core(0, || {
-            k.open(0, pid, "left", OpenFlags::create()).unwrap();
-        });
-        m.on_core(1, || {
-            k.open(1, pid, "right", OpenFlags::create()).unwrap();
-        });
-        m.stop_tracing();
-        m.conflict_report().is_conflict_free()
-    })
-    .collect();
+    let outcomes: Vec<bool> = [&sv6 as &dyn KernelApi, &linux as &dyn KernelApi]
+        .iter()
+        .map(|k| {
+            let pid_a = k.new_process();
+            let pid_b = k.new_process();
+            let m = k.machine().clone();
+            m.start_tracing();
+            m.on_core(0, || {
+                k.open(0, pid_a, "left", OpenFlags::create()).unwrap();
+            });
+            m.on_core(1, || {
+                k.open(1, pid_b, "right", OpenFlags::create()).unwrap();
+            });
+            m.stop_tracing();
+            m.conflict_report().is_conflict_free()
+        })
+        .collect();
     assert!(outcomes[0], "sv6 must be conflict-free");
     assert!(!outcomes[1], "the baseline must conflict");
 }
