@@ -37,12 +37,17 @@ fn main() {
     let elapsed = started.elapsed();
 
     println!(
-        "analyzed {} pair shapes, generated {} test cases ({} skipped) in {:.1?}\n",
+        "analyzed {} pair shapes, generated {} test cases ({} rescued by re-solve, {} skipped) in {:.1?}",
         results.shapes_analyzed,
         results.tests.len(),
+        results.resolved,
         results.skipped,
         elapsed
     );
+    if !results.skip_reasons.is_empty() {
+        println!("skip reasons: {:?}", results.skip_reasons);
+    }
+    println!();
     for report in &results.reports {
         println!("{report}");
         println!();

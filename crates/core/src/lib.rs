@@ -34,4 +34,4 @@ pub use driver::{
 pub use pipeline::{run_commuter, CommuterConfig, CommuterResults};
 pub use report::{Figure6Report, PairCell};
 pub use shapes::{enumerate_shapes, PairShape};
-pub use testgen::{generate_tests, ConcreteTest};
+pub use testgen::{generate_tests, ConcreteTest, GeneratedTests, SkipHistogram, SkipReason};

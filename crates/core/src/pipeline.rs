@@ -11,7 +11,7 @@ use crate::analyzer::analyze_pair;
 use crate::driver::{run_test, KernelFactory};
 use crate::report::Figure6Report;
 use crate::shapes::enumerate_shapes;
-use crate::testgen::{generate_tests, ConcreteTest};
+use crate::testgen::{generate_tests, ConcreteTest, SkipHistogram};
 use scr_kernel::Sv6Kernel;
 use scr_model::{CallKind, ModelConfig, ALL_CALLS};
 
@@ -98,8 +98,13 @@ impl CommuterConfig {
 pub struct CommuterResults {
     /// Every generated test case.
     pub tests: Vec<ConcreteTest>,
-    /// Number of assignments that could not be materialised.
+    /// Number of assignments that could not be materialised (even after
+    /// re-solving for alternative completions).
     pub skipped: usize,
+    /// Why each skipped assignment was skipped; counts sum to `skipped`.
+    pub skip_reasons: SkipHistogram,
+    /// Representatives rescued by re-solving for a constructible completion.
+    pub resolved: usize,
     /// Number of (pair, shape) combinations analysed.
     pub shapes_analyzed: usize,
     /// Per-kernel Figure 6 reports, in the order the factories were given.
@@ -140,6 +145,13 @@ pub fn run_commuter(config: &CommuterConfig, kernels: &[&dyn KernelFactory]) -> 
                     config.max_assignments_per_case,
                 );
                 results.skipped += generated.skipped;
+                results.resolved += generated.resolved;
+                for (reason, count) in &generated.skip_reasons {
+                    *results.skip_reasons.entry(*reason).or_default() += count;
+                }
+                for report in results.reports.iter_mut() {
+                    report.record_skips(call_a, call_b, &generated.skip_reasons);
+                }
                 for test in generated.tests {
                     for (factory, report) in kernels.iter().zip(results.reports.iter_mut()) {
                         let outcome = run_test(*factory, &test);
@@ -181,5 +193,24 @@ mod tests {
     fn report_for_unknown_kernel_is_none() {
         let results = CommuterResults::default();
         assert!(results.report_for("plan9").is_none());
+    }
+
+    #[test]
+    fn skip_accounting_threads_through_to_the_reports() {
+        // Pipe pairs have genuinely unconstructible families (dup2-style
+        // layouts), so the skip histogram must be populated, agree with the
+        // flat counter, and surface in the per-kernel report.
+        let config = CommuterConfig::quick(&[CallKind::Read, CallKind::Write]);
+        let sv6 = Sv6Factory { cores: 4 };
+        let results = run_commuter(&config, &[&sv6]);
+        assert_eq!(
+            results.skip_reasons.values().sum::<usize>(),
+            results.skipped
+        );
+        let report = results.report_for("sv6").unwrap();
+        assert_eq!(report.total_skipped(), results.skipped);
+        if results.skipped > 0 {
+            assert!(report.render().contains("unconstructible"));
+        }
     }
 }

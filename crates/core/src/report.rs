@@ -6,6 +6,7 @@
 //! one half of the figure for Linux and one for sv6. This module aggregates
 //! per-test outcomes into that table and renders it as text.
 
+use crate::testgen::{SkipHistogram, SkipReason};
 use scr_model::{CallKind, ALL_CALLS};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -41,6 +42,9 @@ pub struct Figure6Report {
     /// Kernel name ("Linux", "sv6").
     pub kernel: String,
     cells: BTreeMap<(CallKind, CallKind), PairCell>,
+    /// Per-pair counts of representatives TESTGEN could not materialise,
+    /// keyed by reason — the coverage the table does *not* show.
+    skips: BTreeMap<(CallKind, CallKind), SkipHistogram>,
 }
 
 impl Figure6Report {
@@ -49,6 +53,7 @@ impl Figure6Report {
         Figure6Report {
             kernel: kernel.to_string(),
             cells: BTreeMap::new(),
+            skips: BTreeMap::new(),
         }
     }
 
@@ -68,6 +73,47 @@ impl Figure6Report {
         if conflict_free {
             cell.conflict_free += 1;
         }
+    }
+
+    /// Folds a pair's skip histogram into the report, so coverage loss is
+    /// visible next to the coverage itself.
+    pub fn record_skips(&mut self, a: CallKind, b: CallKind, reasons: &SkipHistogram) {
+        if reasons.is_empty() {
+            return;
+        }
+        let cell = self.skips.entry(Self::key(a, b)).or_default();
+        for (reason, count) in reasons {
+            *cell.entry(*reason).or_default() += count;
+        }
+    }
+
+    /// Representatives skipped for a pair.
+    pub fn skipped(&self, a: CallKind, b: CallKind) -> usize {
+        self.skips
+            .get(&Self::key(a, b))
+            .map(|h| h.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Total skipped representatives across every pair.
+    pub fn total_skipped(&self) -> usize {
+        self.skips.values().flat_map(|h| h.values()).sum()
+    }
+
+    /// The aggregated reason histogram across every pair.
+    pub fn skip_histogram(&self) -> SkipHistogram {
+        let mut out = SkipHistogram::new();
+        for h in self.skips.values() {
+            for (reason, count) in h {
+                *out.entry(*reason).or_default() += count;
+            }
+        }
+        out
+    }
+
+    /// The count for one reason in the aggregated histogram.
+    pub fn skipped_for(&self, reason: SkipReason) -> usize {
+        self.skip_histogram().get(&reason).copied().unwrap_or(0)
     }
 
     /// The cell for a pair.
@@ -138,6 +184,19 @@ impl Figure6Report {
             }
             out.push('\n');
         }
+        let skipped = self.total_skipped();
+        if skipped > 0 {
+            out.push_str(&format!(
+                "unconstructible representatives skipped: {skipped} ("
+            ));
+            let parts: Vec<String> = self
+                .skip_histogram()
+                .iter()
+                .map(|(reason, count)| format!("{reason}: {count}"))
+                .collect();
+            out.push_str(&parts.join(", "));
+            out.push_str(")\n");
+        }
         out
     }
 }
@@ -201,5 +260,35 @@ mod tests {
         let text = report.render();
         assert!(text.contains('.'));
         assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn skip_histograms_aggregate_per_pair_and_overall() {
+        let mut report = Figure6Report::new("sv6");
+        let mut reasons = SkipHistogram::new();
+        reasons.insert(SkipReason::PipeLayout, 2);
+        reasons.insert(SkipReason::PipeEndpoints, 1);
+        report.record_skips(CallKind::Read, CallKind::Read, &reasons);
+        report.record_skips(CallKind::Read, CallKind::Write, &reasons);
+        // Recording twice for the same (unordered) pair accumulates.
+        report.record_skips(CallKind::Write, CallKind::Read, &reasons);
+        assert_eq!(report.skipped(CallKind::Read, CallKind::Read), 3);
+        assert_eq!(report.skipped(CallKind::Write, CallKind::Read), 6);
+        assert_eq!(report.total_skipped(), 9);
+        assert_eq!(report.skipped_for(SkipReason::PipeLayout), 6);
+        assert_eq!(report.skipped_for(SkipReason::UnreachableInode), 0);
+    }
+
+    #[test]
+    fn render_shows_skip_summary_only_when_present() {
+        let mut report = Figure6Report::new("sv6");
+        report.record(CallKind::Open, CallKind::Open, true);
+        assert!(!report.render().contains("skipped"));
+        let mut reasons = SkipHistogram::new();
+        reasons.insert(SkipReason::FdTableFull, 4);
+        report.record_skips(CallKind::Open, CallKind::Pipe, &reasons);
+        let text = report.render();
+        assert!(text.contains("unconstructible representatives skipped: 4"));
+        assert!(text.contains("fd-table-full: 4"));
     }
 }

@@ -15,8 +15,8 @@
 use crate::kernel::{perform_host, HostKernel, HostMode};
 use scr_core::pipeline::{bucket_distinct_names, CommuterConfig};
 use scr_core::{
-    analyze_pair, differential_check, enumerate_shapes, generate_tests, ConcreteReplayer,
-    ConcreteTest, DifferentialOutcome, Sv6Factory,
+    analyze_pair, differential_check, enumerate_shapes, generate_tests, run_test, ConcreteReplayer,
+    ConcreteTest, DifferentialOutcome, SkipHistogram, Sv6Factory,
 };
 use scr_kernel::api::SysResult;
 use scr_model::CallKind;
@@ -71,13 +71,35 @@ impl ConcreteReplayer for HostReplayer {
     }
 }
 
+/// Per-call-pair accounting of one campaign, proving the test budget was
+/// spread across every pair instead of exhausted by the first few.
+#[derive(Clone, Debug)]
+pub struct PairOutcome {
+    /// The (unordered) call pair.
+    pub calls: (CallKind, CallKind),
+    /// Tests TESTGEN materialised for the pair.
+    pub generated: usize,
+    /// Tests of the pair the budget actually replayed.
+    pub replayed: usize,
+    /// Representatives TESTGEN could not materialise for the pair.
+    pub skipped: usize,
+}
+
 /// Aggregated result of a differential run.
 #[derive(Clone, Debug, Default)]
 pub struct DifferentialReport {
-    /// Number of tests replayed.
+    /// Number of distinct tests replayed.
     pub tests_run: usize,
-    /// Tests whose simulated and host results disagreed.
+    /// Total replays, counting every schedule repetition.
+    pub replays_run: usize,
+    /// Tests whose simulated and host results disagreed (first disagreeing
+    /// schedule per test).
     pub mismatches: Vec<DifferentialOutcome>,
+    /// Per-pair budget accounting (campaign runs only).
+    pub pairs: Vec<PairOutcome>,
+    /// Aggregated TESTGEN skip reasons across every pair (campaign runs
+    /// only) — coverage the oracle could not check, by cause.
+    pub skip_reasons: SkipHistogram,
 }
 
 impl DifferentialReport {
@@ -101,47 +123,195 @@ impl DifferentialReport {
     }
 }
 
+/// Knobs of a differential campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Calls whose unordered pairs the campaign sweeps.
+    pub calls: Vec<CallKind>,
+    /// Total budget of distinct tests to replay, spread round-robin across
+    /// the pairs so no pair is starved by earlier ones.
+    pub max_tests: usize,
+    /// Satisfying assignments enumerated per commutative case before
+    /// isomorphism deduplication (the campaign default is higher than the
+    /// quick pipeline's, widening the representative pool).
+    pub max_assignments_per_case: usize,
+    /// How many times each test races on real threads. Commutative results
+    /// must be schedule-independent, so every repetition must agree with
+    /// the simulated kernel bit-for-bit.
+    pub schedules_per_test: usize,
+    /// Seed for the deterministic shuffle that picks which of a pair's
+    /// tests the budget covers.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// The full-strength campaign over the given calls.
+    pub fn new(calls: &[CallKind]) -> Self {
+        CampaignConfig {
+            calls: calls.to_vec(),
+            max_tests: 256,
+            max_assignments_per_case: 96,
+            schedules_per_test: 3,
+            seed: 0x5ca1ab1e,
+        }
+    }
+
+    /// A bounded variant: single schedule, quick-pipeline assignment limit.
+    pub fn quick(calls: &[CallKind], max_tests: usize) -> Self {
+        CampaignConfig {
+            max_tests,
+            max_assignments_per_case: CommuterConfig::quick(calls).max_assignments_per_case,
+            schedules_per_test: 1,
+            ..CampaignConfig::new(calls)
+        }
+    }
+}
+
 /// Generates tests for every shape of the given call pairs (bounded by
-/// `max_tests`) and cross-checks the host kernel against the simulated
-/// `Sv6Kernel` on each.
+/// `max_tests`, spread round-robin over the pairs) and cross-checks the
+/// host kernel against the simulated `Sv6Kernel` on each.
 pub fn differential_sample(calls: &[CallKind], max_tests: usize) -> DifferentialReport {
-    let config = CommuterConfig::quick(calls);
+    differential_campaign(&CampaignConfig::quick(calls, max_tests))
+}
+
+/// xorshift64* — a tiny deterministic generator for the campaign shuffle
+/// (no registry access for a real RNG crate, and reproducibility is the
+/// point anyway).
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Fisher–Yates with the seeded generator.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    // Avoid the all-zero fixed point.
+    let mut state = seed | 1;
+    for i in (1..items.len()).rev() {
+        let j = (xorshift64(&mut state) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Runs a seeded differential campaign: generates tests for every unordered
+/// pair of `config.calls`, spreads the replay budget round-robin across the
+/// pairs (shuffling each pair's tests deterministically), and replays every
+/// selected test `schedules_per_test` times on real threads, comparing each
+/// replay against the simulated kernel's results.
+pub fn differential_campaign(config: &CampaignConfig) -> DifferentialReport {
+    let model = CommuterConfig::quick(&config.calls).model;
     let names = bucket_distinct_names(8);
-    let mut tests = Vec::new();
-    'outer: for (i, &call_a) in config.calls.iter().enumerate() {
+
+    // Phase 1: generate per-pair test pools (and skip accounting). Every
+    // pair's corpus is generated in full even when `max_tests` would cover
+    // only a fraction — deliberately: the skip-reason histogram (which the
+    // CI baseline gates on) and the seeded sampling are only meaningful
+    // over the complete pool, and generation cost is paid once per pair.
+    let mut pools: Vec<(CallKind, CallKind, Vec<ConcreteTest>, usize)> = Vec::new();
+    let mut skip_reasons = SkipHistogram::new();
+    for (i, &call_a) in config.calls.iter().enumerate() {
         for &call_b in config.calls.iter().skip(i) {
-            for shape in enumerate_shapes(call_a, call_b, &config.model) {
-                let analysis = analyze_pair(&shape, &config.model);
+            let mut pool = Vec::new();
+            let mut skipped = 0;
+            for shape in enumerate_shapes(call_a, call_b, &model) {
+                let analysis = analyze_pair(&shape, &model);
                 if analysis.cases.is_empty() {
                     continue;
                 }
                 let generated = generate_tests(
                     &shape,
                     &analysis.cases,
-                    &config.model,
+                    &model,
                     &names,
                     config.max_assignments_per_case,
                 );
-                for test in generated.tests {
-                    tests.push(test);
-                    if tests.len() >= max_tests {
-                        break 'outer;
-                    }
+                skipped += generated.skipped;
+                for (reason, count) in &generated.skip_reasons {
+                    *skip_reasons.entry(*reason).or_default() += count;
                 }
+                pool.extend(generated.tests);
+            }
+            // A deterministic per-pair shuffle so the budget samples the
+            // pair's shapes instead of always replaying the first ones.
+            let pair_seed = config
+                .seed
+                .wrapping_add((pools.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            shuffle(&mut pool, pair_seed);
+            pools.push((call_a, call_b, pool, skipped));
+        }
+    }
+
+    // Phase 2: spread the budget round-robin across the pairs.
+    let mut selected: Vec<(usize, ConcreteTest)> = Vec::new();
+    let mut cursors = vec![0usize; pools.len()];
+    'budget: loop {
+        let mut progressed = false;
+        for (idx, (_, _, pool, _)) in pools.iter().enumerate() {
+            if selected.len() >= config.max_tests {
+                break 'budget;
+            }
+            if cursors[idx] < pool.len() {
+                selected.push((idx, pool[cursors[idx]].clone()));
+                cursors[idx] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Phase 3: replay each selected test under several schedules.
+    let factory = Sv6Factory { cores: 4 };
+    let replayer = HostReplayer { cores: 4 };
+    let mut report = DifferentialReport {
+        skip_reasons,
+        ..DifferentialReport::default()
+    };
+    let mut replayed_per_pair = vec![0usize; pools.len()];
+    for (idx, test) in &selected {
+        let simulated = run_test(&factory, test).results;
+        report.tests_run += 1;
+        replayed_per_pair[*idx] += 1;
+        for _ in 0..config.schedules_per_test.max(1) {
+            let replayed = replayer.replay(test);
+            report.replays_run += 1;
+            if simulated != replayed {
+                report.mismatches.push(DifferentialOutcome {
+                    test_id: test.id.clone(),
+                    simulated: simulated.clone(),
+                    replayed,
+                });
+                break;
             }
         }
     }
-    run_differential(&tests)
+    report.pairs = pools
+        .iter()
+        .zip(&replayed_per_pair)
+        .map(|((a, b, pool, skipped), replayed)| PairOutcome {
+            calls: (*a, *b),
+            generated: pool.len(),
+            replayed: *replayed,
+            skipped: *skipped,
+        })
+        .collect();
+    report
 }
 
-/// Cross-checks an explicit batch of tests.
+/// Cross-checks an explicit batch of tests (single schedule each).
 pub fn run_differential(tests: &[ConcreteTest]) -> DifferentialReport {
     let factory = Sv6Factory { cores: 4 };
     let replayer = HostReplayer { cores: 4 };
     let outcomes = differential_check(&factory, &replayer, tests);
     DifferentialReport {
         tests_run: outcomes.len(),
+        replays_run: outcomes.len(),
         mismatches: outcomes.into_iter().filter(|o| !o.agree()).collect(),
+        ..DifferentialReport::default()
     }
 }
 
@@ -178,5 +348,60 @@ mod tests {
         let report = differential_sample(&[CallKind::Stat, CallKind::Unlink], 24);
         assert!(report.tests_run > 0);
         assert!(report.all_agree(), "{}", report.describe_mismatches());
+    }
+
+    #[test]
+    fn campaign_budget_is_spread_round_robin_across_pairs() {
+        // Three calls → six unordered pairs. With a budget far below the
+        // total generated corpus, every pair that has tests must still get
+        // replays (the old `break 'outer` filled the budget entirely from
+        // the first pairs).
+        let config = CampaignConfig {
+            schedules_per_test: 1,
+            max_tests: 18,
+            ..CampaignConfig::new(&[CallKind::Stat, CallKind::Unlink, CallKind::Link])
+        };
+        let report = differential_campaign(&config);
+        assert_eq!(report.tests_run, 18);
+        assert!(report.all_agree(), "{}", report.describe_mismatches());
+        for pair in &report.pairs {
+            assert!(
+                pair.generated == 0 || pair.replayed > 0,
+                "pair {:?} generated {} tests but replayed none",
+                pair.calls,
+                pair.generated
+            );
+        }
+        // The budget must not be exhausted by one pair.
+        let max_per_pair = report.pairs.iter().map(|p| p.replayed).max().unwrap();
+        assert!(max_per_pair < 18);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_for_a_seed() {
+        let config = CampaignConfig {
+            schedules_per_test: 1,
+            max_tests: 10,
+            ..CampaignConfig::new(&[CallKind::Stat, CallKind::Unlink])
+        };
+        let a = differential_campaign(&config);
+        let b = differential_campaign(&config);
+        assert_eq!(a.tests_run, b.tests_run);
+        assert_eq!(
+            a.pairs.iter().map(|p| p.replayed).collect::<Vec<_>>(),
+            b.pairs.iter().map(|p| p.replayed).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn campaign_replays_each_test_under_every_schedule() {
+        let config = CampaignConfig {
+            schedules_per_test: 3,
+            max_tests: 6,
+            ..CampaignConfig::new(&[CallKind::Stat, CallKind::Unlink])
+        };
+        let report = differential_campaign(&config);
+        assert!(report.all_agree(), "{}", report.describe_mismatches());
+        assert_eq!(report.replays_run, report.tests_run * 3);
     }
 }

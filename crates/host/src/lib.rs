@@ -26,6 +26,9 @@ pub mod harness;
 pub mod kernel;
 pub mod workloads;
 
-pub use differential::{differential_sample, DifferentialReport, HostReplayer};
+pub use differential::{
+    differential_campaign, differential_sample, run_differential, CampaignConfig,
+    DifferentialReport, HostReplayer, PairOutcome,
+};
 pub use harness::{available_threads, LoadHarness};
 pub use kernel::{perform_host, HostKernel, HostMode, HostOptions};

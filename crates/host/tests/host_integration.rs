@@ -6,11 +6,15 @@
 //! *much worse* as threads are added, while globally-locked or shared-line
 //! structures do not get *better* — not a precise ratio.
 
-use scr_host::differential::differential_sample;
+use scr_core::{analyze_pair, generate_tests, PairShape};
+use scr_host::differential::{
+    differential_campaign, differential_sample, run_differential, CampaignConfig,
+};
 use scr_host::harness::LoadHarness;
 use scr_host::kernel::{HostKernel, HostMode};
 use scr_host::workloads;
-use scr_model::CallKind;
+use scr_model::calls::ArgSlots;
+use scr_model::{CallKind, ModelConfig};
 use scr_scalable::real::{PerCoreCounter, SharedCounter};
 use std::sync::Arc;
 
@@ -85,6 +89,98 @@ fn differential_runner_agrees_on_pipe_operations() {
         "simulated and host results diverged:\n{}",
         report.describe_mismatches()
     );
+}
+
+#[test]
+fn read_read_half_closed_pipe_representatives_agree_with_the_host() {
+    // Regression for the representative-selection tentpole: Read(fd0) ∥
+    // Read(fd0) now materialises its pipe-backed cases — the half-closed
+    // EOF∥EOF state (`pipe()` then close of the write end) directly, and
+    // the EAGAIN∥EAGAIN state via a re-solved both-ends-open completion.
+    // Every materialised representative must agree bit-for-bit with the
+    // simulated kernel on real threads; the only families allowed to stay
+    // skipped are the dup2-requiring ones.
+    let cfg = ModelConfig {
+        names: 4,
+        inodes: 2,
+        procs: 1,
+        fds_per_proc: 2,
+        file_pages: 2,
+        vm_pages: 2,
+    };
+    let shape = PairShape {
+        calls: (CallKind::Read, CallKind::Read),
+        slots_a: ArgSlots {
+            proc: 0,
+            fds: vec![0],
+            ..Default::default()
+        },
+        slots_b: ArgSlots {
+            proc: 0,
+            fds: vec![0],
+            ..Default::default()
+        },
+        tag: "samefd".into(),
+    };
+    let analysis = analyze_pair(&shape, &cfg);
+    let names: Vec<String> = (0..4).map(|i| format!("f{i}")).collect();
+    let generated = generate_tests(&shape, &analysis.cases, &cfg, &names, 128);
+    assert!(
+        generated.resolved > 0,
+        "re-solve must rescue a representative"
+    );
+    let pipe_backed = generated
+        .tests
+        .iter()
+        .filter(|t| {
+            t.setup
+                .iter()
+                .any(|op| matches!(op, scr_kernel::api::SysOp::Pipe { .. }))
+        })
+        .count();
+    assert!(
+        pipe_backed >= 2,
+        "both pipe case families must materialize, got {pipe_backed}"
+    );
+    let report = run_differential(&generated.tests);
+    assert_eq!(report.tests_run, generated.tests.len());
+    assert!(
+        report.all_agree(),
+        "newly materialised representatives diverged:\n{}",
+        report.describe_mismatches()
+    );
+}
+
+#[test]
+fn scaled_campaign_over_pipe_calls_has_no_mismatches() {
+    // The scaled oracle: budget spread round-robin across all pairs,
+    // several schedules per test. Every pair with generated tests must be
+    // exercised and every replay must agree.
+    let config = CampaignConfig {
+        max_tests: 96,
+        schedules_per_test: 2,
+        ..CampaignConfig::new(&[
+            CallKind::Pipe,
+            CallKind::Read,
+            CallKind::Write,
+            CallKind::Close,
+        ])
+    };
+    let report = differential_campaign(&config);
+    assert!(report.tests_run > 0);
+    assert_eq!(report.replays_run, report.tests_run * 2);
+    assert!(
+        report.all_agree(),
+        "simulated and host results diverged:\n{}",
+        report.describe_mismatches()
+    );
+    for pair in &report.pairs {
+        assert!(
+            pair.generated == 0 || pair.replayed > 0,
+            "budget starved pair {:?}",
+            pair.calls
+        );
+    }
 }
 
 #[test]

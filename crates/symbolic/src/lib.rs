@@ -38,5 +38,7 @@ pub mod types;
 pub use executor::{explore, PathCtx, PathResult};
 pub use expr::{Expr, ExprRef, Sort, Var, VarId};
 pub use isomorphism::signature;
-pub use solver::{all_solutions, eval_bool, solve, Assignment, Domains, Value};
+pub use solver::{
+    all_solutions, eval_bool, solve, solve_with_preference, Assignment, Domains, Value,
+};
 pub use types::{SymBool, SymContext, SymInt};

@@ -270,6 +270,20 @@ struct Search<'a> {
 
 impl<'a> Search<'a> {
     fn new(constraints: &'a [ExprRef], domains: &'a Domains) -> Self {
+        Search::new_with_tail(constraints, domains, &[])
+    }
+
+    /// Like [`Search::new`], but the variables listed in `vary_first` are
+    /// moved to the *deepest* search levels (earlier-listed deepest of all),
+    /// so solution enumeration cycles through their candidate values before
+    /// touching anything else. Callers that re-solve for an alternative
+    /// completion use this to make the variables they want varied appear in
+    /// the first few solutions instead of after an exponential tail.
+    /// `vary_first` variables that no constraint mentions are *added* to the
+    /// search (they are trivially satisfiable at every candidate value);
+    /// without this a caller could never obtain completions that differ on
+    /// a fully unconstrained variable.
+    fn new_with_tail(constraints: &'a [ExprRef], domains: &'a Domains, vary_first: &[Var]) -> Self {
         // Flatten top-level conjunctions so each piece mentions as few
         // variables as possible; that is what makes the early consistency
         // check prune effectively (a single monolithic conjunction could
@@ -296,7 +310,30 @@ impl<'a> Search<'a> {
             constraint_vars.push(vars.keys().copied().collect());
             all_vars.extend(vars);
         }
-        let order: Vec<Var> = all_vars.into_values().collect();
+        if !vary_first.is_empty() {
+            // Unconstrained vary variables still need a search level, or no
+            // solution would ever assign them.
+            for var in vary_first {
+                all_vars.entry(var.id).or_insert_with(|| var.clone());
+            }
+        }
+        let mut order: Vec<Var> = all_vars.into_values().collect();
+        if !vary_first.is_empty() {
+            // Stable-partition the order: non-tail variables keep their id
+            // order, tail variables are appended so that the enumeration
+            // (which backtracks from the deepest level first) varies
+            // `vary_first[0]` fastest.
+            let rank: BTreeMap<VarId, usize> = vary_first
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (v.id, i))
+                .collect();
+            let (head, mut tail): (Vec<Var>, Vec<Var>) =
+                order.into_iter().partition(|v| !rank.contains_key(&v.id));
+            tail.sort_by_key(|v| std::cmp::Reverse(rank[&v.id]));
+            order = head;
+            order.extend(tail);
+        }
         let level_of = order.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
         Search {
             constraints: flat,
@@ -424,8 +461,49 @@ pub fn solve(constraints: &[ExprRef], domains: &Domains) -> Option<Assignment> {
 
 /// Enumerates up to `limit` satisfying assignments.
 pub fn all_solutions(constraints: &[ExprRef], domains: &Domains, limit: usize) -> Vec<Assignment> {
-    let mut out = Vec::new();
     let search = Search::new(constraints, domains);
+    run_search(&search, limit)
+}
+
+/// Bounded re-solve over free variables: enumerates up to `limit`
+/// satisfying assignments that agree with `pinned` on every variable it
+/// assigns, varying the variables listed in `vary_first` before any other.
+///
+/// This is the representative-selection entry point: a caller that obtained
+/// one witness, found it cannot be realised (e.g. TESTGEN's
+/// unconstructibility checks), pins the variables the case's condition
+/// actually constrains and asks for alternative *completions* of the
+/// remaining free variables. `vary_first` names the variables whose value
+/// drove the rejection (descriptor-layout flags, link counts, …); they are
+/// moved to the deepest search levels so the first few solutions already
+/// cycle through their candidates — without this, plain enumeration order
+/// could need exponentially many solutions before touching an early
+/// variable. Pinned variables are excluded from `vary_first` automatically.
+/// A `vary_first` variable no constraint mentions is added to the search —
+/// unconstrained variables are otherwise absent from solutions, which would
+/// make completions differing on them unreachable.
+pub fn solve_with_preference(
+    constraints: &[ExprRef],
+    domains: &Domains,
+    pinned: &Assignment,
+    vary_first: &[Var],
+    limit: usize,
+) -> Vec<Assignment> {
+    let mut restricted = domains.clone();
+    for (var, value) in pinned.iter() {
+        restricted.set_var(*var, vec![*value]);
+    }
+    let tail: Vec<Var> = vary_first
+        .iter()
+        .filter(|v| pinned.get(v.id).is_none())
+        .cloned()
+        .collect();
+    let search = Search::new_with_tail(constraints, &restricted, &tail);
+    run_search(&search, limit)
+}
+
+fn run_search(search: &Search<'_>, limit: usize) -> Vec<Assignment> {
+    let mut out = Vec::new();
     let mut assignment = Assignment::new();
     // Constraints already decided with nothing assigned (constant `false`,
     // or short-circuited conjunctions) reject the whole search up front.
@@ -526,6 +604,94 @@ mod tests {
         assert_eq!(eval(&expr.0, &asg), Some(Value::Int(15)));
         asg.set(0, Value::Bool(false));
         assert_eq!(eval(&expr.0, &asg), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn solve_with_preference_respects_pins() {
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let constraints = vec![x.lt(&y).0];
+        let mut pinned = Assignment::new();
+        pinned.set(1, Value::Int(2));
+        let sols = solve_with_preference(&constraints, &Domains::default(), &pinned, &[], 16);
+        assert!(!sols.is_empty());
+        for s in &sols {
+            assert_eq!(s.int(1), 2, "pinned variable must keep its value");
+            assert!(s.int(0) < 2);
+        }
+    }
+
+    #[test]
+    fn solve_with_preference_varies_listed_variables_first() {
+        let ctx = SymContext::new();
+        // Three free booleans; b is listed as the variable to vary first, so
+        // the first two solutions must differ in b while a and c hold their
+        // first-fit values.
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let c = ctx.bool_var("c");
+        let constraints = vec![a.or(&b).or(&c).0, a.0.clone()];
+        let vary: Vec<Var> = ctx.variables().into_iter().filter(|v| v.id == 1).collect();
+        let sols = solve_with_preference(
+            &constraints,
+            &Domains::default(),
+            &Assignment::new(),
+            &vary,
+            2,
+        );
+        assert_eq!(sols.len(), 2);
+        assert_eq!(sols[0].bool(0), sols[1].bool(0));
+        assert_eq!(sols[0].bool(2), sols[1].bool(2));
+        assert_ne!(sols[0].bool(1), sols[1].bool(1));
+    }
+
+    #[test]
+    fn solve_with_preference_finds_alternative_completions() {
+        let ctx = SymContext::new();
+        // The "constructibility" scenario in miniature: `flag` is free, the
+        // first witness picks false, and the caller needs the true
+        // completion. With `flag` varied first it must appear within the
+        // first couple of solutions.
+        let pinnedv = ctx.int_var("pinnedv");
+        let flag = ctx.bool_var("flag");
+        let extra = ctx.int_var("extra");
+        let constraints = vec![
+            pinnedv.eq(&SymInt::from_i64(3)).0,
+            flag.implies(&extra.gt(&SymInt::from_i64(0))).0,
+        ];
+        let witness = solve(&constraints, &Domains::default()).expect("sat");
+        assert!(!witness.bool(1), "first witness picks flag = false");
+        let mut pinned = Assignment::new();
+        pinned.set(0, witness.get(0).unwrap());
+        let vary: Vec<Var> = ctx.variables().into_iter().filter(|v| v.id == 1).collect();
+        let sols = solve_with_preference(&constraints, &Domains::default(), &pinned, &vary, 4);
+        assert!(
+            sols.iter().any(|s| s.bool(1)),
+            "re-solve must reach the flag = true completion quickly"
+        );
+    }
+
+    #[test]
+    fn solve_with_preference_assigns_unconstrained_vary_variables() {
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        // `ghost` appears in no constraint; listing it as a vary variable
+        // must still produce completions for both of its values.
+        let ghost = ctx.bool_var("ghost");
+        let _ = ghost;
+        let constraints = vec![x.eq(&SymInt::from_i64(1)).0];
+        let vary: Vec<Var> = ctx.variables().into_iter().filter(|v| v.id == 1).collect();
+        let sols = solve_with_preference(
+            &constraints,
+            &Domains::default(),
+            &Assignment::new(),
+            &vary,
+            4,
+        );
+        assert_eq!(sols.len(), 2);
+        let ghosts: Vec<bool> = sols.iter().map(|s| s.bool(1)).collect();
+        assert!(ghosts.contains(&true) && ghosts.contains(&false));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Bounded differential-fuzz gate for CI.
+//!
+//! Runs a fixed-seed differential campaign over a representative call set
+//! (name, descriptor and pipe operations), replaying each generated test
+//! under two schedules on real threads, and fails if
+//!
+//! * any replay disagrees with the simulated kernel, or
+//! * TESTGEN's skip-reason histogram regresses against the checked-in
+//!   baseline (`tests/differential_fuzz_baseline.txt`): a count above the
+//!   baseline means previously-constructible representatives are being
+//!   skipped again.
+//!
+//! Run with `cargo run --release --example differential_fuzz`; pass
+//! `--write-baseline` after an intentional coverage change to regenerate
+//! the baseline file.
+
+use scalable_commutativity::commuter::SkipReason;
+use scalable_commutativity::host::{differential_campaign, CampaignConfig};
+use scalable_commutativity::model::CallKind;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/differential_fuzz_baseline.txt")
+}
+
+fn main() {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let config = CampaignConfig {
+        max_tests: 120,
+        schedules_per_test: 2,
+        seed: 0xC0DE_D1FF,
+        ..CampaignConfig::new(&[
+            CallKind::Stat,
+            CallKind::Unlink,
+            CallKind::Pipe,
+            CallKind::Read,
+            CallKind::Write,
+            CallKind::Close,
+        ])
+    };
+    println!(
+        "differential fuzz: {} calls, budget {} tests × {} schedules, seed {:#x}",
+        config.calls.len(),
+        config.max_tests,
+        config.schedules_per_test,
+        config.seed
+    );
+    let report = differential_campaign(&config);
+    println!(
+        "replayed {} tests ({} replays) across {} pairs; {} mismatches",
+        report.tests_run,
+        report.replays_run,
+        report.pairs.iter().filter(|p| p.replayed > 0).count(),
+        report.mismatches.len()
+    );
+    for pair in &report.pairs {
+        if pair.generated > 0 {
+            println!(
+                "  {:>8} ∥ {:<8} generated {:>3}, replayed {:>3}, skipped {:>3}",
+                pair.calls.0.name(),
+                pair.calls.1.name(),
+                pair.generated,
+                pair.replayed,
+                pair.skipped
+            );
+        }
+    }
+    println!("skip reasons: {:?}", report.skip_reasons);
+
+    let mut failed = false;
+    if !report.all_agree() {
+        eprintln!(
+            "FAIL: simulated and host results diverged:\n{}",
+            report.describe_mismatches()
+        );
+        failed = true;
+    }
+
+    let path = baseline_path();
+    if write_baseline {
+        // A mismatch still fails the run: a baseline regenerated while the
+        // oracle diverges would launder a real bug into "expected".
+        if failed {
+            std::process::exit(1);
+        }
+        let mut out = String::from(
+            "# differential_fuzz skip-reason baseline (regenerate with --write-baseline)\n",
+        );
+        // The replay count is a *lower* bound: if test generation collapses
+        // the gate must not pass vacuously with zero skips and zero tests.
+        out.push_str(&format!("tests-run {}\n", report.tests_run));
+        for (reason, count) in &report.skip_reasons {
+            out.push_str(&format!("{reason} {count}\n"));
+        }
+        std::fs::write(&path, out).expect("write baseline");
+        println!("baseline written to {}", path.display());
+        return;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("FAIL: cannot read baseline {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let mut baseline: BTreeMap<SkipReason, usize> = BTreeMap::new();
+    let mut min_tests_run = 0usize;
+    for line in baseline_text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().unwrap_or_default();
+        let count: usize = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .unwrap_or_else(|| panic!("malformed baseline line: {line}"));
+        if key == "tests-run" {
+            min_tests_run = count;
+            continue;
+        }
+        let reason = SkipReason::parse(key)
+            .unwrap_or_else(|| panic!("unknown skip reason in baseline: {line}"));
+        baseline.insert(reason, count);
+    }
+    if report.tests_run < min_tests_run {
+        eprintln!(
+            "FAIL: test generation collapsed: replayed {} tests, baseline requires {min_tests_run}",
+            report.tests_run
+        );
+        failed = true;
+    }
+    for reason in SkipReason::ALL {
+        let now = report.skip_reasons.get(&reason).copied().unwrap_or(0);
+        let allowed = baseline.get(&reason).copied().unwrap_or(0);
+        if now > allowed {
+            eprintln!("FAIL: skip-reason regression: {reason} is {now}, baseline allows {allowed}");
+            failed = true;
+        } else if now < allowed {
+            println!(
+                "note: {reason} improved to {now} (baseline {allowed}); consider --write-baseline"
+            );
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("differential fuzz gate passed");
+}

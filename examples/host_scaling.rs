@@ -16,7 +16,7 @@
 use scalable_commutativity::bench::hostbench::{host_thread_counts, openbench_host};
 use scalable_commutativity::bench::render_table;
 use scalable_commutativity::host::available_threads;
-use scalable_commutativity::host::differential_sample;
+use scalable_commutativity::host::{differential_campaign, CampaignConfig};
 use scalable_commutativity::model::CallKind;
 
 fn main() {
@@ -44,22 +44,31 @@ fn main() {
         collapse_ratio * 100.0
     );
 
-    println!("differential check: replaying generated commutative tests on real threads…");
-    let report = differential_sample(
-        &[
+    println!("differential campaign: replaying generated commutative tests on real threads…");
+    let report = differential_campaign(&CampaignConfig {
+        max_tests: 200,
+        schedules_per_test: 2,
+        ..CampaignConfig::new(&[
             CallKind::Open,
             CallKind::Stat,
             CallKind::Link,
             CallKind::Unlink,
             CallKind::Rename,
-        ],
-        200,
-    );
+        ])
+    });
     println!(
-        "  {} tests replayed, {} simulated-vs-host mismatches",
+        "  {} tests replayed ({} replays, budget spread over {} pairs), {} simulated-vs-host mismatches",
         report.tests_run,
+        report.replays_run,
+        report.pairs.iter().filter(|p| p.replayed > 0).count(),
         report.mismatches.len()
     );
+    if !report.skip_reasons.is_empty() {
+        println!(
+            "  unconstructible representatives skipped: {:?}",
+            report.skip_reasons
+        );
+    }
     if !report.all_agree() {
         println!("{}", report.describe_mismatches());
         std::process::exit(1);

@@ -39,11 +39,16 @@ fn main() {
     let linux = LinuxLikeFactory { cores: 4 };
     let results = run_commuter(&config, &[&linux, &sv6]);
     println!(
-        "generated {} tests from {} shapes ({} assignments skipped)\n",
+        "generated {} tests from {} shapes ({} rescued by re-solve; {} skipped)",
         results.tests.len(),
         results.shapes_analyzed,
+        results.resolved,
         results.skipped
     );
+    if !results.skip_reasons.is_empty() {
+        println!("skip reasons: {:?}", results.skip_reasons);
+    }
+    println!();
     for report in &results.reports {
         println!("{report}\n");
     }

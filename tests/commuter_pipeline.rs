@@ -16,6 +16,14 @@ fn name_operations_pipeline_matches_the_paper_qualitatively() {
     // The headline claims on a subset of the name-handling calls: sv6 is
     // conflict-free for (nearly) all generated commutative tests, the
     // Linux-like baseline for noticeably fewer.
+    //
+    // The threshold concedes a few points to constructible-completion
+    // selection: the corpus now includes the previously-skipped same-process
+    // double-`open` cases, which SIM-commute (equal results, equivalent
+    // states) but contend on the lowest-FD descriptor slot — the paper's §1
+    // example of a commutative POSIX operation whose *unmodified* contract
+    // defeats scalability, fixed there by O_ANYFD (which these generated
+    // tests deliberately do not use).
     let config = CommuterConfig::quick(&[
         CallKind::Open,
         CallKind::Link,
@@ -32,7 +40,7 @@ fn name_operations_pipeline_matches_the_paper_qualitatively() {
     let sv6_report = results.report_for("sv6").unwrap();
     let linux_report = results.report_for("Linux").unwrap();
     assert!(
-        sv6_report.overall_fraction() >= 0.95,
+        sv6_report.overall_fraction() >= 0.93,
         "sv6 must scale for nearly all commutative tests, got {:.2} ({} of {})",
         sv6_report.overall_fraction(),
         sv6_report.total_conflict_free(),
@@ -101,4 +109,32 @@ fn skipped_assignments_stay_a_small_fraction() {
         results.skipped,
         produced
     );
+    // Every skip is accounted for by a structured reason, both in the flat
+    // results and in the per-kernel report.
+    assert_eq!(
+        results.skip_reasons.values().sum::<usize>(),
+        results.skipped
+    );
+    let report = results.report_for("sv6").unwrap();
+    assert_eq!(report.total_skipped(), results.skipped);
+}
+
+#[test]
+fn pipe_read_cases_materialize_across_the_pipeline() {
+    // End-to-end check of the representative-selection fix: the pipeline's
+    // Read∥Read pairs must now produce pipe-backed tests (half-closed and
+    // both-ends-open representatives), with some rescued by re-solving.
+    let config = CommuterConfig::quick(&[CallKind::Read]);
+    let (sv6, _) = factories();
+    let results = run_commuter(&config, &[&sv6]);
+    let pipe_backed = results
+        .tests
+        .iter()
+        .filter(|t| t.setup.iter().any(|op| matches!(op, SysOp::Pipe { .. })))
+        .count();
+    assert!(
+        pipe_backed > 0,
+        "Read∥Read pipe-backed representatives must materialize"
+    );
+    assert!(results.resolved > 0, "re-solve must rescue representatives");
 }
