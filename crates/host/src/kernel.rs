@@ -17,6 +17,7 @@
 //!   threads are added, no matter how fast each individual call is.
 
 use parking_lot::{Mutex, RwLock};
+use scr_hostmtrace::{HostTraceSink, LockProbe, Probe, ProbeRadix, SeqProbe};
 use scr_kernel::api::{
     Errno, Fd, Ino, KResult, MmapBacking, OpenFlags, Pid, Prot, Stat, StatMask, SysOp, SysResult,
     Whence, PAGE_SIZE,
@@ -66,23 +67,34 @@ pub struct HostOptions {
 enum LinkCounter {
     /// Per-core deltas (Refcache-style).
     Scalable(Box<PerCoreRefcount>),
-    /// One shared atomic.
-    Shared(AtomicI64),
+    /// One shared atomic (plus its probe when the kernel is instrumented,
+    /// mirroring the simulated `LinkCounter::Shared` cell).
+    Shared(AtomicI64, Option<Probe>),
 }
 
 impl LinkCounter {
-    fn new(cores: usize, options: HostOptions) -> Self {
+    fn new(cores: usize, options: HostOptions, trace: Option<(&Arc<HostTraceSink>, &str)>) -> Self {
         if options.shared_link_counts {
-            LinkCounter::Shared(AtomicI64::new(0))
+            LinkCounter::Shared(
+                AtomicI64::new(0),
+                trace.map(|(sink, label)| sink.probe(format!("{label}.shared"))),
+            )
         } else {
-            LinkCounter::Scalable(Box::new(PerCoreRefcount::new(cores, 0)))
+            let rc = match trace {
+                Some((sink, label)) => PerCoreRefcount::instrumented(cores, 0, sink, label),
+                None => PerCoreRefcount::new(cores, 0),
+            };
+            LinkCounter::Scalable(Box::new(rc))
         }
     }
 
     fn inc(&self, core: usize) {
         match self {
             LinkCounter::Scalable(rc) => rc.inc(core),
-            LinkCounter::Shared(cell) => {
+            LinkCounter::Shared(cell, probe) => {
+                if let Some(p) = probe {
+                    p.rmw();
+                }
                 cell.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -91,7 +103,10 @@ impl LinkCounter {
     fn dec(&self, core: usize) {
         match self {
             LinkCounter::Scalable(rc) => rc.dec(core),
-            LinkCounter::Shared(cell) => {
+            LinkCounter::Shared(cell, probe) => {
+                if let Some(p) = probe {
+                    p.rmw();
+                }
                 cell.fetch_sub(1, Ordering::Relaxed);
             }
         }
@@ -100,9 +115,23 @@ impl LinkCounter {
     fn read_exact(&self) -> i64 {
         match self {
             LinkCounter::Scalable(rc) => rc.read_exact(),
-            LinkCounter::Shared(cell) => cell.load(Ordering::Relaxed),
+            LinkCounter::Shared(cell, probe) => {
+                if let Some(p) = probe {
+                    p.read();
+                }
+                cell.load(Ordering::Relaxed)
+            }
         }
     }
+}
+
+/// Probe lines of an instrumented inode, mirroring the simulated inode's
+/// traced cells (the link counter carries its own probes).
+struct InodeTrace {
+    /// `inode[N].size` seqlock lines.
+    size: SeqProbe,
+    /// `inode[N].pages` radix lines.
+    pages: ProbeRadix,
 }
 
 /// One regular file's in-memory inode.
@@ -114,6 +143,15 @@ struct Inode {
     size_pages: AtomicU64,
     /// Page cache: page number → contents.
     pages: RwLock<BTreeMap<u64, Vec<u8>>>,
+    tr: Option<InodeTrace>,
+}
+
+/// Probe lines of an instrumented pipe (three shared cells, as in the
+/// simulated kernel — the §6.4 residual non-scalable case).
+struct PipeTrace {
+    buffer: Probe,
+    readers: Probe,
+    writers: Probe,
 }
 
 /// One pipe; endpoint counts are plain shared atomics (the §6.4 residual
@@ -122,6 +160,7 @@ struct Pipe {
     buffer: Mutex<VecDeque<u8>>,
     readers: AtomicI64,
     writers: AtomicI64,
+    tr: Option<PipeTrace>,
 }
 
 /// What an open descriptor refers to.
@@ -136,13 +175,20 @@ enum FileObj {
 struct OpenFile {
     obj: FileObj,
     offset: AtomicU64,
+    /// The offset cell's line (`proc[p].ofile[name].offset`), when traced.
+    offset_probe: Option<Probe>,
 }
 
 /// One page of a mapped region.
 #[derive(Clone)]
 enum PageBacking {
-    Anon(Arc<AtomicU8>),
-    File { ino: Ino, file_page: u64 },
+    /// Anonymous memory; the probe mirrors the simulated per-page cell
+    /// `proc[p].page[vpn]`.
+    Anon(Arc<AtomicU8>, Option<Probe>),
+    File {
+        ino: Ino,
+        file_page: u64,
+    },
 }
 
 /// A mapping entry in the address space.
@@ -159,6 +205,28 @@ struct Process {
     fd_slots: Vec<crossbeam::utils::CachePadded<Mutex<Option<Arc<OpenFile>>>>>,
     vm_pages: RwLock<BTreeMap<u64, MappedPage>>,
     next_vpn: Vec<crossbeam::utils::CachePadded<AtomicU64>>,
+    /// One probe per descriptor slot (`proc[p].fd[f]`), when traced.
+    fd_probes: Option<Vec<Probe>>,
+    /// Address-space radix mirror (`proc[p].as`), when traced.
+    vm_probes: Option<ProbeRadix>,
+    /// Per-core mmap bump-allocator lines (`proc[p].next_vpn[c]`).
+    vpn_probes: Option<Vec<Probe>>,
+}
+
+/// The monitor hook-up of an instrumented kernel.
+struct KernelTrace {
+    sink: Arc<HostTraceSink>,
+    /// The global kernel lock's line. Acquisition is recorded as a
+    /// read-modify-write (and release as a write), so in `Linuxlike` mode
+    /// every pair of calls conflicts on this written line — the Linux
+    /// column of Figure 6.
+    giant: LockProbe,
+    /// Per-core deferred-reclamation queue lines
+    /// (`scalefs.inode_gc.defer[c]`).
+    defer: Vec<Probe>,
+    /// Distinguishes the pipes created during one window (label suffix
+    /// only; the simulated kernel uses its access counter the same way).
+    next_pipe_id: AtomicU64,
 }
 
 /// The real-threads kernel. All methods take `&self` and the type is
@@ -179,6 +247,8 @@ pub struct HostKernel {
     /// Per-core lists of inodes whose last link may be gone, drained by the
     /// epoch passes ("defer work", as in the simulated kernel's DeferQueue).
     defer: Vec<crossbeam::utils::CachePadded<Mutex<Vec<Ino>>>>,
+    /// The sharing monitor, when built with [`HostKernel::instrumented`].
+    trace: Option<KernelTrace>,
 }
 
 /// One cache-padded shard of the inode table.
@@ -194,31 +264,72 @@ impl HostKernel {
 
     /// Builds a kernel with non-default options (statbench ablation).
     pub fn with_options(cores: usize, mode: HostMode, options: HostOptions) -> Self {
+        Self::build(cores, mode, options, None)
+    }
+
+    /// Builds a kernel wired to a sharing monitor: every operation records
+    /// the same logical-line footprint its simulated counterpart records,
+    /// so traced windows can be cross-checked against the simulated
+    /// heatmap. The uninstrumented constructors record nothing.
+    pub fn instrumented(
+        cores: usize,
+        mode: HostMode,
+        options: HostOptions,
+        sink: &Arc<HostTraceSink>,
+    ) -> Self {
+        Self::build(cores, mode, options, Some(sink))
+    }
+
+    fn build(
+        cores: usize,
+        mode: HostMode,
+        options: HostOptions,
+        sink: Option<&Arc<HostTraceSink>>,
+    ) -> Self {
         let cores = cores.max(2);
+        let stripes = match mode {
+            HostMode::Sv6 => DIR_STRIPES,
+            // A single stripe: every name operation shares one lock,
+            // like a directory-wide dentry lock.
+            HostMode::Linuxlike => 1,
+        };
         HostKernel {
             mode,
             cores,
             options,
             giant: Mutex::new(()),
-            root: StripedHashDir::new(match mode {
-                HostMode::Sv6 => DIR_STRIPES,
-                // A single stripe: every name operation shares one lock,
-                // like a directory-wide dentry lock.
-                HostMode::Linuxlike => 1,
-            }),
+            root: match sink {
+                Some(sink) => StripedHashDir::instrumented(stripes, sink, "scalefs.root"),
+                None => StripedHashDir::new(stripes),
+            },
             inode_shards: (0..INODE_SHARDS)
                 .map(|_| crossbeam::utils::CachePadded::new(RwLock::new(BTreeMap::new())))
                 .collect(),
-            inode_alloc: HostInodeAllocator::new(cores),
+            inode_alloc: match sink {
+                Some(sink) => HostInodeAllocator::instrumented(cores, sink, "scalefs"),
+                None => HostInodeAllocator::new(cores),
+            },
             procs: RwLock::new(Vec::new()),
             defer: (0..cores)
                 .map(|_| crossbeam::utils::CachePadded::new(Mutex::new(Vec::new())))
                 .collect(),
+            trace: sink.map(|sink| KernelTrace {
+                sink: Arc::clone(sink),
+                giant: LockProbe::new(sink, "kernel.giant_lock"),
+                defer: (0..cores)
+                    .map(|c| sink.probe(format!("scalefs.inode_gc.defer[{c}]")))
+                    .collect(),
+                next_pipe_id: AtomicU64::new(0),
+            }),
         }
     }
 
-    /// Queues an inode for deferred reclamation on `core`'s list.
+    /// Queues an inode for deferred reclamation on `core`'s list (touches
+    /// only that core's queue line, as in the simulated `DeferQueue`).
     fn defer_reclaim(&self, core: usize, ino: Ino) {
+        if let Some(t) = &self.trace {
+            t.defer[core % self.cores].rmw();
+        }
         self.defer[core % self.cores].lock().push(ino);
     }
 
@@ -227,6 +338,9 @@ impl HostKernel {
     /// kernel runs this from a per-core timer tick). Returns the number of
     /// inodes reclaimed.
     pub fn reclaim_core(&self, core: usize) -> usize {
+        if let Some(t) = &self.trace {
+            t.defer[core % self.cores].rmw();
+        }
         let pending = std::mem::take(&mut *self.defer[core % self.cores].lock());
         let mut reclaimed = 0;
         for ino in pending {
@@ -265,17 +379,49 @@ impl HostKernel {
         self.cores
     }
 
-    /// Takes the global lock in `Linuxlike` mode; free in `Sv6` mode.
+    /// Takes the global lock in `Linuxlike` mode; free in `Sv6` mode. The
+    /// acquisition is recorded as a read-modify-write of the giant lock's
+    /// line and the release as a write (recorded up front — within a
+    /// window only the access multiset matters, not its order).
     fn serialise(&self) -> Option<parking_lot::MutexGuard<'_, ()>> {
         match self.mode {
-            HostMode::Linuxlike => Some(self.giant.lock()),
+            HostMode::Linuxlike => {
+                if let Some(t) = &self.trace {
+                    t.giant.acquire();
+                    t.giant.release();
+                }
+                Some(self.giant.lock())
+            }
             HostMode::Sv6 => None,
         }
     }
 
     /// Creates a new process, returning its pid (dense from zero).
     pub fn new_process(&self) -> Pid {
-        let proc_ = Arc::new(Process {
+        if self.trace.is_none() {
+            // Fast path: build outside the lock so concurrent syscalls
+            // (which read the process table on entry) are not blocked
+            // behind the table construction.
+            let proc_ = self.build_process(0);
+            let mut procs = self.procs.write();
+            procs.push(proc_);
+            return procs.len() - 1;
+        }
+        // Instrumented: the probe labels need the pid before construction,
+        // so hold the write lock across it. Instrumented kernels are built
+        // one per traced test, never on a measurement hot path.
+        let mut procs = self.procs.write();
+        let pid = procs.len();
+        let proc_ = self.build_process(pid);
+        procs.push(proc_);
+        pid
+    }
+
+    /// Builds a process table entry; `pid` only affects probe labels and is
+    /// ignored on uninstrumented kernels.
+    fn build_process(&self, pid: Pid) -> Arc<Process> {
+        let sink = self.trace.as_ref().map(|t| &t.sink);
+        Arc::new(Process {
             fd_slots: (0..self.cores * FDS_PER_CORE)
                 .map(|_| crossbeam::utils::CachePadded::new(Mutex::new(None)))
                 .collect(),
@@ -287,10 +433,18 @@ impl HostKernel {
                     ))
                 })
                 .collect(),
-        });
-        let mut procs = self.procs.write();
-        procs.push(proc_);
-        procs.len() - 1
+            fd_probes: sink.map(|sink| {
+                (0..self.cores * FDS_PER_CORE)
+                    .map(|fd| sink.probe(format!("proc[{pid}].fd[{fd}]")))
+                    .collect()
+            }),
+            vm_probes: sink.map(|sink| ProbeRadix::new(sink, &format!("proc[{pid}].as"))),
+            vpn_probes: sink.map(|sink| {
+                (0..self.cores)
+                    .map(|c| sink.probe(format!("proc[{pid}].next_vpn[{c}]")))
+                    .collect()
+            }),
+        })
     }
 
     fn proc(&self, pid: Pid) -> KResult<Arc<Process>> {
@@ -307,11 +461,21 @@ impl HostKernel {
 
     fn new_inode(&self, core: usize) -> Arc<Inode> {
         let ino = self.inode_alloc.alloc(core);
+        let sink = self.trace.as_ref().map(|t| &t.sink);
+        let nlink_label = format!("inode[{ino}].nlink");
         let inode = Arc::new(Inode {
             ino,
-            nlink: LinkCounter::new(self.cores, self.options),
+            nlink: LinkCounter::new(
+                self.cores,
+                self.options,
+                sink.map(|sink| (sink, nlink_label.as_str())),
+            ),
             size_pages: AtomicU64::new(0),
             pages: RwLock::new(BTreeMap::new()),
+            tr: sink.map(|sink| InodeTrace {
+                size: SeqProbe::new(sink, &format!("inode[{ino}].size")),
+                pages: ProbeRadix::new(sink, &format!("inode[{ino}].pages")),
+            }),
         });
         self.inode_shard(ino)
             .write()
@@ -320,18 +484,18 @@ impl HostKernel {
     }
 
     fn open_file(&self, proc_: &Process, fd: Fd) -> KResult<Arc<OpenFile>> {
-        proc_
-            .fd_slots
-            .get(fd as usize)
-            .ok_or(Errno::EBADF)?
-            .lock()
-            .clone()
-            .ok_or(Errno::EBADF)
+        let slot = proc_.fd_slots.get(fd as usize).ok_or(Errno::EBADF)?;
+        if let Some(p) = &proc_.fd_probes {
+            p[fd as usize].read();
+        }
+        slot.lock().clone().ok_or(Errno::EBADF)
     }
 
     /// Allocates a descriptor slot: lowest free slot, or the invoking core's
     /// partition with `anyfd`, exactly as in the simulated sv6 kernel. The
-    /// per-slot lock makes the claim atomic under concurrency.
+    /// per-slot lock makes the claim atomic under concurrency; the recorded
+    /// footprint is one read per scanned slot plus a write of the claimed
+    /// one, as in the simulated scan.
     fn alloc_fd(
         &self,
         core: usize,
@@ -346,8 +510,14 @@ impl HostKernel {
             (0, proc_.fd_slots.len())
         };
         for fd in start..end {
+            if let Some(p) = &proc_.fd_probes {
+                p[fd].read();
+            }
             let mut slot = proc_.fd_slots[fd].lock();
             if slot.is_none() {
+                if let Some(p) = &proc_.fd_probes {
+                    p[fd].write();
+                }
                 *slot = Some(file);
                 return Ok(fd as Fd);
             }
@@ -359,6 +529,9 @@ impl HostKernel {
         Stat {
             ino: if mask.want_ino { inode.ino } else { 0 },
             size: if mask.want_size {
+                if let Some(tr) = &inode.tr {
+                    tr.size.read();
+                }
                 inode.size_pages.load(Ordering::Acquire) * PAGE_SIZE
             } else {
                 0
@@ -381,6 +554,9 @@ impl HostKernel {
         let first_page = offset / PAGE_SIZE;
         let last_page = (offset + len - 1) / PAGE_SIZE;
         for page in first_page..=last_page {
+            if let Some(tr) = &inode.tr {
+                tr.pages.get(page as usize);
+            }
             match pages.get(&page) {
                 Some(data) => {
                     let page_start = page * PAGE_SIZE;
@@ -409,6 +585,12 @@ impl HostKernel {
             let page = cursor / PAGE_SIZE;
             let in_page = (cursor % PAGE_SIZE) as usize;
             let chunk = ((PAGE_SIZE as usize) - in_page).min(data.len() - written as usize);
+            // The simulated kernel reads the page, mutates a copy and
+            // stores it back — one radix get plus one radix set per chunk.
+            if let Some(tr) = &inode.tr {
+                tr.pages.get(page as usize);
+                tr.pages.set(page as usize);
+            }
             let page_data = pages.entry(page).or_default();
             if page_data.len() < in_page + chunk {
                 page_data.resize(in_page + chunk, 0);
@@ -419,8 +601,19 @@ impl HostKernel {
             cursor += chunk as u64;
         }
         drop(pages);
+        // Grow the size only when the write extends the file (the
+        // optimistic protocol): the read is always recorded, the write only
+        // when `fetch_max` actually raised the size.
         let end_pages = (offset + written).div_ceil(PAGE_SIZE);
-        inode.size_pages.fetch_max(end_pages, Ordering::AcqRel);
+        if let Some(tr) = &inode.tr {
+            tr.size.read();
+        }
+        let prev = inode.size_pages.fetch_max(end_pages, Ordering::AcqRel);
+        if prev < end_pages {
+            if let Some(tr) = &inode.tr {
+                tr.size.write();
+            }
+        }
         written
     }
 
@@ -468,15 +661,31 @@ impl HostKernel {
         };
         let inode = self.inode(ino).ok_or(Errno::ENOENT)?;
         if flags.truncate {
+            if let Some(tr) = &inode.tr {
+                tr.size.read();
+            }
             let size = inode.size_pages.load(Ordering::Acquire);
             if size != 0 {
+                if let Some(tr) = &inode.tr {
+                    tr.size.write();
+                }
                 inode.size_pages.store(0, Ordering::Release);
-                inode.pages.write().clear();
+                let mut pages = inode.pages.write();
+                if let Some(tr) = &inode.tr {
+                    for page in pages.keys() {
+                        tr.pages.take(*page as usize, true);
+                    }
+                }
+                pages.clear();
             }
         }
         let file = Arc::new(OpenFile {
             obj: FileObj::File(inode),
             offset: AtomicU64::new(0),
+            offset_probe: self
+                .trace
+                .as_ref()
+                .map(|t| t.sink.probe(format!("proc[{pid}].ofile[{name}].offset"))),
         });
         self.alloc_fd(core, &proc_, file, flags.anyfd)
     }
@@ -487,6 +696,15 @@ impl HostKernel {
         let _ = self.proc(pid)?;
         let ino = self.root.get(old).ok_or(Errno::ENOENT)?;
         let inode = self.inode(ino).ok_or(Errno::ENOENT)?;
+        // Optimistic existence check first ("precede pessimism with
+        // optimism", and the same read-only EEXIST path the simulated
+        // kernel takes): a link to an existing name must not touch the link
+        // counter at all. This check doubles as the insert's optimistic
+        // stage, so the pessimistic insert below completes exactly the
+        // traced `insert_if_absent` footprint.
+        if self.root.contains(new) {
+            return Err(Errno::EEXIST);
+        }
         // Publish the increment *before* inserting the name, then validate
         // the inode is still in the table. A concurrent unlink+epoch pass
         // could have reclaimed it between our lookup and our increment; the
@@ -494,7 +712,7 @@ impl HostKernel {
         // successful validation the inode can no longer disappear while the
         // new name references it.
         inode.nlink.inc(core);
-        if !self.root.insert_if_absent(new, ino) {
+        if !self.root.insert_if_absent_pessimistic(new, ino) {
             inode.nlink.dec(core);
             return Err(Errno::EEXIST);
         }
@@ -609,11 +827,21 @@ impl HostKernel {
             FileObj::File(inode) => inode,
             _ => return Err(Errno::ESPIPE),
         };
+        // Optimistic stage: compute the new offset read-only and return
+        // early if it is invalid or equal to the current offset (§6.3).
+        if let Some(p) = &file.offset_probe {
+            p.read();
+        }
         let current = file.offset.load(Ordering::Acquire);
         let base = match whence {
             Whence::Set => 0i64,
             Whence::Cur => current as i64,
-            Whence::End => (inode.size_pages.load(Ordering::Acquire) * PAGE_SIZE) as i64,
+            Whence::End => {
+                if let Some(tr) = &inode.tr {
+                    tr.size.read();
+                }
+                (inode.size_pages.load(Ordering::Acquire) * PAGE_SIZE) as i64
+            }
         };
         let target = base + offset;
         if target < 0 {
@@ -622,6 +850,9 @@ impl HostKernel {
         let target = target as u64;
         if target == current {
             return Ok(target);
+        }
+        if let Some(p) = &file.offset_probe {
+            p.write();
         }
         file.offset.store(target, Ordering::Release);
         Ok(target)
@@ -632,13 +863,27 @@ impl HostKernel {
         let _g = self.serialise();
         let proc_ = self.proc(pid)?;
         let slot = proc_.fd_slots.get(fd as usize).ok_or(Errno::EBADF)?;
+        if let Some(p) = &proc_.fd_probes {
+            p[fd as usize].read();
+        }
         let file = slot.lock().take().ok_or(Errno::EBADF)?;
+        if let Some(p) = &proc_.fd_probes {
+            p[fd as usize].write();
+        }
         match &file.obj {
             FileObj::File(_) => {}
+            // Pipe endpoint counts are shared cells: the deliberate §6.4
+            // residual conflict.
             FileObj::PipeRead(pipe) => {
+                if let Some(tr) = &pipe.tr {
+                    tr.readers.rmw();
+                }
                 pipe.readers.fetch_sub(1, Ordering::AcqRel);
             }
             FileObj::PipeWrite(pipe) => {
+                if let Some(tr) = &pipe.tr {
+                    tr.writers.rmw();
+                }
                 pipe.writers.fetch_sub(1, Ordering::AcqRel);
             }
         }
@@ -649,18 +894,33 @@ impl HostKernel {
     pub fn pipe(&self, core: usize, pid: Pid) -> KResult<(Fd, Fd)> {
         let _g = self.serialise();
         let proc_ = self.proc(pid)?;
+        let trace = self.trace.as_ref();
+        let id = trace.map(|t| t.next_pipe_id.fetch_add(1, Ordering::Relaxed));
+        let label = |suffix: &str| {
+            format!(
+                "pipe[{pid}:{}].{suffix}",
+                id.expect("labels only built when traced")
+            )
+        };
         let pipe = Arc::new(Pipe {
             buffer: Mutex::new(VecDeque::new()),
             readers: AtomicI64::new(1),
             writers: AtomicI64::new(1),
+            tr: trace.map(|t| PipeTrace {
+                buffer: t.sink.probe(label("buffer")),
+                readers: t.sink.probe(label("readers")),
+                writers: t.sink.probe(label("writers")),
+            }),
         });
         let read_end = Arc::new(OpenFile {
             obj: FileObj::PipeRead(Arc::clone(&pipe)),
             offset: AtomicU64::new(0),
+            offset_probe: trace.map(|t| t.sink.probe(label("roff"))),
         });
         let write_end = Arc::new(OpenFile {
             obj: FileObj::PipeWrite(pipe),
             offset: AtomicU64::new(0),
+            offset_probe: trace.map(|t| t.sink.probe(label("woff"))),
         });
         let rfd = self.alloc_fd(core, &proc_, read_end, false)?;
         let wfd = self.alloc_fd(core, &proc_, write_end, false)?;
@@ -674,21 +934,37 @@ impl HostKernel {
         let file = self.open_file(&proc_, fd)?;
         match &file.obj {
             FileObj::File(inode) => {
+                if let Some(p) = &file.offset_probe {
+                    p.read();
+                }
                 let offset = file.offset.load(Ordering::Acquire);
                 let data = self.file_read_at(inode, offset, len);
                 if !data.is_empty() {
+                    if let Some(p) = &file.offset_probe {
+                        p.write();
+                    }
                     file.offset
                         .store(offset + data.len() as u64, Ordering::Release);
                 }
                 Ok(data)
             }
             FileObj::PipeRead(pipe) => {
+                // The simulated kernel drains through `buffer.update`, which
+                // reads and writes the buffer cell even when nothing is
+                // taken — two concurrent empty reads of one pipe conflict,
+                // deliberately (§6.4).
+                if let Some(tr) = &pipe.tr {
+                    tr.buffer.rmw();
+                }
                 let data: Vec<u8> = {
                     let mut buf = pipe.buffer.lock();
                     let take = (len as usize).min(buf.len());
                     buf.drain(..take).collect()
                 };
                 if data.is_empty() {
+                    if let Some(tr) = &pipe.tr {
+                        tr.writers.read();
+                    }
                     if pipe.writers.load(Ordering::Acquire) > 0 {
                         return Err(Errno::EAGAIN);
                     }
@@ -707,14 +983,27 @@ impl HostKernel {
         let file = self.open_file(&proc_, fd)?;
         match &file.obj {
             FileObj::File(inode) => {
+                if let Some(p) = &file.offset_probe {
+                    p.read();
+                }
                 let offset = file.offset.load(Ordering::Acquire);
                 let written = self.file_write_at(inode, offset, data);
+                if let Some(p) = &file.offset_probe {
+                    p.write();
+                }
                 file.offset.store(offset + written, Ordering::Release);
                 Ok(written)
             }
             FileObj::PipeWrite(pipe) => {
+                // SIGPIPE check: reads the shared reader count.
+                if let Some(tr) = &pipe.tr {
+                    tr.readers.read();
+                }
                 if pipe.readers.load(Ordering::Acquire) == 0 {
                     return Err(Errno::EPIPE);
+                }
+                if let Some(tr) = &pipe.tr {
+                    tr.buffer.rmw();
                 }
                 pipe.buffer.lock().extend(data.iter().copied());
                 Ok(data.len() as u64)
@@ -766,7 +1055,14 @@ impl HostKernel {
         let proc_ = self.proc(pid)?;
         let base_vpn = match addr_hint {
             Some(addr) => Self::vpn_of(addr)?,
-            None => proc_.next_vpn[core % self.cores].fetch_add(pages, Ordering::Relaxed),
+            None => {
+                // Per-core region allocation: no shared allocation state.
+                let shard = core % self.cores;
+                if let Some(p) = &proc_.vpn_probes {
+                    p[shard].rmw();
+                }
+                proc_.next_vpn[shard].fetch_add(pages, Ordering::Relaxed)
+            }
         };
         let file_ino = match backing {
             MmapBacking::Anon => None,
@@ -782,9 +1078,17 @@ impl HostKernel {
         for i in 0..pages {
             let vpn = base_vpn + i;
             let backing = match file_ino {
-                None => PageBacking::Anon(Arc::new(AtomicU8::new(0))),
+                None => PageBacking::Anon(
+                    Arc::new(AtomicU8::new(0)),
+                    self.trace
+                        .as_ref()
+                        .map(|t| t.sink.probe(format!("proc[{pid}].page[{vpn}]"))),
+                ),
                 Some(ino) => PageBacking::File { ino, file_page: i },
             };
+            if let Some(p) = &proc_.vm_probes {
+                p.set(vpn as usize);
+            }
             vm.insert(vpn, MappedPage { prot, backing });
         }
         Ok(base_vpn * PAGE_SIZE)
@@ -797,7 +1101,10 @@ impl HostKernel {
         let base_vpn = Self::vpn_of(addr)?;
         let mut vm = proc_.vm_pages.write();
         for i in 0..pages {
-            vm.remove(&(base_vpn + i));
+            let present = vm.remove(&(base_vpn + i)).is_some();
+            if let Some(p) = &proc_.vm_probes {
+                p.take((base_vpn + i) as usize, present);
+            }
         }
         Ok(())
     }
@@ -816,8 +1123,19 @@ impl HostKernel {
         let base_vpn = Self::vpn_of(addr)?;
         let mut vm = proc_.vm_pages.write();
         for i in 0..pages {
-            match vm.get_mut(&(base_vpn + i)) {
-                Some(page) => page.prot = prot,
+            let vpn = base_vpn + i;
+            if let Some(p) = &proc_.vm_probes {
+                p.get(vpn as usize);
+            }
+            match vm.get_mut(&vpn) {
+                Some(page) => {
+                    // The simulated kernel reads the slot and stores the
+                    // updated mapping back.
+                    if let Some(p) = &proc_.vm_probes {
+                        p.set(vpn as usize);
+                    }
+                    page.prot = prot;
+                }
                 None => return Err(Errno::ENOMEM),
             }
         }
@@ -830,6 +1148,9 @@ impl HostKernel {
         let proc_ = self.proc(pid)?;
         let vpn = addr / PAGE_SIZE;
         let in_page = addr % PAGE_SIZE;
+        if let Some(p) = &proc_.vm_probes {
+            p.get(vpn as usize);
+        }
         let page = proc_
             .vm_pages
             .read()
@@ -840,7 +1161,12 @@ impl HostKernel {
             return Err(Errno::EFAULT);
         }
         match &page.backing {
-            PageBacking::Anon(cell) => Ok(cell.load(Ordering::Acquire)),
+            PageBacking::Anon(cell, probe) => {
+                if let Some(p) = probe {
+                    p.read();
+                }
+                Ok(cell.load(Ordering::Acquire))
+            }
             PageBacking::File { ino, file_page } => {
                 let inode = self.inode(*ino).ok_or(Errno::EFAULT)?;
                 let data = self.file_read_at(&inode, file_page * PAGE_SIZE + in_page, 1);
@@ -855,6 +1181,9 @@ impl HostKernel {
         let proc_ = self.proc(pid)?;
         let vpn = addr / PAGE_SIZE;
         let in_page = addr % PAGE_SIZE;
+        if let Some(p) = &proc_.vm_probes {
+            p.get(vpn as usize);
+        }
         let page = proc_
             .vm_pages
             .read()
@@ -865,7 +1194,10 @@ impl HostKernel {
             return Err(Errno::EFAULT);
         }
         match &page.backing {
-            PageBacking::Anon(cell) => {
+            PageBacking::Anon(cell, probe) => {
+                if let Some(p) = probe {
+                    p.write();
+                }
                 cell.store(value, Ordering::Release);
                 Ok(())
             }

@@ -20,8 +20,14 @@
 //! * [`differential`] replays TESTGEN's `ConcreteTest`s on real threads and
 //!   cross-checks every return value against the simulated `Sv6Kernel`,
 //!   closing the loop between the symbolic pipeline and real execution.
+//! * [`fig6`] replays the same tests with a `scr-hostmtrace` tracing window
+//!   around the concurrent pair and aggregates host-side Figure 6 heatmaps
+//!   (`sv6-host` / `linux-host`), cross-checking every conflict verdict
+//!   against the simulated heatmap (lowest-FD contention excepted, and
+//!   recorded explicitly).
 
 pub mod differential;
+pub mod fig6;
 pub mod harness;
 pub mod kernel;
 pub mod workloads;
@@ -29,6 +35,11 @@ pub mod workloads;
 pub use differential::{
     differential_campaign, differential_sample, run_differential, CampaignConfig,
     DifferentialReport, HostReplayer, PairOutcome,
+};
+pub use fig6::{
+    classify_divergence, normalize_pipe_label, replay_traced, replay_traced_with_sink,
+    run_host_fig6, run_test_host, Fig6Divergence, HostFig6Config, HostFig6Results, HostTestOutcome,
+    LOWEST_FD_EXCEPTION,
 };
 pub use harness::{available_threads, LoadHarness};
 pub use kernel::{perform_host, HostKernel, HostMode, HostOptions};

@@ -1,0 +1,185 @@
+//! Probe handles: the instrumentation side of the monitor.
+//!
+//! A [`Probe`] stands for one logical cache line of an instrumented host
+//! structure. The composite probes ([`LockProbe`], [`SeqProbe`]) reproduce
+//! the access footprints of their simulated twins (`TracedLock`, `SeqLock`)
+//! so a host structure records the same multiset of accesses its simulated
+//! counterpart would — which is what makes the SIM↔host cross-check of the
+//! Figure 6 pipeline meaningful.
+
+use crate::sink::HostTraceSink;
+use scr_mtrace::trace::AccessKind;
+use scr_mtrace::LineId;
+use std::sync::Arc;
+
+/// A handle to one labelled logical line.
+#[derive(Clone)]
+pub struct Probe {
+    sink: Arc<HostTraceSink>,
+    line: LineId,
+}
+
+impl Probe {
+    pub(crate) fn new(sink: Arc<HostTraceSink>, line: LineId) -> Self {
+        Probe { sink, line }
+    }
+
+    /// The line this probe records against.
+    pub fn line(&self) -> LineId {
+        self.line
+    }
+
+    /// The sink this probe records into.
+    pub fn sink(&self) -> &Arc<HostTraceSink> {
+        &self.sink
+    }
+
+    /// The label the line was allocated with.
+    pub fn label(&self) -> String {
+        self.sink.label_of(self.line)
+    }
+
+    /// Records a load (mirrors `TracedCell::get`/`with`).
+    pub fn read(&self) {
+        self.sink.record(self.line, AccessKind::Read);
+    }
+
+    /// Records a store (mirrors `TracedCell::set`).
+    pub fn write(&self) {
+        self.sink.record(self.line, AccessKind::Write);
+    }
+
+    /// Records a read-modify-write (mirrors `TracedCell::update` /
+    /// `fetch_update`: one read then one write).
+    pub fn rmw(&self) {
+        self.sink.record(self.line, AccessKind::Read);
+        self.sink.record(self.line, AccessKind::Write);
+    }
+}
+
+impl std::fmt::Debug for Probe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Probe")
+            .field("line", &self.line)
+            .field("label", &self.label())
+            .finish()
+    }
+}
+
+/// Mirrors `scr_scalable::TracedLock`'s footprint: acquisition is a
+/// read-modify-write of the lock word (a real `lock cmpxchg`), release is a
+/// plain store.
+#[derive(Clone, Debug)]
+pub struct LockProbe {
+    word: Probe,
+}
+
+impl LockProbe {
+    /// Allocates the lock-word line.
+    pub fn new(sink: &Arc<HostTraceSink>, label: impl Into<String>) -> Self {
+        LockProbe {
+            word: sink.probe(label),
+        }
+    }
+
+    /// Records an acquisition (read + write of the lock word).
+    pub fn acquire(&self) {
+        self.word.rmw();
+    }
+
+    /// Records a release (write of the lock word).
+    pub fn release(&self) {
+        self.word.write();
+    }
+
+    /// The lock word's probe.
+    pub fn word(&self) -> &Probe {
+        &self.word
+    }
+}
+
+/// Mirrors `scr_scalable::SeqLock`'s footprint: readers read the sequence
+/// line, the data line, then the sequence line again; writers bump the
+/// sequence line, update the data line, and bump the sequence line again.
+#[derive(Clone, Debug)]
+pub struct SeqProbe {
+    seq: Probe,
+    data: Probe,
+}
+
+impl SeqProbe {
+    /// Allocates the `.seq` and `.data` lines under `label`.
+    pub fn new(sink: &Arc<HostTraceSink>, label: &str) -> Self {
+        SeqProbe {
+            seq: sink.probe(format!("{label}.seq")),
+            data: sink.probe(format!("{label}.data")),
+        }
+    }
+
+    /// Records a seqlock read (reads only — concurrent readers stay
+    /// conflict-free).
+    pub fn read(&self) {
+        self.seq.read();
+        self.data.read();
+        self.seq.read();
+    }
+
+    /// Records a seqlock write (both lines read-modify-written).
+    pub fn write(&self) {
+        self.seq.rmw();
+        self.data.rmw();
+        self.seq.rmw();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::on_core;
+    use scr_mtrace::trace::AccessKind::{Read, Write};
+
+    fn kinds(sink: &Arc<HostTraceSink>) -> Vec<(usize, AccessKind)> {
+        sink.end_window()
+            .accesses
+            .iter()
+            .map(|a| (a.core, a.kind))
+            .collect()
+    }
+
+    #[test]
+    fn lock_probe_mirrors_traced_lock() {
+        let sink = HostTraceSink::new(2);
+        let lock = LockProbe::new(&sink, "l");
+        sink.begin_window();
+        lock.acquire();
+        lock.release();
+        assert_eq!(kinds(&sink), vec![(0, Read), (0, Write), (0, Write)]);
+    }
+
+    #[test]
+    fn seq_probe_reader_is_read_only_and_writer_is_not() {
+        let sink = HostTraceSink::new(2);
+        let seq = SeqProbe::new(&sink, "inode.size");
+        sink.begin_window();
+        on_core(0, || seq.read());
+        on_core(1, || seq.read());
+        let readers = sink.end_window();
+        assert!(readers.is_conflict_free());
+        sink.begin_window();
+        on_core(0, || seq.read());
+        on_core(1, || seq.write());
+        let mixed = sink.end_window();
+        assert!(!mixed.is_conflict_free());
+        assert!(mixed
+            .conflicting_labels()
+            .iter()
+            .any(|l| l == "inode.size.seq"));
+    }
+
+    #[test]
+    fn probe_labels_resolve() {
+        let sink = HostTraceSink::new(1);
+        let p = sink.probe("dentry.refcount");
+        assert_eq!(p.label(), "dentry.refcount");
+    }
+}

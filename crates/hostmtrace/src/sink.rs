@@ -1,0 +1,380 @@
+//! The trace sink: per-thread lock-free access logs behind an epoch-windowed
+//! gate, and the window analysis that turns a log into a conflict report.
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use scr_mtrace::trace::{analyze, Access, AccessKind, ConflictReport};
+use scr_mtrace::LineId;
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// The "core" accesses from this thread are attributed to — the
+    /// real-threads analogue of the simulated machine's current-core
+    /// register.
+    static CURRENT_CORE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` with the calling thread's core register set to `core`,
+/// restoring the previous value afterwards (mirrors
+/// `scr_mtrace::SimMachine::on_core`).
+pub fn on_core<R>(core: usize, f: impl FnOnce() -> R) -> R {
+    CURRENT_CORE.with(|c| {
+        let prev = c.replace(core);
+        let out = f();
+        c.set(prev);
+        out
+    })
+}
+
+/// The core the calling thread's accesses are currently attributed to.
+pub fn current_core() -> usize {
+    CURRENT_CORE.with(|c| c.get())
+}
+
+/// Default per-thread log capacity (slots, one access each). Generated
+/// tests record a few hundred accesses per window; the default leaves two
+/// orders of magnitude of headroom.
+pub const DEFAULT_LOG_CAPACITY: usize = 1 << 14;
+
+/// Bit layout of one encoded log slot (an `AtomicU64`):
+/// bit 0 = present, bit 1 = write?, bits 2..48 = line id,
+/// bits 48..64 = window epoch (wrapping, used to filter stale slots).
+const PRESENT_BIT: u64 = 1;
+const WRITE_BIT: u64 = 1 << 1;
+const LINE_SHIFT: u64 = 2;
+const LINE_MASK: u64 = (1 << 46) - 1;
+const EPOCH_SHIFT: u64 = 48;
+const EPOCH_MASK: u64 = 0xFFFF;
+
+fn encode(line: LineId, kind: AccessKind, epoch: u64) -> u64 {
+    debug_assert!(line.0 <= LINE_MASK, "line id out of encodable range");
+    let kind_bit = match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => WRITE_BIT,
+    };
+    PRESENT_BIT
+        | kind_bit
+        | ((line.0 & LINE_MASK) << LINE_SHIFT)
+        | ((epoch & EPOCH_MASK) << EPOCH_SHIFT)
+}
+
+fn decode(slot: u64, epoch: u64) -> Option<(LineId, AccessKind)> {
+    if slot & PRESENT_BIT == 0 || (slot >> EPOCH_SHIFT) & EPOCH_MASK != epoch & EPOCH_MASK {
+        return None;
+    }
+    let kind = if slot & WRITE_BIT != 0 {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    };
+    Some((LineId((slot >> LINE_SHIFT) & LINE_MASK), kind))
+}
+
+/// A lock-free, append-only, fixed-capacity log of encoded accesses.
+///
+/// Appending reserves a slot with a relaxed `fetch_add` and publishes the
+/// encoded access with one release store; appends past capacity are counted
+/// as dropped instead of blocking or reallocating. One log belongs to one
+/// "core" slot of the sink and is cache-padded against its neighbours.
+pub struct AccessLog {
+    slots: Box<[AtomicU64]>,
+    cursor: AtomicUsize,
+}
+
+impl AccessLog {
+    fn new(capacity: usize) -> Self {
+        AccessLog {
+            slots: (0..capacity.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Slots available before appends start dropping.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn append(&self, line: LineId, kind: AccessKind, epoch: u64) {
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.slots.get(idx) {
+            slot.store(encode(line, kind, epoch), Ordering::Release);
+        }
+    }
+
+    /// Clears the used prefix for a fresh window.
+    fn reset(&self) {
+        let used = self.cursor.swap(0, Ordering::Relaxed).min(self.slots.len());
+        for slot in &self.slots[..used] {
+            slot.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Decodes this log's entries for `epoch` into `out`; returns how many
+    /// appends overflowed the capacity.
+    fn collect(&self, core: usize, epoch: u64, out: &mut Vec<Access>) -> usize {
+        let reserved = self.cursor.load(Ordering::Acquire);
+        let readable = reserved.min(self.slots.len());
+        for slot in &self.slots[..readable] {
+            if let Some((line, kind)) = decode(slot.load(Ordering::Acquire), epoch) {
+                out.push(Access {
+                    seq: 0,
+                    core,
+                    line,
+                    kind,
+                });
+            }
+        }
+        reserved.saturating_sub(self.slots.len())
+    }
+}
+
+/// The sharing monitor: labelled logical lines, per-thread logs, and an
+/// epoch-windowed tracing gate.
+pub struct HostTraceSink {
+    enabled: AtomicBool,
+    epoch: AtomicU64,
+    labels: Mutex<Vec<String>>,
+    logs: Vec<CachePadded<AccessLog>>,
+}
+
+impl HostTraceSink {
+    /// A sink with one log per core and the default capacity.
+    pub fn new(cores: usize) -> Arc<Self> {
+        Self::with_capacity(cores, DEFAULT_LOG_CAPACITY)
+    }
+
+    /// A sink with an explicit per-thread log capacity.
+    pub fn with_capacity(cores: usize, capacity_per_thread: usize) -> Arc<Self> {
+        Arc::new(HostTraceSink {
+            enabled: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            labels: Mutex::new(Vec::new()),
+            logs: (0..cores.max(1))
+                .map(|_| CachePadded::new(AccessLog::new(capacity_per_thread)))
+                .collect(),
+        })
+    }
+
+    /// Number of per-thread log slots ("cores") the sink was built with.
+    pub fn cores(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Allocates a fresh labelled logical line (mirrors
+    /// `SimMachine::alloc_line`). Allocation never records an access.
+    pub fn alloc_line(&self, label: impl Into<String>) -> LineId {
+        let mut labels = self.labels.lock();
+        let id = LineId(labels.len() as u64);
+        labels.push(label.into());
+        id
+    }
+
+    /// The label attached to a line at allocation time.
+    pub fn label_of(&self, line: LineId) -> String {
+        self.labels
+            .lock()
+            .get(line.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("line#{}", line.0))
+    }
+
+    /// Allocates a line and returns a [`Probe`] handle for it.
+    pub fn probe(self: &Arc<Self>, label: impl Into<String>) -> super::Probe {
+        super::Probe::new(Arc::clone(self), self.alloc_line(label))
+    }
+
+    /// Is a tracing window currently open?
+    pub fn is_tracing(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Opens a tracing window: clears every log, advances the epoch and
+    /// opens the gate. Accesses recorded by threads that raced a previous
+    /// window's close carry the old epoch and are filtered at collection.
+    pub fn begin_window(&self) {
+        for log in &self.logs {
+            log.reset();
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Closes the window and analyses it. The caller must have joined the
+    /// traced threads first — a straggler still recording would race the
+    /// collection (its accesses are either seen or filtered by epoch, but
+    /// never corrupt the log).
+    pub fn end_window(&self) -> HostConflictReport {
+        self.enabled.store(false, Ordering::SeqCst);
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let mut accesses = Vec::new();
+        let mut dropped = 0;
+        for (core, log) in self.logs.iter().enumerate() {
+            dropped += log.collect(core, epoch, &mut accesses);
+        }
+        for (seq, access) in accesses.iter_mut().enumerate() {
+            access.seq = seq as u64;
+        }
+        let report = analyze(&accesses, |line| self.label_of(line));
+        HostConflictReport {
+            report,
+            accesses,
+            dropped,
+        }
+    }
+
+    /// Records one access against the calling thread's current core. The
+    /// off path (no open window) is a single relaxed load.
+    pub fn record(&self, line: LineId, kind: AccessKind) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let core = current_core() % self.logs.len();
+        self.logs[core].append(line, kind, epoch);
+    }
+}
+
+impl fmt::Debug for HostTraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostTraceSink")
+            .field("cores", &self.logs.len())
+            .field("tracing", &self.is_tracing())
+            .finish()
+    }
+}
+
+/// The analysis of one traced window: the §3.3 conflict report over the
+/// collected accesses, plus the raw window and overflow accounting.
+#[derive(Clone, Debug)]
+pub struct HostConflictReport {
+    /// Shared (conflicting) lines, in the shared `scr-mtrace` vocabulary.
+    pub report: ConflictReport,
+    /// The collected accesses (core-major order; `seq` is collection order).
+    pub accesses: Vec<Access>,
+    /// Appends that overflowed a log's capacity. A non-zero count means the
+    /// window may have missed conflicts, so it is never reported
+    /// conflict-free.
+    pub dropped: usize,
+}
+
+impl HostConflictReport {
+    /// Conflict-free means no shared lines *and* no dropped accesses.
+    pub fn is_conflict_free(&self) -> bool {
+        self.dropped == 0 && self.report.is_conflict_free()
+    }
+
+    /// Labels of the conflicting lines (deduplicated, sorted).
+    pub fn conflicting_labels(&self) -> Vec<String> {
+        self.report.conflicting_labels()
+    }
+}
+
+impl fmt::Display for HostConflictReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dropped > 0 {
+            writeln!(
+                f,
+                "WARNING: {} accesses dropped (log overflow)",
+                self.dropped
+            )?;
+        }
+        write!(f, "{}", self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_closed_records_nothing() {
+        let sink = HostTraceSink::new(2);
+        let probe = sink.probe("x");
+        probe.write();
+        probe.read();
+        let report = sink.end_window();
+        assert!(report.accesses.is_empty());
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn window_records_reads_and_writes_with_core() {
+        let sink = HostTraceSink::new(4);
+        let probe = sink.probe("ctr");
+        sink.begin_window();
+        on_core(3, || {
+            probe.write();
+            probe.read();
+        });
+        let report = sink.end_window();
+        assert_eq!(report.accesses.len(), 2);
+        assert!(report.accesses.iter().all(|a| a.core == 3));
+        assert_eq!(report.accesses[0].kind, AccessKind::Write);
+        assert_eq!(report.accesses[1].kind, AccessKind::Read);
+        // One core, so no conflict despite the write.
+        assert!(report.is_conflict_free());
+    }
+
+    #[test]
+    fn cross_thread_write_conflicts_and_labels_resolve() {
+        let sink = HostTraceSink::new(2);
+        let probe = sink.probe("file.refcount");
+        sink.begin_window();
+        std::thread::scope(|s| {
+            for core in 0..2 {
+                let probe = probe.clone();
+                s.spawn(move || on_core(core, || probe.rmw()));
+            }
+        });
+        let report = sink.end_window();
+        assert!(!report.is_conflict_free());
+        assert_eq!(
+            report.conflicting_labels(),
+            vec!["file.refcount".to_string()]
+        );
+    }
+
+    #[test]
+    fn windows_are_isolated_by_epoch() {
+        let sink = HostTraceSink::new(2);
+        let probe = sink.probe("a");
+        sink.begin_window();
+        probe.write();
+        let first = sink.end_window();
+        assert_eq!(first.accesses.len(), 1);
+        sink.begin_window();
+        let second = sink.end_window();
+        assert!(second.accesses.is_empty(), "stale accesses leaked");
+    }
+
+    #[test]
+    fn overflow_is_counted_and_never_conflict_free() {
+        let sink = HostTraceSink::with_capacity(1, 4);
+        let probe = sink.probe("hot");
+        sink.begin_window();
+        for _ in 0..10 {
+            probe.read();
+        }
+        let report = sink.end_window();
+        assert_eq!(report.accesses.len(), 4);
+        assert_eq!(report.dropped, 6);
+        assert!(!report.is_conflict_free());
+    }
+
+    #[test]
+    fn on_core_restores_previous_core() {
+        assert_eq!(current_core(), 0);
+        let inner = on_core(5, || on_core(2, current_core));
+        assert_eq!(inner, 2);
+        assert_eq!(current_core(), 0);
+    }
+
+    #[test]
+    fn unknown_line_label_falls_back() {
+        let sink = HostTraceSink::new(1);
+        assert_eq!(sink.label_of(LineId(99)), "line#99");
+    }
+}

@@ -7,16 +7,28 @@
 //! host machine, the qualitative behaviour the simulator predicts: per-core
 //! counters scale where a single shared counter does not (the §7.2
 //! observation that even one contended cache line wrecks scalability).
+//!
+//! Each twin can optionally carry `scr-hostmtrace` probes (the
+//! `instrumented` constructors): while a tracing window is open, the twin
+//! records the **same line footprint its simulated counterpart would** —
+//! one logical line per bucket / per-core shard / lock word, with the same
+//! labels and the same read/write multiset per operation. That mirroring is
+//! what lets the host-side Figure 6 pipeline cross-check its conflict
+//! reports against the simulated heatmap. Uninstrumented twins record
+//! nothing and pay only an `Option` check.
 
 use crate::percore_alloc::FdMode;
 use crossbeam::utils::CachePadded;
 use parking_lot::{Mutex, RwLock};
+use scr_hostmtrace::{HostTraceSink, LockProbe, Probe};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A single shared atomic counter — the non-scalable baseline.
 #[derive(Debug, Default)]
 pub struct SharedCounter {
     value: CachePadded<AtomicI64>,
+    probe: Option<Probe>,
 }
 
 impl SharedCounter {
@@ -25,13 +37,27 @@ impl SharedCounter {
         Self::default()
     }
 
+    /// A counter that records its accesses against `label`'s line.
+    pub fn instrumented(sink: &Arc<HostTraceSink>, label: impl Into<String>) -> Self {
+        SharedCounter {
+            value: CachePadded::new(AtomicI64::new(0)),
+            probe: Some(sink.probe(label)),
+        }
+    }
+
     /// Adds `delta` (contended RMW on one cache line).
     pub fn add(&self, delta: i64) {
+        if let Some(p) = &self.probe {
+            p.rmw();
+        }
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// The current value.
     pub fn read(&self) -> i64 {
+        if let Some(p) = &self.probe {
+            p.read();
+        }
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -69,12 +95,23 @@ impl PerCoreCounter {
     }
 }
 
+/// Probe lines of an instrumented [`PerCoreRefcount`], mirroring the
+/// simulated `Refcache`'s layout: one global line, one delta line per core,
+/// one epoch line.
+#[derive(Debug)]
+struct RefcountProbes {
+    global: Probe,
+    deltas: Vec<Probe>,
+    epoch: Probe,
+}
+
 /// A Refcache-style reference counter over real atomics: per-core deltas
 /// plus a reconciled global value.
 #[derive(Debug)]
 pub struct PerCoreRefcount {
     global: CachePadded<AtomicI64>,
     deltas: Vec<CachePadded<AtomicI64>>,
+    probes: Option<RefcountProbes>,
 }
 
 impl PerCoreRefcount {
@@ -85,30 +122,81 @@ impl PerCoreRefcount {
             deltas: (0..cores.max(1))
                 .map(|_| CachePadded::new(AtomicI64::new(0)))
                 .collect(),
+            probes: None,
+        }
+    }
+
+    /// A counter that records the simulated `Refcache`'s footprint under
+    /// `label` (lines `{label}.global`, `{label}.delta[c]`, `{label}.epoch`).
+    pub fn instrumented(
+        cores: usize,
+        initial: i64,
+        sink: &Arc<HostTraceSink>,
+        label: &str,
+    ) -> Self {
+        let cores = cores.max(1);
+        PerCoreRefcount {
+            probes: Some(RefcountProbes {
+                global: sink.probe(format!("{label}.global")),
+                deltas: (0..cores)
+                    .map(|c| sink.probe(format!("{label}.delta[{c}]")))
+                    .collect(),
+                epoch: sink.probe(format!("{label}.epoch")),
+            }),
+            ..Self::new(cores, initial)
         }
     }
 
     /// Increments on behalf of `core`.
     pub fn inc(&self, core: usize) {
-        self.deltas[core % self.deltas.len()].fetch_add(1, Ordering::Relaxed);
+        let shard = core % self.deltas.len();
+        if let Some(p) = &self.probes {
+            p.deltas[shard].rmw();
+        }
+        self.deltas[shard].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Decrements on behalf of `core`.
     pub fn dec(&self, core: usize) {
-        self.deltas[core % self.deltas.len()].fetch_sub(1, Ordering::Relaxed);
+        let shard = core % self.deltas.len();
+        if let Some(p) = &self.probes {
+            p.deltas[shard].rmw();
+        }
+        self.deltas[shard].fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Folds every delta into the global count and returns it.
+    /// Folds every delta into the global count and returns it. The
+    /// footprint mirrors `Refcache::flush_epoch`: every delta line is read
+    /// and written back only when non-zero, then the epoch and global lines
+    /// are read-modify-written.
     pub fn flush(&self) -> i64 {
         let mut sum = 0;
-        for delta in &self.deltas {
-            sum += delta.swap(0, Ordering::Relaxed);
+        for (shard, delta) in self.deltas.iter().enumerate() {
+            let d = delta.swap(0, Ordering::Relaxed);
+            if let Some(p) = &self.probes {
+                p.deltas[shard].read();
+                if d != 0 {
+                    p.deltas[shard].write();
+                }
+            }
+            sum += d;
+        }
+        if let Some(p) = &self.probes {
+            p.epoch.rmw();
+            p.global.rmw();
         }
         self.global.fetch_add(sum, Ordering::Relaxed) + sum
     }
 
-    /// Exact value (global plus pending deltas).
+    /// Exact value (global plus pending deltas). Touches every delta line —
+    /// the expensive `st_nlink` reconciliation path of §7.2.
     pub fn read_exact(&self) -> i64 {
+        if let Some(p) = &self.probes {
+            for delta in &p.deltas {
+                delta.read();
+            }
+            p.global.read();
+        }
         self.global.load(Ordering::Relaxed)
             + self
                 .deltas
@@ -119,6 +207,9 @@ impl PerCoreRefcount {
 
     /// Reconciled value only (cheap, possibly stale).
     pub fn read_reconciled(&self) -> i64 {
+        if let Some(p) = &self.probes {
+            p.global.read();
+        }
         self.global.load(Ordering::Relaxed)
     }
 }
@@ -132,6 +223,7 @@ impl PerCoreRefcount {
 #[derive(Debug)]
 pub struct HostInodeAllocator {
     counters: Vec<CachePadded<AtomicU64>>,
+    probes: Option<Vec<Probe>>,
 }
 
 impl HostInodeAllocator {
@@ -141,6 +233,21 @@ impl HostInodeAllocator {
             counters: (0..cores.max(1))
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
+            probes: None,
+        }
+    }
+
+    /// An allocator recording the traced `InodeAllocator`'s footprint
+    /// (lines `{label}.next_ino[c]`).
+    pub fn instrumented(cores: usize, sink: &Arc<HostTraceSink>, label: &str) -> Self {
+        let cores = cores.max(1);
+        HostInodeAllocator {
+            probes: Some(
+                (0..cores)
+                    .map(|c| sink.probe(format!("{label}.next_ino[{c}]")))
+                    .collect(),
+            ),
+            ..Self::new(cores)
         }
     }
 
@@ -151,6 +258,9 @@ impl HostInodeAllocator {
     pub fn alloc(&self, core: usize) -> u64 {
         let cores = self.counters.len() as u64;
         let core = core as u64 % cores;
+        if let Some(p) = &self.probes {
+            p[core as usize].rmw();
+        }
         let count = self.counters[core as usize].fetch_add(1, Ordering::Relaxed) + 1;
         (count << 8) | core
     }
@@ -161,12 +271,22 @@ impl HostInodeAllocator {
 /// allocation serialises) or the `O_ANYFD` mode (per-core cache-padded
 /// partitions — allocations from different cores never touch the same
 /// line).
+/// Probe lines of an instrumented [`HostFdAllocator`], mirroring the traced
+/// `FdAllocator`: one line for the shared lowest-FD bitmap, one per
+/// `O_ANYFD` partition.
+#[derive(Debug)]
+struct FdProbes {
+    shared: Probe,
+    per_core: Vec<Probe>,
+}
+
 #[derive(Debug)]
 pub struct HostFdAllocator {
     mode: FdMode,
     shared: Mutex<Vec<bool>>,
     per_core: Vec<CachePadded<Mutex<Vec<bool>>>>,
     partition: usize,
+    probes: Option<FdProbes>,
 }
 
 impl HostFdAllocator {
@@ -180,6 +300,29 @@ impl HostFdAllocator {
                 .map(|_| CachePadded::new(Mutex::new(vec![false; partition])))
                 .collect(),
             partition,
+            probes: None,
+        }
+    }
+
+    /// A table recording the traced `FdAllocator`'s footprint (lines
+    /// `{label}.fd_bitmap` and `{label}.fd_partition[c]`) — the §1 example's
+    /// contention, observable on real threads.
+    pub fn instrumented(
+        cores: usize,
+        partition: usize,
+        mode: FdMode,
+        sink: &Arc<HostTraceSink>,
+        label: &str,
+    ) -> Self {
+        let cores = cores.max(1);
+        HostFdAllocator {
+            probes: Some(FdProbes {
+                shared: sink.probe(format!("{label}.fd_bitmap")),
+                per_core: (0..cores)
+                    .map(|c| sink.probe(format!("{label}.fd_partition[{c}]")))
+                    .collect(),
+            }),
+            ..Self::new(cores, partition, mode)
         }
     }
 
@@ -198,6 +341,9 @@ impl HostFdAllocator {
     pub fn alloc(&self, core: usize) -> Option<u32> {
         match self.mode {
             FdMode::Lowest => {
+                if let Some(p) = &self.probes {
+                    p.shared.rmw();
+                }
                 let mut bitmap = self.shared.lock();
                 let slot = bitmap.iter().position(|used| !used)?;
                 bitmap[slot] = true;
@@ -205,6 +351,9 @@ impl HostFdAllocator {
             }
             FdMode::Any => {
                 let core = core % self.per_core.len();
+                if let Some(p) = &self.probes {
+                    p.per_core[core].rmw();
+                }
                 let mut bitmap = self.per_core[core].lock();
                 let slot = bitmap.iter().position(|used| !used)?;
                 bitmap[slot] = true;
@@ -221,13 +370,20 @@ impl HostFdAllocator {
         }
         match self.mode {
             FdMode::Lowest => {
+                if let Some(p) = &self.probes {
+                    p.shared.rmw();
+                }
                 let mut bitmap = self.shared.lock();
                 let was = bitmap[fd];
                 bitmap[fd] = false;
                 was
             }
             FdMode::Any => {
-                let mut bitmap = self.per_core[fd / self.partition].lock();
+                let core = fd / self.partition;
+                if let Some(p) = &self.probes {
+                    p.per_core[core].rmw();
+                }
+                let mut bitmap = self.per_core[core].lock();
                 let slot = fd % self.partition;
                 let was = bitmap[slot];
                 bitmap[slot] = false;
@@ -257,10 +413,37 @@ impl HostFdAllocator {
 #[derive(Debug)]
 pub struct StripedHashDir<V> {
     stripes: Vec<Stripe<V>>,
+    probes: Option<DirProbes>,
 }
 
 /// One cache-padded, independently locked stripe of entries.
 type Stripe<V> = CachePadded<RwLock<Vec<(String, V)>>>;
+
+/// Probe lines of an instrumented [`StripedHashDir`], mirroring the traced
+/// `HashDir`'s layout: one lock-word line and one entries line per bucket.
+#[derive(Debug)]
+pub struct DirProbes {
+    stripes: Vec<DirStripeProbes>,
+}
+
+#[derive(Debug)]
+struct DirStripeProbes {
+    lock: LockProbe,
+    entries: Probe,
+}
+
+impl DirProbes {
+    fn new(sink: &Arc<HostTraceSink>, label: &str, stripes: usize) -> Self {
+        DirProbes {
+            stripes: (0..stripes)
+                .map(|b| DirStripeProbes {
+                    lock: LockProbe::new(sink, format!("{label}.bucket[{b}].lock")),
+                    entries: sink.probe(format!("{label}.bucket[{b}].entries")),
+                })
+                .collect(),
+        }
+    }
+}
 
 impl<V: Clone> StripedHashDir<V> {
     /// Allocates a directory with `stripes` lock stripes.
@@ -270,7 +453,21 @@ impl<V: Clone> StripedHashDir<V> {
             stripes: (0..stripes)
                 .map(|_| CachePadded::new(RwLock::new(Vec::new())))
                 .collect(),
+            probes: None,
         }
+    }
+
+    /// A directory recording the traced `HashDir`'s footprint (lines
+    /// `{label}.bucket[b].lock` and `{label}.bucket[b].entries`).
+    pub fn instrumented(stripes: usize, sink: &Arc<HostTraceSink>, label: &str) -> Self {
+        StripedHashDir {
+            probes: Some(DirProbes::new(sink, label, stripes)),
+            ..Self::new(stripes)
+        }
+    }
+
+    fn stripe_probes(&self, stripe: usize) -> Option<&DirStripeProbes> {
+        self.probes.as_ref().map(|p| &p.stripes[stripe])
     }
 
     /// Number of stripes.
@@ -286,9 +483,14 @@ impl<V: Clone> StripedHashDir<V> {
         (crate::hash_dir::fnv1a(key) % self.stripes.len() as u64) as usize
     }
 
-    /// Looks up a key (shared lock on the key's stripe only).
+    /// Looks up a key (shared lock on the key's stripe only; the footprint
+    /// is one read of the bucket's entries line, as in `HashDir::get`).
     pub fn get(&self, key: &str) -> Option<V> {
-        let entries = self.stripes[self.stripe_of(key)].read();
+        let si = self.stripe_of(key);
+        if let Some(p) = self.stripe_probes(si) {
+            p.entries.read();
+        }
+        let entries = self.stripes[si].read();
         entries
             .iter()
             .find(|(k, _)| k == key)
@@ -297,47 +499,123 @@ impl<V: Clone> StripedHashDir<V> {
 
     /// Does the key exist?
     pub fn contains(&self, key: &str) -> bool {
-        let entries = self.stripes[self.stripe_of(key)].read();
+        let si = self.stripe_of(key);
+        if let Some(p) = self.stripe_probes(si) {
+            p.entries.read();
+        }
+        let entries = self.stripes[si].read();
         entries.iter().any(|(k, _)| k == key)
     }
 
     /// Inserts a key if absent. Returns `true` if inserted, `false` if the
     /// key already existed.
     pub fn insert_if_absent(&self, key: &str, value: V) -> bool {
-        let stripe = &self.stripes[self.stripe_of(key)];
+        let si = self.stripe_of(key);
+        let probes = self.stripe_probes(si);
+        let stripe = &self.stripes[si];
         // Optimistic read-only probe before the exclusive lock ("precede
-        // pessimism with optimism"), as in the traced variant.
+        // pessimism with optimism"), as in the traced variant: a failed
+        // insert of an existing name stays read-only.
+        if let Some(p) = probes {
+            p.entries.read();
+        }
         if stripe.read().iter().any(|(k, _)| k == key) {
             return false;
         }
+        if let Some(p) = probes {
+            p.lock.acquire();
+            p.entries.read();
+        }
         let mut entries = stripe.write();
-        if entries.iter().any(|(k, _)| k == key) {
+        let inserted = if entries.iter().any(|(k, _)| k == key) {
             false
         } else {
+            if let Some(p) = probes {
+                p.entries.rmw();
+            }
             entries.push((key.to_string(), value));
             true
+        };
+        if let Some(p) = probes {
+            p.lock.release();
         }
+        inserted
+    }
+
+    /// [`Self::insert_if_absent`] without the optimistic read-only stage —
+    /// for callers that already performed their own existence check (e.g.
+    /// `link`'s read-only EEXIST path, which must precede its counter
+    /// increment): the caller's check plus this call together record
+    /// exactly the traced `HashDir::insert_if_absent` footprint.
+    pub fn insert_if_absent_pessimistic(&self, key: &str, value: V) -> bool {
+        let si = self.stripe_of(key);
+        let probes = self.stripe_probes(si);
+        if let Some(p) = probes {
+            p.lock.acquire();
+            p.entries.read();
+        }
+        let mut entries = self.stripes[si].write();
+        let inserted = if entries.iter().any(|(k, _)| k == key) {
+            false
+        } else {
+            if let Some(p) = probes {
+                p.entries.rmw();
+            }
+            entries.push((key.to_string(), value));
+            true
+        };
+        drop(entries);
+        if let Some(p) = probes {
+            p.lock.release();
+        }
+        inserted
     }
 
     /// Unconditionally inserts or replaces a key's value.
     pub fn upsert(&self, key: &str, value: V) {
-        let mut entries = self.stripes[self.stripe_of(key)].write();
+        let si = self.stripe_of(key);
+        if let Some(p) = self.stripe_probes(si) {
+            p.lock.acquire();
+            p.entries.rmw();
+        }
+        let mut entries = self.stripes[si].write();
         if let Some(entry) = entries.iter_mut().find(|(k, _)| k == key) {
             entry.1 = value;
         } else {
             entries.push((key.to_string(), value));
         }
+        drop(entries);
+        if let Some(p) = self.stripe_probes(si) {
+            p.lock.release();
+        }
     }
 
-    /// Removes a key, returning its value if it was present.
+    /// Removes a key, returning its value if it was present (nothing is
+    /// written when the key is absent — optimistic check first).
     pub fn remove(&self, key: &str) -> Option<V> {
-        let stripe = &self.stripes[self.stripe_of(key)];
+        let si = self.stripe_of(key);
+        let probes = self.stripe_probes(si);
+        let stripe = &self.stripes[si];
+        if let Some(p) = probes {
+            p.entries.read();
+        }
         if !stripe.read().iter().any(|(k, _)| k == key) {
             return None;
         }
+        if let Some(p) = probes {
+            p.lock.acquire();
+            p.entries.rmw();
+        }
         let mut entries = stripe.write();
-        let pos = entries.iter().position(|(k, _)| k == key)?;
-        Some(entries.remove(pos).1)
+        let out = entries
+            .iter()
+            .position(|(k, _)| k == key)
+            .map(|pos| entries.remove(pos).1);
+        drop(entries);
+        if let Some(p) = probes {
+            p.lock.release();
+        }
+        out
     }
 
     /// Number of entries across all stripes.
@@ -375,6 +653,7 @@ impl<V: Clone> StripedHashDir<V> {
             hi,
             first,
             second,
+            probes: self.probes.as_ref(),
         };
         f(&mut pair)
     }
@@ -382,11 +661,18 @@ impl<V: Clone> StripedHashDir<V> {
 
 /// Exclusive access to one or two stripes of a [`StripedHashDir`], handed
 /// to [`StripedHashDir::with_pair_locked`] callbacks.
+///
+/// The recorded footprint mirrors what the traced `HashDir` records for the
+/// equivalent *unlocked* call sequence (`get`/`upsert`/`remove`), because
+/// that is what the single-threaded simulated kernel executes: the pairwise
+/// locking is a host-only concurrency-correctness measure, not a sharing
+/// difference.
 pub struct LockedPair<'a, V> {
     lo: usize,
     hi: usize,
     first: parking_lot::RwLockWriteGuard<'a, Vec<(String, V)>>,
     second: Option<parking_lot::RwLockWriteGuard<'a, Vec<(String, V)>>>,
+    probes: Option<&'a DirProbes>,
 }
 
 impl<V: Clone> LockedPair<'_, V> {
@@ -401,8 +687,15 @@ impl<V: Clone> LockedPair<'_, V> {
         }
     }
 
+    fn probes_for(&self, stripe: usize) -> Option<&DirStripeProbes> {
+        self.probes.map(|p| &p.stripes[stripe])
+    }
+
     /// Looks up a key in the locked stripes.
     pub fn get(&mut self, key: &str, stripe: usize) -> Option<V> {
+        if let Some(p) = self.probes_for(stripe) {
+            p.entries.read();
+        }
         self.entries_for(stripe)
             .iter()
             .find(|(k, _)| k == key)
@@ -411,6 +704,11 @@ impl<V: Clone> LockedPair<'_, V> {
 
     /// Inserts or replaces a key in the locked stripes.
     pub fn upsert(&mut self, key: &str, stripe: usize, value: V) {
+        if let Some(p) = self.probes_for(stripe) {
+            p.lock.acquire();
+            p.entries.rmw();
+            p.lock.release();
+        }
         let entries = self.entries_for(stripe);
         if let Some(entry) = entries.iter_mut().find(|(k, _)| k == key) {
             entry.1 = value;
@@ -419,11 +717,22 @@ impl<V: Clone> LockedPair<'_, V> {
         }
     }
 
-    /// Removes a key from the locked stripes.
+    /// Removes a key from the locked stripes (read-only when absent, like
+    /// `HashDir::remove`'s optimistic check).
     pub fn remove(&mut self, key: &str, stripe: usize) -> Option<V> {
-        let entries = self.entries_for(stripe);
-        let pos = entries.iter().position(|(k, _)| k == key)?;
-        Some(entries.remove(pos).1)
+        if let Some(p) = self.probes_for(stripe) {
+            p.entries.read();
+        }
+        let pos = self
+            .entries_for(stripe)
+            .iter()
+            .position(|(k, _)| k == key)?;
+        if let Some(p) = self.probes_for(stripe) {
+            p.lock.acquire();
+            p.entries.rmw();
+            p.lock.release();
+        }
+        Some(self.entries_for(stripe).remove(pos).1)
     }
 }
 
@@ -526,6 +835,315 @@ mod tests {
             }
         });
         assert_eq!(dir.len(), 400);
+    }
+
+    use scr_hostmtrace::{on_core, HostTraceSink};
+    use scr_mtrace::{AccessKind, SimMachine};
+
+    /// The (label, kind) sequence a closure records on the simulated
+    /// machine.
+    fn sim_footprint(m: &SimMachine, f: impl FnOnce()) -> Vec<(String, AccessKind)> {
+        m.clear_trace();
+        m.start_tracing();
+        f();
+        m.stop_tracing();
+        m.accesses()
+            .iter()
+            .map(|a| (m.label_of(a.line), a.kind))
+            .collect()
+    }
+
+    /// The (label, kind) sequence a closure records through host probes.
+    fn host_footprint(sink: &Arc<HostTraceSink>, f: impl FnOnce()) -> Vec<(String, AccessKind)> {
+        sink.begin_window();
+        f();
+        let report = sink.end_window();
+        assert_eq!(report.dropped, 0);
+        report
+            .accesses
+            .iter()
+            .map(|a| (sink.label_of(a.line), a.kind))
+            .collect()
+    }
+
+    /// Asserts a host twin records exactly the footprint its simulated
+    /// counterpart records for the same operation.
+    macro_rules! assert_mirrors {
+        ($m:expr, $sink:expr, $sim:expr, $host:expr, $what:expr) => {
+            assert_eq!(
+                host_footprint($sink, $host),
+                sim_footprint($m, $sim),
+                "footprint mismatch for {}",
+                $what
+            );
+        };
+    }
+
+    #[test]
+    fn striped_dir_mirrors_the_traced_hash_dir_footprint() {
+        use crate::hash_dir::HashDir;
+        let m = SimMachine::new();
+        let sink = HostTraceSink::new(2);
+        let traced: HashDir<u64> = HashDir::new(&m, "d", 8);
+        let host: StripedHashDir<u64> = StripedHashDir::instrumented(8, &sink, "d");
+        traced.insert_if_absent("seed", 1);
+        host.insert_if_absent("seed", 1);
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.get("seed");
+            },
+            || {
+                host.get("seed");
+            },
+            "get hit"
+        );
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.get("nope");
+            },
+            || {
+                host.get("nope");
+            },
+            "get miss"
+        );
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.contains("seed");
+            },
+            || {
+                host.contains("seed");
+            },
+            "contains"
+        );
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.insert_if_absent("fresh", 2);
+            },
+            || {
+                host.insert_if_absent("fresh", 2);
+            },
+            "insert of a fresh key"
+        );
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.insert_if_absent("seed", 9);
+            },
+            || {
+                host.insert_if_absent("seed", 9);
+            },
+            "failed insert (must stay read-only)"
+        );
+        assert_mirrors!(
+            &m,
+            &sink,
+            || traced.upsert("seed", 3),
+            || host.upsert("seed", 3),
+            "upsert existing"
+        );
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.remove("seed");
+            },
+            || {
+                host.remove("seed");
+            },
+            "remove existing"
+        );
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.remove("seed");
+            },
+            || {
+                host.remove("seed");
+            },
+            "remove missing (must stay read-only)"
+        );
+    }
+
+    #[test]
+    fn locked_pair_mirrors_the_unlocked_traced_sequence() {
+        use crate::hash_dir::HashDir;
+        let m = SimMachine::new();
+        let sink = HostTraceSink::new(2);
+        let traced: HashDir<u64> = HashDir::new(&m, "d", 8);
+        let host: StripedHashDir<u64> = StripedHashDir::instrumented(8, &sink, "d");
+        for dir_op in [("a", 1u64), ("b", 2u64)] {
+            traced.insert_if_absent(dir_op.0, dir_op.1);
+            host.insert_if_absent(dir_op.0, dir_op.1);
+        }
+        let sa = host.stripe_of("a");
+        let sb = host.stripe_of("b");
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.get("a");
+                traced.upsert("b", 7);
+                traced.remove("a");
+            },
+            || {
+                host.with_pair_locked("a", "b", |pair| {
+                    pair.get("a", sa);
+                    pair.upsert("b", sb, 7);
+                    pair.remove("a", sa);
+                });
+            },
+            "rename-style pairwise sequence"
+        );
+    }
+
+    #[test]
+    fn refcount_mirrors_the_refcache_footprint() {
+        use crate::refcache::Refcache;
+        let m = SimMachine::new();
+        let sink = HostTraceSink::new(4);
+        let traced = Refcache::new(&m, "inode[7].nlink", 4, 1);
+        let host = PerCoreRefcount::instrumented(4, 1, &sink, "inode[7].nlink");
+        assert_mirrors!(&m, &sink, || traced.inc(2), || host.inc(2), "inc");
+        assert_mirrors!(&m, &sink, || traced.dec(3), || host.dec(3), "dec");
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.read_exact();
+            },
+            || {
+                host.read_exact();
+            },
+            "read_exact"
+        );
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.flush_epoch();
+            },
+            || {
+                host.flush();
+            },
+            "flush"
+        );
+        // After the flush both values agree and a second flush writes no
+        // delta lines (they are all zero).
+        assert_eq!(traced.peek(), host.read_exact());
+        assert_mirrors!(
+            &m,
+            &sink,
+            || {
+                traced.flush_epoch();
+            },
+            || {
+                host.flush();
+            },
+            "flush with zero deltas"
+        );
+    }
+
+    #[test]
+    fn inode_allocator_mirrors_the_traced_footprint() {
+        use crate::percore_alloc::InodeAllocator;
+        let m = SimMachine::new();
+        let sink = HostTraceSink::new(4);
+        let traced = InodeAllocator::new(&m, "scalefs", 4);
+        let host = HostInodeAllocator::instrumented(4, &sink, "scalefs");
+        for core in [0usize, 1, 3] {
+            assert_mirrors!(
+                &m,
+                &sink,
+                || {
+                    traced.alloc(core);
+                },
+                || {
+                    host.alloc(core);
+                },
+                "inode alloc"
+            );
+        }
+    }
+
+    #[test]
+    fn fd_allocator_mirrors_the_traced_footprint_in_both_modes() {
+        use crate::percore_alloc::FdAllocator;
+        let m = SimMachine::new();
+        let sink = HostTraceSink::new(4);
+        for mode in [FdMode::Lowest, FdMode::Any] {
+            let traced = FdAllocator::new(&m, "p", 4, 8, mode);
+            let host = HostFdAllocator::instrumented(4, 8, mode, &sink, "p");
+            let (t_fd, h_fd) = (traced.alloc(2).unwrap(), host.alloc(2).unwrap());
+            assert_eq!(t_fd, h_fd);
+            assert_mirrors!(
+                &m,
+                &sink,
+                || {
+                    traced.alloc(1);
+                },
+                || {
+                    host.alloc(1);
+                },
+                "fd alloc"
+            );
+            assert_mirrors!(
+                &m,
+                &sink,
+                || {
+                    traced.free(t_fd);
+                },
+                || {
+                    host.free(h_fd);
+                },
+                "fd free"
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_fd_contention_is_observable_on_real_threads() {
+        // The paper's §1 example, reproduced on the host monitor: two
+        // threads allocating descriptors conflict on the shared lowest-FD
+        // bitmap, and O_ANYFD partitions make the same workload
+        // conflict-free.
+        let sink = HostTraceSink::new(2);
+        let lowest = HostFdAllocator::instrumented(2, 8, FdMode::Lowest, &sink, "proc0");
+        let any = HostFdAllocator::instrumented(2, 8, FdMode::Any, &sink, "proc0-anyfd");
+        let run = |alloc: &HostFdAllocator| {
+            sink.begin_window();
+            std::thread::scope(|s| {
+                for core in 0..2 {
+                    s.spawn(move || on_core(core, || alloc.alloc(core)));
+                }
+            });
+            sink.end_window()
+        };
+        let contended = run(&lowest);
+        assert!(!contended.is_conflict_free());
+        assert_eq!(
+            contended.conflicting_labels(),
+            vec!["proc0.fd_bitmap".to_string()]
+        );
+        let scalable = run(&any);
+        assert!(scalable.is_conflict_free(), "{scalable}");
+    }
+
+    #[test]
+    fn probe_radix_fanout_matches_the_traced_radix_array() {
+        assert_eq!(
+            scr_hostmtrace::ProbeRadix::CAPACITY,
+            crate::radix_array::RadixArray::<u8>::CAPACITY
+        );
     }
 
     #[test]

@@ -13,31 +13,101 @@
 //! Run with `cargo run --release --example differential_fuzz`; pass
 //! `--write-baseline` after an intentional coverage change to regenerate
 //! the baseline file.
+//!
+//! Pass `--soak <seconds>` for the long-running mode: campaigns run back to
+//! back with a fresh randomized seed each round (derived from the wall
+//! clock, printed at every round so any failure is reproducible by passing
+//! the seed through a one-line config change) until the time budget is
+//! spent. The fixed-seed CI gate and its baseline comparison are unchanged;
+//! the soak mode only hunts for schedule- and selection-dependent
+//! mismatches that a fixed seed would never reach.
 
 use scalable_commutativity::commuter::SkipReason;
 use scalable_commutativity::host::{differential_campaign, CampaignConfig};
 use scalable_commutativity::model::CallKind;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/differential_fuzz_baseline.txt")
 }
 
+/// The representative call set the gate sweeps (name, descriptor and pipe
+/// operations).
+fn gate_calls() -> Vec<CallKind> {
+    vec![
+        CallKind::Stat,
+        CallKind::Unlink,
+        CallKind::Pipe,
+        CallKind::Read,
+        CallKind::Write,
+        CallKind::Close,
+    ]
+}
+
+/// Parses `--soak <seconds>` from the argument list.
+fn soak_budget() -> Option<Duration> {
+    let args: Vec<String> = std::env::args().collect();
+    let idx = args.iter().position(|a| a == "--soak")?;
+    let seconds: u64 = args
+        .get(idx + 1)
+        .and_then(|s| s.parse().ok())
+        .expect("--soak requires a whole number of seconds");
+    Some(Duration::from_secs(seconds))
+}
+
+/// Runs randomized-seed campaigns until the budget is exhausted; exits
+/// non-zero on the first mismatch, printing the seed that found it.
+fn run_soak(budget: Duration) -> ! {
+    let started = Instant::now();
+    let mut rounds = 0u64;
+    let mut replays = 0usize;
+    println!("soak mode: randomized seeds for {budget:?}");
+    while started.elapsed() < budget {
+        // The wall clock is entropy enough for a seed that varies per run
+        // and per round (no RNG crate in the build image); what matters is
+        // that it is *printed*, so any failure is reproducible.
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("clock before epoch")
+            .as_nanos() as u64
+            ^ rounds.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let config = CampaignConfig {
+            max_tests: 120,
+            schedules_per_test: 2,
+            seed,
+            ..CampaignConfig::new(&gate_calls())
+        };
+        println!("soak round {rounds}: seed {seed:#018x}");
+        let report = differential_campaign(&config);
+        replays += report.replays_run;
+        if !report.all_agree() {
+            eprintln!(
+                "FAIL: seed {seed:#018x} diverged:\n{}",
+                report.describe_mismatches()
+            );
+            std::process::exit(1);
+        }
+        rounds += 1;
+    }
+    println!(
+        "soak passed: {rounds} rounds, {replays} replays, {:.1?} elapsed",
+        started.elapsed()
+    );
+    std::process::exit(0);
+}
+
 fn main() {
+    if let Some(budget) = soak_budget() {
+        run_soak(budget);
+    }
     let write_baseline = std::env::args().any(|a| a == "--write-baseline");
     let config = CampaignConfig {
         max_tests: 120,
         schedules_per_test: 2,
         seed: 0xC0DE_D1FF,
-        ..CampaignConfig::new(&[
-            CallKind::Stat,
-            CallKind::Unlink,
-            CallKind::Pipe,
-            CallKind::Read,
-            CallKind::Write,
-            CallKind::Close,
-        ])
+        ..CampaignConfig::new(&gate_calls())
     };
     println!(
         "differential fuzz: {} calls, budget {} tests × {} schedules, seed {:#x}",

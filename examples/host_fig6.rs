@@ -1,0 +1,95 @@
+//! Figure 6 on hardware: the host-side conflict heatmap and its SIM↔host
+//! cross-check.
+//!
+//! Replays every generated test on the real-threads `HostKernel` — sv6-like
+//! striped structures and the globally locked Linux-like baseline — with a
+//! `scr-hostmtrace` tracing window around the concurrent pair, and prints
+//! four heatmaps: the simulated `Linux`/`sv6` tables next to the measured
+//! `linux-host`/`sv6-host` ones.
+//!
+//! The cross-check then verifies the monitor against the simulator: every
+//! test that was conflict-free on simulated sv6 must be conflict-free on
+//! sv6-host in every schedule, except the documented lowest-FD-allocation
+//! contention cases (the paper's §1 example), which are listed explicitly
+//! with their conflicting labels. Any other divergence fails the run.
+//!
+//! Run with `cargo run --release --example host_fig6 [-- --all]`. The
+//! default call subset finishes quickly; `--all` sweeps all 18 calls.
+
+use scalable_commutativity::commuter::CommuterConfig;
+use scalable_commutativity::host::{available_threads, run_host_fig6, HostFig6Config};
+use scalable_commutativity::model::ALL_CALLS;
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all");
+    let config = if all {
+        HostFig6Config {
+            max_assignments_per_case: 96,
+            ..HostFig6Config::quick(ALL_CALLS.as_ref())
+        }
+    } else {
+        HostFig6Config::quick(&CommuterConfig::quick_call_set())
+    };
+    let threads = available_threads();
+    println!(
+        "host figure 6: {} calls ({} pairs), {} schedules per test, {} hardware threads",
+        config.calls.len(),
+        config.calls.len() * (config.calls.len() + 1) / 2,
+        config.schedules_per_test,
+        threads
+    );
+    if threads < 4 {
+        println!(
+            "note: {threads} hardware thread(s) < 4 — schedules interleave by preemption only; \
+             conflict verdicts are still exact (they depend on touched lines, not timing)"
+        );
+    }
+    let started = std::time::Instant::now();
+    let results = run_host_fig6(&config);
+    println!(
+        "ran {} tests on 4 kernels in {:.1?} ({} dropped accesses)\n",
+        results.tests_run,
+        started.elapsed(),
+        results.dropped
+    );
+    for report in [
+        &results.sim_linux,
+        &results.host_linux,
+        &results.sim_sv6,
+        &results.host_sv6,
+    ] {
+        println!("{report}");
+        println!();
+    }
+    println!(
+        "SIM↔host cross-check: {} divergences ({} explained by {}, {} unexplained)",
+        results.divergences.len(),
+        results.explained_divergences().len(),
+        scalable_commutativity::host::LOWEST_FD_EXCEPTION,
+        results.unexplained_divergences().len()
+    );
+    if !results.divergences.is_empty() {
+        println!("{}", results.describe_divergences());
+    }
+
+    let mut failed = false;
+    if !results.unexplained_divergences().is_empty() {
+        eprintln!("FAIL: unexplained SIM↔host divergences (listed above)");
+        failed = true;
+    }
+    if results.dropped > 0 {
+        eprintln!(
+            "FAIL: {} accesses dropped — raise the log capacity",
+            results.dropped
+        );
+        failed = true;
+    }
+    if let Err(err) = results.assert_linux_collapses() {
+        eprintln!("FAIL: {err}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("host figure 6 cross-check passed");
+}

@@ -17,11 +17,15 @@
 //! * [`host`] — the real-threads execution backend: a thread-safe
 //!   `HostKernel`, the wall-clock load harness, and the differential runner
 //!   that cross-checks generated tests between simulation and real threads.
+//! * [`hostmtrace`] — the real-threads sharing monitor: per-thread access
+//!   logs, probes mirroring the simulated structures' footprints, and the
+//!   conflict reports behind the host-side Figure 6 heatmap.
 //! * [`bench`] — the Figure 6/7 workload drivers (simulated and host).
 
 pub use scr_bench as bench;
 pub use scr_core as commuter;
 pub use scr_host as host;
+pub use scr_hostmtrace as hostmtrace;
 pub use scr_kernel as kernel;
 pub use scr_model as model;
 pub use scr_mtrace as mtrace;
