@@ -1,0 +1,91 @@
+//! TESTGEN solver benchmarks over the offset-arithmetic-heavy call pairs.
+//!
+//! `lseek ∥ write` composes `ite(whence_end, len + off, off)` through the
+//! final-state equality obligations, producing deeply shared expression
+//! DAGs that made the previous tree-walking solver take *minutes* for this
+//! one pair (every other pair of the same call sets finished in well under
+//! a second). The indexed engine (compiled DAG arena, watch index, forward
+//! checking — see `scr_symbolic::solver`) generates the same corpus
+//! byte-for-byte in fractions of a second; these benchmarks record that
+//! trajectory so future solver changes are measured against it.
+//!
+//! Three views per pair:
+//!
+//! * `analyze:<pair>` — ANALYZER cost (path exploration + satisfiability
+//!   checks, the MRV-ordered decision procedure).
+//! * `generate:<pair>` — TESTGEN cost with the solution caches cleared
+//!   every iteration (cold solver: enumeration + solve-and-repair).
+//! * `generate-cached:<pair>` — the same corpus served from the
+//!   memoization layer, the regime the host Figure 6 pipeline and
+//!   differential campaigns run in after their first sweep.
+//!
+//! Run with `cargo bench -p scr-bench --bench testgen_solver`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scr_core::pipeline::CommuterConfig;
+use scr_core::testgen::solver_cache_clear;
+use scr_core::{analyze_pair, enumerate_shapes, generate_tests, CommutativeCase, PairShape};
+use scr_model::CallKind;
+
+/// The arithmetic-heavy pairs: file offsets flow through `ite` chains and
+/// additions into the state-equality obligations.
+const PAIRS: [(CallKind, CallKind); 4] = [
+    (CallKind::Lseek, CallKind::Write),
+    (CallKind::Lseek, CallKind::Lseek),
+    (CallKind::Read, CallKind::Write),
+    (CallKind::Pwrite, CallKind::Pwrite),
+];
+
+fn bench_pair(c: &mut Criterion, config: &CommuterConfig, a: CallKind, b: CallKind) {
+    let tag = format!("{}-{}", a.name(), b.name());
+    let shapes: Vec<PairShape> = enumerate_shapes(a, b, &config.model);
+    c.bench_function(&format!("analyze:{tag}"), |bench| {
+        bench.iter(|| {
+            let mut cases = 0usize;
+            for shape in &shapes {
+                cases += analyze_pair(shape, &config.model).cases.len();
+            }
+            black_box(cases)
+        })
+    });
+    let analysed: Vec<(&PairShape, Vec<CommutativeCase>)> = shapes
+        .iter()
+        .map(|shape| (shape, analyze_pair(shape, &config.model).cases))
+        .collect();
+    let generate = |clear: bool| {
+        if clear {
+            solver_cache_clear();
+        }
+        let mut tests = 0usize;
+        for (shape, cases) in &analysed {
+            tests += generate_tests(
+                shape,
+                cases,
+                &config.model,
+                &config.names,
+                config.max_assignments_per_case,
+            )
+            .tests
+            .len();
+        }
+        tests
+    };
+    c.bench_function(&format!("generate:{tag}"), |bench| {
+        bench.iter(|| black_box(generate(true)))
+    });
+    // Warm the caches once, then measure the memoized regime.
+    let _ = generate(true);
+    c.bench_function(&format!("generate-cached:{tag}"), |bench| {
+        bench.iter(|| black_box(generate(false)))
+    });
+}
+
+fn solver_benches(c: &mut Criterion) {
+    let config = CommuterConfig::default();
+    for (a, b) in PAIRS {
+        bench_pair(c, &config, a, b);
+    }
+}
+
+criterion_group!(benches, solver_benches);
+criterion_main!(benches);

@@ -16,7 +16,7 @@
 use crate::shapes::PairShape;
 use scr_model::calls::{execute, SymCall};
 use scr_model::{ModelConfig, SymState};
-use scr_symbolic::{explore, solve, Domains, Expr, ExprRef, SymBool, SymContext, Var};
+use scr_symbolic::{explore, satisfiable, Domains, Expr, ExprRef, SymBool, SymContext, Var};
 
 /// One commutative case: a feasible path of the pair on which both orders
 /// can agree.
@@ -95,15 +95,23 @@ pub fn analyze_pair(shape: &PairShape, cfg: &ModelConfig) -> PairAnalysis {
         let path_condition = result.branches.clone();
         let mut condition = result.condition.clone();
         condition.push(commute.expr().clone());
-        let feasible_and_commutative = solve(&condition, &domains).is_some();
-        if feasible_and_commutative {
+        // Satisfiability only: the witness is never used, so the solver's
+        // fast MRV-ordered decision procedure applies. Feasibility is
+        // checked first — the path condition is a strict subset of the
+        // commutativity condition, so an infeasible path skips the check
+        // over the (much larger) result/state-equality obligations
+        // entirely, with the same classification.
+        if !satisfiable(&result.condition, &domains) {
+            continue;
+        }
+        if satisfiable(&condition, &domains) {
             cases.push(CommutativeCase {
                 condition,
                 path_condition,
                 variables,
                 commute_expr: commute.expr().clone(),
             });
-        } else if solve(&result.condition, &domains).is_some() {
+        } else {
             non_commutative_paths += 1;
         }
     }

@@ -31,7 +31,10 @@ pub use driver::{
     differential_check, run_test, ConcreteReplayer, DifferentialOutcome, KernelFactory,
     LinuxLikeFactory, Sv6Factory, TestOutcome,
 };
-pub use pipeline::{run_commuter, CommuterConfig, CommuterResults};
+pub use pipeline::{run_commuter, CommuterConfig, CommuterResults, PairTiming};
 pub use report::{Figure6Report, PairCell};
 pub use shapes::{enumerate_shapes, PairShape};
-pub use testgen::{generate_tests, ConcreteTest, GeneratedTests, SkipHistogram, SkipReason};
+pub use testgen::{
+    generate_tests, solver_cache_clear, solver_cache_stats, ConcreteTest, GeneratedTests,
+    SkipHistogram, SkipReason, SolverCacheStats,
+};

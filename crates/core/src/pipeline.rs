@@ -79,6 +79,10 @@ impl CommuterConfig {
 
     /// The subset of calls used by the quick benchmark mode: the file-system
     /// calls whose pairwise behaviour the paper discusses in most detail.
+    /// Includes both `lseek` and `write` — the offset-arithmetic-heavy
+    /// `lseek ∥ write` pair used to take minutes of solver time and was
+    /// carved out of quick sweeps; the indexed solver generates it in
+    /// well under a second, so the quick sets cover it again.
     pub fn quick_call_set() -> Vec<CallKind> {
         vec![
             CallKind::Open,
@@ -88,9 +92,29 @@ impl CommuterConfig {
             CallKind::Stat,
             CallKind::Fstat,
             CallKind::Lseek,
+            CallKind::Write,
             CallKind::Close,
         ]
     }
+}
+
+/// Wall-clock accounting for one call pair of a pipeline run, split into
+/// the symbolic stages (ANALYZER path exploration + TESTGEN solving) and
+/// the MTRACE driver replays. Emitted as `BENCH_testgen.json` by the
+/// `posix_scan` example so solver-performance changes leave a recorded
+/// trajectory.
+#[derive(Clone, Debug)]
+pub struct PairTiming {
+    /// The call pair.
+    pub calls: (CallKind, CallKind),
+    /// Seconds spent analysing shapes and generating the corpus.
+    pub solve_seconds: f64,
+    /// Seconds spent replaying the generated tests on the kernels.
+    pub run_seconds: f64,
+    /// Tests generated for the pair.
+    pub tests: usize,
+    /// Representatives skipped for the pair.
+    pub skipped: usize,
 }
 
 /// Results of a pipeline run.
@@ -109,6 +133,8 @@ pub struct CommuterResults {
     pub shapes_analyzed: usize,
     /// Per-kernel Figure 6 reports, in the order the factories were given.
     pub reports: Vec<Figure6Report>,
+    /// Per-pair wall-clock accounting, in scan order.
+    pub pair_timings: Vec<PairTiming>,
 }
 
 impl CommuterResults {
@@ -131,10 +157,19 @@ pub fn run_commuter(config: &CommuterConfig, kernels: &[&dyn KernelFactory]) -> 
 
     for (i, &call_a) in config.calls.iter().enumerate() {
         for &call_b in config.calls.iter().skip(i) {
+            let mut timing = PairTiming {
+                calls: (call_a, call_b),
+                solve_seconds: 0.0,
+                run_seconds: 0.0,
+                tests: 0,
+                skipped: 0,
+            };
             for shape in enumerate_shapes(call_a, call_b, &config.model) {
                 results.shapes_analyzed += 1;
+                let solve_started = std::time::Instant::now();
                 let analysis = analyze_pair(&shape, &config.model);
                 if analysis.cases.is_empty() {
+                    timing.solve_seconds += solve_started.elapsed().as_secs_f64();
                     continue;
                 }
                 let generated = generate_tests(
@@ -144,6 +179,9 @@ pub fn run_commuter(config: &CommuterConfig, kernels: &[&dyn KernelFactory]) -> 
                     &config.names,
                     config.max_assignments_per_case,
                 );
+                timing.solve_seconds += solve_started.elapsed().as_secs_f64();
+                timing.tests += generated.tests.len();
+                timing.skipped += generated.skipped;
                 results.skipped += generated.skipped;
                 results.resolved += generated.resolved;
                 for (reason, count) in &generated.skip_reasons {
@@ -152,6 +190,7 @@ pub fn run_commuter(config: &CommuterConfig, kernels: &[&dyn KernelFactory]) -> 
                 for report in results.reports.iter_mut() {
                     report.record_skips(call_a, call_b, &generated.skip_reasons);
                 }
+                let run_started = std::time::Instant::now();
                 for test in generated.tests {
                     for (factory, report) in kernels.iter().zip(results.reports.iter_mut()) {
                         let outcome = run_test(*factory, &test);
@@ -159,7 +198,9 @@ pub fn run_commuter(config: &CommuterConfig, kernels: &[&dyn KernelFactory]) -> 
                     }
                     results.tests.push(test);
                 }
+                timing.run_seconds += run_started.elapsed().as_secs_f64();
             }
+            results.pair_timings.push(timing);
         }
     }
     results

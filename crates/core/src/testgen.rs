@@ -22,15 +22,22 @@
 //! when no completion within the re-solve budget is constructible is the
 //! case counted as skipped, with a structured [`SkipReason`] so coverage
 //! loss stays visible instead of vanishing into a bare counter.
+//!
+//! Solving is organised for reuse: each case compiles one
+//! [`CaseSolver`] shared between the initial enumeration and every round
+//! of the repair loop, and both the enumerated solutions and the repair
+//! outcomes are memoized thread-locally behind structural DAG fingerprints
+//! (see the solver-memoization section below), so repeated sweeps over the
+//! same shapes — the host Figure 6 pipeline, differential campaign rounds
+//! — replay previous solves byte-for-byte instead of re-searching.
 
 use crate::analyzer::{default_domains, CommutativeCase};
 use crate::shapes::PairShape;
 use scr_kernel::api::{MmapBacking, OpenFlags, Prot, SysOp, Whence, PAGE_SIZE};
 use scr_model::{CallKind, ModelConfig};
-use scr_symbolic::{
-    all_solutions, signature, solve_with_preference, Assignment, Domains, Value, Var, VarId,
-};
-use std::collections::{BTreeMap, BTreeSet};
+use scr_symbolic::{signature, Assignment, CaseSolver, Domains, Expr, Value, Var, VarId};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Base virtual page used for fixed-address mappings in generated tests.
@@ -47,7 +54,7 @@ const RESOLVE_LIMIT: usize = 96;
 
 /// Why a satisfying assignment could not be materialised through the kernel
 /// API even after re-solving for alternative completions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SkipReason {
     /// An inode with a positive link count that no name, descriptor or
     /// mapping reaches (the model's ENOSPC paths; the kernels have no fixed
@@ -114,6 +121,205 @@ impl fmt::Display for SkipReason {
 
 /// Per-reason counts of skipped representatives.
 pub type SkipHistogram = BTreeMap<SkipReason, usize>;
+
+// --- solver memoization --------------------------------------------------
+//
+// The pipeline solves the same conditions repeatedly: the simulated run and
+// the host Figure 6 run analyse the same shapes, and differential campaigns
+// regenerate corpora per round. Both caches below are *transparent* — keys
+// capture every input of the deterministic computation they memoize
+// (structural DAG fingerprints include variable ids), so a hit replays
+// exactly what a cold solve would produce and the generated corpus is
+// byte-for-byte identical either way. The caches are thread-local because
+// expressions are `Rc`-based (single-threaded by construction).
+
+/// Entry cap per cache; beyond it new results are returned uncached (a
+/// full 18-call sweep stays well below this).
+const SOLVER_CACHE_CAP: usize = 8192;
+
+/// Counters exposed for tests and diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverCacheStats {
+    /// Solution-enumeration queries served from the cache.
+    pub solution_hits: usize,
+    /// Solution-enumeration queries that ran the solver.
+    pub solution_misses: usize,
+    /// Repair-loop (re-solve) outcomes served from the cache.
+    pub completion_hits: usize,
+    /// Repair-loop outcomes that ran the solve-and-repair search.
+    pub completion_misses: usize,
+}
+
+/// Key of a memoized repair-loop outcome: the full semantic input of
+/// [`resolve_constructible`] minus the test identifier (which only labels
+/// the rebuilt test) and the name table (constructibility never depends on
+/// concrete file names).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CompletionKey {
+    /// DAG fingerprint over condition ∥ path condition ∥ commute
+    /// expression.
+    case: u128,
+    /// Fingerprint of the case's variable list (ids, names, sorts).
+    variables: u64,
+    /// Fingerprint of the shape (calls, slots) and model bounds.
+    shape: u64,
+    /// The pinned assignment, in variable-id order.
+    pinned: Vec<(VarId, Value)>,
+    /// The first observed rejection, which seeds the vary-target rounds.
+    reason: SkipReason,
+}
+
+#[derive(Default)]
+struct SolverCache {
+    /// (condition fp, domains fp) → (requested limit, solutions). A stored
+    /// enumeration serves any request for the same or a shorter prefix
+    /// (enumeration order is deterministic), and any request at all once
+    /// the enumeration is known exhausted.
+    solutions: HashMap<(u128, u64), (usize, Vec<Assignment>)>,
+    /// Memoized repair-loop outcomes: the constructible completion found,
+    /// or `None` when the bounded search gave the representative up.
+    completions: HashMap<CompletionKey, Option<Assignment>>,
+    stats: SolverCacheStats,
+}
+
+thread_local! {
+    static SOLVER_CACHE: RefCell<SolverCache> = RefCell::new(SolverCache::default());
+}
+
+/// Cache counters for this thread (tests assert hit/miss behaviour).
+pub fn solver_cache_stats() -> SolverCacheStats {
+    SOLVER_CACHE.with(|c| c.borrow().stats)
+}
+
+/// Drops this thread's memoized solutions and counters.
+pub fn solver_cache_clear() {
+    SOLVER_CACHE.with(|c| *c.borrow_mut() = SolverCache::default());
+}
+
+fn fnv(h: &mut u64, v: u64) {
+    *h = (*h ^ v).wrapping_mul(0x100000001b3);
+}
+
+fn fnv_str(h: &mut u64, s: &str) {
+    for b in s.bytes() {
+        fnv(h, b as u64);
+    }
+    fnv(h, 0xff);
+}
+
+/// Fingerprint of the shape (calls and slot assignments) plus the model
+/// bounds — everything besides the assignment that decides a
+/// [`materialize`] verdict and the repair loop's vary targets.
+fn shape_cfg_fingerprint(shape: &PairShape, cfg: &ModelConfig) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for (kind, slots) in [
+        (shape.calls.0, &shape.slots_a),
+        (shape.calls.1, &shape.slots_b),
+    ] {
+        fnv_str(&mut h, kind.name());
+        fnv(&mut h, slots.proc as u64);
+        for group in [&slots.names, &slots.fds, &slots.vm_pages] {
+            fnv(&mut h, group.len() as u64);
+            for &s in group.iter() {
+                fnv(&mut h, s as u64);
+            }
+        }
+    }
+    for bound in [
+        cfg.names,
+        cfg.inodes,
+        cfg.procs,
+        cfg.fds_per_proc,
+        cfg.file_pages,
+        cfg.vm_pages,
+    ] {
+        fnv(&mut h, bound as u64);
+    }
+    h
+}
+
+/// Fingerprint of a variable list (ids, names and sorts).
+fn vars_fingerprint(vars: &[Var]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for var in vars {
+        fnv(&mut h, var.id as u64);
+        fnv(&mut h, matches!(var.sort, scr_symbolic::Sort::Int) as u64);
+        fnv_str(&mut h, var.name.as_ref());
+    }
+    h
+}
+
+/// Structural fingerprint of everything [`resolve_constructible`] reads
+/// from a case (condition, path condition, commute expression).
+fn case_fingerprint(case: &CommutativeCase) -> u128 {
+    let exprs: Vec<scr_symbolic::ExprRef> = case
+        .condition
+        .iter()
+        .chain(case.path_condition.iter())
+        .chain(std::iter::once(&case.commute_expr))
+        .cloned()
+        .collect();
+    Expr::dag_fingerprint(&exprs)
+}
+
+/// A per-case compiled solver, built on first use: a case whose
+/// enumeration is served entirely from the cache never pays compilation.
+struct LazyCaseSolver<'a> {
+    condition: &'a [scr_symbolic::ExprRef],
+    solver: Option<CaseSolver>,
+}
+
+impl<'a> LazyCaseSolver<'a> {
+    fn new(condition: &'a [scr_symbolic::ExprRef]) -> Self {
+        LazyCaseSolver {
+            condition,
+            solver: None,
+        }
+    }
+
+    fn get(&mut self) -> &CaseSolver {
+        self.solver
+            .get_or_insert_with(|| CaseSolver::new(self.condition))
+    }
+}
+
+/// Enumerates up to `limit` solutions of a case condition through the
+/// thread-local cache. A stored enumeration with a higher limit serves the
+/// prefix; one that exhausted the solution space serves any limit.
+fn cached_all_solutions(
+    solver: &mut LazyCaseSolver<'_>,
+    condition_fp: u128,
+    domains: &Domains,
+    limit: usize,
+) -> Vec<Assignment> {
+    let key = (condition_fp, domains.fingerprint());
+    let cached = SOLVER_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        let served = match cache.solutions.get(&key) {
+            Some((stored_limit, sols)) if limit <= *stored_limit || sols.len() < *stored_limit => {
+                Some(sols.iter().take(limit).cloned().collect::<Vec<_>>())
+            }
+            _ => None,
+        };
+        if served.is_some() {
+            cache.stats.solution_hits += 1;
+        } else {
+            cache.stats.solution_misses += 1;
+        }
+        served
+    });
+    if let Some(solutions) = cached {
+        return solutions;
+    }
+    let solutions = solver.get().all_solutions(domains, limit);
+    SOLVER_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if cache.solutions.len() < SOLVER_CACHE_CAP || cache.solutions.contains_key(&key) {
+            cache.solutions.insert(key, (limit, solutions.clone()));
+        }
+    });
+    solutions
+}
 
 /// A concrete, runnable test case.
 #[derive(Clone, Debug)]
@@ -198,7 +404,12 @@ pub fn generate_tests(
     let domains = default_domains();
     let mut out = GeneratedTests::default();
     for (case_idx, case) in cases.iter().enumerate() {
-        let solutions = all_solutions(&case.condition, &domains, max_per_case);
+        // One compiled solver per case: the enumeration below and every
+        // re-solve round of the repair loop share the flattening, variable
+        // interning and constraint compilation.
+        let condition_fp = Expr::dag_fingerprint(&case.condition);
+        let mut solver = LazyCaseSolver::new(&case.condition);
+        let solutions = cached_all_solutions(&mut solver, condition_fp, &domains, max_per_case);
         // Conflict coverage: deduplicate by isomorphism signature over the
         // variables the pair actually depends on.
         let relevant = relevant_vars(case);
@@ -236,6 +447,7 @@ pub fn generate_tests(
                         names,
                         &relevant,
                         &domains,
+                        &mut solver,
                         &id,
                         first_reason,
                     ) {
@@ -264,6 +476,17 @@ pub fn generate_tests(
 /// The variables the observed [`SkipReason`] implicates are varied first;
 /// if every completion of one round fails with a different reason, that
 /// reason's variables are tried next (a bounded solve-and-repair loop).
+///
+/// The outcome is memoized per isomorphism class: the cache key is the
+/// structural fingerprint of the case plus the pinned values — which are
+/// exactly what the class's signature is computed from — so a later run
+/// over the same shape (the host Figure 6 pipeline, a differential
+/// campaign round) seeds from the previously solved completion instead of
+/// re-searching, and a previously hopeless class is given up immediately.
+/// A cache hit re-materializes the stored completion under the caller's
+/// current name table and identifier; it cannot leak state across pairs
+/// because the fingerprint covers the whole condition, variable list and
+/// shape.
 #[allow(clippy::too_many_arguments)]
 fn resolve_constructible(
     shape: &PairShape,
@@ -273,6 +496,7 @@ fn resolve_constructible(
     names: &[String],
     relevant: &[Var],
     domains: &Domains,
+    solver: &mut LazyCaseSolver<'_>,
     id: &str,
     first_reason: SkipReason,
 ) -> Option<ConcreteTest> {
@@ -282,9 +506,40 @@ fn resolve_constructible(
             pinned.set(var.id, value);
         }
     }
+    // Mark rescued tests in their identifier so the driver's diagnostics
+    // can tell first-witness tests from re-solved completions.
+    let resolved_id = format!("{id}r");
+    let key = CompletionKey {
+        case: case_fingerprint(case),
+        variables: vars_fingerprint(&case.variables),
+        shape: shape_cfg_fingerprint(shape, cfg),
+        pinned: pinned.iter().collect(),
+        reason: first_reason,
+    };
+    let cached = SOLVER_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        let hit = cache.completions.get(&key).cloned();
+        if hit.is_some() {
+            cache.stats.completion_hits += 1;
+        } else {
+            cache.stats.completion_misses += 1;
+        }
+        hit
+    });
+    if let Some(outcome) = cached {
+        // Replay: the search is deterministic in the key, so the cached
+        // completion is exactly what a cold solve would find (or `None` if
+        // it would exhaust its budget). Materialization depends on the
+        // name table, so it is re-run; its verdict does not, so a cached
+        // completion cannot fail it.
+        return outcome.and_then(|alt| {
+            materialize(shape, case, &alt, cfg, names, relevant, &resolved_id).ok()
+        });
+    }
     let mut tried: BTreeSet<SkipReason> = BTreeSet::new();
     let mut reason = first_reason;
-    for _round in 0..3 {
+    let mut found: Option<(Assignment, ConcreteTest)> = None;
+    'rounds: for _round in 0..3 {
         if !tried.insert(reason) {
             break;
         }
@@ -300,12 +555,15 @@ fn resolve_constructible(
             break;
         }
         let mut next_reason = None;
-        // Mark rescued tests in their identifier so the driver's diagnostics
-        // can tell first-witness tests from re-solved completions.
-        let resolved_id = format!("{id}r");
-        for alt in solve_with_preference(&case.condition, domains, &pinned, &vary, RESOLVE_LIMIT) {
+        for alt in solver
+            .get()
+            .solve_with_preference(domains, &pinned, &vary, RESOLVE_LIMIT)
+        {
             match materialize(shape, case, &alt, cfg, names, relevant, &resolved_id) {
-                Ok(test) => return Some(test),
+                Ok(test) => {
+                    found = Some((alt, test));
+                    break 'rounds;
+                }
                 Err(r) => {
                     if next_reason.is_none() && !tried.contains(&r) {
                         next_reason = Some(r);
@@ -313,9 +571,20 @@ fn resolve_constructible(
                 }
             }
         }
-        reason = next_reason?;
+        reason = match next_reason {
+            Some(r) => r,
+            None => break,
+        };
     }
-    None
+    SOLVER_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if cache.completions.len() < SOLVER_CACHE_CAP || cache.completions.contains_key(&key) {
+            cache
+                .completions
+                .insert(key, found.as_ref().map(|(alt, _)| alt.clone()));
+        }
+    });
+    found.map(|(_, test)| test)
 }
 
 /// The variables worth varying to escape a given rejection, in preference
@@ -1294,5 +1563,117 @@ mod tests {
         let names = default_names();
         let set: BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
+    }
+
+    fn corpus_fingerprints(generated: &GeneratedTests) -> Vec<String> {
+        generated
+            .tests
+            .iter()
+            .map(|t| format!("{} {:?} {:?} {:?}", t.id, t.setup, t.op_a, t.op_b))
+            .collect()
+    }
+
+    /// The pipe-backed Read ∥ Read shape: its corpus exercises the repair
+    /// loop (resolved > 0), which is what populates the completion cache.
+    fn repairing_shape() -> PairShape {
+        PairShape {
+            calls: (CallKind::Read, CallKind::Read),
+            slots_a: ArgSlots {
+                proc: 0,
+                fds: vec![0],
+                ..Default::default()
+            },
+            slots_b: ArgSlots {
+                proc: 0,
+                fds: vec![0],
+                ..Default::default()
+            },
+            tag: "samefd".into(),
+        }
+    }
+
+    #[test]
+    fn completion_cache_hits_reproduce_the_cold_corpus() {
+        // A warm second run must (a) actually hit the completion cache and
+        // (b) yield byte-identical tests — in particular, every rescued
+        // representative's completion is in the same isomorphism class as
+        // the cold solve's (it is the *same* completion).
+        let cfg = small_cfg();
+        let shape = repairing_shape();
+        let analysis = analyze_pair(&shape, &cfg);
+        solver_cache_clear();
+        let cold = generate_tests(&shape, &analysis.cases, &cfg, &default_names(), 128);
+        assert!(cold.resolved > 0, "shape must exercise the repair loop");
+        let after_cold = solver_cache_stats();
+        assert!(after_cold.completion_misses > 0);
+        assert_eq!(after_cold.completion_hits, 0);
+        let warm = generate_tests(&shape, &analysis.cases, &cfg, &default_names(), 128);
+        let after_warm = solver_cache_stats();
+        assert!(
+            after_warm.completion_hits >= cold.resolved,
+            "warm run must hit the completion cache (stats {after_warm:?})"
+        );
+        assert!(after_warm.solution_hits > 0, "enumeration must hit too");
+        assert_eq!(
+            after_warm.completion_misses, after_cold.completion_misses,
+            "warm run must add no completion misses"
+        );
+        assert_eq!(corpus_fingerprints(&cold), corpus_fingerprints(&warm));
+        assert_eq!(cold.skip_reasons, warm.skip_reasons);
+        assert_eq!(cold.resolved, warm.resolved);
+    }
+
+    #[test]
+    fn completion_cache_does_not_leak_across_pairs() {
+        // Warming the cache with one pair must leave another pair's corpus
+        // exactly as a cold solve produces it: the cache key covers the
+        // whole condition, variable list and shape, so assignments cannot
+        // bleed between pairs.
+        let cfg = small_cfg();
+        let read_read = repairing_shape();
+        let read_analysis = analyze_pair(&read_read, &cfg);
+        let write_shape = PairShape {
+            calls: (CallKind::Read, CallKind::Write),
+            slots_a: ArgSlots {
+                proc: 0,
+                fds: vec![0],
+                ..Default::default()
+            },
+            slots_b: ArgSlots {
+                proc: 0,
+                fds: vec![1],
+                ..Default::default()
+            },
+            tag: "pipe".into(),
+        };
+        let write_analysis = analyze_pair(&write_shape, &cfg);
+        solver_cache_clear();
+        let cold = generate_tests(
+            &write_shape,
+            &write_analysis.cases,
+            &cfg,
+            &default_names(),
+            128,
+        );
+        solver_cache_clear();
+        let _warm_other = generate_tests(
+            &read_read,
+            &read_analysis.cases,
+            &cfg,
+            &default_names(),
+            128,
+        );
+        let after_other = generate_tests(
+            &write_shape,
+            &write_analysis.cases,
+            &cfg,
+            &default_names(),
+            128,
+        );
+        assert_eq!(
+            corpus_fingerprints(&cold),
+            corpus_fingerprints(&after_other)
+        );
+        assert_eq!(cold.skip_reasons, after_other.skip_reasons);
     }
 }

@@ -196,6 +196,73 @@ impl Expr {
         out
     }
 
+    /// A 128-bit structural fingerprint of an expression list, computed
+    /// DAG-aware: shared (`Rc`-aliased) subtrees are hashed once, so the
+    /// cost is the size of the expression graph, not its tree expansion.
+    /// Two lists with equal fingerprints are structurally identical
+    /// (including variable ids, names and sorts) up to the astronomically
+    /// unlikely 128-bit collision; TESTGEN keys its cross-run solution
+    /// caches on this.
+    pub fn dag_fingerprint(exprs: &[ExprRef]) -> u128 {
+        const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+        const PRIME: u128 = 0x0000000001000000000000000000013b;
+        fn mix(h: u128, v: u128) -> u128 {
+            (h ^ v).wrapping_mul(PRIME)
+        }
+        fn node(expr: &ExprRef, memo: &mut std::collections::HashMap<*const Expr, u128>) -> u128 {
+            let ptr = std::rc::Rc::as_ptr(expr);
+            if let Some(&h) = memo.get(&ptr) {
+                return h;
+            }
+            let h = match &**expr {
+                Expr::ConstBool(b) => mix(OFFSET, 0x10 | *b as u128),
+                Expr::ConstInt(v) => mix(mix(OFFSET, 0x20), *v as u128),
+                Expr::Var(v) => {
+                    let mut h = mix(OFFSET, 0x30 | matches!(v.sort, Sort::Int) as u128);
+                    h = mix(h, v.id as u128);
+                    for b in v.name.bytes() {
+                        h = mix(h, b as u128);
+                    }
+                    h
+                }
+                Expr::Not(a) => mix(mix(OFFSET, 0x40), node(a, memo)),
+                Expr::And(parts) | Expr::Or(parts) => {
+                    let tag = if matches!(&**expr, Expr::And(_)) {
+                        0x50
+                    } else {
+                        0x60
+                    };
+                    let mut h = mix(OFFSET, tag);
+                    for p in parts {
+                        h = mix(h, node(p, memo));
+                    }
+                    h
+                }
+                Expr::Eq(a, b) | Expr::Lt(a, b) | Expr::Add(a, b) | Expr::Sub(a, b) => {
+                    let tag = match &**expr {
+                        Expr::Eq(..) => 0x70,
+                        Expr::Lt(..) => 0x80,
+                        Expr::Add(..) => 0x90,
+                        _ => 0xa0,
+                    };
+                    mix(mix(mix(OFFSET, tag), node(a, memo)), node(b, memo))
+                }
+                Expr::Ite(c, t, e) => mix(
+                    mix(mix(mix(OFFSET, 0xb0), node(c, memo)), node(t, memo)),
+                    node(e, memo),
+                ),
+            };
+            memo.insert(ptr, h);
+            h
+        }
+        let mut memo = std::collections::HashMap::new();
+        let mut h = OFFSET;
+        for e in exprs {
+            h = mix(h, node(e, &mut memo));
+        }
+        h
+    }
+
     fn collect_vars(expr: &ExprRef, out: &mut BTreeMap<VarId, Var>) {
         match &**expr {
             Expr::ConstBool(_) | Expr::ConstInt(_) => {}

@@ -24,8 +24,14 @@
 //! * [`executor`] — replay-based path exploration: model code calls
 //!   [`executor::PathCtx::branch`] and the engine re-runs the closure once
 //!   per feasible decision vector, collecting a path condition per leaf.
-//! * [`solver`] — a backtracking finite-domain model finder with early
-//!   constraint checking, plus exhaustive enumeration of solutions.
+//! * [`solver`] — an indexed, propagating finite-domain model finder:
+//!   constraints compile once into a DAG arena ([`CaseSolver`]) with a
+//!   variable→constraint watch index, incremental decided-status caching,
+//!   forward checking and conflict-directed backjumping; satisfiability
+//!   checks use dynamic MRV ordering while enumeration keeps the canonical
+//!   static order (solution sequences are reproducible). The naive
+//!   tree-walking engine survives as [`solver::naive`], the differential
+//!   oracle.
 //! * [`isomorphism`] — canonical signatures of assignments, used by TESTGEN
 //!   to avoid emitting isomorphic duplicates (conflict coverage, §5.2).
 
@@ -39,6 +45,7 @@ pub use executor::{explore, PathCtx, PathResult};
 pub use expr::{Expr, ExprRef, Sort, Var, VarId};
 pub use isomorphism::signature;
 pub use solver::{
-    all_solutions, eval_bool, solve, solve_with_preference, Assignment, Domains, Value,
+    all_solutions, eval_bool, satisfiable, solve, solve_with_preference, Assignment, CaseSolver,
+    Domains, Value,
 };
 pub use types::{SymBool, SymContext, SymInt};

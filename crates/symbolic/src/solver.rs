@@ -1,15 +1,58 @@
-//! A backtracking finite-domain model finder.
+//! An indexed, propagating finite-domain model finder.
 //!
 //! The constraints COMMUTER's POSIX model produces are boolean combinations
 //! of equalities, orderings and small arithmetic over variables with small
 //! domains (existence flags, page-granular offsets drawn from a handful of
-//! candidates, equality-partition representatives). A complete backtracking
-//! search with early constraint checking is entirely adequate for that
-//! space and keeps the engine dependency-free; this is the documented
-//! substitution for Z3 (see DESIGN.md).
+//! candidates, equality-partition representatives). The expressions are
+//! reference-counted **DAGs**: state-equality obligations share whole
+//! `ite`-subtrees between constraints, and offset arithmetic (`lseek` ∥
+//! `write`) composes those shared subtrees several levels deep. A naive
+//! tree-walking evaluator re-evaluates every shared subtree once per
+//! reference, which is exponential in the sharing depth — that, plus
+//! re-scanning every constraint from the root at every search node, is what
+//! made the arithmetic-heavy pairs take minutes where every other pair
+//! finished in milliseconds.
+//!
+//! The engine in this module is the documented substitution for Z3 (see
+//! DESIGN.md) and earns its keep the same way real solvers do:
+//!
+//! * **Compilation** ([`CaseSolver`]) — constraints are flattened
+//!   (top-level conjunctions split into independently-checkable pieces),
+//!   variables are interned to contiguous indices, and each expression DAG
+//!   is compiled once into a node arena with shared subtrees deduplicated
+//!   by pointer identity. Evaluation stamps a per-node memo, so each
+//!   reachable DAG node is computed at most once per evaluation no matter
+//!   how often it is shared.
+//! * **Watch indexing** — a variable → constraints index built once per
+//!   compilation; assigning a variable re-examines only the constraints
+//!   that mention it.
+//! * **Decided-status caching** — a constraint that evaluates to `true`
+//!   under the current partial assignment is marked decided on a trail and
+//!   never re-evaluated until backtracking unwinds past that point.
+//! * **Forward checking** — when a constraint is down to a single
+//!   unassigned variable, candidate values that would falsify it are
+//!   pruned from that variable's domain (with the pruning constraint
+//!   recorded for conflict analysis); a wiped-out domain fails the subtree
+//!   immediately.
+//! * **Conflict-directed backjumping** — conflict sets are compact level
+//!   bitsets; a level absent from the conflict set of an exhausted subtree
+//!   is skipped over, exactly as the previous engine did with
+//!   `BTreeSet<usize>` sets.
+//! * **MRV for satisfiability** — [`satisfiable`] (used by the analyzer,
+//!   which only needs a yes/no) selects the next variable dynamically by
+//!   minimum remaining values. Enumeration entry points keep the **static**
+//!   id-ordered search (with the `vary_first` tail semantics of
+//!   [`solve_with_preference`]) so the solution *sequence* is identical to
+//!   the naive engine's — TESTGEN's corpora are byte-for-byte reproducible
+//!   across engines, which the equivalence tests assert.
+//!
+//! The naive tree-walking evaluator ([`eval`], [`eval_partial`]) and the
+//! original backtracking search ([`naive`]) are kept as the differential
+//! oracle: randomized tests check the two engines agree on satisfiability,
+//! on the full solution sequence, and on pin/vary semantics.
 
 use crate::expr::{Expr, ExprRef, Sort, Var, VarId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, HashMap};
 
 /// A concrete value assigned to a variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,9 +82,15 @@ impl Value {
 }
 
 /// A (partial or total) assignment of values to variables.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Variable ids are allocated contiguously by `SymContext`, so the store is
+/// a dense vector indexed by [`VarId`] — reads and writes are plain slice
+/// accesses instead of tree lookups. Trailing unassigned slots are
+/// irrelevant to equality.
+#[derive(Clone, Debug, Default)]
 pub struct Assignment {
-    values: BTreeMap<VarId, Value>,
+    values: Vec<Option<Value>>,
+    assigned: usize,
 }
 
 impl Assignment {
@@ -52,17 +101,28 @@ impl Assignment {
 
     /// Sets a variable's value.
     pub fn set(&mut self, var: VarId, value: Value) {
-        self.values.insert(var, value);
+        let idx = var as usize;
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, None);
+        }
+        if self.values[idx].is_none() {
+            self.assigned += 1;
+        }
+        self.values[idx] = Some(value);
     }
 
     /// Removes a variable's value (used by the solver when backtracking).
     pub fn unset(&mut self, var: VarId) {
-        self.values.remove(&var);
+        if let Some(slot) = self.values.get_mut(var as usize) {
+            if slot.take().is_some() {
+                self.assigned -= 1;
+            }
+        }
     }
 
     /// Reads a variable's value.
     pub fn get(&self, var: VarId) -> Option<Value> {
-        self.values.get(&var).copied()
+        self.values.get(var as usize).copied().flatten()
     }
 
     /// The integer value of a variable (panics if unassigned or a bool).
@@ -80,26 +140,44 @@ impl Assignment {
     }
 
     /// Iterates over `(variable, value)` pairs in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (&VarId, &Value)> {
-        self.values.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Value)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|value| (i as VarId, value)))
     }
 
     /// Number of assigned variables.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.assigned
     }
 
     /// `true` when nothing is assigned.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.assigned == 0
     }
 }
+
+impl PartialEq for Assignment {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing `None` padding must not distinguish assignments.
+        let longest = self.values.len().max(other.values.len());
+        self.assigned == other.assigned
+            && (0..longest).all(|i| self.get(i as VarId) == other.get(i as VarId))
+    }
+}
+
+impl Eq for Assignment {}
+
+/// Boolean candidate values, in the enumeration order every engine uses.
+const BOOL_CANDIDATES: [Value; 2] = [Value::Bool(false), Value::Bool(true)];
 
 /// Candidate domains for the search.
 #[derive(Clone, Debug)]
 pub struct Domains {
-    /// Default candidate values for integer variables.
-    default_ints: Vec<i64>,
+    /// Default candidate values for integer variables (pre-wrapped so
+    /// [`Domains::candidates`] can hand out a borrowed slice).
+    default_ints: Vec<Value>,
     /// Per-variable overrides.
     per_var: BTreeMap<VarId, Vec<Value>>,
 }
@@ -108,7 +186,7 @@ impl Domains {
     /// Domains with the given default integer candidates.
     pub fn new(default_ints: Vec<i64>) -> Self {
         Domains {
-            default_ints,
+            default_ints: default_ints.into_iter().map(Value::Int).collect(),
             per_var: BTreeMap::new(),
         }
     }
@@ -118,13 +196,40 @@ impl Domains {
         self.per_var.insert(var, candidates);
     }
 
-    fn candidates(&self, var: &Var) -> Vec<Value> {
+    /// A stable structural fingerprint of the candidate lists. TESTGEN
+    /// keys its cross-run solution caches on this (two domains with equal
+    /// fingerprints enumerate identically).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |v: u64| {
+            h = (h ^ v).wrapping_mul(0x100000001b3);
+        };
+        let value_bits = |v: &Value| match v {
+            Value::Bool(b) => 0x1_0000_0000u64 | *b as u64,
+            Value::Int(i) => 0x2_0000_0000u64 ^ *i as u64,
+        };
+        for v in &self.default_ints {
+            mix(value_bits(v));
+        }
+        for (var, candidates) in &self.per_var {
+            mix(0x3_0000_0000 | *var as u64);
+            for v in candidates {
+                mix(value_bits(v));
+            }
+        }
+        h
+    }
+
+    /// The candidate values for a variable, in enumeration order. Borrowed:
+    /// the search interrogates domains at every node, and the previous
+    /// `Vec` return cloned the candidate list each time.
+    pub fn candidates(&self, var: &Var) -> &[Value] {
         if let Some(c) = self.per_var.get(&var.id) {
-            return c.clone();
+            return c;
         }
         match var.sort {
-            Sort::Bool => vec![Value::Bool(false), Value::Bool(true)],
-            Sort::Int => self.default_ints.iter().map(|v| Value::Int(*v)).collect(),
+            Sort::Bool => &BOOL_CANDIDATES,
+            Sort::Int => &self.default_ints,
         }
     }
 }
@@ -138,6 +243,11 @@ impl Default for Domains {
 /// Evaluates an expression under a (total, for its free variables)
 /// assignment. Returns `None` if a needed variable is unassigned or a sort
 /// is misused.
+///
+/// This is the *naive oracle* evaluator: it walks the expression as a tree
+/// (shared subtrees are re-evaluated per reference) and is kept — along
+/// with [`eval_partial`] and the [`naive`] search — as the differential
+/// reference for the compiled engine.
 pub fn eval(expr: &ExprRef, assignment: &Assignment) -> Option<Value> {
     match &**expr {
         Expr::ConstBool(b) => Some(Value::Bool(*b)),
@@ -199,8 +309,9 @@ pub fn eval_bool(expr: &ExprRef, assignment: &Assignment) -> bool {
 /// Three-valued evaluation under a *partial* assignment: `None` means the
 /// value is not yet determined. Conjunctions and disjunctions short-circuit
 /// (a single `false` conjunct decides the conjunction even if other parts
-/// are unknown), which is what lets the solver prune subtrees long before
-/// every variable is assigned.
+/// are unknown), which is what lets a solver prune subtrees long before
+/// every variable is assigned. Naive oracle counterpart of the compiled
+/// engine's incremental evaluation.
 pub fn eval_partial(expr: &ExprRef, assignment: &Assignment) -> Option<Value> {
     match &**expr {
         Expr::ConstBool(b) => Some(Value::Bool(*b)),
@@ -258,211 +369,905 @@ pub fn eval_partial(expr: &ExprRef, assignment: &Assignment) -> Option<Value> {
     }
 }
 
-struct Search<'a> {
-    constraints: Vec<ExprRef>,
-    // For each constraint, the set of variable ids it mentions.
-    constraint_vars: Vec<Vec<VarId>>,
-    order: Vec<Var>,
-    // Variable id → position in `order` (its search level).
-    level_of: BTreeMap<VarId, usize>,
-    domains: &'a Domains,
+/// Flattens top-level conjunctions so each piece mentions as few variables
+/// as possible; that is what makes the early consistency check prune
+/// effectively (a single monolithic conjunction could only be checked once
+/// every variable is assigned).
+fn flatten_constraints(constraints: &[ExprRef]) -> Vec<ExprRef> {
+    fn flatten(e: &ExprRef, out: &mut Vec<ExprRef>) {
+        match &**e {
+            Expr::And(parts) => {
+                for p in parts {
+                    flatten(p, out);
+                }
+            }
+            Expr::ConstBool(true) => {}
+            _ => out.push(e.clone()),
+        }
+    }
+    let mut flat = Vec::new();
+    for c in constraints {
+        flatten(c, &mut flat);
+    }
+    flat
 }
 
-impl<'a> Search<'a> {
-    fn new(constraints: &'a [ExprRef], domains: &'a Domains) -> Self {
-        Search::new_with_tail(constraints, domains, &[])
-    }
+// --- compiled engine -----------------------------------------------------
 
-    /// Like [`Search::new`], but the variables listed in `vary_first` are
-    /// moved to the *deepest* search levels (earlier-listed deepest of all),
-    /// so solution enumeration cycles through their candidate values before
-    /// touching anything else. Callers that re-solve for an alternative
-    /// completion use this to make the variables they want varied appear in
-    /// the first few solutions instead of after an exponential tail.
-    /// `vary_first` variables that no constraint mentions are *added* to the
-    /// search (they are trivially satisfiable at every candidate value);
-    /// without this a caller could never obtain completions that differ on
-    /// a fully unconstrained variable.
-    fn new_with_tail(constraints: &'a [ExprRef], domains: &'a Domains, vary_first: &[Var]) -> Self {
-        // Flatten top-level conjunctions so each piece mentions as few
-        // variables as possible; that is what makes the early consistency
-        // check prune effectively (a single monolithic conjunction could
-        // only be checked once every variable is assigned).
-        let mut flat: Vec<ExprRef> = Vec::new();
-        fn flatten(e: &ExprRef, out: &mut Vec<ExprRef>) {
-            match &**e {
-                Expr::And(parts) => {
-                    for p in parts {
-                        flatten(p, out);
-                    }
-                }
-                Expr::ConstBool(true) => {}
-                _ => out.push(e.clone()),
-            }
-        }
-        for c in constraints {
-            flatten(c, &mut flat);
-        }
-        let mut all_vars: BTreeMap<VarId, Var> = BTreeMap::new();
-        let mut constraint_vars = Vec::with_capacity(flat.len());
-        for c in &flat {
-            let vars = Expr::free_vars(c);
-            constraint_vars.push(vars.keys().copied().collect());
-            all_vars.extend(vars);
-        }
-        if !vary_first.is_empty() {
-            // Unconstrained vary variables still need a search level, or no
-            // solution would ever assign them.
-            for var in vary_first {
-                all_vars.entry(var.id).or_insert_with(|| var.clone());
-            }
-        }
-        let mut order: Vec<Var> = all_vars.into_values().collect();
-        if !vary_first.is_empty() {
-            // Stable-partition the order: non-tail variables keep their id
-            // order, tail variables are appended so that the enumeration
-            // (which backtracks from the deepest level first) varies
-            // `vary_first[0]` fastest.
-            let rank: BTreeMap<VarId, usize> = vary_first
-                .iter()
-                .enumerate()
-                .map(|(i, v)| (v.id, i))
-                .collect();
-            let (head, mut tail): (Vec<Var>, Vec<Var>) =
-                order.into_iter().partition(|v| !rank.contains_key(&v.id));
-            tail.sort_by_key(|v| std::cmp::Reverse(rank[&v.id]));
-            order = head;
-            order.extend(tail);
-        }
-        let level_of = order.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
-        Search {
-            constraints: flat,
-            constraint_vars,
-            order,
-            level_of,
-            domains,
-        }
-    }
+/// Maximum number of search levels the compiled engine handles (conflict
+/// sets are `u128` level bitsets). Larger problems — none exist in the
+/// model today — fall back to the naive search.
+const MAX_FAST_LEVELS: usize = 128;
 
-    /// Finds a constraint that is *definitely* violated under the current
-    /// partial assignment, returning the set of search levels its variables
-    /// occupy (the conflict's culprits). Three-valued evaluation lets a
-    /// single decided conjunct falsify a large conjunction early. Only
-    /// constraints that mention the variable assigned last (or, at the root,
-    /// all constraints) need to be re-examined.
-    fn violated(
-        &self,
-        assignment: &Assignment,
-        last_assigned: Option<VarId>,
-    ) -> Option<BTreeSet<usize>> {
-        for (c, vars) in self.constraints.iter().zip(&self.constraint_vars) {
-            if let Some(last) = last_assigned {
-                if !vars.contains(&last) {
+/// Sentinel `below` level selecting variable-indexed conflict sets (the
+/// dynamically-ordered satisfiability search; see [`Engine::culprits`]).
+const SAT_MODE: usize = usize::MAX;
+
+/// One node of the compiled expression arena. Children are arena indices;
+/// n-ary conjunction/disjunction children live in the shared `kids` pool.
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    ConstBool(bool),
+    ConstInt(i64),
+    /// A variable reference, interned to a dense index.
+    Var(u32),
+    Not(u32),
+    /// Children are `kids[start..end]`.
+    And(u32, u32),
+    /// Children are `kids[start..end]`.
+    Or(u32, u32),
+    Eq(u32, u32),
+    Lt(u32, u32),
+    Add(u32, u32),
+    Sub(u32, u32),
+    Ite(u32, u32, u32),
+}
+
+/// A set of constraints compiled once and reusable across many solver
+/// queries (different domains, pins and variable orderings). TESTGEN builds
+/// one per commutative case so its solve-and-repair loop shares the
+/// flattening, interning and compilation work between the initial
+/// enumeration and every re-solve round.
+#[derive(Clone, Debug)]
+pub struct CaseSolver {
+    /// The flattened constraints (kept for the naive fallback and tests).
+    flat: Vec<ExprRef>,
+    /// Interned variables (first-encounter order); a variable's dense
+    /// index is its position here.
+    vars: Vec<Var>,
+    /// Variable id → dense index.
+    dense_of: BTreeMap<VarId, u32>,
+    /// The expression arena. Shared subtrees (`Rc`-aliased nodes) are
+    /// compiled once and referenced by index, so the arena has the size of
+    /// the expression *DAG*, not its tree expansion.
+    nodes: Vec<Node>,
+    /// Child pool for n-ary nodes.
+    kids: Vec<u32>,
+    /// Per constraint: root node index.
+    roots: Vec<u32>,
+    /// Per constraint: the dense indices of the variables it mentions.
+    cvars: Vec<Vec<u32>>,
+    /// Per dense variable: the constraints that mention it (the watch
+    /// index). Assigning a variable re-examines only these.
+    watch: Vec<Vec<u32>>,
+}
+
+impl CaseSolver {
+    /// Flattens, interns and compiles `constraints`. One pass over the
+    /// expression DAG: variables are interned (dense index = first
+    /// encounter) while nodes are compiled, and per-constraint variable
+    /// lists come from a stamped walk of the compiled arena rather than a
+    /// second tree traversal.
+    pub fn new(constraints: &[ExprRef]) -> Self {
+        let flat = flatten_constraints(constraints);
+        // Pre-size for the model's typical conditions (~10³ DAG nodes):
+        // growth rehashes of the pointer memo would otherwise dominate
+        // compilation, which runs once per analyzed path.
+        let mut memo = PtrMemo::default();
+        memo.reserve(4096);
+        let mut compiler = Compiler {
+            vars: Vec::new(),
+            dense_of: BTreeMap::new(),
+            nodes: Vec::with_capacity(4096),
+            kids: Vec::with_capacity(512),
+            memo,
+        };
+        let roots: Vec<u32> = flat.iter().map(|c| compiler.compile(c)).collect();
+        let Compiler {
+            vars,
+            dense_of,
+            nodes,
+            kids,
+            ..
+        } = compiler;
+        // Per-constraint variable lists (stamped arena walk — shared nodes
+        // visited once per constraint) and the watch index.
+        let mut cvars: Vec<Vec<u32>> = Vec::with_capacity(roots.len());
+        let mut watch = vec![Vec::new(); vars.len()];
+        let mut stamp = vec![0u32; nodes.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for (ci, &root) in roots.iter().enumerate() {
+            let current = ci as u32 + 1;
+            let mut dense: Vec<u32> = Vec::new();
+            stack.push(root);
+            while let Some(n) = stack.pop() {
+                let ni = n as usize;
+                if stamp[ni] == current {
                     continue;
                 }
+                stamp[ni] = current;
+                match nodes[ni] {
+                    Node::ConstBool(_) | Node::ConstInt(_) => {}
+                    Node::Var(v) => dense.push(v),
+                    Node::Not(a) => stack.push(a),
+                    Node::And(start, end) | Node::Or(start, end) => {
+                        stack.extend_from_slice(&kids[start as usize..end as usize]);
+                    }
+                    Node::Eq(a, b) | Node::Lt(a, b) | Node::Add(a, b) | Node::Sub(a, b) => {
+                        stack.push(a);
+                        stack.push(b);
+                    }
+                    Node::Ite(c, t, e) => {
+                        stack.push(c);
+                        stack.push(t);
+                        stack.push(e);
+                    }
+                }
             }
-            if eval_partial(c, assignment) == Some(Value::Bool(false)) {
-                return Some(
-                    vars.iter()
-                        .filter_map(|v| self.level_of.get(v).copied())
-                        .collect(),
-                );
+            dense.sort_unstable();
+            dense.dedup();
+            for &v in &dense {
+                watch[v as usize].push(ci as u32);
+            }
+            cvars.push(dense);
+        }
+        CaseSolver {
+            flat,
+            vars,
+            dense_of,
+            nodes,
+            kids,
+            roots,
+            cvars,
+            watch,
+        }
+    }
+
+    /// The interned variables (first-encounter order).
+    pub fn variables(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Finds one satisfying assignment, enumeration-ordered (the first
+    /// solution [`CaseSolver::all_solutions`] would return).
+    pub fn solve(&self, domains: &Domains) -> Option<Assignment> {
+        self.all_solutions(domains, 1).into_iter().next()
+    }
+
+    /// Enumerates up to `limit` satisfying assignments in the canonical
+    /// order (id-ordered static search, identical to the naive engine's
+    /// sequence).
+    pub fn all_solutions(&self, domains: &Domains, limit: usize) -> Vec<Assignment> {
+        self.enumerate(domains, &Assignment::new(), &[], limit)
+    }
+
+    /// Bounded re-solve over free variables: enumerates up to `limit`
+    /// satisfying assignments that agree with `pinned` on every variable it
+    /// assigns, varying the variables listed in `vary_first` before any
+    /// other. See [`solve_with_preference`] for the full contract.
+    pub fn solve_with_preference(
+        &self,
+        domains: &Domains,
+        pinned: &Assignment,
+        vary_first: &[Var],
+        limit: usize,
+    ) -> Vec<Assignment> {
+        let tail: Vec<Var> = vary_first
+            .iter()
+            .filter(|v| pinned.get(v.id).is_none())
+            .cloned()
+            .collect();
+        self.enumerate(domains, pinned, &tail, limit)
+    }
+
+    /// Is the constraint set satisfiable over `domains`? Uses dynamic
+    /// minimum-remaining-values ordering, which is much faster than the
+    /// enumeration order when only the yes/no answer matters (the
+    /// analyzer's case). The witness order is unspecified, which is why
+    /// this is a separate entry point from [`CaseSolver::solve`].
+    pub fn satisfiable(&self, domains: &Domains) -> bool {
+        if self.vars.len() > MAX_FAST_LEVELS {
+            return naive::solve(&self.flat, domains).is_some();
+        }
+        let mut engine = match Engine::new(self, domains, &Assignment::new(), &[]) {
+            Some(engine) => engine,
+            None => return false,
+        };
+        engine.sat_search().is_none()
+    }
+
+    /// Static-order enumeration: head variables in id order, `tail`
+    /// variables moved to the deepest levels (earlier-listed deepest of
+    /// all). `pinned` restricts each pinned variable's candidates to its
+    /// pinned value.
+    fn enumerate(
+        &self,
+        domains: &Domains,
+        pinned: &Assignment,
+        tail: &[Var],
+        limit: usize,
+    ) -> Vec<Assignment> {
+        if self.vars.len() + tail.len() > MAX_FAST_LEVELS {
+            // Out-of-model-scale problem: preserve behaviour via the naive
+            // engine rather than mis-sizing the level bitsets.
+            return naive::enumerate(&self.flat, domains, pinned, tail, limit);
+        }
+        let mut engine = match Engine::new(self, domains, pinned, tail) {
+            Some(engine) => engine,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        let _ = engine.search(0, &mut out, limit);
+        out
+    }
+}
+
+/// Hashes `Rc` pointers for the compilation memo: a single multiply
+/// instead of SipHash (the memo is hit once per DAG node reference, which
+/// is the hot path of compilation).
+#[derive(Default)]
+struct PtrHasher(u64);
+
+impl std::hash::Hasher for PtrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PtrMemo = HashMap<*const Expr, u32, std::hash::BuildHasherDefault<PtrHasher>>;
+
+/// Compiles expression DAGs into the node arena, deduplicating shared
+/// subtrees by `Rc` pointer identity and interning variables to dense
+/// indices (first encounter order) on the fly.
+struct Compiler {
+    vars: Vec<Var>,
+    dense_of: BTreeMap<VarId, u32>,
+    nodes: Vec<Node>,
+    kids: Vec<u32>,
+    memo: PtrMemo,
+}
+
+impl Compiler {
+    fn intern(&mut self, var: &Var) -> u32 {
+        if let Some(&dense) = self.dense_of.get(&var.id) {
+            return dense;
+        }
+        let dense = self.vars.len() as u32;
+        self.vars.push(var.clone());
+        self.dense_of.insert(var.id, dense);
+        dense
+    }
+
+    fn compile(&mut self, expr: &ExprRef) -> u32 {
+        if let Some(&idx) = self.memo.get(&std::rc::Rc::as_ptr(expr)) {
+            return idx;
+        }
+        let node = match &**expr {
+            Expr::ConstBool(b) => Node::ConstBool(*b),
+            Expr::ConstInt(v) => Node::ConstInt(*v),
+            Expr::Var(v) => Node::Var(self.intern(v)),
+            Expr::Not(a) => Node::Not(self.compile(a)),
+            Expr::And(parts) | Expr::Or(parts) => {
+                let compiled: Vec<u32> = parts.iter().map(|p| self.compile(p)).collect();
+                let start = self.kids.len() as u32;
+                self.kids.extend(compiled);
+                let end = self.kids.len() as u32;
+                if matches!(&**expr, Expr::And(_)) {
+                    Node::And(start, end)
+                } else {
+                    Node::Or(start, end)
+                }
+            }
+            Expr::Eq(a, b) => Node::Eq(self.compile(a), self.compile(b)),
+            Expr::Lt(a, b) => Node::Lt(self.compile(a), self.compile(b)),
+            Expr::Add(a, b) => Node::Add(self.compile(a), self.compile(b)),
+            Expr::Sub(a, b) => Node::Sub(self.compile(a), self.compile(b)),
+            Expr::Ite(c, t, e) => Node::Ite(self.compile(c), self.compile(t), self.compile(e)),
+        };
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.memo.insert(std::rc::Rc::as_ptr(expr), idx);
+        idx
+    }
+}
+
+/// Per-evaluation memo: each arena node is computed at most once per
+/// evaluation (the `stamp` marks which evaluation a cached value belongs
+/// to, so resetting between evaluations is a counter increment, not a
+/// clear).
+struct EvalMemo {
+    stamp: Vec<u64>,
+    value: Vec<Option<Value>>,
+    current: u64,
+}
+
+impl EvalMemo {
+    fn new(nodes: usize) -> Self {
+        EvalMemo {
+            stamp: vec![0; nodes],
+            value: vec![None; nodes],
+            current: 0,
+        }
+    }
+}
+
+/// Undo-trail entries for backtracking.
+#[derive(Clone, Copy, Debug)]
+enum TrailEntry {
+    /// Constraint `c` was marked decided-true.
+    Decided(u32),
+    /// Candidate index `cand` of variable `var` was pruned.
+    Removed { var: u32, cand: u8 },
+}
+
+/// One search over a compiled constraint set: dense per-variable state,
+/// candidate bitmasks with an undo trail, and `u128` conflict-level sets.
+struct Engine<'a> {
+    cs: &'a CaseSolver,
+    /// All search variables: the compiled set's, then any extra
+    /// (unconstrained) tail variables, dense-indexed in that order.
+    all_vars: Vec<Var>,
+    /// Dense variable per search level.
+    order: Vec<u32>,
+    /// Dense variable → search level.
+    level_of: Vec<u32>,
+    /// Per dense variable: ordered candidate values.
+    cand: Vec<Vec<Value>>,
+    /// Per dense variable: bitmask of still-active candidate indices (all
+    /// bits set when the candidate list is too long to track).
+    active: Vec<u64>,
+    /// Per dense variable, per candidate index: the constraint that pruned
+    /// it (valid while the bit is clear).
+    removed_by: Vec<Vec<u32>>,
+    /// Current values, dense-indexed.
+    vals: Vec<Option<Value>>,
+    /// Per constraint: decided-true under the current assignment?
+    decided: Vec<bool>,
+    /// Per constraint: number of unassigned variables.
+    unassigned: Vec<u32>,
+    trail: Vec<TrailEntry>,
+    memo: EvalMemo,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds the engine, applies pins, and performs the root-level
+    /// evaluation (constraints decided with nothing assigned). Returns
+    /// `None` when a constraint is already false at the root.
+    fn new(
+        cs: &'a CaseSolver,
+        domains: &Domains,
+        pinned: &Assignment,
+        tail: &[Var],
+    ) -> Option<Engine<'a>> {
+        let mut all_vars = cs.vars.clone();
+        for var in tail {
+            if !cs.dense_of.contains_key(&var.id) {
+                // Unconstrained vary variables still need a search level,
+                // or no solution would ever assign them.
+                all_vars.push(var.clone());
+            }
+        }
+        let n = all_vars.len();
+        // Static order: non-tail variables in id order, tail variables
+        // appended so the enumeration (which backtracks from the deepest
+        // level first) varies `tail[0]` fastest.
+        let tail_rank: BTreeMap<VarId, usize> =
+            tail.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
+        let dense_of_all = |id: VarId| -> u32 {
+            cs.dense_of.get(&id).copied().unwrap_or_else(|| {
+                (cs.vars.len()
+                    + all_vars[cs.vars.len()..]
+                        .iter()
+                        .position(|v| v.id == id)
+                        .expect("extra var interned above")) as u32
+            })
+        };
+        let mut head: Vec<&Var> = all_vars
+            .iter()
+            .filter(|v| !tail_rank.contains_key(&v.id))
+            .collect();
+        head.sort_by_key(|v| v.id);
+        let mut tail_vars: Vec<&Var> = all_vars
+            .iter()
+            .filter(|v| tail_rank.contains_key(&v.id))
+            .collect();
+        tail_vars.sort_by_key(|v| std::cmp::Reverse(tail_rank[&v.id]));
+        let order: Vec<u32> = head
+            .iter()
+            .chain(tail_vars.iter())
+            .map(|v| dense_of_all(v.id))
+            .collect();
+        let mut level_of = vec![0u32; n];
+        for (level, &v) in order.iter().enumerate() {
+            level_of[v as usize] = level as u32;
+        }
+        let cand: Vec<Vec<Value>> = all_vars
+            .iter()
+            .map(|v| match pinned.get(v.id) {
+                Some(value) => vec![value],
+                None => domains.candidates(v).to_vec(),
+            })
+            .collect();
+        let active = cand
+            .iter()
+            .map(|c| {
+                if c.len() >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << c.len()) - 1
+                }
+            })
+            .collect();
+        let removed_by = cand.iter().map(|c| vec![0u32; c.len().min(64)]).collect();
+        let mut engine = Engine {
+            cs,
+            all_vars,
+            order,
+            level_of,
+            cand,
+            active,
+            removed_by,
+            vals: vec![None; n],
+            decided: vec![false; cs.roots.len()],
+            unassigned: cs.cvars.iter().map(|v| v.len() as u32).collect(),
+            trail: Vec::new(),
+            memo: EvalMemo::new(cs.nodes.len()),
+        };
+        // Root evaluation: constraints already decided with nothing
+        // assigned (constant `false`, or short-circuited conjunctions)
+        // reject the whole search up front; decided-true constraints never
+        // need re-examination.
+        for c in 0..cs.roots.len() {
+            match engine.eval_constraint(c as u32) {
+                Some(Value::Bool(true)) => engine.decided[c] = true,
+                Some(Value::Bool(false)) => return None,
+                _ => {}
+            }
+        }
+        Some(engine)
+    }
+
+    /// Evaluates constraint `c` three-valued under the current dense
+    /// assignment, memoized per evaluation.
+    fn eval_constraint(&mut self, c: u32) -> Option<Value> {
+        self.memo.current += 1;
+        eval_node(
+            self.cs,
+            self.cs.roots[c as usize],
+            &self.vals,
+            &mut self.memo,
+        )
+    }
+
+    /// The conflict bitset of constraint `c`. In the static enumeration
+    /// search (`below` is the current level) the bits are search *levels*
+    /// below `below` — with static ordering those are exactly the assigned
+    /// ancestors. The dynamically-ordered satisfiability search passes
+    /// [`SAT_MODE`], and the bits are the *dense indices* of `c`'s
+    /// currently-assigned variables instead (levels are meaningless when
+    /// the order varies per branch).
+    fn culprits(&self, c: u32, below: usize) -> u128 {
+        let mut set = 0u128;
+        for &v in &self.cs.cvars[c as usize] {
+            if below == SAT_MODE {
+                if self.vals[v as usize].is_some() {
+                    set |= 1u128 << v;
+                }
+            } else {
+                let level = self.level_of[v as usize] as usize;
+                if level < below {
+                    set |= 1u128 << level;
+                }
+            }
+        }
+        set
+    }
+
+    /// Assigns `value` to `var` and incrementally re-examines the watching
+    /// constraints: decided-true constraints are recorded on the trail,
+    /// a decided-false constraint reports its conflict levels, and
+    /// constraints down to one unassigned variable forward-check that
+    /// variable's domain. `below` is the current search level (conflict
+    /// sets are filtered to earlier levels).
+    fn assign(&mut self, var: u32, value: Value, below: usize) -> Result<(), u128> {
+        self.vals[var as usize] = Some(value);
+        // Extra (unconstrained tail) variables have no watchers.
+        let watchers = self.cs.watch.get(var as usize).map_or(0, Vec::len);
+        for wi in 0..watchers {
+            let c = self.cs.watch[var as usize][wi];
+            self.unassigned[c as usize] -= 1;
+        }
+        for wi in 0..watchers {
+            let c = self.cs.watch[var as usize][wi];
+            if self.decided[c as usize] {
+                continue;
+            }
+            match self.eval_constraint(c) {
+                Some(Value::Bool(true)) => {
+                    self.decided[c as usize] = true;
+                    self.trail.push(TrailEntry::Decided(c));
+                }
+                Some(Value::Bool(false)) => return Err(self.culprits(c, below)),
+                _ => {
+                    if self.unassigned[c as usize] == 1 {
+                        self.forward_check(c, below)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward checking: `c` has exactly one unassigned variable; prune its
+    /// candidate values that would falsify `c`. An emptied domain is a
+    /// conflict whose culprits are every constraint that removed one of the
+    /// variable's values.
+    fn forward_check(&mut self, c: u32, below: usize) -> Result<(), u128> {
+        let u = match self.cs.cvars[c as usize]
+            .iter()
+            .copied()
+            .find(|&v| self.vals[v as usize].is_none())
+        {
+            Some(u) => u,
+            None => return Ok(()),
+        };
+        let ui = u as usize;
+        if self.cand[ui].len() > 64 {
+            // Domain too large for the bitmask; skip pruning (sound — just
+            // less propagation).
+            return Ok(());
+        }
+        for i in 0..self.cand[ui].len() {
+            if self.active[ui] & (1u64 << i) == 0 {
+                continue;
+            }
+            self.vals[ui] = Some(self.cand[ui][i]);
+            let verdict = self.eval_constraint(c);
+            self.vals[ui] = None;
+            if verdict == Some(Value::Bool(false)) {
+                self.active[ui] &= !(1u64 << i);
+                self.removed_by[ui][i] = c;
+                self.trail.push(TrailEntry::Removed {
+                    var: u,
+                    cand: i as u8,
+                });
+            }
+        }
+        if self.active[ui] == 0 {
+            let mut conflict = 0u128;
+            for i in 0..self.cand[ui].len() {
+                conflict |= self.culprits(self.removed_by[ui][i], below);
+            }
+            return Err(conflict);
+        }
+        Ok(())
+    }
+
+    /// Undoes `assign`: unwinds the trail to `mark`, restores the watching
+    /// constraints' unassigned counts and clears the value.
+    fn undo(&mut self, mark: usize, var: u32) {
+        while self.trail.len() > mark {
+            match self.trail.pop().expect("trail above mark") {
+                TrailEntry::Decided(c) => self.decided[c as usize] = false,
+                TrailEntry::Removed { var, cand } => {
+                    self.active[var as usize] |= 1u64 << cand;
+                }
+            }
+        }
+        if let Some(watchers) = self.cs.watch.get(var as usize) {
+            for &c in watchers {
+                self.unassigned[c as usize] += 1;
+            }
+        }
+        self.vals[var as usize] = None;
+    }
+
+    /// The current total assignment as a public [`Assignment`].
+    fn extract(&self) -> Assignment {
+        let mut out = Assignment::new();
+        for (dense, var) in self.all_vars.iter().enumerate() {
+            if let Some(value) = self.vals[dense] {
+                out.set(var.id, value);
+            }
+        }
+        out
+    }
+
+    /// Finalizes a leaf: every constraint must now evaluate decided-true
+    /// (this also covers constraints that never triggered an incremental
+    /// check). Returns the conflict set of the first failing constraint,
+    /// or `None` on success. `below` selects the conflict-set flavour as in
+    /// [`Engine::culprits`].
+    fn finalize_leaf(&mut self, below: usize) -> Option<u128> {
+        for c in 0..self.cs.roots.len() {
+            if self.decided[c] {
+                continue;
+            }
+            match self.eval_constraint(c as u32) {
+                Some(Value::Bool(true)) => {
+                    self.decided[c] = true;
+                    self.trail.push(TrailEntry::Decided(c as u32));
+                }
+                _ => return Some(self.culprits(c as u32, below)),
             }
         }
         None
     }
 
-    /// Conflict-directed backjumping search. Returns `Err(())` when the
-    /// solution limit was reached; otherwise returns the conflict set of the
-    /// exhausted subtree (the levels whose assignments mattered). A caller
-    /// whose own level is not in that set can skip its remaining candidates:
-    /// re-assigning it cannot make the subtree satisfiable.
-    fn search(
-        &self,
-        idx: usize,
-        assignment: &mut Assignment,
-        out: &mut Vec<Assignment>,
-        limit: usize,
-    ) -> Result<BTreeSet<usize>, ()> {
+    /// Conflict-directed backjumping search, mirroring the naive engine's
+    /// control flow exactly (so the solution sequence is identical).
+    /// Returns `Err(())` when the solution limit was reached; otherwise the
+    /// conflict set of the exhausted subtree. A caller whose own level is
+    /// absent from that set skips its remaining candidates: re-assigning it
+    /// cannot make the subtree satisfiable.
+    fn search(&mut self, idx: usize, out: &mut Vec<Assignment>, limit: usize) -> Result<u128, ()> {
         if out.len() >= limit {
             return Err(());
         }
         if idx == self.order.len() {
-            // Verify every constraint (this also covers variable-free
-            // constraints that never triggered an incremental check).
-            if self.constraints.iter().all(|c| eval_bool(c, assignment)) {
-                out.push(assignment.clone());
-                if out.len() >= limit {
-                    return Err(());
-                }
-                return Ok(BTreeSet::new());
-            }
-            // Report the culprits of the first violated constraint.
-            for (c, vars) in self.constraints.iter().zip(&self.constraint_vars) {
-                if !eval_bool(c, assignment) {
-                    return Ok(vars
-                        .iter()
-                        .filter_map(|v| self.level_of.get(v).copied())
-                        .collect());
-                }
-            }
-            return Ok(BTreeSet::new());
-        }
-        let var = &self.order[idx];
-        let mut conflicts: BTreeSet<usize> = BTreeSet::new();
-        let mut solution_below = false;
-        for candidate in self.domains.candidates(var) {
-            assignment.set(var.id, candidate);
-            match self.violated(assignment, Some(var.id)) {
-                Some(culprits) => {
-                    conflicts.extend(culprits.into_iter().filter(|l| *l < idx));
-                }
+            return match self.finalize_leaf(self.order.len()) {
+                // Leaf `Decided` marks are unwound by the caller's trail
+                // mark, so no local undo is needed.
+                Some(conflict) => Ok(conflict),
                 None => {
+                    out.push(self.extract());
+                    if out.len() >= limit {
+                        Err(())
+                    } else {
+                        Ok(0)
+                    }
+                }
+            };
+        }
+        let var = self.order[idx];
+        let vi = var as usize;
+        let below_mask = (1u128 << idx) - 1;
+        let mut conflicts = 0u128;
+        let mut solution_below = false;
+        for i in 0..self.cand[vi].len() {
+            if self.cand[vi].len() <= 64 && self.active[vi] & (1u64 << i) == 0 {
+                // Pruned by forward checking at an earlier level: charge the
+                // pruning constraint's levels, exactly as an explicit
+                // violation would be charged.
+                conflicts |= self.culprits(self.removed_by[vi][i], idx);
+                continue;
+            }
+            let mark = self.trail.len();
+            match self.assign(var, self.cand[vi][i], idx) {
+                Err(culprits) => {
+                    conflicts |= culprits & below_mask;
+                }
+                Ok(()) => {
                     let found_before = out.len();
-                    let below = self.search(idx + 1, assignment, out, limit);
-                    match below {
+                    match self.search(idx + 1, out, limit) {
                         Err(()) => {
-                            assignment.unset(var.id);
+                            self.undo(mark, var);
                             return Err(());
                         }
                         Ok(cs) => {
                             let found_here = out.len() > found_before;
                             solution_below |= found_here;
-                            if !solution_below && !cs.contains(&idx) {
+                            if !solution_below && cs & (1u128 << idx) == 0 {
                                 // This level is irrelevant to the subtree's
                                 // failure: re-assigning it cannot help, so
                                 // jump straight over it.
-                                assignment.unset(var.id);
+                                self.undo(mark, var);
                                 return Ok(cs);
                             }
-                            conflicts.extend(cs.into_iter().filter(|l| *l < idx));
+                            conflicts |= cs & below_mask;
                         }
                     }
                 }
             }
+            self.undo(mark, var);
         }
-        // Backtrack cleanly so partial evaluation at shallower depths never
-        // sees a stale value from an abandoned subtree.
-        assignment.unset(var.id);
         if solution_below {
             // Solutions were found below: report every earlier level as
             // relevant so ancestors keep enumerating exhaustively.
-            return Ok((0..idx).collect());
+            return Ok(below_mask);
         }
         Ok(conflicts)
     }
+
+    /// Satisfiability-only search with dynamic minimum-remaining-values
+    /// ordering: enumeration order is irrelevant here, and branching on the
+    /// most constrained variable first collapses the search space that the
+    /// static id order would thrash through. Conflict-directed backjumping
+    /// carries over — with a dynamic order the conflict sets are variable
+    /// bitsets rather than level bitsets ([`SAT_MODE`]): an exhausted
+    /// subtree whose conflict set does not contain the variable just
+    /// branched on is independent of that variable's value, so its
+    /// remaining candidates are skipped.
+    ///
+    /// Returns `None` when a satisfying assignment was found, otherwise the
+    /// conflict variable set of the refuted subtree.
+    fn sat_search(&mut self) -> Option<u128> {
+        let next = self
+            .vals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_none())
+            .map(|(i, _)| i)
+            .min_by_key(|&i| {
+                if self.cand[i].len() <= 64 {
+                    self.active[i].count_ones() as usize
+                } else {
+                    self.cand[i].len()
+                }
+            });
+        let vi = match next {
+            Some(vi) => vi,
+            None => return self.finalize_leaf(SAT_MODE),
+        };
+        let self_bit = 1u128 << vi;
+        let mut conflicts = 0u128;
+        for i in 0..self.cand[vi].len() {
+            if self.cand[vi].len() <= 64 && self.active[vi] & (1u64 << i) == 0 {
+                conflicts |= self.culprits(self.removed_by[vi][i], SAT_MODE) & !self_bit;
+                continue;
+            }
+            let mark = self.trail.len();
+            match self.assign(vi as u32, self.cand[vi][i], SAT_MODE) {
+                Err(culprits) => conflicts |= culprits & !self_bit,
+                Ok(()) => match self.sat_search() {
+                    None => return None,
+                    Some(cs) => {
+                        if cs & self_bit == 0 {
+                            // The refutation does not involve this
+                            // variable: re-assigning it cannot help.
+                            self.undo(mark, vi as u32);
+                            return Some(cs);
+                        }
+                        conflicts |= cs & !self_bit;
+                    }
+                },
+            }
+            self.undo(mark, vi as u32);
+        }
+        Some(conflicts)
+    }
 }
 
+/// Three-valued evaluation over the compiled arena: `None` is "not yet
+/// determined (or sort error)", exactly as [`eval_partial`]. Shared DAG
+/// nodes are computed once per evaluation via the stamp memo.
+fn eval_node(
+    cs: &CaseSolver,
+    node: u32,
+    vals: &[Option<Value>],
+    memo: &mut EvalMemo,
+) -> Option<Value> {
+    let ni = node as usize;
+    if memo.stamp[ni] == memo.current {
+        return memo.value[ni];
+    }
+    let result = match cs.nodes[ni] {
+        Node::ConstBool(b) => Some(Value::Bool(b)),
+        Node::ConstInt(v) => Some(Value::Int(v)),
+        Node::Var(v) => vals[v as usize],
+        Node::Not(a) => eval_node(cs, a, vals, memo)
+            .and_then(|v| v.as_bool())
+            .map(|b| Value::Bool(!b)),
+        Node::And(start, end) => {
+            let mut unknown = false;
+            let mut decided_false = false;
+            for ki in start..end {
+                let kid = cs.kids[ki as usize];
+                match eval_node(cs, kid, vals, memo).and_then(|v| v.as_bool()) {
+                    Some(false) => {
+                        decided_false = true;
+                        break;
+                    }
+                    Some(true) => {}
+                    None => unknown = true,
+                }
+            }
+            if decided_false {
+                Some(Value::Bool(false))
+            } else if unknown {
+                None
+            } else {
+                Some(Value::Bool(true))
+            }
+        }
+        Node::Or(start, end) => {
+            let mut unknown = false;
+            let mut decided_true = false;
+            for ki in start..end {
+                let kid = cs.kids[ki as usize];
+                match eval_node(cs, kid, vals, memo).and_then(|v| v.as_bool()) {
+                    Some(true) => {
+                        decided_true = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => unknown = true,
+                }
+            }
+            if decided_true {
+                Some(Value::Bool(true))
+            } else if unknown {
+                None
+            } else {
+                Some(Value::Bool(false))
+            }
+        }
+        Node::Eq(a, b) => match (eval_node(cs, a, vals, memo), eval_node(cs, b, vals, memo)) {
+            (Some(va), Some(vb)) => Some(Value::Bool(va == vb)),
+            _ => None,
+        },
+        Node::Lt(a, b) => match (
+            eval_node(cs, a, vals, memo).and_then(|v| v.as_int()),
+            eval_node(cs, b, vals, memo).and_then(|v| v.as_int()),
+        ) {
+            (Some(va), Some(vb)) => Some(Value::Bool(va < vb)),
+            _ => None,
+        },
+        Node::Add(a, b) => match (
+            eval_node(cs, a, vals, memo).and_then(|v| v.as_int()),
+            eval_node(cs, b, vals, memo).and_then(|v| v.as_int()),
+        ) {
+            (Some(va), Some(vb)) => Some(Value::Int(va + vb)),
+            _ => None,
+        },
+        Node::Sub(a, b) => match (
+            eval_node(cs, a, vals, memo).and_then(|v| v.as_int()),
+            eval_node(cs, b, vals, memo).and_then(|v| v.as_int()),
+        ) {
+            (Some(va), Some(vb)) => Some(Value::Int(va - vb)),
+            _ => None,
+        },
+        Node::Ite(c, t, e) => match eval_node(cs, c, vals, memo).and_then(|v| v.as_bool()) {
+            Some(true) => eval_node(cs, t, vals, memo),
+            Some(false) => eval_node(cs, e, vals, memo),
+            None => None,
+        },
+    };
+    memo.stamp[ni] = memo.current;
+    memo.value[ni] = result;
+    result
+}
+
+// --- public entry points -------------------------------------------------
+
 /// Finds one satisfying assignment of `constraints` over `domains`, or
-/// `None` when unsatisfiable within the domains.
+/// `None` when unsatisfiable within the domains. The witness is the first
+/// solution of the canonical enumeration order; callers that only need the
+/// yes/no answer should prefer [`satisfiable`].
 pub fn solve(constraints: &[ExprRef], domains: &Domains) -> Option<Assignment> {
     all_solutions(constraints, domains, 1).into_iter().next()
 }
 
+/// Is the constraint set satisfiable over `domains`? Decided with dynamic
+/// variable ordering (MRV), which is typically far faster than the
+/// enumeration-ordered [`solve`].
+pub fn satisfiable(constraints: &[ExprRef], domains: &Domains) -> bool {
+    CaseSolver::new(constraints).satisfiable(domains)
+}
+
 /// Enumerates up to `limit` satisfying assignments.
 pub fn all_solutions(constraints: &[ExprRef], domains: &Domains, limit: usize) -> Vec<Assignment> {
-    let search = Search::new(constraints, domains);
-    run_search(&search, limit)
+    CaseSolver::new(constraints).all_solutions(domains, limit)
 }
 
 /// Bounded re-solve over free variables: enumerates up to `limit`
@@ -482,6 +1287,10 @@ pub fn all_solutions(constraints: &[ExprRef], domains: &Domains, limit: usize) -
 /// A `vary_first` variable no constraint mentions is added to the search —
 /// unconstrained variables are otherwise absent from solutions, which would
 /// make completions differing on them unreachable.
+///
+/// Callers issuing several of these queries against the same constraint
+/// set (TESTGEN's solve-and-repair loop) should build one [`CaseSolver`]
+/// and call [`CaseSolver::solve_with_preference`] to share the compilation.
 pub fn solve_with_preference(
     constraints: &[ExprRef],
     domains: &Domains,
@@ -489,29 +1298,237 @@ pub fn solve_with_preference(
     vary_first: &[Var],
     limit: usize,
 ) -> Vec<Assignment> {
-    let mut restricted = domains.clone();
-    for (var, value) in pinned.iter() {
-        restricted.set_var(*var, vec![*value]);
-    }
-    let tail: Vec<Var> = vary_first
-        .iter()
-        .filter(|v| pinned.get(v.id).is_none())
-        .cloned()
-        .collect();
-    let search = Search::new_with_tail(constraints, &restricted, &tail);
-    run_search(&search, limit)
+    CaseSolver::new(constraints).solve_with_preference(domains, pinned, vary_first, limit)
 }
 
-fn run_search(search: &Search<'_>, limit: usize) -> Vec<Assignment> {
-    let mut out = Vec::new();
-    let mut assignment = Assignment::new();
-    // Constraints already decided with nothing assigned (constant `false`,
-    // or short-circuited conjunctions) reject the whole search up front.
-    if search.violated(&assignment, None).is_some() {
-        return out;
+// --- naive oracle engine -------------------------------------------------
+
+/// The original backtracking search, kept verbatim as the differential
+/// oracle for the compiled engine: it re-walks whole expression trees per
+/// node via [`eval_partial`] and allocates `BTreeSet` conflict sets, which
+/// is unusable on the arithmetic-heavy pairs but trivially auditable. The
+/// randomized equivalence tests assert both engines produce the same
+/// solution sequence; the regression tests do the same over real analyzer
+/// conditions.
+pub mod naive {
+    use super::{eval_bool, eval_partial, Assignment, Domains, Value};
+    use crate::expr::{Expr, ExprRef, Var, VarId};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    struct Search<'a> {
+        constraints: Vec<ExprRef>,
+        // For each constraint, the set of variable ids it mentions.
+        constraint_vars: Vec<Vec<VarId>>,
+        order: Vec<Var>,
+        // Variable id → position in `order` (its search level).
+        level_of: BTreeMap<VarId, usize>,
+        domains: &'a Domains,
     }
-    let _ = search.search(0, &mut assignment, &mut out, limit);
-    out
+
+    impl<'a> Search<'a> {
+        fn new_with_tail(
+            constraints: &'a [ExprRef],
+            domains: &'a Domains,
+            vary_first: &[Var],
+        ) -> Self {
+            let flat = super::flatten_constraints(constraints);
+            let mut all_vars: BTreeMap<VarId, Var> = BTreeMap::new();
+            let mut constraint_vars = Vec::with_capacity(flat.len());
+            for c in &flat {
+                let vars = Expr::free_vars(c);
+                constraint_vars.push(vars.keys().copied().collect());
+                all_vars.extend(vars);
+            }
+            if !vary_first.is_empty() {
+                // Unconstrained vary variables still need a search level, or
+                // no solution would ever assign them.
+                for var in vary_first {
+                    all_vars.entry(var.id).or_insert_with(|| var.clone());
+                }
+            }
+            let mut order: Vec<Var> = all_vars.into_values().collect();
+            if !vary_first.is_empty() {
+                // Stable-partition the order: non-tail variables keep their
+                // id order, tail variables are appended so that the
+                // enumeration (which backtracks from the deepest level
+                // first) varies `vary_first[0]` fastest.
+                let rank: BTreeMap<VarId, usize> = vary_first
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v.id, i))
+                    .collect();
+                let (head, mut tail): (Vec<Var>, Vec<Var>) =
+                    order.into_iter().partition(|v| !rank.contains_key(&v.id));
+                tail.sort_by_key(|v| std::cmp::Reverse(rank[&v.id]));
+                order = head;
+                order.extend(tail);
+            }
+            let level_of = order.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
+            Search {
+                constraints: flat,
+                constraint_vars,
+                order,
+                level_of,
+                domains,
+            }
+        }
+
+        /// Finds a constraint that is *definitely* violated under the
+        /// current partial assignment, returning the set of search levels
+        /// its variables occupy (the conflict's culprits).
+        fn violated(
+            &self,
+            assignment: &Assignment,
+            last_assigned: Option<VarId>,
+        ) -> Option<BTreeSet<usize>> {
+            for (c, vars) in self.constraints.iter().zip(&self.constraint_vars) {
+                if let Some(last) = last_assigned {
+                    if !vars.contains(&last) {
+                        continue;
+                    }
+                }
+                if eval_partial(c, assignment) == Some(Value::Bool(false)) {
+                    return Some(
+                        vars.iter()
+                            .filter_map(|v| self.level_of.get(v).copied())
+                            .collect(),
+                    );
+                }
+            }
+            None
+        }
+
+        /// Conflict-directed backjumping search (see the compiled engine's
+        /// `search` for the shared control-flow contract).
+        fn search(
+            &self,
+            idx: usize,
+            assignment: &mut Assignment,
+            out: &mut Vec<Assignment>,
+            limit: usize,
+        ) -> Result<BTreeSet<usize>, ()> {
+            if out.len() >= limit {
+                return Err(());
+            }
+            if idx == self.order.len() {
+                // Verify every constraint (this also covers variable-free
+                // constraints that never triggered an incremental check).
+                if self.constraints.iter().all(|c| eval_bool(c, assignment)) {
+                    out.push(assignment.clone());
+                    if out.len() >= limit {
+                        return Err(());
+                    }
+                    return Ok(BTreeSet::new());
+                }
+                // Report the culprits of the first violated constraint.
+                for (c, vars) in self.constraints.iter().zip(&self.constraint_vars) {
+                    if !eval_bool(c, assignment) {
+                        return Ok(vars
+                            .iter()
+                            .filter_map(|v| self.level_of.get(v).copied())
+                            .collect());
+                    }
+                }
+                return Ok(BTreeSet::new());
+            }
+            let var = &self.order[idx];
+            let mut conflicts: BTreeSet<usize> = BTreeSet::new();
+            let mut solution_below = false;
+            for candidate in self.domains.candidates(var).iter().copied() {
+                assignment.set(var.id, candidate);
+                match self.violated(assignment, Some(var.id)) {
+                    Some(culprits) => {
+                        conflicts.extend(culprits.into_iter().filter(|l| *l < idx));
+                    }
+                    None => {
+                        let found_before = out.len();
+                        let below = self.search(idx + 1, assignment, out, limit);
+                        match below {
+                            Err(()) => {
+                                assignment.unset(var.id);
+                                return Err(());
+                            }
+                            Ok(cs) => {
+                                let found_here = out.len() > found_before;
+                                solution_below |= found_here;
+                                if !solution_below && !cs.contains(&idx) {
+                                    // This level is irrelevant to the
+                                    // subtree's failure: jump over it.
+                                    assignment.unset(var.id);
+                                    return Ok(cs);
+                                }
+                                conflicts.extend(cs.into_iter().filter(|l| *l < idx));
+                            }
+                        }
+                    }
+                }
+            }
+            // Backtrack cleanly so partial evaluation at shallower depths
+            // never sees a stale value from an abandoned subtree.
+            assignment.unset(var.id);
+            if solution_below {
+                // Solutions were found below: report every earlier level as
+                // relevant so ancestors keep enumerating exhaustively.
+                return Ok((0..idx).collect());
+            }
+            Ok(conflicts)
+        }
+    }
+
+    /// Naive-engine counterpart of [`super::solve`].
+    pub fn solve(constraints: &[ExprRef], domains: &Domains) -> Option<Assignment> {
+        all_solutions(constraints, domains, 1).into_iter().next()
+    }
+
+    /// Naive-engine counterpart of [`super::all_solutions`].
+    pub fn all_solutions(
+        constraints: &[ExprRef],
+        domains: &Domains,
+        limit: usize,
+    ) -> Vec<Assignment> {
+        enumerate(constraints, domains, &Assignment::new(), &[], limit)
+    }
+
+    /// Naive-engine counterpart of [`super::solve_with_preference`].
+    pub fn solve_with_preference(
+        constraints: &[ExprRef],
+        domains: &Domains,
+        pinned: &Assignment,
+        vary_first: &[Var],
+        limit: usize,
+    ) -> Vec<Assignment> {
+        let tail: Vec<Var> = vary_first
+            .iter()
+            .filter(|v| pinned.get(v.id).is_none())
+            .cloned()
+            .collect();
+        enumerate(constraints, domains, pinned, &tail, limit)
+    }
+
+    /// Shared driver: pins restrict domains, `tail` is the vary-first list
+    /// (already filtered of pinned variables).
+    pub(super) fn enumerate(
+        constraints: &[ExprRef],
+        domains: &Domains,
+        pinned: &Assignment,
+        tail: &[Var],
+        limit: usize,
+    ) -> Vec<Assignment> {
+        let mut restricted = domains.clone();
+        for (var, value) in pinned.iter() {
+            restricted.set_var(var, vec![value]);
+        }
+        let search = Search::new_with_tail(constraints, &restricted, tail);
+        let mut out = Vec::new();
+        let mut assignment = Assignment::new();
+        // Constraints already decided with nothing assigned reject the
+        // whole search up front.
+        if search.violated(&assignment, None).is_some() {
+            return out;
+        }
+        let _ = search.search(0, &mut assignment, &mut out, limit);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -539,6 +1556,7 @@ mod tests {
         let x = ctx.int_var("x");
         let constraints = vec![x.eq(&SymInt::from_i64(1)).0, x.eq(&SymInt::from_i64(2)).0];
         assert!(solve(&constraints, &Domains::default()).is_none());
+        assert!(!satisfiable(&constraints, &Domains::default()));
     }
 
     #[test]
@@ -550,6 +1568,7 @@ mod tests {
         let domains = Domains::new(vec![0, 50, 200]);
         let solution = solve(&constraints, &domains).expect("sat with wider domain");
         assert_eq!(solution.int(0), 200);
+        assert!(satisfiable(&constraints, &domains));
     }
 
     #[test]
@@ -702,5 +1721,81 @@ mod tests {
             &x.eq(&SymInt::from_i64(0)).0,
             &Assignment::new()
         ));
+    }
+
+    #[test]
+    fn assignment_equality_ignores_trailing_padding() {
+        let mut a = Assignment::new();
+        a.set(5, Value::Int(1));
+        a.unset(5);
+        a.set(0, Value::Int(2));
+        let mut b = Assignment::new();
+        b.set(0, Value::Int(2));
+        assert_eq!(a, b);
+        b.set(1, Value::Bool(true));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn domains_candidates_are_borrowed_and_ordered() {
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        let b = ctx.bool_var("b");
+        let vars = ctx.variables();
+        let domains = Domains::new(vec![3, 1, 2]);
+        // Order is preserved exactly as given (the enumeration order).
+        assert_eq!(
+            domains.candidates(&vars[0]),
+            &[Value::Int(3), Value::Int(1), Value::Int(2)]
+        );
+        assert_eq!(
+            domains.candidates(&vars[1]),
+            &[Value::Bool(false), Value::Bool(true)]
+        );
+        let _ = (x, b);
+    }
+
+    #[test]
+    fn case_solver_reuse_matches_free_functions() {
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let constraints = vec![x.lt(&y).0, y.lt(&SymInt::from_i64(3)).0];
+        let domains = Domains::default();
+        let solver = CaseSolver::new(&constraints);
+        assert_eq!(
+            solver.all_solutions(&domains, 64),
+            all_solutions(&constraints, &domains, 64)
+        );
+        let mut pinned = Assignment::new();
+        pinned.set(1, Value::Int(2));
+        let vary: Vec<Var> = ctx.variables().into_iter().filter(|v| v.id == 0).collect();
+        assert_eq!(
+            solver.solve_with_preference(&domains, &pinned, &vary, 8),
+            solve_with_preference(&constraints, &domains, &pinned, &vary, 8)
+        );
+        assert!(solver.satisfiable(&domains));
+    }
+
+    #[test]
+    fn compiled_engine_matches_naive_on_shared_subtrees() {
+        // A deliberately DAG-heavy constraint: the same ite subtree is
+        // referenced from both sides of an equality and from a second
+        // constraint. The compiled engine must agree with the naive oracle
+        // on the full solution sequence.
+        let ctx = SymContext::new();
+        let c = ctx.bool_var("c");
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let shared = SymInt::ite(&c, &x.add(&y), &x.sub(&y));
+        let constraints = vec![
+            shared.eq(&SymInt::from_i64(2)).0,
+            shared.add(&x).gt(&SymInt::from_i64(1)).0,
+        ];
+        let domains = Domains::default();
+        assert_eq!(
+            all_solutions(&constraints, &domains, 1000),
+            naive::all_solutions(&constraints, &domains, 1000)
+        );
     }
 }

@@ -9,26 +9,81 @@
 //! the example finishes quickly; pass `--all` to scan all 18 calls (this is
 //! what the `fig6_conflict_freedom` bench does).
 //!
-//! Run with `cargo run --release --example posix_scan [-- --all]`.
+//! Every run also writes `BENCH_testgen.json` (override the path with
+//! `SCR_TESTGEN_JSON`): per-pair wall-clock split into the symbolic stages
+//! (ANALYZER + TESTGEN solving) and the MTRACE replays, so solver
+//! performance changes leave a recorded trajectory. CI uploads the file as
+//! an artifact.
+//!
+//! Pass `--perf-gate` for the solver-performance smoke gate: the scan is
+//! restricted to the `{lseek, write}` call set and the run fails unless
+//! the offset-arithmetic-heavy `lseek ∥ write` pair — the historical
+//! TESTGEN hot spot that took *minutes* before the indexed solver —
+//! generates its corpus within the wall-clock ceiling
+//! (`SCR_TESTGEN_GATE_SECONDS`, default 30; generous on purpose — the dev
+//! container does it in well under a second).
+//!
+//! Run with `cargo run --release --example posix_scan [-- --all | --perf-gate]`.
 
 use scalable_commutativity::commuter::{
-    run_commuter, CommuterConfig, LinuxLikeFactory, Sv6Factory,
+    run_commuter, CommuterConfig, CommuterResults, LinuxLikeFactory, Sv6Factory,
 };
 use scalable_commutativity::model::CallKind;
 
+/// Default wall-clock ceiling for the `--perf-gate` mode, in seconds.
+const DEFAULT_GATE_SECONDS: f64 = 30.0;
+
+fn write_timing_json(results: &CommuterResults, mode: &str, total_seconds: f64) {
+    let path =
+        std::env::var("SCR_TESTGEN_JSON").unwrap_or_else(|_| "BENCH_testgen.json".to_string());
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"total_seconds\": {total_seconds:.3},\n"));
+    out.push_str(&format!("  \"tests\": {},\n", results.tests.len()));
+    out.push_str(&format!("  \"skipped\": {},\n", results.skipped));
+    out.push_str("  \"pairs\": [\n");
+    for (i, timing) in results.pair_timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"a\": \"{}\", \"b\": \"{}\", \"solve_seconds\": {:.4}, \
+             \"run_seconds\": {:.4}, \"tests\": {}, \"skipped\": {}}}{}\n",
+            timing.calls.0.name(),
+            timing.calls.1.name(),
+            timing.solve_seconds,
+            timing.run_seconds,
+            timing.tests,
+            timing.skipped,
+            if i + 1 < results.pair_timings.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("timing written to {path}"),
+        Err(err) => eprintln!("warning: cannot write {path}: {err}"),
+    }
+}
+
 fn main() {
     let all = std::env::args().any(|a| a == "--all");
-    let config = if all {
-        CommuterConfig::default()
+    let perf_gate = std::env::args().any(|a| a == "--perf-gate");
+    let (config, mode) = if perf_gate {
+        // The historical hot spot, alone: minutes of solver time before the
+        // indexed engine, so a regression is unmistakable against the
+        // generous ceiling.
+        (
+            CommuterConfig::quick(&[CallKind::Lseek, CallKind::Write]),
+            "perf-gate",
+        )
+    } else if all {
+        (CommuterConfig::default(), "all")
     } else {
-        CommuterConfig::quick(&[
-            CallKind::Open,
-            CallKind::Link,
-            CallKind::Unlink,
-            CallKind::Rename,
-            CallKind::Stat,
-            CallKind::Fstat,
-        ])
+        (
+            CommuterConfig::quick(&CommuterConfig::quick_call_set()),
+            "quick",
+        )
     };
     println!(
         "scanning {} calls ({} pairs) …",
@@ -37,7 +92,9 @@ fn main() {
     );
     let sv6 = Sv6Factory { cores: 4 };
     let linux = LinuxLikeFactory { cores: 4 };
+    let started = std::time::Instant::now();
     let results = run_commuter(&config, &[&linux, &sv6]);
+    let total_seconds = started.elapsed().as_secs_f64();
     println!(
         "generated {} tests from {} shapes ({} rescued by re-solve; {} skipped)",
         results.tests.len(),
@@ -59,5 +116,37 @@ fn main() {
             100.0 * sv6.overall_fraction()
         );
         println!("(The paper reports 68% for Linux 3.8 ramfs and 99% for sv6.)");
+    }
+    write_timing_json(&results, mode, total_seconds);
+
+    if perf_gate {
+        let ceiling: f64 = std::env::var("SCR_TESTGEN_GATE_SECONDS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_GATE_SECONDS);
+        // Gate on the lseek ∥ write pair's own solve time (the scan also
+        // covers lseek ∥ lseek and write ∥ write; their timings land in
+        // the JSON but must not pollute the gated number).
+        let lseek_write = results
+            .pair_timings
+            .iter()
+            .find(|t| t.calls == (CallKind::Lseek, CallKind::Write));
+        let (solve_seconds, lseek_write_tests) = lseek_write
+            .map(|t| (t.solve_seconds, t.tests))
+            .unwrap_or((0.0, 0));
+        println!(
+            "perf gate: lseek ∥ write corpus ({lseek_write_tests} tests) solved in {solve_seconds:.2}s \
+             (ceiling {ceiling:.0}s)"
+        );
+        if lseek_write_tests == 0 {
+            eprintln!("FAIL: the lseek ∥ write pair generated no tests");
+            std::process::exit(1);
+        }
+        if solve_seconds > ceiling {
+            eprintln!(
+                "FAIL: solver perf regression: {solve_seconds:.2}s exceeds the {ceiling:.0}s ceiling"
+            );
+            std::process::exit(1);
+        }
     }
 }
