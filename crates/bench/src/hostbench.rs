@@ -11,6 +11,7 @@
 use crate::Series;
 use scr_host::workloads::{self, HostStatMode};
 use scr_host::{available_threads, HostMode};
+use scr_kernel::mail::MailConfig;
 
 /// Thread counts for a host sweep: 1, 2, 4, … up to the hardware limit
 /// (always at least two points so shape comparisons are possible).
@@ -64,19 +65,29 @@ pub fn openbench_host(threads: &[usize], ops_per_thread: u64) -> Vec<Series> {
     .collect()
 }
 
-/// The mail-delivery loop on real threads: commutative APIs on the
-/// sv6-like kernel against regular APIs on the linuxlike kernel.
+/// The §7.3 mail pipeline on real threads (enqueue → notification socket →
+/// qman → spawn/wait → deliver): commutative APIs on the sv6-like kernel
+/// against regular APIs on the linuxlike kernel — the paper's Figure 7
+/// mail-server comparison.
 pub fn mailbench_host(threads: &[usize], ops_per_thread: u64) -> Vec<Series> {
     [
-        (HostMode::Sv6, true, "sv6-like, commutative APIs"),
-        (HostMode::Linuxlike, false, "linuxlike, regular APIs"),
+        (
+            HostMode::Sv6,
+            MailConfig::CommutativeApis,
+            "sv6-like, commutative APIs",
+        ),
+        (
+            HostMode::Linuxlike,
+            MailConfig::RegularApis,
+            "linuxlike, regular APIs",
+        ),
     ]
     .into_iter()
-    .map(|(mode, anyfd, name)| Series {
+    .map(|(mode, config, name)| Series {
         name: name.to_string(),
         points: threads
             .iter()
-            .map(|&n| workloads::mailbench(mode, anyfd, n, ops_per_thread))
+            .map(|&n| workloads::mailbench(mode, config, n, ops_per_thread))
             .collect(),
     })
     .collect()

@@ -8,7 +8,7 @@
 //! `posix_spawn`).
 
 use crate::Series;
-use scr_kernel::api::KernelApi;
+use scr_kernel::api::{KernelApi, SyscallApi};
 use scr_kernel::mail::{MailConfig, MailServer};
 use scr_kernel::Sv6Kernel;
 use scr_mtrace::{ScalingParams, ThroughputModel};

@@ -8,7 +8,7 @@
 //! scales linearly.
 
 use crate::Series;
-use scr_kernel::api::{KernelApi, OpenFlags};
+use scr_kernel::api::{KernelApi, OpenFlags, SyscallApi};
 use scr_kernel::Sv6Kernel;
 use scr_mtrace::{ScalingParams, ThroughputModel};
 

@@ -14,7 +14,7 @@
 //!   touches the link count and scales flat.
 
 use crate::Series;
-use scr_kernel::api::{KernelApi, OpenFlags, StatMask};
+use scr_kernel::api::{KernelApi, OpenFlags, StatMask, SyscallApi};
 use scr_kernel::{Sv6Kernel, Sv6Options};
 use scr_mtrace::{ScalingParams, ThroughputModel};
 

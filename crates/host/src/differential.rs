@@ -302,6 +302,40 @@ pub fn differential_campaign(config: &CampaignConfig) -> DifferentialReport {
     report
 }
 
+/// The §4 extension leg of the campaign: sockets and process management
+/// live outside the symbolic model, so their corpus is the hand-enumerated
+/// one in [`crate::fig6`], replayed on real threads under several
+/// schedules and cross-checked by linearization plus message conservation.
+#[derive(Clone, Debug)]
+pub struct ExtCampaignReport {
+    /// Per-test verdicts.
+    pub outcomes: Vec<crate::fig6::ExtOutcome>,
+    /// Total racing replays performed.
+    pub replays_run: usize,
+    /// Human-readable failures; empty when the cross-check passed.
+    pub failures: Vec<String>,
+}
+
+impl ExtCampaignReport {
+    /// Did every extension test agree with the simulated kernel?
+    pub fn all_agree(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the extension corpus `schedules` times per test on real threads,
+/// cross-checking conflicts, linearizability and message conservation
+/// against the simulated sv6 kernel.
+pub fn ext_campaign(cores: usize, schedules: usize) -> ExtCampaignReport {
+    let outcomes = crate::fig6::run_ext_fig6(cores, schedules);
+    let failures = crate::fig6::ext_failures(&outcomes);
+    ExtCampaignReport {
+        replays_run: outcomes.len() * schedules.max(1),
+        outcomes,
+        failures,
+    }
+}
+
 /// Cross-checks an explicit batch of tests (single schedule each).
 pub fn run_differential(tests: &[ConcreteTest]) -> DifferentialReport {
     let factory = Sv6Factory { cores: 4 };
@@ -391,6 +425,14 @@ mod tests {
             a.pairs.iter().map(|p| p.replayed).collect::<Vec<_>>(),
             b.pairs.iter().map(|p| p.replayed).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn ext_campaign_agrees_under_several_schedules() {
+        let report = ext_campaign(4, 2);
+        assert!(!report.outcomes.is_empty());
+        assert_eq!(report.replays_run, report.outcomes.len() * 2);
+        assert!(report.all_agree(), "{}", report.failures.join("\n"));
     }
 
     #[test]

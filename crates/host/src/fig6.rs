@@ -31,8 +31,10 @@ use scr_core::{
     LinuxLikeFactory, Sv6Factory,
 };
 use scr_hostmtrace::{on_core, HostConflictReport, HostTraceSink};
-use scr_kernel::api::SysResult;
+use scr_kernel::api::{perform, Fd, Pid, SockId, SocketOrder, SysOp, SysResult, SyscallApi};
+use scr_kernel::Sv6Kernel;
 use scr_model::{CallKind, ModelConfig};
+use scr_mtrace::AccessKind;
 use std::sync::Barrier;
 
 /// The exception tag for divergences fully explained by lowest-FD
@@ -380,6 +382,541 @@ pub fn run_host_fig6(config: &HostFig6Config) -> HostFig6Results {
     results
 }
 
+// --- §4 extension pairs: sockets and process management -------------------
+//
+// The symbolic pipeline covers the 18 modelled file-system and VM calls;
+// the §4 extensions — datagram `send`/`recv` with optional ordering,
+// `fork`/`posix_spawn`/`wait` — live outside the model, so their host
+// cross-check corpus is enumerated by hand here and run through the same
+// protocol as every generated test: setup untraced, the pair traced on
+// cores 0 and 1, SIM-conflict-free ⇒ host-conflict-free, and observable
+// results compared against the simulated kernel. Because several of these
+// pairs commute only up to fungible values (two spawns race for the next
+// pid; unordered receives race for equivalent messages), the result check
+// is a linearization check — the host's racing outcome must equal the
+// simulated outcome under *some* order of the two calls — plus a message
+// conservation check: every datagram sent is received or still queued,
+// exactly once.
+
+/// A reified operation over the §4 extension calls plus the modelled
+/// file-system calls (the latter for setup and mixed pairs).
+#[derive(Clone, Debug)]
+pub enum ExtOp {
+    /// `socket(order)` (setup; sockets are numbered densely from 0).
+    Socket {
+        /// Requested delivery discipline.
+        order: SocketOrder,
+    },
+    /// `send(sock, msg)`.
+    Send {
+        /// Socket to send on.
+        sock: SockId,
+        /// Payload.
+        msg: Vec<u8>,
+    },
+    /// `recv(sock)`.
+    Recv {
+        /// Socket to receive from.
+        sock: SockId,
+    },
+    /// `fork(pid)`.
+    Fork {
+        /// Forking process.
+        pid: Pid,
+    },
+    /// `posix_spawn(pid, dup_fds)`.
+    Spawn {
+        /// Spawning process.
+        pid: Pid,
+        /// Descriptors duplicated into the child.
+        dup_fds: Vec<Fd>,
+    },
+    /// `wait(pid, child)`.
+    Wait {
+        /// Waiting process.
+        pid: Pid,
+        /// Child being reaped.
+        child: Pid,
+    },
+    /// Any modelled call, reusing the [`SysOp`] vocabulary.
+    Fs(SysOp),
+}
+
+/// Performs an extension operation on any kernel speaking [`SyscallApi`].
+pub fn perform_ext<K: SyscallApi + ?Sized>(kernel: &K, core: usize, op: &ExtOp) -> SysResult {
+    match op {
+        ExtOp::Socket { order } => match kernel.socket(core, *order) {
+            Ok(id) => SysResult::Value(id as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        ExtOp::Send { sock, msg } => match kernel.send(core, *sock, msg) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        ExtOp::Recv { sock } => match kernel.recv(core, *sock) {
+            Ok(data) => SysResult::Data(data),
+            Err(e) => SysResult::Err(e),
+        },
+        ExtOp::Fork { pid } => match kernel.fork(core, *pid) {
+            Ok(child) => SysResult::Value(child as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        ExtOp::Spawn { pid, dup_fds } => match kernel.posix_spawn(core, *pid, dup_fds) {
+            Ok(child) => SysResult::Value(child as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        ExtOp::Wait { pid, child } => match kernel.wait(core, *pid, *child) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        ExtOp::Fs(op) => perform(kernel, core, op),
+    }
+}
+
+/// One hand-enumerated extension-pair test.
+#[derive(Clone, Debug)]
+pub struct ExtTest {
+    /// Unique identifier.
+    pub id: String,
+    /// Setup operations, each with the core it runs on (untraced; cores
+    /// matter here because unordered sockets route by sending core).
+    pub setup: Vec<(usize, ExtOp)>,
+    /// The first operation of the pair (traced, core 0).
+    pub op_a: ExtOp,
+    /// The second operation of the pair (traced, core 1).
+    pub op_b: ExtOp,
+    /// Number of processes to create up front.
+    pub procs: usize,
+    /// Sockets whose leftover messages the conservation check drains.
+    pub sockets: Vec<SockId>,
+}
+
+impl ExtTest {
+    /// Every payload sent anywhere in the test (setup and pair), in
+    /// sorted order — the "sent" side of the conservation ledger.
+    pub fn sent_messages(&self) -> Vec<Vec<u8>> {
+        let mut sent: Vec<Vec<u8>> = self
+            .setup
+            .iter()
+            .map(|(_, op)| op)
+            .chain([&self.op_a, &self.op_b])
+            .filter_map(|op| match op {
+                ExtOp::Send { msg, .. } => Some(msg.clone()),
+                _ => None,
+            })
+            .collect();
+        sent.sort();
+        sent
+    }
+}
+
+/// The §4 extension corpus: socket pairs in both disciplines and the
+/// spawn/fork/wait pairs, every one of them SIM-commutative in its
+/// materialised state (the corpus mirrors TESTGEN's rule of only
+/// materialising commutative cases — e.g. `recv ∥ recv` on an ordered
+/// socket appears only with equal pending messages, since distinct heads
+/// do not commute).
+pub fn ext_corpus() -> Vec<ExtTest> {
+    let sock = |order| ExtOp::Socket { order };
+    let send = |sock, msg: &str| ExtOp::Send {
+        sock,
+        msg: msg.as_bytes().to_vec(),
+    };
+    let recv = |sock| ExtOp::Recv { sock };
+    let open = |pid, name: &str| {
+        ExtOp::Fs(SysOp::Open {
+            pid,
+            name: name.into(),
+            flags: scr_kernel::api::OpenFlags::create(),
+        })
+    };
+    let mut tests = vec![
+        ExtTest {
+            id: "ext_send_send_ordered".into(),
+            setup: vec![(0, sock(SocketOrder::Ordered))],
+            op_a: send(0, "a0"),
+            op_b: send(0, "b1"),
+            procs: 2,
+            sockets: vec![0],
+        },
+        ExtTest {
+            id: "ext_send_send_unordered".into(),
+            setup: vec![(0, sock(SocketOrder::Unordered))],
+            op_a: send(0, "a0"),
+            op_b: send(0, "b1"),
+            procs: 2,
+            sockets: vec![0],
+        },
+        ExtTest {
+            // §4's headline: with a message pending in the receiver's own
+            // queue, unordered send ∥ recv commutes AND is conflict-free.
+            id: "ext_send_recv_unordered_local".into(),
+            setup: vec![(0, sock(SocketOrder::Unordered)), (1, send(0, "pre"))],
+            op_a: send(0, "a0"),
+            op_b: recv(0),
+            procs: 2,
+            sockets: vec![0],
+        },
+        ExtTest {
+            // POSIX ordering forces one queue: the same pair conflicts.
+            id: "ext_send_recv_ordered".into(),
+            setup: vec![(0, sock(SocketOrder::Ordered)), (0, send(0, "pre"))],
+            op_a: send(0, "a0"),
+            op_b: recv(0),
+            procs: 2,
+            sockets: vec![0],
+        },
+        ExtTest {
+            // Ordered recv ∥ recv commutes only with equal heads.
+            id: "ext_recv_recv_ordered_equal_heads".into(),
+            setup: vec![
+                (0, sock(SocketOrder::Ordered)),
+                (0, send(0, "m")),
+                (0, send(0, "m")),
+            ],
+            op_a: recv(0),
+            op_b: recv(0),
+            procs: 2,
+            sockets: vec![0],
+        },
+        ExtTest {
+            id: "ext_recv_recv_unordered_local_queues".into(),
+            setup: vec![
+                (0, sock(SocketOrder::Unordered)),
+                (0, send(0, "m0")),
+                (1, send(0, "m1")),
+            ],
+            op_a: recv(0),
+            op_b: recv(0),
+            procs: 2,
+            sockets: vec![0],
+        },
+        ExtTest {
+            // Empty receives: commute (both EAGAIN) but the steal scan
+            // makes them conflict — on both substrates.
+            id: "ext_recv_recv_unordered_empty".into(),
+            setup: vec![(0, sock(SocketOrder::Unordered))],
+            op_a: recv(0),
+            op_b: recv(0),
+            procs: 2,
+            sockets: vec![0],
+        },
+        ExtTest {
+            id: "ext_fork_fork".into(),
+            setup: vec![(0, open(0, "shared"))],
+            op_a: ExtOp::Fork { pid: 0 },
+            op_b: ExtOp::Fork { pid: 0 },
+            procs: 2,
+            sockets: vec![],
+        },
+        ExtTest {
+            id: "ext_spawn_spawn".into(),
+            setup: vec![(0, open(0, "shared"))],
+            op_a: ExtOp::Spawn {
+                pid: 0,
+                dup_fds: vec![0],
+            },
+            op_b: ExtOp::Spawn {
+                pid: 0,
+                dup_fds: vec![0],
+            },
+            procs: 2,
+            sockets: vec![],
+        },
+        ExtTest {
+            // posix_spawn touches only the listed descriptor, so it stays
+            // conflict-free beside a lowest-FD open of a later slot…
+            id: "ext_spawn_open".into(),
+            setup: vec![(0, open(0, "shared"))],
+            op_a: ExtOp::Spawn {
+                pid: 0,
+                dup_fds: vec![0],
+            },
+            op_b: open(0, "other"),
+            procs: 2,
+            sockets: vec![],
+        },
+        ExtTest {
+            // …while fork's whole-table snapshot conflicts with it.
+            id: "ext_fork_open".into(),
+            setup: vec![(0, open(0, "shared"))],
+            op_a: ExtOp::Fork { pid: 0 },
+            op_b: open(0, "other"),
+            procs: 2,
+            sockets: vec![],
+        },
+        ExtTest {
+            id: "ext_wait_spawn".into(),
+            setup: vec![
+                (0, open(0, "shared")),
+                (
+                    0,
+                    ExtOp::Spawn {
+                        pid: 0,
+                        dup_fds: vec![0],
+                    },
+                ),
+            ],
+            op_a: ExtOp::Wait { pid: 0, child: 2 },
+            op_b: ExtOp::Spawn {
+                pid: 0,
+                dup_fds: vec![0],
+            },
+            procs: 2,
+            sockets: vec![],
+        },
+        ExtTest {
+            id: "ext_wait_wait_same_child".into(),
+            setup: vec![
+                (0, open(0, "shared")),
+                (
+                    0,
+                    ExtOp::Spawn {
+                        pid: 0,
+                        dup_fds: vec![0],
+                    },
+                ),
+            ],
+            op_a: ExtOp::Wait { pid: 0, child: 2 },
+            op_b: ExtOp::Wait { pid: 1, child: 2 },
+            procs: 2,
+            sockets: vec![],
+        },
+    ];
+    // A second ordering flavour of the fungible-message steal case: the
+    // receiver's local queue is empty, so it must steal the pending
+    // message or report the sent one — either way conservation holds.
+    tests.push(ExtTest {
+        id: "ext_send_recv_unordered_steal".into(),
+        setup: vec![(0, sock(SocketOrder::Unordered)), (0, send(0, "pre"))],
+        op_a: send(0, "a0"),
+        op_b: recv(0),
+        procs: 2,
+        sockets: vec![0],
+    });
+    tests
+}
+
+/// Results and footprint of a sequential simulated run of an [`ExtTest`].
+#[derive(Clone, Debug)]
+pub struct SimExtRun {
+    /// The pair's observable results, as (op_a, op_b).
+    pub results: (SysResult, SysResult),
+    /// Whether the traced pair was conflict-free.
+    pub conflict_free: bool,
+    /// The traced (core, label, kind) multiset, sorted.
+    pub footprint: Vec<(usize, String, AccessKind)>,
+}
+
+/// Runs an extension test on a fresh simulated sv6 kernel: setup untraced,
+/// then the pair traced on cores 0 and 1, in the given order (`a_first`
+/// false replays B before A — the other linearization).
+pub fn run_ext_sim(cores: usize, test: &ExtTest, a_first: bool) -> SimExtRun {
+    let kernel = Sv6Kernel::new(cores.max(2));
+    let machine = scr_kernel::api::KernelApi::machine(&kernel).clone();
+    for _ in 0..test.procs.max(2) {
+        kernel.new_process();
+    }
+    machine.stop_tracing();
+    for (core, op) in &test.setup {
+        machine.on_core(*core, || perform_ext(&kernel, *core, op));
+    }
+    machine.clear_trace();
+    machine.start_tracing();
+    let results = if a_first {
+        let ra = machine.on_core(0, || perform_ext(&kernel, 0, &test.op_a));
+        let rb = machine.on_core(1, || perform_ext(&kernel, 1, &test.op_b));
+        (ra, rb)
+    } else {
+        let rb = machine.on_core(1, || perform_ext(&kernel, 1, &test.op_b));
+        let ra = machine.on_core(0, || perform_ext(&kernel, 0, &test.op_a));
+        (ra, rb)
+    };
+    machine.stop_tracing();
+    let mut footprint: Vec<_> = machine
+        .accesses()
+        .iter()
+        .map(|a| (a.core, machine.label_of(a.line), a.kind))
+        .collect();
+    footprint.sort();
+    SimExtRun {
+        results,
+        conflict_free: machine.conflict_report().is_conflict_free(),
+        footprint,
+    }
+}
+
+/// Results, footprint and leftovers of one traced host run of an
+/// [`ExtTest`].
+#[derive(Clone, Debug)]
+pub struct HostExtRun {
+    /// The pair's observable results, as (op_a, op_b).
+    pub results: (SysResult, SysResult),
+    /// Whether the traced window was conflict-free.
+    pub conflict_free: bool,
+    /// Labels of lines shared between the two cores.
+    pub shared_labels: Vec<String>,
+    /// The traced (core, label, kind) multiset, sorted.
+    pub footprint: Vec<(usize, String, AccessKind)>,
+    /// Messages still queued on the test's sockets afterwards.
+    pub leftover: Vec<Vec<u8>>,
+    /// Accesses dropped by log overflow (0 in any healthy run).
+    pub dropped: usize,
+}
+
+/// Replays an extension test on an instrumented host kernel: setup
+/// untraced, then the pair inside a tracing window — concurrently on two
+/// real threads, or back to back when `concurrent` is false (the
+/// deterministic mode the footprint-parity tests use).
+pub fn run_ext_host(mode: HostMode, cores: usize, test: &ExtTest, concurrent: bool) -> HostExtRun {
+    let sink = HostTraceSink::new(cores.max(2));
+    let kernel = HostKernel::instrumented(cores, mode, HostOptions::default(), &sink);
+    for _ in 0..test.procs.max(2) {
+        kernel.new_process();
+    }
+    for (core, op) in &test.setup {
+        on_core(*core, || perform_ext(&kernel, *core, op));
+    }
+    sink.begin_window();
+    let results = if concurrent {
+        let barrier = Barrier::new(2);
+        let (kernel_ref, barrier_ref) = (&kernel, &barrier);
+        std::thread::scope(|scope| {
+            let a = scope.spawn(move || {
+                barrier_ref.wait();
+                on_core(0, || perform_ext(kernel_ref, 0, &test.op_a))
+            });
+            let b = scope.spawn(move || {
+                barrier_ref.wait();
+                on_core(1, || perform_ext(kernel_ref, 1, &test.op_b))
+            });
+            (
+                a.join().expect("op_a thread"),
+                b.join().expect("op_b thread"),
+            )
+        })
+    } else {
+        (
+            on_core(0, || perform_ext(&kernel, 0, &test.op_a)),
+            on_core(1, || perform_ext(&kernel, 1, &test.op_b)),
+        )
+    };
+    let report = sink.end_window();
+    let mut footprint: Vec<_> = report
+        .accesses
+        .iter()
+        .map(|a| (a.core, sink.label_of(a.line), a.kind))
+        .collect();
+    footprint.sort();
+    let leftover = test
+        .sockets
+        .iter()
+        .flat_map(|&s| kernel.socket_drain_untraced(s))
+        .collect();
+    HostExtRun {
+        results,
+        conflict_free: report.is_conflict_free(),
+        shared_labels: report.conflicting_labels(),
+        footprint,
+        leftover,
+        dropped: report.dropped,
+    }
+}
+
+/// The aggregated verdict for one extension test across schedules.
+#[derive(Clone, Debug)]
+pub struct ExtOutcome {
+    /// The test's identifier.
+    pub test_id: String,
+    /// Conflict-free on the simulated sv6 kernel (A-then-B trace).
+    pub sim_conflict_free: bool,
+    /// Conflict-free on the host sv6 kernel in every schedule.
+    pub host_conflict_free: bool,
+    /// Union of host conflicting labels over schedules.
+    pub host_shared_labels: Vec<String>,
+    /// Every host schedule's results matched a sequential simulated order.
+    pub linearizable: bool,
+    /// Every sent message was received or still queued, exactly once, in
+    /// every schedule.
+    pub conserved: bool,
+    /// Accesses dropped across schedules (0 in any healthy run).
+    pub dropped: usize,
+}
+
+/// Runs the extension corpus on real threads (`schedules` replays per
+/// test) and cross-checks against the simulated sv6 kernel: conflict
+/// verdicts one-directionally, results by linearization, messages by
+/// conservation.
+pub fn run_ext_fig6(cores: usize, schedules: usize) -> Vec<ExtOutcome> {
+    ext_corpus()
+        .iter()
+        .map(|test| {
+            let sim_ab = run_ext_sim(cores, test, true);
+            let sim_ba = run_ext_sim(cores, test, false);
+            let sent = test.sent_messages();
+            let mut outcome = ExtOutcome {
+                test_id: test.id.clone(),
+                sim_conflict_free: sim_ab.conflict_free,
+                host_conflict_free: true,
+                host_shared_labels: Vec::new(),
+                linearizable: true,
+                conserved: true,
+                dropped: 0,
+            };
+            for _ in 0..schedules.max(1) {
+                let host = run_ext_host(HostMode::Sv6, cores, test, true);
+                outcome.host_conflict_free &= host.conflict_free;
+                outcome.host_shared_labels.extend(host.shared_labels);
+                outcome.linearizable &=
+                    host.results == sim_ab.results || host.results == sim_ba.results;
+                let mut seen: Vec<Vec<u8>> = [&host.results.0, &host.results.1]
+                    .into_iter()
+                    .filter_map(|r| match r {
+                        SysResult::Data(d) => Some(d.clone()),
+                        _ => None,
+                    })
+                    .chain(host.leftover.iter().cloned())
+                    .collect();
+                seen.sort();
+                outcome.conserved &= seen == sent;
+                outcome.dropped += host.dropped;
+            }
+            outcome.host_shared_labels.sort();
+            outcome.host_shared_labels.dedup();
+            outcome
+        })
+        .collect()
+}
+
+/// Failures of an extension cross-check run, one line each: unexplained
+/// sim-free→host-conflict divergences, non-linearizable results, broken
+/// conservation, or log overflow. Empty means the cross-check passed.
+pub fn ext_failures(outcomes: &[ExtOutcome]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for o in outcomes {
+        if o.sim_conflict_free && !o.host_conflict_free {
+            failures.push(format!(
+                "{}: SIM-conflict-free but host conflicted on [{}]",
+                o.test_id,
+                o.host_shared_labels.join(", ")
+            ));
+        }
+        if !o.linearizable {
+            failures.push(format!(
+                "{}: host results match no sequential order",
+                o.test_id
+            ));
+        }
+        if !o.conserved {
+            failures.push(format!("{}: messages lost or duplicated", o.test_id));
+        }
+        if o.dropped > 0 {
+            failures.push(format!("{}: {} accesses dropped", o.test_id, o.dropped));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +1019,80 @@ mod tests {
             ]),
             None
         );
+    }
+
+    #[test]
+    fn ext_corpus_ids_are_unique_and_pairs_are_linearizable_on_sim() {
+        let corpus = ext_corpus();
+        let ids: std::collections::BTreeSet<_> = corpus.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(ids.len(), corpus.len(), "duplicate test ids");
+        // Sanity: every corpus entry is SIM-commutative in its observable
+        // results up to pid fungibility — both sequential orders agree or
+        // are each other's pid swap (the linearization check's premise).
+        for test in &corpus {
+            let ab = run_ext_sim(4, test, true);
+            let ba = run_ext_sim(4, test, false);
+            let swapped = (ba.results.1.clone(), ba.results.0.clone());
+            assert!(
+                ab.results == ba.results || (ab.results.0, ab.results.1) == swapped,
+                "{}: orders disagree beyond fungible values",
+                test.id
+            );
+        }
+    }
+
+    #[test]
+    fn unordered_send_recv_with_local_message_is_conflict_free_everywhere() {
+        let corpus = ext_corpus();
+        let test = corpus
+            .iter()
+            .find(|t| t.id == "ext_send_recv_unordered_local")
+            .unwrap();
+        let sim = run_ext_sim(4, test, true);
+        assert!(sim.conflict_free, "sim must scale: {:?}", sim.footprint);
+        let host = run_ext_host(HostMode::Sv6, 4, test, true);
+        assert!(
+            host.conflict_free,
+            "host must scale, shared {:?}",
+            host.shared_labels
+        );
+        let ordered = corpus
+            .iter()
+            .find(|t| t.id == "ext_send_recv_ordered")
+            .unwrap();
+        let sim = run_ext_sim(4, ordered, true);
+        assert!(!sim.conflict_free, "ordered sockets must conflict");
+        let host = run_ext_host(HostMode::Sv6, 4, ordered, true);
+        assert!(!host.conflict_free);
+        assert!(
+            host.shared_labels.iter().any(|l| l == "socket[0].queue"),
+            "the shared ordered queue must be the conflict, got {:?}",
+            host.shared_labels
+        );
+    }
+
+    #[test]
+    fn spawn_scales_beside_open_where_forks_snapshot_conflicts() {
+        let corpus = ext_corpus();
+        let spawn = corpus.iter().find(|t| t.id == "ext_spawn_open").unwrap();
+        assert!(run_ext_sim(4, spawn, true).conflict_free);
+        assert!(run_ext_host(HostMode::Sv6, 4, spawn, true).conflict_free);
+        let fork = corpus.iter().find(|t| t.id == "ext_fork_open").unwrap();
+        assert!(!run_ext_sim(4, fork, true).conflict_free);
+        let host = run_ext_host(HostMode::Sv6, 4, fork, true);
+        assert!(!host.conflict_free);
+        assert!(
+            host.shared_labels.iter().all(|l| l.contains("].fd[")),
+            "fork ∥ open conflicts on descriptor slots, got {:?}",
+            host.shared_labels
+        );
+    }
+
+    #[test]
+    fn ext_cross_check_passes_on_the_full_corpus() {
+        let outcomes = run_ext_fig6(4, 2);
+        let failures = ext_failures(&outcomes);
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
     }
 
     #[test]

@@ -19,13 +19,16 @@
 use parking_lot::{Mutex, RwLock};
 use scr_hostmtrace::{HostTraceSink, LockProbe, Probe, ProbeRadix, SeqProbe};
 use scr_kernel::api::{
-    Errno, Fd, Ino, KResult, MmapBacking, OpenFlags, Pid, Prot, Stat, StatMask, SysOp, SysResult,
-    Whence, PAGE_SIZE,
+    Errno, Fd, Ino, KResult, MmapBacking, OpenFlags, Pid, Prot, SockId, SocketOrder, Stat,
+    StatMask, SysOp, SysResult, SyscallApi, Whence, PAGE_SIZE,
 };
-use scr_scalable::real::{HostInodeAllocator, PerCoreRefcount, StripedHashDir};
+use scr_scalable::real::{
+    HostInodeAllocator, HostProcTable, HostSocketTable, PerCoreRefcount, QueueOrder, SocketError,
+    StripedHashDir,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Descriptors per core partition (`O_ANYFD`), mirroring the sv6 kernel.
 pub const FDS_PER_CORE: usize = 16;
@@ -175,6 +178,12 @@ enum FileObj {
 struct OpenFile {
     obj: FileObj,
     offset: AtomicU64,
+    /// Serialises offset-consistent I/O (`read`/`write`/`lseek`) on this
+    /// open file: the simulated kernel executes each call atomically, so
+    /// a host call must not observe another's offset update and content
+    /// update half-applied. A host-only correctness measure like the
+    /// per-slot locks — real synchronisation, no recorded line.
+    io: Mutex<()>,
     /// The offset cell's line (`proc[p].ofile[name].offset`), when traced.
     offset_probe: Option<Probe>,
 }
@@ -198,19 +207,70 @@ struct MappedPage {
     backing: PageBacking,
 }
 
-/// A process: descriptor table (one lock per slot, so lowest-FD scans and
-/// `O_ANYFD` partition claims contend only on the slots they touch) and
-/// address space.
+/// One descriptor slot: a cache-padded lock, so lowest-FD scans and
+/// `O_ANYFD` partition claims contend only on the slots they touch.
+type FdSlot = crossbeam::utils::CachePadded<Mutex<Option<Arc<OpenFile>>>>;
+/// One core partition's worth of descriptor slots ([`FDS_PER_CORE`]).
+type FdChunk = Box<[FdSlot]>;
+
+/// A process: descriptor table and address space.
+///
+/// The slot storage is allocated lazily, one core partition at a time:
+/// every padded slot costs a cache line, and the mail workload creates one
+/// short-lived helper process *per message* (`posix_spawn`), each touching
+/// only the partition its one or two descriptors land in — eager
+/// allocation would cost O(cores) cache lines per delivered message.
+/// An untouched partition is definitionally all-free/empty, which the
+/// accessors exploit without publishing the chunk.
 struct Process {
-    fd_slots: Vec<crossbeam::utils::CachePadded<Mutex<Option<Arc<OpenFile>>>>>,
+    fd_chunks: Vec<OnceLock<FdChunk>>,
     vm_pages: RwLock<BTreeMap<u64, MappedPage>>,
-    next_vpn: Vec<crossbeam::utils::CachePadded<AtomicU64>>,
+    /// Per-core mmap bump allocators, lazily allocated like the slots
+    /// (helper processes never map memory).
+    next_vpn: Vec<OnceLock<crossbeam::utils::CachePadded<AtomicU64>>>,
     /// One probe per descriptor slot (`proc[p].fd[f]`), when traced.
+    /// Probes are eager: instrumented kernels are built one per traced
+    /// test, never on a process-churning hot path.
     fd_probes: Option<Vec<Probe>>,
     /// Address-space radix mirror (`proc[p].as`), when traced.
     vm_probes: Option<ProbeRadix>,
     /// Per-core mmap bump-allocator lines (`proc[p].next_vpn[c]`).
     vpn_probes: Option<Vec<Probe>>,
+}
+
+impl Process {
+    /// Total descriptor capacity (cores × partition size).
+    fn fd_capacity(&self) -> usize {
+        self.fd_chunks.len() * FDS_PER_CORE
+    }
+
+    /// The slot for `fd`, allocating its partition on first touch. `None`
+    /// only when `fd` is beyond the table.
+    fn fd_slot(&self, fd: usize) -> Option<&FdSlot> {
+        let chunk = self.fd_chunks.get(fd / FDS_PER_CORE)?.get_or_init(|| {
+            (0..FDS_PER_CORE)
+                .map(|_| crossbeam::utils::CachePadded::new(Mutex::new(None)))
+                .collect()
+        });
+        Some(&chunk[fd % FDS_PER_CORE])
+    }
+
+    /// The slot for `fd` only if its partition was ever touched — an
+    /// unallocated partition holds no open files, so lookups through here
+    /// treat it as an empty slot without materialising it.
+    fn fd_slot_if_allocated(&self, fd: usize) -> Option<&FdSlot> {
+        Some(&self.fd_chunks.get(fd / FDS_PER_CORE)?.get()?[fd % FDS_PER_CORE])
+    }
+
+    /// `shard`'s mmap bump allocator, allocated on first use with the same
+    /// per-core region arithmetic as the simulated kernel.
+    fn next_vpn(&self, shard: usize) -> &AtomicU64 {
+        self.next_vpn[shard].get_or_init(|| {
+            crossbeam::utils::CachePadded::new(AtomicU64::new(
+                1 + shard as u64 * VPN_REGION_PER_CORE,
+            ))
+        })
+    }
 }
 
 /// The monitor hook-up of an instrumented kernel.
@@ -243,7 +303,11 @@ pub struct HostKernel {
     /// different inodes do not serialise.
     inode_shards: Vec<InodeShard>,
     inode_alloc: HostInodeAllocator,
-    procs: RwLock<Vec<Arc<Process>>>,
+    /// Process table: lock-free append-only (the simulated kernels' pid
+    /// vector is untraced, so concurrent spawns must not serialise here).
+    procs: HostProcTable<Arc<Process>>,
+    /// Datagram sockets (§4 / §7.3): ordered or per-core unordered queues.
+    sockets: HostSocketTable,
     /// Per-core lists of inodes whose last link may be gone, drained by the
     /// epoch passes ("defer work", as in the simulated kernel's DeferQueue).
     defer: Vec<crossbeam::utils::CachePadded<Mutex<Vec<Ino>>>>,
@@ -309,7 +373,11 @@ impl HostKernel {
                 Some(sink) => HostInodeAllocator::instrumented(cores, sink, "scalefs"),
                 None => HostInodeAllocator::new(cores),
             },
-            procs: RwLock::new(Vec::new()),
+            procs: HostProcTable::new(),
+            sockets: match sink {
+                Some(sink) => HostSocketTable::instrumented(cores, sink),
+                None => HostSocketTable::new(cores),
+            },
             defer: (0..cores)
                 .map(|_| crossbeam::utils::CachePadded::new(Mutex::new(Vec::new())))
                 .collect(),
@@ -396,25 +464,12 @@ impl HostKernel {
         }
     }
 
-    /// Creates a new process, returning its pid (dense from zero).
+    /// Creates a new process, returning its pid (dense from zero). The
+    /// append-only table makes this lock-free: concurrent syscalls' pid
+    /// lookups never wait behind a table construction, which is what lets
+    /// `posix_spawn`-per-message mail delivery scale.
     pub fn new_process(&self) -> Pid {
-        if self.trace.is_none() {
-            // Fast path: build outside the lock so concurrent syscalls
-            // (which read the process table on entry) are not blocked
-            // behind the table construction.
-            let proc_ = self.build_process(0);
-            let mut procs = self.procs.write();
-            procs.push(proc_);
-            return procs.len() - 1;
-        }
-        // Instrumented: the probe labels need the pid before construction,
-        // so hold the write lock across it. Instrumented kernels are built
-        // one per traced test, never on a measurement hot path.
-        let mut procs = self.procs.write();
-        let pid = procs.len();
-        let proc_ = self.build_process(pid);
-        procs.push(proc_);
-        pid
+        self.procs.push_with(|pid| self.build_process(pid))
     }
 
     /// Builds a process table entry; `pid` only affects probe labels and is
@@ -422,17 +477,9 @@ impl HostKernel {
     fn build_process(&self, pid: Pid) -> Arc<Process> {
         let sink = self.trace.as_ref().map(|t| &t.sink);
         Arc::new(Process {
-            fd_slots: (0..self.cores * FDS_PER_CORE)
-                .map(|_| crossbeam::utils::CachePadded::new(Mutex::new(None)))
-                .collect(),
+            fd_chunks: (0..self.cores).map(|_| OnceLock::new()).collect(),
             vm_pages: RwLock::new(BTreeMap::new()),
-            next_vpn: (0..self.cores)
-                .map(|c| {
-                    crossbeam::utils::CachePadded::new(AtomicU64::new(
-                        1 + c as u64 * VPN_REGION_PER_CORE,
-                    ))
-                })
-                .collect(),
+            next_vpn: (0..self.cores).map(|_| OnceLock::new()).collect(),
             fd_probes: sink.map(|sink| {
                 (0..self.cores * FDS_PER_CORE)
                     .map(|fd| sink.probe(format!("proc[{pid}].fd[{fd}]")))
@@ -448,7 +495,7 @@ impl HostKernel {
     }
 
     fn proc(&self, pid: Pid) -> KResult<Arc<Process>> {
-        self.procs.read().get(pid).cloned().ok_or(Errno::EINVAL)
+        self.procs.get(pid).ok_or(Errno::EINVAL)
     }
 
     fn inode_shard(&self, ino: Ino) -> &RwLock<BTreeMap<Ino, Arc<Inode>>> {
@@ -484,10 +531,17 @@ impl HostKernel {
     }
 
     fn open_file(&self, proc_: &Process, fd: Fd) -> KResult<Arc<OpenFile>> {
-        let slot = proc_.fd_slots.get(fd as usize).ok_or(Errno::EBADF)?;
+        if fd as usize >= proc_.fd_capacity() {
+            return Err(Errno::EBADF);
+        }
         if let Some(p) = &proc_.fd_probes {
             p[fd as usize].read();
         }
+        // An unallocated partition is an empty slot (recorded as the read
+        // above, like the simulated `slot.get()` of a None slot).
+        let slot = proc_
+            .fd_slot_if_allocated(fd as usize)
+            .ok_or(Errno::EBADF)?;
         slot.lock().clone().ok_or(Errno::EBADF)
     }
 
@@ -507,13 +561,15 @@ impl HostKernel {
             let core = core % self.cores;
             (core * FDS_PER_CORE, (core + 1) * FDS_PER_CORE)
         } else {
-            (0, proc_.fd_slots.len())
+            (0, proc_.fd_capacity())
         };
         for fd in start..end {
             if let Some(p) = &proc_.fd_probes {
                 p[fd].read();
             }
-            let mut slot = proc_.fd_slots[fd].lock();
+            // The scan stops at the first free slot, so materialising the
+            // partition here only ever allocates the chunk being claimed.
+            let mut slot = proc_.fd_slot(fd).expect("fd within capacity").lock();
             if slot.is_none() {
                 if let Some(p) = &proc_.fd_probes {
                     p[fd].write();
@@ -682,6 +738,7 @@ impl HostKernel {
         let file = Arc::new(OpenFile {
             obj: FileObj::File(inode),
             offset: AtomicU64::new(0),
+            io: Mutex::new(()),
             offset_probe: self
                 .trace
                 .as_ref()
@@ -827,6 +884,7 @@ impl HostKernel {
             FileObj::File(inode) => inode,
             _ => return Err(Errno::ESPIPE),
         };
+        let _io = file.io.lock();
         // Optimistic stage: compute the new offset read-only and return
         // early if it is invalid or equal to the current offset (§6.3).
         if let Some(p) = &file.offset_probe {
@@ -862,31 +920,20 @@ impl HostKernel {
     pub fn close(&self, _core: usize, pid: Pid, fd: Fd) -> KResult<()> {
         let _g = self.serialise();
         let proc_ = self.proc(pid)?;
-        let slot = proc_.fd_slots.get(fd as usize).ok_or(Errno::EBADF)?;
+        if fd as usize >= proc_.fd_capacity() {
+            return Err(Errno::EBADF);
+        }
         if let Some(p) = &proc_.fd_probes {
             p[fd as usize].read();
         }
+        let slot = proc_
+            .fd_slot_if_allocated(fd as usize)
+            .ok_or(Errno::EBADF)?;
         let file = slot.lock().take().ok_or(Errno::EBADF)?;
         if let Some(p) = &proc_.fd_probes {
             p[fd as usize].write();
         }
-        match &file.obj {
-            FileObj::File(_) => {}
-            // Pipe endpoint counts are shared cells: the deliberate §6.4
-            // residual conflict.
-            FileObj::PipeRead(pipe) => {
-                if let Some(tr) = &pipe.tr {
-                    tr.readers.rmw();
-                }
-                pipe.readers.fetch_sub(1, Ordering::AcqRel);
-            }
-            FileObj::PipeWrite(pipe) => {
-                if let Some(tr) = &pipe.tr {
-                    tr.writers.rmw();
-                }
-                pipe.writers.fetch_sub(1, Ordering::AcqRel);
-            }
-        }
+        adjust_pipe_endpoint(&file, -1);
         Ok(())
     }
 
@@ -915,11 +962,13 @@ impl HostKernel {
         let read_end = Arc::new(OpenFile {
             obj: FileObj::PipeRead(Arc::clone(&pipe)),
             offset: AtomicU64::new(0),
+            io: Mutex::new(()),
             offset_probe: trace.map(|t| t.sink.probe(label("roff"))),
         });
         let write_end = Arc::new(OpenFile {
             obj: FileObj::PipeWrite(pipe),
             offset: AtomicU64::new(0),
+            io: Mutex::new(()),
             offset_probe: trace.map(|t| t.sink.probe(label("woff"))),
         });
         let rfd = self.alloc_fd(core, &proc_, read_end, false)?;
@@ -934,6 +983,7 @@ impl HostKernel {
         let file = self.open_file(&proc_, fd)?;
         match &file.obj {
             FileObj::File(inode) => {
+                let _io = file.io.lock();
                 if let Some(p) = &file.offset_probe {
                     p.read();
                 }
@@ -983,6 +1033,7 @@ impl HostKernel {
         let file = self.open_file(&proc_, fd)?;
         match &file.obj {
             FileObj::File(inode) => {
+                let _io = file.io.lock();
                 if let Some(p) = &file.offset_probe {
                     p.read();
                 }
@@ -1061,7 +1112,7 @@ impl HostKernel {
                 if let Some(p) = &proc_.vpn_probes {
                     p[shard].rmw();
                 }
-                proc_.next_vpn[shard].fetch_add(pages, Ordering::Relaxed)
+                proc_.next_vpn(shard).fetch_add(pages, Ordering::Relaxed)
             }
         };
         let file_ino = match backing {
@@ -1208,112 +1259,295 @@ impl HostKernel {
             }
         }
     }
+
+    // --- processes and sockets (§4 / §7.3) --------------------------------
+
+    /// Creates a child by duplicating the parent's descriptor table. The
+    /// snapshot reads *every* parent slot — recorded as such, which is what
+    /// makes fork commute with almost nothing — and writes each occupied
+    /// slot into the child.
+    pub fn fork(&self, _core: usize, pid: Pid) -> KResult<Pid> {
+        let _g = self.serialise();
+        let parent = self.proc(pid)?;
+        let child_pid = self.new_process();
+        let child = self.proc(child_pid)?;
+        for fd in 0..parent.fd_capacity() {
+            if let Some(p) = &parent.fd_probes {
+                p[fd].read();
+            }
+            // An unallocated partition reads as all-empty without being
+            // materialised (the probe read above still mirrors the
+            // simulated whole-table snapshot).
+            let file = parent
+                .fd_slot_if_allocated(fd)
+                .and_then(|slot| slot.lock().clone());
+            if let Some(file) = file {
+                // A duplicated descriptor is a second reference to a pipe
+                // endpoint; the count grows with it (and shrinks again in
+                // close/wait), exactly as in the simulated kernel.
+                adjust_pipe_endpoint(&file, 1);
+                if let Some(p) = &child.fd_probes {
+                    p[fd].write();
+                }
+                *child.fd_slot(fd).expect("fd within capacity").lock() = Some(file);
+            }
+        }
+        Ok(child_pid)
+    }
+
+    /// Creates a child with a fresh descriptor table, duplicating only the
+    /// listed descriptors (`posix_spawn`, §4 "decompose compound
+    /// operations"): only those slots are ever touched.
+    pub fn posix_spawn(&self, _core: usize, pid: Pid, dup_fds: &[Fd]) -> KResult<Pid> {
+        let _g = self.serialise();
+        let parent = self.proc(pid)?;
+        // Resolve the whole dup list first, as in the simulated kernel: a
+        // bad descriptor fails the spawn before any endpoint reference is
+        // taken or a child process exists.
+        let mut files = dup_fds
+            .iter()
+            .map(|&fd| Ok((fd, self.open_file(&parent, fd)?)))
+            .collect::<KResult<Vec<_>>>()?;
+        // A repeated fd collapses into one child slot, so it must take
+        // exactly one endpoint reference (matching the simulated kernel,
+        // whose resolve also reads once per list entry).
+        let mut seen = std::collections::BTreeSet::new();
+        files.retain(|(fd, _)| seen.insert(*fd));
+        let child_pid = self.new_process();
+        let child = self.proc(child_pid)?;
+        for (fd, file) in files {
+            adjust_pipe_endpoint(&file, 1);
+            if let Some(p) = &child.fd_probes {
+                p[fd as usize].write();
+            }
+            *child.fd_slot(fd as usize).expect("open fd in range").lock() = Some(file);
+        }
+        Ok(child_pid)
+    }
+
+    /// Reaps a finished child: empties the occupied descriptor slots,
+    /// releasing pipe endpoints exactly as `close` does, touching only the
+    /// occupied lines (the exiting child's fd list is process-private
+    /// state, so reaping stays O(open descriptors), not O(table size)).
+    /// The pid stays valid and refers to an empty process afterwards, as
+    /// in the simulated kernels.
+    pub fn wait(&self, _core: usize, _pid: Pid, child: Pid) -> KResult<()> {
+        let _g = self.serialise();
+        let proc_ = self.proc(child)?;
+        for (chunk_idx, chunk) in proc_.fd_chunks.iter().enumerate() {
+            // Never-touched partitions hold nothing to reap.
+            let Some(chunk) = chunk.get() else { continue };
+            for (slot_idx, slot) in chunk.iter().enumerate() {
+                let fd = chunk_idx * FDS_PER_CORE + slot_idx;
+                let file = slot.lock().take();
+                // Like the simulated kernel, reaping records accesses only
+                // for occupied slots (the exiting child's fd list is
+                // process-private state): a read and the emptying write.
+                let Some(file) = file else { continue };
+                if let Some(p) = &proc_.fd_probes {
+                    p[fd].read();
+                    p[fd].write();
+                }
+                adjust_pipe_endpoint(&file, -1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a datagram socket with the requested ordering. Unlike the
+    /// simulated Linux baseline (which always enforces ordering), the host
+    /// kernel honours the request in both modes: `HostMode` changes only
+    /// the *sharing* — in `Linuxlike` mode every socket call still takes
+    /// the giant lock, which is what collapses its scaling.
+    pub fn socket(&self, _core: usize, order: SocketOrder) -> KResult<SockId> {
+        let _g = self.serialise();
+        Ok(self.sockets.create(match order {
+            SocketOrder::Ordered => QueueOrder::Ordered,
+            SocketOrder::Unordered => QueueOrder::Unordered,
+        }))
+    }
+
+    /// Sends a datagram on a socket.
+    pub fn send(&self, core: usize, sock: SockId, msg: &[u8]) -> KResult<()> {
+        let _g = self.serialise();
+        self.sockets.send(core, sock, msg).map_err(sock_errno)
+    }
+
+    /// Receives a datagram from a socket (`EAGAIN` when every queue the
+    /// receiver may take from is empty).
+    pub fn recv(&self, core: usize, sock: SockId) -> KResult<Vec<u8>> {
+        let _g = self.serialise();
+        self.sockets.recv(core, sock).map_err(sock_errno)
+    }
+
+    /// Queued messages on a socket (untraced; for tests and the
+    /// conservation checks).
+    pub fn socket_pending_untraced(&self, sock: SockId) -> usize {
+        self.sockets.pending_untraced(sock)
+    }
+
+    /// Removes and returns every queued message (untraced; used by the
+    /// differential conservation checks).
+    pub fn socket_drain_untraced(&self, sock: SockId) -> Vec<Vec<u8>> {
+        self.sockets.drain_untraced(sock)
+    }
 }
 
-/// Performs a reified operation against a host kernel on the given core,
-/// mirroring `scr_kernel::api::perform` (including the `pipe` fd packing)
-/// so results are directly comparable with the simulated kernels'.
-pub fn perform_host(kernel: &HostKernel, core: usize, op: &SysOp) -> SysResult {
-    match op {
-        SysOp::Open { pid, name, flags } => match kernel.open(core, *pid, name, *flags) {
-            Ok(fd) => SysResult::Value(fd as i64),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Link { pid, old, new } => match kernel.link(core, *pid, old, new) {
-            Ok(()) => SysResult::Unit,
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Unlink { pid, name } => match kernel.unlink(core, *pid, name) {
-            Ok(()) => SysResult::Unit,
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Rename { pid, src, dst } => match kernel.rename(core, *pid, src, dst) {
-            Ok(()) => SysResult::Unit,
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::StatPath { pid, name } => match kernel.stat(core, *pid, name) {
-            Ok(s) => SysResult::Meta(s),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Fstat { pid, fd } => match kernel.fstat(core, *pid, *fd) {
-            Ok(s) => SysResult::Meta(s),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Lseek {
-            pid,
-            fd,
-            offset,
-            whence,
-        } => match kernel.lseek(core, *pid, *fd, *offset, *whence) {
-            Ok(off) => SysResult::Value(off as i64),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Close { pid, fd } => match kernel.close(core, *pid, *fd) {
-            Ok(()) => SysResult::Unit,
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Pipe { pid } => match kernel.pipe(core, *pid) {
-            Ok((r, w)) => SysResult::Value(((w as i64) << 32) | r as i64),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Read { pid, fd, len } => match kernel.read(core, *pid, *fd, *len) {
-            Ok(data) => SysResult::Data(data),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Write { pid, fd, data } => match kernel.write(core, *pid, *fd, data) {
-            Ok(n) => SysResult::Value(n as i64),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Pread {
-            pid,
-            fd,
-            len,
-            offset,
-        } => match kernel.pread(core, *pid, *fd, *len, *offset) {
-            Ok(data) => SysResult::Data(data),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Pwrite {
-            pid,
-            fd,
-            data,
-            offset,
-        } => match kernel.pwrite(core, *pid, *fd, data, *offset) {
-            Ok(n) => SysResult::Value(n as i64),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Mmap {
-            pid,
-            addr_hint,
-            pages,
-            prot,
-            backing,
-        } => match kernel.mmap(core, *pid, *addr_hint, *pages, *prot, *backing) {
-            Ok(addr) => SysResult::Value(addr as i64),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Munmap { pid, addr, pages } => match kernel.munmap(core, *pid, *addr, *pages) {
-            Ok(()) => SysResult::Unit,
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Mprotect {
-            pid,
-            addr,
-            pages,
-            prot,
-        } => match kernel.mprotect(core, *pid, *addr, *pages, *prot) {
-            Ok(()) => SysResult::Unit,
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Memread { pid, addr } => match kernel.memread(core, *pid, *addr) {
-            Ok(b) => SysResult::Value(b as i64),
-            Err(e) => SysResult::Err(e),
-        },
-        SysOp::Memwrite { pid, addr, value } => match kernel.memwrite(core, *pid, *addr, *value) {
-            Ok(()) => SysResult::Unit,
-            Err(e) => SysResult::Err(e),
-        },
+/// Adjusts a descriptor's pipe-endpoint count: duplication (fork's
+/// snapshot, posix_spawn's dup list) takes a reference (`+1`),
+/// `close`/`wait` drop one (`-1`). The counts are shared cells — the
+/// deliberate §6.4 residual conflict — and the recorded footprint is one
+/// read-modify-write of the endpoint line, mirroring the simulated
+/// kernel's `update`.
+fn adjust_pipe_endpoint(file: &OpenFile, delta: i64) {
+    match &file.obj {
+        FileObj::File(_) => {}
+        FileObj::PipeRead(pipe) => {
+            if let Some(tr) = &pipe.tr {
+                tr.readers.rmw();
+            }
+            pipe.readers.fetch_add(delta, Ordering::AcqRel);
+        }
+        FileObj::PipeWrite(pipe) => {
+            if let Some(tr) = &pipe.tr {
+                tr.writers.rmw();
+            }
+            pipe.writers.fetch_add(delta, Ordering::AcqRel);
+        }
     }
+}
+
+/// Maps host socket-table errors onto the simulated twin's errnos.
+fn sock_errno(e: SocketError) -> Errno {
+    match e {
+        SocketError::BadSocket => Errno::EBADF,
+        SocketError::Empty => Errno::EAGAIN,
+    }
+}
+
+/// The host kernel speaks the same [`SyscallApi`] as the simulated
+/// kernels, so applications written against it — the §7.3 mail server —
+/// and the reified-[`SysOp`] driver run on either substrate unchanged.
+impl SyscallApi for HostKernel {
+    fn new_process(&self) -> Pid {
+        HostKernel::new_process(self)
+    }
+
+    fn open(&self, core: usize, pid: Pid, name: &str, flags: OpenFlags) -> KResult<Fd> {
+        HostKernel::open(self, core, pid, name, flags)
+    }
+
+    fn link(&self, core: usize, pid: Pid, old: &str, new: &str) -> KResult<()> {
+        HostKernel::link(self, core, pid, old, new)
+    }
+
+    fn unlink(&self, core: usize, pid: Pid, name: &str) -> KResult<()> {
+        HostKernel::unlink(self, core, pid, name)
+    }
+
+    fn rename(&self, core: usize, pid: Pid, src: &str, dst: &str) -> KResult<()> {
+        HostKernel::rename(self, core, pid, src, dst)
+    }
+
+    fn stat(&self, core: usize, pid: Pid, name: &str) -> KResult<Stat> {
+        HostKernel::stat(self, core, pid, name)
+    }
+
+    fn fstat(&self, core: usize, pid: Pid, fd: Fd) -> KResult<Stat> {
+        HostKernel::fstat(self, core, pid, fd)
+    }
+
+    fn fstatx(&self, core: usize, pid: Pid, fd: Fd, mask: StatMask) -> KResult<Stat> {
+        HostKernel::fstatx(self, core, pid, fd, mask)
+    }
+
+    fn lseek(&self, core: usize, pid: Pid, fd: Fd, offset: i64, whence: Whence) -> KResult<u64> {
+        HostKernel::lseek(self, core, pid, fd, offset, whence)
+    }
+
+    fn close(&self, core: usize, pid: Pid, fd: Fd) -> KResult<()> {
+        HostKernel::close(self, core, pid, fd)
+    }
+
+    fn pipe(&self, core: usize, pid: Pid) -> KResult<(Fd, Fd)> {
+        HostKernel::pipe(self, core, pid)
+    }
+
+    fn read(&self, core: usize, pid: Pid, fd: Fd, len: u64) -> KResult<Vec<u8>> {
+        HostKernel::read(self, core, pid, fd, len)
+    }
+
+    fn write(&self, core: usize, pid: Pid, fd: Fd, data: &[u8]) -> KResult<u64> {
+        HostKernel::write(self, core, pid, fd, data)
+    }
+
+    fn pread(&self, core: usize, pid: Pid, fd: Fd, len: u64, offset: u64) -> KResult<Vec<u8>> {
+        HostKernel::pread(self, core, pid, fd, len, offset)
+    }
+
+    fn pwrite(&self, core: usize, pid: Pid, fd: Fd, data: &[u8], offset: u64) -> KResult<u64> {
+        HostKernel::pwrite(self, core, pid, fd, data, offset)
+    }
+
+    fn mmap(
+        &self,
+        core: usize,
+        pid: Pid,
+        addr_hint: Option<u64>,
+        pages: u64,
+        prot: Prot,
+        backing: MmapBacking,
+    ) -> KResult<u64> {
+        HostKernel::mmap(self, core, pid, addr_hint, pages, prot, backing)
+    }
+
+    fn munmap(&self, core: usize, pid: Pid, addr: u64, pages: u64) -> KResult<()> {
+        HostKernel::munmap(self, core, pid, addr, pages)
+    }
+
+    fn mprotect(&self, core: usize, pid: Pid, addr: u64, pages: u64, prot: Prot) -> KResult<()> {
+        HostKernel::mprotect(self, core, pid, addr, pages, prot)
+    }
+
+    fn memread(&self, core: usize, pid: Pid, addr: u64) -> KResult<u8> {
+        HostKernel::memread(self, core, pid, addr)
+    }
+
+    fn memwrite(&self, core: usize, pid: Pid, addr: u64, value: u8) -> KResult<()> {
+        HostKernel::memwrite(self, core, pid, addr, value)
+    }
+
+    fn fork(&self, core: usize, pid: Pid) -> KResult<Pid> {
+        HostKernel::fork(self, core, pid)
+    }
+
+    fn posix_spawn(&self, core: usize, pid: Pid, dup_fds: &[Fd]) -> KResult<Pid> {
+        HostKernel::posix_spawn(self, core, pid, dup_fds)
+    }
+
+    fn wait(&self, core: usize, pid: Pid, child: Pid) -> KResult<()> {
+        HostKernel::wait(self, core, pid, child)
+    }
+
+    fn socket(&self, core: usize, order: SocketOrder) -> KResult<SockId> {
+        HostKernel::socket(self, core, order)
+    }
+
+    fn send(&self, core: usize, sock: SockId, msg: &[u8]) -> KResult<()> {
+        HostKernel::send(self, core, sock, msg)
+    }
+
+    fn recv(&self, core: usize, sock: SockId) -> KResult<Vec<u8>> {
+        HostKernel::recv(self, core, sock)
+    }
+}
+
+/// Performs a reified operation against a host kernel on the given core.
+/// Since [`HostKernel`] implements [`SyscallApi`], this is the generic
+/// `scr_kernel::api::perform` — kept as a named entry point for the
+/// differential and Figure-6 pipelines' call sites.
+pub fn perform_host(kernel: &HostKernel, core: usize, op: &SysOp) -> SysResult {
+    scr_kernel::api::perform(kernel, core, op)
 }
 
 #[cfg(test)]

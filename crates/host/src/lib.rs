@@ -7,19 +7,25 @@
 //! host-atomics twins in `scr_scalable::real`, executed by actual OS
 //! threads, timed with a wall clock.
 //!
-//! * [`kernel::HostKernel`] is a thread-safe implementation of the hot
-//!   subset of `scr_kernel::api` (the 18 `SysOp` calls). It comes in two
-//!   configurations: [`kernel::HostMode::Sv6`] uses the lock-striped
-//!   directory, per-core inode allocation and Refcache-style link counts;
-//!   [`kernel::HostMode::Linuxlike`] runs the same code under one global
-//!   kernel lock, the collapsing baseline.
+//! * [`kernel::HostKernel`] is a thread-safe implementation of the whole
+//!   `scr_kernel::api::SyscallApi` surface — the 18 modelled `SysOp` calls
+//!   plus the §4 extensions (datagram sockets in both orderings,
+//!   `fork`/`posix_spawn`/`wait`). It comes in two configurations:
+//!   [`kernel::HostMode::Sv6`] uses the lock-striped directory, per-core
+//!   inode allocation, Refcache-style link counts, per-core socket queues
+//!   and a lock-free process table; [`kernel::HostMode::Linuxlike`] runs
+//!   the same code under one global kernel lock, the collapsing baseline.
 //! * [`harness::LoadHarness`] spawns N OS threads, partitions work per
 //!   thread ("core"), and measures real operations per second per core.
 //! * [`workloads`] ports the Figure-7 workloads — statbench, openbench and
-//!   the mail-delivery loop — to run against [`kernel::HostKernel`].
+//!   the §7.3 mail server (driven through the real
+//!   `scr_kernel::mail::MailServer`, as communicating enqueue/qman
+//!   threads) — to run against [`kernel::HostKernel`].
 //! * [`differential`] replays TESTGEN's `ConcreteTest`s on real threads and
 //!   cross-checks every return value against the simulated `Sv6Kernel`,
-//!   closing the loop between the symbolic pipeline and real execution.
+//!   closing the loop between the symbolic pipeline and real execution;
+//!   the §4 extension corpus rides along with a linearization +
+//!   message-conservation cross-check.
 //! * [`fig6`] replays the same tests with a `scr-hostmtrace` tracing window
 //!   around the concurrent pair and aggregates host-side Figure 6 heatmaps
 //!   (`sv6-host` / `linux-host`), cross-checking every conflict verdict
@@ -33,13 +39,14 @@ pub mod kernel;
 pub mod workloads;
 
 pub use differential::{
-    differential_campaign, differential_sample, run_differential, CampaignConfig,
-    DifferentialReport, HostReplayer, PairOutcome,
+    differential_campaign, differential_sample, ext_campaign, run_differential, CampaignConfig,
+    DifferentialReport, ExtCampaignReport, HostReplayer, PairOutcome,
 };
 pub use fig6::{
-    classify_divergence, normalize_pipe_label, replay_traced, replay_traced_with_sink,
-    run_host_fig6, run_test_host, Fig6Divergence, HostFig6Config, HostFig6Results, HostTestOutcome,
-    LOWEST_FD_EXCEPTION,
+    classify_divergence, ext_corpus, ext_failures, normalize_pipe_label, perform_ext,
+    replay_traced, replay_traced_with_sink, run_ext_fig6, run_ext_host, run_ext_sim, run_host_fig6,
+    run_test_host, ExtOp, ExtOutcome, ExtTest, Fig6Divergence, HostExtRun, HostFig6Config,
+    HostFig6Results, HostTestOutcome, SimExtRun, LOWEST_FD_EXCEPTION,
 };
 pub use harness::{available_threads, LoadHarness};
 pub use kernel::{perform_host, HostKernel, HostMode, HostOptions};

@@ -9,9 +9,11 @@
 
 use crate::harness::LoadHarness;
 use crate::kernel::{HostKernel, HostMode, HostOptions};
-use scr_kernel::api::{OpenFlags, StatMask};
+use scr_kernel::api::{Errno, OpenFlags, StatMask};
+use scr_kernel::mail::{MailConfig, MailServer};
 use scr_mtrace::ScalingPoint;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Which statbench variant to run (mirrors `scr_bench::statbench::StatMode`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,86 +106,187 @@ pub fn openbench(mode: HostMode, anyfd: bool, threads: usize, ops_per_thread: u6
     })
 }
 
-/// The mail-delivery hot loop on real threads: every thread enqueues a
-/// message (spool file + envelope), delivers it into a per-mailbox file,
-/// and cleans up the spool — the file-system half of the §7.3 pipeline.
-/// The commutative configuration uses `O_ANYFD`; the regular one uses
-/// lowest-FD allocation from the shared client/qman descriptor tables.
-pub fn mailbench(mode: HostMode, anyfd: bool, threads: usize, ops_per_thread: u64) -> ScalingPoint {
-    let kernel = Arc::new(HostKernel::new(threads, mode));
+/// The §7.3 mail pipeline's hot loop on real threads, driven through the
+/// *real* `scr_kernel::mail::MailServer` — notification socket, spawn,
+/// wait and all — instead of a file-system-only approximation. Each
+/// thread's operation enqueues one message (spool files + a datagram on
+/// the notification socket) and then runs queue-manager steps until one
+/// message is delivered: with the unordered socket that is usually its own
+/// (taken conflict-free from the core's local queue), with the ordered one
+/// every notification funnels through the single shared queue.
+///
+/// The [`MailConfig`] selects the whole §7.3 API family: descriptor
+/// allocation (lowest-FD vs `O_ANYFD`), socket ordering, and helper
+/// creation (`fork`'s table snapshot vs `posix_spawn`).
+pub fn mailbench(
+    mode: HostMode,
+    config: MailConfig,
+    threads: usize,
+    ops_per_thread: u64,
+) -> ScalingPoint {
+    let kernel = HostKernel::new(threads, mode);
     let client = kernel.new_process();
     let qman = kernel.new_process();
-    let kernel_ref = &kernel;
+    let server = MailServer::new(&kernel, config, threads).expect("mail server");
+    let (server_ref, kernel_ref) = (&server, &kernel);
     LoadHarness::new(ops_per_thread).run(threads, move |core, op| {
-        let flags = if anyfd {
-            OpenFlags::create().with_anyfd()
-        } else {
-            OpenFlags::create()
-        };
-        let msg_name = format!("queue/msg-{core}-{op}");
-        let env_name = format!("queue/env-{core}-{op}");
         let mailbox = format!("user{core}");
-        let body = b"message body";
-
-        // mail-enqueue: spool the message and its envelope.
-        let msg_fd = kernel_ref
-            .open(core, client, &msg_name, flags)
-            .expect("msg open");
-        kernel_ref
-            .write(core, client, msg_fd, body)
-            .expect("msg write");
-        kernel_ref.close(core, client, msg_fd).expect("msg close");
-        let env_fd = kernel_ref
-            .open(core, client, &env_name, flags)
-            .expect("env open");
-        kernel_ref
-            .write(
-                core,
-                client,
-                env_fd,
-                format!("{mailbox}\n{msg_name}").as_bytes(),
-            )
-            .expect("env write");
-        kernel_ref.close(core, client, env_fd).expect("env close");
-
-        // mail-qman + mail-deliver: read the spool, write the mailbox file,
-        // clean up the queue.
-        let msg_fd = kernel_ref
-            .open(
-                core,
-                qman,
-                &msg_name,
-                if anyfd {
-                    OpenFlags::plain().with_anyfd()
-                } else {
-                    OpenFlags::plain()
-                },
-            )
-            .expect("qman open");
-        let data = kernel_ref
-            .pread(core, qman, msg_fd, 4096, 0)
-            .expect("qman read");
-        let delivered = format!("mail/{mailbox}/new-{core}-{op}");
-        let out_fd = kernel_ref
-            .open(core, qman, &delivered, flags)
-            .expect("deliver open");
-        kernel_ref
-            .write(core, qman, out_fd, &data)
-            .expect("deliver write");
-        kernel_ref.close(core, qman, out_fd).expect("deliver close");
-        kernel_ref.close(core, qman, msg_fd).expect("qman close");
-        kernel_ref
-            .unlink(core, qman, &msg_name)
-            .expect("unlink msg");
-        kernel_ref
-            .unlink(core, qman, &env_name)
-            .expect("unlink env");
+        server_ref
+            .enqueue(core, client, &mailbox, format!("m-{core}-{op}").as_bytes())
+            .expect("enqueue");
+        // Deliver one message (not necessarily this thread's: another
+        // core's qman step may have stolen ours first — globally the
+        // counts balance, so this loop cannot starve).
+        loop {
+            match server_ref.qman_step(core, qman) {
+                Ok(_) => break,
+                // Yield rather than spin: under oversubscription the
+                // thread holding progress may need this core.
+                Err(Errno::EAGAIN) => std::thread::yield_now(),
+                Err(e) => panic!("qman step failed: {e}"),
+            }
+        }
         // Periodic epoch pass so the spool's unlinked inodes (and their
         // page caches) are actually freed during long sweeps.
         if op % 64 == 63 {
             kernel_ref.reclaim_core(core);
         }
     })
+}
+
+/// Outcome of a dedicated-threads [`mail_pipeline`] run: the ledger the
+/// exactly-once assertions (tests, the CI smoke gate) check.
+#[derive(Clone, Debug)]
+pub struct MailPipelineReport {
+    /// Messages the enqueuer threads spooled and announced.
+    pub enqueued: usize,
+    /// Messages the queue-manager threads delivered.
+    pub delivered: usize,
+    /// Delivered bodies that appeared more than once.
+    pub duplicates: usize,
+    /// Enqueued bodies that never reached a mailbox.
+    pub lost: usize,
+    /// Delivered mailbox files whose contents did not match any enqueued
+    /// body (0 in any healthy run).
+    pub corrupt: usize,
+}
+
+impl MailPipelineReport {
+    /// Every message delivered exactly once, bit-intact.
+    pub fn exactly_once(&self) -> bool {
+        self.delivered == self.enqueued
+            && self.duplicates == 0
+            && self.lost == 0
+            && self.corrupt == 0
+    }
+}
+
+/// The full §7.3 pipeline as *actual communicating threads*: `enqueuers`
+/// threads run mail-enqueue, `qmans` threads run mail-qman (receiving
+/// notifications, spawning a delivery helper per message, waiting for it,
+/// cleaning the spool) — the two stages talk only through the kernel, via
+/// the notification socket and the spool files, exactly as the paper's
+/// processes do. Returns the exactly-once ledger, verified by reading
+/// every delivered mailbox file back.
+pub fn mail_pipeline(
+    mode: HostMode,
+    config: MailConfig,
+    enqueuers: usize,
+    qmans: usize,
+    messages_per_enqueuer: usize,
+) -> MailPipelineReport {
+    let enqueuers = enqueuers.max(1);
+    let qmans = qmans.max(1);
+    let cores = enqueuers + qmans;
+    let total = enqueuers * messages_per_enqueuer;
+    let kernel = HostKernel::new(cores, mode);
+    let client = kernel.new_process();
+    let qman_pid = kernel.new_process();
+    let server = MailServer::new(&kernel, config, cores).expect("mail server");
+    let delivered_names = Mutex::new(Vec::with_capacity(total));
+    let delivered_count = AtomicUsize::new(0);
+    let (server_ref, names_ref, count_ref) = (&server, &delivered_names, &delivered_count);
+    std::thread::scope(|scope| {
+        for e in 0..enqueuers {
+            scope.spawn(move || {
+                for i in 0..messages_per_enqueuer {
+                    let mailbox = format!("box{e}");
+                    let body = format!("body-{e}-{i}");
+                    server_ref
+                        .enqueue(e, client, &mailbox, body.as_bytes())
+                        .expect("enqueue");
+                }
+            });
+        }
+        for q in 0..qmans {
+            let core = enqueuers + q;
+            scope.spawn(move || loop {
+                if count_ref.load(Ordering::Acquire) >= total {
+                    break;
+                }
+                match server_ref.qman_step(core, qman_pid) {
+                    Ok(name) => {
+                        count_ref.fetch_add(1, Ordering::AcqRel);
+                        names_ref.lock().unwrap().push(name);
+                    }
+                    // Empty queue: either the enqueuers are still filling
+                    // it or another qman won the race for the last one;
+                    // yield so they get this core under oversubscription.
+                    Err(Errno::EAGAIN) => std::thread::yield_now(),
+                    Err(e) => panic!("qman step failed: {e}"),
+                }
+            });
+        }
+    });
+    // Verify by reading every mailbox file back through the kernel.
+    let names = delivered_names.into_inner().unwrap();
+    let mut got: Vec<String> = names
+        .iter()
+        .map(|name| {
+            let fd = kernel
+                .open(0, qman_pid, name, OpenFlags::plain())
+                .expect("delivered file must exist");
+            let body = kernel.pread(0, qman_pid, fd, 4096, 0).expect("read body");
+            kernel.close(0, qman_pid, fd).expect("close");
+            String::from_utf8_lossy(&body).into_owned()
+        })
+        .collect();
+    got.sort();
+    let mut want: Vec<String> = (0..enqueuers)
+        .flat_map(|e| (0..messages_per_enqueuer).map(move |i| format!("body-{e}-{i}")))
+        .collect();
+    want.sort();
+    let count = |items: &[String]| {
+        let mut map = std::collections::BTreeMap::new();
+        for item in items {
+            *map.entry(item.clone()).or_insert(0usize) += 1;
+        }
+        map
+    };
+    let (got_counts, want_counts) = (count(&got), count(&want));
+    // A body that was never enqueued is *corrupt*, not a duplicate: only
+    // over-delivery of known bodies counts here, so each failure mode is
+    // attributed exactly once.
+    let duplicates = got_counts
+        .iter()
+        .filter(|(body, _)| want_counts.contains_key(*body))
+        .map(|(body, n)| n.saturating_sub(want_counts[body]))
+        .sum();
+    let lost = want_counts
+        .iter()
+        .map(|(body, n)| n.saturating_sub(*got_counts.get(body).unwrap_or(&0)))
+        .sum();
+    let corrupt = got
+        .iter()
+        .filter(|body| !want_counts.contains_key(*body))
+        .count();
+    MailPipelineReport {
+        enqueued: total,
+        delivered: names.len(),
+        duplicates,
+        lost,
+        corrupt,
+    }
 }
 
 #[cfg(test)]
@@ -215,9 +318,28 @@ mod tests {
     }
 
     #[test]
-    fn mailbench_delivers_every_message() {
-        let point = mailbench(HostMode::Sv6, true, 2, 20);
-        assert_eq!(point.total_ops, 40);
+    fn mailbench_runs_both_configs_on_both_modes() {
+        for mode in [HostMode::Sv6, HostMode::Linuxlike] {
+            for config in [MailConfig::CommutativeApis, MailConfig::RegularApis] {
+                let point = mailbench(mode, config, 2, 20);
+                assert_eq!(point.total_ops, 40, "{mode:?}/{config:?}");
+                assert!(point.ops_per_sec_per_core > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mail_pipeline_delivers_exactly_once_in_every_configuration() {
+        for mode in [HostMode::Sv6, HostMode::Linuxlike] {
+            for config in [MailConfig::CommutativeApis, MailConfig::RegularApis] {
+                let report = mail_pipeline(mode, config, 2, 2, 25);
+                assert!(
+                    report.exactly_once(),
+                    "{mode:?}/{config:?}: {report:?} must deliver exactly once"
+                );
+                assert_eq!(report.delivered, 50);
+            }
+        }
     }
 
     #[test]

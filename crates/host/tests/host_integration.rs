@@ -261,7 +261,12 @@ fn host_workloads_complete_under_minimal_parallelism() {
         100,
     );
     assert_eq!(p1.total_ops, 200);
-    let p2 = workloads::mailbench(HostMode::Linuxlike, false, 2, 20);
+    let p2 = workloads::mailbench(
+        HostMode::Linuxlike,
+        scr_kernel::mail::MailConfig::RegularApis,
+        2,
+        20,
+    );
     assert_eq!(p2.total_ops, 40);
     let kernel = HostKernel::new(2, HostMode::Linuxlike);
     let pid = kernel.new_process();

@@ -1,6 +1,12 @@
-//! The kernel interface: types, error codes, the [`KernelApi`] trait, and a
-//! reified system-call representation ([`SysOp`]) used by generated test
-//! cases.
+//! The kernel interface: types, error codes, the [`SyscallApi`] /
+//! [`KernelApi`] traits, and a reified system-call representation
+//! ([`SysOp`]) used by generated test cases.
+//!
+//! [`SyscallApi`] is the substrate-neutral system-call surface — the
+//! simulated kernels *and* `scr-host`'s real-threads kernel implement it,
+//! so applications like the §7.3 mail server run on either. [`KernelApi`]
+//! extends it with access to the simulated machine, which only the traced
+//! implementations can offer.
 //!
 //! The interface covers the 18 calls modelled in §6.1 — `open`, `link`,
 //! `unlink`, `rename`, `stat`, `fstat`, `lseek`, `close`, `pipe`, `read`,
@@ -216,16 +222,16 @@ pub enum SocketOrder {
     Unordered,
 }
 
-/// The kernel interface shared by the sv6-style implementation and the
-/// Linux-like baseline.
+/// The system-call surface shared by every kernel in the workspace — the
+/// simulated sv6 and Linux-like kernels *and* the real-threads
+/// `HostKernel` of `scr-host`.
 ///
-/// Every method takes the simulated core the call runs on and the calling
-/// process. Methods correspond 1:1 to the calls analysed by COMMUTER plus
-/// the §4 extensions.
-pub trait KernelApi {
-    /// The simulated machine this kernel's state lives on.
-    fn machine(&self) -> &SimMachine;
-
+/// Every method takes the core the call runs on (a simulated core label,
+/// or the calling OS thread's slot on the host) and the calling process.
+/// Methods correspond 1:1 to the calls analysed by COMMUTER plus the §4
+/// extensions. Applications written against this trait — the §7.3 mail
+/// server in [`crate::mail`] — run unchanged on either substrate.
+pub trait SyscallApi {
     /// Creates a new process with an empty descriptor table and address
     /// space, returning its pid.
     fn new_process(&self) -> Pid;
@@ -309,6 +315,11 @@ pub trait KernelApi {
     /// only the listed descriptors (`posix_spawn`, §4 "decompose compound
     /// operations").
     fn posix_spawn(&self, core: CoreId, pid: Pid, dup_fds: &[Fd]) -> KResult<Pid>;
+    /// Reaps a finished child process: closes every descriptor the child
+    /// still holds (releasing pipe endpoints) and empties its table. The
+    /// `wait` half of the spawn/wait protocol — the child's pid stays
+    /// valid but refers to an empty (zombie-reaped) process afterwards.
+    fn wait(&self, core: CoreId, pid: Pid, child: Pid) -> KResult<()>;
     /// Creates a Unix-domain datagram socket with the given ordering
     /// guarantee.
     fn socket(&self, core: CoreId, order: SocketOrder) -> KResult<SockId>;
@@ -316,6 +327,16 @@ pub trait KernelApi {
     fn send(&self, core: CoreId, sock: SockId, msg: &[u8]) -> KResult<()>;
     /// Receives a datagram from a socket (EAGAIN when empty).
     fn recv(&self, core: CoreId, sock: SockId) -> KResult<Vec<u8>>;
+}
+
+/// A [`SyscallApi`] implementation living on the simulated machine of
+/// `scr-mtrace`, whose traced cells are what the MTRACE driver inspects.
+/// The real-threads host kernel implements only [`SyscallApi`]; everything
+/// that needs conflict *tracing* (rather than just execution) asks for a
+/// `KernelApi`.
+pub trait KernelApi: SyscallApi {
+    /// The simulated machine this kernel's state lives on.
+    fn machine(&self) -> &SimMachine;
 }
 
 /// A reified system-call invocation, as emitted by TESTGEN.
@@ -560,8 +581,10 @@ impl SysResult {
     }
 }
 
-/// Performs a reified operation against a kernel on the given core.
-pub fn perform(kernel: &dyn KernelApi, core: CoreId, op: &SysOp) -> SysResult {
+/// Performs a reified operation against a kernel on the given core. The
+/// kernel may be any [`SyscallApi`] implementation — a simulated kernel or
+/// the real-threads host kernel.
+pub fn perform<K: SyscallApi + ?Sized>(kernel: &K, core: CoreId, op: &SysOp) -> SysResult {
     match op {
         SysOp::Open { pid, name, flags } => match kernel.open(core, *pid, name, *flags) {
             Ok(fd) => SysResult::Value(fd as i64),

@@ -3,11 +3,13 @@
 //! This crate contains the operating-system subsystems the paper evaluates,
 //! rebuilt as library code over the simulated machine of `scr-mtrace`:
 //!
-//! * [`api`] defines a POSIX-like [`api::KernelApi`] covering the 18 system
-//!   calls modelled in §6.1 (file system + virtual memory) plus the
+//! * [`api`] defines a POSIX-like [`api::SyscallApi`] covering the 18
+//!   system calls modelled in §6.1 (file system + virtual memory) plus the
 //!   commutativity-friendly variants §4 proposes (`fstatx`, `O_ANYFD`,
-//!   unordered datagram sockets, `posix_spawn`), and a reified
+//!   unordered datagram sockets, `posix_spawn`/`wait`), and a reified
 //!   [`api::SysOp`] so generated test cases can drive any implementation.
+//!   [`api::KernelApi`] extends it with the simulated machine handle; the
+//!   real-threads `HostKernel` of `scr-host` implements `SyscallApi` only.
 //! * [`sv6`] is the ScaleFS + RadixVM-style implementation (§6.3): hash
 //!   directories with per-bucket locks, radix-array page caches and address
 //!   spaces, Refcache link counts, per-core inode and descriptor
@@ -34,7 +36,7 @@ pub mod sv6;
 
 pub use api::{
     Errno, Fd, Ino, KResult, KernelApi, OpenFlags, Pid, Prot, Stat, StatMask, SysOp, SysResult,
-    Whence, PAGE_SIZE,
+    SyscallApi, Whence, PAGE_SIZE,
 };
 pub use linuxlike::LinuxLikeKernel;
 pub use sv6::{Sv6Kernel, Sv6Options};

@@ -26,7 +26,7 @@
 
 use crate::api::{
     Errno, Fd, Ino, KResult, KernelApi, MmapBacking, OpenFlags, Pid, Prot, SockId, SocketOrder,
-    Stat, StatMask, Whence, PAGE_SIZE,
+    Stat, StatMask, SyscallApi, Whence, PAGE_SIZE,
 };
 use crate::socket::SocketTable;
 use scr_mtrace::{CoreId, SimMachine, TracedCell};
@@ -285,11 +285,28 @@ impl LinuxLikeKernel {
     }
 }
 
+/// Adjusts a descriptor's pipe-endpoint count: duplication (fork's
+/// snapshot) takes a reference (`+1`); close, exec-close and wait drop
+/// one (`-1`). The per-file `f_count` is handled separately by callers.
+fn adjust_pipe_endpoint(file: &OpenFile, delta: i64) {
+    match &file.obj {
+        FileObj::File(_) => {}
+        FileObj::PipeRead(pipe) => {
+            pipe.readers.update(|r| *r += delta);
+        }
+        FileObj::PipeWrite(pipe) => {
+            pipe.writers.update(|w| *w += delta);
+        }
+    }
+}
+
 impl KernelApi for LinuxLikeKernel {
     fn machine(&self) -> &SimMachine {
         &self.machine
     }
+}
 
+impl SyscallApi for LinuxLikeKernel {
     fn new_process(&self) -> Pid {
         let pid = self.procs.borrow().len();
         let proc_ = Rc::new(Process {
@@ -503,15 +520,7 @@ impl KernelApi for LinuxLikeKernel {
             })
         })?;
         file.refcount.update(|c| *c -= 1);
-        match &file.obj {
-            FileObj::File(_) => {}
-            FileObj::PipeRead(pipe) => {
-                pipe.readers.update(|r| *r -= 1);
-            }
-            FileObj::PipeWrite(pipe) => {
-                pipe.writers.update(|w| *w -= 1);
-            }
-        }
+        adjust_pipe_endpoint(&file, -1);
         Ok(())
     }
 
@@ -757,28 +766,69 @@ impl KernelApi for LinuxLikeKernel {
         let parent = self.proc(pid)?;
         let child_pid = self.new_process();
         let child = self.proc(child_pid)?;
-        // Snapshot the descriptor table, bumping every open file's count.
+        // Snapshot the descriptor table, bumping every open file's count —
+        // and every duplicated pipe endpoint's count, so a child exit
+        // cannot strand the parent's still-open end (EPIPE/EOF stay
+        // exact).
         let files = parent.files_lock.with(|| parent.fd_table.get());
         for file in files.iter().flatten() {
             file.refcount.update(|c| *c += 1);
+            adjust_pipe_endpoint(file, 1);
         }
         child.fd_table.set(files);
         Ok(child_pid)
     }
 
     fn posix_spawn(&self, _core: CoreId, pid: Pid, dup_fds: &[Fd]) -> KResult<Pid> {
+        // Validate the dup list first (POSIX fails the spawn on a bad
+        // file action), so both kernels agree that a failed spawn leaves
+        // no child behind.
+        let parent = self.proc(pid)?;
+        let missing = parent.fd_table.with(|table| {
+            dup_fds
+                .iter()
+                .any(|&fd| table.get(fd as usize).is_none_or(|slot| slot.is_none()))
+        });
+        if missing {
+            return Err(Errno::EBADF);
+        }
         // Linux implements posix_spawn in terms of fork/exec; model the cost
-        // as a fork followed by closing everything not in `dup_fds`.
+        // as a fork followed by closing everything not in `dup_fds` — with
+        // close's full semantics, so the fork-taken references are dropped
+        // again.
         let child_pid = self.fork(_core, pid)?;
         let child = self.proc(child_pid)?;
-        child.fd_table.update(|table| {
+        let dropped = child.fd_table.update(|table| {
+            let mut dropped = Vec::new();
             for (fd, slot) in table.iter_mut().enumerate() {
                 if slot.is_some() && !dup_fds.contains(&(fd as Fd)) {
-                    *slot = None;
+                    dropped.extend(slot.take());
                 }
             }
+            dropped
         });
+        for file in dropped {
+            file.refcount.update(|c| *c -= 1);
+            adjust_pipe_endpoint(&file, -1);
+        }
         Ok(child_pid)
+    }
+
+    fn wait(&self, _core: CoreId, _pid: Pid, child: Pid) -> KResult<()> {
+        // Reap under the process-wide table lock, dropping each file's
+        // f_count and pipe endpoint counts exactly as close does.
+        let proc_ = self.proc(child)?;
+        let files = proc_.files_lock.with(|| {
+            proc_.fd_table.update(|table| {
+                let taken: Vec<_> = table.iter_mut().filter_map(|slot| slot.take()).collect();
+                taken
+            })
+        });
+        for file in files {
+            file.refcount.update(|c| *c -= 1);
+            adjust_pipe_endpoint(&file, -1);
+        }
+        Ok(())
     }
 
     fn socket(&self, _core: CoreId, order: SocketOrder) -> KResult<SockId> {

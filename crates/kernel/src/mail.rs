@@ -23,9 +23,10 @@
 //! The server is written purely against [`KernelApi`], so it runs unchanged
 //! over the sv6 kernel or the Linux-like baseline.
 
-use crate::api::{Errno, KResult, KernelApi, OpenFlags, Pid, SockId, SocketOrder};
+use crate::api::{Errno, KResult, OpenFlags, Pid, SockId, SocketOrder, SyscallApi};
+use crossbeam::utils::CachePadded;
 use scr_mtrace::CoreId;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which API family the mail server uses (§7.3's two configurations).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,25 +54,33 @@ impl MailConfig {
 }
 
 /// A running mail server instance bound to a kernel.
-pub struct MailServer<'k> {
-    kernel: &'k dyn KernelApi,
+///
+/// The server is generic over [`SyscallApi`], so the same code drives the
+/// simulated kernels (single-threaded, traced) and `scr-host`'s real
+/// kernel. With a `Sync` kernel the server is `Sync` too: the per-core
+/// sequence counters are cache-padded atomics, so concurrent enqueuers on
+/// different cores never share a line through the server itself.
+pub struct MailServer<'k, K: SyscallApi + ?Sized> {
+    kernel: &'k K,
     config: MailConfig,
     notify: SockId,
     /// Per-core message sequence numbers, used to build unique queue file
     /// names without shared state.
-    next_seq: Vec<Cell<u64>>,
+    next_seq: Vec<CachePadded<AtomicU64>>,
 }
 
-impl<'k> MailServer<'k> {
+impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
     /// Creates a mail server over `kernel` using the given API configuration
     /// and supporting up to `cores` enqueueing cores.
-    pub fn new(kernel: &'k dyn KernelApi, config: MailConfig, cores: usize) -> KResult<Self> {
+    pub fn new(kernel: &'k K, config: MailConfig, cores: usize) -> KResult<Self> {
         let notify = kernel.socket(0, config.socket_order())?;
         Ok(MailServer {
             kernel,
             config,
             notify,
-            next_seq: (0..cores.max(1)).map(|_| Cell::new(0)).collect(),
+            next_seq: (0..cores.max(1))
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         })
     }
 
@@ -80,11 +89,13 @@ impl<'k> MailServer<'k> {
         self.config
     }
 
+    /// The notification socket connecting mail-enqueue to mail-qman.
+    pub fn notify_socket(&self) -> SockId {
+        self.notify
+    }
+
     fn fresh_seq(&self, core: CoreId) -> u64 {
-        let cell = &self.next_seq[core % self.next_seq.len()];
-        let v = cell.get();
-        cell.set(v + 1);
-        v
+        self.next_seq[core % self.next_seq.len()].fetch_add(1, Ordering::Relaxed)
     }
 
     /// `mail-enqueue`: writes the message and envelope to the queue and
@@ -142,6 +153,11 @@ impl<'k> MailServer<'k> {
         // into the recipient's mailbox.
         let delivered = self.deliver(core, helper, &mailbox, &body)?;
 
+        // Reap the helper (the wait half of spawn/wait). Under fork this
+        // releases the full descriptor-table snapshot; under posix_spawn
+        // only the explicitly duplicated descriptors were ever there.
+        self.kernel.wait(core, pid, helper)?;
+
         // Clean up: close and unlink the queued files.
         self.kernel.close(core, pid, msg_fd)?;
         self.kernel.unlink(core, pid, &msg_name)?;
@@ -183,7 +199,7 @@ mod tests {
     use crate::linuxlike::LinuxLikeKernel;
     use crate::sv6::Sv6Kernel;
 
-    fn run_end_to_end(kernel: &dyn KernelApi, config: MailConfig) {
+    fn run_end_to_end(kernel: &dyn SyscallApi, config: MailConfig) {
         let client = kernel.new_process();
         let qman = kernel.new_process();
         let server = MailServer::new(kernel, config, 4).unwrap();

@@ -24,7 +24,7 @@
 
 use crate::api::{
     Errno, Fd, Ino, KResult, KernelApi, MmapBacking, OpenFlags, Pid, Prot, SockId, SocketOrder,
-    Stat, StatMask, Whence, PAGE_SIZE,
+    Stat, StatMask, SyscallApi, Whence, PAGE_SIZE,
 };
 use crate::socket::SocketTable;
 use scr_mtrace::{CoreId, SimMachine, TracedCell};
@@ -400,11 +400,31 @@ impl Sv6Kernel {
     }
 }
 
+/// Adjusts a descriptor's pipe-endpoint count: duplicating a descriptor
+/// (fork's snapshot, posix_spawn's dup list) takes another reference
+/// (`+1`), `close`/`wait` drop one (`-1`). Keeping every adjustment on
+/// this one helper keeps EPIPE/EOF exact across process boundaries.
+fn adjust_pipe_endpoint(file: &OpenFile, delta: i64) {
+    match &file.obj {
+        FileObj::File(_) => {}
+        // Pipe endpoint counts are shared cells: the deliberate §6.4
+        // residual conflict.
+        FileObj::PipeRead(pipe) => {
+            pipe.readers.update(|r| *r += delta);
+        }
+        FileObj::PipeWrite(pipe) => {
+            pipe.writers.update(|w| *w += delta);
+        }
+    }
+}
+
 impl KernelApi for Sv6Kernel {
     fn machine(&self) -> &SimMachine {
         &self.machine
     }
+}
 
+impl SyscallApi for Sv6Kernel {
     fn new_process(&self) -> Pid {
         let pid = self.procs.borrow().len();
         let proc_ = Rc::new(Process {
@@ -594,17 +614,7 @@ impl KernelApi for Sv6Kernel {
         let slot = proc_.fd_slots.get(fd as usize).ok_or(Errno::EBADF)?;
         let file = slot.get().ok_or(Errno::EBADF)?;
         slot.set(None);
-        match &file.obj {
-            FileObj::File(_) => {}
-            // Pipe endpoint counts are shared cells: the deliberate §6.4
-            // residual conflict.
-            FileObj::PipeRead(pipe) => {
-                pipe.readers.update(|r| *r -= 1);
-            }
-            FileObj::PipeWrite(pipe) => {
-                pipe.writers.update(|w| *w -= 1);
-            }
-        }
+        adjust_pipe_endpoint(&file, -1);
         Ok(())
     }
 
@@ -827,6 +837,11 @@ impl KernelApi for Sv6Kernel {
         // parent slot, which is what makes it commute with almost nothing.
         for (fd, slot) in parent.fd_slots.iter().enumerate() {
             if let Some(file) = slot.get() {
+                // A duplicated descriptor is a second reference to a pipe
+                // endpoint; the endpoint count must grow with it, or the
+                // child's exit (wait/close) would strand the parent's
+                // still-open end behind a spurious EPIPE/EOF.
+                adjust_pipe_endpoint(&file, 1);
                 child.fd_slots[fd].set(Some(file));
             }
         }
@@ -835,15 +850,46 @@ impl KernelApi for Sv6Kernel {
 
     fn posix_spawn(&self, _core: CoreId, pid: Pid, dup_fds: &[Fd]) -> KResult<Pid> {
         let parent = self.proc(pid)?;
+        // Resolve the whole dup list first: a bad descriptor fails the
+        // spawn before any endpoint reference is taken or a child process
+        // exists, so a failed spawn leaves no trace to unwind.
+        let mut files = dup_fds
+            .iter()
+            .map(|&fd| Ok((fd, self.open_file(&parent, fd)?)))
+            .collect::<KResult<Vec<_>>>()?;
+        // A repeated fd collapses into one child slot, so it must take
+        // exactly one endpoint reference (the resolve above still reads
+        // the slot once per list entry, as the dup-action list would).
+        let mut seen = std::collections::BTreeSet::new();
+        files.retain(|(fd, _)| seen.insert(*fd));
         let child_pid = self.new_process();
         let child = self.proc(child_pid)?;
         // posix_spawn builds the child image directly: only the explicitly
         // listed descriptors are touched.
-        for &fd in dup_fds {
-            let file = self.open_file(&parent, fd)?;
+        for (fd, file) in files {
+            adjust_pipe_endpoint(&file, 1);
             child.fd_slots[fd as usize].set(Some(file));
         }
         Ok(child_pid)
+    }
+
+    fn wait(&self, _core: CoreId, _pid: Pid, child: Pid) -> KResult<()> {
+        // Reaping stays O(open descriptors), not O(table size): the
+        // exiting child's open-descriptor list is process-private state (a
+        // real exit path walks its own fd list), so empty slots are
+        // skipped without touching their lines. Each occupied slot is
+        // read and emptied, releasing pipe endpoints exactly as close
+        // does.
+        let proc_ = self.proc(child)?;
+        for slot in &proc_.fd_slots {
+            if slot.peek(|s| s.is_none()) {
+                continue;
+            }
+            let Some(file) = slot.get() else { continue };
+            slot.set(None);
+            adjust_pipe_endpoint(&file, -1);
+        }
+        Ok(())
     }
 
     fn socket(&self, _core: CoreId, order: SocketOrder) -> KResult<SockId> {

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release --example mailserver`.
 
-use scalable_commutativity::kernel::api::{KernelApi, OpenFlags};
+use scalable_commutativity::kernel::api::{KernelApi, OpenFlags, SyscallApi};
 use scalable_commutativity::kernel::mail::{MailConfig, MailServer};
 use scalable_commutativity::kernel::Sv6Kernel;
 use scalable_commutativity::mtrace::{ScalingParams, ThroughputModel};

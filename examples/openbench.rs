@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --release --example openbench`.
 
-use scalable_commutativity::kernel::api::{KernelApi, OpenFlags};
+use scalable_commutativity::kernel::api::{KernelApi, OpenFlags, SyscallApi};
 use scalable_commutativity::kernel::Sv6Kernel;
 use scalable_commutativity::mtrace::{ScalingParams, ThroughputModel};
 

@@ -13,7 +13,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use scalable_commutativity::kernel::api::{KernelApi, OpenFlags};
+use scalable_commutativity::kernel::api::{KernelApi, OpenFlags, SyscallApi};
 use scalable_commutativity::kernel::Sv6Kernel;
 use scalable_commutativity::spec::commutativity::op_level_reorderings;
 use scalable_commutativity::spec::conflict::find_conflicts;

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release --example statbench`.
 
-use scalable_commutativity::kernel::api::{KernelApi, OpenFlags, StatMask};
+use scalable_commutativity::kernel::api::{KernelApi, OpenFlags, StatMask, SyscallApi};
 use scalable_commutativity::kernel::Sv6Kernel;
 use scalable_commutativity::mtrace::{ScalingParams, ThroughputModel};
 

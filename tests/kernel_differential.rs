@@ -4,7 +4,7 @@
 //! their memory-sharing behaviour, never in semantics.
 
 use proptest::prelude::*;
-use scalable_commutativity::kernel::api::{KernelApi, OpenFlags, Whence, PAGE_SIZE};
+use scalable_commutativity::kernel::api::{OpenFlags, SyscallApi, Whence, PAGE_SIZE};
 use scalable_commutativity::kernel::{LinuxLikeKernel, Sv6Kernel};
 
 /// A randomly generated call. File names and descriptors are drawn from
@@ -110,7 +110,7 @@ fn show_stat(
 }
 
 /// Applies one op and renders its observable outcome as a comparable string.
-fn apply(k: &dyn KernelApi, pid: usize, op: &Op) -> String {
+fn apply(k: &dyn SyscallApi, pid: usize, op: &Op) -> String {
     let name = |n: u8| format!("file-{n}");
     match op {
         Op::Open {

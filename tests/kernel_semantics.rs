@@ -217,3 +217,86 @@ fn scalability_differs_even_when_semantics_agree() {
     assert!(outcomes[0], "sv6 must be conflict-free");
     assert!(!outcomes[1], "the baseline must conflict");
 }
+
+#[test]
+fn duplicated_pipe_endpoints_survive_child_reaping() {
+    // pipe → fork → wait(child): the child's copies of the pipe
+    // descriptors are reaped, but the parent's ends must stay live —
+    // duplication takes a reference on the endpoint counts, reaping only
+    // drops the child's. (Regression: an unbalanced fork once made the
+    // parent's write fail EPIPE and its read report a spurious EOF.)
+    for (name, k) in kernels() {
+        let pid = k.new_process();
+        let (r, w) = k.pipe(0, pid).unwrap();
+        let child = k.fork(0, pid).unwrap();
+        k.wait(0, pid, child).unwrap();
+        assert_eq!(k.write(0, pid, w, b"x").unwrap(), 1, "{name}");
+        assert_eq!(k.read(0, pid, r, 4).unwrap(), b"x", "{name}");
+        assert_eq!(
+            k.read(0, pid, r, 1).unwrap_err(),
+            Errno::EAGAIN,
+            "{name}: writer still open, empty pipe must be EAGAIN not EOF"
+        );
+        // The child's copy alone keeps an end alive: close the parent's
+        // write end while a fork child still holds one.
+        let child2 = k.fork(0, pid).unwrap();
+        k.close(0, pid, w).unwrap();
+        assert_eq!(
+            k.read(0, pid, r, 1).unwrap_err(),
+            Errno::EAGAIN,
+            "{name}: the child's write end keeps the pipe writable"
+        );
+        k.wait(0, pid, child2).unwrap();
+        assert_eq!(
+            k.read(0, pid, r, 1).unwrap(),
+            Vec::<u8>::new(),
+            "{name}: after the last writer is reaped, EOF"
+        );
+        // posix_spawn's explicit dup list takes the same reference.
+        let (r2, w2) = k.pipe(0, pid).unwrap();
+        let spawned = k.posix_spawn(0, pid, &[w2]).unwrap();
+        k.wait(0, pid, spawned).unwrap();
+        assert_eq!(k.write(0, pid, w2, b"y").unwrap(), 1, "{name}");
+        assert_eq!(k.read(0, pid, r2, 4).unwrap(), b"y", "{name}");
+    }
+}
+
+#[test]
+fn failed_posix_spawn_leaves_no_trace() {
+    // A bad descriptor in the dup list fails the spawn before any pipe
+    // endpoint reference is taken or a child process exists (regression:
+    // the error path once left the endpoint counts permanently skewed,
+    // turning EOF into an endless EAGAIN).
+    for (name, k) in kernels() {
+        let pid = k.new_process();
+        let (r, w) = k.pipe(0, pid).unwrap();
+        assert_eq!(
+            k.posix_spawn(0, pid, &[w, 99]).unwrap_err(),
+            Errno::EBADF,
+            "{name}"
+        );
+        let child = k.posix_spawn(0, pid, &[w]).unwrap();
+        assert_eq!(
+            child, 1,
+            "{name}: the failed spawn must not have allocated a pid"
+        );
+        k.wait(0, pid, child).unwrap();
+        k.close(0, pid, w).unwrap();
+        assert_eq!(
+            k.read(0, pid, r, 1).unwrap(),
+            Vec::<u8>::new(),
+            "{name}: all writers closed must read as EOF, not EAGAIN"
+        );
+        // A repeated fd in the dup list collapses into one child slot and
+        // must take exactly one endpoint reference.
+        let (r2, w2) = k.pipe(0, pid).unwrap();
+        let child = k.posix_spawn(0, pid, &[w2, w2]).unwrap();
+        k.wait(0, pid, child).unwrap();
+        k.close(0, pid, w2).unwrap();
+        assert_eq!(
+            k.read(0, pid, r2, 1).unwrap(),
+            Vec::<u8>::new(),
+            "{name}: a doubled dup entry must not leak a writer reference"
+        );
+    }
+}
