@@ -31,7 +31,10 @@ pub use driver::{
     differential_check, run_test, ConcreteReplayer, DifferentialOutcome, KernelFactory,
     LinuxLikeFactory, Sv6Factory, TestOutcome,
 };
-pub use pipeline::{run_commuter, CommuterConfig, CommuterResults, PairTiming};
+pub use pipeline::{
+    run_commuter, run_commuter_with_progress, CommuterConfig, CommuterResults, PairTiming,
+    SweepEvent,
+};
 pub use report::{Figure6Report, PairCell};
 pub use shapes::{enumerate_shapes, PairShape};
 pub use testgen::{

@@ -11,7 +11,9 @@ use crate::analyzer::analyze_pair;
 use crate::driver::{run_test, KernelFactory};
 use crate::report::Figure6Report;
 use crate::shapes::enumerate_shapes;
-use crate::testgen::{generate_tests, ConcreteTest, SkipHistogram};
+use crate::testgen::{
+    generate_tests, solver_cache_stats, ConcreteTest, SkipHistogram, SolverCacheStats,
+};
 use scr_kernel::Sv6Kernel;
 use scr_model::{CallKind, ModelConfig, ALL_CALLS};
 
@@ -117,6 +119,50 @@ pub struct PairTiming {
     pub skipped: usize,
 }
 
+/// A progress event emitted by [`run_commuter_with_progress`] as the sweep
+/// works through call pairs. Consumers (the `posix_scan` example, the
+/// telemetry event log) use these for live progress lines and for
+/// structured per-pair records in exported artifacts; the events carry
+/// deltas, not running totals, so they compose by summation.
+#[derive(Clone, Debug)]
+pub enum SweepEvent<'a> {
+    /// A call pair is about to be analysed.
+    PairStarted {
+        /// Index of the pair in scan order (0-based).
+        index: usize,
+        /// Total pairs in the sweep.
+        total: usize,
+        /// The call pair.
+        calls: (CallKind, CallKind),
+    },
+    /// A call pair finished: all its shapes analysed, tests generated and
+    /// replayed on every kernel.
+    PairDone {
+        /// Index of the pair in scan order (0-based).
+        index: usize,
+        /// Total pairs in the sweep.
+        total: usize,
+        /// Wall-clock and corpus accounting for the pair.
+        timing: &'a PairTiming,
+        /// Skip-reason counts contributed by this pair alone.
+        skip_delta: SkipHistogram,
+        /// Solver-cache activity during this pair alone (hits/misses are
+        /// per-pair differences of the thread-local counters).
+        cache_delta: SolverCacheStats,
+    },
+}
+
+fn cache_delta(after: SolverCacheStats, before: SolverCacheStats) -> SolverCacheStats {
+    SolverCacheStats {
+        solution_hits: after.solution_hits.saturating_sub(before.solution_hits),
+        solution_misses: after.solution_misses.saturating_sub(before.solution_misses),
+        completion_hits: after.completion_hits.saturating_sub(before.completion_hits),
+        completion_misses: after
+            .completion_misses
+            .saturating_sub(before.completion_misses),
+    }
+}
+
 /// Results of a pipeline run.
 #[derive(Clone, Debug, Default)]
 pub struct CommuterResults {
@@ -147,6 +193,17 @@ impl CommuterResults {
 /// Runs the full pipeline for every unordered pair of `config.calls` and
 /// every kernel in `kernels`.
 pub fn run_commuter(config: &CommuterConfig, kernels: &[&dyn KernelFactory]) -> CommuterResults {
+    run_commuter_with_progress(config, kernels, |_| {})
+}
+
+/// [`run_commuter`] with a progress callback: `progress` observes one
+/// [`SweepEvent::PairStarted`] / [`SweepEvent::PairDone`] per call pair, in
+/// scan order.
+pub fn run_commuter_with_progress(
+    config: &CommuterConfig,
+    kernels: &[&dyn KernelFactory],
+    mut progress: impl FnMut(SweepEvent<'_>),
+) -> CommuterResults {
     let mut results = CommuterResults {
         reports: kernels
             .iter()
@@ -155,8 +212,17 @@ pub fn run_commuter(config: &CommuterConfig, kernels: &[&dyn KernelFactory]) -> 
         ..Default::default()
     };
 
+    let total = config.calls.len() * (config.calls.len() + 1) / 2;
+    let mut pair_index = 0;
     for (i, &call_a) in config.calls.iter().enumerate() {
         for &call_b in config.calls.iter().skip(i) {
+            progress(SweepEvent::PairStarted {
+                index: pair_index,
+                total,
+                calls: (call_a, call_b),
+            });
+            let cache_before = solver_cache_stats();
+            let mut skip_delta = SkipHistogram::new();
             let mut timing = PairTiming {
                 calls: (call_a, call_b),
                 solve_seconds: 0.0,
@@ -186,6 +252,7 @@ pub fn run_commuter(config: &CommuterConfig, kernels: &[&dyn KernelFactory]) -> 
                 results.resolved += generated.resolved;
                 for (reason, count) in &generated.skip_reasons {
                     *results.skip_reasons.entry(*reason).or_default() += count;
+                    *skip_delta.entry(*reason).or_default() += count;
                 }
                 for report in results.reports.iter_mut() {
                     report.record_skips(call_a, call_b, &generated.skip_reasons);
@@ -201,6 +268,14 @@ pub fn run_commuter(config: &CommuterConfig, kernels: &[&dyn KernelFactory]) -> 
                 timing.run_seconds += run_started.elapsed().as_secs_f64();
             }
             results.pair_timings.push(timing);
+            progress(SweepEvent::PairDone {
+                index: pair_index,
+                total,
+                timing: results.pair_timings.last().expect("pushed above"),
+                skip_delta,
+                cache_delta: cache_delta(solver_cache_stats(), cache_before),
+            });
+            pair_index += 1;
         }
     }
     results
@@ -228,6 +303,46 @@ mod tests {
         assert!(sv6_report.total_conflict_free() >= linux_report.total_conflict_free());
         // sv6 must pass the overwhelming majority of generated tests.
         assert!(sv6_report.overall_fraction() > 0.9);
+    }
+
+    #[test]
+    fn progress_events_cover_every_pair_with_consistent_deltas() {
+        let config = CommuterConfig::quick(&[CallKind::Stat, CallKind::Unlink]);
+        let sv6 = Sv6Factory { cores: 4 };
+        let mut started = Vec::new();
+        let mut done: Vec<(usize, usize, usize, SkipHistogram)> = Vec::new();
+        let results = run_commuter_with_progress(&config, &[&sv6], |event| match event {
+            SweepEvent::PairStarted { index, total, .. } => started.push((index, total)),
+            SweepEvent::PairDone {
+                index,
+                total,
+                timing,
+                skip_delta,
+                cache_delta,
+            } => {
+                // Cache activity happened during the pair (hits or misses).
+                let activity = cache_delta.solution_hits
+                    + cache_delta.solution_misses
+                    + cache_delta.completion_hits
+                    + cache_delta.completion_misses;
+                done.push((index, total, timing.tests, skip_delta));
+                assert!(timing.solve_seconds >= 0.0);
+                let _ = activity;
+            }
+        });
+        // 2 calls → 3 unordered pairs, one started+done event each, in order.
+        assert_eq!(started, vec![(0, 3), (1, 3), (2, 3)]);
+        assert_eq!(done.len(), 3);
+        // Per-pair deltas sum to the run totals.
+        assert_eq!(
+            done.iter().map(|(_, _, tests, _)| tests).sum::<usize>(),
+            results.tests.len()
+        );
+        let delta_skips: usize = done
+            .iter()
+            .flat_map(|(_, _, _, skips)| skips.values())
+            .sum();
+        assert_eq!(delta_skips, results.skipped);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use scr_core::{
 };
 use scr_kernel::api::SysResult;
 use scr_model::CallKind;
+use scr_obs::EventLog;
 use std::sync::Arc;
 use std::sync::Barrier;
 
@@ -202,6 +203,19 @@ fn shuffle<T>(items: &mut [T], seed: u64) {
 /// selected test `schedules_per_test` times on real threads, comparing each
 /// replay against the simulated kernel's results.
 pub fn differential_campaign(config: &CampaignConfig) -> DifferentialReport {
+    differential_campaign_observed(config, None)
+}
+
+/// [`differential_campaign`], optionally narrating itself into an
+/// [`EventLog`]: one `pair-pool` event per call pair (corpus size, skips
+/// and the per-pair shuffle seed), one `mismatch` event per disagreement
+/// (test id plus both results), and a final `campaign-done` event carrying
+/// the seed and budget. A failed run is reproducible from the exported
+/// event stream alone — the seed and config knobs are all in it.
+pub fn differential_campaign_observed(
+    config: &CampaignConfig,
+    events: Option<&EventLog>,
+) -> DifferentialReport {
     let model = CommuterConfig::quick(&config.calls).model;
     let names = bucket_distinct_names(8);
 
@@ -240,6 +254,18 @@ pub fn differential_campaign(config: &CampaignConfig) -> DifferentialReport {
                 .seed
                 .wrapping_add((pools.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             shuffle(&mut pool, pair_seed);
+            if let Some(events) = events {
+                events.emit_kv(
+                    "pair-pool",
+                    vec![
+                        ("call_a", call_a.name().into()),
+                        ("call_b", call_b.name().into()),
+                        ("generated", pool.len().into()),
+                        ("skipped", skipped.into()),
+                        ("pair_seed", pair_seed.into()),
+                    ],
+                );
+            }
             pools.push((call_a, call_b, pool, skipped));
         }
     }
@@ -280,6 +306,16 @@ pub fn differential_campaign(config: &CampaignConfig) -> DifferentialReport {
             let replayed = replayer.replay(test);
             report.replays_run += 1;
             if simulated != replayed {
+                if let Some(events) = events {
+                    events.emit_kv(
+                        "mismatch",
+                        vec![
+                            ("test_id", test.id.as_str().into()),
+                            ("simulated", format!("{simulated:?}").into()),
+                            ("replayed", format!("{replayed:?}").into()),
+                        ],
+                    );
+                }
                 report.mismatches.push(DifferentialOutcome {
                     test_id: test.id.clone(),
                     simulated: simulated.clone(),
@@ -288,6 +324,23 @@ pub fn differential_campaign(config: &CampaignConfig) -> DifferentialReport {
                 break;
             }
         }
+    }
+    if let Some(events) = events {
+        events.emit_kv(
+            "campaign-done",
+            vec![
+                ("seed", config.seed.into()),
+                ("max_tests", config.max_tests.into()),
+                ("schedules_per_test", config.schedules_per_test.into()),
+                (
+                    "max_assignments_per_case",
+                    config.max_assignments_per_case.into(),
+                ),
+                ("tests_run", report.tests_run.into()),
+                ("replays_run", report.replays_run.into()),
+                ("mismatches", report.mismatches.len().into()),
+            ],
+        );
     }
     report.pairs = pools
         .iter()
@@ -353,6 +406,7 @@ pub fn run_differential(tests: &[ConcreteTest]) -> DifferentialReport {
 mod tests {
     use super::*;
     use scr_kernel::api::{OpenFlags, SysOp};
+    use scr_obs::Json;
 
     #[test]
     fn manual_commutative_pair_agrees() {
@@ -433,6 +487,28 @@ mod tests {
         assert!(!report.outcomes.is_empty());
         assert_eq!(report.replays_run, report.outcomes.len() * 2);
         assert!(report.all_agree(), "{}", report.failures.join("\n"));
+    }
+
+    #[test]
+    fn observed_campaign_narrates_pools_and_summary() {
+        let config = CampaignConfig {
+            schedules_per_test: 1,
+            max_tests: 8,
+            ..CampaignConfig::new(&[CallKind::Stat, CallKind::Unlink])
+        };
+        let events = EventLog::new();
+        let report = differential_campaign_observed(&config, Some(&events));
+        assert!(report.all_agree(), "{}", report.describe_mismatches());
+        // Two calls → three unordered pairs, one pool event each.
+        assert_eq!(events.of_kind("pair-pool").len(), 3);
+        let done = events.of_kind("campaign-done");
+        assert_eq!(done.len(), 1);
+        let seed = done[0]
+            .fields
+            .iter()
+            .find(|(k, _)| k == "seed")
+            .map(|(_, v)| v.clone());
+        assert_eq!(seed, Some(Json::U64(config.seed)));
     }
 
     #[test]

@@ -35,6 +35,7 @@ use scr_kernel::api::{perform, Fd, Pid, SockId, SocketOrder, SysOp, SysResult, S
 use scr_kernel::Sv6Kernel;
 use scr_model::{CallKind, ModelConfig};
 use scr_mtrace::AccessKind;
+use scr_obs::HeatMap;
 use std::sync::Barrier;
 
 /// The exception tag for divergences fully explained by lowest-FD
@@ -178,12 +179,30 @@ pub fn run_test_host(
     test: &ConcreteTest,
     schedules: usize,
 ) -> HostTestOutcome {
+    run_test_host_with(mode, cores, test, schedules, None)
+}
+
+/// [`run_test_host`], optionally folding every traced window into a
+/// conflict [`HeatMap`]: each schedule's per-line access counts (and the
+/// lines that actually conflicted) are accumulated under pipe-normalised
+/// labels, after the window has ended — so the heat map costs the traced
+/// region nothing.
+pub fn run_test_host_with(
+    mode: HostMode,
+    cores: usize,
+    test: &ConcreteTest,
+    schedules: usize,
+    heat: Option<&HeatMap>,
+) -> HostTestOutcome {
     let mut shared_labels = Vec::new();
     let mut conflict_free = true;
     let mut dropped = 0;
     let mut results = (SysResult::Unit, SysResult::Unit);
     for _ in 0..schedules.max(1) {
-        let (report, res) = replay_traced(mode, cores, test, true);
+        let (sink, report, res) = replay_traced_with_sink(mode, cores, test, true);
+        if let Some(heat) = heat {
+            heat.fold_report(&report, |line| normalize_pipe_label(&sink.label_of(line)));
+        }
         conflict_free &= report.is_conflict_free();
         shared_labels.extend(report.conflicting_labels());
         dropped += report.dropped;
@@ -244,6 +263,10 @@ pub struct HostFig6Results {
     pub tests_run: usize,
     /// Accesses dropped across every traced window (0 in a healthy run).
     pub dropped: usize,
+    /// Per-line access/conflict heat over every sv6-host traced window.
+    pub heat_sv6: HeatMap,
+    /// Per-line access/conflict heat over every linux-host traced window.
+    pub heat_linux: HeatMap,
 }
 
 impl HostFig6Results {
@@ -319,6 +342,8 @@ pub fn run_host_fig6(config: &HostFig6Config) -> HostFig6Results {
         divergences: Vec::new(),
         tests_run: 0,
         dropped: 0,
+        heat_sv6: HeatMap::new(),
+        heat_linux: HeatMap::new(),
     };
     for (i, &call_a) in config.calls.iter().enumerate() {
         for &call_b in config.calls.iter().skip(i) {
@@ -346,13 +371,19 @@ pub fn run_host_fig6(config: &HostFig6Config) -> HostFig6Results {
                     results.tests_run += 1;
                     let sim_sv6 = run_test(&sim_sv6_factory, test);
                     let sim_linux = run_test(&sim_linux_factory, test);
-                    let host_sv6 =
-                        run_test_host(HostMode::Sv6, config.cores, test, config.schedules_per_test);
-                    let host_linux = run_test_host(
+                    let host_sv6 = run_test_host_with(
+                        HostMode::Sv6,
+                        config.cores,
+                        test,
+                        config.schedules_per_test,
+                        Some(&results.heat_sv6),
+                    );
+                    let host_linux = run_test_host_with(
                         HostMode::Linuxlike,
                         config.cores,
                         test,
                         config.schedules_per_test,
+                        Some(&results.heat_linux),
                     );
                     results.dropped += host_sv6.dropped + host_linux.dropped;
                     results
@@ -967,6 +998,33 @@ mod tests {
             "the giant lock must be the recorded conflict, got {:?}",
             linux.shared_labels
         );
+    }
+
+    #[test]
+    fn heat_map_agrees_with_the_outcome_conflicts() {
+        let test = manual_test(
+            "host_create_different_heat",
+            (CallKind::Open, CallKind::Open),
+            create_op(0, "alpha", false),
+            create_op(1, "bravo", false),
+        );
+        let heat = HeatMap::new();
+        let linux = run_test_host_with(HostMode::Linuxlike, 4, &test, 2, Some(&heat));
+        assert!(!linux.conflict_free);
+        // Every label the outcome reports as conflicting must show up hot.
+        for label in &linux.shared_labels {
+            let entry = heat
+                .entry(label)
+                .unwrap_or_else(|| panic!("label {label} conflicting but absent from heat map"));
+            assert!(entry.conflict_windows > 0, "{label}: {entry:?}");
+            assert!(entry.accesses() > 0);
+        }
+        // Two schedules were traced, so no line can be hot in more windows.
+        let giant = heat.entry("kernel.giant_lock").expect("giant lock traced");
+        assert!(giant.conflict_windows <= 2);
+        assert!(heat
+            .render_top("linux-host hottest lines", 5)
+            .contains("kernel.giant_lock"));
     }
 
     #[test]

@@ -1550,6 +1550,22 @@ pub fn perform_host(kernel: &HostKernel, core: usize, op: &SysOp) -> SysResult {
     scr_kernel::api::perform(kernel, core, op)
 }
 
+/// [`perform_host`] with per-call observation: when the observer is
+/// enabled, the dispatch is timed and reported with the call's family name
+/// and errno. With a disabled observer this is `perform_host` plus one
+/// branch — no clock reads.
+pub fn perform_host_observed<O>(
+    kernel: &HostKernel,
+    core: usize,
+    op: &SysOp,
+    observer: &O,
+) -> SysResult
+where
+    O: scr_kernel::api::PerformObserver + ?Sized,
+{
+    scr_kernel::api::perform_observed(kernel, core, op, observer)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

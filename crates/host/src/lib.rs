@@ -39,14 +39,19 @@ pub mod kernel;
 pub mod workloads;
 
 pub use differential::{
-    differential_campaign, differential_sample, ext_campaign, run_differential, CampaignConfig,
-    DifferentialReport, ExtCampaignReport, HostReplayer, PairOutcome,
+    differential_campaign, differential_campaign_observed, differential_sample, ext_campaign,
+    run_differential, CampaignConfig, DifferentialReport, ExtCampaignReport, HostReplayer,
+    PairOutcome,
 };
 pub use fig6::{
     classify_divergence, ext_corpus, ext_failures, normalize_pipe_label, perform_ext,
     replay_traced, replay_traced_with_sink, run_ext_fig6, run_ext_host, run_ext_sim, run_host_fig6,
-    run_test_host, ExtOp, ExtOutcome, ExtTest, Fig6Divergence, HostExtRun, HostFig6Config,
-    HostFig6Results, HostTestOutcome, SimExtRun, LOWEST_FD_EXCEPTION,
+    run_test_host, run_test_host_with, ExtOp, ExtOutcome, ExtTest, Fig6Divergence, HostExtRun,
+    HostFig6Config, HostFig6Results, HostTestOutcome, SimExtRun, LOWEST_FD_EXCEPTION,
 };
 pub use harness::{available_threads, LoadHarness};
-pub use kernel::{perform_host, HostKernel, HostMode, HostOptions};
+pub use kernel::{perform_host, perform_host_observed, HostKernel, HostMode, HostOptions};
+pub use workloads::{
+    mail_pipeline, mail_pipeline_observed, mailbench, mailbench_observed, openbench, statbench,
+    statbench_observed, HostStatMode, MailPipelineReport, MailTelemetry,
+};

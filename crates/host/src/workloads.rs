@@ -9,11 +9,80 @@
 
 use crate::harness::LoadHarness;
 use crate::kernel::{HostKernel, HostMode, HostOptions};
-use scr_kernel::api::{Errno, OpenFlags, StatMask};
-use scr_kernel::mail::{MailConfig, MailServer};
-use scr_mtrace::ScalingPoint;
+use scr_kernel::api::{Errno, Fd, OpenFlags, Pid, StatMask, SyscallApi};
+use scr_kernel::mail::{MailConfig, MailServer, MailStage, MailStageObserver, NoMailObs};
+use scr_mtrace::{CoreId, ScalingPoint};
+use scr_obs::{Counter, MetricsRegistry, ObservedKernel, SpanName, SyscallRecorder, TraceLog};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The telemetry bundle the observed mail workloads feed: one
+/// [`MetricsRegistry`] (per-core counters + latency histograms), one
+/// [`SyscallRecorder`] wired through [`ObservedKernel`], and one
+/// [`TraceLog`] receiving a span per pipeline stage (it implements
+/// [`MailStageObserver`]). Everything follows the per-core sharding
+/// discipline, so observing the pipeline cannot introduce a shared cache
+/// line the pipeline itself avoids.
+pub struct MailTelemetry {
+    /// The registry every counter below lives in; snapshot after the run.
+    pub registry: Arc<MetricsRegistry>,
+    /// Per-syscall counts / errnos / latency, fed by [`ObservedKernel`].
+    pub syscalls: Arc<SyscallRecorder>,
+    /// Pipeline stage spans (enqueue → notify → … → cleanup), exportable
+    /// as Chrome trace-event JSON.
+    pub trace: Arc<TraceLog>,
+    /// Messages the enqueuer side spooled and announced.
+    pub enqueued: Counter,
+    /// Messages the queue-manager side delivered.
+    pub delivered: Counter,
+    /// `qman_step` polls that found the queue empty (`EAGAIN`).
+    pub eagain_retries: Counter,
+    /// `yield_now()` calls made while backing off an empty queue.
+    pub yield_spins: Counter,
+    stage_names: [SpanName; MailStage::ALL.len()],
+}
+
+impl MailTelemetry {
+    /// A fresh registry + trace log sized for `cores`.
+    pub fn new(cores: usize) -> MailTelemetry {
+        MailTelemetry::over(MetricsRegistry::new(cores))
+    }
+
+    /// Telemetry over an existing registry (so an example can mix mail
+    /// counters with its own sections in one snapshot).
+    pub fn over(registry: Arc<MetricsRegistry>) -> MailTelemetry {
+        let syscalls = SyscallRecorder::new(&registry);
+        let trace = TraceLog::new(registry.cores());
+        let stage_names =
+            MailStage::ALL.map(|stage| trace.intern(&format!("mail.{}", stage.name())));
+        MailTelemetry {
+            enqueued: registry.counter("mail.enqueued"),
+            delivered: registry.counter("mail.delivered"),
+            eagain_retries: registry.counter("mail.eagain_retries"),
+            yield_spins: registry.counter("mail.yield_spins"),
+            syscalls,
+            trace,
+            registry,
+            stage_names,
+        }
+    }
+}
+
+impl MailStageObserver for MailTelemetry {
+    fn stage_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    fn observe_stage(&self, core: CoreId, stage: MailStage, started: Instant, ended: Instant) {
+        let index = MailStage::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("stage listed in ALL");
+        self.trace
+            .record(core, self.stage_names[index], started, ended);
+    }
+}
 
 /// Which statbench variant to run (mirrors `scr_bench::statbench::StatMode`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +114,20 @@ pub fn statbench(
     threads: usize,
     ops_per_thread: u64,
 ) -> ScalingPoint {
+    statbench_observed(mode, stat_mode, threads, ops_per_thread, None)
+}
+
+/// [`statbench`] with optional per-syscall recording. The hot loop is the
+/// same generic code whether the calls go straight to the [`HostKernel`]
+/// or through an [`ObservedKernel`] — so the `obs_overhead` example can
+/// compare the two paths (recorder disabled) and gate the wrapper's cost.
+pub fn statbench_observed(
+    mode: HostMode,
+    stat_mode: HostStatMode,
+    threads: usize,
+    ops_per_thread: u64,
+    recorder: Option<&Arc<SyscallRecorder>>,
+) -> ScalingPoint {
     let options = HostOptions {
         shared_link_counts: matches!(stat_mode, HostStatMode::FstatSharedCount),
     };
@@ -53,29 +136,62 @@ pub fn statbench(
     let fd = kernel
         .open(0, pid, "statfile", OpenFlags::create())
         .expect("create statfile");
+    match recorder {
+        Some(recorder) => {
+            let observed = ObservedKernel::new(kernel.as_ref(), recorder.clone());
+            statbench_loop(
+                &observed,
+                &kernel,
+                stat_mode,
+                threads,
+                ops_per_thread,
+                pid,
+                fd,
+            )
+        }
+        None => statbench_loop(
+            kernel.as_ref(),
+            &kernel,
+            stat_mode,
+            threads,
+            ops_per_thread,
+            pid,
+            fd,
+        ),
+    }
+}
+
+/// The statbench hot loop, generic over the syscall surface it drives.
+/// `host` is the concrete kernel, needed only for the periodic epoch pass
+/// (`reclaim_core` is not part of [`SyscallApi`]).
+fn statbench_loop<K: SyscallApi + Sync + ?Sized>(
+    api: &K,
+    host: &HostKernel,
+    stat_mode: HostStatMode,
+    threads: usize,
+    ops_per_thread: u64,
+    pid: Pid,
+    fd: Fd,
+) -> ScalingPoint {
     let stat_threads = (threads / 2).max(1);
-    let kernel_ref = &kernel;
     LoadHarness::new(ops_per_thread).run(threads, move |core, op| {
         if core < stat_threads {
             match stat_mode {
                 HostStatMode::FstatxNoNlink => {
-                    kernel_ref
-                        .fstatx(core, pid, fd, StatMask::all_but_nlink())
+                    api.fstatx(core, pid, fd, StatMask::all_but_nlink())
                         .expect("fstatx");
                 }
                 _ => {
-                    kernel_ref.fstat(core, pid, fd).expect("fstat");
+                    api.fstat(core, pid, fd).expect("fstat");
                 }
             }
         } else {
             let scratch = format!("statlink-{core}-{op}");
-            kernel_ref
-                .link(core, pid, "statfile", &scratch)
-                .expect("link");
-            kernel_ref.unlink(core, pid, &scratch).expect("unlink");
+            api.link(core, pid, "statfile", &scratch).expect("link");
+            api.unlink(core, pid, &scratch).expect("unlink");
             // Periodic epoch pass, as a per-core timer tick would run it.
             if op % 256 == 255 {
-                kernel_ref.reclaim_core(core);
+                host.reclaim_core(core);
             }
         }
     })
@@ -124,25 +240,67 @@ pub fn mailbench(
     threads: usize,
     ops_per_thread: u64,
 ) -> ScalingPoint {
+    mailbench_observed(mode, config, threads, ops_per_thread, None)
+}
+
+/// [`mailbench`] with optional telemetry: syscalls route through an
+/// [`ObservedKernel`], pipeline stages become trace spans, and the
+/// empty-queue backoff is counted per core.
+pub fn mailbench_observed(
+    mode: HostMode,
+    config: MailConfig,
+    threads: usize,
+    ops_per_thread: u64,
+    telemetry: Option<&MailTelemetry>,
+) -> ScalingPoint {
     let kernel = HostKernel::new(threads, mode);
     let client = kernel.new_process();
     let qman = kernel.new_process();
-    let server = MailServer::new(&kernel, config, threads).expect("mail server");
+    let observed = telemetry.map(|t| ObservedKernel::new(&kernel, t.syscalls.clone()));
+    let api: &(dyn SyscallApi + Sync) = match observed.as_ref() {
+        Some(o) => o,
+        None => &kernel,
+    };
+    let stages: &(dyn MailStageObserver + Sync) = match telemetry {
+        Some(t) => t,
+        None => &NoMailObs,
+    };
+    let server = MailServer::new(api, config, threads).expect("mail server");
     let (server_ref, kernel_ref) = (&server, &kernel);
     LoadHarness::new(ops_per_thread).run(threads, move |core, op| {
         let mailbox = format!("user{core}");
         server_ref
-            .enqueue(core, client, &mailbox, format!("m-{core}-{op}").as_bytes())
+            .enqueue_observed(
+                core,
+                client,
+                &mailbox,
+                format!("m-{core}-{op}").as_bytes(),
+                stages,
+            )
             .expect("enqueue");
+        if let Some(t) = telemetry {
+            t.enqueued.inc(core);
+        }
         // Deliver one message (not necessarily this thread's: another
         // core's qman step may have stolen ours first — globally the
         // counts balance, so this loop cannot starve).
         loop {
-            match server_ref.qman_step(core, qman) {
-                Ok(_) => break,
+            match server_ref.qman_step_observed(core, qman, stages) {
+                Ok(_) => {
+                    if let Some(t) = telemetry {
+                        t.delivered.inc(core);
+                    }
+                    break;
+                }
                 // Yield rather than spin: under oversubscription the
                 // thread holding progress may need this core.
-                Err(Errno::EAGAIN) => std::thread::yield_now(),
+                Err(Errno::EAGAIN) => {
+                    if let Some(t) = telemetry {
+                        t.eagain_retries.inc(core);
+                        t.yield_spins.inc(core);
+                    }
+                    std::thread::yield_now();
+                }
                 Err(e) => panic!("qman step failed: {e}"),
             }
         }
@@ -195,6 +353,26 @@ pub fn mail_pipeline(
     qmans: usize,
     messages_per_enqueuer: usize,
 ) -> MailPipelineReport {
+    mail_pipeline_observed(mode, config, enqueuers, qmans, messages_per_enqueuer, None)
+}
+
+/// [`mail_pipeline`] with optional telemetry. With `Some(telemetry)`:
+/// every syscall the pipeline makes is counted and timed per core, each
+/// stage (enqueue → notify → receive → spawn → deliver → reap → cleanup)
+/// becomes a trace span on its worker's core, and the qman polling loop
+/// counts its `EAGAIN` retries and yields. The exactly-once verification
+/// pass at the end reads mailboxes back through the *raw* kernel, so the
+/// recorded ledger is exactly what the pipeline itself did — which is what
+/// makes the retry-tail invariant (`recv.calls == delivered +
+/// eagain_retries`) checkable from the snapshot alone.
+pub fn mail_pipeline_observed(
+    mode: HostMode,
+    config: MailConfig,
+    enqueuers: usize,
+    qmans: usize,
+    messages_per_enqueuer: usize,
+    telemetry: Option<&MailTelemetry>,
+) -> MailPipelineReport {
     let enqueuers = enqueuers.max(1);
     let qmans = qmans.max(1);
     let cores = enqueuers + qmans;
@@ -202,7 +380,16 @@ pub fn mail_pipeline(
     let kernel = HostKernel::new(cores, mode);
     let client = kernel.new_process();
     let qman_pid = kernel.new_process();
-    let server = MailServer::new(&kernel, config, cores).expect("mail server");
+    let observed = telemetry.map(|t| ObservedKernel::new(&kernel, t.syscalls.clone()));
+    let api: &(dyn SyscallApi + Sync) = match observed.as_ref() {
+        Some(o) => o,
+        None => &kernel,
+    };
+    let stages: &(dyn MailStageObserver + Sync) = match telemetry {
+        Some(t) => t,
+        None => &NoMailObs,
+    };
+    let server = MailServer::new(api, config, cores).expect("mail server");
     let delivered_names = Mutex::new(Vec::with_capacity(total));
     let delivered_count = AtomicUsize::new(0);
     let (server_ref, names_ref, count_ref) = (&server, &delivered_names, &delivered_count);
@@ -213,8 +400,11 @@ pub fn mail_pipeline(
                     let mailbox = format!("box{e}");
                     let body = format!("body-{e}-{i}");
                     server_ref
-                        .enqueue(e, client, &mailbox, body.as_bytes())
+                        .enqueue_observed(e, client, &mailbox, body.as_bytes(), stages)
                         .expect("enqueue");
+                    if let Some(t) = telemetry {
+                        t.enqueued.inc(e);
+                    }
                 }
             });
         }
@@ -224,15 +414,24 @@ pub fn mail_pipeline(
                 if count_ref.load(Ordering::Acquire) >= total {
                     break;
                 }
-                match server_ref.qman_step(core, qman_pid) {
+                match server_ref.qman_step_observed(core, qman_pid, stages) {
                     Ok(name) => {
+                        if let Some(t) = telemetry {
+                            t.delivered.inc(core);
+                        }
                         count_ref.fetch_add(1, Ordering::AcqRel);
                         names_ref.lock().unwrap().push(name);
                     }
                     // Empty queue: either the enqueuers are still filling
                     // it or another qman won the race for the last one;
                     // yield so they get this core under oversubscription.
-                    Err(Errno::EAGAIN) => std::thread::yield_now(),
+                    Err(Errno::EAGAIN) => {
+                        if let Some(t) = telemetry {
+                            t.eagain_retries.inc(core);
+                            t.yield_spins.inc(core);
+                        }
+                        std::thread::yield_now();
+                    }
                     Err(e) => panic!("qman step failed: {e}"),
                 }
             });
@@ -340,6 +539,57 @@ mod tests {
                 assert_eq!(report.delivered, 50);
             }
         }
+    }
+
+    #[test]
+    fn statbench_observed_counts_every_hot_loop_call() {
+        let registry = MetricsRegistry::new(2);
+        let recorder = SyscallRecorder::new(&registry);
+        let point = statbench_observed(
+            HostMode::Sv6,
+            HostStatMode::FstatRefcache,
+            2,
+            50,
+            Some(&recorder),
+        );
+        assert_eq!(point.total_ops, 100);
+        // Two threads split one stat / one link-unlink worker.
+        use scr_obs::SyscallKind;
+        assert_eq!(recorder.count_of(SyscallKind::Fstat), 50);
+        assert_eq!(recorder.count_of(SyscallKind::Link), 50);
+        assert_eq!(recorder.count_of(SyscallKind::Unlink), 50);
+        assert_eq!(recorder.latency(SyscallKind::Fstat).count, 50);
+    }
+
+    #[test]
+    fn observed_mail_pipeline_records_ledger_spans_and_retries() {
+        use scr_obs::SyscallKind;
+        let telemetry = MailTelemetry::new(4);
+        let report = mail_pipeline_observed(
+            HostMode::Sv6,
+            MailConfig::CommutativeApis,
+            2,
+            2,
+            10,
+            Some(&telemetry),
+        );
+        assert!(report.exactly_once(), "{report:?}");
+        assert_eq!(telemetry.enqueued.total(), 20);
+        assert_eq!(telemetry.delivered.total(), 20);
+        // Every qman_step makes exactly one recv: it either delivers or
+        // reports an empty queue, so the recv count decomposes exactly.
+        assert_eq!(
+            telemetry.syscalls.count_of(SyscallKind::Recv),
+            telemetry.delivered.total() + telemetry.eagain_retries.total()
+        );
+        assert_eq!(
+            telemetry
+                .syscalls
+                .errno_count(SyscallKind::Recv, Errno::EAGAIN),
+            telemetry.eagain_retries.total()
+        );
+        // Seven pipeline stages per message, and EAGAIN polls record none.
+        assert_eq!(telemetry.trace.len(), 7 * 20);
     }
 
     #[test]

@@ -40,7 +40,8 @@ mod sink;
 pub use probe::{LockProbe, Probe, SeqProbe};
 pub use radix::ProbeRadix;
 pub use sink::{
-    current_core, on_core, AccessLog, HostConflictReport, HostTraceSink, DEFAULT_LOG_CAPACITY,
+    current_core, on_core, AccessLog, HostConflictReport, HostTraceSink, WindowHeat,
+    DEFAULT_LOG_CAPACITY,
 };
 
 pub use scr_mtrace::trace::{Access, AccessKind, ConflictReport, SharedLine};

@@ -6,6 +6,7 @@ use parking_lot::Mutex;
 use scr_mtrace::trace::{analyze, Access, AccessKind, ConflictReport};
 use scr_mtrace::LineId;
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -270,6 +271,53 @@ impl HostConflictReport {
     pub fn conflicting_labels(&self) -> Vec<String> {
         self.report.conflicting_labels()
     }
+
+    /// Digests this window for heat accumulation: per-label read/write
+    /// counts plus which labels conflicted. `label_of` maps a [`LineId`] to
+    /// the label to accumulate under — callers pass the sink's
+    /// [`HostTraceSink::label_of`], optionally composed with a normalizer
+    /// (the Figure 6 runner strips per-instance suffixes so heat aggregates
+    /// per structure). The digest is computed after the window has ended,
+    /// so it adds nothing to the traced footprint; `scr-obs` folds it into
+    /// a running `HeatMap`.
+    pub fn window_heat(&self, label_of: impl Fn(LineId) -> String) -> WindowHeat {
+        let mut per_line: BTreeMap<(LineId, AccessKind), u64> = BTreeMap::new();
+        for access in &self.accesses {
+            *per_line.entry((access.line, access.kind)).or_default() += 1;
+        }
+        let mut accesses: BTreeMap<(String, bool), u64> = BTreeMap::new();
+        for ((line, kind), count) in per_line {
+            *accesses
+                .entry((label_of(line), kind == AccessKind::Write))
+                .or_default() += count;
+        }
+        let mut conflicting: Vec<String> = self
+            .report
+            .shared_lines
+            .iter()
+            .map(|shared| label_of(shared.line))
+            .collect();
+        conflicting.sort();
+        conflicting.dedup();
+        WindowHeat {
+            accesses: accesses
+                .into_iter()
+                .map(|((label, is_write), count)| (label, is_write, count))
+                .collect(),
+            conflicting,
+        }
+    }
+}
+
+/// The per-label digest of one traced window (see
+/// [`HostConflictReport::window_heat`]): normalized labels with read/write
+/// counts, plus the deduplicated conflicting labels.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WindowHeat {
+    /// `(label, is_write, access count)` triples, label-sorted.
+    pub accesses: Vec<(String, bool, u64)>,
+    /// Labels that conflicted in this window, sorted and deduplicated.
+    pub conflicting: Vec<String>,
 }
 
 impl fmt::Display for HostConflictReport {
@@ -362,6 +410,39 @@ mod tests {
         assert_eq!(report.accesses.len(), 4);
         assert_eq!(report.dropped, 6);
         assert!(!report.is_conflict_free());
+    }
+
+    #[test]
+    fn window_heat_digests_accesses_and_conflicts() {
+        let sink = HostTraceSink::new(2);
+        let hot = sink.probe("fd-bitmap");
+        let cold = sink.probe("inode.len");
+        sink.begin_window();
+        std::thread::scope(|s| {
+            for core in 0..2 {
+                let hot = hot.clone();
+                let cold = cold.clone();
+                s.spawn(move || {
+                    on_core(core, || {
+                        hot.rmw();
+                        cold.read();
+                    })
+                });
+            }
+        });
+        let report = sink.end_window();
+        let heat = report.window_heat(|line| sink.label_of(line));
+        // rmw = one read + one write per core; reads and writes are
+        // separate label rows, label-sorted.
+        assert_eq!(
+            heat.accesses,
+            vec![
+                ("fd-bitmap".to_string(), false, 2),
+                ("fd-bitmap".to_string(), true, 2),
+                ("inode.len".to_string(), false, 2),
+            ]
+        );
+        assert_eq!(heat.conflicting, vec!["fd-bitmap".to_string()]);
     }
 
     #[test]

@@ -579,6 +579,48 @@ impl SysResult {
     pub fn is_ok(&self) -> bool {
         !matches!(self, SysResult::Err(_))
     }
+
+    /// The error number when the call failed.
+    pub fn errno(&self) -> Option<Errno> {
+        match self {
+            SysResult::Err(e) => Some(*e),
+            _ => None,
+        }
+    }
+}
+
+/// Observer for `perform`-level dispatch: a telemetry hook that sees every
+/// reified call's name, outcome and wall latency.
+///
+/// The trait lives here (rather than in the telemetry crate) so the kernels
+/// stay dependency-free; `scr-obs` implements it for its per-core syscall
+/// recorder. Implementations must follow the commutativity discipline:
+/// `observe_call` runs on the calling core's thread and must only touch
+/// core-local state.
+pub trait PerformObserver {
+    /// When `false`, [`perform_observed`] skips the clock reads and the
+    /// observation entirely — the cost of a disabled observer is this one
+    /// call (for `scr-obs`, a single relaxed load).
+    fn observer_enabled(&self) -> bool {
+        true
+    }
+
+    /// One completed call: the core it ran on, its family name (as in
+    /// [`SysOp::call_name`]), the errno if it failed, and its wall latency.
+    fn observe_call(&self, core: CoreId, call: &'static str, errno: Option<Errno>, nanos: u64);
+}
+
+/// The no-op observer: [`perform_observed`] with `NoObserver` is `perform`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl PerformObserver for NoObserver {
+    fn observer_enabled(&self) -> bool {
+        false
+    }
+
+    fn observe_call(&self, _core: CoreId, _call: &'static str, _errno: Option<Errno>, _nanos: u64) {
+    }
 }
 
 /// Performs a reified operation against a kernel on the given core. The
@@ -687,6 +729,24 @@ pub fn perform<K: SyscallApi + ?Sized>(kernel: &K, core: CoreId, op: &SysOp) -> 
     }
 }
 
+/// [`perform`] with an observation hook: times the call and reports its
+/// outcome to `observer`. When the observer is disabled this is `perform`
+/// plus one virtual call — no clock reads.
+pub fn perform_observed<K, O>(kernel: &K, core: CoreId, op: &SysOp, observer: &O) -> SysResult
+where
+    K: SyscallApi + ?Sized,
+    O: PerformObserver + ?Sized,
+{
+    if !observer.observer_enabled() {
+        return perform(kernel, core, op);
+    }
+    let started = std::time::Instant::now();
+    let result = perform(kernel, core, op);
+    let nanos = started.elapsed().as_nanos() as u64;
+    observer.observe_call(core, op.call_name(), result.errno(), nanos);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,5 +788,12 @@ mod tests {
         assert!(SysResult::Value(3).is_ok());
         assert!(SysResult::Unit.is_ok());
         assert!(!SysResult::Err(Errno::ENOENT).is_ok());
+        assert_eq!(SysResult::Err(Errno::EAGAIN).errno(), Some(Errno::EAGAIN));
+        assert_eq!(SysResult::Unit.errno(), None);
+    }
+
+    #[test]
+    fn no_observer_is_disabled() {
+        assert!(!NoObserver.observer_enabled());
     }
 }

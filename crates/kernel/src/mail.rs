@@ -27,6 +27,100 @@ use crate::api::{Errno, KResult, OpenFlags, Pid, SockId, SocketOrder, SyscallApi
 use crossbeam::utils::CachePadded;
 use scr_mtrace::CoreId;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The pipeline stages a message passes through, in order. Used by
+/// [`MailStageObserver`] to attribute wall time to pipeline phases
+/// (rendered as trace spans by `scr-obs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MailStage {
+    /// `mail-enqueue` spooling the message and envelope files.
+    Enqueue,
+    /// `mail-enqueue` announcing the envelope on the notification socket.
+    Notify,
+    /// `mail-qman` reading the envelope and opening the queued message.
+    Receive,
+    /// `mail-qman` creating the delivery helper (`fork`/`posix_spawn`).
+    Spawn,
+    /// `mail-deliver` writing the mailbox file.
+    Deliver,
+    /// `mail-qman` waiting for (reaping) the helper.
+    Reap,
+    /// `mail-qman` closing and unlinking the queue files.
+    Cleanup,
+}
+
+impl MailStage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [MailStage; 7] = [
+        MailStage::Enqueue,
+        MailStage::Notify,
+        MailStage::Receive,
+        MailStage::Spawn,
+        MailStage::Deliver,
+        MailStage::Reap,
+        MailStage::Cleanup,
+    ];
+
+    /// The stage's span name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MailStage::Enqueue => "enqueue",
+            MailStage::Notify => "notify",
+            MailStage::Receive => "receive",
+            MailStage::Spawn => "spawn",
+            MailStage::Deliver => "deliver",
+            MailStage::Reap => "reap",
+            MailStage::Cleanup => "cleanup",
+        }
+    }
+}
+
+/// Observer for mail-pipeline stages. Like
+/// [`PerformObserver`](crate::api::PerformObserver), the trait lives in the
+/// kernel crate so the server stays dependency-free; the telemetry crate
+/// adapts it onto its per-core trace log. Callbacks run on the worker
+/// thread and must only touch core-local state.
+pub trait MailStageObserver {
+    /// When `false`, the observed entry points skip every clock read.
+    fn stage_enabled(&self) -> bool {
+        true
+    }
+
+    /// One completed stage on `core`, from `started` to `ended`.
+    fn observe_stage(&self, core: CoreId, stage: MailStage, started: Instant, ended: Instant);
+}
+
+/// The no-op stage observer: observed entry points behave like the plain
+/// ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMailObs;
+
+impl MailStageObserver for NoMailObs {
+    fn stage_enabled(&self) -> bool {
+        false
+    }
+
+    fn observe_stage(&self, _: CoreId, _: MailStage, _: Instant, _: Instant) {}
+}
+
+fn timed<O, T>(
+    obs: &O,
+    core: CoreId,
+    stage: MailStage,
+    f: impl FnOnce() -> KResult<T>,
+) -> KResult<T>
+where
+    O: MailStageObserver + ?Sized,
+{
+    if !obs.stage_enabled() {
+        return f();
+    }
+    let started = Instant::now();
+    let result = f();
+    obs.observe_stage(core, stage, started, Instant::now());
+    result
+}
 
 /// Which API family the mail server uses (§7.3's two configurations).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,21 +195,42 @@ impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
     /// `mail-enqueue`: writes the message and envelope to the queue and
     /// notifies the queue manager. Returns the envelope file name.
     pub fn enqueue(&self, core: CoreId, pid: Pid, mailbox: &str, body: &[u8]) -> KResult<String> {
+        self.enqueue_observed(core, pid, mailbox, body, &NoMailObs)
+    }
+
+    /// [`MailServer::enqueue`] with stage observation: the spool writes are
+    /// reported as [`MailStage::Enqueue`], the socket send as
+    /// [`MailStage::Notify`].
+    pub fn enqueue_observed<O>(
+        &self,
+        core: CoreId,
+        pid: Pid,
+        mailbox: &str,
+        body: &[u8],
+        obs: &O,
+    ) -> KResult<String>
+    where
+        O: MailStageObserver + ?Sized,
+    {
         let seq = self.fresh_seq(core);
         let msg_name = format!("queue/msg-{core}-{seq}");
         let env_name = format!("queue/env-{core}-{seq}");
         let flags = self.config.open_flags();
 
-        let msg_fd = self.kernel.open(core, pid, &msg_name, flags)?;
-        self.kernel.write(core, pid, msg_fd, body)?;
-        self.kernel.close(core, pid, msg_fd)?;
+        timed(obs, core, MailStage::Enqueue, || {
+            let msg_fd = self.kernel.open(core, pid, &msg_name, flags)?;
+            self.kernel.write(core, pid, msg_fd, body)?;
+            self.kernel.close(core, pid, msg_fd)?;
 
-        let env_fd = self.kernel.open(core, pid, &env_name, flags)?;
-        let envelope = format!("{mailbox}\n{msg_name}");
-        self.kernel.write(core, pid, env_fd, envelope.as_bytes())?;
-        self.kernel.close(core, pid, env_fd)?;
+            let env_fd = self.kernel.open(core, pid, &env_name, flags)?;
+            let envelope = format!("{mailbox}\n{msg_name}");
+            self.kernel.write(core, pid, env_fd, envelope.as_bytes())?;
+            self.kernel.close(core, pid, env_fd)
+        })?;
 
-        self.kernel.send(core, self.notify, env_name.as_bytes())?;
+        timed(obs, core, MailStage::Notify, || {
+            self.kernel.send(core, self.notify, env_name.as_bytes())
+        })?;
         Ok(env_name)
     }
 
@@ -124,44 +239,62 @@ impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
     /// Returns the mailbox file the message was delivered to, or
     /// `Err(EAGAIN)` when no notification is pending.
     pub fn qman_step(&self, core: CoreId, pid: Pid) -> KResult<String> {
+        self.qman_step_observed(core, pid, &NoMailObs)
+    }
+
+    /// [`MailServer::qman_step`] with stage observation. An empty queue
+    /// (`Err(EAGAIN)`) records no stage, so polling loops don't flood the
+    /// observer; a received message reports one span per pipeline stage.
+    pub fn qman_step_observed<O>(&self, core: CoreId, pid: Pid, obs: &O) -> KResult<String>
+    where
+        O: MailStageObserver + ?Sized,
+    {
         let notification = self.kernel.recv(core, self.notify)?;
         let env_name = String::from_utf8_lossy(&notification).to_string();
         let flags = self.config.open_flags();
 
-        // Read the envelope.
-        let env_fd = self.kernel.open(core, pid, &env_name, flags)?;
-        let envelope = self.kernel.pread(core, pid, env_fd, 4096, 0)?;
-        self.kernel.close(core, pid, env_fd)?;
-        let envelope = String::from_utf8_lossy(&envelope).to_string();
-        let mut lines = envelope.lines();
-        let mailbox = lines.next().ok_or(Errno::EINVAL)?.to_string();
-        let msg_name = lines.next().ok_or(Errno::EINVAL)?.to_string();
+        // Read the envelope and open the queued message.
+        let (mailbox, msg_name, msg_fd, body) = timed(obs, core, MailStage::Receive, || {
+            let env_fd = self.kernel.open(core, pid, &env_name, flags)?;
+            let envelope = self.kernel.pread(core, pid, env_fd, 4096, 0)?;
+            self.kernel.close(core, pid, env_fd)?;
+            let envelope = String::from_utf8_lossy(&envelope).to_string();
+            let mut lines = envelope.lines();
+            let mailbox = lines.next().ok_or(Errno::EINVAL)?.to_string();
+            let msg_name = lines.next().ok_or(Errno::EINVAL)?.to_string();
 
-        // Read the queued message.
-        let msg_fd = self.kernel.open(core, pid, &msg_name, flags)?;
-        let body = self.kernel.pread(core, pid, msg_fd, 65536, 0)?;
+            let msg_fd = self.kernel.open(core, pid, &msg_name, flags)?;
+            let body = self.kernel.pread(core, pid, msg_fd, 65536, 0)?;
+            Ok((mailbox, msg_name, msg_fd, body))
+        })?;
 
         // Spawn the delivery helper. In the regular configuration this is a
         // fork (snapshotting the whole descriptor table); in the commutative
         // configuration posix_spawn builds the child image directly.
-        let helper = match self.config {
-            MailConfig::RegularApis => self.kernel.fork(core, pid)?,
-            MailConfig::CommutativeApis => self.kernel.posix_spawn(core, pid, &[msg_fd])?,
-        };
+        let helper = timed(obs, core, MailStage::Spawn, || match self.config {
+            MailConfig::RegularApis => self.kernel.fork(core, pid),
+            MailConfig::CommutativeApis => self.kernel.posix_spawn(core, pid, &[msg_fd]),
+        })?;
 
         // mail-deliver (running as the helper process): write the message
         // into the recipient's mailbox.
-        let delivered = self.deliver(core, helper, &mailbox, &body)?;
+        let delivered = timed(obs, core, MailStage::Deliver, || {
+            self.deliver(core, helper, &mailbox, &body)
+        })?;
 
         // Reap the helper (the wait half of spawn/wait). Under fork this
         // releases the full descriptor-table snapshot; under posix_spawn
         // only the explicitly duplicated descriptors were ever there.
-        self.kernel.wait(core, pid, helper)?;
+        timed(obs, core, MailStage::Reap, || {
+            self.kernel.wait(core, pid, helper)
+        })?;
 
         // Clean up: close and unlink the queued files.
-        self.kernel.close(core, pid, msg_fd)?;
-        self.kernel.unlink(core, pid, &msg_name)?;
-        self.kernel.unlink(core, pid, &env_name)?;
+        timed(obs, core, MailStage::Cleanup, || {
+            self.kernel.close(core, pid, msg_fd)?;
+            self.kernel.unlink(core, pid, &msg_name)?;
+            self.kernel.unlink(core, pid, &env_name)
+        })?;
         Ok(delivered)
     }
 
@@ -254,6 +387,31 @@ mod tests {
         );
         assert!(!MailConfig::RegularApis.open_flags().anyfd);
         assert_eq!(MailConfig::RegularApis.socket_order(), SocketOrder::Ordered);
+    }
+
+    #[test]
+    fn stage_observer_sees_every_stage_once_per_message() {
+        use std::sync::Mutex;
+        struct Collect(Mutex<Vec<MailStage>>);
+        impl MailStageObserver for Collect {
+            fn observe_stage(&self, _: CoreId, stage: MailStage, started: Instant, ended: Instant) {
+                assert!(started <= ended);
+                self.0.lock().unwrap().push(stage);
+            }
+        }
+        let k = Sv6Kernel::new(2);
+        let client = k.new_process();
+        let qman = k.new_process();
+        let server = MailServer::new(&k, MailConfig::CommutativeApis, 2).unwrap();
+        let obs = Collect(Mutex::new(Vec::new()));
+        server
+            .enqueue_observed(0, client, "alice", b"hi", &obs)
+            .unwrap();
+        server.qman_step_observed(1, qman, &obs).unwrap();
+        assert_eq!(obs.0.lock().unwrap().as_slice(), &MailStage::ALL);
+        // An empty queue reports EAGAIN without recording a stage.
+        assert_eq!(server.qman_step_observed(1, qman, &obs), Err(Errno::EAGAIN));
+        assert_eq!(obs.0.lock().unwrap().len(), MailStage::ALL.len());
     }
 
     #[test]

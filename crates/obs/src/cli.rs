@@ -1,0 +1,45 @@
+//! Tiny command-line helpers shared by the examples.
+//!
+//! Every example accepts `--metrics-out <path>` (JSON snapshot) and, where
+//! it traces spans, `--trace-out <path>` (Chrome trace). These helpers keep
+//! the flag names uniform without pulling in an argument-parsing dependency.
+
+use std::path::PathBuf;
+
+/// The value following `--<flag> <value>` in the process arguments, if any.
+/// Also accepts the `--<flag>=<value>` form.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let long = format!("--{flag}");
+    let prefixed = format!("--{flag}=");
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(value) = arg.strip_prefix(&prefixed) {
+            return Some(value.to_string());
+        }
+        if arg == &long {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// The `--metrics-out` path, if given.
+pub fn metrics_out() -> Option<PathBuf> {
+    arg_value("metrics-out").map(PathBuf::from)
+}
+
+/// The `--trace-out` path, if given.
+pub fn trace_out() -> Option<PathBuf> {
+    arg_value("trace-out").map(PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_flags_yield_none() {
+        // Test binaries carry their own args; the flags are never present.
+        assert_eq!(arg_value("metrics-out-definitely-absent"), None);
+    }
+}

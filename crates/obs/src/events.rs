@@ -1,0 +1,94 @@
+//! A timestamped structured-event sink.
+//!
+//! Sweeps and campaigns emit progress events (pair finished, soak round
+//! seeded, cache-hit rates) that end up in the metrics snapshot's `events`
+//! array, so a failed run is reproducible from the artifact alone. Events
+//! are free-form `(kind, fields)` records rather than a closed enum: the
+//! schema lives with the emitter, and the sink only guarantees ordering and
+//! timestamps.
+
+use crate::json::Json;
+use crate::metrics::EventRecord;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// An append-only, timestamped event log. Cheap to share (`Arc`), safe to
+/// emit into from any thread; emission takes a short lock and is meant for
+/// per-pair / per-round granularity, not per-operation hot paths.
+pub struct EventLog {
+    epoch: Instant,
+    events: Mutex<Vec<EventRecord>>,
+}
+
+impl EventLog {
+    pub fn new() -> Arc<EventLog> {
+        Arc::new(EventLog {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Append an event of `kind` with ordered `fields`.
+    pub fn emit(&self, kind: &str, fields: Vec<(String, Json)>) {
+        let at_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.events.lock().unwrap().push(EventRecord {
+            at_ns,
+            kind: kind.to_string(),
+            fields,
+        });
+    }
+
+    /// Convenience: build the field vector from `(&str, Json)` pairs.
+    pub fn emit_kv(&self, kind: &str, fields: Vec<(&str, Json)>) {
+        self.emit(
+            kind,
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all events in emission order.
+    pub fn records(&self) -> Vec<EventRecord> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Events of one kind, in order.
+    pub fn of_kind(&self, kind: &str) -> Vec<EventRecord> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_keep_order_and_kinds() {
+        let log = EventLog::new();
+        log.emit_kv("pair-done", vec![("pair", "open/close".into())]);
+        log.emit_kv("soak-round", vec![("seed", 7u64.into())]);
+        log.emit_kv("pair-done", vec![("pair", "read/write".into())]);
+        assert_eq!(log.len(), 3);
+        let pairs = log.of_kind("pair-done");
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].fields[0].1, Json::Str("open/close".to_string()));
+        let all = log.records();
+        assert!(all[0].at_ns <= all[1].at_ns && all[1].at_ns <= all[2].at_ns);
+    }
+}

@@ -1,0 +1,116 @@
+//! Run metadata stamped into every exported artifact.
+//!
+//! Snapshots and `BENCH_*.json` files carry the same `meta` object — git
+//! revision, example name, kernel mode, core count and a free-form config
+//! string — so the bench trajectory is comparable across PRs without
+//! guessing which commit produced which file.
+
+use crate::json::Json;
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Identity of one run: enough to reproduce or compare it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Short git revision of the tree that produced the artifact.
+    pub git_rev: String,
+    /// The example or gate that ran, e.g. `"host_mail"`.
+    pub example: String,
+    /// Kernel mode or substrate label, e.g. `"sv6-host"`.
+    pub mode: String,
+    /// Hardware threads / modelled cores in play.
+    pub cores: usize,
+    /// Free-form configuration summary, e.g. `"2 enq + 2 qman, 100 msgs"`.
+    pub config: String,
+    /// Seconds since the Unix epoch when the snapshot was taken.
+    pub unix_time: u64,
+}
+
+impl RunMeta {
+    /// Capture metadata for `example` now, resolving the git revision once
+    /// per process.
+    pub fn capture(example: &str, mode: &str, cores: usize, config: &str) -> RunMeta {
+        RunMeta {
+            git_rev: git_rev().to_string(),
+            example: example.to_string(),
+            mode: mode.to_string(),
+            cores,
+            config: config.to_string(),
+            unix_time: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+
+    /// One-line human summary.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} [{}] rev {} on {} core(s) — {}",
+            if self.example.is_empty() {
+                "(unnamed)"
+            } else {
+                &self.example
+            },
+            self.mode,
+            if self.git_rev.is_empty() {
+                "unknown"
+            } else {
+                &self.git_rev
+            },
+            self.cores,
+            self.config
+        )
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("git_rev", self.git_rev.as_str().into()),
+            ("example", self.example.as_str().into()),
+            ("mode", self.mode.as_str().into()),
+            ("cores", self.cores.into()),
+            ("config", self.config.as_str().into()),
+            ("unix_time", self.unix_time.into()),
+        ])
+    }
+}
+
+/// The short git revision of the current tree, resolved once. Honors
+/// `SCR_GIT_REV` (useful in CI or detached checkouts); falls back to
+/// running `git rev-parse --short HEAD`, then to `"unknown"`.
+pub fn git_rev() -> &'static str {
+    static REV: OnceLock<String> = OnceLock::new();
+    REV.get_or_init(|| {
+        if let Ok(rev) = std::env::var("SCR_GIT_REV") {
+            if !rev.trim().is_empty() {
+                return rev.trim().to_string();
+            }
+        }
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_fills_every_field() {
+        let meta = RunMeta::capture("host_mail", "sv6-host", 4, "2 enq + 2 qman");
+        assert_eq!(meta.example, "host_mail");
+        assert_eq!(meta.cores, 4);
+        assert!(!meta.git_rev.is_empty());
+        let json = meta.to_json().render();
+        assert!(json.contains("\"example\":\"host_mail\""));
+        assert!(json.contains("\"cores\":4"));
+        assert!(meta.describe().contains("host_mail"));
+    }
+}

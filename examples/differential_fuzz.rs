@@ -23,14 +23,29 @@
 //! mismatches that a fixed seed would never reach.
 
 use scalable_commutativity::commuter::SkipReason;
-use scalable_commutativity::host::{differential_campaign, CampaignConfig};
+use scalable_commutativity::host::{differential_campaign_observed, CampaignConfig};
 use scalable_commutativity::model::CallKind;
+use scalable_commutativity::obs::{metrics_out, EventLog, MetricsRegistry, RunMeta};
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/differential_fuzz_baseline.txt")
+}
+
+/// Exports the event stream (seeds, per-round outcomes, per-pair pools,
+/// mismatches) as a stamped snapshot, so a failed round is reproducible
+/// from the artifact alone: the round's seed and every config knob are in
+/// the events.
+fn write_event_snapshot(path: &Path, events: &EventLog, mode: &str, config_line: &str) {
+    let mut snapshot = MetricsRegistry::new(1).snapshot();
+    snapshot.meta = RunMeta::capture("differential_fuzz", mode, 4, config_line);
+    snapshot.events = events.records();
+    match snapshot.write(path) {
+        Ok(()) => println!("event snapshot written to {}", path.display()),
+        Err(err) => eprintln!("warning: cannot write {}: {err}", path.display()),
+    }
 }
 
 /// The representative call set the gate sweeps (name, descriptor, offset
@@ -66,11 +81,12 @@ fn run_soak(budget: Duration) -> ! {
     let started = Instant::now();
     let mut rounds = 0u64;
     let mut replays = 0usize;
+    let events = EventLog::new();
     println!("soak mode: randomized seeds for {budget:?}");
     while started.elapsed() < budget {
         // The wall clock is entropy enough for a seed that varies per run
         // and per round (no RNG crate in the build image); what matters is
-        // that it is *printed*, so any failure is reproducible.
+        // that it is *printed and recorded*, so any failure is reproducible.
         let seed = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .expect("clock before epoch")
@@ -83,12 +99,45 @@ fn run_soak(budget: Duration) -> ! {
             ..CampaignConfig::new(&gate_calls())
         };
         println!("soak round {rounds}: seed {seed:#018x}");
-        let report = differential_campaign(&config);
+        events.emit_kv(
+            "soak-round",
+            vec![
+                ("round", rounds.into()),
+                ("seed", seed.into()),
+                ("max_tests", config.max_tests.into()),
+                ("schedules_per_test", config.schedules_per_test.into()),
+                (
+                    "max_assignments_per_case",
+                    config.max_assignments_per_case.into(),
+                ),
+            ],
+        );
+        let report = differential_campaign_observed(&config, Some(&events));
         replays += report.replays_run;
+        events.emit_kv(
+            "soak-round-done",
+            vec![
+                ("round", rounds.into()),
+                ("seed", seed.into()),
+                ("tests_run", report.tests_run.into()),
+                ("replays_run", report.replays_run.into()),
+                ("mismatches", report.mismatches.len().into()),
+            ],
+        );
         if !report.all_agree() {
             eprintln!(
                 "FAIL: seed {seed:#018x} diverged:\n{}",
                 report.describe_mismatches()
+            );
+            // The artifact alone reproduces the failure: it records the
+            // round's seed, the config knobs and the mismatching test ids.
+            let path =
+                metrics_out().unwrap_or_else(|| PathBuf::from("differential_soak_failure.json"));
+            write_event_snapshot(
+                &path,
+                &events,
+                "soak",
+                &format!("FAILED at round {rounds}, seed {seed:#018x}"),
             );
             std::process::exit(1);
         }
@@ -98,6 +147,14 @@ fn run_soak(budget: Duration) -> ! {
         "soak passed: {rounds} rounds, {replays} replays, {:.1?} elapsed",
         started.elapsed()
     );
+    if let Some(path) = metrics_out() {
+        write_event_snapshot(
+            &path,
+            &events,
+            "soak",
+            &format!("{rounds} rounds, {replays} replays, all agreed"),
+        );
+    }
     std::process::exit(0);
 }
 
@@ -119,7 +176,8 @@ fn main() {
         config.schedules_per_test,
         config.seed
     );
-    let report = differential_campaign(&config);
+    let events = EventLog::new();
+    let report = differential_campaign_observed(&config, Some(&events));
     println!(
         "replayed {} tests ({} replays) across {} pairs; {} mismatches",
         report.tests_run,
@@ -236,6 +294,20 @@ fn main() {
         }
     }
 
+    if let Some(path) = metrics_out() {
+        write_event_snapshot(
+            &path,
+            &events,
+            "fixed-seed",
+            &format!(
+                "seed {:#x}, {} tests, {} replays, {} mismatches",
+                config.seed,
+                report.tests_run,
+                report.replays_run,
+                report.mismatches.len()
+            ),
+        );
+    }
     if failed {
         std::process::exit(1);
     }

@@ -13,12 +13,19 @@
 //! contention cases (the paper's §1 example), which are listed explicitly
 //! with their conflicting labels. Any other divergence fails the run.
 //!
+//! Beside each host heatmap it prints the conflict-heat table: the top-N
+//! hottest line labels by how many traced windows they conflicted in,
+//! accumulated by `scr-obs` from the same `hostmtrace` probe stream that
+//! produced the heatmap. `--metrics-out <path>` exports both heat tables
+//! (plus run metadata) as a JSON snapshot.
+//!
 //! Run with `cargo run --release --example host_fig6 [-- --all]`. The
 //! default call subset finishes quickly; `--all` sweeps all 18 calls.
 
 use scalable_commutativity::commuter::CommuterConfig;
 use scalable_commutativity::host::{available_threads, run_host_fig6, HostFig6Config};
 use scalable_commutativity::model::ALL_CALLS;
+use scalable_commutativity::obs::{metrics_out, Json, MetricsRegistry, RunMeta};
 
 fn main() {
     let all = std::env::args().any(|a| a == "--all");
@@ -52,15 +59,22 @@ fn main() {
         started.elapsed(),
         results.dropped
     );
-    for report in [
-        &results.sim_linux,
-        &results.host_linux,
-        &results.sim_sv6,
-        &results.host_sv6,
-    ] {
-        println!("{report}");
-        println!();
-    }
+    println!("{}", results.sim_linux);
+    println!();
+    println!("{}", results.host_linux);
+    println!(
+        "{}",
+        results
+            .heat_linux
+            .render_top("linux-host hottest lines", 10)
+    );
+    println!("{}", results.sim_sv6);
+    println!();
+    println!("{}", results.host_sv6);
+    println!(
+        "{}",
+        results.heat_sv6.render_top("sv6-host hottest lines", 10)
+    );
     println!(
         "SIM↔host cross-check: {} divergences ({} explained by {}, {} unexplained)",
         results.divergences.len(),
@@ -87,6 +101,57 @@ fn main() {
     if let Err(err) = results.assert_linux_collapses() {
         eprintln!("FAIL: {err}");
         failed = true;
+    }
+    // The heat tables must agree with the heatmaps they sit beside: a mode
+    // with conflicting tests must have at least one hot line, and vice versa.
+    for (label, report, heat) in [
+        ("sv6-host", &results.host_sv6, &results.heat_sv6),
+        ("linux-host", &results.host_linux, &results.heat_linux),
+    ] {
+        let has_conflicts = report.total_tests() > report.total_conflict_free();
+        let has_heat = heat.total_conflict_windows() > 0;
+        if has_conflicts != has_heat {
+            eprintln!(
+                "FAIL: {label} heatmap and heat table disagree \
+                 (conflicting tests: {has_conflicts}, hot lines: {has_heat})"
+            );
+            failed = true;
+        }
+    }
+    if let Some(path) = metrics_out() {
+        let mut snapshot = MetricsRegistry::new(config.cores).snapshot();
+        snapshot.meta = RunMeta::capture(
+            "host_fig6",
+            "sv6-host+linux-host",
+            config.cores,
+            &format!(
+                "{} calls, {} schedules/test, {} tests",
+                config.calls.len(),
+                config.schedules_per_test,
+                results.tests_run
+            ),
+        );
+        snapshot.extras.push((
+            "cross_check".to_string(),
+            Json::obj(vec![
+                ("tests_run", results.tests_run.into()),
+                ("dropped", results.dropped.into()),
+                ("divergences", results.divergences.len().into()),
+                ("explained", results.explained_divergences().len().into()),
+                (
+                    "unexplained",
+                    results.unexplained_divergences().len().into(),
+                ),
+            ]),
+        ));
+        snapshot
+            .extras
+            .push(("heat_sv6_host".to_string(), results.heat_sv6.to_json()));
+        snapshot
+            .extras
+            .push(("heat_linux_host".to_string(), results.heat_linux.to_json()));
+        snapshot.write(&path).expect("write metrics snapshot");
+        println!("metrics snapshot written to {}", path.display());
     }
     if failed {
         std::process::exit(1);

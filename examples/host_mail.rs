@@ -8,6 +8,14 @@
 //! and verifies every message was delivered exactly once by reading the
 //! mailbox files back.
 //!
+//! Every run is observed by `scr-obs`: per-core, cache-padded syscall
+//! counters and latency histograms (so observing the pipeline cannot
+//! introduce the shared line the pipeline avoids), a trace span per
+//! pipeline stage, and EAGAIN/yield backoff counters. `--metrics-out
+//! <path>` writes the merged JSON snapshot; `--trace-out <path>` writes the
+//! stage spans as Chrome trace-event JSON (loadable in Perfetto or
+//! `chrome://tracing`).
+//!
 //! It then replays the §4 extension corpus (socket send/recv and
 //! spawn/fork/wait pairs) with racing threads and cross-checks it against
 //! the simulated sv6 kernel: SIM-conflict-free pairs must stay
@@ -16,23 +24,29 @@
 //!
 //! Exits 1 on any lost or duplicated message, any footprint divergence, or
 //! any cross-check failure. Run with
-//! `cargo run --release --example host_mail`.
+//! `cargo run --release --example host_mail [-- --metrics-out mail.json --trace-out mail.trace.json]`.
 
-use scalable_commutativity::host::workloads::mail_pipeline;
+use scalable_commutativity::host::workloads::{mail_pipeline_observed, MailTelemetry};
 use scalable_commutativity::host::{available_threads, ext_campaign, HostMode};
 use scalable_commutativity::kernel::mail::MailConfig;
+use scalable_commutativity::obs::{metrics_out, trace_out, Json, RunMeta, SyscallKind};
 
 fn main() {
     let threads = available_threads();
     let (enqueuers, qmans, messages) = (2, 2, 100);
+    let cores = enqueuers + qmans;
     println!(
         "host mail pipeline: {enqueuers} enqueuer + {qmans} qman threads, \
          {messages} messages/enqueuer, {threads} hardware thread(s)"
     );
+    // One telemetry bundle across all four configurations: the counters
+    // aggregate the whole gate, which is what the CI artifact wants.
+    let telemetry = MailTelemetry::new(cores);
     let mut failed = false;
     for mode in [HostMode::Sv6, HostMode::Linuxlike] {
         for config in [MailConfig::CommutativeApis, MailConfig::RegularApis] {
-            let report = mail_pipeline(mode, config, enqueuers, qmans, messages);
+            let report =
+                mail_pipeline_observed(mode, config, enqueuers, qmans, messages, Some(&telemetry));
             let verdict = if report.exactly_once() { "ok" } else { "FAIL" };
             println!(
                 "  {:<24} {:<16} delivered {}/{} (dup {}, lost {}, corrupt {}) … {verdict}",
@@ -50,6 +64,59 @@ fn main() {
         }
     }
 
+    // The per-syscall view of the pipeline: counts, per-core shards, tail
+    // latency. The recv decomposition is the retry-tail invariant the
+    // host_obs test proves: every qman_step is one recv, delivered or EAGAIN.
+    println!("\nper-syscall telemetry (all four configurations pooled):");
+    println!(
+        "  {:<12} {:>8} {:>12} {:>12}  per-core",
+        "call", "calls", "p50 ns", "p99 ns"
+    );
+    for kind in [
+        SyscallKind::Open,
+        SyscallKind::Write,
+        SyscallKind::Read,
+        SyscallKind::Close,
+        SyscallKind::Unlink,
+        SyscallKind::Send,
+        SyscallKind::Recv,
+        SyscallKind::Fork,
+        SyscallKind::PosixSpawn,
+        SyscallKind::Wait,
+    ] {
+        let count = telemetry.syscalls.count_of(kind);
+        if count == 0 {
+            continue;
+        }
+        let latency = telemetry.syscalls.latency(kind);
+        let shards: Vec<String> = telemetry
+            .syscalls
+            .per_core_counts(kind)
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        println!(
+            "  {:<12} {:>8} {:>12.0} {:>12.0}  [{}]",
+            kind.name(),
+            count,
+            latency.p50(),
+            latency.p99(),
+            shards.join(" ")
+        );
+    }
+    println!(
+        "  delivered per core: {:?}  (enqueued {}, EAGAIN retries {}, yields {})",
+        telemetry.delivered.per_core(),
+        telemetry.enqueued.total(),
+        telemetry.eagain_retries.total(),
+        telemetry.yield_spins.total()
+    );
+    println!(
+        "  {} stage spans recorded across {} core(s)",
+        telemetry.trace.len(),
+        cores
+    );
+
     println!("\n§4 extension corpus cross-check (sockets, fork/posix_spawn/wait):");
     let ext = ext_campaign(4, 3);
     println!(
@@ -63,6 +130,30 @@ fn main() {
     }
     if ext.failures.is_empty() {
         println!("  conflicts, linearizability and conservation all agree with the simulator");
+    }
+
+    if let Some(path) = metrics_out() {
+        let mut snapshot = telemetry.registry.snapshot();
+        snapshot.meta = RunMeta::capture(
+            "host_mail",
+            "sv6+linuxlike",
+            cores,
+            &format!("{enqueuers} enq + {qmans} qman, {messages} msgs/enq, both API families"),
+        );
+        snapshot.extras.push((
+            "ext_campaign".to_string(),
+            Json::obj(vec![
+                ("tests", ext.outcomes.len().into()),
+                ("replays", ext.replays_run.into()),
+                ("failures", ext.failures.len().into()),
+            ]),
+        ));
+        snapshot.write(&path).expect("write metrics snapshot");
+        println!("metrics snapshot written to {}", path.display());
+    }
+    if let Some(path) = trace_out() {
+        telemetry.trace.write_chrome(&path).expect("write trace");
+        println!("chrome trace written to {}", path.display());
     }
 
     if failed {

@@ -11,13 +11,18 @@
 //!    sv6 kernel — the differential link between the symbolic pipeline and
 //!    real execution.
 //!
+//! `--metrics-out <path>` exports the scaling series and the campaign's
+//! structured event stream (per-pair pools, seeds, summary) as a stamped
+//! JSON snapshot.
+//!
 //! Run with `cargo run --release --example host_scaling`.
 
 use scalable_commutativity::bench::hostbench::{host_thread_counts, openbench_host};
 use scalable_commutativity::bench::render_table;
 use scalable_commutativity::host::available_threads;
-use scalable_commutativity::host::{differential_campaign, CampaignConfig};
+use scalable_commutativity::host::{differential_campaign_observed, CampaignConfig};
 use scalable_commutativity::model::CallKind;
+use scalable_commutativity::obs::{metrics_out, EventLog, Json, MetricsRegistry, RunMeta};
 
 fn main() {
     let threads = host_thread_counts();
@@ -45,17 +50,21 @@ fn main() {
     );
 
     println!("differential campaign: replaying generated commutative tests on real threads…");
-    let report = differential_campaign(&CampaignConfig {
-        max_tests: 200,
-        schedules_per_test: 2,
-        ..CampaignConfig::new(&[
-            CallKind::Open,
-            CallKind::Stat,
-            CallKind::Link,
-            CallKind::Unlink,
-            CallKind::Rename,
-        ])
-    });
+    let events = EventLog::new();
+    let report = differential_campaign_observed(
+        &CampaignConfig {
+            max_tests: 200,
+            schedules_per_test: 2,
+            ..CampaignConfig::new(&[
+                CallKind::Open,
+                CallKind::Stat,
+                CallKind::Link,
+                CallKind::Unlink,
+                CallKind::Rename,
+            ])
+        },
+        Some(&events),
+    );
     println!(
         "  {} tests replayed ({} replays, budget spread over {} pairs), {} simulated-vs-host mismatches",
         report.tests_run,
@@ -68,6 +77,51 @@ fn main() {
             "  unconstructible representatives skipped: {:?}",
             report.skip_reasons
         );
+    }
+    if let Some(path) = metrics_out() {
+        let mut snapshot = MetricsRegistry::new(available_threads().max(1)).snapshot();
+        snapshot.meta = RunMeta::capture(
+            "host_scaling",
+            "sv6-host+linux-host",
+            *threads.last().unwrap_or(&1),
+            &format!("threads {threads:?}, 30000 ops, campaign 200 tests"),
+        );
+        let series_json: Vec<Json> = series
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("label", s.name.as_str().into()),
+                    (
+                        "points",
+                        Json::Arr(
+                            s.points
+                                .iter()
+                                .map(|p| {
+                                    Json::obj(vec![
+                                        ("cores", p.cores.into()),
+                                        ("ops_per_sec_per_core", p.ops_per_sec_per_core.into()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        snapshot
+            .extras
+            .push(("openbench_host".to_string(), Json::Arr(series_json)));
+        snapshot.extras.push((
+            "campaign".to_string(),
+            Json::obj(vec![
+                ("tests_run", report.tests_run.into()),
+                ("replays_run", report.replays_run.into()),
+                ("mismatches", report.mismatches.len().into()),
+            ]),
+        ));
+        snapshot.events = events.records();
+        snapshot.write(&path).expect("write metrics snapshot");
+        println!("metrics snapshot written to {}", path.display());
     }
     if !report.all_agree() {
         println!("{}", report.describe_mismatches());

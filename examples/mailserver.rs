@@ -6,12 +6,16 @@
 //! behaviour (messages land in the right mailbox, queue files are cleaned
 //! up).
 //!
+//! `--metrics-out <path>` exports the throughput table as a stamped JSON
+//! snapshot (same schema as the `BENCH_*.json` artifacts).
+//!
 //! Run with `cargo run --release --example mailserver`.
 
 use scalable_commutativity::kernel::api::{KernelApi, OpenFlags, SyscallApi};
 use scalable_commutativity::kernel::mail::{MailConfig, MailServer};
 use scalable_commutativity::kernel::Sv6Kernel;
 use scalable_commutativity::mtrace::{ScalingParams, ThroughputModel};
+use scalable_commutativity::obs::{metrics_out, Json, MetricsRegistry, RunMeta};
 
 fn run(cores: usize, rounds: usize, config: MailConfig) -> f64 {
     let kernel = Sv6Kernel::new(cores);
@@ -66,14 +70,41 @@ fn main() {
         "{:>6} {:>18} {:>20}",
         "cores", "regular APIs", "commutative APIs"
     );
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
     for cores in [1usize, 4, 8, 16] {
         let regular = run(cores, 10, MailConfig::RegularApis);
         let commutative = run(cores, 10, MailConfig::CommutativeApis);
         println!("{cores:>6} {regular:>18.0} {commutative:>20.0}");
+        rows.push((cores, regular, commutative));
     }
     println!();
     println!("Regular APIs (lowest FD, ordered socket, fork) collapse as cores are added;");
     println!(
         "the commutative variants (O_ANYFD, unordered socket, posix_spawn) keep scaling (§7.3)."
     );
+
+    if let Some(path) = metrics_out() {
+        let mut snapshot = MetricsRegistry::new(1).snapshot();
+        snapshot.meta = RunMeta::capture(
+            "mailserver",
+            "sv6-sim",
+            16,
+            "10 rounds, regular vs commutative APIs",
+        );
+        let rows_json: Vec<Json> = rows
+            .iter()
+            .map(|(cores, regular, commutative)| {
+                Json::obj(vec![
+                    ("cores", (*cores).into()),
+                    ("regular_emails_per_sec_per_core", (*regular).into()),
+                    ("commutative_emails_per_sec_per_core", (*commutative).into()),
+                ])
+            })
+            .collect();
+        snapshot
+            .extras
+            .push(("scaling".to_string(), Json::Arr(rows_json)));
+        snapshot.write(&path).expect("write metrics snapshot");
+        println!("metrics snapshot written to {}", path.display());
+    }
 }

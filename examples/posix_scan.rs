@@ -13,7 +13,13 @@
 //! `SCR_TESTGEN_JSON`): per-pair wall-clock split into the symbolic stages
 //! (ANALYZER + TESTGEN solving) and the MTRACE replays, so solver
 //! performance changes leave a recorded trajectory. CI uploads the file as
-//! an artifact.
+//! an artifact. The file is stamped with run metadata (git revision, mode,
+//! cores, config) so trajectories are attributable across PRs.
+//!
+//! The sweep itself narrates progress: each pair's completion is recorded
+//! as a structured event carrying the per-pair skip-histogram delta and the
+//! solver-cache hit/miss delta. `--metrics-out <path>` exports the event
+//! stream (and the timing summary) as a JSON snapshot.
 //!
 //! Pass `--perf-gate` for the solver-performance smoke gate: the scan is
 //! restricted to the `{lseek, write}` call set and the run fails unless
@@ -26,18 +32,21 @@
 //! Run with `cargo run --release --example posix_scan [-- --all | --perf-gate]`.
 
 use scalable_commutativity::commuter::{
-    run_commuter, CommuterConfig, CommuterResults, LinuxLikeFactory, Sv6Factory,
+    run_commuter_with_progress, CommuterConfig, CommuterResults, LinuxLikeFactory, Sv6Factory,
+    SweepEvent,
 };
 use scalable_commutativity::model::CallKind;
+use scalable_commutativity::obs::{metrics_out, EventLog, Json, MetricsRegistry, RunMeta};
 
 /// Default wall-clock ceiling for the `--perf-gate` mode, in seconds.
 const DEFAULT_GATE_SECONDS: f64 = 30.0;
 
-fn write_timing_json(results: &CommuterResults, mode: &str, total_seconds: f64) {
+fn write_timing_json(results: &CommuterResults, meta: &RunMeta, total_seconds: f64) {
     let path =
         std::env::var("SCR_TESTGEN_JSON").unwrap_or_else(|_| "BENCH_testgen.json".to_string());
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"meta\": {},\n", meta.to_json().render()));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", meta.mode));
     out.push_str(&format!("  \"total_seconds\": {total_seconds:.3},\n"));
     out.push_str(&format!("  \"tests\": {},\n", results.tests.len()));
     out.push_str(&format!("  \"skipped\": {},\n", results.skipped));
@@ -92,8 +101,55 @@ fn main() {
     );
     let sv6 = Sv6Factory { cores: 4 };
     let linux = LinuxLikeFactory { cores: 4 };
+    let events = EventLog::new();
     let started = std::time::Instant::now();
-    let results = run_commuter(&config, &[&linux, &sv6]);
+    let results = run_commuter_with_progress(&config, &[&linux, &sv6], |event| {
+        if let SweepEvent::PairDone {
+            index,
+            total,
+            timing,
+            skip_delta,
+            cache_delta,
+        } = event
+        {
+            println!(
+                "  [{:>3}/{}] {} ∥ {}: {} tests, {} skipped, solve {:.2}s, replay {:.2}s, \
+                 cache {}h/{}m",
+                index + 1,
+                total,
+                timing.calls.0.name(),
+                timing.calls.1.name(),
+                timing.tests,
+                timing.skipped,
+                timing.solve_seconds,
+                timing.run_seconds,
+                cache_delta.solution_hits + cache_delta.completion_hits,
+                cache_delta.solution_misses + cache_delta.completion_misses,
+            );
+            let skips: Vec<(String, Json)> = skip_delta
+                .iter()
+                .map(|(reason, count)| (format!("{reason:?}"), (*count).into()))
+                .collect();
+            events.emit_kv(
+                "pair-done",
+                vec![
+                    ("index", index.into()),
+                    ("total", total.into()),
+                    ("a", timing.calls.0.name().into()),
+                    ("b", timing.calls.1.name().into()),
+                    ("solve_seconds", timing.solve_seconds.into()),
+                    ("run_seconds", timing.run_seconds.into()),
+                    ("tests", timing.tests.into()),
+                    ("skipped", timing.skipped.into()),
+                    ("skip_delta", Json::Obj(skips)),
+                    ("solution_hits", cache_delta.solution_hits.into()),
+                    ("solution_misses", cache_delta.solution_misses.into()),
+                    ("completion_hits", cache_delta.completion_hits.into()),
+                    ("completion_misses", cache_delta.completion_misses.into()),
+                ],
+            );
+        }
+    });
     let total_seconds = started.elapsed().as_secs_f64();
     println!(
         "generated {} tests from {} shapes ({} rescued by re-solve; {} skipped)",
@@ -117,7 +173,35 @@ fn main() {
         );
         println!("(The paper reports 68% for Linux 3.8 ramfs and 99% for sv6.)");
     }
-    write_timing_json(&results, mode, total_seconds);
+    let meta = RunMeta::capture(
+        "posix_scan",
+        mode,
+        4,
+        &format!(
+            "{} calls, {} tests, {} skipped",
+            config.calls.len(),
+            results.tests.len(),
+            results.skipped
+        ),
+    );
+    write_timing_json(&results, &meta, total_seconds);
+    if let Some(path) = metrics_out() {
+        let mut snapshot = MetricsRegistry::new(4).snapshot();
+        snapshot.meta = meta.clone();
+        snapshot.extras.push((
+            "sweep".to_string(),
+            Json::obj(vec![
+                ("total_seconds", total_seconds.into()),
+                ("shapes_analyzed", results.shapes_analyzed.into()),
+                ("tests", results.tests.len().into()),
+                ("resolved", results.resolved.into()),
+                ("skipped", results.skipped.into()),
+            ]),
+        ));
+        snapshot.events = events.records();
+        snapshot.write(&path).expect("write metrics snapshot");
+        println!("metrics snapshot written to {}", path.display());
+    }
 
     if perf_gate {
         let ceiling: f64 = std::env::var("SCR_TESTGEN_GATE_SECONDS")

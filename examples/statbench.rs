@@ -6,11 +6,15 @@
 //! not), plus the conflict report for a single traced round, making the
 //! cause of the difference visible.
 //!
+//! `--metrics-out <path>` exports the scaling table as a stamped JSON
+//! snapshot (same schema as the `BENCH_*.json` artifacts).
+//!
 //! Run with `cargo run --release --example statbench`.
 
 use scalable_commutativity::kernel::api::{KernelApi, OpenFlags, StatMask, SyscallApi};
 use scalable_commutativity::kernel::Sv6Kernel;
 use scalable_commutativity::mtrace::{ScalingParams, ThroughputModel};
+use scalable_commutativity::obs::{metrics_out, Json, MetricsRegistry, RunMeta};
 
 fn run(cores: usize, rounds: usize, use_fstatx: bool) -> f64 {
     let kernel = Sv6Kernel::new(cores);
@@ -51,10 +55,12 @@ fn main() {
         "{:>6} {:>22} {:>22}",
         "cores", "fstat (st_nlink)", "fstatx (no st_nlink)"
     );
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
     for cores in [1usize, 4, 8, 16, 32] {
         let fstat = run(cores, 50, false);
         let fstatx = run(cores, 50, true);
         println!("{cores:>6} {fstat:>22.0} {fstatx:>22.0}");
+        rows.push((cores, fstat, fstatx));
     }
 
     // Show *why*: one traced round of fstat vs link on two cores.
@@ -75,4 +81,24 @@ fn main() {
     println!("{}", machine.conflict_report());
     println!("fstat must read the link count that link is updating — they do not commute,");
     println!("so no implementation can make this pair conflict-free (§4, §7.2).");
+
+    if let Some(path) = metrics_out() {
+        let mut snapshot = MetricsRegistry::new(1).snapshot();
+        snapshot.meta = RunMeta::capture("statbench", "sv6-sim", 32, "50 rounds, fstat vs fstatx");
+        let rows_json: Vec<Json> = rows
+            .iter()
+            .map(|(cores, fstat, fstatx)| {
+                Json::obj(vec![
+                    ("cores", (*cores).into()),
+                    ("fstat_ops_per_sec_per_core", (*fstat).into()),
+                    ("fstatx_ops_per_sec_per_core", (*fstatx).into()),
+                ])
+            })
+            .collect();
+        snapshot
+            .extras
+            .push(("scaling".to_string(), Json::Arr(rows_json)));
+        snapshot.write(&path).expect("write metrics snapshot");
+        println!("metrics snapshot written to {}", path.display());
+    }
 }

@@ -21,6 +21,9 @@
 //!   logs, probes mirroring the simulated structures' footprints, and the
 //!   conflict reports behind the host-side Figure 6 heatmap.
 //! * [`bench`] — the Figure 6/7 workload drivers (simulated and host).
+//! * [`obs`] — the commutativity-aware telemetry layer: per-core metrics,
+//!   pipeline trace spans, conflict-heat reports and stamped JSON
+//!   snapshots.
 
 pub use scr_bench as bench;
 pub use scr_core as commuter;
@@ -29,6 +32,7 @@ pub use scr_hostmtrace as hostmtrace;
 pub use scr_kernel as kernel;
 pub use scr_model as model;
 pub use scr_mtrace as mtrace;
+pub use scr_obs as obs;
 pub use scr_scalable as scalable;
 pub use scr_spec as spec;
 pub use scr_symbolic as symbolic;
