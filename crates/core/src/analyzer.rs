@@ -169,6 +169,7 @@ mod tests {
             fds_per_proc: 2,
             file_pages: 2,
             vm_pages: 2,
+            ..ModelConfig::default()
         }
     }
 

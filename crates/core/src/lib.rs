@@ -28,8 +28,8 @@ pub mod testgen;
 
 pub use analyzer::{analyze_pair, CommutativeCase, PairAnalysis};
 pub use driver::{
-    differential_check, run_test, ConcreteReplayer, DifferentialOutcome, KernelFactory,
-    LinuxLikeFactory, Sv6Factory, TestOutcome,
+    differential_check, run_test, run_test_order, ConcreteReplayer, DifferentialOutcome,
+    KernelFactory, LinuxLikeFactory, Sv6Factory, TestOutcome,
 };
 pub use pipeline::{
     run_commuter, run_commuter_with_progress, CommuterConfig, CommuterResults, PairTiming,
@@ -39,5 +39,5 @@ pub use report::{Figure6Report, PairCell};
 pub use shapes::{enumerate_shapes, PairShape};
 pub use testgen::{
     generate_tests, solver_cache_clear, solver_cache_stats, ConcreteTest, GeneratedTests,
-    SkipHistogram, SkipReason, SolverCacheStats,
+    SkipHistogram, SkipReason, SolverCacheStats, BAD_CHILD_PID, BAD_SOCK_ID, CHILD_BASE_PID,
 };

@@ -1,7 +1,7 @@
 //! The end-to-end COMMUTER pipeline: model → ANALYZER → TESTGEN → MTRACE →
 //! Figure 6.
 //!
-//! [`run_commuter`] analyses every requested pair of the 18 modelled calls,
+//! [`run_commuter`] analyses every requested pair of the 24 modelled calls,
 //! generates concrete tests for every commutative case, runs them against
 //! each requested kernel, and aggregates the outcomes into one
 //! [`Figure6Report`] per kernel. The benchmarks and the `posix_scan`
@@ -15,7 +15,7 @@ use crate::testgen::{
     generate_tests, solver_cache_stats, ConcreteTest, SkipHistogram, SolverCacheStats,
 };
 use scr_kernel::Sv6Kernel;
-use scr_model::{CallKind, ModelConfig, ALL_CALLS};
+use scr_model::{pair_config, CallKind, ModelConfig, ALL_CALLS};
 
 /// Configuration of a pipeline run.
 #[derive(Clone, Debug)]
@@ -230,10 +230,14 @@ pub fn run_commuter_with_progress(
                 tests: 0,
                 skipped: 0,
             };
-            for shape in enumerate_shapes(call_a, call_b, &config.model) {
+            // §4 extension state (socket slots, child slots) is enabled per
+            // pair; fs-only pairs keep exactly the configured model, so
+            // their corpora are unchanged by the extensions.
+            let pair_model = pair_config(&config.model, call_a, call_b);
+            for shape in enumerate_shapes(call_a, call_b, &pair_model) {
                 results.shapes_analyzed += 1;
                 let solve_started = std::time::Instant::now();
-                let analysis = analyze_pair(&shape, &config.model);
+                let analysis = analyze_pair(&shape, &pair_model);
                 if analysis.cases.is_empty() {
                     timing.solve_seconds += solve_started.elapsed().as_secs_f64();
                     continue;
@@ -241,7 +245,7 @@ pub fn run_commuter_with_progress(
                 let generated = generate_tests(
                     &shape,
                     &analysis.cases,
-                    &config.model,
+                    &pair_model,
                     &config.names,
                     config.max_assignments_per_case,
                 );

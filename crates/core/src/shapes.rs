@@ -82,12 +82,16 @@ pub fn enumerate_shapes(a: CallKind, b: CallKind, cfg: &ModelConfig) -> Vec<Pair
     let name_a = first_op_assignments(a.name_args(), cfg.names);
     let fd_a = first_op_assignments(a.fd_args(), cfg.fds_per_proc);
     let vm_a = first_op_assignments(a.vm_args(), cfg.vm_pages);
+    let sock_a = first_op_assignments(a.sock_args(), cfg.sockets);
+    let child_a = first_op_assignments(a.child_args(), cfg.children);
 
     // Process placement: same process always; different processes only when
     // at least one call touches per-process state (descriptors, memory, or
-    // descriptor allocation via open/pipe).
+    // descriptor allocation via open/pipe; fork snapshots the whole table).
     let per_process = |k: CallKind| {
-        k.fd_args() > 0 || k.vm_args() > 0 || matches!(k, CallKind::Open | CallKind::Pipe)
+        k.fd_args() > 0
+            || k.vm_args() > 0
+            || matches!(k, CallKind::Open | CallKind::Pipe | CallKind::Fork)
     };
     let mut proc_choices = vec![(0usize, 0usize)];
     if cfg.procs > 1 && per_process(a) && per_process(b) {
@@ -118,27 +122,71 @@ pub fn enumerate_shapes(a: CallKind, b: CallKind, cfg: &ModelConfig) -> Vec<Pair
                                 first_op_assignments(b.vm_args(), cfg.vm_pages)
                             };
                             for vb in vm_b_choices {
-                                let tag = format!(
-                                    "p{proc_a}{proc_b}-n{:?}{:?}-f{:?}{:?}-v{:?}{:?}",
-                                    na, nb, fa, fb, va, vb
-                                )
-                                .replace([' ', '[', ']', ','], "");
-                                shapes.push(PairShape {
-                                    calls: (a, b),
-                                    slots_a: ArgSlots {
-                                        proc: proc_a,
-                                        names: na.clone(),
-                                        fds: pad(fa, a),
-                                        vm_pages: va.clone(),
-                                    },
-                                    slots_b: ArgSlots {
-                                        proc: proc_b,
-                                        names: nb.clone(),
-                                        fds: pad(&fb, b),
-                                        vm_pages: vb.clone(),
-                                    },
-                                    tag,
-                                });
+                                // Sockets and child slots are kernel-global
+                                // (not per-process), so the second call may
+                                // always alias the first call's slots.
+                                for sa in &sock_a {
+                                    let base_socks =
+                                        sa.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+                                    for sb in second_op_assignments(
+                                        base_socks,
+                                        b.sock_args(),
+                                        cfg.sockets,
+                                    ) {
+                                        for ca in &child_a {
+                                            let base_children = ca
+                                                .iter()
+                                                .copied()
+                                                .max()
+                                                .map(|m| m + 1)
+                                                .unwrap_or(0);
+                                            for cb in second_op_assignments(
+                                                base_children,
+                                                b.child_args(),
+                                                cfg.children,
+                                            ) {
+                                                let mut tag = format!(
+                                                    "p{proc_a}{proc_b}-n{:?}{:?}-f{:?}{:?}-v{:?}{:?}",
+                                                    na, nb, fa, fb, va, vb
+                                                );
+                                                // Keep fs-pair tags (and so
+                                                // their test ids) unchanged:
+                                                // extension segments appear
+                                                // only when a call has such
+                                                // an argument.
+                                                if !sa.is_empty() || !sb.is_empty() {
+                                                    tag.push_str(&format!("-s{sa:?}{sb:?}"));
+                                                }
+                                                if !ca.is_empty() || !cb.is_empty() {
+                                                    tag.push_str(&format!("-c{ca:?}{cb:?}"));
+                                                }
+                                                let tag = tag.replace([' ', '[', ']', ','], "");
+                                                shapes.push(PairShape {
+                                                    calls: (a, b),
+                                                    slots_a: ArgSlots {
+                                                        proc: proc_a,
+                                                        core: 0,
+                                                        names: na.clone(),
+                                                        fds: pad(fa, a),
+                                                        vm_pages: va.clone(),
+                                                        socks: sa.clone(),
+                                                        children: ca.clone(),
+                                                    },
+                                                    slots_b: ArgSlots {
+                                                        proc: proc_b,
+                                                        core: 1,
+                                                        names: nb.clone(),
+                                                        fds: pad(&fb, b),
+                                                        vm_pages: vb.clone(),
+                                                        socks: sb.clone(),
+                                                        children: cb.clone(),
+                                                    },
+                                                    tag,
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -214,6 +262,42 @@ mod tests {
         let shapes = enumerate_shapes(CallKind::Mmap, CallKind::Munmap, &cfg());
         assert!(shapes.iter().all(|s| !s.slots_a.fds.is_empty()));
         assert!(!shapes.is_empty());
+    }
+
+    #[test]
+    fn send_recv_shapes_cover_same_and_different_sockets() {
+        let cfg = scr_model::pair_config(&ModelConfig::default(), CallKind::Send, CallKind::Recv);
+        let shapes = enumerate_shapes(CallKind::Send, CallKind::Recv, &cfg);
+        assert!(shapes.iter().any(|s| s.slots_a.socks == s.slots_b.socks));
+        assert!(shapes.iter().any(|s| s.slots_a.socks != s.slots_b.socks));
+        // The pair's first call runs on core 0, the second on core 1.
+        assert!(shapes
+            .iter()
+            .all(|s| s.slots_a.core == 0 && s.slots_b.core == 1));
+        // Extension segments mark the tags.
+        assert!(shapes.iter().all(|s| s.tag.contains("-s")));
+    }
+
+    #[test]
+    fn fs_pair_tags_are_unchanged_by_the_extension_slots() {
+        let shapes = enumerate_shapes(CallKind::Stat, CallKind::Unlink, &cfg());
+        assert!(shapes
+            .iter()
+            .all(|s| !s.tag.contains("-s") && !s.tag.contains("-c")));
+    }
+
+    #[test]
+    fn wait_shapes_enumerate_child_slots() {
+        let cfg = scr_model::pair_config(&ModelConfig::default(), CallKind::Wait, CallKind::Wait);
+        let shapes = enumerate_shapes(CallKind::Wait, CallKind::Wait, &cfg);
+        // Same child or different child: exactly two shapes.
+        assert_eq!(shapes.len(), 2);
+        assert!(shapes
+            .iter()
+            .any(|s| s.slots_a.children == s.slots_b.children));
+        assert!(shapes
+            .iter()
+            .any(|s| s.slots_a.children != s.slots_b.children));
     }
 
     #[test]

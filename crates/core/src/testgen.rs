@@ -33,8 +33,10 @@
 
 use crate::analyzer::{default_domains, CommutativeCase};
 use crate::shapes::PairShape;
-use scr_kernel::api::{MmapBacking, OpenFlags, Prot, SysOp, Whence, PAGE_SIZE};
-use scr_model::{CallKind, ModelConfig};
+use scr_kernel::api::{
+    Fd, MmapBacking, OpenFlags, Pid, Prot, SockId, SocketOrder, SysOp, Whence, PAGE_SIZE,
+};
+use scr_model::{CallKind, ModelConfig, SOCKET_CORES};
 use scr_symbolic::{signature, Assignment, CaseSolver, Domains, Expr, Value, Var, VarId};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -51,6 +53,21 @@ const PIPE_NBYTES_BOUND: i64 = 2;
 /// Solutions examined per re-solve round when hunting for a constructible
 /// completion of a skipped representative.
 const RESOLVE_LIMIT: usize = 96;
+
+/// First pid assigned to a materialised child process: the driver creates
+/// processes 0 and 1 up front, and both kernels number processes densely,
+/// so setup-spawned children receive pids from here in spawn order.
+pub const CHILD_BASE_PID: Pid = 2;
+
+/// Socket id used for a model socket slot that does not exist. No test
+/// creates anywhere near this many sockets, so operations on it fail with
+/// EBADF like the model's `!exists` paths.
+pub const BAD_SOCK_ID: SockId = 64;
+
+/// Pid used for an unoccupied model child slot. No test creates anywhere
+/// near this many processes, so `wait` on it fails with EINVAL like the
+/// model's `!occupied` path.
+pub const BAD_CHILD_PID: Pid = 99;
 
 /// Why a satisfying assignment could not be materialised through the kernel
 /// API even after re-solving for alternative completions.
@@ -76,6 +93,17 @@ pub enum SkipReason {
     /// A file-backed mapping whose backing inode no name reaches, so no
     /// descriptor can be opened to map it.
     UnnamedMapping,
+    /// A `socket` under test with every model socket slot occupied (the
+    /// model's ENOSPC paths; the kernels have no fixed socket pool to
+    /// exhaust).
+    SocketTableFull,
+    /// A `fork`/`posix_spawn` under test with every model child slot
+    /// occupied (the model's EAGAIN paths; the kernels' process tables are
+    /// unbounded).
+    ChildTableFull,
+    /// A child process holding pipe endpoints at descriptor numbers the
+    /// single `pipe()`-derived layout cannot place there at spawn time.
+    ChildFdOrphan,
     /// A solved value escaped its domain bounds. The state assumptions bound
     /// every variable, so this is defensive: it indicates a solver or model
     /// regression, not an unconstructible state.
@@ -84,13 +112,16 @@ pub enum SkipReason {
 
 impl SkipReason {
     /// Every reason, for exhaustive reporting.
-    pub const ALL: [SkipReason; 7] = [
+    pub const ALL: [SkipReason; 10] = [
         SkipReason::UnreachableInode,
         SkipReason::FdTableFull,
         SkipReason::PipeLayout,
         SkipReason::PipeEndpoints,
         SkipReason::CrossProcessPipe,
         SkipReason::UnnamedMapping,
+        SkipReason::SocketTableFull,
+        SkipReason::ChildTableFull,
+        SkipReason::ChildFdOrphan,
         SkipReason::ValueOutOfDomain,
     ];
 
@@ -103,6 +134,9 @@ impl SkipReason {
             SkipReason::PipeEndpoints => "pipe-endpoints",
             SkipReason::CrossProcessPipe => "cross-process-pipe",
             SkipReason::UnnamedMapping => "unnamed-mapping",
+            SkipReason::SocketTableFull => "socket-table-full",
+            SkipReason::ChildTableFull => "child-table-full",
+            SkipReason::ChildFdOrphan => "child-fd-orphan",
             SkipReason::ValueOutOfDomain => "value-out-of-domain",
         }
     }
@@ -134,7 +168,7 @@ pub type SkipHistogram = BTreeMap<SkipReason, usize>;
 // expressions are `Rc`-based (single-threaded by construction).
 
 /// Entry cap per cache; beyond it new results are returned uncached (a
-/// full 18-call sweep stays well below this).
+/// full 24-call sweep stays well below this).
 const SOLVER_CACHE_CAP: usize = 8192;
 
 /// Counters exposed for tests and diagnostics.
@@ -218,7 +252,14 @@ fn shape_cfg_fingerprint(shape: &PairShape, cfg: &ModelConfig) -> u64 {
     ] {
         fnv_str(&mut h, kind.name());
         fnv(&mut h, slots.proc as u64);
-        for group in [&slots.names, &slots.fds, &slots.vm_pages] {
+        fnv(&mut h, slots.core as u64);
+        for group in [
+            &slots.names,
+            &slots.fds,
+            &slots.vm_pages,
+            &slots.socks,
+            &slots.children,
+        ] {
             fnv(&mut h, group.len() as u64);
             for &s in group.iter() {
                 fnv(&mut h, s as u64);
@@ -232,6 +273,9 @@ fn shape_cfg_fingerprint(shape: &PairShape, cfg: &ModelConfig) -> u64 {
         cfg.fds_per_proc,
         cfg.file_pages,
         cfg.vm_pages,
+        cfg.sockets,
+        cfg.queue_cap,
+        cfg.children,
     ] {
         fnv(&mut h, bound as u64);
     }
@@ -328,8 +372,11 @@ pub struct ConcreteTest {
     pub id: String,
     /// The pair of calls under test.
     pub calls: (CallKind, CallKind),
-    /// Operations that build the initial state (run untraced).
-    pub setup: Vec<SysOp>,
+    /// Operations that build the initial state (run untraced), each
+    /// annotated with the core it must run on. Almost everything runs on
+    /// core 0; pre-loading an unordered socket's per-core queues requires
+    /// `send`s from the owning core.
+    pub setup: Vec<(usize, SysOp)>,
     /// The first commutative operation (runs on core 0).
     pub op_a: SysOp,
     /// The second commutative operation (runs on core 1).
@@ -409,7 +456,19 @@ pub fn generate_tests(
         // interning and constraint compilation.
         let condition_fp = Expr::dag_fingerprint(&case.condition);
         let mut solver = LazyCaseSolver::new(&case.condition);
-        let solutions = cached_all_solutions(&mut solver, condition_fp, &domains, max_per_case);
+        let mut solutions = cached_all_solutions(&mut solver, condition_fp, &domains, max_per_case);
+        // Child-endpoint enrichment (§4 process pairs): the static
+        // enumeration varies recently-created variables fastest, so within
+        // the per-case cap the pipe endpoint counts stay frozen at their
+        // first satisfying values while the child descriptor flags churn —
+        // every enumerated child-holds-an-endpoint witness then has counts
+        // the construction cannot produce. Pinning each child descriptor
+        // to a pipe endpoint and varying only the counts (and the end's
+        // direction) reaches the constructible combinations directly; the
+        // signature dedup below keeps whichever classes are new.
+        if (shape.calls.0.uses_children() || shape.calls.1.uses_children()) && cfg.children > 0 {
+            solutions.extend(child_endpoint_witnesses(&mut solver, case, cfg, &domains));
+        }
         // Conflict coverage: deduplicate by isomorphism signature over the
         // variables the pair actually depends on.
         let relevant = relevant_vars(case);
@@ -462,6 +521,63 @@ pub fn generate_tests(
                     }
                 }
             }
+        }
+    }
+    out
+}
+
+/// Witnesses in which a child process holds a pipe endpoint, for every
+/// (child slot, descriptor slot) combination the configuration admits.
+/// Each solve pins the slot's `occupied`/`inherit`/`is_pipe` flags true and
+/// varies the end's direction plus the global endpoint counts, so the
+/// counts-match-the-construction witnesses appear within a small limit
+/// (2 directions × the count domains). Cases whose path condition excludes
+/// the pinned flags (e.g. a `wait` EINVAL path over that child) simply
+/// yield no solutions.
+fn child_endpoint_witnesses(
+    solver: &mut LazyCaseSolver<'_>,
+    case: &CommutativeCase,
+    cfg: &ModelConfig,
+    domains: &Domains,
+) -> Vec<Assignment> {
+    const ENRICH_LIMIT: usize = 64;
+    let by_name: BTreeMap<&str, &Var> = case
+        .variables
+        .iter()
+        .map(|v| (v.name.as_ref(), v))
+        .collect();
+    let mut out = Vec::new();
+    for c in 0..cfg.children {
+        for k in 0..cfg.fds_per_proc {
+            let pins = [
+                format!("child{c}.occupied"),
+                format!("child{c}.fd{k}.inherit"),
+                format!("child{c}.fd{k}.is_pipe"),
+            ];
+            let Some(pin_vars) = pins
+                .iter()
+                .map(|n| by_name.get(n.as_str()).copied())
+                .collect::<Option<Vec<&Var>>>()
+            else {
+                continue;
+            };
+            let mut pinned = Assignment::new();
+            for v in pin_vars {
+                pinned.set(v.id, Value::Bool(true));
+            }
+            let vary: Vec<Var> = [
+                format!("child{c}.fd{k}.write_end"),
+                "pipe.readers".to_string(),
+                "pipe.writers".to_string(),
+            ]
+            .iter()
+            .filter_map(|n| by_name.get(n.as_str()).map(|v| (*v).clone()))
+            .collect();
+            out.extend(
+                solver
+                    .get()
+                    .solve_with_preference(domains, &pinned, &vary, ENRICH_LIMIT),
+            );
         }
     }
     out
@@ -664,6 +780,36 @@ fn vary_targets(
                 }
             }
         }
+        SkipReason::SocketTableFull => {
+            // A free socket slot unblocks the rejection.
+            for s in 0..cfg.sockets {
+                push(format!("sock{s}.exists"));
+            }
+        }
+        SkipReason::ChildTableFull => {
+            // A free child slot unblocks the rejection.
+            for c in 0..cfg.children {
+                push(format!("child{c}.occupied"));
+            }
+        }
+        SkipReason::ChildFdOrphan => {
+            // Either move/drop the child's stray pipe endpoints or change
+            // the parent's pipe layout so the spawn-time table matches.
+            for c in 0..cfg.children {
+                for k in 0..cfg.fds_per_proc {
+                    push(format!("child{c}.fd{k}.inherit"));
+                    push(format!("child{c}.fd{k}.is_pipe"));
+                    push(format!("child{c}.fd{k}.write_end"));
+                }
+            }
+            for p in 0..cfg.procs {
+                for k in 0..cfg.fds_per_proc {
+                    push(format!("p{p}.fd{k}.open"));
+                    push(format!("p{p}.fd{k}.is_pipe"));
+                    push(format!("p{p}.fd{k}.is_write_end"));
+                }
+            }
+        }
         // Defensive reason: no completion strategy applies.
         SkipReason::ValueOutOfDomain => {}
     }
@@ -690,7 +836,8 @@ fn relevant_vars(case: &CommutativeCase) -> Vec<Var> {
 }
 
 /// Variables whose values only matter up to equality (inode indices and
-/// content fingerprints), grouped for the isomorphism signature.
+/// content fingerprints — including socket message payloads, which are
+/// fungible identities), grouped for the isomorphism signature.
 fn isomorphism_groups(vars: &[Var]) -> Vec<Vec<VarId>> {
     let mut ino_group = Vec::new();
     let mut content_group = Vec::new();
@@ -698,14 +845,21 @@ fn isomorphism_groups(vars: &[Var]) -> Vec<Vec<VarId>> {
         let name = var.name.as_ref();
         if name.ends_with(".ino") {
             ino_group.push(var.id);
-        } else if name.contains(".page") || name.ends_with(".value") || name.ends_with(".byte") {
+        } else if name.contains(".page")
+            || name.ends_with(".value")
+            || name.ends_with(".byte")
+            || name.contains(".msg")
+        {
             content_group.push(var.id);
         }
     }
     vec![ino_group, content_group]
 }
 
-/// Variables whose concrete value matters for the test's behaviour.
+/// Variables whose concrete value matters for the test's behaviour. Oracle
+/// variables (nondeterministic inode/socket-slot/child-slot/message
+/// choices) are excluded: which free slot or queued message the
+/// specification picked is not part of the access pattern a test exercises.
 fn exact_vars(vars: &[Var]) -> Vec<VarId> {
     vars.iter()
         .filter(|v| {
@@ -714,7 +868,8 @@ fn exact_vars(vars: &[Var]) -> Vec<VarId> {
                 || name.contains(".page")
                 || name.ends_with(".value")
                 || name.ends_with(".byte")
-                || name.contains("ino_oracle"))
+                || name.contains(".msg")
+                || name.contains("oracle"))
         })
         .map(|v| v.id)
         .collect()
@@ -774,11 +929,14 @@ impl PipePlan {
 }
 
 /// Classifies the assignment's pipe descriptors into a constructible plan.
+/// `child_ends` counts the (read, write) endpoints held by child processes,
+/// which the constructed endpoint totals must include.
 fn plan_pipe(
     solved: &Solved<'_>,
     cfg: &ModelConfig,
     used_procs: usize,
     relevant: &[Var],
+    child_ends: (i64, i64),
 ) -> Result<PipePlan, SkipReason> {
     let mut ends: Vec<(usize, usize, bool)> = Vec::new();
     for p in 0..used_procs {
@@ -816,11 +974,21 @@ fn plan_pipe(
     // variables), the constructed state must match it — e.g. the
     // EAGAIN-preserved-after-close cases need two writers, which requires
     // dup2 and stays skipped. Unconstrained counts are simply instantiated
-    // by whatever the plan produces. With no pipe descriptor at all the
-    // counts are unobservable by the operations under test (every
-    // count-sensitive model path goes through a pipe descriptor), so they
-    // are left unchecked.
-    if let Some((readers, writers)) = plan.endpoint_counts() {
+    // by whatever the plan produces. Children holding endpoints add to the
+    // constructed totals (fork/spawn take a reference per inherited end).
+    // With no pipe descriptor anywhere — parent or child — the counts are
+    // unobservable by the operations under test (every count-sensitive
+    // model path goes through a pipe descriptor or a child's endpoint), so
+    // they are left unchecked.
+    let (child_readers, child_writers) = child_ends;
+    let constructed_counts = match plan.endpoint_counts() {
+        Some((readers, writers)) => Some((readers + child_readers, writers + child_writers)),
+        // The early-pipe construction: the parent closes both fresh ends
+        // after spawning, so the children's references are the only ones.
+        None if child_readers + child_writers > 0 => Some((child_readers, child_writers)),
+        None => None,
+    };
+    if let Some((readers, writers)) = constructed_counts {
         for (name, constructed) in [("pipe.readers", readers), ("pipe.writers", writers)] {
             let constrained = relevant.iter().any(|v| v.name.as_ref() == name);
             if constrained && solved.int(name) != constructed {
@@ -833,11 +1001,15 @@ fn plan_pipe(
 
 /// Emits `pipe()` plus the buffered-byte preload (and, for half-closed
 /// plans, the close of the transient end). `read_fd`/`write_fd` are the
-/// concrete descriptors the two fresh ends land in.
+/// concrete descriptors the two fresh ends land in. `child_spawns` are the
+/// spawn operations for children inheriting pipe endpoints; they run while
+/// both fresh ends are still open, so a child may keep an end the parent's
+/// final layout closes.
 fn emit_pipe(
-    setup: &mut Vec<SysOp>,
+    setup: &mut Vec<(usize, SysOp)>,
     solved: &Solved<'_>,
     plan: PipePlan,
+    child_spawns: &mut Vec<(usize, SysOp)>,
 ) -> Result<(), SkipReason> {
     let (pid, read_fd, write_fd) = match plan {
         PipePlan::Absent => return Ok(()),
@@ -846,20 +1018,24 @@ fn emit_pipe(
         }
         PipePlan::WriteOnly { proc, slot } => (proc, (slot - 1) as u32, slot as u32),
     };
-    setup.push(SysOp::Pipe { pid });
+    setup.push((0, SysOp::Pipe { pid }));
+    setup.append(child_spawns);
     // Pre-load the modelled number of buffered bytes while both fresh ends
     // are still open (a write after closing the read end would hit EPIPE).
     let nbytes = solved_bounded(solved, "pipe.nbytes", PIPE_NBYTES_BOUND)?;
     if nbytes > 0 {
-        setup.push(SysOp::Write {
-            pid,
-            fd: write_fd,
-            data: vec![b'x'; nbytes as usize],
-        });
+        setup.push((
+            0,
+            SysOp::Write {
+                pid,
+                fd: write_fd,
+                data: vec![b'x'; nbytes as usize],
+            },
+        ));
     }
     match plan {
-        PipePlan::ReadOnly { .. } => setup.push(SysOp::Close { pid, fd: write_fd }),
-        PipePlan::WriteOnly { .. } => setup.push(SysOp::Close { pid, fd: read_fd }),
+        PipePlan::ReadOnly { .. } => setup.push((0, SysOp::Close { pid, fd: write_fd })),
+        PipePlan::WriteOnly { .. } => setup.push((0, SysOp::Close { pid, fd: read_fd })),
         _ => {}
     }
     Ok(())
@@ -877,7 +1053,172 @@ fn materialize(
     id: &str,
 ) -> Result<ConcreteTest, SkipReason> {
     let solved = Solved::new(&case.variables, assignment);
-    let mut setup: Vec<SysOp> = Vec::new();
+    let mut setup: Vec<(usize, SysOp)> = Vec::new();
+    let used_procs = used_procs(shape);
+
+    // --- §4 extension objects: sockets and the child process table ---------
+    // Socket slots are created in slot order, so slot `s` maps to the
+    // concrete socket id equal to its rank among the existing slots. A
+    // nonexistent slot maps to a reserved id far above anything the test
+    // can allocate, so operations on it fail with EBADF exactly as the
+    // model's `!exists` paths do.
+    let mut sock_ids: BTreeMap<usize, SockId> = BTreeMap::new();
+    for s in 0..cfg.sockets {
+        if solved.bool(&format!("sock{s}.exists")) {
+            let id = sock_ids.len();
+            sock_ids.insert(s, id);
+        }
+    }
+    // Child slots map to pids the same way: the driver creates processes
+    // 0 and 1 up front, and every child is spawned at one point of the
+    // setup script in slot order, so slot `c` becomes pid `2 + rank`. An
+    // unoccupied slot maps to a pid no setup can create (wait → EINVAL,
+    // as the model's `!occupied` path).
+    let mut child_pids: BTreeMap<usize, Pid> = BTreeMap::new();
+    for c in 0..cfg.children {
+        if solved.bool(&format!("child{c}.occupied")) {
+            let pid = CHILD_BASE_PID + child_pids.len();
+            child_pids.insert(c, pid);
+        }
+    }
+    // The observable part of a child's descriptor table is exactly its
+    // pipe endpoints (see `SymState::equivalent`): which slots hold which
+    // end. Everything else a child inherits is invisible to the pair under
+    // test, so `posix_spawn` with just the pipe-end slots listed builds an
+    // observably identical child.
+    let mut child_ends: BTreeMap<usize, Vec<(usize, bool)>> = BTreeMap::new();
+    for &c in child_pids.keys() {
+        let mut ends = Vec::new();
+        for k in 0..cfg.fds_per_proc {
+            if solved.bool(&format!("child{c}.fd{k}.inherit"))
+                && solved.bool(&format!("child{c}.fd{k}.is_pipe"))
+            {
+                ends.push((k, solved.bool(&format!("child{c}.fd{k}.write_end"))));
+            }
+        }
+        if !ends.is_empty() {
+            child_ends.insert(c, ends);
+        }
+    }
+    // Exhaustion paths are model-only: the kernels have no fixed socket or
+    // process pools, so a full model table under an allocating call cannot
+    // be reproduced (the concrete call would succeed where the analysed
+    // path returned ENOSPC/EAGAIN).
+    for kind in [shape.calls.0, shape.calls.1] {
+        if kind == CallKind::Socket && cfg.sockets > 0 && sock_ids.len() == cfg.sockets {
+            return Err(SkipReason::SocketTableFull);
+        }
+        if matches!(kind, CallKind::Fork | CallKind::PosixSpawn)
+            && cfg.children > 0
+            && child_pids.len() == cfg.children
+        {
+            return Err(SkipReason::ChildTableFull);
+        }
+    }
+    // Create the sockets and pre-load their queues. An unordered socket's
+    // queue `qi` belongs to core `qi`, so its messages are sent from that
+    // core; an ordered socket has a single queue fed from core 0 in FIFO
+    // order.
+    for (&s, &id) in &sock_ids {
+        let ordered = solved.bool(&format!("sock{s}.ordered"));
+        let order = if ordered {
+            SocketOrder::Ordered
+        } else {
+            SocketOrder::Unordered
+        };
+        setup.push((0, SysOp::Socket { order }));
+        for qi in 0..SOCKET_CORES {
+            let len = solved_bounded(&solved, &format!("sock{s}.q{qi}.len"), cfg.queue_cap as i64)?;
+            for i in 0..len {
+                let value = solved.int(&format!("sock{s}.q{qi}.msg{i}")).rem_euclid(4) as u8;
+                let core = if ordered { 0 } else { qi };
+                setup.push((
+                    core,
+                    SysOp::Send {
+                        sock: id,
+                        msg: vec![b'0' + value],
+                    },
+                ));
+            }
+        }
+    }
+    // Classify the pipe layout and check the endpoint counts (which now
+    // include the ends held by children) before anything is emitted.
+    let child_end_counts = (
+        child_ends.values().flatten().filter(|(_, we)| !*we).count() as i64,
+        child_ends.values().flatten().filter(|(_, we)| *we).count() as i64,
+    );
+    let plan = plan_pipe(&solved, cfg, used_procs, relevant, child_end_counts)?;
+    // Where the two fresh pipe ends sit while both are still open — the
+    // moment children are spawned, so a child may keep either end even if
+    // the parent's final layout closes it.
+    let transient_ends = match plan {
+        PipePlan::Absent => {
+            if child_ends.is_empty() {
+                None
+            } else {
+                // No parent descriptor keeps the pipe, but children hold
+                // endpoints: create the pipe first thing at slots 0/1 of
+                // process 0, spawn the children, and close both parent
+                // ends again (the slots are re-used by the normal layout
+                // afterwards).
+                Some((0usize, 1usize))
+            }
+        }
+        PipePlan::BothEnds { slot, .. } | PipePlan::ReadOnly { slot, .. } => Some((slot, slot + 1)),
+        PipePlan::WriteOnly { slot, .. } => Some((slot - 1, slot)),
+    };
+    // Validate every child endpoint against the transient layout and build
+    // the spawn ops (slot order, so the pid mapping above holds).
+    let mut child_spawns: Vec<(usize, SysOp)> = Vec::new();
+    let spawn_parent = match plan {
+        PipePlan::BothEnds { proc, .. }
+        | PipePlan::ReadOnly { proc, .. }
+        | PipePlan::WriteOnly { proc, .. } => proc,
+        PipePlan::Absent => 0,
+    };
+    for &c in child_pids.keys() {
+        let mut dup_fds: Vec<Fd> = Vec::new();
+        for (k, we) in child_ends.get(&c).map_or(&[][..], |e| e.as_slice()) {
+            match transient_ends {
+                Some((r_slot, w_slot)) if (!*we && *k == r_slot) || (*we && *k == w_slot) => {
+                    dup_fds.push(*k as Fd);
+                }
+                _ => return Err(SkipReason::ChildFdOrphan),
+            }
+        }
+        child_spawns.push((
+            0,
+            SysOp::Spawn {
+                pid: spawn_parent,
+                dup_fds,
+            },
+        ));
+    }
+    if matches!(plan, PipePlan::Absent) {
+        if child_ends.is_empty() {
+            // No pipe anywhere: children inherit nothing; spawn them before
+            // any descriptor exists.
+            setup.append(&mut child_spawns);
+        } else {
+            // The early-pipe construction described above.
+            setup.push((0, SysOp::Pipe { pid: 0 }));
+            setup.append(&mut child_spawns);
+            let nbytes = solved_bounded(&solved, "pipe.nbytes", PIPE_NBYTES_BOUND)?;
+            if nbytes > 0 {
+                setup.push((
+                    0,
+                    SysOp::Write {
+                        pid: 0,
+                        fd: 1,
+                        data: vec![b'x'; nbytes as usize],
+                    },
+                ));
+            }
+            setup.push((0, SysOp::Close { pid: 0, fd: 0 }));
+            setup.push((0, SysOp::Close { pid: 0, fd: 1 }));
+        }
+    }
 
     // --- directory and file contents -------------------------------------
     // Collect which name slots exist and which inode each refers to.
@@ -892,11 +1233,14 @@ fn materialize(
     // and populate its contents.
     for (ino, slots) in &ino_to_names {
         let first = names[slots[0]].clone();
-        setup.push(SysOp::Open {
-            pid: 0,
-            name: first.clone(),
-            flags: OpenFlags::create(),
-        });
+        setup.push((
+            0,
+            SysOp::Open {
+                pid: 0,
+                name: first.clone(),
+                flags: OpenFlags::create(),
+            },
+        ));
         // The open above lands in the lowest descriptor; populate contents
         // through it, then close it.
         let len = solved_bounded(&solved, &format!("inode{ino}.len"), cfg.file_pages as i64)?;
@@ -904,20 +1248,26 @@ fn materialize(
             let byte = solved
                 .int(&format!("inode{ino}.page{page}"))
                 .rem_euclid(256) as u8;
-            setup.push(SysOp::Pwrite {
-                pid: 0,
-                fd: 0,
-                data: vec![byte; PAGE_SIZE as usize],
-                offset: page as u64 * PAGE_SIZE,
-            });
+            setup.push((
+                0,
+                SysOp::Pwrite {
+                    pid: 0,
+                    fd: 0,
+                    data: vec![byte; PAGE_SIZE as usize],
+                    offset: page as u64 * PAGE_SIZE,
+                },
+            ));
         }
-        setup.push(SysOp::Close { pid: 0, fd: 0 });
+        setup.push((0, SysOp::Close { pid: 0, fd: 0 }));
         for slot in &slots[1..] {
-            setup.push(SysOp::Link {
-                pid: 0,
-                old: first.clone(),
-                new: names[*slot].clone(),
-            });
+            setup.push((
+                0,
+                SysOp::Link {
+                    pid: 0,
+                    old: first.clone(),
+                    new: names[*slot].clone(),
+                },
+            ));
         }
     }
 
@@ -936,7 +1286,6 @@ fn materialize(
     // after the re-solve loop in `generate_tests` has had a chance to find
     // a different completion — rather than running a test that exercises a
     // different path than the one analysed.
-    let used_procs = used_procs(shape);
     for j in 0..cfg.inodes {
         if solved.int(&format!("inode{j}.nlink")) <= 0 {
             continue;
@@ -994,10 +1343,11 @@ fn materialize(
     // --- descriptor tables -------------------------------------------------
     // Lay out each process's descriptor table so that slot k of the model is
     // descriptor k of the process. Placeholder descriptors fill the gaps and
-    // are closed at the end of setup. The pipe is classified into a
-    // constructible plan first; its creation is interleaved at the right
-    // slot boundary so every end lands where the assignment puts it.
-    let plan = plan_pipe(&solved, cfg, used_procs, relevant)?;
+    // are closed at the end of setup. The pipe was classified into a
+    // constructible plan above; its creation is interleaved at the right
+    // slot boundary so every end lands where the assignment puts it, and
+    // children holding pipe endpoints are spawned while both fresh ends are
+    // still open.
     let mut placeholders: Vec<(usize, u32)> = Vec::new();
     for p in 0..used_procs {
         for k in 0..cfg.fds_per_proc {
@@ -1007,7 +1357,7 @@ fn materialize(
             // slot again).
             if let PipePlan::WriteOnly { proc, slot } = plan {
                 if p == proc && k + 1 == slot {
-                    emit_pipe(&mut setup, &solved, plan)?;
+                    emit_pipe(&mut setup, &solved, plan, &mut child_spawns)?;
                 }
             }
             let open = solved.bool(&format!("p{p}.fd{k}.open"));
@@ -1017,7 +1367,7 @@ fn materialize(
                     PipePlan::BothEnds { slot, .. } | PipePlan::ReadOnly { slot, .. }
                         if k == slot =>
                     {
-                        emit_pipe(&mut setup, &solved, plan)?;
+                        emit_pipe(&mut setup, &solved, plan, &mut child_spawns)?;
                     }
                     // The write end was laid out together with its read end.
                     PipePlan::BothEnds { slot, .. } if k == slot + 1 => {}
@@ -1041,11 +1391,14 @@ fn materialize(
                         // a divergence the real-threads differential runner
                         // observes as non-commuting results.
                         let scratch = format!("scratch-p{p}-fd{k}");
-                        setup.push(SysOp::Open {
-                            pid: p,
-                            name: scratch.clone(),
-                            flags: OpenFlags::create(),
-                        });
+                        setup.push((
+                            0,
+                            SysOp::Open {
+                                pid: p,
+                                name: scratch.clone(),
+                                flags: OpenFlags::create(),
+                            },
+                        ));
                         let len = solved_bounded(
                             &solved,
                             &format!("inode{ino}.len"),
@@ -1055,56 +1408,74 @@ fn materialize(
                             let byte = solved
                                 .int(&format!("inode{ino}.page{page}"))
                                 .rem_euclid(256) as u8;
-                            setup.push(SysOp::Pwrite {
+                            setup.push((
+                                0,
+                                SysOp::Pwrite {
+                                    pid: p,
+                                    fd: k as u32,
+                                    data: vec![byte; PAGE_SIZE as usize],
+                                    offset: page as u64 * PAGE_SIZE,
+                                },
+                            ));
+                        }
+                        setup.push((
+                            0,
+                            SysOp::Close {
                                 pid: p,
                                 fd: k as u32,
-                                data: vec![byte; PAGE_SIZE as usize],
-                                offset: page as u64 * PAGE_SIZE,
-                            });
-                        }
-                        setup.push(SysOp::Close {
-                            pid: p,
-                            fd: k as u32,
-                        });
+                            },
+                        ));
                         // Re-open below through the normal path.
                         scratch
                     }
                 };
-                setup.push(SysOp::Open {
-                    pid: p,
-                    name: name.clone(),
-                    flags: OpenFlags::plain(),
-                });
+                setup.push((
+                    0,
+                    SysOp::Open {
+                        pid: p,
+                        name: name.clone(),
+                        flags: OpenFlags::plain(),
+                    },
+                ));
                 let off =
                     solved_bounded(&solved, &format!("p{p}.fd{k}.off"), cfg.file_pages as i64)?;
                 if off != 0 {
-                    setup.push(SysOp::Lseek {
-                        pid: p,
-                        fd: k as u32,
-                        offset: off * PAGE_SIZE as i64,
-                        whence: Whence::Set,
-                    });
+                    setup.push((
+                        0,
+                        SysOp::Lseek {
+                            pid: p,
+                            fd: k as u32,
+                            offset: off * PAGE_SIZE as i64,
+                            whence: Whence::Set,
+                        },
+                    ));
                 }
                 if !ino_to_names.contains_key(&ino) {
-                    setup.push(SysOp::Unlink {
-                        pid: p,
-                        name: format!("scratch-p{p}-fd{k}"),
-                    });
+                    setup.push((
+                        0,
+                        SysOp::Unlink {
+                            pid: p,
+                            name: format!("scratch-p{p}-fd{k}"),
+                        },
+                    ));
                 }
             } else if !open {
                 // Placeholder so later slots land at the right index.
                 let scratch = format!("placeholder-p{p}-fd{k}");
-                setup.push(SysOp::Open {
-                    pid: p,
-                    name: scratch,
-                    flags: OpenFlags::create(),
-                });
+                setup.push((
+                    0,
+                    SysOp::Open {
+                        pid: p,
+                        name: scratch,
+                        flags: OpenFlags::create(),
+                    },
+                ));
                 placeholders.push((p, k as u32));
             }
         }
     }
     for (p, fd) in placeholders {
-        setup.push(SysOp::Close { pid: p, fd });
+        setup.push((0, SysOp::Close { pid: p, fd }));
     }
 
     // --- address spaces -----------------------------------------------------
@@ -1117,28 +1488,37 @@ fn materialize(
             let writable = solved.bool(&format!("p{p}.vm{v}.writable"));
             let anon = solved.bool(&format!("p{p}.vm{v}.anon"));
             if anon {
-                setup.push(SysOp::Mmap {
-                    pid: p,
-                    addr_hint: Some(addr),
-                    pages: 1,
-                    prot: Prot::rw(),
-                    backing: MmapBacking::Anon,
-                });
+                setup.push((
+                    0,
+                    SysOp::Mmap {
+                        pid: p,
+                        addr_hint: Some(addr),
+                        pages: 1,
+                        prot: Prot::rw(),
+                        backing: MmapBacking::Anon,
+                    },
+                ));
                 let value = solved.int(&format!("p{p}.vm{v}.value")).rem_euclid(256) as u8;
                 if value != 0 {
-                    setup.push(SysOp::Memwrite {
-                        pid: p,
-                        addr,
-                        value,
-                    });
+                    setup.push((
+                        0,
+                        SysOp::Memwrite {
+                            pid: p,
+                            addr,
+                            value,
+                        },
+                    ));
                 }
                 if !writable {
-                    setup.push(SysOp::Mprotect {
-                        pid: p,
-                        addr,
-                        pages: 1,
-                        prot: Prot::ro(),
-                    });
+                    setup.push((
+                        0,
+                        SysOp::Mprotect {
+                            pid: p,
+                            addr,
+                            pages: 1,
+                            prot: Prot::ro(),
+                        },
+                    ));
                 }
             } else {
                 // File-backed mapping: the backing inode must have a name so
@@ -1149,29 +1529,54 @@ fn materialize(
                 // Open a temporary descriptor at the next free slot, map,
                 // then close it.
                 let temp_fd = cfg.fds_per_proc as u32 + v as u32;
-                setup.push(SysOp::Open {
-                    pid: p,
-                    name,
-                    flags: OpenFlags::plain(),
-                });
-                setup.push(SysOp::Mmap {
-                    pid: p,
-                    addr_hint: Some(addr),
-                    pages: 1,
-                    prot: if writable { Prot::rw() } else { Prot::ro() },
-                    backing: MmapBacking::File(temp_fd),
-                });
-                setup.push(SysOp::Close {
-                    pid: p,
-                    fd: temp_fd,
-                });
+                setup.push((
+                    0,
+                    SysOp::Open {
+                        pid: p,
+                        name,
+                        flags: OpenFlags::plain(),
+                    },
+                ));
+                setup.push((
+                    0,
+                    SysOp::Mmap {
+                        pid: p,
+                        addr_hint: Some(addr),
+                        pages: 1,
+                        prot: if writable { Prot::rw() } else { Prot::ro() },
+                        backing: MmapBacking::File(temp_fd),
+                    },
+                ));
+                setup.push((
+                    0,
+                    SysOp::Close {
+                        pid: p,
+                        fd: temp_fd,
+                    },
+                ));
             }
         }
     }
 
     // --- the two operations -------------------------------------------------
-    let op_a = build_op(shape.calls.0, &shape.slots_a, "argA", &solved, names);
-    let op_b = build_op(shape.calls.1, &shape.slots_b, "argB", &solved, names);
+    let op_a = build_op(
+        shape.calls.0,
+        &shape.slots_a,
+        "argA",
+        &solved,
+        names,
+        &sock_ids,
+        &child_pids,
+    );
+    let op_b = build_op(
+        shape.calls.1,
+        &shape.slots_b,
+        "argB",
+        &solved,
+        names,
+        &sock_ids,
+        &child_pids,
+    );
 
     Ok(ConcreteTest {
         id: id.to_string(),
@@ -1187,18 +1592,37 @@ fn used_procs(shape: &PairShape) -> usize {
     shape.slots_a.proc.max(shape.slots_b.proc) + 1
 }
 
-/// Builds the concrete [`SysOp`] for one side of the pair.
+/// Builds the concrete [`SysOp`] for one side of the pair. `sock_ids` and
+/// `child_pids` map existing model slots to the concrete ids the setup
+/// script created; slots absent from the maps (nonexistent socket,
+/// unoccupied child) translate to reserved ids nothing can allocate, so
+/// the concrete call fails exactly as the model's missing-object paths do.
+#[allow(clippy::too_many_arguments)]
 fn build_op(
     kind: CallKind,
     slots: &scr_model::calls::ArgSlots,
     tag: &str,
     solved: &Solved<'_>,
     names: &[String],
+    sock_ids: &BTreeMap<usize, SockId>,
+    child_pids: &BTreeMap<usize, Pid>,
 ) -> SysOp {
     let pid = slots.proc;
     let name = |i: usize| names[slots.names[i]].clone();
     let fd = |i: usize| slots.fds[i] as u32;
     let vm_addr = |i: usize| (VM_BASE_PAGE + slots.vm_pages[i] as u64) * PAGE_SIZE;
+    let sock = |i: usize| {
+        sock_ids
+            .get(&slots.socks[i])
+            .copied()
+            .unwrap_or(BAD_SOCK_ID)
+    };
+    let child = |i: usize| {
+        child_pids
+            .get(&slots.children[i])
+            .copied()
+            .unwrap_or(BAD_CHILD_PID)
+    };
     // The model moves pipe data one byte at a time; a page-sized concrete
     // transfer would drain/extend the pipe differently than the state the
     // analyzer reasoned about.
@@ -1309,6 +1733,31 @@ fn build_op(
             addr: vm_addr(0),
             value: solved.int(&format!("{tag}.byte")).rem_euclid(256) as u8,
         },
+        CallKind::Socket => SysOp::Socket {
+            order: if solved.bool(&format!("{tag}.sock_ordered")) {
+                SocketOrder::Ordered
+            } else {
+                SocketOrder::Unordered
+            },
+        },
+        CallKind::Send => SysOp::Send {
+            sock: sock(0),
+            msg: vec![b'0' + solved.int(&format!("{tag}.msg")).rem_euclid(4) as u8],
+        },
+        CallKind::Recv => SysOp::Recv { sock: sock(0) },
+        CallKind::Fork => SysOp::Fork { pid },
+        CallKind::PosixSpawn => SysOp::Spawn {
+            pid,
+            dup_fds: if solved.bool(&format!("{tag}.spawn_none")) {
+                vec![]
+            } else {
+                vec![fd(0)]
+            },
+        },
+        CallKind::Wait => SysOp::Wait {
+            pid,
+            child: child(0),
+        },
     }
 }
 
@@ -1327,6 +1776,7 @@ mod tests {
             fds_per_proc: 2,
             file_pages: 2,
             vm_pages: 2,
+            ..ModelConfig::default()
         }
     }
 
@@ -1359,7 +1809,7 @@ mod tests {
         assert!(generated.tests.iter().any(|t| t
             .setup
             .iter()
-            .filter(|op| matches!(op, SysOp::Open { .. }))
+            .filter(|(_, op)| matches!(op, SysOp::Open { .. }))
             .count()
             >= 2));
         // Operations target different names.
@@ -1442,7 +1892,11 @@ mod tests {
         let pipe_backed: Vec<_> = generated
             .tests
             .iter()
-            .filter(|t| t.setup.iter().any(|op| matches!(op, SysOp::Pipe { .. })))
+            .filter(|t| {
+                t.setup
+                    .iter()
+                    .any(|(_, op)| matches!(op, SysOp::Pipe { .. }))
+            })
             .collect();
         assert!(
             !pipe_backed.is_empty(),
@@ -1502,11 +1956,11 @@ mod tests {
             let pipe_at = t
                 .setup
                 .iter()
-                .position(|op| matches!(op, SysOp::Pipe { .. }));
+                .position(|(_, op)| matches!(op, SysOp::Pipe { .. }));
             match pipe_at {
                 Some(i) => t.setup[i..]
                     .iter()
-                    .any(|op| matches!(op, SysOp::Close { fd: 1, .. })),
+                    .any(|(_, op)| matches!(op, SysOp::Close { fd: 1, .. })),
                 None => false,
             }
         });
@@ -1675,5 +2129,125 @@ mod tests {
             corpus_fingerprints(&after_other)
         );
         assert_eq!(cold.skip_reasons, after_other.skip_reasons);
+    }
+
+    #[test]
+    fn send_recv_corpus_preloads_per_core_queues() {
+        // send ∥ recv on the same unordered socket: the analyzer's
+        // commutative cases include states where core 1's local queue is
+        // non-empty (so the recv never steals), which the materialiser can
+        // only build by sending from core 1 during setup.
+        let cfg = scr_model::pair_config(&ModelConfig::default(), CallKind::Send, CallKind::Recv);
+        assert_eq!(cfg.sockets, 2, "socket pair must enable socket slots");
+        assert_eq!(cfg.fds_per_proc, 0, "pure-socket pair strips fs state");
+        let mut preloaded_core1 = false;
+        for shape in crate::shapes::enumerate_shapes(CallKind::Send, CallKind::Recv, &cfg) {
+            let analysis = analyze_pair(&shape, &cfg);
+            let generated = generate_tests(&shape, &analysis.cases, &cfg, &default_names(), 64);
+            for test in &generated.tests {
+                assert!(matches!(test.op_a, SysOp::Send { .. }), "{}", test.id);
+                assert!(matches!(test.op_b, SysOp::Recv { .. }), "{}", test.id);
+                // Setup sends must target a socket that setup created.
+                let created = test
+                    .setup
+                    .iter()
+                    .filter(|(_, op)| matches!(op, SysOp::Socket { .. }))
+                    .count();
+                for (_, op) in &test.setup {
+                    if let SysOp::Send { sock, .. } = op {
+                        assert!(*sock < created, "{}: preload on unknown socket", test.id);
+                    }
+                }
+                preloaded_core1 |= test
+                    .setup
+                    .iter()
+                    .any(|(core, op)| *core == 1 && matches!(op, SysOp::Send { .. }));
+            }
+        }
+        assert!(
+            preloaded_core1,
+            "some representative must pre-load core 1's queue from core 1"
+        );
+    }
+
+    #[test]
+    fn wait_corpus_spawns_children_and_keeps_pipe_endpoint_inheritance() {
+        // wait ∥ wait over the two child slots: occupied children are
+        // spawned during setup (so the waited pids exist), unoccupied slots
+        // map to the reserved bad pid, and any child holding pipe
+        // endpoints is spawned while the pipe's fresh ends are open. Uses
+        // the same per-pair configuration the pipeline would (wait touches
+        // the fd table, so the fs dimensions stay).
+        let cfg = scr_model::pair_config(&ModelConfig::default(), CallKind::Wait, CallKind::Wait);
+        let mut spawned = false;
+        let mut bad_pid_case = false;
+        let mut inherited_pipe_end = false;
+        for shape in crate::shapes::enumerate_shapes(CallKind::Wait, CallKind::Wait, &cfg) {
+            let analysis = analyze_pair(&shape, &cfg);
+            let generated = generate_tests(&shape, &analysis.cases, &cfg, &default_names(), 96);
+            for test in &generated.tests {
+                let mut pipe_seen = false;
+                for (_, op) in &test.setup {
+                    match op {
+                        SysOp::Pipe { .. } => pipe_seen = true,
+                        SysOp::Spawn { dup_fds, .. } => {
+                            spawned = true;
+                            if !dup_fds.is_empty() {
+                                assert!(
+                                    pipe_seen,
+                                    "{}: endpoint inheritance needs the pipe first",
+                                    test.id
+                                );
+                                inherited_pipe_end = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if let SysOp::Wait { child, .. } = &test.op_a {
+                    bad_pid_case |= *child == BAD_CHILD_PID;
+                    if *child != BAD_CHILD_PID {
+                        let spawns = test
+                            .setup
+                            .iter()
+                            .filter(|(_, op)| matches!(op, SysOp::Spawn { .. }))
+                            .count();
+                        assert!(
+                            *child < CHILD_BASE_PID + spawns,
+                            "{}: wait targets a pid setup never created",
+                            test.id
+                        );
+                    }
+                }
+            }
+        }
+        assert!(spawned, "occupied child slots must be spawned in setup");
+        assert!(bad_pid_case, "unoccupied-slot waits must use the bad pid");
+        assert!(
+            inherited_pipe_end,
+            "some representative must hand a pipe endpoint to a child"
+        );
+    }
+
+    #[test]
+    fn socket_exhaustion_paths_are_skipped_with_a_structured_reason() {
+        // socket ∥ socket: the ENOSPC path pins every socket slot to
+        // existing, which the kernels' unbounded socket tables cannot
+        // reproduce — those representatives must be counted under the
+        // dedicated reason, not silently dropped or wrongly materialised.
+        let cfg =
+            scr_model::pair_config(&ModelConfig::default(), CallKind::Socket, CallKind::Socket);
+        let mut reasons = SkipHistogram::new();
+        for shape in crate::shapes::enumerate_shapes(CallKind::Socket, CallKind::Socket, &cfg) {
+            let analysis = analyze_pair(&shape, &cfg);
+            let generated = generate_tests(&shape, &analysis.cases, &cfg, &default_names(), 96);
+            for (reason, count) in generated.skip_reasons {
+                *reasons.entry(reason).or_default() += count;
+            }
+        }
+        assert!(
+            reasons.contains_key(&SkipReason::SocketTableFull),
+            "ENOSPC paths must skip as socket-table-full, got {reasons:?}"
+        );
     }
 }

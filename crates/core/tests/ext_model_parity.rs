@@ -1,0 +1,430 @@
+//! Step-parity between the symbolic §4 model and the concrete sv6 kernel.
+//!
+//! TESTGEN exercises the model → kernel direction: commutative cases are
+//! materialised and replayed. This property test drives the opposite
+//! direction on whole call *sequences*: a seeded random sequence of
+//! extension calls (`socket`/`send`/`recv`/`fork`/`posix_spawn`/`wait`)
+//! is replayed on a fresh `Sv6Kernel`, and the same sequence is executed
+//! symbolically from an unconstrained model state pinned to the kernel's
+//! start state (no sockets, no children). The kernel's observed trajectory
+//! — every return code, received payload, and allocated id — must be a
+//! *feasible path* of the model: some combination of the model's oracle
+//! choices (socket-slot, child-slot and message-delivery nondeterminism)
+//! reproduces it exactly. A kernel behaviour the model cannot explain, or
+//! a model precondition the kernel violates, fails the test.
+//!
+//! Sequence generation respects the model's analysis bounds (at most
+//! `cfg.sockets` creations, `cfg.children` allocations, `queue_cap` sends
+//! per socket): outside those bounds the bounded model *deliberately* has
+//! no matching path (the concrete queues and tables are unbounded), which
+//! is a modelling decision, not a parity bug.
+
+use scr_kernel::api::{perform, Errno, SocketOrder, SysOp, SysResult, SyscallApi};
+use scr_kernel::Sv6Kernel;
+use scr_model::calls::{errno, execute, ArgSlots, SymCall};
+use scr_model::{CallKind, ModelConfig, SymState};
+use scr_symbolic::{explore, satisfiable, Domains, SymContext, SymInt};
+
+/// xorshift64* — the same deterministic generator the differential
+/// campaign uses for schedule shuffling.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// One step of a generated sequence: the concrete kernel op plus what the
+/// model needs to replay it (core and pinned argument values).
+#[derive(Clone, Debug)]
+enum Step {
+    /// `socket(ordered)` on `core`.
+    Socket { core: usize, ordered: bool },
+    /// `send(sock, msg)` on `core`; `msg` is an int in the model's domain.
+    Send { core: usize, sock: usize, msg: i64 },
+    /// `recv(sock)` on `core`.
+    Recv { core: usize, sock: usize },
+    /// `fork()` by process 0 on core 0.
+    Fork,
+    /// `posix_spawn(pid, [])` by process 0 on core 0 (empty dup list, so
+    /// the spawn's footprint is descriptor-free on both substrates).
+    Spawn,
+    /// `wait(child)` on core 0; `child` is a model child *slot*.
+    Wait { child: usize },
+}
+
+/// First pid a sequence's children receive (the kernel starts with
+/// processes 0 and 1; model child slot `c` materialises as pid `2 + c`).
+const CHILD_BASE: usize = 2;
+
+fn to_sysop(step: &Step) -> (usize, SysOp) {
+    match step {
+        Step::Socket { core, ordered } => (
+            *core,
+            SysOp::Socket {
+                order: if *ordered {
+                    SocketOrder::Ordered
+                } else {
+                    SocketOrder::Unordered
+                },
+            },
+        ),
+        Step::Send { core, sock, msg } => (
+            *core,
+            SysOp::Send {
+                sock: *sock,
+                msg: vec![b'0' + *msg as u8],
+            },
+        ),
+        Step::Recv { core, sock } => (*core, SysOp::Recv { sock: *sock }),
+        Step::Fork => (0, SysOp::Fork { pid: 0 }),
+        Step::Spawn => (
+            0,
+            SysOp::Spawn {
+                pid: 0,
+                dup_fds: vec![],
+            },
+        ),
+        Step::Wait { child } => (
+            0,
+            SysOp::Wait {
+                pid: 0,
+                child: CHILD_BASE + child,
+            },
+        ),
+    }
+}
+
+fn to_symcall(step: &Step, ctx: &SymContext, tag: &str) -> SymCall {
+    let slots = |core: usize, socks: Vec<usize>, children: Vec<usize>| ArgSlots {
+        proc: 0,
+        core,
+        socks,
+        children,
+        ..Default::default()
+    };
+    match step {
+        Step::Socket { core, .. } => {
+            SymCall::build(CallKind::Socket, slots(*core, vec![], vec![]), ctx, tag)
+        }
+        Step::Send { core, sock, .. } => {
+            SymCall::build(CallKind::Send, slots(*core, vec![*sock], vec![]), ctx, tag)
+        }
+        Step::Recv { core, sock } => {
+            SymCall::build(CallKind::Recv, slots(*core, vec![*sock], vec![]), ctx, tag)
+        }
+        Step::Fork => SymCall::build(CallKind::Fork, slots(0, vec![], vec![]), ctx, tag),
+        Step::Spawn => {
+            let mut s = slots(0, vec![], vec![]);
+            s.fds = vec![0];
+            SymCall::build(CallKind::PosixSpawn, s, ctx, tag)
+        }
+        Step::Wait { child } => {
+            SymCall::build(CallKind::Wait, slots(0, vec![], vec![*child]), ctx, tag)
+        }
+    }
+}
+
+/// The model-side obligations a kernel result imposes on a step's
+/// symbolic return: the expected `code` (slot indices for allocations —
+/// the oracle must be able to pick the slot matching the kernel's dense
+/// id) and, for a successful `recv`, the delivered message value.
+fn expected(step: &Step, result: &SysResult) -> (i64, Option<i64>) {
+    let errno_code = |e: &Errno| match e {
+        Errno::EBADF => errno::EBADF,
+        Errno::EAGAIN => errno::EAGAIN,
+        Errno::EINVAL => errno::EINVAL,
+        other => panic!("unexpected errno {other:?} for {step:?}"),
+    };
+    match (step, result) {
+        (Step::Socket { .. }, SysResult::Value(id)) => (*id, None),
+        (Step::Send { .. }, SysResult::Unit) => (0, None),
+        (Step::Recv { .. }, SysResult::Data(d)) => {
+            assert_eq!(d.len(), 1, "model messages are single fingerprint bytes");
+            (1, Some((d[0] - b'0') as i64))
+        }
+        (Step::Fork | Step::Spawn, SysResult::Value(pid)) => (*pid - CHILD_BASE as i64, None),
+        (Step::Wait { .. }, SysResult::Unit) => (0, None),
+        (_, SysResult::Err(e)) => (errno_code(e), None),
+        other => panic!("unexpected kernel result {other:?}"),
+    }
+}
+
+/// Generates a sequence of `len` extension steps within the model's
+/// bounds: at most `cfg.sockets` socket creations, `cfg.children` child
+/// allocations, and `cfg.queue_cap` net messages per socket queue (the
+/// bounded model's send asserts room in the target queue). Out-of-range
+/// socket/child arguments are still generated — both sides must agree on
+/// the error.
+fn generate_sequence(rng: &mut Rng, cfg: &ModelConfig, len: usize) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let mut socks_created = 0usize;
+    let mut children_alloc = 0usize;
+    // Net messages per (socket slot, queue): sends must leave room.
+    let mut queue_len = vec![vec![0i64; 2]; cfg.sockets];
+    let mut ordered = vec![false; cfg.sockets];
+    while steps.len() < len {
+        match rng.below(6) {
+            0 if socks_created < cfg.sockets => {
+                let is_ordered = rng.below(2) == 0;
+                ordered[socks_created] = is_ordered;
+                socks_created += 1;
+                steps.push(Step::Socket {
+                    core: rng.below(2),
+                    ordered: is_ordered,
+                });
+            }
+            1 => {
+                let core = rng.below(2);
+                let sock = rng.below(cfg.sockets);
+                if sock < socks_created {
+                    let q = if ordered[sock] { 0 } else { core };
+                    if queue_len[sock][q] >= cfg.queue_cap as i64 {
+                        continue;
+                    }
+                    queue_len[sock][q] += 1;
+                }
+                steps.push(Step::Send {
+                    core,
+                    sock,
+                    msg: rng.below(4) as i64,
+                });
+            }
+            2 => {
+                let core = rng.below(2);
+                let sock = rng.below(cfg.sockets);
+                if sock < socks_created {
+                    // Mirror the kernels' discipline to keep the ledger
+                    // exact: local queue first, then steal.
+                    let q = if ordered[sock] {
+                        0
+                    } else if queue_len[sock][core] > 0 {
+                        core
+                    } else {
+                        1 - core
+                    };
+                    if queue_len[sock][q] > 0 {
+                        queue_len[sock][q] -= 1;
+                    }
+                }
+                steps.push(Step::Recv { core, sock });
+            }
+            3 if children_alloc < cfg.children => {
+                children_alloc += 1;
+                steps.push(Step::Fork);
+            }
+            4 if children_alloc < cfg.children => {
+                children_alloc += 1;
+                steps.push(Step::Spawn);
+            }
+            5 => steps.push(Step::Wait {
+                child: rng.below(cfg.children),
+            }),
+            _ => continue,
+        }
+    }
+    steps
+}
+
+/// Replays `steps` on a fresh sv6 kernel and asserts the observed
+/// trajectory is a feasible model path.
+fn assert_step_parity(steps: &[Step], cfg: &ModelConfig, seed_tag: &str) {
+    // Kernel side: two processes, ops on their annotated cores.
+    let kernel = Sv6Kernel::new(2);
+    kernel.new_process();
+    kernel.new_process();
+    let results: Vec<SysResult> = steps
+        .iter()
+        .map(|step| {
+            let (core, op) = to_sysop(step);
+            perform(&kernel, core, &op)
+        })
+        .collect();
+
+    // Model side: execute the sequence symbolically and collect, per
+    // explored path, the conjunction of obligations.
+    let paths = explore(|path| {
+        let ctx = SymContext::new();
+        let (mut state, assumptions) = SymState::unconstrained(&ctx, *cfg);
+        for a in &assumptions {
+            path.assume(a);
+        }
+        // Pin the start state to the kernel's: no sockets, no children.
+        let mut obligations = Vec::new();
+        for s in 0..cfg.sockets {
+            obligations.push(state.sockets[s].exists.not());
+        }
+        for c in 0..cfg.children {
+            obligations.push(state.children[c].occupied.not());
+        }
+        for (i, (step, result)) in steps.iter().zip(&results).enumerate() {
+            let call = to_symcall(step, &ctx, &format!("step{i}"));
+            for a in call.argument_assumptions(cfg.file_pages) {
+                path.assume(&a);
+            }
+            // Pin the concrete argument values.
+            match step {
+                Step::Socket { ordered, .. } => obligations.push(if *ordered {
+                    call.bools[0].clone()
+                } else {
+                    call.bools[0].not()
+                }),
+                Step::Send { msg, .. } => {
+                    obligations.push(call.ints[0].eq(&SymInt::from_i64(*msg)));
+                }
+                Step::Spawn => obligations.push(call.bools[0].clone()), // spawn_none
+                _ => {}
+            }
+            let ret = execute(&call, &mut state, path, &ctx, &format!("step{i}"));
+            // Pin the observed outcome.
+            let (code, value) = expected(step, result);
+            obligations.push(ret.code.eq(&SymInt::from_i64(code)));
+            if let Some(v) = value {
+                match ret.values.first() {
+                    // Successful-recv paths carry the delivered message.
+                    Some(m) => obligations.push(m.eq(&SymInt::from_i64(v))),
+                    // Error paths (empty values) can't explain a kernel
+                    // delivery; the code pin above already contradicts
+                    // them, but make the path infeasible explicitly.
+                    None => obligations.push(SymInt::from_i64(0).eq(&SymInt::from_i64(1))),
+                }
+            }
+        }
+        obligations
+    });
+
+    let domains = Domains::new(vec![0, 1, 2, 3, 4]);
+    let feasible = paths.iter().any(|p| {
+        let mut condition = p.condition.clone();
+        condition.extend(p.value.iter().map(|b| b.expr().clone()));
+        satisfiable(&condition, &domains)
+    });
+    assert!(
+        feasible,
+        "{seed_tag}: kernel trajectory matches no model path\nsteps: {steps:#?}\nresults: {results:#?}"
+    );
+}
+
+#[test]
+fn random_ext_sequences_are_feasible_model_paths() {
+    let cfg = ModelConfig {
+        names: 2,
+        inodes: 2,
+        procs: 2,
+        fds_per_proc: 2,
+        file_pages: 2,
+        vm_pages: 2,
+        sockets: 2,
+        queue_cap: 2,
+        children: 2,
+    };
+    for seed in 0..12u64 {
+        let mut rng = Rng(0x5EED_0000 + seed * 0x9E37_79B9);
+        let len = 4 + rng.below(3);
+        let steps = generate_sequence(&mut rng, &cfg, len);
+        assert_step_parity(&steps, &cfg, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn directed_ext_sequences_are_feasible_model_paths() {
+    // Deterministic scenarios covering each oracle family: slot choice,
+    // steal delivery, idempotent reaping, and error paths.
+    let cfg = ModelConfig {
+        names: 2,
+        inodes: 2,
+        procs: 2,
+        fds_per_proc: 2,
+        file_pages: 2,
+        vm_pages: 2,
+        sockets: 2,
+        queue_cap: 2,
+        children: 2,
+    };
+    let scenarios: Vec<(&str, Vec<Step>)> = vec![
+        (
+            "unordered steal across cores",
+            vec![
+                Step::Socket {
+                    core: 0,
+                    ordered: false,
+                },
+                Step::Send {
+                    core: 1,
+                    sock: 0,
+                    msg: 3,
+                },
+                Step::Recv { core: 0, sock: 0 },
+                Step::Recv { core: 0, sock: 0 },
+            ],
+        ),
+        (
+            "ordered fifo",
+            vec![
+                Step::Socket {
+                    core: 0,
+                    ordered: true,
+                },
+                Step::Send {
+                    core: 0,
+                    sock: 0,
+                    msg: 1,
+                },
+                Step::Send {
+                    core: 1,
+                    sock: 0,
+                    msg: 2,
+                },
+                Step::Recv { core: 1, sock: 0 },
+                Step::Recv { core: 0, sock: 0 },
+            ],
+        ),
+        (
+            "two sockets, bad probe",
+            vec![
+                Step::Socket {
+                    core: 0,
+                    ordered: false,
+                },
+                Step::Send {
+                    core: 0,
+                    sock: 1,
+                    msg: 0,
+                },
+                Step::Recv { core: 1, sock: 1 },
+                Step::Socket {
+                    core: 1,
+                    ordered: true,
+                },
+                Step::Send {
+                    core: 0,
+                    sock: 1,
+                    msg: 2,
+                },
+            ],
+        ),
+        (
+            "fork, spawn, double reap, invalid wait",
+            vec![
+                Step::Fork,
+                Step::Spawn,
+                Step::Wait { child: 0 },
+                Step::Wait { child: 0 },
+                Step::Wait { child: 1 },
+            ],
+        ),
+    ];
+    for (name, steps) in scenarios {
+        assert_step_parity(&steps, &cfg, name);
+    }
+}

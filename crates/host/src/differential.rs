@@ -15,11 +15,11 @@
 use crate::kernel::{perform_host, HostKernel, HostMode};
 use scr_core::pipeline::{bucket_distinct_names, CommuterConfig};
 use scr_core::{
-    analyze_pair, differential_check, enumerate_shapes, generate_tests, run_test, ConcreteReplayer,
-    ConcreteTest, DifferentialOutcome, SkipHistogram, Sv6Factory,
+    analyze_pair, differential_check, enumerate_shapes, generate_tests, run_test_order,
+    ConcreteReplayer, ConcreteTest, DifferentialOutcome, SkipHistogram, Sv6Factory,
 };
 use scr_kernel::api::SysResult;
-use scr_model::CallKind;
+use scr_model::{pair_config, CallKind};
 use scr_obs::EventLog;
 use std::sync::Arc;
 use std::sync::Barrier;
@@ -48,9 +48,11 @@ impl ConcreteReplayer for HostReplayer {
         for _ in 0..test.procs.max(2) {
             kernel.new_process();
         }
-        // Setup replays sequentially on core 0, as in the simulated driver.
-        for op in &test.setup {
-            perform_host(&kernel, 0, op);
+        // Setup replays sequentially, each op on its annotated core (socket
+        // preloads must land on the owning core's queue), as in the
+        // simulated driver.
+        for (core, op) in &test.setup {
+            perform_host(&kernel, *core, op);
         }
         // The commutative pair races on two real threads.
         let barrier = Barrier::new(2);
@@ -216,7 +218,7 @@ pub fn differential_campaign_observed(
     config: &CampaignConfig,
     events: Option<&EventLog>,
 ) -> DifferentialReport {
-    let model = CommuterConfig::quick(&config.calls).model;
+    let base_model = CommuterConfig::quick(&config.calls).model;
     let names = bucket_distinct_names(8);
 
     // Phase 1: generate per-pair test pools (and skip accounting). Every
@@ -230,6 +232,10 @@ pub fn differential_campaign_observed(
         for &call_b in config.calls.iter().skip(i) {
             let mut pool = Vec::new();
             let mut skipped = 0;
+            // Per-pair model specialisation: extension pairs get socket and
+            // child-table bounds, pure-socket pairs shed the file-system
+            // dimensions, fs-only pairs keep the base model unchanged.
+            let model = pair_config(&base_model, call_a, call_b);
             for shape in enumerate_shapes(call_a, call_b, &model) {
                 let analysis = analyze_pair(&shape, &model);
                 if analysis.cases.is_empty() {
@@ -299,13 +305,17 @@ pub fn differential_campaign_observed(
     };
     let mut replayed_per_pair = vec![0usize; pools.len()];
     for (idx, test) in &selected {
-        let simulated = run_test(&factory, test).results;
+        // Both sequential orders define the legal outcomes: a racing replay
+        // of a commutative pair must linearise to one of them (see
+        // `DifferentialOutcome::agree`).
+        let simulated = run_test_order(&factory, test, true).results;
+        let simulated_ba = run_test_order(&factory, test, false).results;
         report.tests_run += 1;
         replayed_per_pair[*idx] += 1;
         for _ in 0..config.schedules_per_test.max(1) {
             let replayed = replayer.replay(test);
             report.replays_run += 1;
-            if simulated != replayed {
+            if replayed != simulated && replayed != simulated_ba {
                 if let Some(events) = events {
                     events.emit_kv(
                         "mismatch",
@@ -319,6 +329,7 @@ pub fn differential_campaign_observed(
                 report.mismatches.push(DifferentialOutcome {
                     test_id: test.id.clone(),
                     simulated: simulated.clone(),
+                    simulated_ba: simulated_ba.clone(),
                     replayed,
                 });
                 break;
@@ -355,9 +366,9 @@ pub fn differential_campaign_observed(
     report
 }
 
-/// The §4 extension leg of the campaign: sockets and process management
-/// live outside the symbolic model, so their corpus is the hand-enumerated
-/// one in [`crate::fig6`], replayed on real threads under several
+/// The §4 extension leg of the campaign: the TESTGEN-generated extension
+/// corpus from [`crate::fig6`] (socket queues and the process table are
+/// modelled symbolically), replayed on real threads under several
 /// schedules and cross-checked by linearization plus message conservation.
 #[derive(Clone, Debug)]
 pub struct ExtCampaignReport {

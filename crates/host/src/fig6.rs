@@ -31,9 +31,9 @@ use scr_core::{
     LinuxLikeFactory, Sv6Factory,
 };
 use scr_hostmtrace::{on_core, HostConflictReport, HostTraceSink};
-use scr_kernel::api::{perform, Fd, Pid, SockId, SocketOrder, SysOp, SysResult, SyscallApi};
+use scr_kernel::api::{perform, SockId, SocketOrder, SysOp, SysResult, SyscallApi};
 use scr_kernel::Sv6Kernel;
-use scr_model::{CallKind, ModelConfig};
+use scr_model::{pair_config, CallKind, ModelConfig};
 use scr_mtrace::AccessKind;
 use scr_obs::HeatMap;
 use std::sync::Barrier;
@@ -123,8 +123,8 @@ pub fn replay_traced_with_sink(
     for _ in 0..test.procs.max(2) {
         kernel.new_process();
     }
-    for op in &test.setup {
-        on_core(0, || perform_host(&kernel, 0, op));
+    for (core, op) in &test.setup {
+        on_core(*core, || perform_host(&kernel, *core, op));
     }
     sink.begin_window();
     let results = if concurrent {
@@ -415,320 +415,402 @@ pub fn run_host_fig6(config: &HostFig6Config) -> HostFig6Results {
 
 // --- §4 extension pairs: sockets and process management -------------------
 //
-// The symbolic pipeline covers the 18 modelled file-system and VM calls;
-// the §4 extensions — datagram `send`/`recv` with optional ordering,
-// `fork`/`posix_spawn`/`wait` — live outside the model, so their host
-// cross-check corpus is enumerated by hand here and run through the same
-// protocol as every generated test: setup untraced, the pair traced on
-// cores 0 and 1, SIM-conflict-free ⇒ host-conflict-free, and observable
-// results compared against the simulated kernel. Because several of these
-// pairs commute only up to fungible values (two spawns race for the next
-// pid; unordered receives race for equivalent messages), the result check
-// is a linearization check — the host's racing outcome must equal the
-// simulated outcome under *some* order of the two calls — plus a message
-// conservation check: every datagram sent is received or still queued,
-// exactly once.
+// The §4 extensions — datagram `send`/`recv` with optional ordering,
+// `fork`/`posix_spawn`/`wait` — are modelled symbolically (`scr-model`'s
+// socket queues and process table), so their host cross-check corpus is
+// *generated* by TESTGEN exactly like the file-system corpus: every
+// unordered pair with at least one extension call is analysed, each
+// commutative case is materialised into a [`ConcreteTest`], and every test
+// runs through the same protocol as the rest of Figure 6 — setup untraced,
+// the pair traced on cores 0 and 1, SIM-conflict-free ⇒ host-conflict-free.
+//
+// Because several of these pairs commute only up to fungible values (two
+// spawns race for the next pid; unordered receives race for equivalent
+// messages), the result check is a linearization check — the host's racing
+// outcome must equal the simulated outcome under *some* order of the two
+// calls — plus a message conservation check: every datagram sent to an
+// existing socket is received or still queued, exactly once.
+//
+// A hand-enumerated corpus ([`ext_corpus`]) predates the generated one and
+// is kept as a regression floor: the acceptance test checks every hand
+// test appears, up to isomorphism ([`ext_signature`]), among the generated
+// tests.
 
-/// A reified operation over the §4 extension calls plus the modelled
-/// file-system calls (the latter for setup and mixed pairs).
-#[derive(Clone, Debug)]
-pub enum ExtOp {
-    /// `socket(order)` (setup; sockets are numbered densely from 0).
-    Socket {
-        /// Requested delivery discipline.
-        order: SocketOrder,
-    },
-    /// `send(sock, msg)`.
-    Send {
-        /// Socket to send on.
-        sock: SockId,
-        /// Payload.
-        msg: Vec<u8>,
-    },
-    /// `recv(sock)`.
-    Recv {
-        /// Socket to receive from.
-        sock: SockId,
-    },
-    /// `fork(pid)`.
-    Fork {
-        /// Forking process.
-        pid: Pid,
-    },
-    /// `posix_spawn(pid, dup_fds)`.
-    Spawn {
-        /// Spawning process.
-        pid: Pid,
-        /// Descriptors duplicated into the child.
-        dup_fds: Vec<Fd>,
-    },
-    /// `wait(pid, child)`.
-    Wait {
-        /// Waiting process.
-        pid: Pid,
-        /// Child being reaped.
-        child: Pid,
-    },
-    /// Any modelled call, reusing the [`SysOp`] vocabulary.
-    Fs(SysOp),
+/// Satisfying assignments enumerated per commutative case when building
+/// the generated extension corpus (smaller than the fs pipeline's limit:
+/// extension pairs have many shapes and every test runs on four kernels).
+pub const EXT_MAX_ASSIGNMENTS_PER_CASE: usize = 12;
+
+/// Total test budget for [`run_ext_fig6`]: the generated corpus is
+/// round-robined across call pairs down to this many tests so the
+/// cross-check stays proportionate to the rest of the suite.
+pub const EXT_CORPUS_BUDGET: usize = 96;
+
+/// The calls whose pairs make up the extension corpus: every §4 extension
+/// call, plus `open` so the mixed pairs of the paper's process-management
+/// discussion (`posix_spawn ∥ open` scaling where `fork ∥ open` cannot)
+/// are covered.
+pub fn ext_calls() -> Vec<CallKind> {
+    vec![
+        CallKind::Socket,
+        CallKind::Send,
+        CallKind::Recv,
+        CallKind::Fork,
+        CallKind::PosixSpawn,
+        CallKind::Wait,
+        CallKind::Open,
+    ]
 }
 
-/// Performs an extension operation on any kernel speaking [`SyscallApi`].
-pub fn perform_ext<K: SyscallApi + ?Sized>(kernel: &K, core: usize, op: &ExtOp) -> SysResult {
-    match op {
-        ExtOp::Socket { order } => match kernel.socket(core, *order) {
-            Ok(id) => SysResult::Value(id as i64),
-            Err(e) => SysResult::Err(e),
-        },
-        ExtOp::Send { sock, msg } => match kernel.send(core, *sock, msg) {
-            Ok(()) => SysResult::Unit,
-            Err(e) => SysResult::Err(e),
-        },
-        ExtOp::Recv { sock } => match kernel.recv(core, *sock) {
-            Ok(data) => SysResult::Data(data),
-            Err(e) => SysResult::Err(e),
-        },
-        ExtOp::Fork { pid } => match kernel.fork(core, *pid) {
-            Ok(child) => SysResult::Value(child as i64),
-            Err(e) => SysResult::Err(e),
-        },
-        ExtOp::Spawn { pid, dup_fds } => match kernel.posix_spawn(core, *pid, dup_fds) {
-            Ok(child) => SysResult::Value(child as i64),
-            Err(e) => SysResult::Err(e),
-        },
-        ExtOp::Wait { pid, child } => match kernel.wait(core, *pid, *child) {
-            Ok(()) => SysResult::Unit,
-            Err(e) => SysResult::Err(e),
-        },
-        ExtOp::Fs(op) => perform(kernel, core, op),
+/// Every unordered pair over [`ext_calls`] with at least one extension
+/// call (pure fs pairs like `open ∥ open` belong to the main pipeline).
+pub fn ext_pair_calls() -> Vec<(CallKind, CallKind)> {
+    let calls = ext_calls();
+    let mut pairs = Vec::new();
+    for (i, &a) in calls.iter().enumerate() {
+        for &b in calls.iter().skip(i) {
+            if a.is_extension() || b.is_extension() {
+                pairs.push((a, b));
+            }
+        }
+    }
+    pairs
+}
+
+/// The TESTGEN-generated extension corpus plus its skip histogram.
+#[derive(Clone, Debug)]
+pub struct ExtCorpus {
+    /// Every materialised test, in pair-enumeration order.
+    pub tests: Vec<ConcreteTest>,
+    /// Why satisfying assignments were skipped, summed over all pairs.
+    pub skip_reasons: scr_core::SkipHistogram,
+}
+
+/// Generates the extension corpus: every pair from [`ext_pair_calls`]
+/// under its own [`pair_config`] specialisation, `max_per_case`
+/// assignments per commutative case. The result is memoised for the
+/// default limit via [`generated_ext_corpus`]; call this directly to use a
+/// different limit.
+pub fn build_ext_corpus(max_per_case: usize) -> ExtCorpus {
+    let base = ModelConfig::default();
+    let names = bucket_distinct_names(8);
+    let mut tests = Vec::new();
+    let mut skip_reasons = scr_core::SkipHistogram::new();
+    for (call_a, call_b) in ext_pair_calls() {
+        let cfg = pair_config(&base, call_a, call_b);
+        for shape in enumerate_shapes(call_a, call_b, &cfg) {
+            let analysis = analyze_pair(&shape, &cfg);
+            if analysis.cases.is_empty() {
+                continue;
+            }
+            let generated = generate_tests(&shape, &analysis.cases, &cfg, &names, max_per_case);
+            for (&reason, &count) in &generated.skip_reasons {
+                *skip_reasons.entry(reason).or_default() += count;
+            }
+            tests.extend(generated.tests);
+        }
+    }
+    ExtCorpus {
+        tests,
+        skip_reasons,
     }
 }
 
-/// One hand-enumerated extension-pair test.
-#[derive(Clone, Debug)]
-pub struct ExtTest {
-    /// Unique identifier.
-    pub id: String,
-    /// Setup operations, each with the core it runs on (untraced; cores
-    /// matter here because unordered sockets route by sending core).
-    pub setup: Vec<(usize, ExtOp)>,
-    /// The first operation of the pair (traced, core 0).
-    pub op_a: ExtOp,
-    /// The second operation of the pair (traced, core 1).
-    pub op_b: ExtOp,
-    /// Number of processes to create up front.
-    pub procs: usize,
-    /// Sockets whose leftover messages the conservation check drains.
-    pub sockets: Vec<SockId>,
+/// The generated extension corpus at the default per-case limit, built
+/// once per process (generation runs the symbolic analyzer over 27 pairs,
+/// which is far more expensive than replaying the corpus).
+pub fn generated_ext_corpus() -> &'static ExtCorpus {
+    static CORPUS: std::sync::OnceLock<ExtCorpus> = std::sync::OnceLock::new();
+    CORPUS.get_or_init(|| build_ext_corpus(EXT_MAX_ASSIGNMENTS_PER_CASE))
 }
 
-impl ExtTest {
-    /// Every payload sent anywhere in the test (setup and pair), in
-    /// sorted order — the "sent" side of the conservation ledger.
-    pub fn sent_messages(&self) -> Vec<Vec<u8>> {
-        let mut sent: Vec<Vec<u8>> = self
-            .setup
-            .iter()
-            .map(|(_, op)| op)
-            .chain([&self.op_a, &self.op_b])
-            .filter_map(|op| match op {
-                ExtOp::Send { msg, .. } => Some(msg.clone()),
-                _ => None,
-            })
-            .collect();
-        sent.sort();
-        sent
+/// Round-robins `tests` across their call pairs down to at most `budget`
+/// tests, preserving within-pair order — so a budgeted corpus still covers
+/// every pair that generated anything.
+pub fn budget_corpus(tests: &[ConcreteTest], budget: usize) -> Vec<ConcreteTest> {
+    let mut by_pair: std::collections::BTreeMap<(&str, &str), Vec<&ConcreteTest>> =
+        std::collections::BTreeMap::new();
+    for test in tests {
+        by_pair
+            .entry((test.calls.0.name(), test.calls.1.name()))
+            .or_default()
+            .push(test);
     }
+    let mut out = Vec::new();
+    let mut round = 0;
+    while out.len() < budget.min(tests.len()) {
+        let mut advanced = false;
+        for pool in by_pair.values() {
+            if let Some(test) = pool.get(round) {
+                out.push((*test).clone());
+                advanced = true;
+                if out.len() == budget {
+                    break;
+                }
+            }
+        }
+        if !advanced {
+            break;
+        }
+        round += 1;
+    }
+    out
 }
 
-/// The §4 extension corpus: socket pairs in both disciplines and the
+/// The hand-enumerated §4 corpus: socket pairs in both disciplines and the
 /// spawn/fork/wait pairs, every one of them SIM-commutative in its
 /// materialised state (the corpus mirrors TESTGEN's rule of only
 /// materialising commutative cases — e.g. `recv ∥ recv` on an ordered
 /// socket appears only with equal pending messages, since distinct heads
-/// do not commute).
-pub fn ext_corpus() -> Vec<ExtTest> {
-    let sock = |order| ExtOp::Socket { order };
-    let send = |sock, msg: &str| ExtOp::Send {
+/// do not commute). Kept as the regression floor for the generated corpus:
+/// see `generated_corpus_covers_every_hand_enumerated_test`.
+pub fn ext_corpus() -> Vec<ConcreteTest> {
+    let sock = |order| SysOp::Socket { order };
+    let send = |sock, msg: &str| SysOp::Send {
         sock,
         msg: msg.as_bytes().to_vec(),
     };
-    let recv = |sock| ExtOp::Recv { sock };
-    let open = |pid, name: &str| {
-        ExtOp::Fs(SysOp::Open {
-            pid,
-            name: name.into(),
-            flags: scr_kernel::api::OpenFlags::create(),
-        })
+    let recv = |sock| SysOp::Recv { sock };
+    let open = |pid, name: &str| SysOp::Open {
+        pid,
+        name: name.into(),
+        flags: scr_kernel::api::OpenFlags::create(),
     };
-    let mut tests = vec![
-        ExtTest {
-            id: "ext_send_send_ordered".into(),
-            setup: vec![(0, sock(SocketOrder::Ordered))],
-            op_a: send(0, "a0"),
-            op_b: send(0, "b1"),
-            procs: 2,
-            sockets: vec![0],
-        },
-        ExtTest {
-            id: "ext_send_send_unordered".into(),
-            setup: vec![(0, sock(SocketOrder::Unordered))],
-            op_a: send(0, "a0"),
-            op_b: send(0, "b1"),
-            procs: 2,
-            sockets: vec![0],
-        },
-        ExtTest {
-            // §4's headline: with a message pending in the receiver's own
-            // queue, unordered send ∥ recv commutes AND is conflict-free.
-            id: "ext_send_recv_unordered_local".into(),
-            setup: vec![(0, sock(SocketOrder::Unordered)), (1, send(0, "pre"))],
-            op_a: send(0, "a0"),
-            op_b: recv(0),
-            procs: 2,
-            sockets: vec![0],
-        },
-        ExtTest {
-            // POSIX ordering forces one queue: the same pair conflicts.
-            id: "ext_send_recv_ordered".into(),
-            setup: vec![(0, sock(SocketOrder::Ordered)), (0, send(0, "pre"))],
-            op_a: send(0, "a0"),
-            op_b: recv(0),
-            procs: 2,
-            sockets: vec![0],
-        },
-        ExtTest {
-            // Ordered recv ∥ recv commutes only with equal heads.
-            id: "ext_recv_recv_ordered_equal_heads".into(),
-            setup: vec![
+    let spawn1 = |pid| SysOp::Spawn {
+        pid,
+        dup_fds: vec![0],
+    };
+    let test = |id: &str, calls, setup: Vec<(usize, SysOp)>, op_a, op_b| ConcreteTest {
+        id: id.into(),
+        calls,
+        setup,
+        op_a,
+        op_b,
+        procs: 2,
+    };
+    vec![
+        test(
+            "ext_send_send_ordered",
+            (CallKind::Send, CallKind::Send),
+            vec![(0, sock(SocketOrder::Ordered))],
+            send(0, "a0"),
+            send(0, "b1"),
+        ),
+        test(
+            "ext_send_send_unordered",
+            (CallKind::Send, CallKind::Send),
+            vec![(0, sock(SocketOrder::Unordered))],
+            send(0, "a0"),
+            send(0, "b1"),
+        ),
+        // §4's headline: with a message pending in the receiver's own
+        // queue, unordered send ∥ recv commutes AND is conflict-free.
+        test(
+            "ext_send_recv_unordered_local",
+            (CallKind::Send, CallKind::Recv),
+            vec![(0, sock(SocketOrder::Unordered)), (1, send(0, "pre"))],
+            send(0, "a0"),
+            recv(0),
+        ),
+        // POSIX ordering forces one queue: the same pair conflicts.
+        test(
+            "ext_send_recv_ordered",
+            (CallKind::Send, CallKind::Recv),
+            vec![(0, sock(SocketOrder::Ordered)), (0, send(0, "pre"))],
+            send(0, "a0"),
+            recv(0),
+        ),
+        // Ordered recv ∥ recv commutes only with equal heads.
+        test(
+            "ext_recv_recv_ordered_equal_heads",
+            (CallKind::Recv, CallKind::Recv),
+            vec![
                 (0, sock(SocketOrder::Ordered)),
                 (0, send(0, "m")),
                 (0, send(0, "m")),
             ],
-            op_a: recv(0),
-            op_b: recv(0),
-            procs: 2,
-            sockets: vec![0],
-        },
-        ExtTest {
-            id: "ext_recv_recv_unordered_local_queues".into(),
-            setup: vec![
+            recv(0),
+            recv(0),
+        ),
+        test(
+            "ext_recv_recv_unordered_local_queues",
+            (CallKind::Recv, CallKind::Recv),
+            vec![
                 (0, sock(SocketOrder::Unordered)),
                 (0, send(0, "m0")),
                 (1, send(0, "m1")),
             ],
-            op_a: recv(0),
-            op_b: recv(0),
-            procs: 2,
-            sockets: vec![0],
-        },
-        ExtTest {
-            // Empty receives: commute (both EAGAIN) but the steal scan
-            // makes them conflict — on both substrates.
-            id: "ext_recv_recv_unordered_empty".into(),
-            setup: vec![(0, sock(SocketOrder::Unordered))],
-            op_a: recv(0),
-            op_b: recv(0),
-            procs: 2,
-            sockets: vec![0],
-        },
-        ExtTest {
-            id: "ext_fork_fork".into(),
-            setup: vec![(0, open(0, "shared"))],
-            op_a: ExtOp::Fork { pid: 0 },
-            op_b: ExtOp::Fork { pid: 0 },
-            procs: 2,
-            sockets: vec![],
-        },
-        ExtTest {
-            id: "ext_spawn_spawn".into(),
-            setup: vec![(0, open(0, "shared"))],
-            op_a: ExtOp::Spawn {
-                pid: 0,
-                dup_fds: vec![0],
-            },
-            op_b: ExtOp::Spawn {
-                pid: 0,
-                dup_fds: vec![0],
-            },
-            procs: 2,
-            sockets: vec![],
-        },
-        ExtTest {
-            // posix_spawn touches only the listed descriptor, so it stays
-            // conflict-free beside a lowest-FD open of a later slot…
-            id: "ext_spawn_open".into(),
-            setup: vec![(0, open(0, "shared"))],
-            op_a: ExtOp::Spawn {
-                pid: 0,
-                dup_fds: vec![0],
-            },
-            op_b: open(0, "other"),
-            procs: 2,
-            sockets: vec![],
-        },
-        ExtTest {
-            // …while fork's whole-table snapshot conflicts with it.
-            id: "ext_fork_open".into(),
-            setup: vec![(0, open(0, "shared"))],
-            op_a: ExtOp::Fork { pid: 0 },
-            op_b: open(0, "other"),
-            procs: 2,
-            sockets: vec![],
-        },
-        ExtTest {
-            id: "ext_wait_spawn".into(),
-            setup: vec![
-                (0, open(0, "shared")),
-                (
-                    0,
-                    ExtOp::Spawn {
-                        pid: 0,
-                        dup_fds: vec![0],
-                    },
-                ),
-            ],
-            op_a: ExtOp::Wait { pid: 0, child: 2 },
-            op_b: ExtOp::Spawn {
-                pid: 0,
-                dup_fds: vec![0],
-            },
-            procs: 2,
-            sockets: vec![],
-        },
-        ExtTest {
-            id: "ext_wait_wait_same_child".into(),
-            setup: vec![
-                (0, open(0, "shared")),
-                (
-                    0,
-                    ExtOp::Spawn {
-                        pid: 0,
-                        dup_fds: vec![0],
-                    },
-                ),
-            ],
-            op_a: ExtOp::Wait { pid: 0, child: 2 },
-            op_b: ExtOp::Wait { pid: 1, child: 2 },
-            procs: 2,
-            sockets: vec![],
-        },
-    ];
-    // A second ordering flavour of the fungible-message steal case: the
-    // receiver's local queue is empty, so it must steal the pending
-    // message or report the sent one — either way conservation holds.
-    tests.push(ExtTest {
-        id: "ext_send_recv_unordered_steal".into(),
-        setup: vec![(0, sock(SocketOrder::Unordered)), (0, send(0, "pre"))],
-        op_a: send(0, "a0"),
-        op_b: recv(0),
-        procs: 2,
-        sockets: vec![0],
-    });
-    tests
+            recv(0),
+            recv(0),
+        ),
+        // Empty receives: commute (both EAGAIN) but the steal scan makes
+        // them conflict — on both substrates.
+        test(
+            "ext_recv_recv_unordered_empty",
+            (CallKind::Recv, CallKind::Recv),
+            vec![(0, sock(SocketOrder::Unordered))],
+            recv(0),
+            recv(0),
+        ),
+        test(
+            "ext_fork_fork",
+            (CallKind::Fork, CallKind::Fork),
+            vec![(0, open(0, "shared"))],
+            SysOp::Fork { pid: 0 },
+            SysOp::Fork { pid: 0 },
+        ),
+        test(
+            "ext_spawn_spawn",
+            (CallKind::PosixSpawn, CallKind::PosixSpawn),
+            vec![(0, open(0, "shared"))],
+            spawn1(0),
+            spawn1(0),
+        ),
+        // posix_spawn touches only the listed descriptor, so it stays
+        // conflict-free beside a lowest-FD open of a later slot…
+        test(
+            "ext_spawn_open",
+            (CallKind::PosixSpawn, CallKind::Open),
+            vec![(0, open(0, "shared"))],
+            spawn1(0),
+            open(0, "other"),
+        ),
+        // …while fork's whole-table snapshot conflicts with it.
+        test(
+            "ext_fork_open",
+            (CallKind::Fork, CallKind::Open),
+            vec![(0, open(0, "shared"))],
+            SysOp::Fork { pid: 0 },
+            open(0, "other"),
+        ),
+        test(
+            "ext_wait_spawn",
+            (CallKind::Wait, CallKind::PosixSpawn),
+            vec![(0, open(0, "shared")), (0, spawn1(0))],
+            SysOp::Wait { pid: 0, child: 2 },
+            spawn1(0),
+        ),
+        test(
+            "ext_wait_wait_same_child",
+            (CallKind::Wait, CallKind::Wait),
+            vec![(0, open(0, "shared")), (0, spawn1(0))],
+            SysOp::Wait { pid: 0, child: 2 },
+            SysOp::Wait { pid: 1, child: 2 },
+        ),
+        // A second ordering flavour of the fungible-message steal case:
+        // the receiver's local queue is empty, so it must steal the
+        // pending message or report the sent one — either way conservation
+        // holds.
+        test(
+            "ext_send_recv_unordered_steal",
+            (CallKind::Send, CallKind::Recv),
+            vec![(0, sock(SocketOrder::Unordered)), (0, send(0, "pre"))],
+            send(0, "a0"),
+            recv(0),
+        ),
+    ]
 }
 
-/// Results and footprint of a sequential simulated run of an [`ExtTest`].
+/// How many sockets a test's setup creates. Both kernels number sockets
+/// densely from 0, so ids `0..count` exist and anything ≥ count is a
+/// deliberate bad-socket probe.
+pub fn created_sockets(test: &ConcreteTest) -> usize {
+    test.setup
+        .iter()
+        .filter(|(_, op)| matches!(op, SysOp::Socket { .. }))
+        .count()
+}
+
+/// The socket ids a test's setup creates (the ones the conservation check
+/// drains afterwards).
+pub fn socket_ids(test: &ConcreteTest) -> Vec<SockId> {
+    (0..created_sockets(test)).collect()
+}
+
+/// Every payload the test sends to an *existing* socket (setup and pair),
+/// sorted — the "sent" side of the conservation ledger. Sends to bad
+/// socket ids fail with EBADF on both substrates and never enter a queue,
+/// so they are excluded.
+pub fn sent_messages(test: &ConcreteTest) -> Vec<Vec<u8>> {
+    let created = created_sockets(test);
+    let mut sent: Vec<Vec<u8>> = test
+        .setup
+        .iter()
+        .map(|(_, op)| op)
+        .chain([&test.op_a, &test.op_b])
+        .filter_map(|op| match op {
+            SysOp::Send { sock, msg } if *sock < created => Some(msg.clone()),
+            _ => None,
+        })
+        .collect();
+    sent.sort();
+    sent
+}
+
+/// An isomorphism signature for an extension test: what remains after
+/// erasing every fungible detail. Two tests with equal signatures exercise
+/// the same commutative scenario:
+///
+/// * payloads, file names, caller pids and concrete fd numbers are erased
+///   (all fungible — TESTGEN picks arbitrary witnesses);
+/// * socket identity within the test is kept (`s0`, `s1`, or `bad` for a
+///   nonexistent-socket probe), as is each socket's delivery discipline;
+/// * setup sends keep their sending core (unordered sockets route by
+///   core, so `send@c1` vs `send@c0` distinguishes a local-queue preload
+///   from a steal scenario);
+/// * setup spawns are counted (their dup lists are fungible: the hand
+///   corpus duplicates a file descriptor where the generated corpus
+///   duplicates pipe endpoints, but either way the child is reapable);
+/// * the traced ops keep their target socket / child pid / spawn dup
+///   arity; other setup ops (opens, pipes) are scaffolding and erased.
+///
+/// `swap_ops` renders the pair in the opposite order: pair enumeration is
+/// unordered, so `wait ∥ posix_spawn` in the hand corpus matches a
+/// generated `posix_spawn ∥ wait` test.
+pub fn ext_signature(test: &ConcreteTest, swap_ops: bool) -> String {
+    let created = created_sockets(test);
+    let sock_ref = |s: SockId| {
+        if s < created {
+            format!("s{s}")
+        } else {
+            "bad".to_string()
+        }
+    };
+    let mut setup: Vec<String> = Vec::new();
+    for (core, op) in &test.setup {
+        match op {
+            SysOp::Socket { order } => setup.push(format!("socket:{order:?}")),
+            SysOp::Send { sock, .. } => setup.push(format!("send@c{core}:{}", sock_ref(*sock))),
+            SysOp::Spawn { .. } => setup.push("spawn".to_string()),
+            _ => {}
+        }
+    }
+    setup.sort();
+    let op_sig = |op: &SysOp| match op {
+        SysOp::Socket { order } => format!("socket:{order:?}"),
+        SysOp::Send { sock, .. } => format!("send:{}", sock_ref(*sock)),
+        SysOp::Recv { sock } => format!("recv:{}", sock_ref(*sock)),
+        SysOp::Fork { .. } => "fork".to_string(),
+        SysOp::Spawn { dup_fds, .. } => format!("spawn:{}", dup_fds.len()),
+        SysOp::Wait { child, .. } => {
+            if *child >= scr_core::BAD_CHILD_PID {
+                "wait:bad".to_string()
+            } else {
+                format!("wait:p{child}")
+            }
+        }
+        other => other.call_name().to_string(),
+    };
+    let (a, b) = if swap_ops {
+        (&test.op_b, &test.op_a)
+    } else {
+        (&test.op_a, &test.op_b)
+    };
+    format!("[{}] {} ∥ {}", setup.join(","), op_sig(a), op_sig(b))
+}
+
+/// Results and footprint of a sequential simulated run of an extension
+/// test.
 #[derive(Clone, Debug)]
 pub struct SimExtRun {
     /// The pair's observable results, as (op_a, op_b).
@@ -739,10 +821,11 @@ pub struct SimExtRun {
     pub footprint: Vec<(usize, String, AccessKind)>,
 }
 
-/// Runs an extension test on a fresh simulated sv6 kernel: setup untraced,
-/// then the pair traced on cores 0 and 1, in the given order (`a_first`
-/// false replays B before A — the other linearization).
-pub fn run_ext_sim(cores: usize, test: &ExtTest, a_first: bool) -> SimExtRun {
+/// Runs an extension test on a fresh simulated sv6 kernel: setup untraced
+/// on its annotated cores, then the pair traced on cores 0 and 1, in the
+/// given order (`a_first` false replays B before A — the other
+/// linearization).
+pub fn run_ext_sim(cores: usize, test: &ConcreteTest, a_first: bool) -> SimExtRun {
     let kernel = Sv6Kernel::new(cores.max(2));
     let machine = scr_kernel::api::KernelApi::machine(&kernel).clone();
     for _ in 0..test.procs.max(2) {
@@ -750,17 +833,17 @@ pub fn run_ext_sim(cores: usize, test: &ExtTest, a_first: bool) -> SimExtRun {
     }
     machine.stop_tracing();
     for (core, op) in &test.setup {
-        machine.on_core(*core, || perform_ext(&kernel, *core, op));
+        machine.on_core(*core, || perform(&kernel, *core, op));
     }
     machine.clear_trace();
     machine.start_tracing();
     let results = if a_first {
-        let ra = machine.on_core(0, || perform_ext(&kernel, 0, &test.op_a));
-        let rb = machine.on_core(1, || perform_ext(&kernel, 1, &test.op_b));
+        let ra = machine.on_core(0, || perform(&kernel, 0, &test.op_a));
+        let rb = machine.on_core(1, || perform(&kernel, 1, &test.op_b));
         (ra, rb)
     } else {
-        let rb = machine.on_core(1, || perform_ext(&kernel, 1, &test.op_b));
-        let ra = machine.on_core(0, || perform_ext(&kernel, 0, &test.op_a));
+        let rb = machine.on_core(1, || perform(&kernel, 1, &test.op_b));
+        let ra = machine.on_core(0, || perform(&kernel, 0, &test.op_a));
         (ra, rb)
     };
     machine.stop_tracing();
@@ -777,8 +860,8 @@ pub fn run_ext_sim(cores: usize, test: &ExtTest, a_first: bool) -> SimExtRun {
     }
 }
 
-/// Results, footprint and leftovers of one traced host run of an
-/// [`ExtTest`].
+/// Results, footprint and leftovers of one traced host run of an extension
+/// test.
 #[derive(Clone, Debug)]
 pub struct HostExtRun {
     /// The pair's observable results, as (op_a, op_b).
@@ -799,14 +882,19 @@ pub struct HostExtRun {
 /// untraced, then the pair inside a tracing window — concurrently on two
 /// real threads, or back to back when `concurrent` is false (the
 /// deterministic mode the footprint-parity tests use).
-pub fn run_ext_host(mode: HostMode, cores: usize, test: &ExtTest, concurrent: bool) -> HostExtRun {
+pub fn run_ext_host(
+    mode: HostMode,
+    cores: usize,
+    test: &ConcreteTest,
+    concurrent: bool,
+) -> HostExtRun {
     let sink = HostTraceSink::new(cores.max(2));
     let kernel = HostKernel::instrumented(cores, mode, HostOptions::default(), &sink);
     for _ in 0..test.procs.max(2) {
         kernel.new_process();
     }
     for (core, op) in &test.setup {
-        on_core(*core, || perform_ext(&kernel, *core, op));
+        on_core(*core, || perform_host(&kernel, *core, op));
     }
     sink.begin_window();
     let results = if concurrent {
@@ -815,11 +903,11 @@ pub fn run_ext_host(mode: HostMode, cores: usize, test: &ExtTest, concurrent: bo
         std::thread::scope(|scope| {
             let a = scope.spawn(move || {
                 barrier_ref.wait();
-                on_core(0, || perform_ext(kernel_ref, 0, &test.op_a))
+                on_core(0, || perform_host(kernel_ref, 0, &test.op_a))
             });
             let b = scope.spawn(move || {
                 barrier_ref.wait();
-                on_core(1, || perform_ext(kernel_ref, 1, &test.op_b))
+                on_core(1, || perform_host(kernel_ref, 1, &test.op_b))
             });
             (
                 a.join().expect("op_a thread"),
@@ -828,8 +916,8 @@ pub fn run_ext_host(mode: HostMode, cores: usize, test: &ExtTest, concurrent: bo
         })
     } else {
         (
-            on_core(0, || perform_ext(&kernel, 0, &test.op_a)),
-            on_core(1, || perform_ext(&kernel, 1, &test.op_b)),
+            on_core(0, || perform_host(&kernel, 0, &test.op_a)),
+            on_core(1, || perform_host(&kernel, 1, &test.op_b)),
         )
     };
     let report = sink.end_window();
@@ -839,10 +927,9 @@ pub fn run_ext_host(mode: HostMode, cores: usize, test: &ExtTest, concurrent: bo
         .map(|a| (a.core, sink.label_of(a.line), a.kind))
         .collect();
     footprint.sort();
-    let leftover = test
-        .sockets
-        .iter()
-        .flat_map(|&s| kernel.socket_drain_untraced(s))
+    let leftover = socket_ids(test)
+        .into_iter()
+        .flat_map(|s| kernel.socket_drain_untraced(s))
         .collect();
     HostExtRun {
         results,
@@ -859,6 +946,8 @@ pub fn run_ext_host(mode: HostMode, cores: usize, test: &ExtTest, concurrent: bo
 pub struct ExtOutcome {
     /// The test's identifier.
     pub test_id: String,
+    /// The test's call pair.
+    pub calls: (CallKind, CallKind),
     /// Conflict-free on the simulated sv6 kernel (A-then-B trace).
     pub sim_conflict_free: bool,
     /// Conflict-free on the host sv6 kernel in every schedule.
@@ -874,19 +963,19 @@ pub struct ExtOutcome {
     pub dropped: usize,
 }
 
-/// Runs the extension corpus on real threads (`schedules` replays per
-/// test) and cross-checks against the simulated sv6 kernel: conflict
-/// verdicts one-directionally, results by linearization, messages by
-/// conservation.
-pub fn run_ext_fig6(cores: usize, schedules: usize) -> Vec<ExtOutcome> {
-    ext_corpus()
+/// Cross-checks one extension corpus on real threads (`schedules` replays
+/// per test) against the simulated sv6 kernel: conflict verdicts
+/// one-directionally, results by linearization, messages by conservation.
+pub fn run_ext_corpus(cores: usize, schedules: usize, corpus: &[ConcreteTest]) -> Vec<ExtOutcome> {
+    corpus
         .iter()
         .map(|test| {
             let sim_ab = run_ext_sim(cores, test, true);
             let sim_ba = run_ext_sim(cores, test, false);
-            let sent = test.sent_messages();
+            let sent = sent_messages(test);
             let mut outcome = ExtOutcome {
                 test_id: test.id.clone(),
+                calls: test.calls,
                 sim_conflict_free: sim_ab.conflict_free,
                 host_conflict_free: true,
                 host_shared_labels: Vec::new(),
@@ -917,6 +1006,14 @@ pub fn run_ext_fig6(cores: usize, schedules: usize) -> Vec<ExtOutcome> {
             outcome
         })
         .collect()
+}
+
+/// Runs the TESTGEN-generated extension corpus (budgeted to
+/// [`EXT_CORPUS_BUDGET`] tests, round-robined across pairs) on real
+/// threads and cross-checks it against the simulated sv6 kernel.
+pub fn run_ext_fig6(cores: usize, schedules: usize) -> Vec<ExtOutcome> {
+    let corpus = budget_corpus(&generated_ext_corpus().tests, EXT_CORPUS_BUDGET);
+    run_ext_corpus(cores, schedules, &corpus)
 }
 
 /// Failures of an extension cross-check run, one line each: unexplained
@@ -1147,10 +1244,58 @@ mod tests {
     }
 
     #[test]
-    fn ext_cross_check_passes_on_the_full_corpus() {
-        let outcomes = run_ext_fig6(4, 2);
+    fn ext_cross_check_passes_on_the_hand_corpus() {
+        let outcomes = run_ext_corpus(4, 2, &ext_corpus());
         let failures = ext_failures(&outcomes);
         assert!(failures.is_empty(), "{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn generated_ext_cross_check_passes_and_covers_every_pair() {
+        let outcomes = run_ext_fig6(4, 2);
+        assert!(!outcomes.is_empty());
+        let failures = ext_failures(&outcomes);
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+        let covered: std::collections::BTreeSet<(&str, &str)> = outcomes
+            .iter()
+            .map(|o| (o.calls.0.name(), o.calls.1.name()))
+            .collect();
+        for (a, b) in ext_pair_calls() {
+            assert!(
+                covered.contains(&(a.name(), b.name())),
+                "no generated test ran for {} ∥ {}",
+                a.name(),
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn generated_corpus_covers_every_hand_enumerated_test() {
+        // The regression floor for replacing the hand corpus with the
+        // generated one: every hand-enumerated scenario must appear, up to
+        // isomorphism (fungible payloads/names/pids erased, socket
+        // discipline and queue topology kept), among the generated tests.
+        let generated: std::collections::BTreeSet<String> = generated_ext_corpus()
+            .tests
+            .iter()
+            .map(|t| ext_signature(t, false))
+            .collect();
+        let mut missing = Vec::new();
+        for hand in ext_corpus() {
+            let fwd = ext_signature(&hand, false);
+            let rev = ext_signature(&hand, true);
+            if !generated.contains(&fwd) && !generated.contains(&rev) {
+                missing.push(format!("{}: {}", hand.id, fwd));
+            }
+        }
+        assert!(
+            missing.is_empty(),
+            "hand tests with no generated counterpart (up to isomorphism):\n{}\n\
+             generated signatures:\n{}",
+            missing.join("\n"),
+            generated.into_iter().collect::<Vec<_>>().join("\n")
+        );
     }
 
     #[test]

@@ -44,10 +44,13 @@ pub use differential::{
     PairOutcome,
 };
 pub use fig6::{
-    classify_divergence, ext_corpus, ext_failures, normalize_pipe_label, perform_ext,
-    replay_traced, replay_traced_with_sink, run_ext_fig6, run_ext_host, run_ext_sim, run_host_fig6,
-    run_test_host, run_test_host_with, ExtOp, ExtOutcome, ExtTest, Fig6Divergence, HostExtRun,
-    HostFig6Config, HostFig6Results, HostTestOutcome, SimExtRun, LOWEST_FD_EXCEPTION,
+    budget_corpus, build_ext_corpus, classify_divergence, created_sockets, ext_calls, ext_corpus,
+    ext_failures, ext_pair_calls, ext_signature, generated_ext_corpus, normalize_pipe_label,
+    replay_traced, replay_traced_with_sink, run_ext_corpus, run_ext_fig6, run_ext_host,
+    run_ext_sim, run_host_fig6, run_test_host, run_test_host_with, sent_messages, socket_ids,
+    ExtCorpus, ExtOutcome, Fig6Divergence, HostExtRun, HostFig6Config, HostFig6Results,
+    HostTestOutcome, SimExtRun, EXT_CORPUS_BUDGET, EXT_MAX_ASSIGNMENTS_PER_CASE,
+    LOWEST_FD_EXCEPTION,
 };
 pub use harness::{available_threads, LoadHarness};
 pub use kernel::{perform_host, perform_host_observed, HostKernel, HostMode, HostOptions};

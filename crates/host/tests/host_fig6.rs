@@ -36,8 +36,8 @@ fn sim_footprint(test: &ConcreteTest, cores: usize) -> Vec<(usize, String, Acces
         kernel.new_process();
     }
     machine.stop_tracing();
-    for op in &test.setup {
-        machine.on_core(0, || perform(kernel.as_ref(), 0, op));
+    for (core, op) in &test.setup {
+        machine.on_core(*core, || perform(kernel.as_ref(), *core, op));
     }
     machine.clear_trace();
     machine.start_tracing();

@@ -107,6 +107,9 @@ fn read_read_half_closed_pipe_representatives_agree_with_the_host() {
         fds_per_proc: 2,
         file_pages: 2,
         vm_pages: 2,
+        sockets: 0,
+        queue_cap: 0,
+        children: 0,
     };
     let shape = PairShape {
         calls: (CallKind::Read, CallKind::Read),
@@ -135,7 +138,7 @@ fn read_read_half_closed_pipe_representatives_agree_with_the_host() {
         .filter(|t| {
             t.setup
                 .iter()
-                .any(|op| matches!(op, scr_kernel::api::SysOp::Pipe { .. }))
+                .any(|(_, op)| matches!(op, scr_kernel::api::SysOp::Pipe { .. }))
         })
         .count();
     assert!(

@@ -17,15 +17,16 @@
 //!    both API configurations and both host modes, delivering every
 //!    message exactly once across repeated schedules.
 
+use scr_core::ConcreteTest;
 use scr_host::fig6::{
-    ext_corpus, ext_failures, normalize_pipe_label, run_ext_fig6, run_ext_host, run_ext_sim, ExtOp,
-    ExtTest,
+    ext_corpus, ext_failures, normalize_pipe_label, run_ext_corpus, run_ext_host, run_ext_sim,
 };
 use scr_host::kernel::{HostKernel, HostMode};
 use scr_host::workloads::mail_pipeline;
 use scr_kernel::api::{Errno, OpenFlags, SocketOrder, SysOp, SyscallApi};
 use scr_kernel::mail::{MailConfig, MailServer};
 use scr_kernel::Sv6Kernel;
+use scr_model::CallKind;
 use scr_mtrace::AccessKind;
 
 /// A sorted (core, label, kind) access multiset.
@@ -34,7 +35,7 @@ type Footprint = Vec<(usize, String, AccessKind)>;
 /// Normalised sequential footprints of a test on both substrates. Pipe
 /// instance ids differ between the kernels (the simulator derives them
 /// from its access counter), so labels are normalised before comparison.
-fn footprints(test: &ExtTest) -> (Footprint, Footprint) {
+fn footprints(test: &ConcreteTest) -> (Footprint, Footprint) {
     let normalize = |mut fp: Footprint| {
         for entry in &mut fp {
             entry.1 = normalize_pipe_label(&entry.1);
@@ -48,7 +49,7 @@ fn footprints(test: &ExtTest) -> (Footprint, Footprint) {
     (sim, normalize(host_run.footprint))
 }
 
-fn assert_mirrors(test: &ExtTest) {
+fn assert_mirrors(test: &ConcreteTest) {
     let (sim, host) = footprints(test);
     assert_eq!(
         host, sim,
@@ -60,37 +61,37 @@ fn assert_mirrors(test: &ExtTest) {
 /// A single-op probe: pairs the op under test with a stat of a missing
 /// name, whose footprint (one read of a directory bucket) is identical and
 /// deterministic on both substrates.
-fn single(id: &str, setup: Vec<(usize, ExtOp)>, op: ExtOp, procs: usize) -> ExtTest {
-    ExtTest {
+fn single(id: &str, setup: Vec<(usize, SysOp)>, op: SysOp, procs: usize) -> ConcreteTest {
+    ConcreteTest {
         id: id.into(),
+        calls: (CallKind::Stat, CallKind::Stat),
         setup,
         op_a: op,
-        op_b: ExtOp::Fs(SysOp::StatPath {
+        op_b: SysOp::StatPath {
             pid: 1,
             name: "no-such-name".into(),
-        }),
+        },
         procs,
-        sockets: vec![],
     }
 }
 
-fn sock(order: SocketOrder) -> ExtOp {
-    ExtOp::Socket { order }
+fn sock(order: SocketOrder) -> SysOp {
+    SysOp::Socket { order }
 }
 
-fn send(sockid: usize, msg: &str) -> ExtOp {
-    ExtOp::Send {
+fn send(sockid: usize, msg: &str) -> SysOp {
+    SysOp::Send {
         sock: sockid,
         msg: msg.as_bytes().to_vec(),
     }
 }
 
-fn open(pid: usize, name: &str) -> ExtOp {
-    ExtOp::Fs(SysOp::Open {
+fn open(pid: usize, name: &str) -> SysOp {
+    SysOp::Open {
         pid,
         name: name.into(),
         flags: OpenFlags::create(),
-    })
+    }
 }
 
 #[test]
@@ -109,7 +110,7 @@ fn socket_operations_mirror_the_simulated_footprint_per_op() {
         assert_mirrors(&single(
             &format!("recv_hit_{tag}"),
             vec![(0, sock(order)), (0, send(0, "m"))],
-            ExtOp::Recv { sock: 0 },
+            SysOp::Recv { sock: 0 },
             2,
         ));
         // recv of an empty socket (the unordered flavour scans every
@@ -117,7 +118,7 @@ fn socket_operations_mirror_the_simulated_footprint_per_op() {
         assert_mirrors(&single(
             &format!("recv_empty_{tag}"),
             vec![(0, sock(order))],
-            ExtOp::Recv { sock: 0 },
+            SysOp::Recv { sock: 0 },
             2,
         ));
     }
@@ -126,7 +127,7 @@ fn socket_operations_mirror_the_simulated_footprint_per_op() {
     assert_mirrors(&single(
         "recv_steal",
         vec![(0, sock(SocketOrder::Unordered)), (1, send(0, "m"))],
-        ExtOp::Recv { sock: 0 },
+        SysOp::Recv { sock: 0 },
         2,
     ));
 }
@@ -139,19 +140,19 @@ fn fork_and_spawn_mirror_the_simulated_snapshot_footprints() {
     let setup = vec![
         (0, open(0, "a")),
         (0, open(0, "b")),
-        (0, ExtOp::Fs(SysOp::Pipe { pid: 0 })),
+        (0, SysOp::Pipe { pid: 0 }),
     ];
     assert_mirrors(&single(
         "fork_snapshot",
         setup.clone(),
-        ExtOp::Fork { pid: 0 },
+        SysOp::Fork { pid: 0 },
         2,
     ));
     // posix_spawn touches exactly the listed descriptors.
     assert_mirrors(&single(
         "spawn_listed_fds",
         setup.clone(),
-        ExtOp::Spawn {
+        SysOp::Spawn {
             pid: 0,
             dup_fds: vec![0, 2],
         },
@@ -160,11 +161,11 @@ fn fork_and_spawn_mirror_the_simulated_snapshot_footprints() {
     // wait reaps a fork child's whole table — pipe endpoint counts are
     // decremented, the deliberate §6.4 shared lines.
     let mut wait_setup = setup;
-    wait_setup.push((0, ExtOp::Fork { pid: 0 }));
+    wait_setup.push((0, SysOp::Fork { pid: 0 }));
     assert_mirrors(&single(
         "wait_reaps_fork_child",
         wait_setup,
-        ExtOp::Wait { pid: 0, child: 2 },
+        SysOp::Wait { pid: 0, child: 2 },
         2,
     ));
 }
@@ -219,7 +220,10 @@ fn ext_corpus_footprints_match_the_simulator_sequentially() {
 
 #[test]
 fn ext_cross_check_under_real_concurrency_has_no_failures() {
-    let outcomes = run_ext_fig6(4, 3);
+    // The hand corpus under extra schedules; the generated corpus's
+    // cross-check lives in the fig6 unit tests (its TESTGEN run is
+    // memoised per process, and this is a separate test binary).
+    let outcomes = run_ext_corpus(4, 3, &ext_corpus());
     let failures = ext_failures(&outcomes);
     assert!(failures.is_empty(), "{}", failures.join("\n"));
 }

@@ -505,6 +505,42 @@ pub enum SysOp {
         /// Byte value to store.
         value: u8,
     },
+    /// `socket(order)` (§4).
+    Socket {
+        /// Ordering guarantee of the new socket.
+        order: SocketOrder,
+    },
+    /// `send(sock, msg)` (§4).
+    Send {
+        /// Socket to send on.
+        sock: SockId,
+        /// Datagram payload.
+        msg: Vec<u8>,
+    },
+    /// `recv(sock)` (§4).
+    Recv {
+        /// Socket to receive from.
+        sock: SockId,
+    },
+    /// `fork()` (§4).
+    Fork {
+        /// Parent process.
+        pid: Pid,
+    },
+    /// `posix_spawn(dup_fds)` (§4).
+    Spawn {
+        /// Parent process.
+        pid: Pid,
+        /// Descriptors the child inherits (at the same numbers).
+        dup_fds: Vec<Fd>,
+    },
+    /// `wait(child)` (§4).
+    Wait {
+        /// Reaping (parent) process.
+        pid: Pid,
+        /// Child to reap.
+        child: Pid,
+    },
 }
 
 impl SysOp {
@@ -530,12 +566,21 @@ impl SysOp {
             SysOp::Mprotect { .. } => "mprotect",
             SysOp::Memread { .. } => "memread",
             SysOp::Memwrite { .. } => "memwrite",
+            SysOp::Socket { .. } => "socket",
+            SysOp::Send { .. } => "send",
+            SysOp::Recv { .. } => "recv",
+            SysOp::Fork { .. } => "fork",
+            SysOp::Spawn { .. } => "posix_spawn",
+            SysOp::Wait { .. } => "wait",
         }
     }
 
-    /// The process the operation runs in.
+    /// The process the operation runs in. Socket operations are
+    /// process-free (sockets are kernel-global objects); they report
+    /// process 0.
     pub fn pid(&self) -> Pid {
         match self {
+            SysOp::Socket { .. } | SysOp::Send { .. } | SysOp::Recv { .. } => 0,
             SysOp::Open { pid, .. }
             | SysOp::Link { pid, .. }
             | SysOp::Unlink { pid, .. }
@@ -553,7 +598,10 @@ impl SysOp {
             | SysOp::Munmap { pid, .. }
             | SysOp::Mprotect { pid, .. }
             | SysOp::Memread { pid, .. }
-            | SysOp::Memwrite { pid, .. } => *pid,
+            | SysOp::Memwrite { pid, .. }
+            | SysOp::Fork { pid, .. }
+            | SysOp::Spawn { pid, .. }
+            | SysOp::Wait { pid, .. } => *pid,
         }
     }
 }
@@ -723,6 +771,30 @@ pub fn perform<K: SyscallApi + ?Sized>(kernel: &K, core: CoreId, op: &SysOp) -> 
             Err(e) => SysResult::Err(e),
         },
         SysOp::Memwrite { pid, addr, value } => match kernel.memwrite(core, *pid, *addr, *value) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Socket { order } => match kernel.socket(core, *order) {
+            Ok(sock) => SysResult::Value(sock as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Send { sock, msg } => match kernel.send(core, *sock, msg) {
+            Ok(()) => SysResult::Unit,
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Recv { sock } => match kernel.recv(core, *sock) {
+            Ok(data) => SysResult::Data(data),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Fork { pid } => match kernel.fork(core, *pid) {
+            Ok(child) => SysResult::Value(child as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Spawn { pid, dup_fds } => match kernel.posix_spawn(core, *pid, dup_fds) {
+            Ok(child) => SysResult::Value(child as i64),
+            Err(e) => SysResult::Err(e),
+        },
+        SysOp::Wait { pid, child } => match kernel.wait(core, *pid, *child) {
             Ok(()) => SysResult::Unit,
             Err(e) => SysResult::Err(e),
         },

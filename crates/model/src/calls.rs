@@ -1,4 +1,4 @@
-//! Symbolic models of the 18 system calls (§6.1).
+//! Symbolic models of the 24 system calls (§6.1 plus the §4 extensions).
 //!
 //! Each call is modelled as a function from a [`SymState`] to a return
 //! value, branching on symbolic conditions through a
@@ -15,7 +15,7 @@
 //! the pair's shape; scalar arguments (offsets, flags, data bytes) are
 //! symbolic.
 
-use crate::state::SymState;
+use crate::state::{ModelConfig, SymChildFd, SymState, SOCKET_CORES};
 use scr_symbolic::{PathCtx, SymBool, SymContext, SymInt};
 
 /// Error codes returned by the model (negated POSIX errno values).
@@ -44,7 +44,7 @@ pub mod errno {
     pub const EPIPE: i64 = -32;
 }
 
-/// The 18 modelled system calls.
+/// The 24 modelled system calls: the 18 of §6.1 plus the §4 extensions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CallKind {
     /// `open(name, flags)`.
@@ -83,10 +83,22 @@ pub enum CallKind {
     Memread,
     /// `memwrite(page, byte)`.
     Memwrite,
+    /// `socket(order)` (§4): create a datagram socket, ordered or unordered.
+    Socket,
+    /// `send(sock, msg)` (§4).
+    Send,
+    /// `recv(sock)` (§4).
+    Recv,
+    /// `fork()` (§4): snapshot the whole descriptor table.
+    Fork,
+    /// `posix_spawn(fd?)` (§4): inherit only the listed descriptor.
+    PosixSpawn,
+    /// `wait(child)` (§4): reap a child, releasing its pipe endpoints.
+    Wait,
 }
 
-/// All 18 calls, in the order used for the Figure 6 axes.
-pub const ALL_CALLS: [CallKind; 18] = [
+/// All 24 calls, in the order used for the Figure 6 axes.
+pub const ALL_CALLS: [CallKind; 24] = [
     CallKind::Open,
     CallKind::Link,
     CallKind::Unlink,
@@ -105,6 +117,12 @@ pub const ALL_CALLS: [CallKind; 18] = [
     CallKind::Mprotect,
     CallKind::Memread,
     CallKind::Memwrite,
+    CallKind::Socket,
+    CallKind::Send,
+    CallKind::Recv,
+    CallKind::Fork,
+    CallKind::PosixSpawn,
+    CallKind::Wait,
 ];
 
 impl CallKind {
@@ -129,6 +147,12 @@ impl CallKind {
             CallKind::Mprotect => "mprotect",
             CallKind::Memread => "memread",
             CallKind::Memwrite => "memwrite",
+            CallKind::Socket => "socket",
+            CallKind::Send => "send",
+            CallKind::Recv => "recv",
+            CallKind::Fork => "fork",
+            CallKind::PosixSpawn => "posix_spawn",
+            CallKind::Wait => "wait",
         }
     }
 
@@ -152,6 +176,7 @@ impl CallKind {
             | CallKind::Pread
             | CallKind::Pwrite => 1,
             CallKind::Mmap => 1, // backing file descriptor (used when not anonymous)
+            CallKind::PosixSpawn => 1, // the one descriptor the child inherits
             _ => 0,
         }
     }
@@ -167,6 +192,71 @@ impl CallKind {
             _ => 0,
         }
     }
+
+    /// How many socket slot arguments the call takes.
+    pub fn sock_args(&self) -> usize {
+        match self {
+            CallKind::Send | CallKind::Recv => 1,
+            _ => 0,
+        }
+    }
+
+    /// How many child-process slot arguments the call takes.
+    pub fn child_args(&self) -> usize {
+        match self {
+            CallKind::Wait => 1,
+            _ => 0,
+        }
+    }
+
+    /// Whether the call touches the socket state.
+    pub fn uses_sockets(&self) -> bool {
+        matches!(self, CallKind::Socket | CallKind::Send | CallKind::Recv)
+    }
+
+    /// Whether the call touches the process table.
+    pub fn uses_children(&self) -> bool {
+        matches!(self, CallKind::Fork | CallKind::PosixSpawn | CallKind::Wait)
+    }
+
+    /// Whether the call touches the classic file-system state (directory,
+    /// inodes, descriptors, memory, the pipe). `fork`/`posix_spawn`/`wait`
+    /// count because descriptor inheritance reads the parent's table and
+    /// moves pipe endpoint counts.
+    pub fn uses_fs(&self) -> bool {
+        !self.uses_sockets()
+    }
+
+    /// Whether this is one of the §4 extension calls.
+    pub fn is_extension(&self) -> bool {
+        self.uses_sockets() || self.uses_children()
+    }
+}
+
+/// The model configuration specialised to one call pair: §4 extension
+/// state (socket slots, child slots) is enabled only when a call in the
+/// pair uses it, and for pure-socket pairs the file-system state is
+/// stripped entirely. This keeps every fs-only pair's state — and hence
+/// its generated corpus — byte-identical to the pre-extension model, and
+/// keeps the solution enumeration for socket pairs from drowning in
+/// irrelevant file-system background state.
+pub fn pair_config(base: &ModelConfig, a: CallKind, b: CallKind) -> ModelConfig {
+    let mut cfg = *base;
+    if a.uses_sockets() || b.uses_sockets() {
+        cfg.sockets = 2;
+    }
+    if a.uses_children() || b.uses_children() {
+        cfg.children = 2;
+    }
+    if !a.uses_fs() && !b.uses_fs() {
+        // Pure-socket pair: no names, inodes, descriptors, memory or pipe.
+        cfg.names = 0;
+        cfg.inodes = 0;
+        cfg.procs = 1;
+        cfg.fds_per_proc = 0;
+        cfg.vm_pages = 0;
+    }
+    cfg
 }
 
 /// The concrete "shape" part of a call's arguments: which process it runs
@@ -175,12 +265,20 @@ impl CallKind {
 pub struct ArgSlots {
     /// The calling process (index into `SymState::procs`).
     pub proc: usize,
+    /// The core the call runs on (`0..SOCKET_CORES`); determines which
+    /// per-core queue an unordered `send`/`recv` touches. The analyzer runs
+    /// a pair's first call on core 0 and its second on core 1.
+    pub core: usize,
     /// Name slot arguments.
     pub names: Vec<usize>,
     /// Descriptor slot arguments.
     pub fds: Vec<usize>,
     /// Virtual-memory page slot arguments.
     pub vm_pages: Vec<usize>,
+    /// Socket slot arguments.
+    pub socks: Vec<usize>,
+    /// Child-process slot arguments.
+    pub children: Vec<usize>,
 }
 
 /// A call with bound arguments: concrete slots plus symbolic scalars.
@@ -231,6 +329,9 @@ impl SymCall {
             ),
             CallKind::Mprotect => (vec![ctx.bool_var(&format!("{tag}.writable"))], vec![]),
             CallKind::Memwrite => (vec![], vec![ctx.int_var(&format!("{tag}.byte"))]),
+            CallKind::Socket => (vec![ctx.bool_var(&format!("{tag}.sock_ordered"))], vec![]),
+            CallKind::Send => (vec![], vec![ctx.int_var(&format!("{tag}.msg"))]),
+            CallKind::PosixSpawn => (vec![ctx.bool_var(&format!("{tag}.spawn_none"))], vec![]),
             _ => (vec![], vec![]),
         };
         SymCall {
@@ -256,6 +357,7 @@ impl SymCall {
                 in_range(&self.ints[0], 0, file_pages as i64 - 1),
                 in_range(&self.ints[1], 0, 3),
             ],
+            CallKind::Send => vec![in_range(&self.ints[0], 0, 3)],
             _ => vec![],
         }
     }
@@ -331,6 +433,12 @@ pub fn execute(
         CallKind::Mprotect => mprotect(call, state, path),
         CallKind::Memread => memread(call, state, path),
         CallKind::Memwrite => memwrite(call, state, path),
+        CallKind::Socket => socket(call, state, path, ctx, tag),
+        CallKind::Send => send(call, state, path),
+        CallKind::Recv => recv(call, state, path, ctx, tag),
+        CallKind::Fork => fork(call, state, path, ctx, tag),
+        CallKind::PosixSpawn => posix_spawn(call, state, path, ctx, tag),
+        CallKind::Wait => wait(call, state, path),
     }
 }
 
@@ -780,6 +888,312 @@ fn memwrite(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet 
     SymRet::ok(0)
 }
 
+// --- §4 extensions: sockets ---------------------------------------------------
+
+fn socket(
+    call: &SymCall,
+    state: &mut SymState,
+    path: &mut PathCtx,
+    ctx: &SymContext,
+    tag: &str,
+) -> SymRet {
+    let ordered = call.bools[0].clone();
+    // Choose any free socket slot (the identifier is fungible): oracle
+    // booleans, exactly like `open`'s inode choice.
+    let mut chosen: Option<usize> = None;
+    for s in 0..state.cfg.sockets {
+        if chosen.is_some() {
+            break;
+        }
+        let free = state.sockets[s].exists.not();
+        let oracle = ctx.bool_var(&format!("{tag}.sock_oracle{s}"));
+        if path.branch(&free.and(&oracle)) {
+            chosen = Some(s);
+        }
+    }
+    match chosen {
+        Some(s) => {
+            let sock = &mut state.sockets[s];
+            sock.exists = SymBool::from_bool(true);
+            sock.ordered = ordered;
+            for q in &mut sock.queues {
+                q.len = SymInt::from_i64(0);
+                for m in &mut q.msgs {
+                    *m = SymInt::from_i64(0);
+                }
+            }
+            SymRet::with_values(SymInt::from_i64(s as i64), vec![])
+        }
+        None => {
+            // Only genuine exhaustion survives: assert no slot is free.
+            for s in 0..state.cfg.sockets {
+                let used = state.sockets[s].exists.clone();
+                path.assume(&used);
+            }
+            SymRet::err(errno::ENOSPC)
+        }
+    }
+}
+
+fn send(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let s = call.slots.socks[0];
+    let core = call.slots.core;
+    debug_assert!(core < SOCKET_CORES);
+    let msg = call.ints[0].clone();
+    let sock = state.sockets[s].clone();
+    if !path.branch(&sock.exists) {
+        return SymRet::err(errno::EBADF);
+    }
+    // Ordered sockets keep one FIFO (queue 0); unordered ones enqueue on
+    // the sending core's queue. From core 0 the target is queue 0 either
+    // way, so only core 1 needs to branch on the ordering mode.
+    let target = if core == 0 || path.branch(&sock.ordered) {
+        0
+    } else {
+        core
+    };
+    let q = sock.queues[target].clone();
+    let cap = q.msgs.len() as i64;
+    // The concrete queues are unbounded; the bounded model analyses only
+    // states with room in the target queue.
+    path.assume(&q.len.lt(&SymInt::from_i64(cap)));
+    let qq = &mut state.sockets[s].queues[target];
+    for (i, slot) in qq.msgs.iter_mut().enumerate() {
+        let here = q.len.eq(&SymInt::from_i64(i as i64));
+        *slot = SymInt::ite(&here, &msg, slot);
+    }
+    qq.len = q.len.add(&SymInt::from_i64(1));
+    SymRet::ok(0)
+}
+
+/// Removes one message from queue `qi` of socket `s`, which the caller has
+/// established to be non-empty. On an unordered socket any queued message
+/// may be delivered (multiset semantics): oracle booleans choose the index,
+/// defaulting to the front. Ordered callers pass `fifo = true` to pin the
+/// choice to the front.
+fn pop_message(
+    state: &mut SymState,
+    path: &mut PathCtx,
+    ctx: &SymContext,
+    tag: &str,
+    s: usize,
+    qi: usize,
+    fifo: bool,
+) -> SymInt {
+    let q = state.sockets[s].queues[qi].clone();
+    let cap = q.msgs.len();
+    let mut take = 0;
+    if !fifo {
+        for i in (1..cap).rev() {
+            let present = q.len.gt(&SymInt::from_i64(i as i64));
+            let oracle = ctx.bool_var(&format!("{tag}.recv_oracle_q{qi}_{i}"));
+            if path.branch(&present.and(&oracle)) {
+                take = i;
+                break;
+            }
+        }
+    }
+    let msg = q.msgs[take].clone();
+    let qq = &mut state.sockets[s].queues[qi];
+    for j in take..cap - 1 {
+        qq.msgs[j] = q.msgs[j + 1].clone();
+    }
+    qq.msgs[cap - 1] = SymInt::from_i64(0);
+    qq.len = q.len.sub(&SymInt::from_i64(1));
+    msg
+}
+
+fn recv(
+    call: &SymCall,
+    state: &mut SymState,
+    path: &mut PathCtx,
+    ctx: &SymContext,
+    tag: &str,
+) -> SymRet {
+    let s = call.slots.socks[0];
+    let core = call.slots.core;
+    debug_assert!(core < SOCKET_CORES);
+    let sock = state.sockets[s].clone();
+    if !path.branch(&sock.exists) {
+        return SymRet::err(errno::EBADF);
+    }
+    if path.branch(&sock.ordered) {
+        // One FIFO: strictly the front.
+        if !path.branch(&sock.queues[0].len.gt(&SymInt::from_i64(0))) {
+            return SymRet::err(errno::EAGAIN);
+        }
+        let msg = pop_message(state, path, ctx, tag, s, 0, true);
+        return SymRet::with_values(SymInt::from_i64(1), vec![msg]);
+    }
+    // Unordered: prefer the local queue, steal from the remote one when
+    // empty — the concrete kernels' exact discipline, with the delivered
+    // message oracle-chosen within the queue (multiset semantics).
+    let local = core;
+    let remote = (core + 1) % SOCKET_CORES;
+    if path.branch(&sock.queues[local].len.gt(&SymInt::from_i64(0))) {
+        let msg = pop_message(state, path, ctx, tag, s, local, false);
+        return SymRet::with_values(SymInt::from_i64(1), vec![msg]);
+    }
+    if path.branch(&sock.queues[remote].len.gt(&SymInt::from_i64(0))) {
+        let msg = pop_message(state, path, ctx, tag, s, remote, false);
+        return SymRet::with_values(SymInt::from_i64(1), vec![msg]);
+    }
+    SymRet::err(errno::EAGAIN)
+}
+
+// --- §4 extensions: the process table ----------------------------------------
+
+/// Oracle-chooses a free child slot, or returns `None` after assuming the
+/// table is genuinely full.
+fn alloc_child_slot(
+    state: &mut SymState,
+    path: &mut PathCtx,
+    ctx: &SymContext,
+    tag: &str,
+) -> Option<usize> {
+    let mut chosen: Option<usize> = None;
+    for c in 0..state.cfg.children {
+        if chosen.is_some() {
+            break;
+        }
+        let free = state.children[c].occupied.not();
+        let oracle = ctx.bool_var(&format!("{tag}.child_oracle{c}"));
+        if path.branch(&free.and(&oracle)) {
+            chosen = Some(c);
+        }
+    }
+    if chosen.is_none() {
+        for c in 0..state.cfg.children {
+            let used = state.children[c].occupied.clone();
+            path.assume(&used);
+        }
+    }
+    chosen
+}
+
+fn fork(
+    call: &SymCall,
+    state: &mut SymState,
+    path: &mut PathCtx,
+    ctx: &SymContext,
+    tag: &str,
+) -> SymRet {
+    let proc = call.slots.proc;
+    let Some(c) = alloc_child_slot(state, path, ctx, tag) else {
+        return SymRet::err(errno::EAGAIN);
+    };
+    // The snapshot: fork reads *every* descriptor slot of the parent (this
+    // is why it conflicts with anything that touches the table), copying
+    // each open descriptor and retaining pipe endpoints.
+    let one = SymInt::from_i64(1);
+    let zero = SymInt::from_i64(0);
+    for k in 0..state.cfg.fds_per_proc {
+        let pf = state.procs[proc].fds[k].clone();
+        let holds_pipe = pf.open.and(&pf.is_pipe);
+        let adds_reader = holds_pipe.and(&pf.pipe_write_end.not());
+        let adds_writer = holds_pipe.and(&pf.pipe_write_end);
+        state.pipe.readers = state
+            .pipe
+            .readers
+            .add(&SymInt::ite(&adds_reader, &one, &zero));
+        state.pipe.writers = state
+            .pipe
+            .writers
+            .add(&SymInt::ite(&adds_writer, &one, &zero));
+        state.children[c].fds[k] = SymChildFd {
+            inherit: pf.open,
+            is_pipe: pf.is_pipe,
+            write_end: pf.pipe_write_end,
+        };
+    }
+    state.children[c].occupied = SymBool::from_bool(true);
+    state.children[c].reaped = SymBool::from_bool(false);
+    SymRet::with_values(SymInt::from_i64(c as i64), vec![])
+}
+
+fn posix_spawn(
+    call: &SymCall,
+    state: &mut SymState,
+    path: &mut PathCtx,
+    ctx: &SymContext,
+    tag: &str,
+) -> SymRet {
+    let proc = call.slots.proc;
+    let f = call.slots.fds[0];
+    let none = call.bools[0].clone();
+    // Resolve the dup list before any side effect: a bad descriptor aborts
+    // the spawn without allocating a child.
+    let inherits = !path.branch(&none);
+    if inherits && !path.branch(&state.procs[proc].fds[f].open.clone()) {
+        return SymRet::err(errno::EBADF);
+    }
+    let Some(c) = alloc_child_slot(state, path, ctx, tag) else {
+        return SymRet::err(errno::EAGAIN);
+    };
+    for k in 0..state.cfg.fds_per_proc {
+        state.children[c].fds[k] = SymChildFd {
+            inherit: SymBool::from_bool(false),
+            is_pipe: SymBool::from_bool(false),
+            write_end: SymBool::from_bool(false),
+        };
+    }
+    if inherits {
+        // Only the listed descriptor is copied: spawn's footprint is the
+        // listed slots, not the whole table.
+        let pf = state.procs[proc].fds[f].clone();
+        let one = SymInt::from_i64(1);
+        let zero = SymInt::from_i64(0);
+        let adds_reader = pf.is_pipe.and(&pf.pipe_write_end.not());
+        let adds_writer = pf.is_pipe.and(&pf.pipe_write_end);
+        state.pipe.readers = state
+            .pipe
+            .readers
+            .add(&SymInt::ite(&adds_reader, &one, &zero));
+        state.pipe.writers = state
+            .pipe
+            .writers
+            .add(&SymInt::ite(&adds_writer, &one, &zero));
+        state.children[c].fds[f] = SymChildFd {
+            inherit: SymBool::from_bool(true),
+            is_pipe: pf.is_pipe,
+            write_end: pf.pipe_write_end,
+        };
+    }
+    state.children[c].occupied = SymBool::from_bool(true);
+    state.children[c].reaped = SymBool::from_bool(false);
+    SymRet::with_values(SymInt::from_i64(c as i64), vec![])
+}
+
+fn wait(call: &SymCall, state: &mut SymState, path: &mut PathCtx) -> SymRet {
+    let c = call.slots.children[0];
+    let child = state.children[c].clone();
+    if !path.branch(&child.occupied) {
+        return SymRet::err(errno::EINVAL);
+    }
+    // Reap: release the child's pipe endpoints. Reaping an already-reaped
+    // child is a no-op (its inherit flags are already clear), so `wait` is
+    // idempotent.
+    let one = SymInt::from_i64(1);
+    let zero = SymInt::from_i64(0);
+    for k in 0..state.cfg.fds_per_proc {
+        let cf = child.fds[k].clone();
+        let held_pipe = cf.inherit.and(&cf.is_pipe);
+        let drops_reader = held_pipe.and(&cf.write_end.not());
+        let drops_writer = held_pipe.and(&cf.write_end);
+        state.pipe.readers = state
+            .pipe
+            .readers
+            .sub(&SymInt::ite(&drops_reader, &one, &zero));
+        state.pipe.writers = state
+            .pipe
+            .writers
+            .sub(&SymInt::ite(&drops_writer, &one, &zero));
+        state.children[c].fds[k].inherit = SymBool::from_bool(false);
+    }
+    state.children[c].reaped = SymBool::from_bool(true);
+    SymRet::ok(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -794,13 +1208,26 @@ mod tests {
             fds_per_proc: 2,
             file_pages: 2,
             vm_pages: 2,
+            ..ModelConfig::default()
+        }
+    }
+
+    fn ext_cfg() -> ModelConfig {
+        ModelConfig {
+            sockets: 2,
+            children: 2,
+            ..small_cfg()
         }
     }
 
     /// Explores one call from an unconstrained state and returns the number
     /// of feasible paths (path condition ∧ assumptions satisfiable).
     fn feasible_paths(kind: CallKind, slots: ArgSlots) -> usize {
-        let cfg = small_cfg();
+        let cfg = if kind.is_extension() {
+            ext_cfg()
+        } else {
+            small_cfg()
+        };
         let domains = Domains::new(vec![0, 1, 2, 3, 4]);
         let results = explore(|path| {
             let ctx = SymContext::new();
@@ -994,6 +1421,9 @@ mod tests {
                 names: vec![0; kind.name_args()],
                 fds: vec![0; kind.fd_args().max(1)],
                 vm_pages: vec![0; kind.vm_args().max(1)],
+                socks: vec![0; kind.sock_args().max(1)],
+                children: vec![0; kind.child_args().max(1)],
+                ..Default::default()
             };
             let paths = feasible_paths(kind, slots);
             assert!(paths >= 1, "{} produced no feasible paths", kind.name());
@@ -1002,11 +1432,158 @@ mod tests {
 
     #[test]
     fn call_metadata_is_consistent() {
-        assert_eq!(ALL_CALLS.len(), 18);
+        assert_eq!(ALL_CALLS.len(), 24);
         assert_eq!(CallKind::Rename.name_args(), 2);
         assert_eq!(CallKind::Pwrite.fd_args(), 1);
         assert_eq!(CallKind::Memwrite.vm_args(), 1);
+        assert_eq!(CallKind::Send.sock_args(), 1);
+        assert_eq!(CallKind::Wait.child_args(), 1);
+        assert_eq!(CallKind::PosixSpawn.fd_args(), 1);
         let names: std::collections::BTreeSet<&str> = ALL_CALLS.iter().map(|c| c.name()).collect();
-        assert_eq!(names.len(), 18, "call names must be unique");
+        assert_eq!(names.len(), 24, "call names must be unique");
+    }
+
+    #[test]
+    fn pair_config_keeps_fs_pairs_identical_and_strips_pure_socket_pairs() {
+        assert_eq!(
+            pair_config(&ModelConfig::default(), CallKind::Open, CallKind::Write),
+            ModelConfig::default()
+        );
+        let sr = pair_config(&ModelConfig::default(), CallKind::Send, CallKind::Recv);
+        assert_eq!(sr.sockets, 2);
+        assert_eq!(sr.children, 0);
+        assert_eq!(sr.names, 0);
+        assert_eq!(sr.fds_per_proc, 0);
+        let fo = pair_config(&ModelConfig::default(), CallKind::Fork, CallKind::Open);
+        assert_eq!(fo.children, 2);
+        assert_eq!(fo.sockets, 0);
+        assert_eq!(fo.names, ModelConfig::default().names);
+    }
+
+    #[test]
+    fn send_then_recv_is_fifo_on_ordered_sockets() {
+        let cfg = pair_config(&ModelConfig::default(), CallKind::Send, CallKind::Recv);
+        let domains = Domains::new(vec![0, 1, 2, 3, 4]);
+        let results = explore(|path| {
+            let ctx = SymContext::new();
+            let (mut state, assumptions) = SymState::unconstrained(&ctx, cfg);
+            for a in &assumptions {
+                path.assume(a);
+            }
+            // Pin: socket 0 exists, ordered, empty.
+            path.assume(&state.sockets[0].exists);
+            path.assume(&state.sockets[0].ordered);
+            path.assume(&state.sockets[0].queues[0].len.eq(&SymInt::from_i64(0)));
+            let send_call = SymCall::build(
+                CallKind::Send,
+                ArgSlots {
+                    socks: vec![0],
+                    ..Default::default()
+                },
+                &ctx,
+                "s",
+            );
+            for a in send_call.argument_assumptions(cfg.file_pages) {
+                path.assume(&a);
+            }
+            let recv_call = SymCall::build(
+                CallKind::Recv,
+                ArgSlots {
+                    core: 1,
+                    socks: vec![0],
+                    ..Default::default()
+                },
+                &ctx,
+                "r",
+            );
+            let r1 = execute(&send_call, &mut state, path, &ctx, "s");
+            let r2 = execute(&recv_call, &mut state, path, &ctx, "r");
+            // The received message must be the sent one, and the queue must
+            // drain back to empty.
+            let same = r2.values.first().map(|v| v.eq(&send_call.ints[0]));
+            let empty = state.sockets[0].queues[0].len.eq(&SymInt::from_i64(0));
+            (r1, r2, same, empty)
+        });
+        let mut delivered = 0;
+        for r in &results {
+            let (r1, r2, same, empty) = &r.value;
+            if r1.code.as_const() != Some(0) || r2.code.as_const() != Some(1) {
+                continue;
+            }
+            if solve(&[Expr::and(&r.condition)], &domains).is_none() {
+                continue;
+            }
+            let mut must = vec![Expr::and(&r.condition)];
+            must.push(same.as_ref().unwrap().not().expr().clone());
+            assert!(
+                solve(&must, &domains).is_none(),
+                "recv must return the message send queued"
+            );
+            let mut must = vec![Expr::and(&r.condition)];
+            must.push(empty.not().expr().clone());
+            assert!(solve(&must, &domains).is_none(), "queue must drain");
+            delivered += 1;
+        }
+        assert!(delivered > 0, "expected a feasible send→recv delivery path");
+    }
+
+    #[test]
+    fn wait_releases_pipe_endpoints_exactly_once() {
+        let cfg = pair_config(&ModelConfig::default(), CallKind::Wait, CallKind::Wait);
+        let domains = Domains::new(vec![0, 1, 2, 3, 4]);
+        let results = explore(|path| {
+            let ctx = SymContext::new();
+            let (mut state, assumptions) = SymState::unconstrained(&ctx, cfg);
+            for a in &assumptions {
+                path.assume(a);
+            }
+            // Pin: child 0 is a zombie holding the pipe's read end in slot 0
+            // and nothing else, and the pipe has one registered reader.
+            let child = &state.children[0];
+            path.assume(&child.occupied);
+            path.assume(&child.reaped.not());
+            path.assume(&child.fds[0].inherit);
+            path.assume(&child.fds[0].is_pipe);
+            path.assume(&child.fds[0].write_end.not());
+            for fd in &child.fds[1..] {
+                path.assume(&fd.inherit.not());
+            }
+            path.assume(&state.pipe.readers.eq(&SymInt::from_i64(1)));
+            let wait_call = SymCall::build(
+                CallKind::Wait,
+                ArgSlots {
+                    children: vec![0],
+                    ..Default::default()
+                },
+                &ctx,
+                "w",
+            );
+            let r1 = execute(&wait_call, &mut state, path, &ctx, "w");
+            let after_first = state.pipe.readers.clone();
+            let r2 = execute(&wait_call, &mut state, path, &ctx, "w2");
+            let after_second = state.pipe.readers.clone();
+            (r1, r2, after_first, after_second)
+        });
+        let mut checked = 0;
+        for r in &results {
+            let (r1, r2, after_first, after_second) = &r.value;
+            if solve(&[Expr::and(&r.condition)], &domains).is_none() {
+                continue;
+            }
+            assert_eq!(r1.code.as_const(), Some(0));
+            assert_eq!(r2.code.as_const(), Some(0), "wait must be idempotent");
+            // First wait drops the reader count to 0; the second must not
+            // drop it again.
+            for (label, readers) in [("first", after_first), ("second", after_second)] {
+                let mut must = vec![Expr::and(&r.condition)];
+                must.push(readers.ne(&SymInt::from_i64(0)).expr().clone());
+                assert!(
+                    solve(&must, &domains).is_none(),
+                    "readers must be 0 after the {label} wait"
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked > 0);
     }
 }

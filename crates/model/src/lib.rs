@@ -17,7 +17,13 @@
 //! Modelled calls ([`calls::SymCall`]): `open`, `link`, `unlink`, `rename`,
 //! `stat`, `fstat`, `lseek`, `close`, `pipe`, `read`, `write`, `pread`,
 //! `pwrite`, `mmap`, `munmap`, `mprotect`, `memread`, `memwrite` — the same
-//! 18 calls as §6.1, with offsets and sizes restricted to page granularity.
+//! 18 calls as §6.1, with offsets and sizes restricted to page granularity —
+//! plus the paper's §4 extension proposals: `socket`/`send`/`recv`
+//! (datagram sockets with per-core multiset queues and steal-on-empty
+//! delivery), `fork` (whole-table descriptor snapshot), `posix_spawn`
+//! (listed-descriptors-only footprint) and `wait` (explicit reaping), over
+//! symbolic socket queues and a symbolic process table that default to
+//! empty and are enabled per pair by [`calls::pair_config`].
 //!
 //! Names, descriptors and pages are referred to by *slot index*; which slots
 //! two operations share is part of the "shape" the analyzer enumerates
@@ -29,5 +35,5 @@
 pub mod calls;
 pub mod state;
 
-pub use calls::{execute, CallKind, SymCall, SymRet, ALL_CALLS};
-pub use state::{ModelConfig, SymState};
+pub use calls::{execute, pair_config, CallKind, SymCall, SymRet, ALL_CALLS};
+pub use state::{ModelConfig, SymState, SOCKET_CORES};

@@ -2,11 +2,22 @@
 
 use scr_symbolic::{SymBool, SymContext, SymInt};
 
+/// Number of cores the socket model distinguishes: the pair's two
+/// operations run on cores 0 and 1, so unordered sockets carry one queue
+/// per core and the steal-vs-local condition is expressible.
+pub const SOCKET_CORES: usize = 2;
+
 /// Sizes of the bounded symbolic state.
 ///
 /// The defaults are sized for *pairwise* analysis: two operations can
 /// mention at most four distinct names, two descriptors per process, two
 /// pages, and so on. Larger sets of operations would need larger bounds.
+///
+/// The §4 extension state (socket slots, child-process slots) defaults to
+/// zero: pairs that do not mention the extension calls get exactly the
+/// classic file-system state, so their corpora are unchanged. The analyzer
+/// turns the extension bounds on per pair via
+/// [`crate::calls::CallKind`]-aware specialisation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ModelConfig {
     /// Number of file-name slots.
@@ -21,6 +32,16 @@ pub struct ModelConfig {
     pub file_pages: usize,
     /// Virtual-memory page slots per process.
     pub vm_pages: usize,
+    /// Socket slots (§4 datagram sockets). 0 disables the socket state.
+    pub sockets: usize,
+    /// Messages each per-core socket queue can hold. The multiset
+    /// equivalence below is written for a capacity of 2 (enough for a
+    /// pairwise analysis: setup can pre-queue one message per queue and a
+    /// send adds one more).
+    pub queue_cap: usize,
+    /// Child-process slots (§4 `posix_spawn`/`wait`). 0 disables the
+    /// process-table state.
+    pub children: usize,
 }
 
 impl Default for ModelConfig {
@@ -32,6 +53,9 @@ impl Default for ModelConfig {
             fds_per_proc: 2,
             file_pages: 2,
             vm_pages: 2,
+            sockets: 0,
+            queue_cap: 2,
+            children: 0,
         }
     }
 }
@@ -111,6 +135,68 @@ pub struct SymPipe {
     pub cursor: SymInt,
 }
 
+/// One per-core message queue of a socket (§4). `msgs[i]` is meaningful
+/// only while `i < len`; slots past the length are unconstrained garbage
+/// that the equivalence below never looks at.
+#[derive(Clone, Debug)]
+pub struct SymQueue {
+    /// Number of queued messages.
+    pub len: SymInt,
+    /// Message content fingerprints, front first.
+    pub msgs: Vec<SymInt>,
+}
+
+/// One socket slot (§4 datagram sockets).
+///
+/// An *ordered* socket keeps a single FIFO (queue 0); an *unordered* one
+/// keeps a queue per core, `send` appends locally and `recv` pops locally
+/// before stealing — exactly the concrete `scr_kernel` semantics. The
+/// unordered spec treats queued messages as a multiset: `recv` may return
+/// any queued message, which the symbolic model expresses with oracle
+/// choice variables.
+#[derive(Clone, Debug)]
+pub struct SymSocket {
+    /// Whether this socket slot is allocated.
+    pub exists: SymBool,
+    /// Ordered (single-FIFO) vs unordered (per-core, steal-on-empty).
+    pub ordered: SymBool,
+    /// Per-core queues (`SOCKET_CORES` of them); an ordered socket uses
+    /// queue 0 only and the others are assumed empty.
+    pub queues: Vec<SymQueue>,
+}
+
+/// One inherited-descriptor slot of a child process. The child's table
+/// mirrors the parent's slot indices (that is what `fork` and
+/// `posix_spawn` construct), so a slot here corresponds to the same slot
+/// index in the parent.
+#[derive(Clone, Debug)]
+pub struct SymChildFd {
+    /// Whether the child holds a descriptor in this slot.
+    pub inherit: SymBool,
+    /// Whether that descriptor refers to the pipe.
+    pub is_pipe: SymBool,
+    /// For pipe descriptors: is it the write end?
+    pub write_end: SymBool,
+}
+
+/// One child-process slot (§4 process table).
+///
+/// Only pipe-endpoint inheritance and liveness are externally observable:
+/// a child's plain file descriptors cannot be interrogated through this
+/// interface, but its pipe endpoints keep the pipe's reader/writer counts
+/// up (observed via EOF/EPIPE), and `wait` releases them.
+#[derive(Clone, Debug)]
+pub struct SymChild {
+    /// Whether this slot holds a child (live or zombie).
+    pub occupied: SymBool,
+    /// Whether the child has already been reaped (`wait` returned it).
+    /// Reaping is idempotent, so this flag is *not* externally observable;
+    /// it exists so `wait`'s endpoint release happens exactly once.
+    pub reaped: SymBool,
+    /// Inherited descriptors, by parent slot index.
+    pub fds: Vec<SymChildFd>,
+}
+
 /// The whole symbolic system state.
 #[derive(Clone, Debug)]
 pub struct SymState {
@@ -124,6 +210,10 @@ pub struct SymState {
     pub procs: Vec<SymProc>,
     /// The pipe.
     pub pipe: SymPipe,
+    /// Socket slots (§4; empty unless `cfg.sockets > 0`).
+    pub sockets: Vec<SymSocket>,
+    /// Child-process slots (§4; empty unless `cfg.children > 0`).
+    pub children: Vec<SymChild>,
 }
 
 impl SymState {
@@ -234,7 +324,10 @@ impl SymState {
             }
         }
 
-        let pipe = {
+        // Without descriptor slots no call can reach the pipe, so a
+        // descriptor-free configuration (pure-socket pairs) pins it to
+        // constants instead of spending four free variables on it.
+        let pipe = if cfg.fds_per_proc > 0 {
             let nbytes = ctx.int_var("pipe.nbytes");
             int_in(&nbytes, 0, 2, &mut assumptions);
             let readers = ctx.int_var("pipe.readers");
@@ -249,7 +342,79 @@ impl SymState {
                 writers,
                 cursor,
             }
+        } else {
+            SymPipe {
+                nbytes: SymInt::from_i64(0),
+                readers: SymInt::from_i64(0),
+                writers: SymInt::from_i64(0),
+                cursor: SymInt::from_i64(0),
+            }
         };
+
+        assert!(
+            cfg.sockets == 0 || cfg.queue_cap == 2,
+            "the multiset queue equivalence is written for queue_cap == 2"
+        );
+        let sockets: Vec<SymSocket> = (0..cfg.sockets)
+            .map(|s| {
+                let exists = ctx.bool_var(&format!("sock{s}.exists"));
+                let ordered = ctx.bool_var(&format!("sock{s}.ordered"));
+                let queues: Vec<SymQueue> = (0..SOCKET_CORES)
+                    .map(|c| {
+                        let len = ctx.int_var(&format!("sock{s}.q{c}.len"));
+                        int_in(&len, 0, cfg.queue_cap as i64, &mut assumptions);
+                        let msgs = (0..cfg.queue_cap)
+                            .map(|i| {
+                                let m = ctx.int_var(&format!("sock{s}.q{c}.msg{i}"));
+                                int_in(&m, 0, 3, &mut assumptions);
+                                m
+                            })
+                            .collect();
+                        SymQueue { len, msgs }
+                    })
+                    .collect();
+                // A free slot holds no messages, and an ordered socket uses
+                // queue 0 only.
+                for (c, q) in queues.iter().enumerate() {
+                    let empty = q.len.eq(&SymInt::from_i64(0));
+                    assumptions.push(exists.not().implies(&empty));
+                    if c > 0 {
+                        assumptions.push(ordered.implies(&empty));
+                    }
+                }
+                SymSocket {
+                    exists,
+                    ordered,
+                    queues,
+                }
+            })
+            .collect();
+
+        let children: Vec<SymChild> = (0..cfg.children)
+            .map(|c| {
+                let occupied = ctx.bool_var(&format!("child{c}.occupied"));
+                let reaped = ctx.bool_var(&format!("child{c}.reaped"));
+                let fds: Vec<SymChildFd> = (0..cfg.fds_per_proc)
+                    .map(|k| SymChildFd {
+                        inherit: ctx.bool_var(&format!("child{c}.fd{k}.inherit")),
+                        is_pipe: ctx.bool_var(&format!("child{c}.fd{k}.is_pipe")),
+                        write_end: ctx.bool_var(&format!("child{c}.fd{k}.write_end")),
+                    })
+                    .collect();
+                // An empty slot is neither reaped nor holds descriptors, and
+                // a reaped child's descriptors have been released.
+                assumptions.push(occupied.not().implies(&reaped.not()));
+                for fd in &fds {
+                    assumptions.push(occupied.not().implies(&fd.inherit.not()));
+                    assumptions.push(reaped.implies(&fd.inherit.not()));
+                }
+                SymChild {
+                    occupied,
+                    reaped,
+                    fds,
+                }
+            })
+            .collect();
 
         (
             SymState {
@@ -258,6 +423,8 @@ impl SymState {
                 inodes,
                 procs,
                 pipe,
+                sockets,
+                children,
             },
             assumptions,
         )
@@ -388,6 +555,44 @@ impl SymState {
         parts.push(p.writers.eq(&q.writers));
         parts.push(p.cursor.eq(&q.cursor));
 
+        for (a, b) in self.sockets.iter().zip(&other.sockets) {
+            parts.push(a.exists.iff(&b.exists));
+            parts.push(a.exists.implies(&a.ordered.iff(&b.ordered)));
+            for (qa, qb) in a.queues.iter().zip(&b.queues) {
+                parts.push(a.exists.implies(&qa.len.eq(&qb.len)));
+                // Ordered queues compare positionally (FIFO order is
+                // observable); unordered ones compare as multisets, which
+                // for a capacity of 2 is "equal in place or swapped".
+                let g0 = qa.len.ge(&SymInt::from_i64(1));
+                let g1 = qa.len.ge(&SymInt::from_i64(2));
+                let positional = g0
+                    .implies(&qa.msgs[0].eq(&qb.msgs[0]))
+                    .and(&g1.implies(&qa.msgs[1].eq(&qb.msgs[1])));
+                let swapped = g1
+                    .and(&qa.msgs[0].eq(&qb.msgs[1]))
+                    .and(&qa.msgs[1].eq(&qb.msgs[0]));
+                let multiset = positional.or(&swapped);
+                let same = a.ordered.ite(&positional, &multiset);
+                parts.push(a.exists.implies(&same));
+            }
+        }
+
+        for (a, b) in self.children.iter().zip(&other.children) {
+            // A slot's occupancy is observable (`wait` answers Ok vs EINVAL)
+            // but its `reaped` flag is not (`wait` is idempotent). Of the
+            // inherited descriptors only pipe endpoints are observable —
+            // they hold the pipe open (EOF/EPIPE) until the child is reaped.
+            parts.push(a.occupied.iff(&b.occupied));
+            for (fa, fb) in a.fds.iter().zip(&b.fds) {
+                let read_a = fa.inherit.and(&fa.is_pipe).and(&fa.write_end.not());
+                let read_b = fb.inherit.and(&fb.is_pipe).and(&fb.write_end.not());
+                parts.push(read_a.iff(&read_b));
+                let write_a = fa.inherit.and(&fa.is_pipe).and(&fa.write_end);
+                let write_b = fb.inherit.and(&fb.is_pipe).and(&fb.write_end);
+                parts.push(write_a.iff(&write_b));
+            }
+        }
+
         let mut acc = SymBool::from_bool(true);
         for part in parts {
             acc = acc.and(&part);
@@ -487,6 +692,88 @@ mod tests {
         // Slot 1, page 0 now reads 3 under any assignment.
         let read = state.page_read(&idx, &page);
         let constraints = vec![read.ne(&value).expr().clone()];
+        assert!(solve(&constraints, &Domains::new(vec![0, 1, 2, 3])).is_none());
+    }
+
+    fn ext_cfg() -> ModelConfig {
+        ModelConfig {
+            sockets: 1,
+            children: 1,
+            ..ModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn ext_state_assumptions_are_satisfiable() {
+        let ctx = SymContext::new();
+        let (_state, assumptions) = SymState::unconstrained(&ctx, ext_cfg());
+        let constraints: Vec<_> = assumptions.iter().map(|a| a.expr().clone()).collect();
+        assert!(solve(&constraints, &Domains::new(vec![0, 1, 2, 3, 4])).is_some());
+    }
+
+    #[test]
+    fn unordered_queue_compares_as_multiset() {
+        let ctx = SymContext::new();
+        let (state, assumptions) = SymState::unconstrained(&ctx, ext_cfg());
+        let mut swapped = state.clone();
+        swapped.sockets[0].queues[0].msgs.swap(0, 1);
+        let eq = state.equivalent(&swapped);
+        let sock = &state.sockets[0];
+        // With two *distinct* messages queued on an unordered socket, the
+        // swapped state must still be reachable as equivalent…
+        let mut constraints: Vec<_> = assumptions.iter().map(|a| a.expr().clone()).collect();
+        constraints.push(sock.exists.expr().clone());
+        constraints.push(sock.ordered.not().expr().clone());
+        constraints.push(sock.queues[0].len.eq(&SymInt::from_i64(2)).expr().clone());
+        constraints.push(
+            sock.queues[0].msgs[0]
+                .ne(&sock.queues[0].msgs[1])
+                .expr()
+                .clone(),
+        );
+        let mut unordered_ok = constraints.clone();
+        unordered_ok.push(eq.expr().clone());
+        assert!(
+            solve(&unordered_ok, &Domains::new(vec![0, 1, 2, 3])).is_some(),
+            "unordered queues are multisets: swapping contents is unobservable"
+        );
+        // …while on an ordered socket the swap is observable (FIFO order).
+        let mut ordered_bad: Vec<_> = assumptions.iter().map(|a| a.expr().clone()).collect();
+        ordered_bad.push(sock.exists.expr().clone());
+        ordered_bad.push(sock.ordered.expr().clone());
+        ordered_bad.push(sock.queues[0].len.eq(&SymInt::from_i64(2)).expr().clone());
+        ordered_bad.push(
+            sock.queues[0].msgs[0]
+                .ne(&sock.queues[0].msgs[1])
+                .expr()
+                .clone(),
+        );
+        ordered_bad.push(eq.expr().clone());
+        assert!(
+            solve(&ordered_bad, &Domains::new(vec![0, 1, 2, 3])).is_none(),
+            "ordered queues compare positionally"
+        );
+    }
+
+    #[test]
+    fn child_reaped_flag_is_not_observable() {
+        let ctx = SymContext::new();
+        let (state, assumptions) = SymState::unconstrained(&ctx, ext_cfg());
+        let mut modified = state.clone();
+        modified.children[0].reaped = state.children[0].reaped.not();
+        let eq = state.equivalent(&modified);
+        // A state where the two disagree on `reaped` can still be
+        // equivalent (zombie-vs-reaped is invisible once descriptors are
+        // released)…
+        let mut constraints: Vec<_> = assumptions.iter().map(|a| a.expr().clone()).collect();
+        constraints.push(eq.expr().clone());
+        assert!(solve(&constraints, &Domains::new(vec![0, 1, 2, 3])).is_some());
+        // …but occupancy is observable.
+        let mut occ = state.clone();
+        occ.children[0].occupied = state.children[0].occupied.not();
+        let eq = state.equivalent(&occ);
+        let mut constraints: Vec<_> = assumptions.iter().map(|a| a.expr().clone()).collect();
+        constraints.push(eq.expr().clone());
         assert!(solve(&constraints, &Domains::new(vec![0, 1, 2, 3])).is_none());
     }
 

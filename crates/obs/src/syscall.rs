@@ -78,7 +78,7 @@ impl SyscallKind {
     ];
 
     /// The call's family name, matching [`scr_kernel::api::SysOp::call_name`]
-    /// for the 18 modelled calls.
+    /// for the 24 modelled calls.
     pub fn name(self) -> &'static str {
         match self {
             SyscallKind::Open => "open",

@@ -48,10 +48,13 @@ fn write_event_snapshot(path: &Path, events: &EventLog, mode: &str, config_line:
     }
 }
 
-/// The representative call set the gate sweeps (name, descriptor, offset
-/// and pipe operations). `lseek` rode in once the indexed solver made the
-/// offset-arithmetic-heavy `lseek ∥ write` corpus cheap — it used to take
-/// minutes and was carved out of every CI-path sweep.
+/// The representative call set the gate sweeps (name, descriptor, offset,
+/// pipe, socket and process operations). `lseek` rode in once the indexed
+/// solver made the offset-arithmetic-heavy `lseek ∥ write` corpus cheap —
+/// it used to take minutes and was carved out of every CI-path sweep. The
+/// §4 extension calls rode in when socket queues and the process table
+/// became symbolic: their pairs now flow through the same ANALYZER →
+/// TESTGEN → replay route as the file-system calls.
 fn gate_calls() -> Vec<CallKind> {
     vec![
         CallKind::Stat,
@@ -61,6 +64,12 @@ fn gate_calls() -> Vec<CallKind> {
         CallKind::Write,
         CallKind::Lseek,
         CallKind::Close,
+        CallKind::Socket,
+        CallKind::Send,
+        CallKind::Recv,
+        CallKind::Fork,
+        CallKind::PosixSpawn,
+        CallKind::Wait,
     ]
 }
 

@@ -20,10 +20,12 @@
 //! (plus run metadata) as a JSON snapshot.
 //!
 //! Run with `cargo run --release --example host_fig6 [-- --all]`. The
-//! default call subset finishes quickly; `--all` sweeps all 18 calls.
+//! default call subset finishes quickly; `--all` sweeps all 24 calls.
 
-use scalable_commutativity::commuter::CommuterConfig;
-use scalable_commutativity::host::{available_threads, run_host_fig6, HostFig6Config};
+use scalable_commutativity::commuter::{CommuterConfig, Figure6Report};
+use scalable_commutativity::host::{
+    available_threads, ext_failures, run_ext_fig6, run_host_fig6, HostFig6Config,
+};
 use scalable_commutativity::model::ALL_CALLS;
 use scalable_commutativity::obs::{metrics_out, Json, MetricsRegistry, RunMeta};
 
@@ -118,6 +120,36 @@ fn main() {
             failed = true;
         }
     }
+    // §4 extension leg: the TESTGEN-generated socket/process corpus,
+    // replayed on real threads and rendered as its own pair of heatmaps
+    // (simulated verdict vs host verdict) so the generated Figure 6 rows
+    // for the paper's proposed extensions land in the uploaded artifact.
+    let ext_started = std::time::Instant::now();
+    let ext_outcomes = run_ext_fig6(config.cores, config.schedules_per_test);
+    let mut ext_sim = Figure6Report::new("sv6 §4-extension corpus (simulated)");
+    let mut ext_host = Figure6Report::new("sv6-host §4-extension corpus (measured)");
+    for outcome in &ext_outcomes {
+        ext_sim.record(outcome.calls.0, outcome.calls.1, outcome.sim_conflict_free);
+        ext_host.record(outcome.calls.0, outcome.calls.1, outcome.host_conflict_free);
+    }
+    println!(
+        "\n§4 extension corpus: {} generated tests × {} schedules in {:.1?}\n",
+        ext_outcomes.len(),
+        config.schedules_per_test,
+        ext_started.elapsed()
+    );
+    println!("{ext_sim}\n");
+    println!("{ext_host}");
+    let ext_problems = ext_failures(&ext_outcomes);
+    if ext_problems.is_empty() {
+        println!("extension cross-check: all outcomes linearizable, conserved, SIM-consistent");
+    } else {
+        for problem in &ext_problems {
+            eprintln!("FAIL: extension corpus: {problem}");
+        }
+        failed = true;
+    }
+
     if let Some(path) = metrics_out() {
         let mut snapshot = MetricsRegistry::new(config.cores).snapshot();
         snapshot.meta = RunMeta::capture(
@@ -141,6 +173,21 @@ fn main() {
                 (
                     "unexplained",
                     results.unexplained_divergences().len().into(),
+                ),
+            ]),
+        ));
+        snapshot.extras.push((
+            "ext_corpus".to_string(),
+            Json::obj(vec![
+                ("tests", ext_outcomes.len().into()),
+                ("failures", ext_problems.len().into()),
+                (
+                    "host_conflict_free",
+                    ext_outcomes
+                        .iter()
+                        .filter(|o| o.host_conflict_free)
+                        .count()
+                        .into(),
                 ),
             ]),
         ));

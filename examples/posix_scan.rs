@@ -1,12 +1,12 @@
 //! A Figure-6-style scan over POSIX call pairs.
 //!
 //! Runs the full COMMUTER pipeline (ANALYZER → TESTGEN → MTRACE) for a
-//! configurable subset of the 18 modelled system calls and prints, for both
+//! configurable subset of the 24 modelled system calls and prints, for both
 //! kernels, the table of call pairs with the number of generated tests that
 //! were not conflict-free — the library equivalent of Figure 6.
 //!
 //! By default a representative subset of the file-system calls is scanned so
-//! the example finishes quickly; pass `--all` to scan all 18 calls (this is
+//! the example finishes quickly; pass `--all` to scan all 24 calls (this is
 //! what the `fig6_conflict_freedom` bench does).
 //!
 //! Every run also writes `BENCH_testgen.json` (override the path with
@@ -22,12 +22,14 @@
 //! stream (and the timing summary) as a JSON snapshot.
 //!
 //! Pass `--perf-gate` for the solver-performance smoke gate: the scan is
-//! restricted to the `{lseek, write}` call set and the run fails unless
-//! the offset-arithmetic-heavy `lseek ∥ write` pair — the historical
-//! TESTGEN hot spot that took *minutes* before the indexed solver —
-//! generates its corpus within the wall-clock ceiling
+//! restricted to the `{lseek, write, send, recv}` call set and the run
+//! fails unless the offset-arithmetic-heavy `lseek ∥ write` pair — the
+//! historical TESTGEN hot spot that took *minutes* before the indexed
+//! solver — generates its corpus within the wall-clock ceiling
 //! (`SCR_TESTGEN_GATE_SECONDS`, default 30; generous on purpose — the dev
-//! container does it in well under a second).
+//! container does it in well under a second), and the §4 `send ∥ recv`
+//! pair within its own ceiling (`SCR_TESTGEN_EXT_GATE_SECONDS`, default
+//! 60).
 //!
 //! Run with `cargo run --release --example posix_scan [-- --all | --perf-gate]`.
 
@@ -40,6 +42,13 @@ use scalable_commutativity::obs::{metrics_out, EventLog, Json, MetricsRegistry, 
 
 /// Default wall-clock ceiling for the `--perf-gate` mode, in seconds.
 const DEFAULT_GATE_SECONDS: f64 = 30.0;
+
+/// Default ceiling for the `send ∥ recv` leg of the gate, in seconds. The
+/// §4 socket pair drags message-queue state through every path, making it
+/// the heaviest extension-pair solve; it gets its own ceiling
+/// (`SCR_TESTGEN_EXT_GATE_SECONDS`) so fs-solver and ext-solver
+/// regressions are distinguishable in CI output.
+const DEFAULT_EXT_GATE_SECONDS: f64 = 60.0;
 
 fn write_timing_json(results: &CommuterResults, meta: &RunMeta, total_seconds: f64) {
     let path =
@@ -79,11 +88,17 @@ fn main() {
     let all = std::env::args().any(|a| a == "--all");
     let perf_gate = std::env::args().any(|a| a == "--perf-gate");
     let (config, mode) = if perf_gate {
-        // The historical hot spot, alone: minutes of solver time before the
-        // indexed engine, so a regression is unmistakable against the
-        // generous ceiling.
+        // The historical hot spot (lseek ∥ write: minutes of solver time
+        // before the indexed engine) plus the heaviest §4 extension pair
+        // (send ∥ recv), so regressions in either solver path are
+        // unmistakable against their generous ceilings.
         (
-            CommuterConfig::quick(&[CallKind::Lseek, CallKind::Write]),
+            CommuterConfig::quick(&[
+                CallKind::Lseek,
+                CallKind::Write,
+                CallKind::Send,
+                CallKind::Recv,
+            ]),
             "perf-gate",
         )
     } else if all {
@@ -208,28 +223,40 @@ fn main() {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(DEFAULT_GATE_SECONDS);
-        // Gate on the lseek ∥ write pair's own solve time (the scan also
-        // covers lseek ∥ lseek and write ∥ write; their timings land in
-        // the JSON but must not pollute the gated number).
-        let lseek_write = results
-            .pair_timings
-            .iter()
-            .find(|t| t.calls == (CallKind::Lseek, CallKind::Write));
-        let (solve_seconds, lseek_write_tests) = lseek_write
-            .map(|t| (t.solve_seconds, t.tests))
-            .unwrap_or((0.0, 0));
-        println!(
-            "perf gate: lseek ∥ write corpus ({lseek_write_tests} tests) solved in {solve_seconds:.2}s \
-             (ceiling {ceiling:.0}s)"
-        );
-        if lseek_write_tests == 0 {
-            eprintln!("FAIL: the lseek ∥ write pair generated no tests");
-            std::process::exit(1);
-        }
-        if solve_seconds > ceiling {
-            eprintln!(
-                "FAIL: solver perf regression: {solve_seconds:.2}s exceeds the {ceiling:.0}s ceiling"
+        let ext_ceiling: f64 = std::env::var("SCR_TESTGEN_EXT_GATE_SECONDS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_EXT_GATE_SECONDS);
+        // Gate on each hot pair's own solve time (the scan also covers
+        // the self-pairs; their timings land in the JSON but must not
+        // pollute the gated numbers).
+        let mut failed = false;
+        for (pair, ceiling) in [
+            ((CallKind::Lseek, CallKind::Write), ceiling),
+            ((CallKind::Send, CallKind::Recv), ext_ceiling),
+        ] {
+            let timing = results.pair_timings.iter().find(|t| t.calls == pair);
+            let (solve_seconds, tests) = timing
+                .map(|t| (t.solve_seconds, t.tests))
+                .unwrap_or((0.0, 0));
+            let label = format!("{} ∥ {}", pair.0.name(), pair.1.name());
+            println!(
+                "perf gate: {label} corpus ({tests} tests) solved in {solve_seconds:.2}s \
+                 (ceiling {ceiling:.0}s)"
             );
+            if tests == 0 {
+                eprintln!("FAIL: the {label} pair generated no tests");
+                failed = true;
+            }
+            if solve_seconds > ceiling {
+                eprintln!(
+                    "FAIL: solver perf regression on {label}: {solve_seconds:.2}s exceeds \
+                     the {ceiling:.0}s ceiling"
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

@@ -130,7 +130,11 @@ fn pipe_read_cases_materialize_across_the_pipeline() {
     let pipe_backed = results
         .tests
         .iter()
-        .filter(|t| t.setup.iter().any(|op| matches!(op, SysOp::Pipe { .. })))
+        .filter(|t| {
+            t.setup
+                .iter()
+                .any(|(_, op)| matches!(op, SysOp::Pipe { .. }))
+        })
         .count();
     assert!(
         pipe_backed > 0,

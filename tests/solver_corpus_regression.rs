@@ -63,6 +63,9 @@ fn name_and_descriptor_pairs_enumerate_identically() {
         fds_per_proc: 2,
         file_pages: 2,
         vm_pages: 2,
+        sockets: 0,
+        queue_cap: 0,
+        children: 0,
     };
     assert_pair_sequences_match(CallKind::Stat, CallKind::Unlink, &cfg, 48);
     assert_pair_sequences_match(CallKind::Fstat, CallKind::Close, &cfg, 48);
@@ -80,6 +83,9 @@ fn offset_arithmetic_pairs_enumerate_identically() {
         fds_per_proc: 2,
         file_pages: 2,
         vm_pages: 1,
+        sockets: 0,
+        queue_cap: 0,
+        children: 0,
     };
     assert_pair_sequences_match(CallKind::Lseek, CallKind::Write, &cfg, 32);
     assert_pair_sequences_match(CallKind::Lseek, CallKind::Lseek, &cfg, 32);
@@ -97,6 +103,9 @@ fn generated_corpus_is_deterministic_across_cache_states() {
         fds_per_proc: 2,
         file_pages: 2,
         vm_pages: 2,
+        sockets: 0,
+        queue_cap: 0,
+        children: 0,
     };
     let names: Vec<String> = (0..4).map(|i| format!("f{i}")).collect();
     let mut all_runs = Vec::new();
