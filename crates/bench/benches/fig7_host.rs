@@ -5,7 +5,10 @@
 //! Run with `cargo bench -p scr-bench --bench fig7_host`. Set
 //! `SCR_BENCH_QUICK=1` for a fast low-iteration pass.
 
-use scr_bench::hostbench::{host_thread_counts, mailbench_host, openbench_host, statbench_host};
+use scr_bench::hostbench::{
+    host_thread_counts, mailbench_host, mailbench_host_latency, openbench_host,
+    render_latency_table, statbench_host,
+};
 use scr_bench::render_table;
 
 fn main() {
@@ -35,6 +38,13 @@ fn main() {
         render_table(
             "mailbench (host threads, messages/sec/core)",
             &mailbench_host(&threads, mail_ops),
+        )
+    );
+    println!(
+        "{}",
+        render_latency_table(
+            "mailbench closed-loop latency (ns per message)",
+            &mailbench_host_latency(&threads, mail_ops),
         )
     );
 }

@@ -9,9 +9,10 @@
 //! artefacts, not cache-coherence behaviour.
 
 use crate::Series;
-use scr_host::workloads::{self, HostStatMode};
+use scr_host::workloads::{self, HostStatMode, MailTelemetry};
 use scr_host::{available_threads, HostMode};
 use scr_kernel::mail::MailConfig;
+use scr_obs::{HistogramSnapshot, DEFAULT_QUANTILES};
 
 /// Thread counts for a host sweep: 1, 2, 4, … up to the hardware limit
 /// (always at least two points so shape comparisons are possible).
@@ -70,6 +71,20 @@ pub fn openbench_host(threads: &[usize], ops_per_thread: u64) -> Vec<Series> {
 /// against regular APIs on the linuxlike kernel — the paper's Figure 7
 /// mail-server comparison.
 pub fn mailbench_host(threads: &[usize], ops_per_thread: u64) -> Vec<Series> {
+    mail_columns()
+        .into_iter()
+        .map(|(mode, config, name)| Series {
+            name: name.to_string(),
+            points: threads
+                .iter()
+                .map(|&n| workloads::mailbench(mode, config, n, ops_per_thread))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The two mailbench columns, shared by the throughput and latency sweeps.
+fn mail_columns() -> [(HostMode, MailConfig, &'static str); 2] {
     [
         (
             HostMode::Sv6,
@@ -82,15 +97,57 @@ pub fn mailbench_host(threads: &[usize], ops_per_thread: u64) -> Vec<Series> {
             "linuxlike, regular APIs",
         ),
     ]
-    .into_iter()
-    .map(|(mode, config, name)| Series {
-        name: name.to_string(),
-        points: threads
-            .iter()
-            .map(|&n| workloads::mailbench(mode, config, n, ops_per_thread))
-            .collect(),
-    })
-    .collect()
+}
+
+/// One row of the closed-loop mail latency table: a configuration at a
+/// thread count, with its merged `mail.latency_ns` distribution.
+pub struct MailLatencyRow {
+    /// Configuration label (same legend as [`mailbench_host`]).
+    pub name: String,
+    /// Worker threads in the run.
+    pub threads: usize,
+    /// Per-operation (enqueue → delivered) latency, ns.
+    pub latency: HistogramSnapshot,
+}
+
+/// mailbench with per-operation latency recording: each cell re-runs the
+/// workload with a [`MailTelemetry`] attached, so the same
+/// `mail.latency_ns` histogram the open-loop observatory records is filled
+/// by the closed-loop path — these are the service-time-ish numbers the
+/// open-loop sweep's intended-arrival latencies should be compared against.
+pub fn mailbench_host_latency(threads: &[usize], ops_per_thread: u64) -> Vec<MailLatencyRow> {
+    let mut rows = Vec::new();
+    for (mode, config, name) in mail_columns() {
+        for &n in threads {
+            let telemetry = MailTelemetry::new(n);
+            workloads::mailbench_observed(mode, config, n, ops_per_thread, Some(&telemetry));
+            rows.push(MailLatencyRow {
+                name: name.to_string(),
+                threads: n,
+                latency: telemetry.latency.merged(),
+            });
+        }
+    }
+    rows
+}
+
+/// Render the closed-loop latency rows with the default quantile columns
+/// (p50 / p90 / p99 / p99.9).
+pub fn render_latency_table(title: &str, rows: &[MailLatencyRow]) -> String {
+    let mut out = format!("{title}\n{:<30} {:>8}", "configuration", "threads");
+    for (label, _) in DEFAULT_QUANTILES {
+        let label = if label == "p999" { "p99.9" } else { label };
+        out.push_str(&format!(" {label:>10}"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<30} {:>8}", row.name, row.threads));
+        for (_, q) in DEFAULT_QUANTILES {
+            out.push_str(&format!(" {:>10.0}", row.latency.quantile(q)));
+        }
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -119,5 +176,19 @@ mod tests {
                 assert!(s.points.iter().all(|p| p.ops_per_sec_per_core > 0.0));
             }
         }
+    }
+
+    #[test]
+    fn latency_sweep_fills_a_distribution_per_cell() {
+        let threads = [1usize, 2];
+        let rows = mailbench_host_latency(&threads, 10);
+        assert_eq!(rows.len(), 2 * threads.len());
+        for row in &rows {
+            assert_eq!(row.latency.count, 10 * row.threads as u64);
+            assert!(row.latency.p50() <= row.latency.p999());
+        }
+        let table = render_latency_table("mail latency (ns)", &rows);
+        assert!(table.contains("p99.9"));
+        assert!(table.contains("sv6-like, commutative APIs"));
     }
 }

@@ -12,7 +12,9 @@ use crate::kernel::{HostKernel, HostMode, HostOptions};
 use scr_kernel::api::{Errno, Fd, OpenFlags, Pid, StatMask, SyscallApi};
 use scr_kernel::mail::{MailConfig, MailServer, MailStage, MailStageObserver, NoMailObs};
 use scr_mtrace::{CoreId, ScalingPoint};
-use scr_obs::{Counter, MetricsRegistry, ObservedKernel, SpanName, SyscallRecorder, TraceLog};
+use scr_obs::{
+    Counter, Histogram, MetricsRegistry, ObservedKernel, SpanName, SyscallRecorder, TraceLog,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -40,6 +42,13 @@ pub struct MailTelemetry {
     pub eagain_retries: Counter,
     /// `yield_now()` calls made while backing off an empty queue.
     pub yield_spins: Counter,
+    /// End-to-end message latency in ns, under the same histogram name
+    /// (`mail.latency_ns`) the open-loop load generator records, so
+    /// closed-loop and open-loop snapshots are directly comparable. Here
+    /// the clock starts when the operation starts — a closed-loop number,
+    /// which is exactly the coordinated-omission contrast the open-loop
+    /// path exists to expose.
+    pub latency: Histogram,
     stage_names: [SpanName; MailStage::ALL.len()],
 }
 
@@ -61,6 +70,7 @@ impl MailTelemetry {
             delivered: registry.counter("mail.delivered"),
             eagain_retries: registry.counter("mail.eagain_retries"),
             yield_spins: registry.counter("mail.yield_spins"),
+            latency: registry.histogram("mail.latency_ns"),
             syscalls,
             trace,
             registry,
@@ -268,6 +278,7 @@ pub fn mailbench_observed(
     let server = MailServer::new(api, config, threads).expect("mail server");
     let (server_ref, kernel_ref) = (&server, &kernel);
     LoadHarness::new(ops_per_thread).run(threads, move |core, op| {
+        let op_start = telemetry.map(|_| Instant::now());
         let mailbox = format!("user{core}");
         server_ref
             .enqueue_observed(
@@ -303,6 +314,12 @@ pub fn mailbench_observed(
                 }
                 Err(e) => panic!("qman step failed: {e}"),
             }
+        }
+        if let (Some(t), Some(start)) = (telemetry, op_start) {
+            t.latency.record(
+                core,
+                start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
         }
         // Periodic epoch pass so the spool's unlinked inodes (and their
         // page caches) are actually freed during long sweeps.
@@ -590,6 +607,26 @@ mod tests {
         );
         // Seven pipeline stages per message, and EAGAIN polls record none.
         assert_eq!(telemetry.trace.len(), 7 * 20);
+    }
+
+    #[test]
+    fn mailbench_observed_records_per_op_latency() {
+        let telemetry = MailTelemetry::new(2);
+        let point = mailbench_observed(
+            HostMode::Sv6,
+            MailConfig::CommutativeApis,
+            2,
+            20,
+            Some(&telemetry),
+        );
+        assert_eq!(point.total_ops, 40);
+        let latency = telemetry.latency.merged();
+        assert_eq!(latency.count, 40, "one latency sample per operation");
+        assert!(latency.max > 0);
+        assert!(latency.p50() <= latency.p999());
+        // Exported under the same name the open-loop observatory uses.
+        let json = telemetry.registry.snapshot().to_json();
+        assert!(json.contains("\"mail.latency_ns\""));
     }
 
     #[test]

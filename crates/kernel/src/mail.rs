@@ -122,6 +122,85 @@ where
     result
 }
 
+/// The pipeline's thread/shard topology: how many enqueuer threads feed how
+/// many queue-manager threads, over how many notification-socket shards.
+///
+/// A mailbox is assigned to a shard by the **same FNV-1a hash** the striped
+/// directory uses for bucket placement (`scr_scalable::hash_dir::fnv1a`),
+/// so "hot shard" means the same thing to the load generator's attribution
+/// tables and to the kernel's own fan-out. Each shard is one notification
+/// socket; shard *s* is served by qman *s mod qmans*. With one shard and
+/// one socket this degenerates to the original single-queue pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MailTopology {
+    /// Enqueuer (mail-enqueue) threads, running on cores `0..enqueuers`.
+    pub enqueuers: usize,
+    /// Queue-manager (mail-qman) threads, on cores `enqueuers..cores()`.
+    pub qmans: usize,
+    /// Notification-socket shards the mailbox namespace fans out over.
+    pub notify_shards: usize,
+}
+
+impl MailTopology {
+    /// The original 1×1 pipeline over a single notification socket.
+    pub fn single() -> MailTopology {
+        MailTopology {
+            enqueuers: 1,
+            qmans: 1,
+            notify_shards: 1,
+        }
+    }
+
+    /// N enqueuers × M qmans with one notification-socket shard per qman.
+    pub fn new(enqueuers: usize, qmans: usize) -> MailTopology {
+        let qmans = qmans.max(1);
+        MailTopology {
+            enqueuers: enqueuers.max(1),
+            qmans,
+            notify_shards: qmans,
+        }
+    }
+
+    /// Override the shard count (must be ≥ 1; more shards than qmans gives
+    /// each qman several queues, fewer leaves some qmans polling shared
+    /// shards).
+    pub fn with_shards(mut self, shards: usize) -> MailTopology {
+        self.notify_shards = shards.max(1);
+        self
+    }
+
+    /// Total worker threads (cores) the topology occupies.
+    pub fn cores(&self) -> usize {
+        self.enqueuers + self.qmans
+    }
+
+    /// The core enqueuer `e` runs on.
+    pub fn enqueuer_core(&self, e: usize) -> usize {
+        e % self.enqueuers
+    }
+
+    /// The core qman `q` runs on.
+    pub fn qman_core(&self, q: usize) -> usize {
+        self.enqueuers + (q % self.qmans)
+    }
+
+    /// The shard a mailbox name fans out to (FNV-1a, like the directory).
+    pub fn shard_of(&self, mailbox: &str) -> usize {
+        (scr_scalable::hash_dir::fnv1a(mailbox) % self.notify_shards as u64) as usize
+    }
+
+    /// The qman index that owns a shard.
+    pub fn qman_of_shard(&self, shard: usize) -> usize {
+        shard % self.qmans
+    }
+
+    /// The shards qman `q` owns, in polling order.
+    pub fn shards_of_qman(&self, q: usize) -> impl Iterator<Item = usize> + '_ {
+        let qmans = self.qmans;
+        (0..self.notify_shards).filter(move |s| s % qmans == q % qmans)
+    }
+}
+
 /// Which API family the mail server uses (§7.3's two configurations).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MailConfig {
@@ -157,22 +236,64 @@ impl MailConfig {
 pub struct MailServer<'k, K: SyscallApi + ?Sized> {
     kernel: &'k K,
     config: MailConfig,
-    notify: SockId,
+    topology: MailTopology,
+    /// One notification socket per shard; `topology.shard_of(mailbox)`
+    /// picks the socket an enqueue announces on.
+    notify: Vec<SockId>,
     /// Per-core message sequence numbers, used to build unique queue file
     /// names without shared state.
     next_seq: Vec<CachePadded<AtomicU64>>,
 }
 
+/// One message delivered by a qman step: the mailbox file it landed in,
+/// the mailbox it was addressed to, the shard it travelled through, and the
+/// message body. The body is what the open-loop load generator stamps its
+/// intended-arrival time into, so handing it back costs nothing extra — the
+/// qman had it in hand to deliver it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivered {
+    /// The Maildir file the message was written to.
+    pub file: String,
+    /// The recipient mailbox name (first envelope line).
+    pub mailbox: String,
+    /// The notification-socket shard the message arrived on.
+    pub shard: usize,
+    /// The message body, bit-for-bit as enqueued.
+    pub body: Vec<u8>,
+}
+
 impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
     /// Creates a mail server over `kernel` using the given API configuration
-    /// and supporting up to `cores` enqueueing cores.
+    /// and supporting up to `cores` enqueueing cores, with the original
+    /// single-socket topology.
     pub fn new(kernel: &'k K, config: MailConfig, cores: usize) -> KResult<Self> {
-        let notify = kernel.socket(0, config.socket_order())?;
+        let topology = MailTopology {
+            enqueuers: cores.max(1),
+            qmans: 1,
+            notify_shards: 1,
+        };
+        MailServer::with_topology(kernel, config, topology, cores)
+    }
+
+    /// Creates a mail server with an explicit N×M×shards topology. `cores`
+    /// bounds the per-core sequence counters (any core may enqueue or
+    /// deliver); the notification sockets are created eagerly, one per
+    /// shard, so socket ids are dense from the server's first socket.
+    pub fn with_topology(
+        kernel: &'k K,
+        config: MailConfig,
+        topology: MailTopology,
+        cores: usize,
+    ) -> KResult<Self> {
+        let notify = (0..topology.notify_shards)
+            .map(|_| kernel.socket(0, config.socket_order()))
+            .collect::<KResult<Vec<_>>>()?;
         Ok(MailServer {
             kernel,
             config,
+            topology,
             notify,
-            next_seq: (0..cores.max(1))
+            next_seq: (0..cores.max(1).max(topology.cores()))
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
         })
@@ -183,9 +304,20 @@ impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
         self.config
     }
 
-    /// The notification socket connecting mail-enqueue to mail-qman.
+    /// The thread/shard topology in use.
+    pub fn topology(&self) -> MailTopology {
+        self.topology
+    }
+
+    /// The notification socket connecting mail-enqueue to mail-qman (shard
+    /// 0 when sharded).
     pub fn notify_socket(&self) -> SockId {
-        self.notify
+        self.notify[0]
+    }
+
+    /// The notification socket for one shard.
+    pub fn shard_socket(&self, shard: usize) -> SockId {
+        self.notify[shard % self.notify.len()]
     }
 
     fn fresh_seq(&self, core: CoreId) -> u64 {
@@ -229,7 +361,11 @@ impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
         })?;
 
         timed(obs, core, MailStage::Notify, || {
-            self.kernel.send(core, self.notify, env_name.as_bytes())
+            self.kernel.send(
+                core,
+                self.shard_socket(self.topology.shard_of(mailbox)),
+                env_name.as_bytes(),
+            )
         })?;
         Ok(env_name)
     }
@@ -245,11 +381,58 @@ impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
     /// [`MailServer::qman_step`] with stage observation. An empty queue
     /// (`Err(EAGAIN)`) records no stage, so polling loops don't flood the
     /// observer; a received message reports one span per pipeline stage.
+    /// Polls every shard (starting from `core`'s rotation) — with the
+    /// default single-shard topology this makes exactly one `recv` per
+    /// step, preserving the retry-tail invariant the telemetry tests pin.
     pub fn qman_step_observed<O>(&self, core: CoreId, pid: Pid, obs: &O) -> KResult<String>
     where
         O: MailStageObserver + ?Sized,
     {
-        let notification = self.kernel.recv(core, self.notify)?;
+        let shards = self.notify.len();
+        for probe in 0..shards {
+            let shard = (core + probe) % shards;
+            match self.qman_step_shard(core, pid, shard, obs) {
+                Err(Errno::EAGAIN) => continue,
+                other => return other.map(|d| d.file),
+            }
+        }
+        Err(Errno::EAGAIN)
+    }
+
+    /// One step of `mail-qman` serving qman index `q`: polls only the
+    /// shards `q` owns under the topology, returning the full
+    /// [`Delivered`] record (body included) of the first message found, or
+    /// `Err(EAGAIN)` when all owned shards are empty.
+    pub fn qman_step_for<O>(&self, core: CoreId, pid: Pid, q: usize, obs: &O) -> KResult<Delivered>
+    where
+        O: MailStageObserver + ?Sized,
+    {
+        let owned: Vec<usize> = self.topology.shards_of_qman(q).collect();
+        for (i, _) in owned.iter().enumerate() {
+            // Rotate the polling origin by core so co-owned shards are not
+            // always drained in the same order.
+            let shard = owned[(i + core) % owned.len()];
+            match self.qman_step_shard(core, pid, shard, obs) {
+                Err(Errno::EAGAIN) => continue,
+                other => return other,
+            }
+        }
+        Err(Errno::EAGAIN)
+    }
+
+    /// The single-shard qman step: receive from `shard`'s socket, read the
+    /// envelope, spawn/deliver/reap, clean the spool.
+    pub fn qman_step_shard<O>(
+        &self,
+        core: CoreId,
+        pid: Pid,
+        shard: usize,
+        obs: &O,
+    ) -> KResult<Delivered>
+    where
+        O: MailStageObserver + ?Sized,
+    {
+        let notification = self.kernel.recv(core, self.shard_socket(shard))?;
         let env_name = String::from_utf8_lossy(&notification).to_string();
         let flags = self.config.open_flags();
 
@@ -295,7 +478,12 @@ impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
             self.kernel.unlink(core, pid, &msg_name)?;
             self.kernel.unlink(core, pid, &env_name)
         })?;
-        Ok(delivered)
+        Ok(Delivered {
+            file: delivered,
+            mailbox,
+            shard,
+            body,
+        })
     }
 
     /// `mail-deliver`: writes `body` into a fresh file in `mailbox`'s
@@ -412,6 +600,70 @@ mod tests {
         // An empty queue reports EAGAIN without recording a stage.
         assert_eq!(server.qman_step_observed(1, qman, &obs), Err(Errno::EAGAIN));
         assert_eq!(obs.0.lock().unwrap().len(), MailStage::ALL.len());
+    }
+
+    #[test]
+    fn topology_partitions_shards_across_qmans() {
+        let t = MailTopology::new(2, 3).with_shards(6);
+        assert_eq!(t.cores(), 5);
+        assert_eq!(t.qman_core(0), 2);
+        assert_eq!(t.qman_core(2), 4);
+        // Every shard is owned by exactly one qman.
+        let mut owned = vec![0usize; t.notify_shards];
+        for q in 0..t.qmans {
+            for s in t.shards_of_qman(q) {
+                assert_eq!(t.qman_of_shard(s), q);
+                owned[s] += 1;
+            }
+        }
+        assert!(owned.iter().all(|&n| n == 1), "{owned:?}");
+        // Mailbox shard assignment is deterministic and in range.
+        for m in 0..100 {
+            let name = format!("user{m}");
+            assert_eq!(t.shard_of(&name), t.shard_of(&name));
+            assert!(t.shard_of(&name) < t.notify_shards);
+        }
+    }
+
+    #[test]
+    fn sharded_server_routes_mailboxes_to_owned_qmans_only() {
+        let k = Sv6Kernel::new(6);
+        let client = k.new_process();
+        let qman = k.new_process();
+        let topology = MailTopology::new(2, 2).with_shards(4);
+        let server =
+            MailServer::with_topology(&k, MailConfig::CommutativeApis, topology, 6).unwrap();
+        // Enqueue to mailboxes covering several shards.
+        let mut shard_count = vec![0usize; topology.notify_shards];
+        for m in 0..16 {
+            let mailbox = format!("user{m}");
+            shard_count[topology.shard_of(&mailbox)] += 1;
+            server.enqueue(0, client, &mailbox, b"x").unwrap();
+        }
+        assert!(shard_count.iter().filter(|&&n| n > 0).count() >= 2);
+        // Each qman drains exactly the shards it owns; together they drain
+        // everything, and every Delivered record names its shard.
+        let mut total = 0;
+        for q in 0..topology.qmans {
+            let mut expect: usize = topology.shards_of_qman(q).map(|s| shard_count[s]).sum();
+            while let Ok(d) = server.qman_step_for(topology.qman_core(q), qman, q, &NoMailObs) {
+                assert_eq!(topology.qman_of_shard(d.shard), q);
+                assert_eq!(topology.shard_of(&d.mailbox), d.shard);
+                assert_eq!(d.body, b"x");
+                expect -= 1;
+                total += 1;
+            }
+            assert_eq!(expect, 0, "qman {q} left owned messages behind");
+        }
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn single_shard_compat_path_is_unchanged() {
+        let k = Sv6Kernel::new(2);
+        let server = MailServer::new(&k, MailConfig::RegularApis, 2).unwrap();
+        assert_eq!(server.topology().notify_shards, 1);
+        assert_eq!(server.notify_socket(), server.shard_socket(0));
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! The open-loop runner: a fixed arrival schedule against a live pipeline.
+//!
+//! Every message's arrival time is decided before the first thread starts
+//! ([`arrival_offsets`]); enqueuer threads release messages *at* those
+//! times, and latency is measured **from the intended arrival** to the
+//! moment the qman finishes delivery. When the pipeline falls behind, the
+//! wait in its queues is part of the number — the coordinated-omission-safe
+//! convention (Tene's "How NOT to Measure Latency") that closed-loop
+//! harnesses like [`LoadHarness`](scr_host::harness::LoadHarness) cannot
+//! give, because their next request waits for the previous reply.
+//!
+//! The intended-arrival timestamp rides *inside the message body*
+//! (`t=<ns>;m=<mailbox>`), so it crosses the pipeline the same way the
+//! payload does and the qman side needs no side-channel to compute
+//! end-to-end latency: [`Delivered::body`] hands the stamp back at zero
+//! extra syscall cost.
+
+use crate::rng::Rng64;
+use crate::schedule::{arrival_offsets, Arrival};
+use crate::zipf::ZipfSampler;
+use scr_host::kernel::{HostKernel, HostMode};
+use scr_kernel::api::Errno;
+use scr_kernel::mail::{MailConfig, MailServer, MailTopology, NoMailObs};
+use scr_obs::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One open-loop cell: what to offer the pipeline and how to shape it.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Kernel sharing structure (sv6 striped vs linuxlike global lock).
+    pub mode: HostMode,
+    /// Mail API family (§7.3 regular vs commutative).
+    pub mail: MailConfig,
+    /// Enqueuers × qmans × notification-socket shards.
+    pub topology: MailTopology,
+    /// Total messages to offer.
+    pub messages: usize,
+    /// Offered arrival rate, messages per second (across all enqueuers).
+    pub rate_per_sec: f64,
+    /// Arrival process (fixed-rate or Poisson).
+    pub arrival: Arrival,
+    /// Size of the mailbox namespace popularity is sampled over.
+    pub mailboxes: usize,
+    /// Zipf exponent for mailbox popularity; 0 = uniform.
+    pub zipf_s: f64,
+    /// Seed for the whole run (schedule + popularity).
+    pub seed: u64,
+    /// Deliberate per-step stall in each qman loop, in nanoseconds. Zero in
+    /// real runs; the coordinated-omission regression test sets it to cap
+    /// the service rate below the offered rate and then checks the recorded
+    /// latency grows with the backlog.
+    pub qman_stall_ns: u64,
+}
+
+impl LoadConfig {
+    /// A small deterministic smoke cell: 1×1 pipeline, commutative APIs,
+    /// uniform popularity, fast fixed-rate arrivals.
+    pub fn smoke() -> LoadConfig {
+        LoadConfig {
+            mode: HostMode::Sv6,
+            mail: MailConfig::CommutativeApis,
+            topology: MailTopology::single(),
+            messages: 200,
+            rate_per_sec: 20_000.0,
+            arrival: Arrival::FixedRate,
+            mailboxes: 16,
+            zipf_s: 0.0,
+            seed: 1,
+            qman_stall_ns: 0,
+        }
+    }
+
+    /// One-line cell description for tables and `RunMeta.config`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}x{} pipeline, {} shard(s), {} msgs @ {:.0}/s {}, {} mailboxes zipf s={}, seed {}",
+            self.topology.enqueuers,
+            self.topology.qmans,
+            self.topology.notify_shards,
+            self.messages,
+            self.rate_per_sec,
+            self.arrival.name(),
+            self.mailboxes,
+            self.zipf_s,
+            self.seed
+        )
+    }
+}
+
+/// Per-shard slice of a run: how much traffic the shard carried and the
+/// latency distribution of the messages that travelled through it.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Notification-socket shard index.
+    pub shard: usize,
+    /// The qman that owns the shard.
+    pub qman: usize,
+    /// Messages delivered through this shard.
+    pub delivered: u64,
+    /// Latency (ns, intended-arrival to delivered) of those messages.
+    pub latency: HistogramSnapshot,
+}
+
+/// The outcome of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Messages the enqueuers released (always `config.messages`).
+    pub enqueued: u64,
+    /// Messages delivered (equals `enqueued` — the run drains the queue).
+    pub delivered: u64,
+    /// Empty-queue polls on the qman side.
+    pub eagain_retries: u64,
+    /// Wall time from epoch to last delivery, seconds.
+    pub elapsed_seconds: f64,
+    /// Offered rate (from the config), for achieved-vs-offered comparison.
+    pub offered_rate: f64,
+    /// End-to-end latency in ns, measured from intended arrival.
+    pub latency: HistogramSnapshot,
+    /// Per-shard traffic and latency.
+    pub shards: Vec<ShardStats>,
+    /// The full metrics snapshot (same counter/histogram names the
+    /// closed-loop `MailTelemetry` path uses), for artifact export.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl LoadReport {
+    /// Achieved delivery throughput, messages per second.
+    pub fn throughput(&self) -> f64 {
+        self.delivered as f64 / self.elapsed_seconds.max(1e-9)
+    }
+
+    /// The shard that carried the most messages (hot shard under skew).
+    pub fn hottest_shard(&self) -> Option<&ShardStats> {
+        self.shards.iter().max_by_key(|s| s.delivered)
+    }
+}
+
+/// Intended-arrival stamp carried in the message body.
+fn stamp(due_ns: u64, mailbox: &str) -> String {
+    format!("t={due_ns};m={mailbox}")
+}
+
+/// Recover the intended-arrival ns from a delivered body.
+pub fn parse_stamp(body: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(body).ok()?;
+    let rest = text.strip_prefix("t=")?;
+    let end = rest.find(';')?;
+    rest[..end].parse().ok()
+}
+
+/// Sleep (coarse) then yield (fine) until `due_ns` after `epoch`. Never
+/// spins without yielding, so an oversubscribed host (CI's single
+/// hardware thread running several pipeline threads) keeps making progress.
+fn wait_until(epoch: Instant, due_ns: u64) {
+    loop {
+        let now = epoch.elapsed().as_nanos() as u64;
+        if now >= due_ns {
+            return;
+        }
+        let gap = due_ns - now;
+        if gap > 500_000 {
+            // Leave the last ~200µs to the yield loop: sleep overshoot
+            // would delay the *release*, not the schedule, and the latency
+            // clock charges any release delay to the system — keep it small.
+            std::thread::sleep(Duration::from_nanos(gap - 200_000));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Run one open-loop cell on a fresh kernel built from `config.mode`.
+pub fn run_open_loop(config: &LoadConfig) -> LoadReport {
+    let kernel = HostKernel::new(config.topology.cores(), config.mode);
+    run_open_loop_on(&kernel, config)
+}
+
+/// Run one open-loop cell against an existing kernel (the conflict-heat
+/// pass hands in an instrumented one; timed cells use [`run_open_loop`]).
+///
+/// The kernel must have at least `config.topology.cores()` cores.
+pub fn run_open_loop_on(kernel: &HostKernel, config: &LoadConfig) -> LoadReport {
+    let topology = config.topology;
+    let cores = topology.cores();
+    let total = config.messages;
+
+    // The whole schedule is decided here, before any worker exists:
+    // message i is due at offsets[i] and addressed to mailbox ranks[i].
+    let offsets = arrival_offsets(config.arrival, config.rate_per_sec, total, config.seed);
+    let sampler = ZipfSampler::new(config.mailboxes.max(1), config.zipf_s);
+    let mut popularity = Rng64::stream(config.seed, 0x21BF);
+    let mailboxes: Vec<String> = (0..total)
+        .map(|_| format!("box{:04}", sampler.sample(&mut popularity)))
+        .collect();
+
+    let client = kernel.new_process();
+    let qman_pid = kernel.new_process();
+    let server =
+        MailServer::with_topology(kernel, config.mail, topology, cores).expect("mail server");
+
+    let registry = MetricsRegistry::new(cores);
+    let latency = registry.histogram("mail.latency_ns");
+    let enqueued = registry.counter("mail.enqueued");
+    let delivered = registry.counter("mail.delivered");
+    let eagain = registry.counter("mail.eagain_retries");
+    let shard_latency: Vec<Histogram> = (0..topology.notify_shards)
+        .map(|s| registry.histogram(&format!("mail.shard[{s}].latency_ns")))
+        .collect();
+    let shard_delivered: Vec<Counter> = (0..topology.notify_shards)
+        .map(|s| registry.counter(&format!("mail.shard[{s}].delivered")))
+        .collect();
+
+    let done = AtomicU64::new(0);
+    let barrier = Barrier::new(cores);
+    let epoch_cell: OnceLock<Instant> = OnceLock::new();
+    let stall = config.qman_stall_ns;
+
+    let (server_ref, offsets_ref, boxes_ref) = (&server, &offsets, &mailboxes);
+    let (done_ref, barrier_ref, epoch_ref) = (&done, &barrier, &epoch_cell);
+    let (latency_ref, shard_lat_ref, shard_del_ref) = (&latency, &shard_latency, &shard_delivered);
+    let (enq_ref, del_ref, eagain_ref) = (&enqueued, &delivered, &eagain);
+    std::thread::scope(|scope| {
+        for e in 0..topology.enqueuers {
+            scope.spawn(move || {
+                barrier_ref.wait();
+                // The first thread past the barrier starts the clock; all
+                // others read the same instant, so one epoch anchors both
+                // the release schedule and the latency measurements.
+                let epoch = *epoch_ref.get_or_init(Instant::now);
+                let core = topology.enqueuer_core(e);
+                // Message i belongs to enqueuer i mod enqueuers; the global
+                // schedule is nondecreasing, so each slice is too.
+                let mut i = e;
+                while i < total {
+                    let due = offsets_ref[i];
+                    let mailbox = &boxes_ref[i];
+                    wait_until(epoch, due);
+                    let body = stamp(due, mailbox);
+                    server_ref
+                        .enqueue(core, client, mailbox, body.as_bytes())
+                        .expect("enqueue");
+                    enq_ref.inc(core);
+                    i += topology.enqueuers;
+                }
+            });
+        }
+        for q in 0..topology.qmans {
+            scope.spawn(move || {
+                barrier_ref.wait();
+                let epoch = *epoch_ref.get_or_init(Instant::now);
+                let core = topology.qman_core(q);
+                loop {
+                    if done_ref.load(Ordering::Acquire) >= total as u64 {
+                        break;
+                    }
+                    if stall > 0 {
+                        // Deliberate service-rate cap (see LoadConfig docs).
+                        std::thread::sleep(Duration::from_nanos(stall));
+                    }
+                    match server_ref.qman_step_for(core, qman_pid, q, &NoMailObs) {
+                        Ok(d) => {
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            let due = parse_stamp(&d.body).expect("stamped body");
+                            let waited = now.saturating_sub(due);
+                            latency_ref.record(core, waited);
+                            shard_lat_ref[d.shard].record(core, waited);
+                            shard_del_ref[d.shard].inc(core);
+                            del_ref.inc(core);
+                            done_ref.fetch_add(1, Ordering::AcqRel);
+                        }
+                        Err(Errno::EAGAIN) => {
+                            eagain_ref.inc(core);
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("qman step failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let elapsed_seconds = epoch_cell
+        .get()
+        .map(|epoch| epoch.elapsed().as_secs_f64())
+        .unwrap_or(0.0);
+    let shards = (0..topology.notify_shards)
+        .map(|s| ShardStats {
+            shard: s,
+            qman: topology.qman_of_shard(s),
+            delivered: shard_delivered[s].total(),
+            latency: shard_latency[s].merged(),
+        })
+        .collect();
+    LoadReport {
+        enqueued: enqueued.total(),
+        delivered: delivered.total(),
+        eagain_retries: eagain.total(),
+        elapsed_seconds,
+        offered_rate: config.rate_per_sec,
+        latency: latency.merged(),
+        shards,
+        snapshot: registry.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_round_trip() {
+        let body = stamp(123_456_789, "box0007");
+        assert_eq!(parse_stamp(body.as_bytes()), Some(123_456_789));
+        assert_eq!(parse_stamp(b"garbage"), None);
+        assert_eq!(parse_stamp(b"t=;m=x"), None);
+    }
+
+    #[test]
+    fn open_loop_smoke_delivers_everything_exactly_once() {
+        let mut config = LoadConfig::smoke();
+        config.messages = 100;
+        let report = run_open_loop(&config);
+        assert_eq!(report.enqueued, 100);
+        assert_eq!(report.delivered, 100);
+        assert_eq!(report.latency.count, 100);
+        assert!(report.throughput() > 0.0);
+        assert_eq!(report.shards.len(), 1);
+        assert_eq!(report.shards[0].delivered, 100);
+    }
+
+    #[test]
+    fn sharded_run_attributes_every_message_to_a_shard() {
+        let mut config = LoadConfig::smoke();
+        config.topology = MailTopology::new(2, 2).with_shards(4);
+        config.messages = 120;
+        config.zipf_s = 1.2;
+        let report = run_open_loop(&config);
+        assert_eq!(report.delivered, 120);
+        let per_shard: u64 = report.shards.iter().map(|s| s.delivered).sum();
+        assert_eq!(per_shard, 120);
+        let lat_count: u64 = report.shards.iter().map(|s| s.latency.count).sum();
+        assert_eq!(lat_count, report.latency.count);
+        assert!(report.hottest_shard().unwrap().delivered > 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Zipfian mailbox-popularity sampling.
+//!
+//! Real mail traffic is skewed: a few mailboxes receive most of the
+//! messages. Under the sharded notification topology that skew funnels the
+//! hot mailboxes onto one shard — and so onto one qman — which is exactly
+//! the contention the observatory wants to surface. The sampler draws rank
+//! `k` (0-based over `n` mailboxes) with probability proportional to
+//! `1/(k+1)^s`; `s = 0` degenerates to the uniform distribution.
+//!
+//! Implementation is the classic inverse-CDF table: cumulative weights
+//! computed once at construction, each draw is one uniform variate plus a
+//! binary search (`O(log n)`). For the mailbox counts the observatory uses
+//! (tens to thousands) the table is trivially small.
+
+use crate::rng::Rng64;
+
+/// A seedable sampler over ranks `0..n` with Zipf exponent `s`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    /// Cumulative probability at each rank; `cumulative.last() == 1.0`.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` ranks with exponent `s >= 0`.
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "zipf sampler needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite and >= 0"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard the binary search against floating-point shortfall.
+        *cumulative.last_mut().unwrap() = 1.0;
+        ZipfSampler { cumulative }
+    }
+
+    /// The number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the sampler has exactly one rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The probability mass assigned to `rank`.
+    pub fn mass(&self, rank: usize) -> f64 {
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - lo
+    }
+
+    /// Draw one rank using `rng`.
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.next_f64();
+        // First rank whose cumulative mass exceeds u.
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let z = ZipfSampler::new(8, 0.0);
+        for k in 0..8 {
+            assert!((z.mass(k) - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mass_decreases_with_rank_for_positive_s() {
+        let z = ZipfSampler::new(100, 1.0);
+        for k in 1..100 {
+            assert!(z.mass(k) < z.mass(k - 1));
+        }
+        // Rank 0 of a 100-rank s=1 zipf holds 1/H_100 ~ 19% of the mass.
+        assert!(z.mass(0) > 0.15);
+    }
+
+    #[test]
+    fn samples_follow_the_analytic_mass() {
+        let z = ZipfSampler::new(16, 1.0);
+        let mut rng = Rng64::new(1234);
+        let mut counts = [0usize; 16];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let observed = c as f64 / draws as f64;
+            let expected = z.mass(k);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {k}: observed {observed:.4} vs expected {expected:.4}"
+            );
+        }
+    }
+}

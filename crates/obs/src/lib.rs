@@ -52,7 +52,7 @@ pub use json::Json;
 pub use meta::{git_rev, RunMeta};
 pub use metrics::{
     Counter, CounterSnapshot, EventRecord, Histogram, HistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot, HIST_BUCKETS,
+    MetricsSnapshot, DEFAULT_QUANTILES, HIST_BUCKETS,
 };
 pub use syscall::{ObservedKernel, SyscallKind, SyscallRecorder, ALL_ERRNOS};
 pub use trace::{SpanGuard, SpanName, TraceLog};

@@ -341,7 +341,26 @@ impl HistogramSnapshot {
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
+
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Evaluate a configurable quantile list in one pass over the snapshot.
+    /// Labels come back with the values so renderers stay in sync with the
+    /// list they were handed.
+    pub fn quantiles(&self, list: &[(&str, f64)]) -> Vec<(String, f64)> {
+        list.iter()
+            .map(|&(label, q)| (label.to_string(), self.quantile(q)))
+            .collect()
+    }
 }
+
+/// The quantile list every table and JSON export renders by default. The
+/// tail entry (p99.9) is what the open-loop load generator's
+/// coordinated-omission-safe latency curves key on.
+pub const DEFAULT_QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
 
 /// A single timestamped event (see [`crate::events::EventLog`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -404,19 +423,17 @@ impl MetricsSnapshot {
                         ])
                     })
                     .collect();
-                (
-                    name.clone(),
-                    Json::obj(vec![
-                        ("count", h.count.into()),
-                        ("sum", h.sum.into()),
-                        ("max", h.max.into()),
-                        ("mean", h.mean().into()),
-                        ("p50", h.p50().into()),
-                        ("p90", h.p90().into()),
-                        ("p99", h.p99().into()),
-                        ("buckets", Json::Arr(buckets)),
-                    ]),
-                )
+                let mut pairs = vec![
+                    ("count", Json::from(h.count)),
+                    ("sum", h.sum.into()),
+                    ("max", h.max.into()),
+                    ("mean", h.mean().into()),
+                ];
+                for (label, q) in DEFAULT_QUANTILES {
+                    pairs.push((label, h.quantile(q).into()));
+                }
+                pairs.push(("buckets", Json::Arr(buckets)));
+                (name.clone(), Json::obj(pairs))
             })
             .collect();
         root.push(("histograms".to_string(), Json::Obj(histograms)));
@@ -457,20 +474,20 @@ impl MetricsSnapshot {
         }
         if !self.histograms.is_empty() {
             out.push_str("histograms (ns unless noted):\n");
-            out.push_str(&format!(
-                "  {:<40} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
-                "name", "count", "p50", "p90", "p99", "max"
-            ));
+            let mut header = format!("  {:<40} {:>8}", "name", "count");
+            for (label, _) in DEFAULT_QUANTILES {
+                let label = if label == "p999" { "p99.9" } else { label };
+                header.push_str(&format!(" {label:>10}"));
+            }
+            header.push_str(&format!(" {:>10}\n", "max"));
+            out.push_str(&header);
             for (name, h) in &self.histograms {
-                out.push_str(&format!(
-                    "  {:<40} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>10}\n",
-                    name,
-                    h.count,
-                    h.p50(),
-                    h.p90(),
-                    h.p99(),
-                    h.max
-                ));
+                let mut row = format!("  {:<40} {:>8}", name, h.count);
+                for (_, q) in DEFAULT_QUANTILES {
+                    row.push_str(&format!(" {:>10.0}", h.quantile(q)));
+                }
+                row.push_str(&format!(" {:>10}\n", h.max));
+                out.push_str(&row);
             }
         }
         if !self.events.is_empty() {
@@ -551,6 +568,58 @@ mod tests {
         assert!(merged.p50() <= merged.p90());
         assert!(merged.p90() <= merged.p99());
         assert!(merged.p99() <= merged.max as f64);
+    }
+
+    #[test]
+    fn tail_quantile_interpolation_error_is_bounded_by_the_bucket() {
+        // A log-bucketed histogram promises nothing tighter than "inside
+        // the bucket the exact quantile falls in"; for bulk-uniform data
+        // the in-bucket linear interpolation should land much closer.
+        let registry = MetricsRegistry::new(1);
+        let hist = registry.histogram("lat");
+        for v in 1..=10_000u64 {
+            hist.record(0, v);
+        }
+        let merged = hist.merged();
+        let exact = 9_990.0; // true p99.9 of 1..=10000
+        let est = merged.p999();
+        let (lo, hi) = bucket_bounds(bucket_of(exact as u64));
+        let hi = (hi as f64).min(merged.max as f64);
+        assert!(
+            est >= lo as f64 && est <= hi,
+            "p99.9 estimate {est} escaped the exact value's bucket [{lo}, {hi}]"
+        );
+        // Uniform-within-bucket data: interpolation should be within 1%.
+        assert!(
+            (est - exact).abs() / exact < 0.01,
+            "p99.9 estimate {est} too far from exact {exact}"
+        );
+        // The same bound at p99 for good measure.
+        let est99 = merged.p99();
+        assert!((est99 - 9_900.0).abs() / 9_900.0 < 0.05, "p99 = {est99}");
+    }
+
+    #[test]
+    fn configurable_quantile_list_renders_p999_everywhere() {
+        let registry = MetricsRegistry::new(1);
+        let hist = registry.histogram("lat");
+        for v in 1..=1000u64 {
+            hist.record(0, v);
+        }
+        let merged = hist.merged();
+        let qs = merged.quantiles(&DEFAULT_QUANTILES);
+        assert_eq!(qs.len(), 4);
+        assert_eq!(qs[3].0, "p999");
+        assert!(qs[2].1 <= qs[3].1, "p99 {} > p99.9 {}", qs[2].1, qs[3].1);
+        assert!(merged.p999() <= merged.max as f64);
+        // Custom lists work too.
+        let custom = merged.quantiles(&[("p10", 0.10), ("p9999", 0.9999)]);
+        assert_eq!(custom[0].0, "p10");
+        assert!(custom[0].1 <= custom[1].1);
+        // Rendered snapshot carries the tail quantile in both formats.
+        let snapshot = registry.snapshot();
+        assert!(snapshot.to_json().contains("\"p999\""));
+        assert!(snapshot.render_text().contains("p99.9"));
     }
 
     #[test]

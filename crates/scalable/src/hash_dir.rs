@@ -13,7 +13,7 @@ use scr_mtrace::{SimMachine, TracedCell};
 /// Deterministic string hash (FNV-1a), stable across runs so test cases
 /// are reproducible. Shared by the traced [`HashDir`] and the host twin
 /// [`crate::real::StripedHashDir`], whose bucket placement must agree.
-pub(crate) fn fnv1a(key: &str) -> u64 {
+pub fn fnv1a(key: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in key.as_bytes() {
         h ^= *byte as u64;

@@ -1,0 +1,126 @@
+//! Compare two `BENCH_*.json` trajectory files cell by cell.
+//!
+//! Matches cells on their identity key (mode / pairs / rate / skew) and
+//! flags one-sided regressions: throughput that *fell* or p99 latency that
+//! *rose* beyond the tolerance. Improvements never fail the diff — the
+//! file is a trajectory, it is supposed to get better.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example bench_diff -- old.json new.json \
+//!     [--tol-throughput 0.30] [--tol-p99 0.75] [--advisory]
+//! ```
+//!
+//! Exits 1 on any regression beyond tolerance, unless `--advisory` (CI
+//! compares against a baseline recorded on different hardware, where
+//! absolute numbers can only advise).
+
+use scalable_commutativity::obs::{arg_value, Json};
+use std::collections::BTreeMap;
+
+/// The comparable slice of one cell: key → (throughput, p99 ns).
+fn cells_of(doc: &Json, path: &str) -> BTreeMap<String, (f64, f64)> {
+    let mut out = BTreeMap::new();
+    let cells = doc
+        .get("cells")
+        .and_then(|c| c.as_arr())
+        .unwrap_or_else(|| panic!("{path}: no cells array"));
+    for cell in cells {
+        let key = cell
+            .get("key")
+            .and_then(|k| k.as_str())
+            .unwrap_or_else(|| panic!("{path}: cell without key"))
+            .to_string();
+        let throughput = cell
+            .get("throughput_per_sec")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let p99 = cell
+            .get("latency_ns")
+            .and_then(|l| l.get("p99"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        out.insert(key, (throughput, p99));
+    }
+    out
+}
+
+fn load(path: &str) -> BTreeMap<String, (f64, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_diff: cannot read {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("bench_diff: {path}: {e}"));
+    cells_of(&doc, path)
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    // Skip values consumed by --flag value forms.
+    let paths: Vec<&String> = paths.iter().filter(|p| p.ends_with(".json")).collect();
+    if paths.len() != 2 {
+        eprintln!("usage: bench_diff <old.json> <new.json> [--tol-throughput F] [--tol-p99 F] [--advisory]");
+        std::process::exit(2);
+    }
+    let tol_throughput: f64 = arg_value("tol-throughput")
+        .map(|v| v.parse().expect("--tol-throughput takes a fraction"))
+        .unwrap_or(0.30);
+    let tol_p99: f64 = arg_value("tol-p99")
+        .map(|v| v.parse().expect("--tol-p99 takes a fraction"))
+        .unwrap_or(0.75);
+    let advisory = std::env::args().any(|a| a == "--advisory");
+
+    let (old_path, new_path) = (paths[0], paths[1]);
+    let old = load(old_path);
+    let new = load(new_path);
+
+    println!(
+        "bench_diff: {old_path} ({} cells) vs {new_path} ({} cells); \
+         tolerances: throughput -{:.0}%, p99 +{:.0}%{}",
+        old.len(),
+        new.len(),
+        tol_throughput * 100.0,
+        tol_p99 * 100.0,
+        if advisory { " [advisory]" } else { "" },
+    );
+
+    let mut regressions = 0;
+    let mut compared = 0;
+    for (key, &(old_tp, old_p99)) in &old {
+        let Some(&(new_tp, new_p99)) = new.get(key) else {
+            println!("  {key:<40} MISSING in {new_path}");
+            regressions += 1;
+            continue;
+        };
+        compared += 1;
+        let tp_ratio = if old_tp > 0.0 { new_tp / old_tp } else { 1.0 };
+        let p99_ratio = if old_p99 > 0.0 {
+            new_p99 / old_p99
+        } else {
+            1.0
+        };
+        let tp_bad = tp_ratio < 1.0 - tol_throughput;
+        let p99_bad = p99_ratio > 1.0 + tol_p99;
+        if tp_bad || p99_bad {
+            regressions += 1;
+        }
+        println!(
+            "  {key:<40} throughput x{tp_ratio:>5.2}{} p99 x{p99_ratio:>5.2}{}",
+            if tp_bad { " REGRESSED" } else { "" },
+            if p99_bad { " REGRESSED" } else { "" },
+        );
+    }
+    for key in new.keys().filter(|k| !old.contains_key(*k)) {
+        println!("  {key:<40} new cell (no baseline)");
+    }
+
+    println!("bench_diff: {compared} cell(s) compared, {regressions} regression(s)");
+    if regressions > 0 && !advisory {
+        std::process::exit(1);
+    }
+    if regressions > 0 {
+        println!("bench_diff: advisory mode — not failing the build");
+    }
+}

@@ -24,12 +24,16 @@
 //! * [`obs`] — the commutativity-aware telemetry layer: per-core metrics,
 //!   pipeline trace spans, conflict-heat reports and stamped JSON
 //!   snapshots.
+//! * [`loadgen`] — the open-loop mail load observatory: arrival-rate
+//!   schedules, zipfian mailbox popularity, coordinated-omission-safe
+//!   latency, and the `BENCH_mail.json` sweep.
 
 pub use scr_bench as bench;
 pub use scr_core as commuter;
 pub use scr_host as host;
 pub use scr_hostmtrace as hostmtrace;
 pub use scr_kernel as kernel;
+pub use scr_loadgen as loadgen;
 pub use scr_model as model;
 pub use scr_mtrace as mtrace;
 pub use scr_obs as obs;
