@@ -1,0 +1,541 @@
+//! [`FaultyKernel`]: the fault-injecting [`SyscallApi`] wrapper, and
+//! [`ReliableKernel`]: the retrying wrapper that rides on top of it.
+//!
+//! The injection invariant that makes retry safe: a fault is decided
+//! *before* the inner kernel is invoked, so an injected failure has **zero
+//! side effects** — re-issuing the call is always equivalent to the call
+//! never having failed. `ReliableKernel` exploits the second half of the
+//! bargain: the faulty kernel knows which failures it manufactured
+//! ([`FaultyKernel::was_injected`]), so the reliable path retries exactly
+//! those and passes every genuine kernel answer through untouched. Under
+//! any plan, `ReliableKernel` over `FaultyKernel` over `K` is
+//! observationally `K` (modulo timing) until a retry budget exhausts —
+//! and budget exhaustion surfaces the injected errno to the caller, whose
+//! job is to dead-letter, not to lose.
+//!
+//! One thread per core is assumed (as everywhere else in the workspace):
+//! the per-core injection state is not meaningful if two threads share a
+//! core label.
+
+use crate::plan::{ChaosPlan, FaultKind};
+use scr_kernel::api::{
+    Errno, Fd, KResult, MmapBacking, OpenFlags, Pid, Prot, SockId, SocketOrder, Stat, StatMask,
+    SyscallApi, Whence,
+};
+use scr_kernel::retry::{Backoff, RetryPolicy};
+use scr_mtrace::CoreId;
+use scr_obs::{Counter, Histogram, MetricsRegistry};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Obs counters and histograms for the chaos layer, pre-registered flat
+/// (same discipline as `SyscallRecorder`).
+pub struct ChaosTelemetry {
+    registry: Arc<MetricsRegistry>,
+    /// Injected transient errnos, per faultable call.
+    injected: [Counter; 4],
+    /// Delivery holds started on `recv`.
+    pub delay_holds: Counter,
+    /// Injected EAGAIN polls spent inside holds (≥ holds × 1).
+    pub delay_polls: Counter,
+    /// Retries taken by the reliable path.
+    pub retries: Counter,
+    /// Nanoseconds of each backoff sleep (yields are not recorded).
+    pub backoff_ns: Histogram,
+    /// First injected failure → eventual success, per recovered call.
+    pub recovery_ns: Histogram,
+}
+
+impl ChaosTelemetry {
+    /// Registers the chaos metric family on `registry`.
+    pub fn new(registry: &Arc<MetricsRegistry>) -> Arc<ChaosTelemetry> {
+        let injected = [
+            FaultKind::Send,
+            FaultKind::Recv,
+            FaultKind::Open,
+            FaultKind::Spawn,
+        ]
+        .map(|kind| registry.counter(&format!("chaos.injected.{}", kind.name())));
+        Arc::new(ChaosTelemetry {
+            injected,
+            delay_holds: registry.counter("chaos.delay.holds"),
+            delay_polls: registry.counter("chaos.delay.polls"),
+            retries: registry.counter("chaos.retries"),
+            backoff_ns: registry.histogram("chaos.backoff_sleep_ns"),
+            recovery_ns: registry.histogram("chaos.recovery_ns"),
+            registry: registry.clone(),
+        })
+    }
+
+    /// Whether the backing registry is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// The injected-fault counter for `kind`.
+    pub fn injected(&self, kind: FaultKind) -> &Counter {
+        &self.injected[kind as usize]
+    }
+
+    /// Total injected faults across all calls (excluding delay polls).
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().map(Counter::total).sum()
+    }
+}
+
+struct CoreState {
+    /// Per-kind faultable-call indices (the decision stream positions).
+    counts: [AtomicU64; 4],
+    /// Remaining injected-EAGAIN polls of an active delivery hold.
+    pending_delay: AtomicU32,
+    /// Whether this core's last faultable call failed by injection.
+    injected: AtomicBool,
+}
+
+impl CoreState {
+    fn new() -> CoreState {
+        CoreState {
+            counts: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+            pending_delay: AtomicU32::new(0),
+            injected: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A [`SyscallApi`] wrapper injecting the faults a [`ChaosPlan`] decided.
+///
+/// With a disabled plan ([`ChaosPlan::none`]) every call is pure
+/// delegation — no atomics touched, no clock read, no probe footprint
+/// beyond the inner kernel's own (the parity test in `scr-host` pins
+/// this).
+pub struct FaultyKernel<'k, K: SyscallApi + ?Sized> {
+    inner: &'k K,
+    plan: ChaosPlan,
+    active: bool,
+    telemetry: Option<Arc<ChaosTelemetry>>,
+    per_core: Box<[CoreState]>,
+    /// Total injected errnos (kept besides the obs counters so reports
+    /// work without a registry).
+    injected_count: AtomicU64,
+    /// Total injected-EAGAIN polls spent in delivery holds.
+    delayed_polls: AtomicU64,
+}
+
+impl<'k, K: SyscallApi + ?Sized> FaultyKernel<'k, K> {
+    /// Wraps `inner` under `plan` for up to `cores` core labels.
+    pub fn new(inner: &'k K, plan: ChaosPlan, cores: usize) -> FaultyKernel<'k, K> {
+        let active = plan.enabled();
+        FaultyKernel {
+            inner,
+            active,
+            plan,
+            telemetry: None,
+            per_core: (0..cores).map(|_| CoreState::new()).collect(),
+            injected_count: AtomicU64::new(0),
+            delayed_polls: AtomicU64::new(0),
+        }
+    }
+
+    /// Total errnos injected so far.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_count.load(Ordering::Relaxed)
+    }
+
+    /// Total recv polls eaten by delivery holds so far.
+    pub fn delayed_polls_total(&self) -> u64 {
+        self.delayed_polls.load(Ordering::Relaxed)
+    }
+
+    /// Attaches chaos telemetry (counts injections, holds, retries).
+    pub fn with_telemetry(mut self, telemetry: Arc<ChaosTelemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The wrapped kernel.
+    pub fn inner(&self) -> &'k K {
+        self.inner
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Whether `core`'s most recent faultable call failed by injection
+    /// (false after any call that reached the inner kernel). Meaningful
+    /// only under the one-thread-per-core discipline.
+    pub fn was_injected(&self, core: CoreId) -> bool {
+        self.active && self.per_core[core].injected.load(Ordering::Relaxed)
+    }
+
+    fn count_injected(&self, core: CoreId, kind: FaultKind) {
+        self.injected_count.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            if t.is_enabled() {
+                t.injected(kind).inc(core);
+            }
+        }
+    }
+
+    fn count_delay_poll(&self, core: CoreId, fresh_hold: bool) {
+        self.delayed_polls.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            if t.is_enabled() {
+                if fresh_hold {
+                    t.delay_holds.inc(core);
+                }
+                t.delay_polls.inc(core);
+            }
+        }
+    }
+
+    #[inline]
+    fn faulted<T>(
+        &self,
+        core: CoreId,
+        kind: FaultKind,
+        f: impl FnOnce(&'k K) -> KResult<T>,
+    ) -> KResult<T> {
+        if !self.active {
+            return f(self.inner);
+        }
+        let state = &self.per_core[core];
+        let index = state.counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+        if let Some(errno) = self.plan.decide_fault(core, index, kind) {
+            state.injected.store(true, Ordering::Relaxed);
+            self.count_injected(core, kind);
+            return Err(errno);
+        }
+        state.injected.store(false, Ordering::Relaxed);
+        f(self.inner)
+    }
+}
+
+impl<K: SyscallApi + ?Sized> SyscallApi for FaultyKernel<'_, K> {
+    fn new_process(&self) -> Pid {
+        self.inner.new_process()
+    }
+
+    fn open(&self, core: CoreId, pid: Pid, name: &str, flags: OpenFlags) -> KResult<Fd> {
+        self.faulted(core, FaultKind::Open, |k| k.open(core, pid, name, flags))
+    }
+
+    fn link(&self, core: CoreId, pid: Pid, old: &str, new: &str) -> KResult<()> {
+        self.inner.link(core, pid, old, new)
+    }
+
+    fn unlink(&self, core: CoreId, pid: Pid, name: &str) -> KResult<()> {
+        self.inner.unlink(core, pid, name)
+    }
+
+    fn rename(&self, core: CoreId, pid: Pid, src: &str, dst: &str) -> KResult<()> {
+        self.inner.rename(core, pid, src, dst)
+    }
+
+    fn stat(&self, core: CoreId, pid: Pid, name: &str) -> KResult<Stat> {
+        self.inner.stat(core, pid, name)
+    }
+
+    fn fstat(&self, core: CoreId, pid: Pid, fd: Fd) -> KResult<Stat> {
+        self.inner.fstat(core, pid, fd)
+    }
+
+    fn fstatx(&self, core: CoreId, pid: Pid, fd: Fd, mask: StatMask) -> KResult<Stat> {
+        self.inner.fstatx(core, pid, fd, mask)
+    }
+
+    fn lseek(&self, core: CoreId, pid: Pid, fd: Fd, offset: i64, whence: Whence) -> KResult<u64> {
+        self.inner.lseek(core, pid, fd, offset, whence)
+    }
+
+    fn close(&self, core: CoreId, pid: Pid, fd: Fd) -> KResult<()> {
+        self.inner.close(core, pid, fd)
+    }
+
+    fn pipe(&self, core: CoreId, pid: Pid) -> KResult<(Fd, Fd)> {
+        self.inner.pipe(core, pid)
+    }
+
+    fn read(&self, core: CoreId, pid: Pid, fd: Fd, len: u64) -> KResult<Vec<u8>> {
+        self.inner.read(core, pid, fd, len)
+    }
+
+    fn write(&self, core: CoreId, pid: Pid, fd: Fd, data: &[u8]) -> KResult<u64> {
+        self.inner.write(core, pid, fd, data)
+    }
+
+    fn pread(&self, core: CoreId, pid: Pid, fd: Fd, len: u64, offset: u64) -> KResult<Vec<u8>> {
+        self.inner.pread(core, pid, fd, len, offset)
+    }
+
+    fn pwrite(&self, core: CoreId, pid: Pid, fd: Fd, data: &[u8], offset: u64) -> KResult<u64> {
+        self.inner.pwrite(core, pid, fd, data, offset)
+    }
+
+    fn mmap(
+        &self,
+        core: CoreId,
+        pid: Pid,
+        addr_hint: Option<u64>,
+        pages: u64,
+        prot: Prot,
+        backing: MmapBacking,
+    ) -> KResult<u64> {
+        self.inner.mmap(core, pid, addr_hint, pages, prot, backing)
+    }
+
+    fn munmap(&self, core: CoreId, pid: Pid, addr: u64, pages: u64) -> KResult<()> {
+        self.inner.munmap(core, pid, addr, pages)
+    }
+
+    fn mprotect(&self, core: CoreId, pid: Pid, addr: u64, pages: u64, prot: Prot) -> KResult<()> {
+        self.inner.mprotect(core, pid, addr, pages, prot)
+    }
+
+    fn memread(&self, core: CoreId, pid: Pid, addr: u64) -> KResult<u8> {
+        self.inner.memread(core, pid, addr)
+    }
+
+    fn memwrite(&self, core: CoreId, pid: Pid, addr: u64, value: u8) -> KResult<()> {
+        self.inner.memwrite(core, pid, addr, value)
+    }
+
+    fn fork(&self, core: CoreId, pid: Pid) -> KResult<Pid> {
+        self.faulted(core, FaultKind::Spawn, |k| k.fork(core, pid))
+    }
+
+    fn posix_spawn(&self, core: CoreId, pid: Pid, dup_fds: &[Fd]) -> KResult<Pid> {
+        self.faulted(core, FaultKind::Spawn, |k| {
+            k.posix_spawn(core, pid, dup_fds)
+        })
+    }
+
+    fn wait(&self, core: CoreId, pid: Pid, child: Pid) -> KResult<()> {
+        self.inner.wait(core, pid, child)
+    }
+
+    fn socket(&self, core: CoreId, order: SocketOrder) -> KResult<SockId> {
+        self.inner.socket(core, order)
+    }
+
+    fn send(&self, core: CoreId, sock: SockId, msg: &[u8]) -> KResult<()> {
+        self.faulted(core, FaultKind::Send, |k| k.send(core, sock, msg))
+    }
+
+    fn recv(&self, core: CoreId, sock: SockId) -> KResult<Vec<u8>> {
+        if !self.active {
+            return self.inner.recv(core, sock);
+        }
+        let state = &self.per_core[core];
+        // An active hold eats this poll with an injected EAGAIN.
+        let pending = state.pending_delay.load(Ordering::Relaxed);
+        if pending > 0 {
+            state.pending_delay.store(pending - 1, Ordering::Relaxed);
+            state.injected.store(true, Ordering::Relaxed);
+            self.count_delay_poll(core, false);
+            return Err(Errno::EAGAIN);
+        }
+        let index = state.counts[FaultKind::Recv as usize].fetch_add(1, Ordering::Relaxed);
+        if let Some(errno) = self.plan.decide_fault(core, index, FaultKind::Recv) {
+            state.injected.store(true, Ordering::Relaxed);
+            self.count_injected(core, FaultKind::Recv);
+            return Err(errno);
+        }
+        if let Some(polls) = self.plan.decide_delay(core, index) {
+            // This attempt is the first poll of the hold.
+            state.pending_delay.store(polls - 1, Ordering::Relaxed);
+            state.injected.store(true, Ordering::Relaxed);
+            self.count_delay_poll(core, true);
+            return Err(Errno::EAGAIN);
+        }
+        state.injected.store(false, Ordering::Relaxed);
+        self.inner.recv(core, sock)
+    }
+}
+
+/// The retrying wrapper: re-issues exactly the failures its
+/// [`FaultyKernel`] injected, under a [`RetryPolicy`] budget.
+///
+/// Genuine kernel errors (including a genuine EAGAIN from an empty
+/// socket) pass through on the first bounce — poll loops and error
+/// handling above see the real kernel's behaviour. When the budget
+/// exhausts mid-storm, the last injected errno surfaces; the caller
+/// dead-letters or sheds, it does not lose.
+pub struct ReliableKernel<'f, 'k, K: SyscallApi + ?Sized> {
+    faulty: &'f FaultyKernel<'k, K>,
+    policy: RetryPolicy,
+}
+
+impl<'f, 'k, K: SyscallApi + ?Sized> ReliableKernel<'f, 'k, K> {
+    /// Wraps `faulty` with retry `policy`.
+    pub fn new(faulty: &'f FaultyKernel<'k, K>, policy: RetryPolicy) -> Self {
+        ReliableKernel { faulty, policy }
+    }
+
+    /// The fault layer underneath.
+    pub fn faulty(&self) -> &'f FaultyKernel<'k, K> {
+        self.faulty
+    }
+
+    #[inline]
+    fn retried<T>(
+        &self,
+        core: CoreId,
+        f: impl Fn(&FaultyKernel<'k, K>) -> KResult<T>,
+    ) -> KResult<T> {
+        let mut result = f(self.faulty);
+        if result.is_ok() || !self.faulty.was_injected(core) {
+            return result;
+        }
+        let telemetry = self.faulty.telemetry.as_deref().filter(|t| t.is_enabled());
+        let started = telemetry.map(|_| Instant::now());
+        let mut backoff = Backoff::new(self.policy, core as u64);
+        loop {
+            match backoff.step() {
+                None => return result, // budget exhausted: surface the injected errno
+                Some(0) => std::thread::yield_now(),
+                Some(ns) => {
+                    if let Some(t) = telemetry {
+                        t.backoff_ns.record(core, ns);
+                    }
+                    std::thread::sleep(std::time::Duration::from_nanos(ns));
+                }
+            }
+            if let Some(t) = telemetry {
+                t.retries.inc(core);
+            }
+            result = f(self.faulty);
+            match &result {
+                Ok(_) => {
+                    if let (Some(t), Some(at)) = (telemetry, started) {
+                        t.recovery_ns.record(core, at.elapsed().as_nanos() as u64);
+                    }
+                    return result;
+                }
+                Err(_) if self.faulty.was_injected(core) => continue,
+                Err(_) => return result, // genuine kernel answer
+            }
+        }
+    }
+}
+
+impl<K: SyscallApi + ?Sized> SyscallApi for ReliableKernel<'_, '_, K> {
+    fn new_process(&self) -> Pid {
+        self.faulty.new_process()
+    }
+
+    fn open(&self, core: CoreId, pid: Pid, name: &str, flags: OpenFlags) -> KResult<Fd> {
+        self.retried(core, |k| k.open(core, pid, name, flags))
+    }
+
+    fn link(&self, core: CoreId, pid: Pid, old: &str, new: &str) -> KResult<()> {
+        self.faulty.link(core, pid, old, new)
+    }
+
+    fn unlink(&self, core: CoreId, pid: Pid, name: &str) -> KResult<()> {
+        self.faulty.unlink(core, pid, name)
+    }
+
+    fn rename(&self, core: CoreId, pid: Pid, src: &str, dst: &str) -> KResult<()> {
+        self.faulty.rename(core, pid, src, dst)
+    }
+
+    fn stat(&self, core: CoreId, pid: Pid, name: &str) -> KResult<Stat> {
+        self.faulty.stat(core, pid, name)
+    }
+
+    fn fstat(&self, core: CoreId, pid: Pid, fd: Fd) -> KResult<Stat> {
+        self.faulty.fstat(core, pid, fd)
+    }
+
+    fn fstatx(&self, core: CoreId, pid: Pid, fd: Fd, mask: StatMask) -> KResult<Stat> {
+        self.faulty.fstatx(core, pid, fd, mask)
+    }
+
+    fn lseek(&self, core: CoreId, pid: Pid, fd: Fd, offset: i64, whence: Whence) -> KResult<u64> {
+        self.faulty.lseek(core, pid, fd, offset, whence)
+    }
+
+    fn close(&self, core: CoreId, pid: Pid, fd: Fd) -> KResult<()> {
+        self.faulty.close(core, pid, fd)
+    }
+
+    fn pipe(&self, core: CoreId, pid: Pid) -> KResult<(Fd, Fd)> {
+        self.faulty.pipe(core, pid)
+    }
+
+    fn read(&self, core: CoreId, pid: Pid, fd: Fd, len: u64) -> KResult<Vec<u8>> {
+        self.faulty.read(core, pid, fd, len)
+    }
+
+    fn write(&self, core: CoreId, pid: Pid, fd: Fd, data: &[u8]) -> KResult<u64> {
+        self.faulty.write(core, pid, fd, data)
+    }
+
+    fn pread(&self, core: CoreId, pid: Pid, fd: Fd, len: u64, offset: u64) -> KResult<Vec<u8>> {
+        self.faulty.pread(core, pid, fd, len, offset)
+    }
+
+    fn pwrite(&self, core: CoreId, pid: Pid, fd: Fd, data: &[u8], offset: u64) -> KResult<u64> {
+        self.faulty.pwrite(core, pid, fd, data, offset)
+    }
+
+    fn mmap(
+        &self,
+        core: CoreId,
+        pid: Pid,
+        addr_hint: Option<u64>,
+        pages: u64,
+        prot: Prot,
+        backing: MmapBacking,
+    ) -> KResult<u64> {
+        self.faulty.mmap(core, pid, addr_hint, pages, prot, backing)
+    }
+
+    fn munmap(&self, core: CoreId, pid: Pid, addr: u64, pages: u64) -> KResult<()> {
+        self.faulty.munmap(core, pid, addr, pages)
+    }
+
+    fn mprotect(&self, core: CoreId, pid: Pid, addr: u64, pages: u64, prot: Prot) -> KResult<()> {
+        self.faulty.mprotect(core, pid, addr, pages, prot)
+    }
+
+    fn memread(&self, core: CoreId, pid: Pid, addr: u64) -> KResult<u8> {
+        self.faulty.memread(core, pid, addr)
+    }
+
+    fn memwrite(&self, core: CoreId, pid: Pid, addr: u64, value: u8) -> KResult<()> {
+        self.faulty.memwrite(core, pid, addr, value)
+    }
+
+    fn fork(&self, core: CoreId, pid: Pid) -> KResult<Pid> {
+        self.retried(core, |k| k.fork(core, pid))
+    }
+
+    fn posix_spawn(&self, core: CoreId, pid: Pid, dup_fds: &[Fd]) -> KResult<Pid> {
+        self.retried(core, |k| k.posix_spawn(core, pid, dup_fds))
+    }
+
+    fn wait(&self, core: CoreId, pid: Pid, child: Pid) -> KResult<()> {
+        self.faulty.wait(core, pid, child)
+    }
+
+    fn socket(&self, core: CoreId, order: SocketOrder) -> KResult<SockId> {
+        self.faulty.socket(core, order)
+    }
+
+    fn send(&self, core: CoreId, sock: SockId, msg: &[u8]) -> KResult<()> {
+        self.retried(core, |k| k.send(core, sock, msg))
+    }
+
+    fn recv(&self, core: CoreId, sock: SockId) -> KResult<Vec<u8>> {
+        self.retried(core, |k| k.recv(core, sock))
+    }
+}

@@ -13,12 +13,15 @@
 //! picks.
 
 use crate::kernel::{perform_host, HostKernel, HostMode};
+use scr_chaos::kernel::{FaultyKernel, ReliableKernel};
+use scr_chaos::plan::ChaosPlan;
 use scr_core::pipeline::{bucket_distinct_names, CommuterConfig};
 use scr_core::{
     analyze_pair, differential_check, enumerate_shapes, generate_tests, run_test_order,
     ConcreteReplayer, ConcreteTest, DifferentialOutcome, SkipHistogram, Sv6Factory,
 };
 use scr_kernel::api::SysResult;
+use scr_kernel::retry::RetryPolicy;
 use scr_model::{pair_config, CallKind};
 use scr_obs::EventLog;
 use std::sync::Arc;
@@ -65,6 +68,59 @@ impl ConcreteReplayer for HostReplayer {
             let b = scope.spawn(move || {
                 barrier_ref.wait();
                 perform_host(kernel_ref, 1, &test.op_b)
+            });
+            (
+                a.join().expect("op_a thread"),
+                b.join().expect("op_b thread"),
+            )
+        })
+    }
+}
+
+/// A [`HostReplayer`] with a fault-injecting kernel stack: every test's
+/// setup and racing pair run through `ReliableKernel → FaultyKernel →
+/// HostKernel`, with a *never-give-up* retry policy. Because injected
+/// failures have no side effects and the reliable layer retries exactly
+/// them, the stack is observationally the raw host kernel — so replays
+/// under an errno storm must still linearize against the simulated
+/// kernel's two sequential orders. A mismatch means an injected fault
+/// leaked through the retry contract (or a genuine divergence).
+#[derive(Clone, Debug)]
+pub struct ChaosReplayer {
+    /// Cores (thread slots) each fresh kernel is configured with.
+    pub cores: usize,
+    /// The fault plan each replay runs under (crash schedules are
+    /// meaningless here — there are no qmans to kill — but errno and
+    /// delay injection apply to every faultable call the test makes).
+    pub plan: ChaosPlan,
+}
+
+impl ConcreteReplayer for ChaosReplayer {
+    fn name(&self) -> &'static str {
+        "host-sv6-chaos"
+    }
+
+    fn replay(&self, test: &ConcreteTest) -> (SysResult, SysResult) {
+        let cores = self.cores.max(2);
+        let kernel = Arc::new(HostKernel::new(cores, HostMode::Sv6));
+        for _ in 0..test.procs.max(2) {
+            kernel.new_process();
+        }
+        let faulty = FaultyKernel::new(kernel.as_ref(), self.plan.clone(), cores);
+        let reliable = ReliableKernel::new(&faulty, RetryPolicy::spin().with_seed(self.plan.seed));
+        for (core, op) in &test.setup {
+            scr_kernel::api::perform(&reliable, *core, op);
+        }
+        let barrier = Barrier::new(2);
+        let (api_ref, barrier_ref) = (&reliable, &barrier);
+        std::thread::scope(|scope| {
+            let a = scope.spawn(move || {
+                barrier_ref.wait();
+                scr_kernel::api::perform(api_ref, 0, &test.op_a)
+            });
+            let b = scope.spawn(move || {
+                barrier_ref.wait();
+                scr_kernel::api::perform(api_ref, 1, &test.op_b)
             });
             (
                 a.join().expect("op_a thread"),
@@ -218,6 +274,31 @@ pub fn differential_campaign_observed(
     config: &CampaignConfig,
     events: Option<&EventLog>,
 ) -> DifferentialReport {
+    differential_campaign_with(config, &HostReplayer { cores: 4 }, events)
+}
+
+/// The chaos leg of the campaign: the same seeded pair sweep replayed
+/// through a [`ChaosReplayer`] under `plan`'s errno injection. Since the
+/// reliable retry stack is observationally the raw kernel, every replay
+/// must still linearize against the simulated sequential orders —
+/// [`DifferentialReport::all_agree`] asserts the retry contract end to
+/// end, on every faultable call TESTGEN reaches.
+pub fn chaos_campaign(config: &CampaignConfig, plan: &ChaosPlan) -> DifferentialReport {
+    let replayer = ChaosReplayer {
+        cores: 4,
+        plan: plan.clone(),
+    };
+    differential_campaign_with(config, &replayer, None)
+}
+
+/// [`differential_campaign_observed`] over an explicit replayer: the
+/// generation, budgeting and linearization phases are replayer-agnostic,
+/// so the plain host stack and the chaos stack share one campaign body.
+pub fn differential_campaign_with(
+    config: &CampaignConfig,
+    replayer: &dyn ConcreteReplayer,
+    events: Option<&EventLog>,
+) -> DifferentialReport {
     let base_model = CommuterConfig::quick(&config.calls).model;
     let names = bucket_distinct_names(8);
 
@@ -298,7 +379,6 @@ pub fn differential_campaign_observed(
 
     // Phase 3: replay each selected test under several schedules.
     let factory = Sv6Factory { cores: 4 };
-    let replayer = HostReplayer { cores: 4 };
     let mut report = DifferentialReport {
         skip_reasons,
         ..DifferentialReport::default()
@@ -520,6 +600,51 @@ mod tests {
             .find(|(k, _)| k == "seed")
             .map(|(_, v)| v.clone());
         assert_eq!(seed, Some(Json::U64(config.seed)));
+    }
+
+    #[test]
+    fn chaos_campaign_linearizes_under_an_errno_storm() {
+        // Covers all four fault kinds: open faults in the fs pairs, send
+        // and recv faults in the socket pairs.
+        let config = CampaignConfig {
+            schedules_per_test: 2,
+            max_tests: 18,
+            ..CampaignConfig::new(&[
+                CallKind::Open,
+                CallKind::Unlink,
+                CallKind::Send,
+                CallKind::Recv,
+            ])
+        };
+        let report = chaos_campaign(&config, &ChaosPlan::errno_storm(29));
+        assert!(report.tests_run > 0);
+        assert!(report.all_agree(), "{}", report.describe_mismatches());
+    }
+
+    #[test]
+    fn chaos_campaign_linearizes_under_delivery_delay() {
+        let config = CampaignConfig {
+            schedules_per_test: 1,
+            max_tests: 10,
+            ..CampaignConfig::new(&[CallKind::Send, CallKind::Recv])
+        };
+        let report = chaos_campaign(&config, &ChaosPlan::delayed_delivery(31));
+        assert!(report.tests_run > 0);
+        assert!(report.all_agree(), "{}", report.describe_mismatches());
+    }
+
+    #[test]
+    fn chaos_replayer_with_disabled_plan_matches_host_replayer() {
+        let config = CampaignConfig {
+            schedules_per_test: 1,
+            max_tests: 8,
+            ..CampaignConfig::new(&[CallKind::Stat, CallKind::Unlink])
+        };
+        let plain = differential_campaign(&config);
+        let chaos = chaos_campaign(&config, &ChaosPlan::none());
+        assert!(plain.all_agree() && chaos.all_agree());
+        assert_eq!(plain.tests_run, chaos.tests_run);
+        assert_eq!(plain.replays_run, chaos.replays_run);
     }
 
     #[test]

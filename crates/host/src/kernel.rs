@@ -447,6 +447,29 @@ impl HostKernel {
         self.cores
     }
 
+    /// Number of processes ever created (pids are dense and never reused,
+    /// so this is also one past the highest valid pid).
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Open descriptors currently held by `pid`. Only partitions the
+    /// process ever touched are scanned (an unallocated partition holds no
+    /// descriptors by construction). The mail pipelines use this as their
+    /// teardown leak check: a reaped helper must hold zero descriptors, so
+    /// a qman dying between `spawn` and `wait` must not strand its helper
+    /// in the process table with the spool descriptor still open.
+    pub fn open_fd_count(&self, pid: Pid) -> KResult<usize> {
+        let proc_ = self.proc(pid)?;
+        let mut open = 0;
+        for chunk in proc_.fd_chunks.iter() {
+            if let Some(chunk) = chunk.get() {
+                open += chunk.iter().filter(|slot| slot.lock().is_some()).count();
+            }
+        }
+        Ok(open)
+    }
+
     /// Takes the global lock in `Linuxlike` mode; free in `Sv6` mode. The
     /// acquisition is recorded as a read-modify-write of the giant lock's
     /// line and the release as a write (recorded up front — within a

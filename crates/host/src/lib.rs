@@ -26,21 +26,31 @@
 //!   closing the loop between the symbolic pipeline and real execution;
 //!   the §4 extension corpus rides along with a linearization +
 //!   message-conservation cross-check.
+//! * [`chaos_mail`] runs the same pipeline behind `scr_chaos`'s
+//!   `FaultyKernel` — seeded transient errnos, delayed delivery,
+//!   scheduled qman crashes — with bounded retries, a dead-letter
+//!   mailbox, overload shedding and supervised qman restart; its
+//!   extended exactly-once ledger (and an fd/process leak check) must
+//!   close under every `ChaosPlan`, and [`differential::chaos_campaign`]
+//!   replays the differential corpus through the same fault layer.
 //! * [`fig6`] replays the same tests with a `scr-hostmtrace` tracing window
 //!   around the concurrent pair and aggregates host-side Figure 6 heatmaps
 //!   (`sv6-host` / `linux-host`), cross-checking every conflict verdict
 //!   against the simulated heatmap (lowest-FD contention excepted, and
 //!   recorded explicitly).
 
+pub mod chaos_mail;
 pub mod differential;
 pub mod fig6;
 pub mod harness;
 pub mod kernel;
 pub mod workloads;
 
+pub use chaos_mail::{mail_pipeline_chaos, ChaosMailConfig, ChaosMailReport};
 pub use differential::{
-    differential_campaign, differential_campaign_observed, differential_sample, ext_campaign,
-    run_differential, CampaignConfig, DifferentialReport, ExtCampaignReport, HostReplayer,
+    chaos_campaign, differential_campaign, differential_campaign_observed,
+    differential_campaign_with, differential_sample, ext_campaign, run_differential,
+    CampaignConfig, ChaosReplayer, DifferentialReport, ExtCampaignReport, HostReplayer,
     PairOutcome,
 };
 pub use fig6::{

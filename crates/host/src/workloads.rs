@@ -11,6 +11,7 @@ use crate::harness::LoadHarness;
 use crate::kernel::{HostKernel, HostMode, HostOptions};
 use scr_kernel::api::{Errno, Fd, OpenFlags, Pid, StatMask, SyscallApi};
 use scr_kernel::mail::{MailConfig, MailServer, MailStage, MailStageObserver, NoMailObs};
+use scr_kernel::retry::{Backoff, RetryPolicy};
 use scr_mtrace::{CoreId, ScalingPoint};
 use scr_obs::{
     Counter, Histogram, MetricsRegistry, ObservedKernel, SpanName, SyscallRecorder, TraceLog,
@@ -40,7 +41,9 @@ pub struct MailTelemetry {
     pub delivered: Counter,
     /// `qman_step` polls that found the queue empty (`EAGAIN`).
     pub eagain_retries: Counter,
-    /// `yield_now()` calls made while backing off an empty queue.
+    /// Backoff waits (yields or short sleeps, per the shared
+    /// [`RetryPolicy`]) taken on an empty queue — exactly one per counted
+    /// `EAGAIN` retry.
     pub yield_spins: Counter,
     /// End-to-end message latency in ns, under the same histogram name
     /// (`mail.latency_ns`) the open-loop load generator records, so
@@ -295,6 +298,7 @@ pub fn mailbench_observed(
         // Deliver one message (not necessarily this thread's: another
         // core's qman step may have stolen ours first — globally the
         // counts balance, so this loop cannot starve).
+        let mut backoff = Backoff::new(RetryPolicy::spin(), core as u64);
         loop {
             match server_ref.qman_step_observed(core, qman, stages) {
                 Ok(_) => {
@@ -303,14 +307,15 @@ pub fn mailbench_observed(
                     }
                     break;
                 }
-                // Yield rather than spin: under oversubscription the
-                // thread holding progress may need this core.
+                // Back off rather than spin: a few yields first (under
+                // oversubscription the thread holding progress may need
+                // this core), then short sleeps up to the ceiling.
                 Err(Errno::EAGAIN) => {
                     if let Some(t) = telemetry {
                         t.eagain_retries.inc(core);
                         t.yield_spins.inc(core);
                     }
-                    std::thread::yield_now();
+                    backoff.wait();
                 }
                 Err(e) => panic!("qman step failed: {e}"),
             }
@@ -427,33 +432,48 @@ pub fn mail_pipeline_observed(
         }
         for q in 0..qmans {
             let core = enqueuers + q;
-            scope.spawn(move || loop {
-                if count_ref.load(Ordering::Acquire) >= total {
-                    break;
-                }
-                match server_ref.qman_step_observed(core, qman_pid, stages) {
-                    Ok(name) => {
-                        if let Some(t) = telemetry {
-                            t.delivered.inc(core);
-                        }
-                        count_ref.fetch_add(1, Ordering::AcqRel);
-                        names_ref.lock().unwrap().push(name);
+            scope.spawn(move || {
+                let mut backoff = Backoff::new(RetryPolicy::spin(), core as u64);
+                loop {
+                    if count_ref.load(Ordering::Acquire) >= total {
+                        break;
                     }
-                    // Empty queue: either the enqueuers are still filling
-                    // it or another qman won the race for the last one;
-                    // yield so they get this core under oversubscription.
-                    Err(Errno::EAGAIN) => {
-                        if let Some(t) = telemetry {
-                            t.eagain_retries.inc(core);
-                            t.yield_spins.inc(core);
+                    match server_ref.qman_step_observed(core, qman_pid, stages) {
+                        Ok(name) => {
+                            if let Some(t) = telemetry {
+                                t.delivered.inc(core);
+                            }
+                            count_ref.fetch_add(1, Ordering::AcqRel);
+                            names_ref.lock().unwrap().push(name);
+                            backoff.reset();
                         }
-                        std::thread::yield_now();
+                        // Empty queue: either the enqueuers are still
+                        // filling it or another qman won the race for the
+                        // last one; back off so they get this core under
+                        // oversubscription.
+                        Err(Errno::EAGAIN) => {
+                            if let Some(t) = telemetry {
+                                t.eagain_retries.inc(core);
+                                t.yield_spins.inc(core);
+                            }
+                            backoff.wait();
+                        }
+                        Err(e) => panic!("qman step failed: {e}"),
                     }
-                    Err(e) => panic!("qman step failed: {e}"),
                 }
             });
         }
     });
+    // Teardown leak check: every delivery helper was reaped and every
+    // spool descriptor closed, so no process — client, qman, or any of
+    // the helpers the run spawned — may still hold a descriptor.
+    for pid in 0..kernel.process_count() {
+        assert_eq!(
+            kernel.open_fd_count(pid),
+            Ok(0),
+            "pid {pid} leaked descriptors past pipeline teardown"
+        );
+    }
     // Verify by reading every mailbox file back through the kernel.
     let names = delivered_names.into_inner().unwrap();
     let mut got: Vec<String> = names

@@ -44,7 +44,7 @@ fn observed_pipeline_accounts_for_every_recv_and_span() {
         retries
     );
     assert_eq!(telemetry.syscalls.latency(SyscallKind::Recv).count, recvs);
-    // The backoff pairing: every EAGAIN retry yielded exactly once.
+    // The backoff pairing: every EAGAIN retry backed off exactly once.
     assert_eq!(telemetry.yield_spins.total(), retries);
 
     // Seven spans per message: enqueue + notify on the enqueuer side,

@@ -61,6 +61,11 @@ pub enum Errno {
     EAGAIN,
     /// Operation not permitted (e.g. linking a pipe).
     EPERM,
+    /// Interrupted system call. No real code path raises it — it exists so
+    /// `scr-chaos` can inject the transient failures a production substrate
+    /// would produce, and so retry logic has a second transient errno to
+    /// classify besides `EAGAIN`.
+    EINTR,
 }
 
 impl fmt::Display for Errno {

@@ -31,6 +31,7 @@
 pub mod api;
 pub mod linuxlike;
 pub mod mail;
+pub mod retry;
 pub mod socket;
 pub mod sv6;
 
@@ -39,4 +40,5 @@ pub use api::{
     SyscallApi, Whence, PAGE_SIZE,
 };
 pub use linuxlike::LinuxLikeKernel;
+pub use retry::{is_transient, Backoff, RetryPolicy};
 pub use sv6::{Sv6Kernel, Sv6Options};

@@ -245,6 +245,48 @@ pub struct MailServer<'k, K: SyscallApi + ?Sized> {
     next_seq: Vec<CachePadded<AtomicU64>>,
 }
 
+/// The mailbox that collects messages whose delivery budget ran out.
+///
+/// The dead-letter box is an ordinary Maildir under `mail/` — the
+/// exactly-once ledger reads it back like any other mailbox, so a
+/// dead-lettered message is *accounted*, not lost. Client mailbox names
+/// never collide with it (workloads use `user*`/`alice`-style names).
+pub const DEAD_LETTER: &str = "dead-letter";
+
+/// An in-flight qman work item: everything [`MailServer::read_envelope`]
+/// learned about one queued message. Holding one of these is holding the
+/// message — a crash-interrupted step hands its `Envelope` to the
+/// supervisor, which can finish delivery or dead-letter it without
+/// re-parsing the spool.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// The envelope spool file name (also the notification payload).
+    pub env_name: String,
+    /// The recipient mailbox (first envelope line).
+    pub mailbox: String,
+    /// The message spool file name (second envelope line).
+    pub msg_name: String,
+    /// The open descriptor on the message spool file (owned by the qman
+    /// pid; [`MailServer::cleanup_spool`] closes it).
+    pub msg_fd: crate::api::Fd,
+    /// The message body.
+    pub body: Vec<u8>,
+    /// The notification-socket shard the envelope arrived on.
+    pub shard: usize,
+}
+
+impl Envelope {
+    /// The [`Delivered`] record for this envelope landing in `file`.
+    pub fn into_delivered(self, file: String) -> Delivered {
+        Delivered {
+            file,
+            mailbox: self.mailbox,
+            shard: self.shard,
+            body: self.body,
+        }
+    }
+}
+
 /// One message delivered by a qman step: the mailbox file it landed in,
 /// the mailbox it was addressed to, the shard it travelled through, and the
 /// message body. The body is what the open-loop load generator stamps its
@@ -297,6 +339,28 @@ impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
         })
+    }
+
+    /// A view of the same logical server over a different syscall surface:
+    /// shares the topology and the notification sockets (socket ids pass
+    /// through any `SyscallApi` wrapper unchanged), so a robust driver can
+    /// run its enqueuers, qmans, and supervisor through differently
+    /// wrapped kernels — bounded retries here, never-give-up retries there
+    /// — against one pipeline. Sequence counters are fresh per view; names
+    /// stay unique because they embed the generating core and no core
+    /// drives two views' name-generating calls into the same directory
+    /// (enqueuers spool, qmans deliver to recipient Maildirs, the
+    /// dead-letter path writes only [`DEAD_LETTER`]).
+    pub fn view<'k2, K2: SyscallApi + ?Sized>(&self, kernel: &'k2 K2) -> MailServer<'k2, K2> {
+        MailServer {
+            kernel,
+            config: self.config,
+            topology: self.topology,
+            notify: self.notify.clone(),
+            next_seq: (0..self.next_seq.len())
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
     }
 
     /// The API configuration in use.
@@ -422,6 +486,11 @@ impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
 
     /// The single-shard qman step: receive from `shard`'s socket, read the
     /// envelope, spawn/deliver/reap, clean the spool.
+    ///
+    /// Composed from the public stage methods below so robust drivers
+    /// (the chaos pipeline's supervised qmans) can run the same stages
+    /// individually, pause between them, and resume an interrupted
+    /// [`Envelope`] from exactly where it stopped.
     pub fn qman_step_shard<O>(
         &self,
         core: CoreId,
@@ -432,13 +501,41 @@ impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
     where
         O: MailStageObserver + ?Sized,
     {
-        let notification = self.kernel.recv(core, self.shard_socket(shard))?;
-        let env_name = String::from_utf8_lossy(&notification).to_string();
-        let flags = self.config.open_flags();
+        let env_name = self.recv_notification(core, shard)?;
+        let envelope = self.read_envelope(core, pid, &env_name, shard, obs)?;
+        let helper = self.spawn_helper(core, pid, &envelope, obs)?;
+        let file = self.deliver_as_helper(core, helper, &envelope, obs)?;
+        self.reap_helper(core, pid, helper, obs)?;
+        self.cleanup_spool(core, pid, &envelope, obs)?;
+        Ok(envelope.into_delivered(file))
+    }
 
-        // Read the envelope and open the queued message.
-        let (mailbox, msg_name, msg_fd, body) = timed(obs, core, MailStage::Receive, || {
-            let env_fd = self.kernel.open(core, pid, &env_name, flags)?;
+    /// Stage 0 of the qman step: one `recv` on `shard`'s notification
+    /// socket, returning the envelope file name (`Err(EAGAIN)` when the
+    /// shard is idle). Deliberately unobserved — polling loops would flood
+    /// the stage trace; the retry-tail invariant counts these recvs via
+    /// the syscall recorder instead.
+    pub fn recv_notification(&self, core: CoreId, shard: usize) -> KResult<String> {
+        let notification = self.kernel.recv(core, self.shard_socket(shard))?;
+        Ok(String::from_utf8_lossy(&notification).to_string())
+    }
+
+    /// Stage [`MailStage::Receive`]: read the envelope spool file and open
+    /// the queued message, returning the in-flight [`Envelope`].
+    pub fn read_envelope<O>(
+        &self,
+        core: CoreId,
+        pid: Pid,
+        env_name: &str,
+        shard: usize,
+        obs: &O,
+    ) -> KResult<Envelope>
+    where
+        O: MailStageObserver + ?Sized,
+    {
+        let flags = self.config.open_flags();
+        timed(obs, core, MailStage::Receive, || {
+            let env_fd = self.kernel.open(core, pid, env_name, flags)?;
             let envelope = self.kernel.pread(core, pid, env_fd, 4096, 0)?;
             self.kernel.close(core, pid, env_fd)?;
             let envelope = String::from_utf8_lossy(&envelope).to_string();
@@ -448,42 +545,93 @@ impl<'k, K: SyscallApi + ?Sized> MailServer<'k, K> {
 
             let msg_fd = self.kernel.open(core, pid, &msg_name, flags)?;
             let body = self.kernel.pread(core, pid, msg_fd, 65536, 0)?;
-            Ok((mailbox, msg_name, msg_fd, body))
-        })?;
+            Ok(Envelope {
+                env_name: env_name.to_string(),
+                mailbox,
+                msg_name,
+                msg_fd,
+                body,
+                shard,
+            })
+        })
+    }
 
-        // Spawn the delivery helper. In the regular configuration this is a
-        // fork (snapshotting the whole descriptor table); in the commutative
-        // configuration posix_spawn builds the child image directly.
-        let helper = timed(obs, core, MailStage::Spawn, || match self.config {
+    /// Stage [`MailStage::Spawn`]: create the delivery helper. In the
+    /// regular configuration this is a fork (snapshotting the whole
+    /// descriptor table); in the commutative configuration `posix_spawn`
+    /// builds the child image directly.
+    pub fn spawn_helper<O>(
+        &self,
+        core: CoreId,
+        pid: Pid,
+        envelope: &Envelope,
+        obs: &O,
+    ) -> KResult<Pid>
+    where
+        O: MailStageObserver + ?Sized,
+    {
+        timed(obs, core, MailStage::Spawn, || match self.config {
             MailConfig::RegularApis => self.kernel.fork(core, pid),
-            MailConfig::CommutativeApis => self.kernel.posix_spawn(core, pid, &[msg_fd]),
-        })?;
+            MailConfig::CommutativeApis => self.kernel.posix_spawn(core, pid, &[envelope.msg_fd]),
+        })
+    }
 
-        // mail-deliver (running as the helper process): write the message
-        // into the recipient's mailbox.
-        let delivered = timed(obs, core, MailStage::Deliver, || {
-            self.deliver(core, helper, &mailbox, &body)
-        })?;
+    /// Stage [`MailStage::Deliver`]: mail-deliver, running as the helper
+    /// process, writes the message into the recipient's mailbox. Returns
+    /// the mailbox file name.
+    pub fn deliver_as_helper<O>(
+        &self,
+        core: CoreId,
+        helper: Pid,
+        envelope: &Envelope,
+        obs: &O,
+    ) -> KResult<String>
+    where
+        O: MailStageObserver + ?Sized,
+    {
+        timed(obs, core, MailStage::Deliver, || {
+            self.deliver(core, helper, &envelope.mailbox, &envelope.body)
+        })
+    }
 
-        // Reap the helper (the wait half of spawn/wait). Under fork this
-        // releases the full descriptor-table snapshot; under posix_spawn
-        // only the explicitly duplicated descriptors were ever there.
+    /// Stage [`MailStage::Reap`]: wait for (reap) the helper. Under fork
+    /// this releases the full descriptor-table snapshot; under
+    /// `posix_spawn` only the explicitly duplicated descriptors were ever
+    /// there.
+    pub fn reap_helper<O>(&self, core: CoreId, pid: Pid, helper: Pid, obs: &O) -> KResult<()>
+    where
+        O: MailStageObserver + ?Sized,
+    {
         timed(obs, core, MailStage::Reap, || {
             self.kernel.wait(core, pid, helper)
-        })?;
-
-        // Clean up: close and unlink the queued files.
-        timed(obs, core, MailStage::Cleanup, || {
-            self.kernel.close(core, pid, msg_fd)?;
-            self.kernel.unlink(core, pid, &msg_name)?;
-            self.kernel.unlink(core, pid, &env_name)
-        })?;
-        Ok(Delivered {
-            file: delivered,
-            mailbox,
-            shard,
-            body,
         })
+    }
+
+    /// Stage [`MailStage::Cleanup`]: close the message descriptor and
+    /// unlink both spool files.
+    pub fn cleanup_spool<O>(
+        &self,
+        core: CoreId,
+        pid: Pid,
+        envelope: &Envelope,
+        obs: &O,
+    ) -> KResult<()>
+    where
+        O: MailStageObserver + ?Sized,
+    {
+        timed(obs, core, MailStage::Cleanup, || {
+            self.kernel.close(core, pid, envelope.msg_fd)?;
+            self.kernel.unlink(core, pid, &envelope.msg_name)?;
+            self.kernel.unlink(core, pid, &envelope.env_name)
+        })
+    }
+
+    /// Delivers an [`Envelope`] whose retry budget ran out into the
+    /// dead-letter mailbox ([`DEAD_LETTER`]), as `pid` (no helper spawn —
+    /// the budget-exhausted path must not depend on the faultable spawn
+    /// call succeeding). The caller still owns spool cleanup.
+    pub fn dead_letter(&self, core: CoreId, pid: Pid, envelope: &Envelope) -> KResult<String> {
+        self.deliver(core, pid, DEAD_LETTER, &envelope.body)
     }
 
     /// `mail-deliver`: writes `body` into a fresh file in `mailbox`'s

@@ -1,0 +1,119 @@
+//! Property tests for the shared retry/backoff policy.
+//!
+//! Three claims every user of [`RetryPolicy`] leans on:
+//!
+//! 1. **Determinism** — a schedule is a pure function of
+//!    `(policy, stream)`: no shared RNG state, so replaying a chaos plan
+//!    replays its backoff sequences exactly, regardless of interleaving.
+//! 2. **Ceiling** — no single sleep ever exceeds `ceiling_ns`, however
+//!    deep the exponential ladder runs (including shift overflow).
+//! 3. **Deadline** — the cumulative sleep of one operation never exceeds
+//!    `deadline_ns`, and the attempt count never exceeds `max_retries`;
+//!    a `reset()` starts a fresh budget.
+
+use proptest::prelude::*;
+use scr_kernel::retry::{Backoff, RetryPolicy};
+
+/// An arbitrary but sane policy: every field ranges over the regimes the
+/// real policies (`spin`, `transient`) and their builders produce.
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (
+        1u32..200,        // max_retries
+        0u32..20,         // yield_spins
+        1u64..1 << 20,    // base_ns
+        1u64..1 << 24,    // ceiling_ns
+        1u64..10_000_000, // deadline_ns
+        any::<u64>(),     // seed
+    )
+        .prop_map(
+            |(max_retries, yield_spins, base_ns, ceiling_ns, deadline_ns, seed)| RetryPolicy {
+                max_retries,
+                yield_spins,
+                base_ns,
+                ceiling_ns,
+                deadline_ns,
+                seed,
+            },
+        )
+}
+
+/// Enumerates the whole schedule without sleeping.
+fn full_schedule(policy: RetryPolicy, stream: u64) -> Vec<u64> {
+    let mut backoff = Backoff::new(policy, stream);
+    let mut delays = Vec::new();
+    while let Some(d) = backoff.step() {
+        delays.push(d);
+    }
+    delays
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedules_are_deterministic_per_policy_and_stream(
+        policy in policy_strategy(),
+        stream in any::<u64>(),
+    ) {
+        let a = full_schedule(policy, stream);
+        prop_assert_eq!(&a, &full_schedule(policy, stream));
+        // A different seed re-draws the jitter: across 64 ladder attempts
+        // with per-sleep ranges of at least 33 values, at least one delay
+        // must differ (all-collide odds are below 33^-64).
+        if policy.base_ns.min(policy.ceiling_ns) >= 64 {
+            let reseeded = policy.with_seed(policy.seed ^ 0x5EED);
+            let diverged = (policy.yield_spins..policy.yield_spins + 64)
+                .any(|attempt| policy.delay_ns(stream, attempt) != reseeded.delay_ns(stream, attempt));
+            prop_assert!(diverged, "reseeding changed no jitter draw");
+        }
+    }
+
+    #[test]
+    fn single_sleeps_never_exceed_the_ceiling(
+        policy in policy_strategy(),
+        stream in any::<u64>(),
+        attempt in 0u32..1_000,
+    ) {
+        prop_assert!(policy.delay_ns(stream, attempt) <= policy.ceiling_ns);
+        for delay in full_schedule(policy, stream) {
+            prop_assert!(delay <= policy.ceiling_ns);
+        }
+    }
+
+    #[test]
+    fn total_delay_respects_deadline_and_retry_budget(
+        policy in policy_strategy(),
+        stream in any::<u64>(),
+    ) {
+        let mut backoff = Backoff::new(policy, stream);
+        let mut total = 0u64;
+        let mut waits = 0u32;
+        while let Some(d) = backoff.step() {
+            total += d;
+            waits += 1;
+            prop_assert!(total <= policy.deadline_ns);
+        }
+        prop_assert!(waits <= policy.max_retries);
+        prop_assert_eq!(backoff.slept_ns(), total);
+        prop_assert_eq!(backoff.attempts(), waits);
+        // The budget is per operation: reset() re-arms it in full.
+        backoff.reset();
+        prop_assert_eq!(backoff.slept_ns(), 0);
+        let again: u64 = std::iter::from_fn(|| backoff.step()).sum();
+        prop_assert!(again <= policy.deadline_ns);
+    }
+
+    /// The yield phase really is free: the first `yield_spins` waits cost
+    /// zero scheduled sleep on any stream.
+    #[test]
+    fn yield_phase_sleeps_zero(
+        policy in policy_strategy(),
+        stream in any::<u64>(),
+    ) {
+        let mut backoff = Backoff::new(policy, stream);
+        for _ in 0..policy.yield_spins.min(policy.max_retries) {
+            prop_assert_eq!(backoff.step(), Some(0));
+        }
+        prop_assert_eq!(backoff.slept_ns(), 0);
+    }
+}

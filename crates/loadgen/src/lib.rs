@@ -36,7 +36,8 @@ pub mod sweep;
 pub mod zipf;
 
 pub use openloop::{
-    parse_stamp, run_open_loop, run_open_loop_on, LoadConfig, LoadReport, ShardStats,
+    parse_stamp, parse_stamp_index, run_open_loop, run_open_loop_on, LoadConfig, LoadReport,
+    ShardStats,
 };
 pub use rng::Rng64;
 pub use schedule::{arrival_offsets, Arrival};

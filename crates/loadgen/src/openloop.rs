@@ -10,19 +10,32 @@
 //! give, because their next request waits for the previous reply.
 //!
 //! The intended-arrival timestamp rides *inside the message body*
-//! (`t=<ns>;m=<mailbox>`), so it crosses the pipeline the same way the
-//! payload does and the qman side needs no side-channel to compute
+//! (`t=<ns>;i=<index>;m=<mailbox>`), so it crosses the pipeline the same
+//! way the payload does and the qman side needs no side-channel to compute
 //! end-to-end latency: [`Delivered::body`] hands the stamp back at zero
-//! extra syscall cost.
+//! extra syscall cost. The `i=` field is the message's global schedule
+//! index, which lets the ledger say exactly *which* messages went missing
+//! or arrived twice, not merely that the totals disagree.
+//!
+//! With a [`ChaosPlan`] in [`LoadConfig::chaos`], the whole pipeline runs
+//! over a [`FaultyKernel`] injecting seeded transient errnos and delivery
+//! holds, behind a persistent [`ReliableKernel`] retry surface — faults
+//! surface as latency (charged from the intended arrival, like any other
+//! queueing delay), never as lost mail.
+//!
+//! [`Delivered::body`]: scr_kernel::mail::Delivered::body
 
 use crate::rng::Rng64;
 use crate::schedule::{arrival_offsets, Arrival};
 use crate::zipf::ZipfSampler;
+use scr_chaos::kernel::{FaultyKernel, ReliableKernel};
+use scr_chaos::plan::ChaosPlan;
 use scr_host::kernel::{HostKernel, HostMode};
-use scr_kernel::api::Errno;
-use scr_kernel::mail::{MailConfig, MailServer, MailTopology, NoMailObs};
+use scr_kernel::api::{Errno, Pid, SyscallApi};
+use scr_kernel::mail::{MailConfig, MailServer, MailTopology, NoMailObs, DEAD_LETTER};
+use scr_kernel::retry::{Backoff, RetryPolicy};
 use scr_obs::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Barrier, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -52,6 +65,11 @@ pub struct LoadConfig {
     /// the service rate below the offered rate and then checks the recorded
     /// latency grows with the backlog.
     pub qman_stall_ns: u64,
+    /// Fault-injection plan. [`ChaosPlan::none()`] (the default cells) runs
+    /// the kernel bare; an enabled plan wraps it in a
+    /// [`FaultyKernel`]+[`ReliableKernel`] stack so every injected errno
+    /// and delivery hold shows up as open-loop latency.
+    pub chaos: ChaosPlan,
 }
 
 impl LoadConfig {
@@ -69,6 +87,7 @@ impl LoadConfig {
             zipf_s: 0.0,
             seed: 1,
             qman_stall_ns: 0,
+            chaos: ChaosPlan::none(),
         }
     }
 
@@ -110,6 +129,20 @@ pub struct LoadReport {
     pub enqueued: u64,
     /// Messages delivered (equals `enqueued` — the run drains the queue).
     pub delivered: u64,
+    /// Schedule indices that were enqueued but never delivered. Always 0
+    /// on a healthy run, chaos or not; the exactly-once exit gate.
+    pub lost: u64,
+    /// Extra deliveries beyond the first, summed over schedule indices.
+    pub duplicates: u64,
+    /// Deliveries that landed in the `dead-letter` mailbox instead of the
+    /// addressed one. The open-loop runner retries persistently, so this
+    /// stays 0 even under chaos; it is counted (not assumed) so the exit
+    /// gate can tell the three failure shapes apart.
+    pub dead_lettered: u64,
+    /// Errnos the chaos plan injected (0 when chaos is disabled).
+    pub injected_faults: u64,
+    /// Recv polls eaten by injected delivery holds (0 without chaos).
+    pub delayed_polls: u64,
     /// Empty-queue polls on the qman side.
     pub eagain_retries: u64,
     /// Wall time from epoch to last delivery, seconds.
@@ -137,15 +170,24 @@ impl LoadReport {
     }
 }
 
-/// Intended-arrival stamp carried in the message body.
-fn stamp(due_ns: u64, mailbox: &str) -> String {
-    format!("t={due_ns};m={mailbox}")
+/// Intended-arrival stamp carried in the message body, tagged with the
+/// message's global schedule index for the exactly-once ledger.
+fn stamp(due_ns: u64, index: usize, mailbox: &str) -> String {
+    format!("t={due_ns};i={index};m={mailbox}")
 }
 
 /// Recover the intended-arrival ns from a delivered body.
 pub fn parse_stamp(body: &[u8]) -> Option<u64> {
     let text = std::str::from_utf8(body).ok()?;
     let rest = text.strip_prefix("t=")?;
+    let end = rest.find(';')?;
+    rest[..end].parse().ok()
+}
+
+/// Recover the schedule index from a delivered body.
+pub fn parse_stamp_index(body: &[u8]) -> Option<usize> {
+    let text = std::str::from_utf8(body).ok()?;
+    let rest = &text[text.find(";i=")? + 3..];
     let end = rest.find(';')?;
     rest[..end].parse().ok()
 }
@@ -180,8 +222,37 @@ pub fn run_open_loop(config: &LoadConfig) -> LoadReport {
 /// Run one open-loop cell against an existing kernel (the conflict-heat
 /// pass hands in an instrumented one; timed cells use [`run_open_loop`]).
 ///
-/// The kernel must have at least `config.topology.cores()` cores.
+/// The kernel must have at least `config.topology.cores()` cores. When
+/// `config.chaos` is enabled the run happens through a
+/// [`FaultyKernel`]+[`ReliableKernel`] stack over `kernel`: injected
+/// faults are decided *before* the inner call executes, so retrying them
+/// persistently is always safe and the exactly-once ledger must still
+/// close.
 pub fn run_open_loop_on(kernel: &HostKernel, config: &LoadConfig) -> LoadReport {
+    let client = kernel.new_process();
+    let qman_pid = kernel.new_process();
+    if config.chaos.enabled() {
+        let cores = config.topology.cores();
+        let faulty = FaultyKernel::new(kernel, config.chaos.clone(), cores);
+        let reliable =
+            ReliableKernel::new(&faulty, RetryPolicy::spin().with_seed(config.chaos.seed));
+        let mut report = open_loop_inner(&reliable, client, qman_pid, config);
+        report.injected_faults = faulty.injected_total();
+        report.delayed_polls = faulty.delayed_polls_total();
+        report
+    } else {
+        open_loop_inner(kernel, client, qman_pid, config)
+    }
+}
+
+/// The generic open-loop engine: any [`SyscallApi`] (bare host kernel or
+/// the chaos stack) with the client/qman processes already created.
+fn open_loop_inner<K: SyscallApi + Sync + ?Sized>(
+    kernel: &K,
+    client: Pid,
+    qman_pid: Pid,
+    config: &LoadConfig,
+) -> LoadReport {
     let topology = config.topology;
     let cores = topology.cores();
     let total = config.messages;
@@ -195,8 +266,6 @@ pub fn run_open_loop_on(kernel: &HostKernel, config: &LoadConfig) -> LoadReport 
         .map(|_| format!("box{:04}", sampler.sample(&mut popularity)))
         .collect();
 
-    let client = kernel.new_process();
-    let qman_pid = kernel.new_process();
     let server =
         MailServer::with_topology(kernel, config.mail, topology, cores).expect("mail server");
 
@@ -217,8 +286,13 @@ pub fn run_open_loop_on(kernel: &HostKernel, config: &LoadConfig) -> LoadReport 
     let epoch_cell: OnceLock<Instant> = OnceLock::new();
     let stall = config.qman_stall_ns;
 
+    // Exactly-once ledger: how many times each schedule index arrived.
+    let delivery_counts: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
+    let dead_lettered = AtomicU64::new(0);
+
     let (server_ref, offsets_ref, boxes_ref) = (&server, &offsets, &mailboxes);
     let (done_ref, barrier_ref, epoch_ref) = (&done, &barrier, &epoch_cell);
+    let (counts_ref, dead_ref) = (&delivery_counts, &dead_lettered);
     let (latency_ref, shard_lat_ref, shard_del_ref) = (&latency, &shard_latency, &shard_delivered);
     let (enq_ref, del_ref, eagain_ref) = (&enqueued, &delivered, &eagain);
     std::thread::scope(|scope| {
@@ -237,7 +311,7 @@ pub fn run_open_loop_on(kernel: &HostKernel, config: &LoadConfig) -> LoadReport 
                     let due = offsets_ref[i];
                     let mailbox = &boxes_ref[i];
                     wait_until(epoch, due);
-                    let body = stamp(due, mailbox);
+                    let body = stamp(due, i, mailbox);
                     server_ref
                         .enqueue(core, client, mailbox, body.as_bytes())
                         .expect("enqueue");
@@ -251,6 +325,7 @@ pub fn run_open_loop_on(kernel: &HostKernel, config: &LoadConfig) -> LoadReport 
                 barrier_ref.wait();
                 let epoch = *epoch_ref.get_or_init(Instant::now);
                 let core = topology.qman_core(q);
+                let mut idle = Backoff::new(RetryPolicy::spin(), core as u64);
                 loop {
                     if done_ref.load(Ordering::Acquire) >= total as u64 {
                         break;
@@ -263,16 +338,22 @@ pub fn run_open_loop_on(kernel: &HostKernel, config: &LoadConfig) -> LoadReport 
                         Ok(d) => {
                             let now = epoch.elapsed().as_nanos() as u64;
                             let due = parse_stamp(&d.body).expect("stamped body");
+                            let index = parse_stamp_index(&d.body).expect("indexed body");
                             let waited = now.saturating_sub(due);
                             latency_ref.record(core, waited);
                             shard_lat_ref[d.shard].record(core, waited);
                             shard_del_ref[d.shard].inc(core);
+                            counts_ref[index].fetch_add(1, Ordering::AcqRel);
+                            if d.mailbox == DEAD_LETTER {
+                                dead_ref.fetch_add(1, Ordering::AcqRel);
+                            }
                             del_ref.inc(core);
                             done_ref.fetch_add(1, Ordering::AcqRel);
+                            idle.reset();
                         }
                         Err(Errno::EAGAIN) => {
                             eagain_ref.inc(core);
-                            std::thread::yield_now();
+                            idle.wait();
                         }
                         Err(e) => panic!("qman step failed: {e}"),
                     }
@@ -293,9 +374,22 @@ pub fn run_open_loop_on(kernel: &HostKernel, config: &LoadConfig) -> LoadReport 
             latency: shard_latency[s].merged(),
         })
         .collect();
+    // Close the ledger: every schedule index delivered exactly once.
+    let (mut lost, mut duplicates) = (0u64, 0u64);
+    for count in &delivery_counts {
+        match count.load(Ordering::Acquire) {
+            0 => lost += 1,
+            n => duplicates += u64::from(n - 1),
+        }
+    }
     LoadReport {
         enqueued: enqueued.total(),
         delivered: delivered.total(),
+        lost,
+        duplicates,
+        dead_lettered: dead_lettered.load(Ordering::Acquire),
+        injected_faults: 0,
+        delayed_polls: 0,
         eagain_retries: eagain.total(),
         elapsed_seconds,
         offered_rate: config.rate_per_sec,
@@ -311,10 +405,12 @@ mod tests {
 
     #[test]
     fn stamps_round_trip() {
-        let body = stamp(123_456_789, "box0007");
+        let body = stamp(123_456_789, 42, "box0007");
         assert_eq!(parse_stamp(body.as_bytes()), Some(123_456_789));
+        assert_eq!(parse_stamp_index(body.as_bytes()), Some(42));
         assert_eq!(parse_stamp(b"garbage"), None);
-        assert_eq!(parse_stamp(b"t=;m=x"), None);
+        assert_eq!(parse_stamp(b"t=;i=0;m=x"), None);
+        assert_eq!(parse_stamp_index(b"t=5;m=x"), None);
     }
 
     #[test]
@@ -324,10 +420,58 @@ mod tests {
         let report = run_open_loop(&config);
         assert_eq!(report.enqueued, 100);
         assert_eq!(report.delivered, 100);
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.dead_lettered, 0);
         assert_eq!(report.latency.count, 100);
         assert!(report.throughput() > 0.0);
         assert_eq!(report.shards.len(), 1);
         assert_eq!(report.shards[0].delivered, 100);
+    }
+
+    #[test]
+    fn chaos_cell_injects_faults_but_loses_nothing() {
+        let mut config = LoadConfig::smoke();
+        config.messages = 120;
+        config.chaos = ChaosPlan::errno_storm(7);
+        config.chaos.delay = scr_chaos::plan::DelaySpec {
+            ppm: 50_000,
+            polls: 4,
+        };
+        let report = run_open_loop(&config);
+        assert_eq!(report.delivered, 120);
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.dead_lettered, 0);
+        assert!(report.injected_faults > 0, "storm injected nothing");
+    }
+
+    #[test]
+    fn chaos_cell_is_deterministic_in_its_fault_count() {
+        // recv stays fault-free: the number of recv polls depends on
+        // scheduling (empty-queue spins), so only the calls with
+        // schedule-determined counts — send, open, spawn — are injected.
+        let mut config = LoadConfig::smoke();
+        config.messages = 80;
+        config.chaos = ChaosPlan::new(
+            11,
+            scr_chaos::plan::FaultSpec {
+                send_ppm: 150_000,
+                recv_ppm: 0,
+                open_ppm: 150_000,
+                spawn_ppm: 150_000,
+            },
+            scr_chaos::plan::DelaySpec::default(),
+            vec![],
+        );
+        let a = run_open_loop(&config);
+        let b = run_open_loop(&config);
+        // Timing differs run to run, but the fault *decisions* are a pure
+        // function of (seed, core, per-kind call index): identical traffic
+        // must draw an identical injection count.
+        assert_eq!(a.injected_faults, b.injected_faults);
+        assert!(a.injected_faults > 0, "plan injected nothing");
+        assert_eq!(a.lost + b.lost, 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::openloop::{run_open_loop, run_open_loop_on, LoadConfig, LoadReport};
 use crate::schedule::Arrival;
+use scr_chaos::plan::ChaosPlan;
 use scr_host::kernel::{HostKernel, HostMode, HostOptions};
 use scr_hostmtrace::HostTraceSink;
 use scr_kernel::mail::{MailConfig, MailTopology};
@@ -42,6 +43,12 @@ pub struct SweepSpec {
     /// Seed shared by every cell (cells differ by their parameters, so
     /// identical seeds keep cross-cell comparisons schedule-identical).
     pub seed: u64,
+    /// When set, every timed cell also runs a chaos twin — the same
+    /// schedule over a fault-injecting kernel stack — keyed with a
+    /// `/chaos` suffix so `bench_diff` compares the latency tax of the
+    /// injected faults across runs. The twin skips the heat pass (fault
+    /// retries would pollute the conflict attribution).
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl SweepSpec {
@@ -56,6 +63,7 @@ impl SweepSpec {
             mailboxes: 32,
             arrival: Arrival::FixedRate,
             seed: 1,
+            chaos: None,
         }
     }
 
@@ -70,6 +78,7 @@ impl SweepSpec {
             mailboxes: 256,
             arrival: Arrival::Poisson,
             seed: 1,
+            chaos: None,
         }
     }
 
@@ -106,6 +115,8 @@ pub struct BenchCell {
     pub rate: f64,
     /// Zipf exponent.
     pub skew: f64,
+    /// Whether this cell ran under the sweep's chaos plan.
+    pub chaos: bool,
     /// The timed open-loop report.
     pub report: LoadReport,
     /// Per-shard notification-socket heat (empty when the heat pass is
@@ -119,8 +130,12 @@ impl BenchCell {
     /// The cell's identity key: what `bench_diff` matches cells on.
     pub fn key(&self) -> String {
         format!(
-            "{}/pairs{}/rate{:.0}/skew{:.2}",
-            self.mode_label, self.pairs, self.rate, self.skew
+            "{}/pairs{}/rate{:.0}/skew{:.2}{}",
+            self.mode_label,
+            self.pairs,
+            self.rate,
+            self.skew,
+            if self.chaos { "/chaos" } else { "" }
         )
     }
 }
@@ -137,6 +152,7 @@ fn cell_config(spec: &SweepSpec, mode: HostMode, mail: MailConfig, pairs: usize)
         zipf_s: 0.0, // set per cell
         seed: spec.seed,
         qman_stall_ns: 0,
+        chaos: ChaosPlan::none(),
     }
 }
 
@@ -207,12 +223,32 @@ pub fn run_sweep(spec: &SweepSpec, mut progress: impl FnMut(&BenchCell)) -> Vec<
                         cores: config.topology.cores(),
                         rate,
                         skew,
+                        chaos: false,
                         report,
                         shard_heat,
                         heat_top,
                     };
                     progress(&cell);
                     cells.push(cell);
+                    if let Some(plan) = &spec.chaos {
+                        // Same schedule, same seed, faults on: the delta
+                        // against the cell above is pure injection tax.
+                        config.chaos = plan.clone();
+                        let report = run_open_loop(&config);
+                        let cell = BenchCell {
+                            mode_label,
+                            pairs,
+                            cores: config.topology.cores(),
+                            rate,
+                            skew,
+                            chaos: true,
+                            report,
+                            shard_heat: Vec::new(),
+                            heat_top: Vec::new(),
+                        };
+                        progress(&cell);
+                        cells.push(cell);
+                    }
                 }
             }
         }
@@ -261,6 +297,12 @@ pub fn bench_json(meta: &RunMeta, cells: &[BenchCell]) -> String {
                 ("rate_per_sec", cell.rate.into()),
                 ("zipf_s", cell.skew.into()),
                 ("messages", cell.report.enqueued.into()),
+                ("chaos", Json::Bool(cell.chaos)),
+                ("lost", cell.report.lost.into()),
+                ("duplicates", cell.report.duplicates.into()),
+                ("dead_lettered", cell.report.dead_lettered.into()),
+                ("injected_faults", cell.report.injected_faults.into()),
+                ("delayed_polls", cell.report.delayed_polls.into()),
                 ("throughput_per_sec", cell.report.throughput().into()),
                 ("eagain_retries", cell.report.eagain_retries.into()),
                 ("elapsed_seconds", cell.report.elapsed_seconds.into()),
@@ -341,5 +383,36 @@ mod tests {
         let table = render_table(&cells);
         assert!(table.contains("sv6-host"));
         assert!(table.contains("linux-host"));
+    }
+
+    #[test]
+    fn chaos_sweep_adds_a_twin_per_cell_and_keys_it() {
+        let mut spec = SweepSpec::smoke();
+        spec.messages = 50;
+        spec.heat_messages = 0;
+        spec.rates = vec![20_000.0];
+        spec.skews = vec![0.0];
+        spec.chaos = Some(ChaosPlan::errno_storm(5));
+        let cells = run_sweep(&spec, |_| {});
+        // 2 modes × 1 pair × 1 rate × 1 skew, each with a chaos twin.
+        assert_eq!(cells.len(), 4);
+        let twins: Vec<_> = cells.iter().filter(|c| c.chaos).collect();
+        assert_eq!(twins.len(), 2);
+        for twin in &twins {
+            assert!(twin.key().ends_with("/chaos"), "{}", twin.key());
+            assert_eq!(twin.report.lost, 0);
+            assert_eq!(twin.report.duplicates, 0);
+            assert!(twin.report.injected_faults > 0);
+            assert!(twin.shard_heat.is_empty(), "twins skip the heat pass");
+        }
+        let meta = RunMeta::capture("test", "sweep", 2, "chaos");
+        let doc = bench_json(&meta, &cells);
+        let parsed = Json::parse(&doc).expect("bench json parses");
+        let parsed_cells = parsed.get("cells").and_then(|c| c.as_arr()).unwrap();
+        let flagged = parsed_cells
+            .iter()
+            .filter(|c| c.get("chaos").and_then(|b| b.as_bool()) == Some(true))
+            .count();
+        assert_eq!(flagged, 2);
     }
 }

@@ -103,6 +103,14 @@ impl Json {
         }
     }
 
+    /// The boolean variant.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Any numeric variant as an `f64`.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -123,7 +123,7 @@ impl SyscallKind {
 }
 
 /// Every [`Errno`] the kernels return, in the recorder's table order.
-pub const ALL_ERRNOS: [Errno; 12] = [
+pub const ALL_ERRNOS: [Errno; 13] = [
     Errno::ENOENT,
     Errno::EEXIST,
     Errno::EBADF,
@@ -136,6 +136,7 @@ pub const ALL_ERRNOS: [Errno; 12] = [
     Errno::EFAULT,
     Errno::EAGAIN,
     Errno::EPERM,
+    Errno::EINTR,
 ];
 
 fn errno_index(errno: Errno) -> usize {

@@ -13,27 +13,47 @@
 //! ```text
 //! cargo run --release --example mail_loadgen             # smoke sweep
 //! cargo run --release --example mail_loadgen -- --full   # full trajectory
+//! cargo run --release --example mail_loadgen -- --chaos  # + fault-injected twins
 //! cargo run --release --example mail_loadgen -- --out BENCH_mail.json
 //! ```
 //!
-//! Exits 1 if any cell loses a message (the exactly-once ledger is the
-//! smoke gate CI runs on every push).
+//! With `--chaos` every cell gains a `/chaos` twin running the same
+//! schedule through a seeded errno-storm + delivery-delay plan, so the
+//! JSON carries the latency tax of injected faults side by side with the
+//! clean numbers.
+//!
+//! Exits 1 if any cell breaks the exactly-once ledger, saying *how*:
+//! lost (enqueued, never arrived), duplicated (arrived more than once)
+//! and dead-lettered (arrived, but in the `dead-letter` mailbox) are
+//! reported separately — the smoke gate CI runs on every push.
 
+use scalable_commutativity::chaos::plan::{ChaosPlan, DelaySpec};
 use scalable_commutativity::loadgen::{bench_json, render_table, run_sweep, SweepSpec};
 use scalable_commutativity::obs::{arg_value, RunMeta};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let chaos = std::env::args().any(|a| a == "--chaos");
     let out = arg_value("out").unwrap_or_else(|| "BENCH_mail.json".to_string());
-    let spec = if full {
+    let mut spec = if full {
         SweepSpec::full()
     } else {
         SweepSpec::smoke()
     };
+    if chaos {
+        // Fixed-seed storm + delivery holds: reproducible from the JSON.
+        let mut plan = ChaosPlan::errno_storm(0xC4A0_5EED);
+        plan.delay = DelaySpec {
+            ppm: 50_000,
+            polls: 8,
+        };
+        spec.chaos = Some(plan);
+    }
     println!(
-        "open-loop mail sweep ({}): {} pair size(s) x {} rate(s) x {} skew(s) x 2 modes, \
+        "open-loop mail sweep ({}{}): {} pair size(s) x {} rate(s) x {} skew(s) x 2 modes, \
          {} msgs/cell (+{} heat), seed {}",
         if full { "full" } else { "smoke" },
+        if chaos { ", chaos twins" } else { "" },
         spec.pairs.len(),
         spec.rates.len(),
         spec.skews.len(),
@@ -75,18 +95,66 @@ fn main() {
         }
     }
 
-    let mut failed = false;
-    for cell in &cells {
-        if cell.report.delivered != cell.report.enqueued {
-            eprintln!(
-                "FAIL {}: delivered {} of {} enqueued",
-                cell.key(),
-                cell.report.delivered,
-                cell.report.enqueued
-            );
-            failed = true;
+    // The chaos tax: each /chaos twin against its clean baseline.
+    if chaos {
+        println!();
+        for twin in cells.iter().filter(|c| c.chaos) {
+            let base_key = twin.key().replace("/chaos", "");
+            if let Some(base) = cells.iter().find(|c| c.key() == base_key) {
+                println!(
+                    "chaos tax {:<34} {} fault(s), {} delay poll(s): \
+                     p99 {:>9.0} -> {:>9.0} ns, p99.9 {:>9.0} -> {:>9.0} ns",
+                    base_key,
+                    twin.report.injected_faults,
+                    twin.report.delayed_polls,
+                    base.report.latency.p99(),
+                    twin.report.latency.p99(),
+                    base.report.latency.p999(),
+                    twin.report.latency.p999(),
+                );
+            }
         }
     }
+
+    // The exactly-once gate, with the failure shape spelled out: a lost
+    // message (never arrived), a duplicate (arrived twice) and a
+    // dead-letter (arrived, wrong mailbox) are different bugs.
+    let mut reasons: Vec<&str> = Vec::new();
+    for cell in &cells {
+        let r = &cell.report;
+        if r.lost > 0 {
+            eprintln!(
+                "FAIL {}: lost {} of {} enqueued (never delivered)",
+                cell.key(),
+                r.lost,
+                r.enqueued
+            );
+            if !reasons.contains(&"lost") {
+                reasons.push("lost");
+            }
+        }
+        if r.duplicates > 0 {
+            eprintln!(
+                "FAIL {}: {} duplicate deliver(ies) beyond the first",
+                cell.key(),
+                r.duplicates
+            );
+            if !reasons.contains(&"duplicated") {
+                reasons.push("duplicated");
+            }
+        }
+        if r.dead_lettered > 0 {
+            eprintln!(
+                "FAIL {}: {} message(s) landed in the dead-letter mailbox",
+                cell.key(),
+                r.dead_lettered
+            );
+            if !reasons.contains(&"dead-lettered") {
+                reasons.push("dead-lettered");
+            }
+        }
+    }
+    let failed = !reasons.is_empty();
 
     let cores = cells.iter().map(|c| c.cores).max().unwrap_or(0);
     let meta = RunMeta::capture(
@@ -105,7 +173,7 @@ fn main() {
     println!("\nwrote {} cell(s) to {out}", cells.len());
 
     if failed {
-        eprintln!("mail_loadgen: FAILED (lost messages)");
+        eprintln!("mail_loadgen: FAILED ({} messages)", reasons.join(" + "));
         std::process::exit(1);
     }
     println!("mail_loadgen: OK");

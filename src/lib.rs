@@ -27,8 +27,12 @@
 //! * [`loadgen`] — the open-loop mail load observatory: arrival-rate
 //!   schedules, zipfian mailbox popularity, coordinated-omission-safe
 //!   latency, and the `BENCH_mail.json` sweep.
+//! * [`chaos`] — deterministic fault injection at the syscall boundary:
+//!   seeded errno storms, bounded delivery delay, qman crash schedules,
+//!   and the retry layer that rides out exactly the injected faults.
 
 pub use scr_bench as bench;
+pub use scr_chaos as chaos;
 pub use scr_core as commuter;
 pub use scr_host as host;
 pub use scr_hostmtrace as hostmtrace;
