@@ -19,7 +19,7 @@ use scr_kernel::api::{perform, KernelApi, SysResult};
 use scr_kernel::{LinuxLikeKernel, Sv6Kernel};
 
 /// Builds fresh kernel instances for test runs.
-pub trait KernelFactory {
+pub trait KernelFactory: Sync {
     /// A short name for reports ("Linux", "sv6", …).
     fn name(&self) -> &'static str;
     /// Builds a fresh kernel on a fresh simulated machine.

@@ -24,7 +24,9 @@ pub mod driver;
 pub mod pipeline;
 pub mod report;
 pub mod shapes;
+pub mod sweep;
 pub mod testgen;
+pub mod triples;
 
 pub use analyzer::{analyze_pair, CommutativeCase, PairAnalysis};
 pub use driver::{
@@ -37,7 +39,15 @@ pub use pipeline::{
 };
 pub use report::{Figure6Report, PairCell};
 pub use shapes::{enumerate_shapes, PairShape};
+pub use sweep::{claim_in_order, effective_threads};
 pub use testgen::{
-    generate_tests, solver_cache_clear, solver_cache_stats, ConcreteTest, GeneratedTests,
-    SkipHistogram, SkipReason, SolverCacheStats, BAD_CHILD_PID, BAD_SOCK_ID, CHILD_BASE_PID,
+    generate_tests, solver_cache_clear, solver_cache_stats, solver_cache_thread_stats,
+    ConcreteTest, GeneratedTests, SkipHistogram, SkipReason, SolverCacheStats, BAD_CHILD_PID,
+    BAD_SOCK_ID, CHILD_BASE_PID,
+};
+pub use triples::{
+    analyze_triple, enumerate_triple_shapes, generate_triple_tests, run_triple_order,
+    run_triple_test, triple_config, triple_family_sweep, ConcreteTripleTest, GeneratedTripleTests,
+    TripleAnalysis, TripleFamily, TripleFamilyReport, TripleOutcome, TripleRow, TripleShape,
+    TRIPLE_FAMILIES, TRIPLE_ORDERS,
 };

@@ -10,9 +10,10 @@
 use crate::analyzer::analyze_pair;
 use crate::driver::{run_test, KernelFactory};
 use crate::report::Figure6Report;
-use crate::shapes::enumerate_shapes;
+use crate::shapes::{enumerate_shapes, PairShape};
+use crate::sweep::{claim_in_order, effective_threads};
 use crate::testgen::{
-    generate_tests, solver_cache_stats, ConcreteTest, SkipHistogram, SolverCacheStats,
+    generate_tests, solver_cache_thread_stats, ConcreteTest, SkipHistogram, SolverCacheStats,
 };
 use scr_kernel::Sv6Kernel;
 use scr_model::{pair_config, CallKind, ModelConfig, ALL_CALLS};
@@ -29,6 +30,11 @@ pub struct CommuterConfig {
     pub max_assignments_per_case: usize,
     /// File names used for the model's name slots.
     pub names: Vec<String>,
+    /// Sweep worker threads: 1 runs the classic sequential sweep, N > 1
+    /// claims (pair, shape) work units across N workers, 0 uses one worker
+    /// per available hardware thread. The generated corpus and the reports
+    /// are byte-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for CommuterConfig {
@@ -44,6 +50,7 @@ impl Default for CommuterConfig {
             calls: ALL_CALLS.to_vec(),
             max_assignments_per_case: 96,
             names: bucket_distinct_names(8),
+            threads: 1,
         }
     }
 }
@@ -146,8 +153,9 @@ pub enum SweepEvent<'a> {
         timing: &'a PairTiming,
         /// Skip-reason counts contributed by this pair alone.
         skip_delta: SkipHistogram,
-        /// Solver-cache activity during this pair alone (hits/misses are
-        /// per-pair differences of the thread-local counters).
+        /// Solver-cache activity during this pair alone (summed from the
+        /// per-thread attribution deltas of the workers that ran the
+        /// pair's units, so the delta is exact at any thread count).
         cache_delta: SolverCacheStats,
     },
 }
@@ -160,6 +168,7 @@ fn cache_delta(after: SolverCacheStats, before: SolverCacheStats) -> SolverCache
         completion_misses: after
             .completion_misses
             .saturating_sub(before.completion_misses),
+        evictions: after.evictions.saturating_sub(before.evictions),
     }
 }
 
@@ -188,6 +197,22 @@ impl CommuterResults {
     pub fn report_for(&self, kernel: &str) -> Option<&Figure6Report> {
         self.reports.iter().find(|r| r.kernel == kernel)
     }
+
+    /// A structural fingerprint of the generated corpus: every test's id,
+    /// setup script and operations, hashed in corpus order. The sweep's
+    /// determinism contract makes this value independent of the worker
+    /// thread count; `posix_scan` records it in `BENCH_testgen.json` so CI
+    /// can diff the corpora of a single-thread and a multi-thread leg
+    /// without uploading the corpora themselves.
+    pub fn corpus_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for test in &self.tests {
+            for byte in format!("{test:?}").bytes() {
+                h = (h ^ byte as u64).wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
 }
 
 /// Runs the full pipeline for every unordered pair of `config.calls` and
@@ -196,14 +221,218 @@ pub fn run_commuter(config: &CommuterConfig, kernels: &[&dyn KernelFactory]) -> 
     run_commuter_with_progress(config, kernels, |_| {})
 }
 
+/// One (pair, shape) work unit of a sweep. Units carry only `Send` data
+/// (shapes, bounds); symbolic analysis happens entirely on the worker that
+/// claims the unit.
+struct SweepUnit {
+    pair_index: usize,
+    shape: PairShape,
+    model: ModelConfig,
+}
+
+/// Everything a worker produced for one unit — plain concrete data, merged
+/// into the results strictly in unit order by the calling thread.
+struct UnitOutcome {
+    tests: Vec<ConcreteTest>,
+    /// Per test, per kernel (in factory order): conflict-free?
+    per_kernel: Vec<Vec<bool>>,
+    skipped: usize,
+    resolved: usize,
+    skip_reasons: SkipHistogram,
+    solve_seconds: f64,
+    run_seconds: f64,
+    /// Solver-cache activity attributed to this unit (the claiming worker's
+    /// thread-delta — exact even while other workers share the cache).
+    cache: SolverCacheStats,
+}
+
+fn run_unit(
+    unit: &SweepUnit,
+    names: &[String],
+    max_assignments_per_case: usize,
+    kernels: &[&dyn KernelFactory],
+) -> UnitOutcome {
+    let cache_before = solver_cache_thread_stats();
+    let solve_started = std::time::Instant::now();
+    let mut outcome = UnitOutcome {
+        tests: Vec::new(),
+        per_kernel: Vec::new(),
+        skipped: 0,
+        resolved: 0,
+        skip_reasons: SkipHistogram::new(),
+        solve_seconds: 0.0,
+        run_seconds: 0.0,
+        cache: SolverCacheStats::default(),
+    };
+    let analysis = analyze_pair(&unit.shape, &unit.model);
+    if analysis.cases.is_empty() {
+        outcome.solve_seconds = solve_started.elapsed().as_secs_f64();
+        outcome.cache = cache_delta(solver_cache_thread_stats(), cache_before);
+        return outcome;
+    }
+    let generated = generate_tests(
+        &unit.shape,
+        &analysis.cases,
+        &unit.model,
+        names,
+        max_assignments_per_case,
+    );
+    outcome.solve_seconds = solve_started.elapsed().as_secs_f64();
+    outcome.skipped = generated.skipped;
+    outcome.resolved = generated.resolved;
+    outcome.skip_reasons = generated.skip_reasons;
+    let run_started = std::time::Instant::now();
+    for test in generated.tests {
+        let per: Vec<bool> = kernels
+            .iter()
+            .map(|factory| run_test(*factory, &test).conflict_free)
+            .collect();
+        outcome.per_kernel.push(per);
+        outcome.tests.push(test);
+    }
+    outcome.run_seconds = run_started.elapsed().as_secs_f64();
+    outcome.cache = cache_delta(solver_cache_thread_stats(), cache_before);
+    outcome
+}
+
+/// Per-pair aggregation state while units stream in.
+struct PairAccum {
+    timing: PairTiming,
+    skip_delta: SkipHistogram,
+    cache: SolverCacheStats,
+}
+
+fn empty_accum(calls: (CallKind, CallKind)) -> PairAccum {
+    PairAccum {
+        timing: PairTiming {
+            calls,
+            solve_seconds: 0.0,
+            run_seconds: 0.0,
+            tests: 0,
+            skipped: 0,
+        },
+        skip_delta: SkipHistogram::new(),
+        cache: SolverCacheStats::default(),
+    }
+}
+
+fn absorb_unit(
+    results: &mut CommuterResults,
+    accum: &mut PairAccum,
+    pair: (CallKind, CallKind),
+    outcome: UnitOutcome,
+) {
+    results.shapes_analyzed += 1;
+    accum.timing.solve_seconds += outcome.solve_seconds;
+    accum.timing.run_seconds += outcome.run_seconds;
+    accum.timing.tests += outcome.tests.len();
+    accum.timing.skipped += outcome.skipped;
+    accum.cache = cache_sum(accum.cache, outcome.cache);
+    results.skipped += outcome.skipped;
+    results.resolved += outcome.resolved;
+    for (reason, count) in &outcome.skip_reasons {
+        *results.skip_reasons.entry(*reason).or_default() += count;
+        *accum.skip_delta.entry(*reason).or_default() += count;
+    }
+    if !outcome.skip_reasons.is_empty() {
+        for report in results.reports.iter_mut() {
+            report.record_skips(pair.0, pair.1, &outcome.skip_reasons);
+        }
+    }
+    for (test, per) in outcome.tests.into_iter().zip(outcome.per_kernel) {
+        for (report, conflict_free) in results.reports.iter_mut().zip(per) {
+            report.record(test.calls.0, test.calls.1, conflict_free);
+        }
+        results.tests.push(test);
+    }
+}
+
+fn cache_sum(a: SolverCacheStats, b: SolverCacheStats) -> SolverCacheStats {
+    SolverCacheStats {
+        solution_hits: a.solution_hits + b.solution_hits,
+        solution_misses: a.solution_misses + b.solution_misses,
+        completion_hits: a.completion_hits + b.completion_hits,
+        completion_misses: a.completion_misses + b.completion_misses,
+        evictions: a.evictions + b.evictions,
+    }
+}
+
+/// Emits `PairDone` for the pair at `*pair_cursor`, advances the cursor and
+/// emits `PairStarted` for the next pair (matching the sequential sweep's
+/// event order exactly).
+fn finalize_pair(
+    results: &mut CommuterResults,
+    progress: &mut impl FnMut(SweepEvent<'_>),
+    pairs: &[(CallKind, CallKind)],
+    accum: &mut PairAccum,
+    pair_cursor: &mut usize,
+) {
+    let index = *pair_cursor;
+    let total = pairs.len();
+    let next = index + 1;
+    let next_calls = if next < total {
+        pairs[next]
+    } else {
+        pairs[index]
+    };
+    let timing = std::mem::replace(&mut accum.timing, empty_accum(next_calls).timing);
+    results.pair_timings.push(timing);
+    let skip_delta = std::mem::take(&mut accum.skip_delta);
+    let cache = accum.cache;
+    accum.cache = SolverCacheStats::default();
+    progress(SweepEvent::PairDone {
+        index,
+        total,
+        timing: results.pair_timings.last().expect("pushed above"),
+        skip_delta,
+        cache_delta: cache,
+    });
+    *pair_cursor = next;
+    if next < total {
+        progress(SweepEvent::PairStarted {
+            index: next,
+            total,
+            calls: pairs[next],
+        });
+    }
+}
+
 /// [`run_commuter`] with a progress callback: `progress` observes one
 /// [`SweepEvent::PairStarted`] / [`SweepEvent::PairDone`] per call pair, in
-/// scan order.
+/// scan order — at every thread count, in the identical order and with
+/// identical per-pair deltas (timings aside).
 pub fn run_commuter_with_progress(
     config: &CommuterConfig,
     kernels: &[&dyn KernelFactory],
     mut progress: impl FnMut(SweepEvent<'_>),
 ) -> CommuterResults {
+    let threads = effective_threads(config.threads);
+    let mut pairs: Vec<(CallKind, CallKind)> = Vec::new();
+    for (i, &call_a) in config.calls.iter().enumerate() {
+        for &call_b in config.calls.iter().skip(i) {
+            pairs.push((call_a, call_b));
+        }
+    }
+    let total = pairs.len();
+
+    // One work unit per (pair, shape). §4 extension state (socket slots,
+    // child slots) is enabled per pair; fs-only pairs keep exactly the
+    // configured model, so their corpora are unchanged by the extensions.
+    let mut units: Vec<SweepUnit> = Vec::new();
+    let mut pair_ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(total);
+    for (pair_index, &(call_a, call_b)) in pairs.iter().enumerate() {
+        let start = units.len();
+        let pair_model = pair_config(&config.model, call_a, call_b);
+        for shape in enumerate_shapes(call_a, call_b, &pair_model) {
+            units.push(SweepUnit {
+                pair_index,
+                shape,
+                model: pair_model,
+            });
+        }
+        pair_ranges.push(start..units.len());
+    }
+
     let mut results = CommuterResults {
         reports: kernels
             .iter()
@@ -211,76 +440,59 @@ pub fn run_commuter_with_progress(
             .collect(),
         ..Default::default()
     };
+    if total == 0 {
+        return results;
+    }
 
-    let total = config.calls.len() * (config.calls.len() + 1) / 2;
-    let mut pair_index = 0;
-    for (i, &call_a) in config.calls.iter().enumerate() {
-        for &call_b in config.calls.iter().skip(i) {
-            progress(SweepEvent::PairStarted {
-                index: pair_index,
-                total,
-                calls: (call_a, call_b),
-            });
-            let cache_before = solver_cache_stats();
-            let mut skip_delta = SkipHistogram::new();
-            let mut timing = PairTiming {
-                calls: (call_a, call_b),
-                solve_seconds: 0.0,
-                run_seconds: 0.0,
-                tests: 0,
-                skipped: 0,
-            };
-            // §4 extension state (socket slots, child slots) is enabled per
-            // pair; fs-only pairs keep exactly the configured model, so
-            // their corpora are unchanged by the extensions.
-            let pair_model = pair_config(&config.model, call_a, call_b);
-            for shape in enumerate_shapes(call_a, call_b, &pair_model) {
-                results.shapes_analyzed += 1;
-                let solve_started = std::time::Instant::now();
-                let analysis = analyze_pair(&shape, &pair_model);
-                if analysis.cases.is_empty() {
-                    timing.solve_seconds += solve_started.elapsed().as_secs_f64();
-                    continue;
-                }
-                let generated = generate_tests(
-                    &shape,
-                    &analysis.cases,
-                    &pair_model,
-                    &config.names,
-                    config.max_assignments_per_case,
+    progress(SweepEvent::PairStarted {
+        index: 0,
+        total,
+        calls: pairs[0],
+    });
+    let mut pair_cursor = 0usize;
+    let mut accum = empty_accum(pairs[0]);
+    claim_in_order(
+        &units,
+        threads,
+        |_, unit| {
+            run_unit(
+                unit,
+                &config.names,
+                config.max_assignments_per_case,
+                kernels,
+            )
+        },
+        |idx, outcome| {
+            let pair = units[idx].pair_index;
+            while pair_cursor < pair {
+                finalize_pair(
+                    &mut results,
+                    &mut progress,
+                    &pairs,
+                    &mut accum,
+                    &mut pair_cursor,
                 );
-                timing.solve_seconds += solve_started.elapsed().as_secs_f64();
-                timing.tests += generated.tests.len();
-                timing.skipped += generated.skipped;
-                results.skipped += generated.skipped;
-                results.resolved += generated.resolved;
-                for (reason, count) in &generated.skip_reasons {
-                    *results.skip_reasons.entry(*reason).or_default() += count;
-                    *skip_delta.entry(*reason).or_default() += count;
-                }
-                for report in results.reports.iter_mut() {
-                    report.record_skips(call_a, call_b, &generated.skip_reasons);
-                }
-                let run_started = std::time::Instant::now();
-                for test in generated.tests {
-                    for (factory, report) in kernels.iter().zip(results.reports.iter_mut()) {
-                        let outcome = run_test(*factory, &test);
-                        report.record(test.calls.0, test.calls.1, outcome.conflict_free);
-                    }
-                    results.tests.push(test);
-                }
-                timing.run_seconds += run_started.elapsed().as_secs_f64();
             }
-            results.pair_timings.push(timing);
-            progress(SweepEvent::PairDone {
-                index: pair_index,
-                total,
-                timing: results.pair_timings.last().expect("pushed above"),
-                skip_delta,
-                cache_delta: cache_delta(solver_cache_stats(), cache_before),
-            });
-            pair_index += 1;
-        }
+            absorb_unit(&mut results, &mut accum, pairs[pair], outcome);
+            if idx + 1 == pair_ranges[pair].end {
+                finalize_pair(
+                    &mut results,
+                    &mut progress,
+                    &pairs,
+                    &mut accum,
+                    &mut pair_cursor,
+                );
+            }
+        },
+    );
+    while pair_cursor < total {
+        finalize_pair(
+            &mut results,
+            &mut progress,
+            &pairs,
+            &mut accum,
+            &mut pair_cursor,
+        );
     }
     results
 }
@@ -347,6 +559,49 @@ mod tests {
             .flat_map(|(_, _, _, skips)| skips.values())
             .sum();
         assert_eq!(delta_skips, results.skipped);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_byte_for_byte() {
+        // The tentpole determinism contract: the corpus, the reports and
+        // every counter are identical at any thread count (1 CPU is fine —
+        // worker *threads* exist either way; only scheduling differs).
+        let mut config = CommuterConfig::quick(&[CallKind::Stat, CallKind::Unlink]);
+        let sv6 = Sv6Factory { cores: 4 };
+        let linux = LinuxLikeFactory { cores: 4 };
+        let sequential = run_commuter(&config, &[&sv6, &linux]);
+        config.threads = 3;
+        let parallel = run_commuter(&config, &[&sv6, &linux]);
+        let fingerprint = |r: &CommuterResults| -> Vec<String> {
+            r.tests
+                .iter()
+                .map(|t| format!("{} {:?} {:?} {:?}", t.id, t.setup, t.op_a, t.op_b))
+                .collect()
+        };
+        assert_eq!(fingerprint(&sequential), fingerprint(&parallel));
+        assert_eq!(sequential.skipped, parallel.skipped);
+        assert_eq!(sequential.skip_reasons, parallel.skip_reasons);
+        assert_eq!(sequential.resolved, parallel.resolved);
+        assert_eq!(sequential.shapes_analyzed, parallel.shapes_analyzed);
+        for (a, b) in sequential.reports.iter().zip(parallel.reports.iter()) {
+            assert_eq!(a.render(), b.render());
+        }
+    }
+
+    #[test]
+    fn parallel_progress_events_match_sequential_order() {
+        let mut config = CommuterConfig::quick(&[CallKind::Stat, CallKind::Unlink]);
+        config.threads = 4;
+        let sv6 = Sv6Factory { cores: 4 };
+        let mut events: Vec<String> = Vec::new();
+        run_commuter_with_progress(&config, &[&sv6], |event| match event {
+            SweepEvent::PairStarted { index, .. } => events.push(format!("start {index}")),
+            SweepEvent::PairDone { index, .. } => events.push(format!("done {index}")),
+        });
+        assert_eq!(
+            events,
+            vec!["start 0", "done 0", "start 1", "done 1", "start 2", "done 2"]
+        );
     }
 
     #[test]

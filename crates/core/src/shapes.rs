@@ -31,7 +31,11 @@ pub struct PairShape {
 /// argument may alias any of the first operation's slots or use a fresh
 /// slot; fresh slots are numbered consecutively after `base`, and
 /// assignments are deduplicated up to renaming of the fresh slots.
-fn second_op_assignments(base: usize, count: usize, max_slots: usize) -> Vec<Vec<usize>> {
+pub(crate) fn second_op_assignments(
+    base: usize,
+    count: usize,
+    max_slots: usize,
+) -> Vec<Vec<usize>> {
     let mut out: Vec<Vec<usize>> = vec![Vec::new()];
     for _ in 0..count {
         let mut next = Vec::new();
@@ -71,7 +75,7 @@ fn second_op_assignments(base: usize, count: usize, max_slots: usize) -> Vec<Vec
 
 /// First-operation slot assignments: the first call's arguments may also
 /// alias each other (e.g. `rename(a, a)`), canonically numbered from 0.
-fn first_op_assignments(count: usize, max_slots: usize) -> Vec<Vec<usize>> {
+pub(crate) fn first_op_assignments(count: usize, max_slots: usize) -> Vec<Vec<usize>> {
     second_op_assignments(0, count, max_slots)
 }
 

@@ -26,21 +26,24 @@
 //! Solving is organised for reuse: each case compiles one
 //! [`CaseSolver`] shared between the initial enumeration and every round
 //! of the repair loop, and both the enumerated solutions and the repair
-//! outcomes are memoized thread-locally behind structural DAG fingerprints
-//! (see the solver-memoization section below), so repeated sweeps over the
-//! same shapes — the host Figure 6 pipeline, differential campaign rounds
-//! — replay previous solves byte-for-byte instead of re-searching.
+//! outcomes are memoized in a process-global sharded cache behind
+//! structural DAG fingerprints (see the solver-memoization section below),
+//! so repeated sweeps over the same shapes — the host Figure 6 pipeline,
+//! differential campaign rounds, parallel sweep workers — replay previous
+//! solves byte-for-byte instead of re-searching.
 
 use crate::analyzer::{default_domains, CommutativeCase};
 use crate::shapes::PairShape;
+use parking_lot::Mutex;
 use scr_kernel::api::{
     Fd, MmapBacking, OpenFlags, Pid, Prot, SockId, SocketOrder, SysOp, Whence, PAGE_SIZE,
 };
 use scr_model::{CallKind, ModelConfig, SOCKET_CORES};
 use scr_symbolic::{signature, Assignment, CaseSolver, Domains, Expr, Value, Var, VarId};
-use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Base virtual page used for fixed-address mappings in generated tests.
 const VM_BASE_PAGE: u64 = 64;
@@ -164,12 +167,22 @@ pub type SkipHistogram = BTreeMap<SkipReason, usize>;
 // capture every input of the deterministic computation they memoize
 // (structural DAG fingerprints include variable ids), so a hit replays
 // exactly what a cold solve would produce and the generated corpus is
-// byte-for-byte identical either way. The caches are thread-local because
-// expressions are `Rc`-based (single-threaded by construction).
+// byte-for-byte identical either way. Expressions are `Rc`-based and never
+// cross threads; only fingerprints and concrete `Assignment`s (plain value
+// data) enter the cache, so the cache itself is a process-global sharded
+// map: sweep workers on different threads share warm entries instead of
+// each paying a cold solve.
 
-/// Entry cap per cache; beyond it new results are returned uncached (a
-/// full 24-call sweep stays well below this).
+/// Total entry cap per cache layer (solutions and completions each),
+/// spread across the shards. Beyond a shard's slice of the cap, insertion
+/// evicts the coldest resident entry (second-chance order) rather than
+/// refusing new keys — a long sweep keeps its working set warm instead of
+/// silently degrading to cold solves.
 const SOLVER_CACHE_CAP: usize = 8192;
+
+/// Shard count; keys route by their structural fingerprint, so contention
+/// between sweep workers is spread uniformly.
+const SOLVER_CACHE_SHARDS: usize = 16;
 
 /// Counters exposed for tests and diagnostics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -182,6 +195,19 @@ pub struct SolverCacheStats {
     pub completion_hits: usize,
     /// Repair-loop outcomes that ran the solve-and-repair search.
     pub completion_misses: usize,
+    /// Resident entries displaced to admit new ones once a shard reached
+    /// its slice of [`SOLVER_CACHE_CAP`].
+    pub evictions: usize,
+}
+
+impl SolverCacheStats {
+    fn merge(&mut self, other: &SolverCacheStats) {
+        self.solution_hits += other.solution_hits;
+        self.solution_misses += other.solution_misses;
+        self.completion_hits += other.completion_hits;
+        self.completion_misses += other.completion_misses;
+        self.evictions += other.evictions;
+    }
 }
 
 /// Key of a memoized repair-loop outcome: the full semantic input of
@@ -203,31 +229,233 @@ struct CompletionKey {
     reason: SkipReason,
 }
 
+/// A cached value plus its second-chance reference bit.
+struct CacheEntry<T> {
+    value: T,
+    hot: bool,
+}
+
+/// Inserts `value` under `key`, evicting cold residents (second-chance /
+/// clock order over `ring`) once the shard holds `cap` entries. Re-inserts
+/// of a resident key replace its value in place without growing the ring.
+/// Returns the number of entries evicted.
+fn admit<K: Clone + Eq + std::hash::Hash, T>(
+    map: &mut HashMap<K, CacheEntry<T>>,
+    ring: &mut VecDeque<K>,
+    cap: usize,
+    key: K,
+    value: T,
+) -> usize {
+    if let Some(entry) = map.get_mut(&key) {
+        entry.value = value;
+        entry.hot = true;
+        return 0;
+    }
+    let mut evicted = 0;
+    while map.len() >= cap {
+        // Each pop either clears a hot bit or evicts, so this terminates
+        // within two passes over the ring.
+        let Some(victim) = ring.pop_front() else {
+            break;
+        };
+        match map.get_mut(&victim) {
+            Some(entry) if entry.hot => {
+                entry.hot = false;
+                ring.push_back(victim);
+            }
+            Some(_) => {
+                map.remove(&victim);
+                evicted += 1;
+            }
+            None => {}
+        }
+    }
+    ring.push_back(key.clone());
+    map.insert(key, CacheEntry { value, hot: false });
+    evicted
+}
+
+/// The stored value of a solutions-cache entry: the limit the enumeration
+/// was requested with, plus the solutions found under it.
+type SolutionEntry = CacheEntry<(usize, Vec<Assignment>)>;
+
 #[derive(Default)]
-struct SolverCache {
+struct CacheShard {
     /// (condition fp, domains fp) → (requested limit, solutions). A stored
     /// enumeration serves any request for the same or a shorter prefix
     /// (enumeration order is deterministic), and any request at all once
     /// the enumeration is known exhausted.
-    solutions: HashMap<(u128, u64), (usize, Vec<Assignment>)>,
+    solutions: HashMap<(u128, u64), SolutionEntry>,
+    solution_ring: VecDeque<(u128, u64)>,
     /// Memoized repair-loop outcomes: the constructible completion found,
     /// or `None` when the bounded search gave the representative up.
-    completions: HashMap<CompletionKey, Option<Assignment>>,
+    completions: HashMap<CompletionKey, CacheEntry<Option<Assignment>>>,
+    completion_ring: VecDeque<CompletionKey>,
     stats: SolverCacheStats,
 }
 
+/// The process-global sharded solver cache. Values are plain concrete data
+/// (fingerprints, `Assignment`s), so sharing them across sweep threads is
+/// sound; a per-shard mutex keeps each access short and uncontended.
+struct ShardedSolverCache {
+    shards: Vec<Mutex<CacheShard>>,
+    /// Per-shard entry cap (per layer).
+    shard_cap: usize,
+}
+
+impl ShardedSolverCache {
+    fn new(total_cap: usize, shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        ShardedSolverCache {
+            shards: (0..shard_count).map(|_| Mutex::default()).collect(),
+            shard_cap: (total_cap / shard_count).max(4),
+        }
+    }
+
+    fn shard(&self, route: u64) -> &Mutex<CacheShard> {
+        &self.shards[(route as usize) % self.shards.len()]
+    }
+
+    fn solution_route(key: &(u128, u64)) -> u64 {
+        (key.0 as u64) ^ ((key.0 >> 64) as u64) ^ key.1
+    }
+
+    fn completion_route(key: &CompletionKey) -> u64 {
+        (key.case as u64) ^ ((key.case >> 64) as u64) ^ key.variables ^ key.shape
+    }
+
+    /// Serves a solution enumeration from the cache, marking the entry hot.
+    fn lookup_solution(&self, key: &(u128, u64), limit: usize) -> Option<Vec<Assignment>> {
+        let mut shard = self.shard(Self::solution_route(key)).lock();
+        let served = match shard.solutions.get_mut(key) {
+            Some(entry) => {
+                let (stored_limit, sols) = &entry.value;
+                if limit <= *stored_limit || sols.len() < *stored_limit {
+                    entry.hot = true;
+                    Some(sols.iter().take(limit).cloned().collect::<Vec<_>>())
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        if served.is_some() {
+            shard.stats.solution_hits += 1;
+        } else {
+            shard.stats.solution_misses += 1;
+        }
+        served
+    }
+
+    /// Stores a solution enumeration; returns entries evicted to admit it.
+    fn store_solution(&self, key: (u128, u64), limit: usize, sols: Vec<Assignment>) -> usize {
+        let shard = &mut *self.shard(Self::solution_route(&key)).lock();
+        let evicted = admit(
+            &mut shard.solutions,
+            &mut shard.solution_ring,
+            self.shard_cap,
+            key,
+            (limit, sols),
+        );
+        shard.stats.evictions += evicted;
+        evicted
+    }
+
+    fn lookup_completion(&self, key: &CompletionKey) -> Option<Option<Assignment>> {
+        let mut shard = self.shard(Self::completion_route(key)).lock();
+        let hit = match shard.completions.get_mut(key) {
+            Some(entry) => {
+                entry.hot = true;
+                Some(entry.value.clone())
+            }
+            None => None,
+        };
+        if hit.is_some() {
+            shard.stats.completion_hits += 1;
+        } else {
+            shard.stats.completion_misses += 1;
+        }
+        hit
+    }
+
+    fn store_completion(&self, key: CompletionKey, outcome: Option<Assignment>) -> usize {
+        let shard = &mut *self.shard(Self::completion_route(&key)).lock();
+        let evicted = admit(
+            &mut shard.completions,
+            &mut shard.completion_ring,
+            self.shard_cap,
+            key,
+            outcome,
+        );
+        shard.stats.evictions += evicted;
+        evicted
+    }
+
+    /// Sum of every shard's counters.
+    fn merged_stats(&self) -> SolverCacheStats {
+        let mut total = SolverCacheStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.lock().stats);
+        }
+        total
+    }
+
+    /// Clears every shard atomically: all shard locks are held before the
+    /// first entry is dropped, so no concurrent worker can observe (or
+    /// repopulate) a half-cleared cache.
+    fn clear_all(&self) {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        for guard in &mut guards {
+            **guard = CacheShard::default();
+        }
+    }
+}
+
+fn global_cache() -> &'static ShardedSolverCache {
+    static CACHE: OnceLock<ShardedSolverCache> = OnceLock::new();
+    CACHE.get_or_init(|| ShardedSolverCache::new(SOLVER_CACHE_CAP, SOLVER_CACHE_SHARDS))
+}
+
 thread_local! {
-    static SOLVER_CACHE: RefCell<SolverCache> = RefCell::new(SolverCache::default());
+    /// This thread's share of the global counters. Sweep workers run whole
+    /// work units, so per-pair cache deltas are attributed per thread here
+    /// while the shards above keep the process-wide truth.
+    static THREAD_CACHE_STATS: Cell<SolverCacheStats> = const { Cell::new(SolverCacheStats {
+        solution_hits: 0,
+        solution_misses: 0,
+        completion_hits: 0,
+        completion_misses: 0,
+        evictions: 0,
+    }) };
 }
 
-/// Cache counters for this thread (tests assert hit/miss behaviour).
+fn bump_thread_stats(f: impl FnOnce(&mut SolverCacheStats)) {
+    THREAD_CACHE_STATS.with(|c| {
+        let mut stats = c.get();
+        f(&mut stats);
+        c.set(stats);
+    });
+}
+
+/// Process-wide cache counters, merged across shards.
 pub fn solver_cache_stats() -> SolverCacheStats {
-    SOLVER_CACHE.with(|c| c.borrow().stats)
+    global_cache().merged_stats()
 }
 
-/// Drops this thread's memoized solutions and counters.
+/// Cache counters attributed to queries issued *by the calling thread*.
+/// Sweep workers use deltas of these for per-pair `PairDone` events: a work
+/// unit runs entirely on one thread, so the delta is exact even while other
+/// workers hit the same shards.
+pub fn solver_cache_thread_stats() -> SolverCacheStats {
+    THREAD_CACHE_STATS.with(|c| c.get())
+}
+
+/// Drops every shard's memoized solutions and counters atomically (all
+/// shard locks held across the clear), and zeroes the calling thread's
+/// attribution counters.
 pub fn solver_cache_clear() {
-    SOLVER_CACHE.with(|c| *c.borrow_mut() = SolverCache::default());
+    global_cache().clear_all();
+    THREAD_CACHE_STATS.with(|c| c.set(SolverCacheStats::default()));
 }
 
 fn fnv(h: &mut u64, v: u64) {
@@ -308,13 +536,13 @@ fn case_fingerprint(case: &CommutativeCase) -> u128 {
 
 /// A per-case compiled solver, built on first use: a case whose
 /// enumeration is served entirely from the cache never pays compilation.
-struct LazyCaseSolver<'a> {
+pub(crate) struct LazyCaseSolver<'a> {
     condition: &'a [scr_symbolic::ExprRef],
     solver: Option<CaseSolver>,
 }
 
 impl<'a> LazyCaseSolver<'a> {
-    fn new(condition: &'a [scr_symbolic::ExprRef]) -> Self {
+    pub(crate) fn new(condition: &'a [scr_symbolic::ExprRef]) -> Self {
         LazyCaseSolver {
             condition,
             solver: None,
@@ -328,40 +556,25 @@ impl<'a> LazyCaseSolver<'a> {
 }
 
 /// Enumerates up to `limit` solutions of a case condition through the
-/// thread-local cache. A stored enumeration with a higher limit serves the
-/// prefix; one that exhausted the solution space serves any limit.
-fn cached_all_solutions(
+/// sharded global cache. A stored enumeration with a higher limit serves
+/// the prefix; one that exhausted the solution space serves any limit.
+pub(crate) fn cached_all_solutions(
     solver: &mut LazyCaseSolver<'_>,
     condition_fp: u128,
     domains: &Domains,
     limit: usize,
 ) -> Vec<Assignment> {
     let key = (condition_fp, domains.fingerprint());
-    let cached = SOLVER_CACHE.with(|c| {
-        let mut cache = c.borrow_mut();
-        let served = match cache.solutions.get(&key) {
-            Some((stored_limit, sols)) if limit <= *stored_limit || sols.len() < *stored_limit => {
-                Some(sols.iter().take(limit).cloned().collect::<Vec<_>>())
-            }
-            _ => None,
-        };
-        if served.is_some() {
-            cache.stats.solution_hits += 1;
-        } else {
-            cache.stats.solution_misses += 1;
-        }
-        served
-    });
-    if let Some(solutions) = cached {
+    if let Some(solutions) = global_cache().lookup_solution(&key, limit) {
+        bump_thread_stats(|s| s.solution_hits += 1);
         return solutions;
     }
+    bump_thread_stats(|s| s.solution_misses += 1);
     let solutions = solver.get().all_solutions(domains, limit);
-    SOLVER_CACHE.with(|c| {
-        let mut cache = c.borrow_mut();
-        if cache.solutions.len() < SOLVER_CACHE_CAP || cache.solutions.contains_key(&key) {
-            cache.solutions.insert(key, (limit, solutions.clone()));
-        }
-    });
+    let evicted = global_cache().store_solution(key, limit, solutions.clone());
+    if evicted > 0 {
+        bump_thread_stats(|s| s.evictions += evicted);
+    }
     solutions
 }
 
@@ -632,16 +845,12 @@ fn resolve_constructible(
         pinned: pinned.iter().collect(),
         reason: first_reason,
     };
-    let cached = SOLVER_CACHE.with(|c| {
-        let mut cache = c.borrow_mut();
-        let hit = cache.completions.get(&key).cloned();
-        if hit.is_some() {
-            cache.stats.completion_hits += 1;
-        } else {
-            cache.stats.completion_misses += 1;
-        }
-        hit
-    });
+    let cached = global_cache().lookup_completion(&key);
+    if cached.is_some() {
+        bump_thread_stats(|s| s.completion_hits += 1);
+    } else {
+        bump_thread_stats(|s| s.completion_misses += 1);
+    }
     if let Some(outcome) = cached {
         // Replay: the search is deterministic in the key, so the cached
         // completion is exactly what a cold solve would find (or `None` if
@@ -692,14 +901,10 @@ fn resolve_constructible(
             None => break,
         };
     }
-    SOLVER_CACHE.with(|c| {
-        let mut cache = c.borrow_mut();
-        if cache.completions.len() < SOLVER_CACHE_CAP || cache.completions.contains_key(&key) {
-            cache
-                .completions
-                .insert(key, found.as_ref().map(|(alt, _)| alt.clone()));
-        }
-    });
+    let evicted = global_cache().store_completion(key, found.as_ref().map(|(alt, _)| alt.clone()));
+    if evicted > 0 {
+        bump_thread_stats(|s| s.evictions += evicted);
+    }
     found.map(|(_, test)| test)
 }
 
@@ -820,7 +1025,7 @@ fn vary_targets(
 /// decisions or equality obligations actually constrain, plus the calls'
 /// argument variables. Everything else (unconstrained background state) is
 /// irrelevant to which code paths and access patterns a test exercises.
-fn relevant_vars(case: &CommutativeCase) -> Vec<Var> {
+pub(crate) fn relevant_vars(case: &CommutativeCase) -> Vec<Var> {
     let mut relevant: BTreeMap<VarId, Var> = BTreeMap::new();
     for c in &case.path_condition {
         relevant.extend(scr_symbolic::Expr::free_vars(c));
@@ -828,7 +1033,7 @@ fn relevant_vars(case: &CommutativeCase) -> Vec<Var> {
     relevant.extend(scr_symbolic::Expr::free_vars(&case.commute_expr));
     for var in &case.variables {
         let name = var.name.as_ref();
-        if name.starts_with("argA.") || name.starts_with("argB.") {
+        if name.starts_with("argA.") || name.starts_with("argB.") || name.starts_with("argC.") {
             relevant.insert(var.id, var.clone());
         }
     }
@@ -838,7 +1043,7 @@ fn relevant_vars(case: &CommutativeCase) -> Vec<Var> {
 /// Variables whose values only matter up to equality (inode indices and
 /// content fingerprints — including socket message payloads, which are
 /// fungible identities), grouped for the isomorphism signature.
-fn isomorphism_groups(vars: &[Var]) -> Vec<Vec<VarId>> {
+pub(crate) fn isomorphism_groups(vars: &[Var]) -> Vec<Vec<VarId>> {
     let mut ino_group = Vec::new();
     let mut content_group = Vec::new();
     for var in vars {
@@ -860,7 +1065,7 @@ fn isomorphism_groups(vars: &[Var]) -> Vec<Vec<VarId>> {
 /// variables (nondeterministic inode/socket-slot/child-slot/message
 /// choices) are excluded: which free slot or queued message the
 /// specification picked is not part of the access pattern a test exercises.
-fn exact_vars(vars: &[Var]) -> Vec<VarId> {
+pub(crate) fn exact_vars(vars: &[Var]) -> Vec<VarId> {
     vars.iter()
         .filter(|v| {
             let name = v.name.as_ref();
@@ -1041,6 +1246,14 @@ fn emit_pipe(
     Ok(())
 }
 
+/// One call of a multi-call test: its kind, the slot assignment and the
+/// tag its argument variables carry (`argA`, `argB`, `argC`, ...).
+pub(crate) struct CallSpec<'s> {
+    pub(crate) kind: CallKind,
+    pub(crate) slots: &'s scr_model::calls::ArgSlots,
+    pub(crate) tag: &'static str,
+}
+
 /// Builds the setup script and the two operations for one assignment,
 /// or the structured reason no faithful construction exists for it.
 fn materialize(
@@ -1052,9 +1265,54 @@ fn materialize(
     relevant: &[Var],
     id: &str,
 ) -> Result<ConcreteTest, SkipReason> {
+    let calls = [
+        CallSpec {
+            kind: shape.calls.0,
+            slots: &shape.slots_a,
+            tag: "argA",
+        },
+        CallSpec {
+            kind: shape.calls.1,
+            slots: &shape.slots_b,
+            tag: "argB",
+        },
+    ];
+    let (setup, mut ops, procs) =
+        materialize_calls(&calls, case, assignment, cfg, names, relevant)?;
+    let op_b = ops.pop().expect("two calls materialized");
+    let op_a = ops.pop().expect("two calls materialized");
+    Ok(ConcreteTest {
+        id: id.to_string(),
+        calls: shape.calls,
+        setup,
+        op_a,
+        op_b,
+        procs,
+    })
+}
+
+/// What [`materialize_calls`] produces on success: the per-core setup
+/// script, one concrete operation per requested call (in call order), and
+/// the number of processes the test uses.
+pub(crate) type MaterializedCalls = (Vec<(usize, SysOp)>, Vec<SysOp>, usize);
+
+/// Builds the setup script and the concrete operations (one per entry of
+/// `calls`, in slot order) for one assignment, or the structured reason no
+/// faithful construction exists for it. Shared between the pair
+/// materialiser above and the triple materialiser in [`crate::triples`];
+/// the call count only widens the exhaustion checks, so the two-call path
+/// produces byte-identical tests to the historical pair-only code.
+pub(crate) fn materialize_calls(
+    calls: &[CallSpec<'_>],
+    case: &CommutativeCase,
+    assignment: &Assignment,
+    cfg: &ModelConfig,
+    names: &[String],
+    relevant: &[Var],
+) -> Result<MaterializedCalls, SkipReason> {
     let solved = Solved::new(&case.variables, assignment);
     let mut setup: Vec<(usize, SysOp)> = Vec::new();
-    let used_procs = used_procs(shape);
+    let used_procs = calls.iter().map(|c| c.slots.proc).max().unwrap_or(0) + 1;
 
     // --- §4 extension objects: sockets and the child process table ---------
     // Socket slots are created in slot order, so slot `s` maps to the
@@ -1104,11 +1362,11 @@ fn materialize(
     // process pools, so a full model table under an allocating call cannot
     // be reproduced (the concrete call would succeed where the analysed
     // path returned ENOSPC/EAGAIN).
-    for kind in [shape.calls.0, shape.calls.1] {
-        if kind == CallKind::Socket && cfg.sockets > 0 && sock_ids.len() == cfg.sockets {
+    for spec in calls {
+        if spec.kind == CallKind::Socket && cfg.sockets > 0 && sock_ids.len() == cfg.sockets {
             return Err(SkipReason::SocketTableFull);
         }
-        if matches!(kind, CallKind::Fork | CallKind::PosixSpawn)
+        if matches!(spec.kind, CallKind::Fork | CallKind::PosixSpawn)
             && cfg.children > 0
             && child_pids.len() == cfg.children
         {
@@ -1314,23 +1572,20 @@ fn materialize(
             return Err(SkipReason::UnreachableInode);
         }
     }
-    for (kind, slots) in [
-        (shape.calls.0, &shape.slots_a),
-        (shape.calls.1, &shape.slots_b),
-    ] {
+    for spec in calls {
         // `open` allocates one descriptor, `pipe` two. If the model's table
         // cannot satisfy the allocation the analysed path is an EMFILE
         // path, which the kernels' much larger tables cannot reproduce —
         // worse, both real `pipe()`s would *succeed* and race over which
         // call gets which descriptor numbers, making the results
         // schedule-dependent where the model's were not.
-        let needed = match kind {
+        let needed = match spec.kind {
             CallKind::Open => 1,
             CallKind::Pipe => 2,
             _ => 0,
         };
         if needed > 0 {
-            let p = slots.proc;
+            let p = spec.slots.proc;
             let free = (0..cfg.fds_per_proc)
                 .filter(|k| !solved.bool(&format!("p{p}.fd{k}.open")))
                 .count();
@@ -1558,38 +1813,23 @@ fn materialize(
         }
     }
 
-    // --- the two operations -------------------------------------------------
-    let op_a = build_op(
-        shape.calls.0,
-        &shape.slots_a,
-        "argA",
-        &solved,
-        names,
-        &sock_ids,
-        &child_pids,
-    );
-    let op_b = build_op(
-        shape.calls.1,
-        &shape.slots_b,
-        "argB",
-        &solved,
-        names,
-        &sock_ids,
-        &child_pids,
-    );
+    // --- the operations under test ------------------------------------------
+    let ops = calls
+        .iter()
+        .map(|spec| {
+            build_op(
+                spec.kind,
+                spec.slots,
+                spec.tag,
+                &solved,
+                names,
+                &sock_ids,
+                &child_pids,
+            )
+        })
+        .collect();
 
-    Ok(ConcreteTest {
-        id: id.to_string(),
-        calls: shape.calls,
-        setup,
-        op_a,
-        op_b,
-        procs: used_procs,
-    })
-}
-
-fn used_procs(shape: &PairShape) -> usize {
-    shape.slots_a.proc.max(shape.slots_b.proc) + 1
+    Ok((setup, ops, used_procs))
 }
 
 /// Builds the concrete [`SysOp`] for one side of the pair. `sock_ids` and
@@ -2046,28 +2286,51 @@ mod tests {
         }
     }
 
+    /// Serializes the tests that clear the process-global cache or assert
+    /// on hit/miss behaviour: `cargo test` runs this module's tests on
+    /// concurrent threads within one process, so an unguarded clear could
+    /// wipe another cache test's entries mid-run.
+    fn cache_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn completion_cache_hits_reproduce_the_cold_corpus() {
         // A warm second run must (a) actually hit the completion cache and
         // (b) yield byte-identical tests — in particular, every rescued
         // representative's completion is in the same isomorphism class as
-        // the cold solve's (it is the *same* completion).
-        let cfg = small_cfg();
+        // the cold solve's (it is the *same* completion). Cache keys cover
+        // the model bounds, so a bound combination no other test uses keeps
+        // this test's entries private even though the cache is shared by
+        // every concurrently-running test; stats are asserted through the
+        // calling thread's attribution counters for the same reason.
+        let _guard = cache_lock();
+        let cfg = ModelConfig {
+            vm_pages: 1,
+            ..small_cfg()
+        };
         let shape = repairing_shape();
         let analysis = analyze_pair(&shape, &cfg);
-        solver_cache_clear();
+        let before = solver_cache_thread_stats();
         let cold = generate_tests(&shape, &analysis.cases, &cfg, &default_names(), 128);
         assert!(cold.resolved > 0, "shape must exercise the repair loop");
-        let after_cold = solver_cache_stats();
-        assert!(after_cold.completion_misses > 0);
-        assert_eq!(after_cold.completion_hits, 0);
+        let after_cold = solver_cache_thread_stats();
+        assert!(after_cold.completion_misses > before.completion_misses);
+        assert_eq!(
+            after_cold.completion_hits, before.completion_hits,
+            "cold run must not hit completions (keys are private to this test)"
+        );
         let warm = generate_tests(&shape, &analysis.cases, &cfg, &default_names(), 128);
-        let after_warm = solver_cache_stats();
+        let after_warm = solver_cache_thread_stats();
         assert!(
-            after_warm.completion_hits >= cold.resolved,
+            after_warm.completion_hits - after_cold.completion_hits >= cold.resolved,
             "warm run must hit the completion cache (stats {after_warm:?})"
         );
-        assert!(after_warm.solution_hits > 0, "enumeration must hit too");
+        assert!(
+            after_warm.solution_hits > after_cold.solution_hits,
+            "enumeration must hit too"
+        );
         assert_eq!(
             after_warm.completion_misses, after_cold.completion_misses,
             "warm run must add no completion misses"
@@ -2078,11 +2341,141 @@ mod tests {
     }
 
     #[test]
+    fn solver_cache_evicts_past_cap_and_still_admits_new_keys() {
+        // Regression for the saturation bug: the old admission policy
+        // (`len() < CAP || contains_key(&key)`) refused every new key once
+        // a cache filled, silently degrading the rest of a long sweep to
+        // cold solves. The sharded cache must evict instead.
+        let cache = ShardedSolverCache::new(8, 2);
+        let sols = vec![Assignment::new()];
+        for i in 0..64u64 {
+            cache.store_solution((i as u128, 0), 1, sols.clone());
+        }
+        let stats = cache.merged_stats();
+        assert!(stats.evictions > 0, "inserting past the cap must evict");
+        // A brand-new key admitted after saturation must hit on re-query.
+        cache.store_solution((999, 0), 1, sols.clone());
+        assert!(
+            cache.lookup_solution(&(999, 0), 1).is_some(),
+            "new keys must still be admitted once the cache is full"
+        );
+    }
+
+    #[test]
+    fn solver_cache_second_chance_protects_hot_entries() {
+        // Clock eviction: a recently-hit entry survives an insert that
+        // displaces a cold one.
+        let cache = ShardedSolverCache::new(4, 1);
+        let sols = vec![Assignment::new()];
+        for i in 0..4u64 {
+            cache.store_solution((i as u128, 0), 1, sols.clone());
+        }
+        assert!(cache.lookup_solution(&(0, 0), 1).is_some()); // mark hot
+        cache.store_solution((4, 0), 1, sols.clone());
+        assert!(
+            cache.lookup_solution(&(0, 0), 1).is_some(),
+            "the hot entry must get a second chance"
+        );
+        assert!(
+            cache.lookup_solution(&(1, 0), 1).is_none(),
+            "the coldest entry is the one evicted"
+        );
+    }
+
+    #[test]
+    fn clear_zeroes_every_shard_after_multithreaded_population() {
+        // `clear_all` holds every shard lock before dropping anything, so a
+        // clear is atomic: afterwards no shard retains entries or counters,
+        // no matter which thread populated it.
+        let cache = ShardedSolverCache::new(64, 4);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        let key = ((t * 100 + i) as u128, t);
+                        cache.store_solution(key, 1, vec![Assignment::new()]);
+                        assert!(cache.lookup_solution(&key, 1).is_some());
+                    }
+                });
+            }
+        });
+        assert!(cache.merged_stats().solution_hits >= 32);
+        cache.clear_all();
+        assert_eq!(
+            cache.merged_stats(),
+            SolverCacheStats::default(),
+            "clear must zero every shard's counters"
+        );
+        for t in 0..4u64 {
+            for i in 0..8u64 {
+                assert!(
+                    cache
+                        .lookup_solution(&((t * 100 + i) as u128, t), 1)
+                        .is_none(),
+                    "clear must drop every shard's entries"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn global_clear_wipes_entries_populated_by_other_threads() {
+        // The old thread-local cache's `solver_cache_clear` only cleared
+        // the calling thread; the global cache must wipe what *other*
+        // threads populated too.
+        let _guard = cache_lock();
+        let cfg = ModelConfig {
+            names: 3,
+            ..small_cfg()
+        };
+        let shape = repairing_shape();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let shape = shape.clone();
+                s.spawn(move || {
+                    let analysis = analyze_pair(&shape, &cfg);
+                    let before = solver_cache_thread_stats();
+                    let generated =
+                        generate_tests(&shape, &analysis.cases, &cfg, &default_names(), 64);
+                    assert!(!generated.tests.is_empty());
+                    let after = solver_cache_thread_stats();
+                    assert!(
+                        after.solution_hits + after.solution_misses
+                            > before.solution_hits + before.solution_misses,
+                        "workers must route queries through the shared cache"
+                    );
+                });
+            }
+        });
+        solver_cache_clear();
+        assert_eq!(
+            solver_cache_thread_stats(),
+            SolverCacheStats::default(),
+            "clear must reset the calling thread's attribution counters"
+        );
+        // The entries the workers shared are gone: regenerating on this
+        // thread records fresh completion misses and zero completion hits
+        // (this test's model bounds keep its keys private).
+        let analysis = analyze_pair(&shape, &cfg);
+        let before = solver_cache_thread_stats();
+        let regenerated = generate_tests(&shape, &analysis.cases, &cfg, &default_names(), 64);
+        let after = solver_cache_thread_stats();
+        assert!(regenerated.resolved > 0);
+        assert!(after.completion_misses > before.completion_misses);
+        assert_eq!(
+            after.completion_hits, before.completion_hits,
+            "cleared entries must not serve hits"
+        );
+    }
+
+    #[test]
     fn completion_cache_does_not_leak_across_pairs() {
         // Warming the cache with one pair must leave another pair's corpus
         // exactly as a cold solve produces it: the cache key covers the
         // whole condition, variable list and shape, so assignments cannot
         // bleed between pairs.
+        let _guard = cache_lock();
         let cfg = small_cfg();
         let read_read = repairing_shape();
         let read_analysis = analyze_pair(&read_read, &cfg);

@@ -1,0 +1,672 @@
+//! Triple commutativity: 3-call SIM-commutativity over coupled families.
+//!
+//! The paper analyses operation *pairs* (§5.1); the rule itself is stated
+//! for arbitrary operation sets. This module extends the ANALYZER/TESTGEN
+//! machinery to **triples** over the call families whose members couple
+//! through shared kernel state — the descriptor table
+//! (`open`/`close`/`read`/`write`/`pipe`) and the file offset
+//! (`lseek`/`read`/`write`). A triple SIM-commutes on a path when all six
+//! orders can agree on every call's result and end in externally
+//! equivalent states (checking the five non-base orders against the base
+//! suffices by transitivity of the equalities).
+//!
+//! Three calls mean 18 symbolic executions per path, so the exploration
+//! uses [`explore_pruned`]: infeasible branch alternatives are discarded
+//! from the path condition prefix before their subtrees are scheduled, and
+//! hard path/decision budgets bound the worst case (`truncated` records a
+//! cut). Generation reuses the pair materialiser through
+//! [`materialize_calls`] — no repair loop: a triple whose first witness is
+//! unconstructible is counted as skipped (see ROADMAP residue).
+
+use std::collections::BTreeSet;
+
+use crate::analyzer::{default_domains, CommutativeCase};
+use crate::driver::KernelFactory;
+use crate::shapes::{first_op_assignments, second_op_assignments};
+use crate::sweep::claim_in_order;
+use crate::testgen::{
+    cached_all_solutions, exact_vars, isomorphism_groups, materialize_calls, relevant_vars,
+    CallSpec, LazyCaseSolver, SkipHistogram,
+};
+use scr_kernel::api::{perform, SysOp, SysResult};
+use scr_model::calls::{execute, ArgSlots, SymCall, SymRet};
+use scr_model::{CallKind, ModelConfig, SymState};
+use scr_symbolic::{explore_pruned, satisfiable, signature, Expr, SymBool, SymContext, Var};
+
+/// Leaf budget for one triple shape's exploration: six orders of three
+/// calls branch far more than a pair, and the budget turns a pathological
+/// shape into a `truncated` report instead of a hang.
+pub const TRIPLE_PATH_BUDGET: usize = 512;
+
+/// Per-path branch-decision budget (pairs fix 64; 18 executions need
+/// more).
+pub const TRIPLE_DECISION_BUDGET: usize = 192;
+
+/// The six orders of three calls; index 0 is the base order the other five
+/// are compared against. Public so host replays can linearize a racing
+/// triple against every sequential order.
+pub const TRIPLE_ORDERS: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+/// Argument-variable tags of the three calls (`argA.*` etc.), recognised
+/// by TESTGEN's relevance filter and by `build_op`.
+const ARG_TAGS: [&str; 3] = ["argA", "argB", "argC"];
+
+/// A fully-resolved shape for a triple of operations: which name and
+/// descriptor slots each argument refers to (the triple families touch no
+/// vm/socket/child state, and run in one process on cores 0/1/2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TripleShape {
+    /// The three calls.
+    pub calls: (CallKind, CallKind, CallKind),
+    /// Slot assignment per call, in call order.
+    pub slots: [ArgSlots; 3],
+    /// Human-readable tag (used in test identifiers).
+    pub tag: String,
+}
+
+/// The model bounds for triple analysis. Deliberately tighter than the
+/// pair default: two names, two inodes, one process with two descriptor
+/// slots and single-page files keep 18-execution paths tractable while
+/// still distinguishing every coupling the families exercise (same/other
+/// descriptor, same/other name, offset interaction within one page).
+pub fn triple_config() -> ModelConfig {
+    ModelConfig {
+        names: 2,
+        inodes: 2,
+        procs: 1,
+        fds_per_proc: 2,
+        file_pages: 1,
+        vm_pages: 0,
+        sockets: 0,
+        queue_cap: 0,
+        children: 0,
+    }
+}
+
+/// Enumerates the canonical slot shapes of a call triple, chaining the
+/// pair enumeration's fresh-slot numbering across all three calls: call B
+/// may alias A's slots, call C may alias anything A or B used. Calls with
+/// extension arguments (sockets, children, vm pages) have no triple
+/// shapes yet and return an empty list.
+pub fn enumerate_triple_shapes(
+    calls: (CallKind, CallKind, CallKind),
+    cfg: &ModelConfig,
+) -> Vec<TripleShape> {
+    let kinds = [calls.0, calls.1, calls.2];
+    if kinds
+        .iter()
+        .any(|k| k.sock_args() > 0 || k.child_args() > 0 || k.vm_args() > 0)
+    {
+        return Vec::new();
+    }
+    let fresh_after = |base: usize, slots: &[usize]| -> usize {
+        slots
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0)
+            .max(base)
+    };
+    let mut shapes = Vec::new();
+    for n0 in first_op_assignments(kinds[0].name_args(), cfg.names) {
+        let nbase1 = fresh_after(0, &n0);
+        for n1 in second_op_assignments(nbase1, kinds[1].name_args(), cfg.names) {
+            let nbase2 = fresh_after(nbase1, &n1);
+            for n2 in second_op_assignments(nbase2, kinds[2].name_args(), cfg.names) {
+                for f0 in first_op_assignments(kinds[0].fd_args(), cfg.fds_per_proc) {
+                    let fbase1 = fresh_after(0, &f0);
+                    for f1 in second_op_assignments(fbase1, kinds[1].fd_args(), cfg.fds_per_proc) {
+                        let fbase2 = fresh_after(fbase1, &f1);
+                        for f2 in
+                            second_op_assignments(fbase2, kinds[2].fd_args(), cfg.fds_per_proc)
+                        {
+                            let tag =
+                                format!("n{:?}{:?}{:?}-f{:?}{:?}{:?}", n0, n1, n2, f0, f1, f2)
+                                    .replace([' ', '[', ']', ','], "");
+                            let slot =
+                                |core: usize, names: &Vec<usize>, fds: &Vec<usize>| ArgSlots {
+                                    proc: 0,
+                                    core,
+                                    names: names.clone(),
+                                    fds: fds.clone(),
+                                    vm_pages: Vec::new(),
+                                    socks: Vec::new(),
+                                    children: Vec::new(),
+                                };
+                            shapes.push(TripleShape {
+                                calls,
+                                slots: [slot(0, &n0, &f0), slot(1, &n1, &f1), slot(2, &n2, &f2)],
+                                tag,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    shapes
+}
+
+/// The result of analysing one triple shape.
+#[derive(Clone, Debug)]
+pub struct TripleAnalysis {
+    /// The shape that was analysed.
+    pub shape: TripleShape,
+    /// Commutative cases (satisfiable path ∧ six-order agreement).
+    pub cases: Vec<CommutativeCase>,
+    /// Number of explored paths (feasible or not).
+    pub paths_explored: usize,
+    /// Number of feasible but **not** commutative paths.
+    pub non_commutative_paths: usize,
+    /// True when the path budget cut the exploration short.
+    pub truncated: bool,
+}
+
+/// Analyses one triple shape: symbolically executes all six orders from
+/// the same unconstrained state and classifies every explored path. The
+/// produced [`CommutativeCase`]s feed [`generate_triple_tests`] exactly as
+/// pair cases feed `generate_tests`.
+pub fn analyze_triple(shape: &TripleShape, cfg: &ModelConfig) -> TripleAnalysis {
+    let domains = default_domains();
+    let outcome = explore_pruned(
+        |path| {
+            let ctx = SymContext::new();
+            let (state, assumptions) = SymState::unconstrained(&ctx, *cfg);
+            for a in &assumptions {
+                path.assume(a);
+            }
+            let kinds = [shape.calls.0, shape.calls.1, shape.calls.2];
+            let calls: Vec<SymCall> = (0..3)
+                .map(|i| SymCall::build(kinds[i], shape.slots[i].clone(), &ctx, ARG_TAGS[i]))
+                .collect();
+            for call in &calls {
+                for a in call.argument_assumptions(cfg.file_pages).iter() {
+                    path.assume(a);
+                }
+            }
+            // Execute every order from a copy of the same state. Each
+            // (order, call) execution gets its own oracle tag, so the
+            // specification's nondeterministic choices may differ between
+            // orders — SIM-commutativity quantifies over them.
+            let mut rets: Vec<[Option<SymRet>; 3]> = Vec::with_capacity(TRIPLE_ORDERS.len());
+            let mut states: Vec<SymState> = Vec::with_capacity(TRIPLE_ORDERS.len());
+            for (oi, order) in TRIPLE_ORDERS.iter().enumerate() {
+                let mut s = state.clone();
+                let mut per_call: [Option<SymRet>; 3] = [None, None, None];
+                for &ci in order {
+                    let ret = execute(&calls[ci], &mut s, path, &ctx, &format!("o{oi}.c{ci}"));
+                    per_call[ci] = Some(ret);
+                }
+                rets.push(per_call);
+                states.push(s);
+            }
+            // Base order vs each of the other five: per-call result
+            // equality and final-state equivalence. Pairwise agreement of
+            // all six orders follows by transitivity.
+            let mut commute = SymBool::from_bool(true);
+            for oi in 1..TRIPLE_ORDERS.len() {
+                let (base_rets, other_rets) = (&rets[0], &rets[oi]);
+                for (base, other) in base_rets.iter().zip(other_rets) {
+                    let base = base.as_ref().expect("base order ran every call");
+                    let other = other.as_ref().expect("every order runs every call");
+                    commute = commute.and(&base.equal(other));
+                }
+                commute = commute.and(&states[0].equivalent(&states[oi]));
+            }
+            (commute, ctx.variables())
+        },
+        |condition| satisfiable(condition, &domains),
+        TRIPLE_PATH_BUDGET,
+        TRIPLE_DECISION_BUDGET,
+    );
+
+    let paths_explored = outcome.results.len();
+    let mut cases = Vec::new();
+    let mut non_commutative_paths = 0;
+    for result in outcome.results {
+        let (commute, variables): (SymBool, Vec<Var>) = result.value;
+        let path_condition = result.branches.clone();
+        let mut condition = result.condition.clone();
+        condition.push(commute.expr().clone());
+        // Pruning only vetted branch-alternative prefixes; the complete
+        // path (and the much larger agreement conjunction) still needs the
+        // full satisfiability classification, as in `analyze_pair`.
+        if !satisfiable(&result.condition, &domains) {
+            continue;
+        }
+        if satisfiable(&condition, &domains) {
+            cases.push(CommutativeCase {
+                condition,
+                path_condition,
+                variables,
+                commute_expr: commute.expr().clone(),
+            });
+        } else {
+            non_commutative_paths += 1;
+        }
+    }
+    TripleAnalysis {
+        shape: shape.clone(),
+        cases,
+        paths_explored,
+        non_commutative_paths,
+        truncated: outcome.truncated,
+    }
+}
+
+/// A concrete, runnable triple test.
+#[derive(Clone, Debug)]
+pub struct ConcreteTripleTest {
+    /// Unique identifier (triple, shape tag, case and assignment indices).
+    pub id: String,
+    /// The triple of calls under test.
+    pub calls: (CallKind, CallKind, CallKind),
+    /// Setup operations (run untraced), each annotated with its core.
+    pub setup: Vec<(usize, SysOp)>,
+    /// The three operations; `ops[i]` runs on core `i`.
+    pub ops: [SysOp; 3],
+    /// Number of processes the test uses (always 1 for current families).
+    pub procs: usize,
+}
+
+/// The outcome of materialising one triple shape's cases.
+#[derive(Clone, Debug, Default)]
+pub struct GeneratedTripleTests {
+    /// Successfully materialised tests.
+    pub tests: Vec<ConcreteTripleTest>,
+    /// Representatives with no faithful construction (triples have no
+    /// repair loop yet; the first failure reason is final).
+    pub skipped: usize,
+    /// Why each skipped representative was skipped.
+    pub skip_reasons: SkipHistogram,
+}
+
+/// TESTGEN for triples: enumerates case witnesses through the shared
+/// sharded solver cache, deduplicates by isomorphism signature over the
+/// relevant variables and materialises each representative through the
+/// generalised pair materialiser.
+pub fn generate_triple_tests(
+    shape: &TripleShape,
+    cases: &[CommutativeCase],
+    cfg: &ModelConfig,
+    names: &[String],
+    max_per_case: usize,
+) -> GeneratedTripleTests {
+    let domains = default_domains();
+    let mut out = GeneratedTripleTests::default();
+    for (case_idx, case) in cases.iter().enumerate() {
+        let condition_fp = Expr::dag_fingerprint(&case.condition);
+        let mut solver = LazyCaseSolver::new(&case.condition);
+        let solutions = cached_all_solutions(&mut solver, condition_fp, &domains, max_per_case);
+        let relevant = relevant_vars(case);
+        let groups = isomorphism_groups(&relevant);
+        let exact = exact_vars(&relevant);
+        let mut seen = BTreeSet::new();
+        let mut rep_idx = 0;
+        for assignment in solutions {
+            let sig = signature(&assignment, &groups, &exact);
+            if !seen.insert(sig) {
+                continue;
+            }
+            let id = format!(
+                "{}_{}_{}_{}_case{}_{}",
+                shape.calls.0.name(),
+                shape.calls.1.name(),
+                shape.calls.2.name(),
+                shape.tag,
+                case_idx,
+                rep_idx
+            );
+            rep_idx += 1;
+            let kinds = [shape.calls.0, shape.calls.1, shape.calls.2];
+            let specs: Vec<CallSpec<'_>> = (0..3)
+                .map(|i| CallSpec {
+                    kind: kinds[i],
+                    slots: &shape.slots[i],
+                    tag: ARG_TAGS[i],
+                })
+                .collect();
+            match materialize_calls(&specs, case, &assignment, cfg, names, &relevant) {
+                Ok((setup, ops, procs)) => {
+                    let mut ops = ops.into_iter();
+                    let ops = [
+                        ops.next().expect("three ops"),
+                        ops.next().expect("three ops"),
+                        ops.next().expect("three ops"),
+                    ];
+                    out.tests.push(ConcreteTripleTest {
+                        id,
+                        calls: shape.calls,
+                        setup,
+                        ops,
+                        procs,
+                    });
+                }
+                Err(reason) => {
+                    out.skipped += 1;
+                    *out.skip_reasons.entry(reason).or_default() += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The outcome of replaying one triple test on a simulated kernel.
+#[derive(Clone, Debug)]
+pub struct TripleOutcome {
+    /// The test's identifier.
+    pub test_id: String,
+    /// Whether the three operations were pairwise conflict-free.
+    pub conflict_free: bool,
+    /// Labels of the cache lines shared between the cores.
+    pub shared_labels: Vec<String>,
+    /// Whether every setup operation succeeded.
+    pub setup_ok: bool,
+    /// Per-call results; `results[i]` belongs to `ops[i]` whatever the
+    /// linearisation order was.
+    pub results: [SysResult; 3],
+}
+
+/// Runs a triple test in the base order `[0, 1, 2]`. The factory must
+/// configure at least three cores.
+pub fn run_triple_test(factory: &dyn KernelFactory, test: &ConcreteTripleTest) -> TripleOutcome {
+    run_triple_order(factory, test, TRIPLE_ORDERS[0])
+}
+
+/// [`run_triple_test`] with an explicit linearisation: `order[k]` names
+/// the call that runs k-th; call `i` always executes on core `i`.
+pub fn run_triple_order(
+    factory: &dyn KernelFactory,
+    test: &ConcreteTripleTest,
+    order: [usize; 3],
+) -> TripleOutcome {
+    let kernel = factory.build();
+    let machine = kernel.machine().clone();
+    for _ in 0..test.procs.max(2) {
+        kernel.new_process();
+    }
+    machine.stop_tracing();
+    let mut setup_ok = true;
+    for (core, op) in &test.setup {
+        let result = machine.on_core(*core, || perform(kernel.as_ref(), *core, op));
+        setup_ok &= result.is_ok();
+    }
+    machine.clear_trace();
+    machine.start_tracing();
+    let mut results: [Option<SysResult>; 3] = [None, None, None];
+    for &ci in &order {
+        let r = machine.on_core(ci, || perform(kernel.as_ref(), ci, &test.ops[ci]));
+        results[ci] = Some(r);
+    }
+    machine.stop_tracing();
+    let report = machine.conflict_report();
+    TripleOutcome {
+        test_id: test.id.clone(),
+        conflict_free: report.is_conflict_free(),
+        shared_labels: report.conflicting_labels(),
+        setup_ok,
+        results: results.map(|r| r.expect("every call ran")),
+    }
+}
+
+/// A family of calls coupled through shared kernel state, swept as every
+/// unordered triple (with repetition) of its members.
+#[derive(Clone, Copy, Debug)]
+pub struct TripleFamily {
+    /// Short family name used in reports and baselines.
+    pub name: &'static str,
+    /// The member calls.
+    pub calls: &'static [CallKind],
+}
+
+/// The coupled families the triple sweep covers: calls sharing the
+/// descriptor table, and calls sharing a descriptor's file offset.
+pub const TRIPLE_FAMILIES: &[TripleFamily] = &[
+    TripleFamily {
+        name: "fd",
+        calls: &[
+            CallKind::Open,
+            CallKind::Close,
+            CallKind::Read,
+            CallKind::Write,
+            CallKind::Pipe,
+        ],
+    },
+    TripleFamily {
+        name: "offset",
+        calls: &[CallKind::Lseek, CallKind::Read, CallKind::Write],
+    },
+];
+
+/// Per-triple accounting of one family sweep.
+#[derive(Clone, Debug)]
+pub struct TripleRow {
+    /// The (unordered) call triple.
+    pub calls: (CallKind, CallKind, CallKind),
+    /// Shapes enumerated for the triple.
+    pub shapes: usize,
+    /// SIM-commutative cases across all shapes.
+    pub commutative_cases: usize,
+    /// Paths explored across all shapes.
+    pub paths_explored: usize,
+    /// Feasible non-commutative paths across all shapes.
+    pub non_commutative_paths: usize,
+    /// Concrete tests materialised for the commutative cases.
+    pub tests: Vec<ConcreteTripleTest>,
+    /// Representatives with no faithful construction.
+    pub skipped: usize,
+    /// Why each skipped representative was skipped.
+    pub skip_reasons: SkipHistogram,
+    /// True when any shape's exploration hit the path budget.
+    pub truncated: bool,
+}
+
+/// The outcome of sweeping one family.
+#[derive(Clone, Debug)]
+pub struct TripleFamilyReport {
+    /// The family's short name.
+    pub family: &'static str,
+    /// One row per unordered triple, in enumeration order.
+    pub rows: Vec<TripleRow>,
+}
+
+impl TripleFamilyReport {
+    /// Total materialised tests across the family.
+    pub fn total_tests(&self) -> usize {
+        self.rows.iter().map(|r| r.tests.len()).sum()
+    }
+
+    /// Triples with at least one SIM-commutative case.
+    pub fn commutative_triples(&self) -> usize {
+        self.rows.iter().filter(|r| r.commutative_cases > 0).count()
+    }
+
+    /// Deterministic textual rendering (one line per triple), used by the
+    /// committed baseline gate: byte-identical across thread counts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            let truncated = if row.truncated { " truncated" } else { "" };
+            out.push_str(&format!(
+                "{}/{}_{}_{} shapes={} cases={} noncommut={} tests={} skipped={}{}\n",
+                self.family,
+                row.calls.0.name(),
+                row.calls.1.name(),
+                row.calls.2.name(),
+                row.shapes,
+                row.commutative_cases,
+                row.non_commutative_paths,
+                row.tests.len(),
+                row.skipped,
+                truncated,
+            ));
+        }
+        out
+    }
+}
+
+/// Sweeps one family: analyses and materialises every unordered triple of
+/// its members on `threads` claiming workers ([`claim_in_order`] keeps the
+/// row order — and so the rendered report and every test id — identical
+/// for every thread count). `names` supplies the concrete file names
+/// TESTGEN uses; it must have at least `cfg.names` entries.
+pub fn triple_family_sweep(
+    family: &TripleFamily,
+    cfg: &ModelConfig,
+    names: &[String],
+    max_per_case: usize,
+    threads: usize,
+) -> TripleFamilyReport {
+    let mut units: Vec<(CallKind, CallKind, CallKind)> = Vec::new();
+    for (i, &a) in family.calls.iter().enumerate() {
+        for (j, &b) in family.calls.iter().enumerate().skip(i) {
+            for &c in &family.calls[j..] {
+                units.push((a, b, c));
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(units.len());
+    claim_in_order(
+        &units,
+        threads,
+        |_, &triple| {
+            let mut row = TripleRow {
+                calls: triple,
+                shapes: 0,
+                commutative_cases: 0,
+                paths_explored: 0,
+                non_commutative_paths: 0,
+                tests: Vec::new(),
+                skipped: 0,
+                skip_reasons: SkipHistogram::default(),
+                truncated: false,
+            };
+            for shape in enumerate_triple_shapes(triple, cfg) {
+                row.shapes += 1;
+                let analysis = analyze_triple(&shape, cfg);
+                row.commutative_cases += analysis.cases.len();
+                row.paths_explored += analysis.paths_explored;
+                row.non_commutative_paths += analysis.non_commutative_paths;
+                row.truncated |= analysis.truncated;
+                if analysis.cases.is_empty() {
+                    continue;
+                }
+                let generated =
+                    generate_triple_tests(&shape, &analysis.cases, cfg, names, max_per_case);
+                row.tests.extend(generated.tests);
+                row.skipped += generated.skipped;
+                for (reason, count) in generated.skip_reasons {
+                    *row.skip_reasons.entry(reason).or_default() += count;
+                }
+            }
+            row
+        },
+        |_, row| rows.push(row),
+    );
+    TripleFamilyReport {
+        family: family.name,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Sv6Factory;
+
+    fn names() -> Vec<String> {
+        (0..4).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn triple_shapes_chain_the_canonical_numbering() {
+        let cfg = triple_config();
+        let shapes =
+            enumerate_triple_shapes((CallKind::Close, CallKind::Close, CallKind::Close), &cfg);
+        // One fd argument each over two slots: [0][0][0], [0][0][1],
+        // [0][1][0], [0][1][1] — four canonical shapes, no gaps.
+        assert_eq!(shapes.len(), 4);
+        assert!(shapes
+            .iter()
+            .all(|s| s.slots[0].fds == vec![0] && s.slots.iter().all(|sl| sl.proc == 0)));
+        let cores: Vec<usize> = shapes[0].slots.iter().map(|s| s.core).collect();
+        assert_eq!(cores, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn extension_calls_have_no_triple_shapes() {
+        let cfg = triple_config();
+        assert!(
+            enumerate_triple_shapes((CallKind::Socket, CallKind::Send, CallKind::Recv), &cfg)
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn reads_of_the_same_descriptor_commute_as_a_triple() {
+        let cfg = triple_config();
+        let shapes =
+            enumerate_triple_shapes((CallKind::Read, CallKind::Read, CallKind::Read), &cfg);
+        let same_fd = shapes
+            .iter()
+            .find(|s| s.slots.iter().all(|sl| sl.fds == vec![0]))
+            .expect("all-same-descriptor shape");
+        let analysis = analyze_triple(same_fd, &cfg);
+        assert!(analysis.paths_explored > 0);
+        assert!(
+            !analysis.cases.is_empty(),
+            "three reads of one descriptor must commute somewhere"
+        );
+        assert!(!analysis.truncated);
+    }
+
+    #[test]
+    fn lseek_makes_offset_triples_genuinely_non_commutative() {
+        let cfg = triple_config();
+        let shapes =
+            enumerate_triple_shapes((CallKind::Lseek, CallKind::Read, CallKind::Write), &cfg);
+        let same_fd = shapes
+            .iter()
+            .find(|s| s.slots.iter().all(|sl| sl.fds == vec![0]))
+            .expect("all-same-descriptor shape");
+        let analysis = analyze_triple(same_fd, &cfg);
+        assert!(
+            analysis.non_commutative_paths > 0,
+            "seek/read/write over one offset must have order-dependent paths"
+        );
+    }
+
+    #[test]
+    fn generated_triples_replay_on_the_simulated_kernel() {
+        let cfg = triple_config();
+        let shapes =
+            enumerate_triple_shapes((CallKind::Read, CallKind::Read, CallKind::Read), &cfg);
+        let same_fd = shapes
+            .iter()
+            .find(|s| s.slots.iter().all(|sl| sl.fds == vec![0]))
+            .unwrap();
+        let analysis = analyze_triple(same_fd, &cfg);
+        let generated = generate_triple_tests(same_fd, &analysis.cases, &cfg, &names(), 2);
+        assert!(!generated.tests.is_empty());
+        let factory = Sv6Factory { cores: 3 };
+        for test in &generated.tests {
+            let base = run_triple_test(&factory, test);
+            assert!(base.setup_ok, "setup must replay cleanly: {}", test.id);
+            // A SIM-commutative triple's results are order-independent on
+            // the (sequential-per-order) simulated kernel.
+            for order in [[2, 1, 0], [1, 0, 2]] {
+                let other = run_triple_order(&factory, test, order);
+                assert_eq!(base.results, other.results, "order-dependent: {}", test.id);
+            }
+        }
+    }
+}

@@ -17,8 +17,9 @@ use scr_chaos::kernel::{FaultyKernel, ReliableKernel};
 use scr_chaos::plan::ChaosPlan;
 use scr_core::pipeline::{bucket_distinct_names, CommuterConfig};
 use scr_core::{
-    analyze_pair, differential_check, enumerate_shapes, generate_tests, run_test_order,
-    ConcreteReplayer, ConcreteTest, DifferentialOutcome, SkipHistogram, Sv6Factory,
+    analyze_pair, claim_in_order, differential_check, effective_threads, enumerate_shapes,
+    generate_tests, run_test_order, ConcreteReplayer, ConcreteTest, DifferentialOutcome,
+    SkipHistogram, Sv6Factory,
 };
 use scr_kernel::api::SysResult;
 use scr_kernel::retry::RetryPolicy;
@@ -75,6 +76,44 @@ impl ConcreteReplayer for HostReplayer {
             )
         })
     }
+}
+
+/// Replays a generated triple test on a fresh host kernel: the setup runs
+/// sequentially, then the three operations race on three real OS threads
+/// released by one barrier. Returns the per-call results (`results[i]`
+/// belongs to `ops[i]` whatever interleaving the hardware picked).
+pub fn replay_triple_host(test: &scr_core::ConcreteTripleTest, cores: usize) -> [SysResult; 3] {
+    let kernel = Arc::new(HostKernel::new(cores.max(3), HostMode::Sv6));
+    for _ in 0..test.procs.max(2) {
+        kernel.new_process();
+    }
+    for (core, op) in &test.setup {
+        perform_host(&kernel, *core, op);
+    }
+    let barrier = Barrier::new(3);
+    let (kernel_ref, barrier_ref) = (&kernel, &barrier);
+    std::thread::scope(|scope| {
+        let handles: [_; 3] = std::array::from_fn(|i| {
+            let op = &test.ops[i];
+            scope.spawn(move || {
+                barrier_ref.wait();
+                perform_host(kernel_ref, i, op)
+            })
+        });
+        handles.map(|h| h.join().expect("triple op thread"))
+    })
+}
+
+/// Checks a racing host replay against the simulated kernel: the result
+/// triple must match at least one of the six sequential linearisations.
+/// For a SIM-commutative triple all six orders agree, so any scheduling
+/// the hardware picks must reproduce exactly that result vector — a
+/// mismatch is a genuine host↔model divergence, not a benign reordering.
+pub fn triple_linearizes(test: &scr_core::ConcreteTripleTest, host: &[SysResult; 3]) -> bool {
+    let factory = Sv6Factory { cores: 3 };
+    scr_core::TRIPLE_ORDERS
+        .iter()
+        .any(|&order| scr_core::run_triple_order(&factory, test, order).results == *host)
 }
 
 /// A [`HostReplayer`] with a fault-injecting kernel stack: every test's
@@ -201,6 +240,11 @@ pub struct CampaignConfig {
     /// Seed for the deterministic shuffle that picks which of a pair's
     /// tests the budget covers.
     pub seed: u64,
+    /// Workers claiming (pair, shape) generation units: `1` sequential,
+    /// `N > 1` that many workers, `0` one per hardware thread. Pools are
+    /// aggregated in pair order, so the selected corpus (and every
+    /// per-pair shuffle seed) is byte-identical for every value.
+    pub threads: usize,
 }
 
 impl CampaignConfig {
@@ -212,6 +256,7 @@ impl CampaignConfig {
             max_assignments_per_case: 96,
             schedules_per_test: 3,
             seed: 0x5ca1ab1e,
+            threads: 1,
         }
     }
 
@@ -307,54 +352,112 @@ pub fn differential_campaign_with(
     // only a fraction — deliberately: the skip-reason histogram (which the
     // CI baseline gates on) and the seeded sampling are only meaningful
     // over the complete pool, and generation cost is paid once per pair.
-    let mut pools: Vec<(CallKind, CallKind, Vec<ConcreteTest>, usize)> = Vec::new();
-    let mut skip_reasons = SkipHistogram::new();
+    //
+    // Generation work-steals over (pair, shape) units; pools are assembled
+    // strictly in pair order on this thread, because each pair's shuffle
+    // seed is derived from its position in `pools` — aggregation order IS
+    // the determinism contract.
+    struct PoolUnit {
+        pair_index: usize,
+        shape: scr_core::PairShape,
+        model: scr_model::ModelConfig,
+    }
+    let mut pairs: Vec<(CallKind, CallKind)> = Vec::new();
     for (i, &call_a) in config.calls.iter().enumerate() {
         for &call_b in config.calls.iter().skip(i) {
-            let mut pool = Vec::new();
-            let mut skipped = 0;
-            // Per-pair model specialisation: extension pairs get socket and
-            // child-table bounds, pure-socket pairs shed the file-system
-            // dimensions, fs-only pairs keep the base model unchanged.
-            let model = pair_config(&base_model, call_a, call_b);
-            for shape in enumerate_shapes(call_a, call_b, &model) {
-                let analysis = analyze_pair(&shape, &model);
-                if analysis.cases.is_empty() {
-                    continue;
-                }
-                let generated = generate_tests(
-                    &shape,
-                    &analysis.cases,
-                    &model,
-                    &names,
-                    config.max_assignments_per_case,
+            pairs.push((call_a, call_b));
+        }
+    }
+    let mut units: Vec<PoolUnit> = Vec::new();
+    let mut pair_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+    for (pair_index, &(call_a, call_b)) in pairs.iter().enumerate() {
+        // Per-pair model specialisation: extension pairs get socket and
+        // child-table bounds, pure-socket pairs shed the file-system
+        // dimensions, fs-only pairs keep the base model unchanged.
+        let model = pair_config(&base_model, call_a, call_b);
+        let start = units.len();
+        for shape in enumerate_shapes(call_a, call_b, &model) {
+            units.push(PoolUnit {
+                pair_index,
+                shape,
+                model,
+            });
+        }
+        pair_ranges.push(start..units.len());
+    }
+    let mut pools: Vec<(CallKind, CallKind, Vec<ConcreteTest>, usize)> = Vec::new();
+    let mut skip_reasons = SkipHistogram::new();
+    let mut pending_pool: Vec<ConcreteTest> = Vec::new();
+    let mut pending_skipped = 0usize;
+    // A deterministic per-pair shuffle so the budget samples the pair's
+    // shapes instead of always replaying the first ones.
+    let finalize_pair = |pools: &mut Vec<(CallKind, CallKind, Vec<ConcreteTest>, usize)>,
+                         mut pool: Vec<ConcreteTest>,
+                         skipped: usize| {
+        let (call_a, call_b) = pairs[pools.len()];
+        let pair_seed = config
+            .seed
+            .wrapping_add((pools.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        shuffle(&mut pool, pair_seed);
+        if let Some(events) = events {
+            events.emit_kv(
+                "pair-pool",
+                vec![
+                    ("call_a", call_a.name().into()),
+                    ("call_b", call_b.name().into()),
+                    ("generated", pool.len().into()),
+                    ("skipped", skipped.into()),
+                    ("pair_seed", pair_seed.into()),
+                ],
+            );
+        }
+        pools.push((call_a, call_b, pool, skipped));
+    };
+    claim_in_order(
+        &units,
+        effective_threads(config.threads),
+        |_, unit| {
+            let analysis = analyze_pair(&unit.shape, &unit.model);
+            if analysis.cases.is_empty() {
+                return None;
+            }
+            Some(generate_tests(
+                &unit.shape,
+                &analysis.cases,
+                &unit.model,
+                &names,
+                config.max_assignments_per_case,
+            ))
+        },
+        |idx, generated| {
+            let pair = units[idx].pair_index;
+            while pools.len() < pair {
+                finalize_pair(
+                    &mut pools,
+                    std::mem::take(&mut pending_pool),
+                    std::mem::take(&mut pending_skipped),
                 );
-                skipped += generated.skipped;
+            }
+            if let Some(generated) = generated {
+                pending_skipped += generated.skipped;
                 for (reason, count) in &generated.skip_reasons {
                     *skip_reasons.entry(*reason).or_default() += count;
                 }
-                pool.extend(generated.tests);
+                pending_pool.extend(generated.tests);
             }
-            // A deterministic per-pair shuffle so the budget samples the
-            // pair's shapes instead of always replaying the first ones.
-            let pair_seed = config
-                .seed
-                .wrapping_add((pools.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            shuffle(&mut pool, pair_seed);
-            if let Some(events) = events {
-                events.emit_kv(
-                    "pair-pool",
-                    vec![
-                        ("call_a", call_a.name().into()),
-                        ("call_b", call_b.name().into()),
-                        ("generated", pool.len().into()),
-                        ("skipped", skipped.into()),
-                        ("pair_seed", pair_seed.into()),
-                    ],
+            if idx + 1 == pair_ranges[pair].end {
+                finalize_pair(
+                    &mut pools,
+                    std::mem::take(&mut pending_pool),
+                    std::mem::take(&mut pending_skipped),
                 );
             }
-            pools.push((call_a, call_b, pool, skipped));
-        }
+        },
+    );
+    // Pairs with no shapes at all (and any tail after the last unit) still
+    // get their (empty) pool entries, in order.
+    while pools.len() < pairs.len() {
+        finalize_pair(&mut pools, Vec::new(), 0);
     }
 
     // Phase 2: spread the budget round-robin across the pairs.
@@ -573,6 +676,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_pool_generation_selects_the_same_corpus() {
+        // Per-pair shuffle seeds are derived from pool order, so a
+        // multi-worker phase 1 must yield the exact pools — and therefore
+        // the exact budget selection — of a sequential run.
+        let config = CampaignConfig {
+            schedules_per_test: 1,
+            max_tests: 12,
+            ..CampaignConfig::new(&[CallKind::Stat, CallKind::Unlink, CallKind::Link])
+        };
+        let sequential = differential_campaign(&config);
+        let parallel = differential_campaign(&CampaignConfig {
+            threads: 3,
+            ..config
+        });
+        assert_eq!(sequential.tests_run, parallel.tests_run);
+        assert_eq!(sequential.skip_reasons, parallel.skip_reasons);
+        for (s, p) in sequential.pairs.iter().zip(&parallel.pairs) {
+            assert_eq!(s.calls, p.calls);
+            assert_eq!(s.generated, p.generated);
+            assert_eq!(s.replayed, p.replayed);
+            assert_eq!(s.skipped, p.skipped);
+        }
+        assert!(parallel.all_agree(), "{}", parallel.describe_mismatches());
+    }
+
+    #[test]
     fn ext_campaign_agrees_under_several_schedules() {
         let report = ext_campaign(4, 2);
         assert!(!report.outcomes.is_empty());
@@ -657,5 +786,31 @@ mod tests {
         let report = differential_campaign(&config);
         assert!(report.all_agree(), "{}", report.describe_mismatches());
         assert_eq!(report.replays_run, report.tests_run * 3);
+    }
+
+    #[test]
+    fn generated_triples_linearize_on_real_threads() {
+        use scr_core::{
+            analyze_triple, enumerate_triple_shapes, generate_triple_tests, triple_config,
+        };
+        let cfg = triple_config();
+        let names: Vec<String> = (0..4).map(|i| format!("f{i}")).collect();
+        let shapes =
+            enumerate_triple_shapes((CallKind::Lseek, CallKind::Read, CallKind::Write), &cfg);
+        let same_fd = shapes
+            .iter()
+            .find(|s| s.slots.iter().all(|sl| sl.fds == vec![0]))
+            .expect("all-same-descriptor shape");
+        let analysis = analyze_triple(same_fd, &cfg);
+        let generated = generate_triple_tests(same_fd, &analysis.cases, &cfg, &names, 2);
+        assert!(!generated.tests.is_empty(), "triple corpus must exist");
+        for test in generated.tests.iter().take(8) {
+            let host = replay_triple_host(test, 4);
+            assert!(
+                triple_linearizes(test, &host),
+                "host triple replay of {} matches no sequential order: {host:?}",
+                test.id
+            );
+        }
     }
 }

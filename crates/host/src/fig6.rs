@@ -27,8 +27,8 @@
 use crate::kernel::{perform_host, HostKernel, HostMode, HostOptions};
 use scr_core::pipeline::bucket_distinct_names;
 use scr_core::{
-    analyze_pair, enumerate_shapes, generate_tests, run_test, ConcreteTest, Figure6Report,
-    LinuxLikeFactory, Sv6Factory,
+    analyze_pair, claim_in_order, effective_threads, enumerate_shapes, generate_tests, run_test,
+    ConcreteTest, Figure6Report, LinuxLikeFactory, Sv6Factory,
 };
 use scr_hostmtrace::{on_core, HostConflictReport, HostTraceSink};
 use scr_kernel::api::{perform, SockId, SocketOrder, SysOp, SysResult, SyscallApi};
@@ -57,6 +57,12 @@ pub struct HostFig6Config {
     /// How many times each test's concurrent pair is replayed; a test is
     /// host-conflict-free only when every schedule is.
     pub schedules_per_test: usize,
+    /// Sweep workers: `1` runs sequentially, `N > 1` spawns that many
+    /// claiming workers over the (pair, shape) unit list, `0` uses one per
+    /// hardware thread. The generated corpus — and therefore the sim
+    /// columns — are byte-identical for every value; the host columns
+    /// depend on hardware schedules either way.
+    pub threads: usize,
 }
 
 impl HostFig6Config {
@@ -73,6 +79,7 @@ impl HostFig6Config {
             max_assignments_per_case: 24,
             cores: 4,
             schedules_per_test: 2,
+            threads: 1,
         }
     }
 }
@@ -322,10 +329,45 @@ impl HostFig6Results {
     }
 }
 
+/// One (pair, shape) work unit of the host Figure 6 sweep. A unit runs
+/// analysis, generation and the four-kernel replay of every generated test
+/// entirely on one worker; only plain concrete data comes back.
+struct Fig6Unit {
+    call_a: CallKind,
+    call_b: CallKind,
+    shape: scr_core::PairShape,
+}
+
+/// The concrete verdicts of one replayed test, ready for in-order
+/// aggregation on the calling thread.
+struct Fig6TestRecord {
+    sim_sv6: bool,
+    sim_linux: bool,
+    host_sv6: bool,
+    host_linux: bool,
+    dropped: usize,
+    divergence: Option<Fig6Divergence>,
+}
+
+/// What a [`Fig6Unit`] produces. `had_cases` mirrors the sequential
+/// pipeline's `continue` on case-less shapes: skips are recorded only for
+/// shapes the analyzer produced commutative cases for.
+struct Fig6UnitOutcome {
+    had_cases: bool,
+    skip_reasons: scr_core::SkipHistogram,
+    records: Vec<Fig6TestRecord>,
+}
+
 /// Runs the full host Figure 6 pipeline: generates tests for every
 /// unordered pair of `config.calls`, runs each on the simulated sv6 and
 /// Linux kernels and on the host kernel in both modes, aggregates four
 /// heatmaps, and records every SIM↔host divergence on the sv6 pair.
+///
+/// With `config.threads > 1` the (pair, shape) units are claimed by that
+/// many workers; outcomes are aggregated in unit order on the calling
+/// thread, so the generated corpus and the sim columns are byte-identical
+/// to a sequential run. Heat maps are folded concurrently — their
+/// per-label counters are order-independent sums.
 pub fn run_host_fig6(config: &HostFig6Config) -> HostFig6Results {
     let names = bucket_distinct_names(8);
     let sim_sv6_factory = Sv6Factory {
@@ -334,6 +376,20 @@ pub fn run_host_fig6(config: &HostFig6Config) -> HostFig6Results {
     let sim_linux_factory = LinuxLikeFactory {
         cores: config.cores,
     };
+    let heat_sv6 = HeatMap::new();
+    let heat_linux = HeatMap::new();
+    let mut units = Vec::new();
+    for (i, &call_a) in config.calls.iter().enumerate() {
+        for &call_b in config.calls.iter().skip(i) {
+            for shape in enumerate_shapes(call_a, call_b, &config.model) {
+                units.push(Fig6Unit {
+                    call_a,
+                    call_b,
+                    shape,
+                });
+            }
+        }
+    }
     let mut results = HostFig6Results {
         sim_sv6: Figure6Report::new("sv6"),
         sim_linux: Figure6Report::new("Linux"),
@@ -345,71 +401,104 @@ pub fn run_host_fig6(config: &HostFig6Config) -> HostFig6Results {
         heat_sv6: HeatMap::new(),
         heat_linux: HeatMap::new(),
     };
-    for (i, &call_a) in config.calls.iter().enumerate() {
-        for &call_b in config.calls.iter().skip(i) {
-            for shape in enumerate_shapes(call_a, call_b, &config.model) {
-                let analysis = analyze_pair(&shape, &config.model);
-                if analysis.cases.is_empty() {
-                    continue;
-                }
-                let generated = generate_tests(
-                    &shape,
-                    &analysis.cases,
-                    &config.model,
-                    &names,
-                    config.max_assignments_per_case,
+    claim_in_order(
+        &units,
+        effective_threads(config.threads),
+        |_, unit| {
+            let analysis = analyze_pair(&unit.shape, &config.model);
+            if analysis.cases.is_empty() {
+                return Fig6UnitOutcome {
+                    had_cases: false,
+                    skip_reasons: scr_core::SkipHistogram::new(),
+                    records: Vec::new(),
+                };
+            }
+            let generated = generate_tests(
+                &unit.shape,
+                &analysis.cases,
+                &config.model,
+                &names,
+                config.max_assignments_per_case,
+            );
+            let mut records = Vec::new();
+            for test in &generated.tests {
+                let sim_sv6 = run_test(&sim_sv6_factory, test);
+                let sim_linux = run_test(&sim_linux_factory, test);
+                let host_sv6 = run_test_host_with(
+                    HostMode::Sv6,
+                    config.cores,
+                    test,
+                    config.schedules_per_test,
+                    Some(&heat_sv6),
                 );
-                for report in [
-                    &mut results.sim_sv6,
-                    &mut results.sim_linux,
-                    &mut results.host_sv6,
-                    &mut results.host_linux,
-                ] {
-                    report.record_skips(call_a, call_b, &generated.skip_reasons);
-                }
-                for test in &generated.tests {
-                    results.tests_run += 1;
-                    let sim_sv6 = run_test(&sim_sv6_factory, test);
-                    let sim_linux = run_test(&sim_linux_factory, test);
-                    let host_sv6 = run_test_host_with(
-                        HostMode::Sv6,
-                        config.cores,
-                        test,
-                        config.schedules_per_test,
-                        Some(&results.heat_sv6),
-                    );
-                    let host_linux = run_test_host_with(
-                        HostMode::Linuxlike,
-                        config.cores,
-                        test,
-                        config.schedules_per_test,
-                        Some(&results.heat_linux),
-                    );
-                    results.dropped += host_sv6.dropped + host_linux.dropped;
-                    results
-                        .sim_sv6
-                        .record(call_a, call_b, sim_sv6.conflict_free);
-                    results
-                        .sim_linux
-                        .record(call_a, call_b, sim_linux.conflict_free);
-                    results
-                        .host_sv6
-                        .record(call_a, call_b, host_sv6.conflict_free);
-                    results
-                        .host_linux
-                        .record(call_a, call_b, host_linux.conflict_free);
-                    if sim_sv6.conflict_free && !host_sv6.conflict_free {
-                        results.divergences.push(Fig6Divergence {
-                            test_id: test.id.clone(),
-                            calls: (call_a, call_b),
-                            exception: classify_divergence(&host_sv6.shared_labels),
-                            shared_labels: host_sv6.shared_labels,
-                        });
-                    }
+                let host_linux = run_test_host_with(
+                    HostMode::Linuxlike,
+                    config.cores,
+                    test,
+                    config.schedules_per_test,
+                    Some(&heat_linux),
+                );
+                let divergence = if sim_sv6.conflict_free && !host_sv6.conflict_free {
+                    Some(Fig6Divergence {
+                        test_id: test.id.clone(),
+                        calls: (unit.call_a, unit.call_b),
+                        exception: classify_divergence(&host_sv6.shared_labels),
+                        shared_labels: host_sv6.shared_labels.clone(),
+                    })
+                } else {
+                    None
+                };
+                records.push(Fig6TestRecord {
+                    sim_sv6: sim_sv6.conflict_free,
+                    sim_linux: sim_linux.conflict_free,
+                    host_sv6: host_sv6.conflict_free,
+                    host_linux: host_linux.conflict_free,
+                    dropped: host_sv6.dropped + host_linux.dropped,
+                    divergence,
+                });
+            }
+            Fig6UnitOutcome {
+                had_cases: true,
+                skip_reasons: generated.skip_reasons,
+                records,
+            }
+        },
+        |idx, outcome| {
+            let unit = &units[idx];
+            if !outcome.had_cases {
+                return;
+            }
+            for report in [
+                &mut results.sim_sv6,
+                &mut results.sim_linux,
+                &mut results.host_sv6,
+                &mut results.host_linux,
+            ] {
+                report.record_skips(unit.call_a, unit.call_b, &outcome.skip_reasons);
+            }
+            for record in outcome.records {
+                results.tests_run += 1;
+                results.dropped += record.dropped;
+                results
+                    .sim_sv6
+                    .record(unit.call_a, unit.call_b, record.sim_sv6);
+                results
+                    .sim_linux
+                    .record(unit.call_a, unit.call_b, record.sim_linux);
+                results
+                    .host_sv6
+                    .record(unit.call_a, unit.call_b, record.host_sv6);
+                results
+                    .host_linux
+                    .record(unit.call_a, unit.call_b, record.host_linux);
+                if let Some(divergence) = record.divergence {
+                    results.divergences.push(divergence);
                 }
             }
-        }
-    }
+        },
+    );
+    results.heat_sv6 = heat_sv6;
+    results.heat_linux = heat_linux;
     results
 }
 
@@ -1296,6 +1385,31 @@ mod tests {
             missing.join("\n"),
             generated.into_iter().collect::<Vec<_>>().join("\n")
         );
+    }
+
+    #[test]
+    fn parallel_sweep_reproduces_the_sequential_sim_columns() {
+        // The host columns race real threads and may legitimately differ
+        // between runs; the generated corpus and the *simulated* columns
+        // are deterministic, so a multi-worker sweep must reproduce them
+        // byte for byte.
+        let config = HostFig6Config {
+            schedules_per_test: 1,
+            ..HostFig6Config::quick(&[CallKind::Stat, CallKind::Unlink])
+        };
+        let sequential = run_host_fig6(&config);
+        let parallel = run_host_fig6(&HostFig6Config {
+            threads: 3,
+            ..config
+        });
+        assert_eq!(sequential.tests_run, parallel.tests_run);
+        assert_eq!(sequential.sim_sv6.render(), parallel.sim_sv6.render());
+        assert_eq!(sequential.sim_linux.render(), parallel.sim_linux.render());
+        assert_eq!(
+            sequential.host_sv6.total_tests(),
+            parallel.host_sv6.total_tests()
+        );
+        assert!(parallel.unexplained_divergences().is_empty());
     }
 
     #[test]

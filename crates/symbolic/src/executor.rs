@@ -27,16 +27,31 @@ pub struct PathCtx {
     new_decisions: usize,
     path: Vec<ExprRef>,
     branches: Vec<ExprRef>,
+    /// Per decision: the constraint of the *untaken* polarity, so the
+    /// explorer can test an alternative's feasibility before scheduling it.
+    alt_constraints: Vec<ExprRef>,
+    /// Per decision: `path.len()` just before its constraint was pushed
+    /// (the alternative's condition is that prefix plus the flipped
+    /// constraint).
+    cond_len_at: Vec<usize>,
+    max_decisions: usize,
 }
 
 impl PathCtx {
     fn new(decisions: Vec<bool>) -> Self {
+        Self::with_limit(decisions, MAX_DECISIONS_PER_PATH)
+    }
+
+    fn with_limit(decisions: Vec<bool>, max_decisions: usize) -> Self {
         PathCtx {
             decisions,
             cursor: 0,
             new_decisions: 0,
             path: Vec::new(),
             branches: Vec::new(),
+            alt_constraints: Vec::new(),
+            cond_len_at: Vec::new(),
+            max_decisions,
         }
     }
 
@@ -51,7 +66,7 @@ impl PathCtx {
             self.decisions[self.cursor]
         } else {
             assert!(
-                self.decisions.len() < MAX_DECISIONS_PER_PATH,
+                self.decisions.len() < self.max_decisions,
                 "too many symbolic branches on one path"
             );
             self.decisions.push(true);
@@ -59,11 +74,13 @@ impl PathCtx {
             true
         };
         self.cursor += 1;
-        let constraint = if decision {
-            cond.expr().clone()
+        let (constraint, alt) = if decision {
+            (cond.expr().clone(), cond.not().expr().clone())
         } else {
-            cond.not().expr().clone()
+            (cond.not().expr().clone(), cond.expr().clone())
         };
+        self.cond_len_at.push(self.path.len());
+        self.alt_constraints.push(alt);
         self.path.push(constraint.clone());
         self.branches.push(constraint);
         decision
@@ -133,6 +150,68 @@ pub fn explore<T>(mut f: impl FnMut(&mut PathCtx) -> T) -> Vec<PathResult<T>> {
         });
     }
     results
+}
+
+/// The outcome of a bounded exploration: the paths reached within budget,
+/// plus whether the budget cut the enumeration short.
+#[derive(Clone, Debug)]
+pub struct ExploreOutcome<T> {
+    /// One [`PathResult`] per explored leaf.
+    pub results: Vec<PathResult<T>>,
+    /// True when `max_paths` stopped the exploration with alternatives
+    /// still unexplored (infeasible alternatives skipped by the pruning
+    /// callback do not count — the solver would discard them anyway).
+    pub truncated: bool,
+}
+
+/// [`explore`] with a path budget and feasibility pruning, for models whose
+/// unpruned path count explodes (triple interleavings explore 6 orders per
+/// case where pairs explore 2).
+///
+/// Before scheduling the `false` alternative of a decision, the explorer
+/// hands `feasible` the alternative's path condition (the constraints
+/// accumulated before the decision plus the flipped constraint); returning
+/// false skips the whole subtree. Because every pruned subtree is
+/// unsatisfiable, the reachable leaves are exactly those [`explore`] would
+/// keep after solver filtering — pruning changes cost, not coverage.
+/// `max_paths` bounds the number of explored leaves gracefully
+/// (`truncated` reports the cut) instead of panicking; `max_decisions`
+/// raises the per-path branch budget that [`explore`] fixes at 64.
+pub fn explore_pruned<T>(
+    mut f: impl FnMut(&mut PathCtx) -> T,
+    mut feasible: impl FnMut(&[ExprRef]) -> bool,
+    max_paths: usize,
+    max_decisions: usize,
+) -> ExploreOutcome<T> {
+    let mut results = Vec::new();
+    let mut worklist: Vec<Vec<bool>> = vec![Vec::new()];
+    let mut truncated = false;
+    while let Some(prefix) = worklist.pop() {
+        if results.len() >= max_paths {
+            truncated = true;
+            break;
+        }
+        let prefix_len = prefix.len();
+        let mut ctx = PathCtx::with_limit(prefix, max_decisions);
+        let value = f(&mut ctx);
+        for flip in prefix_len..ctx.decisions.len() {
+            let mut condition: Vec<ExprRef> = ctx.path[..ctx.cond_len_at[flip]].to_vec();
+            condition.push(ctx.alt_constraints[flip].clone());
+            if !feasible(&condition) {
+                continue;
+            }
+            let mut alternative = ctx.decisions[..flip].to_vec();
+            alternative.push(false);
+            worklist.push(alternative);
+        }
+        results.push(PathResult {
+            condition: ctx.path,
+            branches: ctx.branches,
+            value,
+            decisions: ctx.decisions,
+        });
+    }
+    ExploreOutcome { results, truncated }
 }
 
 #[cfg(test)]
@@ -222,6 +301,86 @@ mod tests {
             let solutions = all_solutions(&[cond], &domains, 100);
             assert!(!solutions.is_empty(), "each path must be feasible");
         }
+    }
+
+    #[test]
+    fn pruned_exploration_skips_infeasible_alternatives() {
+        // Base path takes x < 0 then x < 10; the alternative of the second
+        // decision (x < 0 ∧ x ≥ 10) is unsatisfiable over the domain, so
+        // the pruned explorer never schedules it.
+        let ctx = SymContext::new();
+        let x = ctx.int_var("x");
+        let domains = Domains::new(vec![-2, -1, 0, 1, 2]);
+        let model = |path: &mut PathCtx| {
+            if path.branch(&x.lt(&SymInt::from_i64(0))) {
+                if path.branch(&x.lt(&SymInt::from_i64(10))) {
+                    0
+                } else {
+                    1
+                }
+            } else {
+                2
+            }
+        };
+        let plain = explore(model);
+        assert_eq!(plain.len(), 3, "unpruned exploration reaches all leaves");
+        let pruned = explore_pruned(
+            model,
+            |cond| crate::solver::satisfiable(cond, &domains),
+            1_000,
+            64,
+        );
+        assert!(!pruned.truncated);
+        let mut values: Vec<i32> = pruned.results.iter().map(|r| r.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![0, 2], "the infeasible leaf is pruned");
+    }
+
+    #[test]
+    fn pruned_exploration_without_pruning_matches_explore() {
+        let ctx = SymContext::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let model = |path: &mut PathCtx| {
+            let mut v = 0;
+            if path.branch(&a) {
+                v += 1;
+            }
+            if path.branch(&b) {
+                v += 2;
+            }
+            v
+        };
+        let plain = explore(model);
+        let pruned = explore_pruned(model, |_| true, 1_000, 64);
+        assert!(!pruned.truncated);
+        let fingerprint = |rs: &[PathResult<i32>]| {
+            let mut fp: Vec<(Vec<bool>, i32)> =
+                rs.iter().map(|r| (r.decisions.clone(), r.value)).collect();
+            fp.sort();
+            fp
+        };
+        assert_eq!(fingerprint(&plain), fingerprint(&pruned.results));
+    }
+
+    #[test]
+    fn path_budget_truncates_gracefully() {
+        let ctx = SymContext::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let model = |path: &mut PathCtx| {
+            let mut v = 0;
+            if path.branch(&a) {
+                v += 1;
+            }
+            if path.branch(&b) {
+                v += 2;
+            }
+            v
+        };
+        let outcome = explore_pruned(model, |_| true, 2, 64);
+        assert_eq!(outcome.results.len(), 2);
+        assert!(outcome.truncated, "hitting the budget must be reported");
     }
 
     #[test]

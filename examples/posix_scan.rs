@@ -31,11 +31,21 @@
 //! pair within its own ceiling (`SCR_TESTGEN_EXT_GATE_SECONDS`, default
 //! 60).
 //!
-//! Run with `cargo run --release --example posix_scan [-- --all | --perf-gate]`.
+//! Pass `--threads N` to sweep on N claiming workers (`0` = one per
+//! hardware thread; default 1). The corpus, the reports and the recorded
+//! `corpus_fingerprint` are byte-identical for every value — only the
+//! wall-clock changes. The gate ceilings assume a single worker; a
+//! worker-count-specific ceiling `SCR_TESTGEN_GATE_SECONDS_T{N}` (and
+//! `SCR_TESTGEN_EXT_GATE_SECONDS_T{N}`) overrides the base variable when
+//! the effective worker count is N, so multi-thread CI legs can gate
+//! tighter without retuning the single-thread leg.
+//!
+//! Run with `cargo run --release --example posix_scan [-- --all | --perf-gate] [--threads N]`.
 
+use scalable_commutativity::commuter::sweep::effective_threads;
 use scalable_commutativity::commuter::{
-    run_commuter_with_progress, CommuterConfig, CommuterResults, LinuxLikeFactory, Sv6Factory,
-    SweepEvent,
+    run_commuter_with_progress, solver_cache_stats, CommuterConfig, CommuterResults,
+    LinuxLikeFactory, Sv6Factory, SweepEvent,
 };
 use scalable_commutativity::model::CallKind;
 use scalable_commutativity::obs::{metrics_out, EventLog, Json, MetricsRegistry, RunMeta};
@@ -50,22 +60,35 @@ const DEFAULT_GATE_SECONDS: f64 = 30.0;
 /// regressions are distinguishable in CI output.
 const DEFAULT_EXT_GATE_SECONDS: f64 = 60.0;
 
-fn write_timing_json(results: &CommuterResults, meta: &RunMeta, total_seconds: f64) {
+fn write_timing_json(
+    results: &CommuterResults,
+    meta: &RunMeta,
+    total_seconds: f64,
+    threads: usize,
+) {
     let path =
         std::env::var("SCR_TESTGEN_JSON").unwrap_or_else(|_| "BENCH_testgen.json".to_string());
+    let cache = solver_cache_stats();
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"meta\": {},\n", meta.to_json().render()));
     out.push_str(&format!("  \"mode\": \"{}\",\n", meta.mode));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"total_seconds\": {total_seconds:.3},\n"));
     out.push_str(&format!("  \"tests\": {},\n", results.tests.len()));
     out.push_str(&format!("  \"skipped\": {},\n", results.skipped));
+    out.push_str(&format!(
+        "  \"corpus_fingerprint\": \"{:016x}\",\n",
+        results.corpus_fingerprint()
+    ));
+    out.push_str(&format!("  \"cache_evictions\": {},\n", cache.evictions));
     out.push_str("  \"pairs\": [\n");
     for (i, timing) in results.pair_timings.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"a\": \"{}\", \"b\": \"{}\", \"solve_seconds\": {:.4}, \
+            "    {{\"a\": \"{}\", \"b\": \"{}\", \"threads\": {}, \"solve_seconds\": {:.4}, \
              \"run_seconds\": {:.4}, \"tests\": {}, \"skipped\": {}}}{}\n",
             timing.calls.0.name(),
             timing.calls.1.name(),
+            threads,
             timing.solve_seconds,
             timing.run_seconds,
             timing.tests,
@@ -84,10 +107,27 @@ fn write_timing_json(results: &CommuterResults, meta: &RunMeta, total_seconds: f
     }
 }
 
+/// Reads a gate ceiling: the worker-count-specific `{var}_T{threads}`
+/// wins over the base `{var}`, which wins over `default`.
+fn gate_ceiling(var: &str, threads: usize, default: f64) -> f64 {
+    std::env::var(format!("{var}_T{threads}"))
+        .or_else(|_| std::env::var(var))
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
-    let all = std::env::args().any(|a| a == "--all");
-    let perf_gate = std::env::args().any(|a| a == "--perf-gate");
-    let (config, mode) = if perf_gate {
+    let args: Vec<String> = std::env::args().collect();
+    let all = args.iter().any(|a| a == "--all");
+    let perf_gate = args.iter().any(|a| a == "--perf-gate");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let (mut config, mode) = if perf_gate {
         // The historical hot spot (lseek ∥ write: minutes of solver time
         // before the indexed engine) plus the heaviest §4 extension pair
         // (send ∥ recv), so regressions in either solver path are
@@ -109,10 +149,14 @@ fn main() {
             "quick",
         )
     };
+    config.threads = threads;
+    let workers = effective_threads(threads);
     println!(
-        "scanning {} calls ({} pairs) …",
+        "scanning {} calls ({} pairs) on {} worker{} …",
         config.calls.len(),
-        config.calls.len() * (config.calls.len() + 1) / 2
+        config.calls.len() * (config.calls.len() + 1) / 2,
+        workers,
+        if workers == 1 { "" } else { "s" }
     );
     let sv6 = Sv6Factory { cores: 4 };
     let linux = LinuxLikeFactory { cores: 4 };
@@ -161,6 +205,7 @@ fn main() {
                     ("solution_misses", cache_delta.solution_misses.into()),
                     ("completion_hits", cache_delta.completion_hits.into()),
                     ("completion_misses", cache_delta.completion_misses.into()),
+                    ("evictions", cache_delta.evictions.into()),
                 ],
             );
         }
@@ -193,13 +238,14 @@ fn main() {
         mode,
         4,
         &format!(
-            "{} calls, {} tests, {} skipped",
+            "{} calls, {} tests, {} skipped, {} workers",
             config.calls.len(),
             results.tests.len(),
-            results.skipped
+            results.skipped,
+            workers
         ),
     );
-    write_timing_json(&results, &meta, total_seconds);
+    write_timing_json(&results, &meta, total_seconds, workers);
     if let Some(path) = metrics_out() {
         let mut snapshot = MetricsRegistry::new(4).snapshot();
         snapshot.meta = meta.clone();
@@ -219,14 +265,12 @@ fn main() {
     }
 
     if perf_gate {
-        let ceiling: f64 = std::env::var("SCR_TESTGEN_GATE_SECONDS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(DEFAULT_GATE_SECONDS);
-        let ext_ceiling: f64 = std::env::var("SCR_TESTGEN_EXT_GATE_SECONDS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(DEFAULT_EXT_GATE_SECONDS);
+        let ceiling = gate_ceiling("SCR_TESTGEN_GATE_SECONDS", workers, DEFAULT_GATE_SECONDS);
+        let ext_ceiling = gate_ceiling(
+            "SCR_TESTGEN_EXT_GATE_SECONDS",
+            workers,
+            DEFAULT_EXT_GATE_SECONDS,
+        );
         // Gate on each hot pair's own solve time (the scan also covers
         // the self-pairs; their timings land in the JSON but must not
         // pollute the gated numbers).

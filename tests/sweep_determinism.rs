@@ -1,0 +1,80 @@
+//! Determinism pin for the parallel sweep engine.
+//!
+//! The sweep's contract is that worker count changes wall-clock only:
+//! the generated corpus and the rendered Figure 6 reports must be
+//! byte-identical across 1, 2 and 4 claiming workers. The contract is
+//! what lets CI diff a multi-thread leg's `corpus_fingerprint` against
+//! the single-thread leg's, and what makes the committed triple baseline
+//! reproducible on any runner.
+//!
+//! The multi-thread sweeps are exercised regardless of the hardware
+//! (claiming workers are plain OS threads), but on a single-core runner
+//! they only prove code paths, not scheduling races — so the test
+//! self-skips below 2 hardware threads unless `SCR_SWEEP_FORCE=1`.
+
+use scalable_commutativity::commuter::{
+    run_commuter, CommuterConfig, LinuxLikeFactory, Sv6Factory,
+};
+use scalable_commutativity::model::CallKind;
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[test]
+fn corpus_and_reports_are_byte_identical_across_worker_counts() {
+    if available_threads() < 2 && std::env::var_os("SCR_SWEEP_FORCE").is_none() {
+        eprintln!(
+            "skipping sweep-determinism pin: {} hardware thread(s) < 2 (set SCR_SWEEP_FORCE=1 to run)",
+            available_threads()
+        );
+        return;
+    }
+    let calls = [
+        CallKind::Open,
+        CallKind::Stat,
+        CallKind::Unlink,
+        CallKind::Close,
+    ];
+    let sv6 = Sv6Factory { cores: 4 };
+    let linux = LinuxLikeFactory { cores: 4 };
+    let sweep = |threads: usize| {
+        let config = CommuterConfig {
+            threads,
+            max_assignments_per_case: 12,
+            ..CommuterConfig::quick(&calls)
+        };
+        run_commuter(&config, &[&linux, &sv6])
+    };
+    let baseline = sweep(1);
+    assert!(
+        !baseline.tests.is_empty(),
+        "the pinned call set must generate a corpus"
+    );
+    let baseline_corpus: Vec<String> = baseline.tests.iter().map(|t| format!("{t:?}")).collect();
+    let baseline_reports: Vec<String> = baseline.reports.iter().map(|r| r.render()).collect();
+    for threads in [2, 4] {
+        let parallel = sweep(threads);
+        let corpus: Vec<String> = parallel.tests.iter().map(|t| format!("{t:?}")).collect();
+        assert_eq!(
+            baseline_corpus, corpus,
+            "corpus diverged at {threads} workers"
+        );
+        assert_eq!(
+            baseline.corpus_fingerprint(),
+            parallel.corpus_fingerprint(),
+            "corpus fingerprint diverged at {threads} workers"
+        );
+        let reports: Vec<String> = parallel.reports.iter().map(|r| r.render()).collect();
+        assert_eq!(
+            baseline_reports, reports,
+            "Figure 6 renderings diverged at {threads} workers"
+        );
+        assert_eq!(baseline.skipped, parallel.skipped);
+        assert_eq!(baseline.skip_reasons, parallel.skip_reasons);
+        assert_eq!(baseline.resolved, parallel.resolved);
+        assert_eq!(baseline.shapes_analyzed, parallel.shapes_analyzed);
+    }
+}
